@@ -1,0 +1,31 @@
+//! # xmodel-baselines — the comparison models of §VII
+//!
+//! Three widely-known analytic models the paper positions the X-model
+//! against, implemented as independent predictors so the benchmark
+//! harness can compare their predictions on the same workloads:
+//!
+//! * [`roofline`] — Williams et al.: static bottleneck analysis,
+//!   `attainable = min(M, Z·R)`; no thread awareness;
+//! * [`valley`] — Guz et al.: thread-count-aware performance with *all*
+//!   `n` threads sharing the cache and a fixed memory latency (the two
+//!   assumptions §VII contrasts with the X-model);
+//! * [`mwp_cwp`] — Hong & Kim: warp-parallelism execution-time model with
+//!   its three MWP/CWP regimes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mwp_cwp;
+pub mod roofline;
+pub mod valley;
+
+pub use mwp_cwp::MwpCwp;
+pub use roofline::Roofline;
+pub use valley::ValleyModel;
+
+/// Glob import of the baseline predictors.
+pub mod prelude {
+    pub use crate::mwp_cwp::MwpCwp;
+    pub use crate::roofline::Roofline;
+    pub use crate::valley::ValleyModel;
+}

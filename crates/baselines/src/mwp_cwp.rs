@@ -1,0 +1,179 @@
+//! The MWP-CWP model (Hong & Kim, ISCA 2009), in the simplified rendition
+//! §VII compares against.
+//!
+//! Two warp-parallelism quantities govern a GPU kernel's execution time:
+//!
+//! * **MWP** (memory warp parallelism) — warps whose memory requests can
+//!   overlap: `min(L/Δ, MWP_peak_bw, N)` with departure delay `Δ` and the
+//!   bandwidth ceiling `MWP_peak_bw = R·L` (the MLP of §III-A1);
+//! * **CWP** (computation warp parallelism) — warps whose computation fits
+//!   under one memory period: `min((L + C)/C, N)` for `C` computation
+//!   cycles per iteration.
+//!
+//! Three regimes for one iteration round of `N` warps:
+//!
+//! * `MWP ≥ CWP` (compute hides memory): `T = C·N + L`
+//! * `MWP < CWP` (memory bound): `T = L·N/MWP + C`
+//! * `N < MWP` (too few warps): `T = C·N + L`
+//!
+//! Throughput = `N·Z / T` operations per cycle. Unlike the X-model this
+//! predicts a point, involves no cache, and offers no what-if structure —
+//! which is the §VII point.
+
+use serde::{Deserialize, Serialize};
+
+/// MWP-CWP parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MwpCwp {
+    /// Memory latency `L` (cycles).
+    pub mem_latency: f64,
+    /// Departure delay `Δ` between consecutive memory requests of
+    /// different warps (1 for fully coalesced access).
+    pub departure_delay: f64,
+    /// Bandwidth-limited MWP ceiling (`R·L` in model units).
+    pub mwp_peak_bw: f64,
+    /// Computation cycles per iteration per warp (`Z/E` lane-adjusted,
+    /// or simply `Z` for single-issue warps).
+    pub comp_cycles: f64,
+    /// Operations per iteration per warp (`Z`).
+    pub ops_per_iter: f64,
+    /// Resident warps `N`.
+    pub warps: f64,
+}
+
+impl MwpCwp {
+    /// Overlap capacity of the memory pipeline, before the warp-count cap:
+    /// `min(L/Δ, MWP_peak_bw)`.
+    pub fn mwp_capacity(&self) -> f64 {
+        (self.mem_latency / self.departure_delay).min(self.mwp_peak_bw)
+    }
+
+    /// Memory warp parallelism.
+    pub fn mwp(&self) -> f64 {
+        self.mwp_capacity().min(self.warps)
+    }
+
+    /// Computation warp parallelism.
+    pub fn cwp(&self) -> f64 {
+        ((self.mem_latency + self.comp_cycles) / self.comp_cycles).min(self.warps)
+    }
+
+    /// Execution cycles for one iteration round of all `N` warps.
+    pub fn round_cycles(&self) -> f64 {
+        let (mwp, cwp) = (self.mwp(), self.cwp());
+        let n = self.warps;
+        if self.is_under_populated() || mwp >= cwp {
+            // Compute-dominated (or under-populated): serial compute plus
+            // one exposed memory period.
+            self.comp_cycles * n + self.mem_latency
+        } else {
+            // Memory bound: memory periods pipelined MWP at a time.
+            self.mem_latency * n / mwp + self.comp_cycles
+        }
+    }
+
+    /// Predicted compute throughput in ops/cycle.
+    pub fn throughput(&self) -> f64 {
+        if self.warps <= 0.0 {
+            return 0.0;
+        }
+        self.warps * self.ops_per_iter / self.round_cycles()
+    }
+
+    /// Too few warps to saturate either parallelism measure: `N` below
+    /// both the memory-overlap capacity and the compute-overlap window.
+    pub fn is_under_populated(&self) -> bool {
+        let cwp_window = (self.mem_latency + self.comp_cycles) / self.comp_cycles;
+        self.warps < self.mwp_capacity() && self.warps < cwp_window
+    }
+
+    /// Which regime the kernel falls into.
+    pub fn regime(&self) -> &'static str {
+        let (mwp, cwp) = (self.mwp(), self.cwp());
+        if self.is_under_populated() {
+            "under-populated"
+        } else if mwp >= cwp {
+            "compute-bound"
+        } else {
+            "memory-bound"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> MwpCwp {
+        MwpCwp {
+            mem_latency: 600.0,
+            departure_delay: 1.0,
+            mwp_peak_bw: 64.0,
+            comp_cycles: 20.0,
+            ops_per_iter: 20.0,
+            warps: 48.0,
+        }
+    }
+
+    #[test]
+    fn mwp_takes_minimum() {
+        let m = base();
+        // L/delta = 600, bw cap = 64, N = 48 -> 48.
+        assert_eq!(m.mwp(), 48.0);
+        let few_bw = MwpCwp {
+            mwp_peak_bw: 10.0,
+            ..base()
+        };
+        assert_eq!(few_bw.mwp(), 10.0);
+    }
+
+    #[test]
+    fn cwp_counts_overlapping_warps() {
+        let m = base();
+        // (600+20)/20 = 31, capped by N=48.
+        assert_eq!(m.cwp(), 31.0);
+    }
+
+    #[test]
+    fn compute_bound_regime() {
+        // MWP (48) >= CWP (31): compute hides memory.
+        let m = base();
+        assert_eq!(m.regime(), "compute-bound");
+        // T = 20*48 + 600 = 1560; throughput = 48*20/1560.
+        assert!((m.throughput() - 960.0 / 1560.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memory_bound_regime() {
+        let m = MwpCwp {
+            mwp_peak_bw: 8.0,
+            ..base()
+        };
+        assert_eq!(m.regime(), "memory-bound");
+        // T = 600*48/8 + 20 = 3620.
+        assert!((m.throughput() - 960.0 / 3620.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn under_populated_regime() {
+        let m = MwpCwp {
+            warps: 4.0,
+            ..base()
+        };
+        assert_eq!(m.regime(), "under-populated");
+        // T = 20*4 + 600 = 680.
+        assert!((m.throughput() - 80.0 / 680.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_warps_help_until_saturation() {
+        let t = |n: f64| MwpCwp { warps: n, ..base() }.throughput();
+        assert!(t(8.0) < t(16.0));
+        assert!(t(16.0) < t(32.0));
+    }
+
+    #[test]
+    fn zero_warps_zero_throughput() {
+        assert_eq!(MwpCwp { warps: 0.0, ..base() }.throughput(), 0.0);
+    }
+}

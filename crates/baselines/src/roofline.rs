@@ -1,0 +1,105 @@
+//! The Roofline model (Williams, Waterman, Patterson — CACM 2009).
+//!
+//! `attainable = min(peak_ops, intensity × peak_bandwidth)` over the
+//! arithmetic intensity axis. §VII contrasts it with the X-model on three
+//! counts: it is built for a *static* bottleneck picture (one curve, no
+//! thread dimension), from bottleneck analysis rather than flow balance,
+//! and with a single fused curve rather than separable CS/MS curves.
+
+use serde::{Deserialize, Serialize};
+
+/// A roofline: peak compute throughput and peak memory bandwidth in
+/// mutually consistent units (we use warp-ops/cycle and requests/cycle,
+/// with intensity `Z` in ops/request, matching `xmodel-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak compute throughput (`M`).
+    pub peak_ops: f64,
+    /// Peak memory bandwidth (`R`).
+    pub peak_bw: f64,
+}
+
+impl Roofline {
+    /// Create a roofline.
+    pub fn new(peak_ops: f64, peak_bw: f64) -> Self {
+        assert!(peak_ops > 0.0 && peak_bw > 0.0);
+        Self { peak_ops, peak_bw }
+    }
+
+    /// Attainable compute throughput at arithmetic intensity `z`.
+    pub fn attainable(&self, z: f64) -> f64 {
+        (z * self.peak_bw).min(self.peak_ops)
+    }
+
+    /// The ridge point `M/R`: the intensity where the two ceilings meet
+    /// (the machine DLP of §III-A4).
+    pub fn ridge(&self) -> f64 {
+        self.peak_ops / self.peak_bw
+    }
+
+    /// `true` when a workload of intensity `z` is memory bound.
+    pub fn is_memory_bound(&self, z: f64) -> bool {
+        z < self.ridge()
+    }
+
+    /// Sample the roofline curve over `[z_min, z_max]` (log-spaced) for
+    /// plotting.
+    pub fn sample(&self, z_min: f64, z_max: f64, count: usize) -> Vec<(f64, f64)> {
+        assert!(z_min > 0.0 && z_max > z_min && count >= 2);
+        let ratio = (z_max / z_min).powf(1.0 / (count - 1) as f64);
+        (0..count)
+            .map(|i| {
+                let z = z_min * ratio.powi(i as i32);
+                (z, self.attainable(z))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kepler() -> Roofline {
+        Roofline::new(6.0, 0.107)
+    }
+
+    #[test]
+    fn bandwidth_slope_then_flat() {
+        let r = kepler();
+        assert!((r.attainable(10.0) - 1.07).abs() < 1e-12);
+        assert_eq!(r.attainable(1000.0), 6.0);
+    }
+
+    #[test]
+    fn ridge_point() {
+        let r = kepler();
+        assert!((r.ridge() - 6.0 / 0.107).abs() < 1e-9);
+        assert!(r.is_memory_bound(10.0));
+        assert!(!r.is_memory_bound(100.0));
+    }
+
+    #[test]
+    fn attainable_is_continuous_at_ridge() {
+        let r = kepler();
+        let ridge = r.ridge();
+        assert!((r.attainable(ridge) - r.peak_ops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_is_monotone_nondecreasing() {
+        let s = kepler().sample(0.1, 1000.0, 64);
+        assert_eq!(s.len(), 64);
+        for w in s.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn roofline_ignores_thread_count() {
+        // The §VII critique: no n anywhere in the prediction. Trivially
+        // true by construction — the API has no thread parameter.
+        let r = kepler();
+        assert_eq!(r.attainable(50.0), r.attainable(50.0));
+    }
+}

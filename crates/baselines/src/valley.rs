@@ -1,0 +1,180 @@
+//! The Valley model (Guz et al., CAL 2009 / ICCD 2010).
+//!
+//! Performance of `n` threads sharing a cache, under the three assumptions
+//! §VII contrasts with the X-model:
+//!
+//! 1. MS is the bottleneck (a CS bound is bolted on as a cap);
+//! 2. *all* `n` resident threads share the cache (the X-model argues only
+//!    the `k` MS threads do);
+//! 3. memory latency is fixed (no `max{L, k/R}` stretching).
+//!
+//! Per-thread cycle budget per iteration: `Z` compute cycles plus
+//! `(1 − h(n))·L` stall cycles; `n` threads overlap these, capped by the
+//! lane count and memory bandwidth:
+//!
+//! ```text
+//! perf(n) = min(M, R·Z/(1 − h(n)), n·Z / (Z + (1 − h(n))·L))   ops/cycle
+//! ```
+//!
+//! (the bandwidth ceiling applies to *miss* traffic: each request to
+//! memory carries `Z/(1 − h)` operations' worth of work)
+//!
+//! With locality strong enough, `h(n)` collapses as `n` grows and the
+//! middle term dips — the eponymous *valley* between the cache-efficiency
+//! zone and the multithreading zone.
+
+use serde::{Deserialize, Serialize};
+
+/// Valley-model parameters (same units as `xmodel-core`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValleyModel {
+    /// Lane count `M` (ops/cycle cap).
+    pub m: f64,
+    /// Memory bandwidth `R` (requests/cycle cap).
+    pub r: f64,
+    /// Fixed memory latency `L` (cycles).
+    pub l: f64,
+    /// Compute intensity `Z` (ops per request).
+    pub z: f64,
+    /// Cache capacity `S$` (bytes).
+    pub s_cache: f64,
+    /// Jacob locality exponent `α`.
+    pub alpha: f64,
+    /// Jacob per-thread working-set scale `β` (bytes).
+    pub beta: f64,
+}
+
+impl ValleyModel {
+    /// Hit rate with *all* `n` threads sharing the cache (the assumption
+    /// the X-model relaxes to `k` threads).
+    pub fn hit_rate(&self, n: f64) -> f64 {
+        if self.s_cache <= 0.0 {
+            return 0.0;
+        }
+        if n <= 0.0 {
+            return 1.0;
+        }
+        1.0 - (self.s_cache / (self.beta * n) + 1.0).powf(-(self.alpha - 1.0))
+    }
+
+    /// Predicted compute throughput (ops/cycle) at `n` threads.
+    pub fn perf(&self, n: f64) -> f64 {
+        if n <= 0.0 {
+            return 0.0;
+        }
+        let h = self.hit_rate(n);
+        let miss = 1.0 - h;
+        let per_thread_period = self.z + miss * self.l;
+        let mt = n * self.z / per_thread_period;
+        let bw_cap = if miss > 1e-12 {
+            self.r * self.z / miss
+        } else {
+            f64::INFINITY
+        };
+        mt.min(self.m).min(bw_cap)
+    }
+
+    /// Sample `perf` over `n ∈ [1, n_max]`.
+    pub fn sample(&self, n_max: f64, count: usize) -> Vec<(f64, f64)> {
+        assert!(count >= 2 && n_max >= 1.0);
+        (0..count)
+            .map(|i| {
+                let n = 1.0 + (n_max - 1.0) * i as f64 / (count - 1) as f64;
+                (n, self.perf(n))
+            })
+            .collect()
+    }
+
+    /// Locate the valley: the interior local minimum of `perf` over
+    /// `[1, n_max]`, if any.
+    pub fn valley(&self, n_max: f64) -> Option<(f64, f64)> {
+        let samples = self.sample(n_max, 2048);
+        for i in 1..samples.len() - 1 {
+            if samples[i].1 < samples[i - 1].1 - 1e-12 && samples[i].1 <= samples[i + 1].1 {
+                return Some(samples[i]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Strong locality, long latency: the classic valley shape.
+    fn model() -> ValleyModel {
+        ValleyModel {
+            m: 6.0,
+            r: 0.2,
+            l: 600.0,
+            z: 8.0,
+            s_cache: 16.0 * 1024.0,
+            alpha: 5.0,
+            beta: 2048.0,
+        }
+    }
+
+    #[test]
+    fn perf_zero_at_zero_threads() {
+        assert_eq!(model().perf(0.0), 0.0);
+    }
+
+    #[test]
+    fn cache_zone_is_efficient() {
+        // Few threads, everything hits: perf ≈ n (Z/(Z+0) = 1 per thread,
+        // in ops/cycle terms n·1... here Z/(Z+~0)·n ≈ n).
+        let m = model();
+        let p2 = m.perf(2.0);
+        assert!(p2 > 1.5, "p2 = {p2}");
+    }
+
+    #[test]
+    fn valley_exists_for_strong_locality() {
+        let m = model();
+        let (n_v, p_v) = m.valley(64.0).expect("valley expected");
+        // The valley sits past the cache-fit point (8 threads) and is
+        // lower than the cache-zone performance.
+        assert!(n_v > 8.0 && n_v < 60.0, "valley at {n_v}");
+        assert!(p_v < m.perf(4.0), "valley {p_v} not below cache zone");
+        // And the multithreading zone eventually climbs back out.
+        assert!(m.perf(64.0) > p_v);
+    }
+
+    #[test]
+    fn no_valley_without_locality() {
+        let m = ValleyModel {
+            alpha: 1.01,
+            ..model()
+        };
+        assert!(m.valley(64.0).is_none());
+    }
+
+    #[test]
+    fn bandwidth_cap_applies() {
+        // No cache: every request goes off-chip, so perf caps at R·Z.
+        let m = ValleyModel {
+            s_cache: 0.0,
+            ..model()
+        };
+        assert!((m.perf(1000.0) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_cap_applies() {
+        let m = ValleyModel {
+            r: 10.0,
+            s_cache: 0.0,
+            ..model()
+        };
+        assert_eq!(m.perf(1e6), 6.0);
+    }
+
+    #[test]
+    fn shares_cache_among_all_threads() {
+        // The §VII critique made concrete: the valley model's hit rate
+        // depends on n directly.
+        let m = model();
+        assert!(m.hit_rate(4.0) > m.hit_rate(32.0));
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benches for figure assembly and rendering end to end — the
+//! interactive what-if loop the paper's tool implies must be fast.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xmodel::core::xgraph::XGraph;
+use xmodel::prelude::*;
+use xmodel::render;
+
+fn model() -> XModel {
+    XModel::with_cache(
+        MachineParams::new(6.0, 0.02, 600.0),
+        WorkloadParams::new(66.0, 0.25, 60.0),
+        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+    )
+}
+
+fn bench_xgraph(c: &mut Criterion) {
+    let m = model();
+    c.bench_function("figure/xgraph_build", |b| {
+        b.iter(|| black_box(XGraph::build(&m, 512)))
+    });
+    let graph = XGraph::build(&m, 512);
+    c.bench_function("figure/render_svg", |b| {
+        b.iter(|| black_box(render::xgraph_chart(&graph, None).to_svg(560.0, 360.0)))
+    });
+    c.bench_function("figure/render_ascii", |b| {
+        b.iter(|| black_box(render::xgraph_ascii(&graph, 72, 16)))
+    });
+}
+
+fn bench_whatif_loop(c: &mut Criterion) {
+    let m = model();
+    let w = WhatIf::new(m);
+    c.bench_function("figure/whatif_roundtrip", |b| {
+        b.iter(|| {
+            let n_star = w.optimal_throttle().unwrap_or(60.0);
+            black_box(w.evaluate(Optimization::ThreadThrottle { n: n_star }))
+        })
+    });
+}
+
+criterion_group!(benches, bench_xgraph, bench_whatif_loop);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Criterion benches for the cycle-level simulator: cycles/second across
+//! configurations, plus the cache-fidelity ablation (L1 on/off, L2 stage).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmodel::prelude::*;
+use xmodel::workloads::TraceSpec;
+
+const CYCLES: u64 = 20_000;
+
+fn wl(warps: u32) -> SimWorkload {
+    SimWorkload {
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 32,
+            stream_prob: 0.1,
+            reuse_skew: 1.0,
+        },
+        ops_per_request: 10.0,
+        ilp: 1.0,
+        warps,
+    }
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/cycles");
+    g.throughput(Throughput::Elements(CYCLES));
+    for warps in [8u32, 32, 64] {
+        let cfg = SimConfig::builder()
+            .lanes(6.0)
+            .dram(540, 13.7)
+            .l1(16 * 1024, 28, 32)
+            .build();
+        g.bench_with_input(BenchmarkId::new("warps", warps), &warps, |b, &n| {
+            b.iter(|| black_box(xmodel::sim::simulate(&cfg, &wl(n), 0, CYCLES)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the memory-hierarchy stages' simulation cost.
+fn bench_hierarchy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/hierarchy");
+    g.throughput(Throughput::Elements(CYCLES));
+    let base = SimConfig::builder().lanes(6.0).dram(540, 13.7);
+    let configs = [
+        ("dram_only", base.clone().build()),
+        ("l1", base.clone().l1(16 * 1024, 28, 32).build()),
+        ("l1_l2", base.clone().l1(16 * 1024, 28, 32).l2(96 * 1024, 150, 40.0).build()),
+    ];
+    for (name, cfg) in configs {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(xmodel::sim::simulate(&cfg, &wl(32), 0, CYCLES)))
+        });
+    }
+    g.finish();
+}
+
+/// Chip-level scaling: cost of N SMs sharing one channel.
+fn bench_chip_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/chip");
+    g.throughput(Throughput::Elements(CYCLES));
+    for sms in [1usize, 4, 8] {
+        let cfg = SimConfig::builder().lanes(6.0).dram(540, 13.7).build();
+        g.bench_with_input(BenchmarkId::new("sms", sms), &sms, |b, &n| {
+            b.iter(|| {
+                black_box(xmodel::sim::chip::simulate_chip(
+                    &cfg,
+                    &wl(16),
+                    n,
+                    13.7 * n as f64,
+                    0,
+                    CYCLES,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// IR-driven vs parametric simulation cost (the fidelity ablation's
+/// price tag).
+fn bench_ir_mode(c: &mut Criterion) {
+    use xmodel::workloads::microbench::{stream_kernel, stream_trace};
+    let cfg = SimConfig::builder().lanes(6.0).dram(540, 13.7).build();
+    let kernel = stream_kernel(false);
+    let a = kernel.analyze();
+    let mut g = c.benchmark_group("sim/mode");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("parametric", |b| {
+        b.iter(|| {
+            black_box(xmodel::sim::simulate(
+                &cfg,
+                &SimWorkload {
+                    trace: stream_trace(),
+                    ops_per_request: a.intensity,
+                    ilp: a.ilp,
+                    warps: 32,
+                },
+                0,
+                CYCLES,
+            ))
+        })
+    });
+    g.bench_function("ir_driven", |b| {
+        b.iter(|| {
+            black_box(xmodel::sim::exec::simulate_ir(
+                &cfg,
+                &kernel,
+                stream_trace(),
+                32,
+                0,
+                CYCLES,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_throughput,
+    bench_hierarchy_ablation,
+    bench_chip_scaling,
+    bench_ir_mode
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the trace generators and the static analyser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use xmodel::prelude::*;
+use xmodel::workloads::TraceSpec;
+
+const ACCESSES: usize = 10_000;
+
+fn bench_generators(c: &mut Criterion) {
+    let specs: Vec<(&str, TraceSpec)> = vec![
+        ("stream", TraceSpec::Stream { region_lines: 1 << 20 }),
+        (
+            "private_ws",
+            TraceSpec::PrivateWorkingSet {
+                ws_lines: 40,
+                stream_prob: 0.05,
+                reuse_skew: 1.5,
+            },
+        ),
+        (
+            "shared_vector",
+            TraceSpec::SharedVector {
+                vector_lines: 64,
+                region_lines: 1 << 20,
+                vector_prob: 0.4,
+            },
+        ),
+        ("gather", TraceSpec::Gather { footprint_lines: 1 << 18, skew: 0.6 }),
+    ];
+    let mut g = c.benchmark_group("trace/generate");
+    g.throughput(Throughput::Elements(ACCESSES as u64));
+    for (name, spec) in specs {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, s| {
+            b.iter(|| {
+                let mut gen = s.instantiate(3, 42);
+                let mut acc = 0u64;
+                for _ in 0..ACCESSES {
+                    acc ^= gen.next_addr();
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_static_analysis(c: &mut Criterion) {
+    let suite = Workload::suite();
+    c.bench_function("isa/analyze_suite", |b| {
+        b.iter(|| {
+            suite
+                .iter()
+                .map(|w| black_box(w.kernel.analyze()).intensity)
+                .sum::<f64>()
+        })
+    });
+    let k = Workload::get(WorkloadId::Gesummv).kernel;
+    c.bench_function("isa/occupancy", |b| {
+        b.iter(|| black_box(Occupancy::compute(&k, &ArchLimits::kepler())))
+    });
+    let text = xmodel::isa::disasm::disassemble(&k);
+    c.bench_function("isa/parse_listing", |b| {
+        b.iter(|| black_box(xmodel::isa::disasm::parse(&text).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_generators, bench_static_analysis);
+criterion_main!(benches);

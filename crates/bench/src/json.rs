@@ -1,0 +1,496 @@
+//! A minimal JSON *writer* backend for `serde::Serialize`.
+//!
+//! The allowed dependency set includes `serde` but not `serde_json`; the
+//! experiment harness only needs the encoding half, so this module
+//! implements a compact, allocation-friendly `Serializer` sufficient for
+//! the report types in this workspace (structs, enums, sequences, maps,
+//! numbers, strings, options).
+
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+/// Serialize any `Serialize` value to a compact JSON string.
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, JsonError> {
+    let mut out = String::new();
+    value.serialize(&mut JsonSer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Error raised during serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl ser::Error for JsonError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        JsonError(msg.to_string())
+    }
+}
+
+struct JsonSer<'a> {
+    out: &'a mut String,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Shortest round-trippable representation Rust gives us.
+        out.push_str(&format!("{v}"));
+        // Ensure valid JSON number (Rust prints integral floats bare).
+    } else {
+        // JSON has no NaN/inf; encode as null like serde_json's lossy mode.
+        out.push_str("null");
+    }
+}
+
+/// Compound serializer writing elements separated by commas.
+struct Compound<'a, 'b> {
+    ser: &'b mut JsonSer<'a>,
+    first: bool,
+    close: char,
+}
+
+impl<'a, 'b> Compound<'a, 'b> {
+    fn sep(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+
+    fn end_inner(self) {
+        self.ser.out.push(self.close);
+    }
+}
+
+macro_rules! forward_int {
+    ($($m:ident: $t:ty),*) => {$(
+        fn $m(self, v: $t) -> Result<(), JsonError> {
+            self.out.push_str(&v.to_string());
+            Ok(())
+        }
+    )*};
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut JsonSer<'a> {
+    type Ok = ();
+    type Error = JsonError;
+    type SerializeSeq = Compound<'a, 'b>;
+    type SerializeTuple = Compound<'a, 'b>;
+    type SerializeTupleStruct = Compound<'a, 'b>;
+    type SerializeTupleVariant = Compound<'a, 'b>;
+    type SerializeMap = Compound<'a, 'b>;
+    type SerializeStruct = Compound<'a, 'b>;
+    type SerializeStructVariant = Compound<'a, 'b>;
+
+    forward_int!(
+        serialize_i8: i8, serialize_i16: i16, serialize_i32: i32, serialize_i64: i64,
+        serialize_u8: u8, serialize_u16: u16, serialize_u32: u32, serialize_u64: u64
+    );
+
+    fn serialize_bool(self, v: bool) -> Result<(), JsonError> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), JsonError> {
+        write_f64(self.out, v as f64);
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), JsonError> {
+        write_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), JsonError> {
+        escape_into(self.out, &v.to_string());
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), JsonError> {
+        escape_into(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), JsonError> {
+        use serde::ser::SerializeSeq;
+        let mut seq = self.serialize_seq(Some(v.len()))?;
+        for b in v {
+            seq.serialize_element(b)?;
+        }
+        seq.end()
+    }
+
+    fn serialize_none(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), JsonError> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), JsonError> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), JsonError> {
+        escape_into(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, JsonError> {
+        self.out.push('[');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: ']',
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeTupleStruct, JsonError> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, JsonError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: ']',
+        })
+        // The closing '}' is added in end() via close handling below —
+        // see SerializeTupleVariant::end.
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, JsonError> {
+        self.out.push('{');
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: '}',
+        })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, JsonError> {
+        self.serialize_map(Some(len))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, JsonError> {
+        self.out.push('{');
+        escape_into(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound {
+            ser: self,
+            first: true,
+            close: '}',
+        })
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.sep();
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.end_inner();
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push(']');
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), JsonError> {
+        self.sep();
+        // Keys must be strings: serialize through a key-checking shim.
+        let mut key_out = String::new();
+        key.serialize(&mut JsonSer { out: &mut key_out })?;
+        if key_out.starts_with('"') {
+            self.ser.out.push_str(&key_out);
+        } else {
+            // Numeric keys become strings.
+            escape_into(self.ser.out, &key_out);
+        }
+        Ok(())
+    }
+
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), JsonError> {
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.end_inner();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        self.sep();
+        escape_into(self.ser.out, key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.end_inner();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = JsonError;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), JsonError> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), JsonError> {
+        self.ser.out.push('}');
+        self.ser.out.push('}');
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Serialize;
+    use std::collections::BTreeMap;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: f64,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Serialize)]
+    enum Shape {
+        Unit,
+        Newtype(f64),
+        Tuple(i32, i32),
+        Struct { w: u32 },
+    }
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_json(&42i32).unwrap(), "42");
+        assert_eq!(to_json(&true).unwrap(), "true");
+        assert_eq!(to_json(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_json(&"hi").unwrap(), "\"hi\"");
+        assert_eq!(to_json(&Option::<i32>::None).unwrap(), "null");
+        assert_eq!(to_json(&Some(7)).unwrap(), "7");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_json(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_json(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(
+            to_json(&"a\"b\\c\nd").unwrap(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(to_json(&'\u{1}').unwrap(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn structs_and_vecs() {
+        let p = Point {
+            x: 1.0,
+            y: -0.5,
+            label: "σ'".into(),
+        };
+        assert_eq!(
+            to_json(&p).unwrap(),
+            "{\"x\":1,\"y\":-0.5,\"label\":\"σ'\"}"
+        );
+        assert_eq!(to_json(&vec![1, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_json(&(1, "a")).unwrap(), "[1,\"a\"]");
+    }
+
+    #[test]
+    fn enums() {
+        assert_eq!(to_json(&Shape::Unit).unwrap(), "\"Unit\"");
+        assert_eq!(to_json(&Shape::Newtype(2.0)).unwrap(), "{\"Newtype\":2}");
+        assert_eq!(to_json(&Shape::Tuple(1, 2)).unwrap(), "{\"Tuple\":[1,2]}");
+        assert_eq!(
+            to_json(&Shape::Struct { w: 9 }).unwrap(),
+            "{\"Struct\":{\"w\":9}}"
+        );
+    }
+
+    #[test]
+    fn maps_with_non_string_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(1u32, "one");
+        m.insert(2u32, "two");
+        assert_eq!(
+            to_json(&m).unwrap(),
+            "{\"1\":\"one\",\"2\":\"two\"}"
+        );
+    }
+
+    #[test]
+    fn real_report_types_serialize() {
+        use xmodel::prelude::*;
+        let model = XModel::new(
+            MachineParams::new(6.0, 0.1, 600.0),
+            WorkloadParams::new(20.0, 1.0, 48.0),
+        );
+        let eq = model.solve();
+        let json = to_json(&eq).unwrap();
+        assert!(json.contains("\"ms_throughput\""));
+        assert!(json.contains("\"Stable\""));
+        let rep = model.parallelism();
+        assert!(to_json(&rep).unwrap().contains("machine_mlp"));
+    }
+}

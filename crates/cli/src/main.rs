@@ -1,0 +1,330 @@
+//! `xmodel` — command-line front end for the X-model reproduction.
+//!
+//! ```text
+//! xmodel list                         available GPUs and workloads
+//! xmodel glossary                     Table I parameter glossary
+//! xmodel draw [opts]                  draw an X-graph for explicit params
+//! xmodel workload <name> [opts]       analyze a suite workload on a GPU
+//! xmodel validate [--gpu <gpu>]       run the §V validation suite
+//! xmodel whatif [opts]                evaluate the §VI optimizations
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use xmodel::core::xgraph::XGraph;
+use xmodel::prelude::*;
+use xmodel::render;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "list" => cmd_list(),
+        "glossary" => cmd_glossary(),
+        "draw" => cmd_draw(parse_flags(rest)),
+        "workload" => cmd_workload(rest),
+        "validate" => cmd_validate(parse_flags(rest)),
+        "whatif" => cmd_whatif(parse_flags(rest)),
+        "sim" => cmd_sim(parse_flags(rest)),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: xmodel <command>\n\
+         \n\
+         commands:\n\
+           list                               GPUs and workloads\n\
+           glossary                           Table I parameters\n\
+           draw --m M --r R --l L --z Z --e E --n N [--l1 KIB --alpha A --beta B] [--svg FILE]\n\
+           draw --gpu GPU [--dp] --z Z --e E --n N [--l1 KIB ...]\n\
+           workload NAME [--gpu GPU] [--l1 KIB] [--svg FILE]\n\
+           validate [--gpu GPU]\n\
+           whatif [--gpu GPU] [--workload NAME] [--l1 KIB]\n\
+           sim --workload NAME [--gpu GPU] [--warps N] [--l1 KIB] [--ir]\n"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let val = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            map.insert(key.to_string(), val);
+        }
+    }
+    map
+}
+
+fn get_f64(flags: &HashMap<String, String>, key: &str) -> Result<Option<f64>, String> {
+    match flags.get(key) {
+        Some(v) => v
+            .parse::<f64>()
+            .map(Some)
+            .map_err(|e| format!("--{key}: {e}")),
+        None => Ok(None),
+    }
+}
+
+fn gpu_by_name(name: &str) -> Result<GpuSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "fermi" | "gtx570" => Ok(GpuSpec::fermi_gtx570()),
+        "kepler" | "k40" => Ok(GpuSpec::kepler_k40()),
+        "maxwell" | "gtx750ti" => Ok(GpuSpec::maxwell_gtx750ti()),
+        other => Err(format!("unknown GPU `{other}` (fermi, kepler, maxwell)")),
+    }
+}
+
+fn workload_by_name(name: &str) -> Result<Workload, String> {
+    Workload::by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `xmodel list`)"))
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("GPUs (Table II):");
+    for g in GpuSpec::all() {
+        println!(
+            "  {:<10} {:?}, {} SMs x {} SPs, {} GB/s, {} warps/SM",
+            g.name, g.generation, g.sm_count, g.sp_per_sm, g.mem_bw_gbs, g.max_warps
+        );
+    }
+    println!("\nworkloads (the 12-app validation suite):");
+    for w in Workload::suite() {
+        let a = w.kernel.analyze();
+        println!(
+            "  {:<10} [{}] E={:.2} Z={:.1}  {}",
+            w.name, w.origin, a.ilp, a.intensity, w.description
+        );
+    }
+    Ok(())
+}
+
+fn cmd_glossary() -> Result<(), String> {
+    for e in xmodel::core::params::TABLE_I {
+        println!("  {:<6} {}", e.symbol, e.description);
+    }
+    Ok(())
+}
+
+fn build_model(flags: &HashMap<String, String>) -> Result<(XModel, Option<UnitContext>), String> {
+    let (machine, units) = if let Some(gpu) = flags.get("gpu") {
+        let spec = gpu_by_name(gpu)?;
+        let precision = if flags.contains_key("dp") {
+            Precision::Double
+        } else {
+            Precision::Single
+        };
+        (spec.machine_params(precision), Some(spec.units(precision)))
+    } else {
+        let m = get_f64(flags, "m")?.ok_or("--m or --gpu required")?;
+        let r = get_f64(flags, "r")?.ok_or("--r required")?;
+        let l = get_f64(flags, "l")?.ok_or("--l required")?;
+        (MachineParams::new(m, r, l), None)
+    };
+    let z = get_f64(flags, "z")?.ok_or("--z required")?;
+    let e = get_f64(flags, "e")?.unwrap_or(1.0);
+    let n = get_f64(flags, "n")?.ok_or("--n required")?;
+    let workload = WorkloadParams::new(z, e, n);
+
+    let model = match get_f64(flags, "l1")? {
+        Some(kib) if kib > 0.0 => {
+            let alpha = get_f64(flags, "alpha")?.unwrap_or(3.0);
+            let beta = get_f64(flags, "beta")?.unwrap_or(2048.0);
+            let l1_lat = get_f64(flags, "l1-latency")?.unwrap_or(30.0);
+            XModel::with_cache(
+                machine,
+                workload,
+                CacheParams::new(kib * 1024.0, l1_lat, alpha, beta),
+            )
+        }
+        _ => XModel::new(machine, workload),
+    };
+    Ok((model, units))
+}
+
+fn report(model: &XModel, units: Option<&UnitContext>, svg: Option<&String>) -> Result<(), String> {
+    // The shared report card from xmodel-core, then the terminal X-graph.
+    print!("{}", xmodel::core::report::render(model, units));
+    let graph = XGraph::build(model, 384);
+    println!("\n{}", render::xgraph_ascii(&graph, 72, 16));
+    if let Some(path) = svg {
+        let svg_text = render::xgraph_chart(&graph, units).to_svg(640.0, 400.0);
+        std::fs::write(path, svg_text).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_draw(flags: HashMap<String, String>) -> Result<(), String> {
+    let (model, units) = build_model(&flags)?;
+    report(&model, units.as_ref(), flags.get("svg"))
+}
+
+fn cmd_workload(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("workload name required")?;
+    let flags = parse_flags(&args[1..]);
+    let w = workload_by_name(name)?;
+    let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("kepler"))?;
+    let l1 = get_f64(&flags, "l1")?.unwrap_or(0.0) as u64;
+    let model = xmodel::profile::fitting::assemble_model(&gpu, &w, l1 * 1024);
+    let a = w.kernel.analyze();
+    println!("{} on {} (L1 {} KiB)", w.name, gpu.name, l1);
+    println!("  {}", w.description);
+    println!(
+        "  extracted: E={:.2} Z={:.2} n={} coalesce={}",
+        a.ilp, a.intensity, model.workload.n, w.coalesce
+    );
+    let precision = xmodel::profile::fitting::workload_precision(&w);
+    report(&model, Some(&gpu.units(precision)), flags.get("svg"))
+}
+
+fn cmd_validate(flags: HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("kepler"))?;
+    println!("validating on {} ...", gpu.name);
+    let rep = validate_suite(&gpu);
+    println!("{:<11} {:>8} {:>8} {:>7}", "app", "PCT", "RCT", "acc");
+    for a in &rep.apps {
+        println!(
+            "{:<11} {:>8.3} {:>8.3} {:>6.1}%",
+            a.name,
+            a.predicted_cs,
+            a.measured_cs,
+            a.accuracy() * 100.0
+        );
+    }
+    println!("mean accuracy: {:.1}%", rep.mean_accuracy() * 100.0);
+    Ok(())
+}
+
+fn cmd_sim(flags: HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("kepler"))?;
+    let w = workload_by_name(flags.get("workload").map(String::as_str).unwrap_or("gesummv"))?;
+    let precision = xmodel::profile::fitting::workload_precision(&w);
+    let mut cfg = xmodel::profile::sim_config_for(&gpu, precision);
+    cfg.request_bytes = 128.0 * w.coalesce;
+    if let Some(kib) = get_f64(&flags, "l1")? {
+        if kib > 0.0 {
+            cfg.l1 = Some(xmodel::sim::CacheConfig {
+                capacity_bytes: (kib * 1024.0) as u64,
+                line_bytes: 128,
+                ways: 8,
+                hit_latency: 28,
+                mshrs: 64,
+            });
+        }
+    }
+    let a = w.kernel.analyze();
+    let occ = Occupancy::compute(&w.kernel, &xmodel::profile::fitting::arch_limits(&gpu, 0));
+    let warps = get_f64(&flags, "warps")?
+        .map(|v| v as u32)
+        .unwrap_or_else(|| occ.warps.min(gpu.max_warps as u32));
+
+    let ir_mode = flags.contains_key("ir");
+    let stats = if ir_mode {
+        xmodel::sim::exec::simulate_ir(&cfg, &w.kernel, w.trace, warps, 15_000, 50_000)
+    } else {
+        xmodel::sim::simulate(
+            &cfg,
+            &SimWorkload {
+                trace: w.trace,
+                ops_per_request: a.intensity,
+                ilp: a.ilp,
+                warps,
+            },
+            15_000,
+            50_000,
+        )
+    };
+    let units = gpu.units(precision);
+    println!(
+        "{} on {} ({} warps, {} mode{})",
+        w.name,
+        gpu.name,
+        warps,
+        if ir_mode { "IR" } else { "parametric" },
+        if cfg.l1.is_some() { ", L1 on" } else { "" }
+    );
+    println!(
+        "  MS {:.4} req/cyc ({:.2} GB/s per SM)   CS {:.4} ops/cyc ({:.2} GF/s per SM)",
+        stats.ms_throughput(),
+        units.ms_to_gbs(stats.ms_throughput()),
+        stats.cs_throughput(),
+        units.cs_to_gflops(stats.cs_throughput())
+    );
+    println!(
+        "  spatial state: avg k = {:.1}, avg x = {:.1}, mode k = {}",
+        stats.avg_k(),
+        stats.avg_x(),
+        stats.mode_k()
+    );
+    if cfg.l1.is_some() {
+        println!(
+            "  L1: hit rate {:.2} ({} hits / {} misses / {} merges, {} MSHR stalls)",
+            stats.hit_rate(),
+            stats.l1_hits,
+            stats.l1_misses,
+            stats.l1_merges,
+            stats.mshr_stalls
+        );
+    }
+    Ok(())
+}
+
+fn cmd_whatif(flags: HashMap<String, String>) -> Result<(), String> {
+    let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("fermi"))?;
+    let w = workload_by_name(flags.get("workload").map(String::as_str).unwrap_or("gesummv"))?;
+    let l1 = get_f64(&flags, "l1")?.unwrap_or(16.0) as u64;
+    let model = xmodel::profile::fitting::assemble_model(&gpu, &w, l1 * 1024);
+    let what_if = WhatIf::new(model);
+    println!(
+        "{} on {} with {} KiB L1: thrashing = {}",
+        w.name,
+        gpu.name,
+        l1,
+        what_if.is_thrashing()
+    );
+    let n_star = what_if.optimal_throttle();
+    let mut candidates = vec![
+        ("bypass (R x3)".to_string(), Optimization::CacheBypass { r: model.machine.r * 3.0 }),
+        ("intensity (Z x2)".to_string(), Optimization::IncreaseIntensity { z: model.workload.z * 2.0 }),
+        ("reduce ILP (E /2)".to_string(), Optimization::ReduceIlp { e: model.workload.e * 0.5 }),
+        ("enlarge cache (x3)".to_string(), Optimization::EnlargeCache { s_cache: l1 as f64 * 1024.0 * 3.0 }),
+    ];
+    if let Some(n) = n_star {
+        candidates.insert(0, (format!("throttle (n={n:.1})"), Optimization::ThreadThrottle { n }));
+    }
+    for (name, opt) in candidates {
+        match what_if.evaluate(opt) {
+            Some(eff) => println!(
+                "  {:<20} MS {:>5.2}x  CS {:>5.2}x",
+                name,
+                eff.ms_speedup(),
+                eff.cs_speedup()
+            ),
+            None => println!("  {name:<20} (no equilibrium)"),
+        }
+    }
+    Ok(())
+}

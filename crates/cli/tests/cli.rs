@@ -1,0 +1,153 @@
+//! End-to-end tests of the `xmodel` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xmodel"))
+        .args(args)
+        .output()
+        .expect("spawn xmodel");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let (ok, _, err) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("usage: xmodel"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn list_shows_gpus_and_workloads() {
+    let (ok, out, _) = run(&["list"]);
+    assert!(ok);
+    assert!(out.contains("GTX570"));
+    assert!(out.contains("Tesla K40"));
+    assert!(out.contains("gesummv"));
+    assert!(out.contains("leukocyte"));
+}
+
+#[test]
+fn glossary_lists_table1() {
+    let (ok, out, _) = run(&["glossary"]);
+    assert!(ok);
+    assert!(out.contains("Compute intensity"));
+    assert!(out.contains("psi"));
+}
+
+#[test]
+fn draw_with_explicit_params() {
+    let (ok, out, _) = run(&[
+        "draw", "--m", "4", "--r", "0.1", "--l", "500", "--z", "20", "--n", "48",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("state:"));
+    assert!(out.contains("X-graph"));
+    assert!(out.contains("bound:"));
+    assert!(out.contains("advice:"));
+}
+
+#[test]
+fn draw_with_gpu_preset_and_units() {
+    let (ok, out, _) = run(&["draw", "--gpu", "kepler", "--z", "20", "--e", "1.2", "--n", "64"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("GB/s"));
+    assert!(out.contains("GF/s"));
+}
+
+#[test]
+fn draw_missing_params_fails() {
+    let (ok, _, err) = run(&["draw", "--gpu", "kepler"]);
+    assert!(!ok);
+    assert!(err.contains("--z required"));
+}
+
+#[test]
+fn draw_bad_gpu_fails() {
+    let (ok, _, err) = run(&["draw", "--gpu", "voodoo2", "--z", "1", "--n", "1"]);
+    assert!(!ok);
+    assert!(err.contains("unknown GPU"));
+}
+
+#[test]
+fn draw_writes_svg() {
+    let dir = std::env::temp_dir().join("xmodel_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("graph.svg");
+    let path_str = path.to_str().unwrap();
+    let (ok, out, _) = run(&[
+        "draw", "--m", "4", "--r", "0.1", "--l", "500", "--z", "20", "--n", "48", "--svg",
+        path_str,
+    ]);
+    assert!(ok, "{out}");
+    let svg = std::fs::read_to_string(&path).unwrap();
+    assert!(svg.contains("<svg"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn draw_with_cache_reports_cached_curve() {
+    let (ok, out, _) = run(&[
+        "draw", "--m", "6", "--r", "0.02", "--l", "600", "--z", "66", "--e", "0.25", "--n",
+        "60", "--l1", "16", "--alpha", "5", "--beta", "2048",
+    ]);
+    assert!(ok, "{out}");
+    // The bistable configuration shows several intersections.
+    assert!(out.matches("state:").count() >= 3, "{out}");
+    assert!(out.contains("UNSTABLE"));
+    assert!(out.contains("bistable"));
+}
+
+#[test]
+fn workload_command_analyzes_suite_member() {
+    let (ok, out, _) = run(&["workload", "spmv", "--gpu", "kepler"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("spmv on Tesla K40"));
+    assert!(out.contains("extracted: E="));
+}
+
+#[test]
+fn workload_unknown_name_fails() {
+    let (ok, _, err) = run(&["workload", "doom"]);
+    assert!(!ok);
+    assert!(err.contains("unknown workload"));
+}
+
+#[test]
+fn sim_runs_parametric_and_ir() {
+    let (ok, out, _) = run(&["sim", "--workload", "spmv", "--warps", "16"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("parametric"));
+    assert!(out.contains("spatial state"));
+    let (ok, out, _) = run(&["sim", "--workload", "spmv", "--warps", "16", "--ir"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("IR"));
+}
+
+#[test]
+fn sim_with_l1_reports_hit_rate() {
+    let (ok, out, _) = run(&[
+        "sim", "--workload", "gesummv", "--gpu", "fermi", "--l1", "16", "--warps", "24",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("hit rate"));
+}
+
+#[test]
+fn whatif_runs_case_study() {
+    let (ok, out, _) = run(&["whatif", "--gpu", "fermi", "--workload", "gesummv", "--l1", "16"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("thrashing"));
+    assert!(out.contains("bypass"));
+}

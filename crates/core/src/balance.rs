@@ -1,0 +1,144 @@
+//! Machine balance, capacity bound, and the bound taxonomy (§III-A3, Fig. 5
+//! and the Transit model's state transitions).
+//!
+//! The machine is *balanced* when both subsystems run at their best:
+//! `f(k) = R` and `g(x) = M` simultaneously, which requires `x ≥ π` and
+//! `k ≥ δ`. The minimum thread count achieving this, `n = π + δ`, is the
+//! TLP of the machine; with more threads some are necessarily idle
+//! (queued behind saturated subsystems) — the *capacity bound*.
+
+use crate::model::XModel;
+use serde::{Deserialize, Serialize};
+
+/// Which resource limits the machine at its operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundKind {
+    /// Too few threads: neither CS nor MS is saturated.
+    ThreadBound,
+    /// CS saturated (`g = M`) while MS still has headroom.
+    ComputationBound,
+    /// MS saturated (`f = R` or at a cache-limited ceiling) while CS has
+    /// headroom.
+    MemoryBound,
+    /// Both saturated: the machine-balance / capacity-bound state.
+    CapacityBound,
+}
+
+/// Result of the balance analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BalanceReport {
+    /// The bound classification at the default operating point.
+    pub bound: BoundKind,
+    /// CS utilization `g(x)/M` at the operating point.
+    pub cs_utilization: f64,
+    /// MS utilization `f(k)/R` at the operating point (can exceed 1 when a
+    /// cache supplies above raw memory bandwidth).
+    pub ms_utilization: f64,
+    /// `π + δ` — minimum threads for machine balance (machine TLP).
+    pub balance_threads: f64,
+    /// Idle threads at the operating point: threads beyond what the two
+    /// saturated subsystems can keep busy (0 unless capacity bound).
+    pub idle_threads: f64,
+}
+
+/// Utilization above which a subsystem counts as saturated.
+const SAT_TOL: f64 = 0.98;
+
+/// Analyze the bound state of a model at its default operating point.
+pub fn analyze(model: &XModel) -> BalanceReport {
+    let balance_threads = model.pi() + model.delta();
+    let op = model.solve().operating_point();
+    let (cs_u, ms_u, idle) = match op {
+        Some(p) => {
+            let cs_u = p.cs_throughput / model.machine.m;
+            let ms_u = p.ms_throughput / model.machine.r;
+            let idle = (model.workload.n - balance_threads).max(0.0);
+            (cs_u, ms_u, idle)
+        }
+        None => (0.0, 0.0, 0.0),
+    };
+    let bound = match (cs_u >= SAT_TOL, ms_u >= SAT_TOL) {
+        (true, true) => BoundKind::CapacityBound,
+        (true, false) => BoundKind::ComputationBound,
+        (false, true) => BoundKind::MemoryBound,
+        (false, false) => BoundKind::ThreadBound,
+    };
+    BalanceReport {
+        bound,
+        cs_utilization: cs_u,
+        ms_utilization: ms_u,
+        balance_threads,
+        idle_threads: if bound == BoundKind::CapacityBound {
+            idle
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    fn machine() -> MachineParams {
+        // delta = 50, M = 4
+        MachineParams::new(4.0, 0.1, 500.0)
+    }
+
+    #[test]
+    fn thread_bound_with_few_threads() {
+        // n far below both transition points.
+        let m = XModel::new(machine(), WorkloadParams::new(40.0, 1.0, 10.0));
+        let rep = m.balance();
+        assert_eq!(rep.bound, BoundKind::ThreadBound);
+        assert!(rep.cs_utilization < 1.0);
+        assert!(rep.ms_utilization < 1.0);
+        assert_eq!(rep.idle_threads, 0.0);
+    }
+
+    #[test]
+    fn memory_bound_with_low_intensity() {
+        // Z small: demand plateau M/Z = 0.8 >> R; MS saturates first.
+        let m = XModel::new(machine(), WorkloadParams::new(5.0, 1.0, 500.0));
+        let rep = m.balance();
+        assert_eq!(rep.bound, BoundKind::MemoryBound);
+        assert!(rep.ms_utilization >= 0.98);
+    }
+
+    #[test]
+    fn computation_bound_with_high_intensity() {
+        // Z huge: CS saturates, MS nearly idle.
+        let m = XModel::new(machine(), WorkloadParams::new(400.0, 1.0, 500.0));
+        let rep = m.balance();
+        assert_eq!(rep.bound, BoundKind::ComputationBound);
+        assert!(rep.cs_utilization >= 0.98);
+        assert!(rep.ms_utilization < 0.98);
+    }
+
+    #[test]
+    fn capacity_bound_at_machine_balance() {
+        // Z = M/R = 40 makes both plateaus meet; plenty of threads.
+        let m = XModel::new(machine(), WorkloadParams::new(40.0, 1.0, 200.0));
+        let rep = m.balance();
+        assert_eq!(rep.bound, BoundKind::CapacityBound);
+        // pi + delta = 4 + 50 = 54; idle = 200 - 54.
+        assert_eq!(rep.balance_threads, 54.0);
+        assert!((rep.idle_threads - 146.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_exact_thread_count_has_no_idle() {
+        // Fig. 5 left: n exactly pi + delta — balanced with zero idle.
+        let m = XModel::new(machine(), WorkloadParams::new(40.0, 1.0, 54.0));
+        let rep = m.balance();
+        assert_eq!(rep.bound, BoundKind::CapacityBound);
+        assert!(rep.idle_threads.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_machine_is_thread_bound() {
+        let m = XModel::new(machine(), WorkloadParams::new(40.0, 1.0, 0.0));
+        assert_eq!(m.balance().bound, BoundKind::ThreadBound);
+    }
+}

@@ -1,0 +1,263 @@
+//! Thread-migration dynamics: which equilibrium does the machine reach?
+//!
+//! §III-D1 argues informally that any perturbation drives the state away
+//! from the unstable intersection σ and that the final state (σ′ or σ″)
+//! "mostly depends on the thread distribution". This module makes that
+//! argument executable: it integrates the flow-balance ODE
+//!
+//! ```text
+//! dk/dt = ĝ(n − k) − f(k)
+//! ```
+//!
+//! (threads enter MS at the CS demand rate and leave at the MS supply
+//! rate) from a chosen initial distribution `k₀`, yielding the trajectory
+//! and the basin of attraction of every stable intersection.
+
+use crate::model::XModel;
+use serde::{Deserialize, Serialize};
+
+/// Integration options for [`simulate`].
+///
+/// ## Example
+///
+/// ```
+/// use xmodel_core::dynamics;
+/// use xmodel_core::prelude::*;
+///
+/// let model = XModel::new(
+///     MachineParams::new(4.0, 0.1, 500.0),
+///     WorkloadParams::new(20.0, 1.0, 48.0),
+/// );
+/// let k_star = model.solve().operating_point().unwrap().k;
+/// // Starting from an empty MS, the state converges to the equilibrium.
+/// let k_end = dynamics::converge_from(&model, 0.0);
+/// assert!((k_end - k_star).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulateOptions {
+    /// Euler time step in cycles.
+    pub dt: f64,
+    /// Maximum number of steps before giving up.
+    pub max_steps: usize,
+    /// Convergence threshold on `|dk/dt|` (requests/cycle).
+    pub tol: f64,
+    /// Record every `record_every`-th state into the trajectory.
+    pub record_every: usize,
+}
+
+impl Default for SimulateOptions {
+    fn default() -> Self {
+        Self {
+            dt: 0.5,
+            max_steps: 400_000,
+            tol: 1e-10,
+            record_every: 64,
+        }
+    }
+}
+
+/// How a trajectory ended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrajectoryEnd {
+    /// `|dk/dt|` fell below tolerance at the recorded `k`.
+    Converged {
+        /// Final MS thread count.
+        k: f64,
+    },
+    /// The step budget ran out before convergence.
+    MaxSteps {
+        /// Last MS thread count.
+        k: f64,
+    },
+}
+
+impl TrajectoryEnd {
+    /// Final `k` regardless of outcome.
+    pub fn k(&self) -> f64 {
+        match *self {
+            TrajectoryEnd::Converged { k } | TrajectoryEnd::MaxSteps { k } => k,
+        }
+    }
+
+    /// `true` when the integration converged.
+    pub fn converged(&self) -> bool {
+        matches!(self, TrajectoryEnd::Converged { .. })
+    }
+}
+
+/// A recorded thread-migration trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// `(t, k)` samples along the integration.
+    pub samples: Vec<(f64, f64)>,
+    /// Outcome.
+    pub end: TrajectoryEnd,
+}
+
+/// Integrate the thread-migration ODE from `k0` threads initially in MS.
+pub fn simulate(model: &XModel, k0: f64, opts: SimulateOptions) -> Trajectory {
+    let n = model.workload.n;
+    let mut k = k0.clamp(0.0, n);
+    let mut samples = Vec::with_capacity(opts.max_steps / opts.record_every.max(1) + 2);
+    samples.push((0.0, k));
+
+    for step in 1..=opts.max_steps {
+        let dkdt = model.g_hat(n - k) - model.fk(k);
+        if dkdt.abs() < opts.tol {
+            samples.push((step as f64 * opts.dt, k));
+            return Trajectory {
+                samples,
+                end: TrajectoryEnd::Converged { k },
+            };
+        }
+        k = (k + opts.dt * dkdt).clamp(0.0, n);
+        if step % opts.record_every.max(1) == 0 {
+            samples.push((step as f64 * opts.dt, k));
+        }
+    }
+    Trajectory {
+        samples,
+        end: TrajectoryEnd::MaxSteps { k },
+    }
+}
+
+/// Convenience: integrate with default options and return the final `k`.
+pub fn converge_from(model: &XModel, k0: f64) -> f64 {
+    simulate(model, k0, SimulateOptions::default()).end.k()
+}
+
+/// Estimate the basin boundary between two stable equilibria by bisecting
+/// on the initial condition. Returns the critical `k₀` separating
+/// trajectories that settle below `k_split` from those settling above it.
+pub fn basin_boundary(model: &XModel, k_split: f64, tol: f64) -> f64 {
+    let n = model.workload.n;
+    let settles_low = |k0: f64| converge_from(model, k0) < k_split;
+    let (mut lo, mut hi) = (0.0, n);
+    // Assume monotone basins: low k0 -> low attractor, high k0 -> high.
+    if !settles_low(lo) {
+        return 0.0;
+    }
+    if settles_low(hi) {
+        return n;
+    }
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        if settles_low(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheParams;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    fn basic_model() -> XModel {
+        XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(20.0, 1.0, 48.0),
+        )
+    }
+
+    /// Cache-sensitive model tuned to be bistable (three intersections):
+    /// the demand plateau M/Z ≈ 0.091 sits below the cache peak (≈ 0.122
+    /// at k ≈ 8) but above the post-peak slope, and the demand tail meets
+    /// f(k) again near k ≈ 50.
+    fn bistable_model() -> XModel {
+        let machine = MachineParams::new(6.0, 0.02, 600.0);
+        let cache = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+        let workload = WorkloadParams::new(66.0, 0.25, 60.0);
+        XModel::with_cache(machine, workload, cache)
+    }
+
+    #[test]
+    fn converges_to_unique_equilibrium() {
+        let m = basic_model();
+        let expect = m.solve().operating_point().unwrap().k;
+        for k0 in [0.0, 10.0, 24.0, 48.0] {
+            let k = converge_from(&m, k0);
+            assert!(
+                (k - expect).abs() < 1e-3,
+                "from k0={k0} converged to {k}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn trajectory_is_recorded_and_monotone_time() {
+        let m = basic_model();
+        let t = simulate(&m, 0.0, SimulateOptions::default());
+        assert!(t.end.converged());
+        assert!(t.samples.len() >= 2);
+        for w in t.samples.windows(2) {
+            assert!(w[1].0 > w[0].0, "time must increase");
+        }
+    }
+
+    #[test]
+    fn initial_condition_is_clamped() {
+        let m = basic_model();
+        let t = simulate(&m, 1e9, SimulateOptions::default());
+        assert!(t.samples[0].1 <= m.workload.n);
+        let t = simulate(&m, -5.0, SimulateOptions::default());
+        assert!(t.samples[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn bistable_model_has_two_attractors() {
+        let m = bistable_model();
+        let eq = m.solve();
+        assert!(
+            eq.is_bistable(),
+            "fixture must be bistable; points: {:?}",
+            eq.points()
+        );
+        let lo = eq.operating_point().unwrap().k;
+        let hi = eq.worst_stable().unwrap().k;
+        // Starting almost empty converges to sigma'; starting with all
+        // threads in MS converges to sigma''.
+        let from_cs = converge_from(&m, 0.0);
+        let from_ms = converge_from(&m, m.workload.n);
+        assert!(
+            (from_cs - lo).abs() < 0.5,
+            "from CS side reached {from_cs}, sigma' = {lo}"
+        );
+        assert!(
+            (from_ms - hi).abs() < 0.5,
+            "from MS side reached {from_ms}, sigma'' = {hi}"
+        );
+    }
+
+    #[test]
+    fn basin_boundary_lies_at_unstable_point() {
+        let m = bistable_model();
+        let eq = m.solve();
+        let sigma = eq.unstable().next().expect("unstable middle point").k;
+        let split = 0.5 * (eq.operating_point().unwrap().k + eq.worst_stable().unwrap().k);
+        let boundary = basin_boundary(&m, split, 1e-3);
+        assert!(
+            (boundary - sigma).abs() < 0.5,
+            "boundary {boundary} vs sigma {sigma}"
+        );
+    }
+
+    #[test]
+    fn perturbation_from_unstable_point_diverges() {
+        // The paper's core §III-D1 claim: sigma cannot be observed; a
+        // one-thread perturbation lands at sigma' or sigma''.
+        let m = bistable_model();
+        let eq = m.solve();
+        let sigma = eq.unstable().next().unwrap().k;
+        let down = converge_from(&m, sigma - 1.0);
+        let up = converge_from(&m, sigma + 1.0);
+        let lo = eq.operating_point().unwrap().k;
+        let hi = eq.worst_stable().unwrap().k;
+        assert!((down - lo).abs() < 0.5, "down-perturbed reached {down}");
+        assert!((up - hi).abs() < 0.5, "up-perturbed reached {up}");
+    }
+}

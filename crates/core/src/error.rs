@@ -1,0 +1,80 @@
+//! Error type shared by the analytic model.
+
+use std::fmt;
+
+/// Result alias for model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+/// Errors raised when constructing or evaluating a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name as used in the paper (Table I).
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"> 0"`.
+        constraint: &'static str,
+    },
+    /// The solver failed to bracket a root where one was required.
+    NoEquilibrium,
+    /// A numeric routine did not converge within its iteration budget.
+    NoConvergence {
+        /// The routine that gave up.
+        routine: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter {name} = {value} violates constraint {constraint}"),
+            ModelError::NoEquilibrium => write!(f, "no flow-balance equilibrium exists"),
+            ModelError::NoConvergence { routine } => {
+                write!(f, "numeric routine `{routine}` did not converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = ModelError::InvalidParameter {
+            name: "Z",
+            value: -1.0,
+            constraint: "> 0",
+        };
+        assert_eq!(e.to_string(), "parameter Z = -1 violates constraint > 0");
+    }
+
+    #[test]
+    fn display_no_equilibrium() {
+        assert_eq!(
+            ModelError::NoEquilibrium.to_string(),
+            "no flow-balance equilibrium exists"
+        );
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = ModelError::NoConvergence { routine: "bisect" };
+        assert!(e.to_string().contains("bisect"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::NoEquilibrium);
+    }
+}

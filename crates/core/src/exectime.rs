@@ -1,0 +1,220 @@
+//! Execution-time prediction — the extension §VII says the X-model
+//! admits: *"it can also be extended for execution time prediction if
+//! needed."*
+//!
+//! A kernel is a sequence of phases, each with its own `(Z, E, n)` and a
+//! total amount of memory work (warp requests to serve). At the phase's
+//! flow-balance operating point the machine retires `f(k*)` requests per
+//! cycle, so the phase takes `requests / f(k*)` steady-state cycles plus
+//! one pipeline fill (`≈ L`) of ramp. Compute-bound phases are bounded by
+//! `ops / g(x*)` — which is the same number, since `g = Z·f` and
+//! `ops = Z·requests` at the operating point.
+
+use crate::cache::CacheParams;
+use crate::model::XModel;
+use crate::params::{MachineParams, WorkloadParams};
+use serde::{Deserialize, Serialize};
+
+/// One kernel phase: a workload shape plus its total memory work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Workload parameters for this phase.
+    pub workload: WorkloadParams,
+    /// Total warp requests the phase must serve.
+    pub requests: f64,
+}
+
+impl Phase {
+    /// Create a phase.
+    pub fn new(workload: WorkloadParams, requests: f64) -> Self {
+        assert!(requests >= 0.0);
+        Self { workload, requests }
+    }
+}
+
+/// Predicted time of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseTime {
+    /// Steady-state cycles (`requests / ms_throughput`).
+    pub steady_cycles: f64,
+    /// Ramp cycles (pipeline fill, `≈ L`).
+    pub ramp_cycles: f64,
+    /// Operating MS throughput used (requests/cycle).
+    pub ms_throughput: f64,
+}
+
+impl PhaseTime {
+    /// Total cycles for the phase.
+    pub fn cycles(&self) -> f64 {
+        self.steady_cycles + self.ramp_cycles
+    }
+}
+
+/// Full prediction for a multi-phase kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecTimePrediction {
+    /// Per-phase breakdown.
+    pub phases: Vec<PhaseTime>,
+}
+
+impl ExecTimePrediction {
+    /// Total predicted cycles.
+    pub fn cycles(&self) -> f64 {
+        self.phases.iter().map(PhaseTime::cycles).sum()
+    }
+
+    /// Wall-clock seconds at a core frequency in GHz.
+    pub fn seconds(&self, freq_ghz: f64) -> f64 {
+        assert!(freq_ghz > 0.0);
+        self.cycles() / (freq_ghz * 1e9)
+    }
+}
+
+/// ## Example
+///
+/// ```
+/// use xmodel_core::exectime::{predict, Phase};
+/// use xmodel_core::prelude::*;
+///
+/// let machine = MachineParams::new(6.0, 0.1, 600.0);
+/// let phase = Phase::new(WorkloadParams::new(5.0, 1.0, 64.0), 100_000.0);
+/// let pred = predict(machine, None, &[phase]);
+/// // Memory bound: 100k requests at R = 0.1 req/cycle, plus the ramp.
+/// assert!((pred.cycles() - (1_000_000.0 + 600.0)).abs() < 1.0);
+/// ```
+/// Predict the execution time of a phased kernel on a machine, optionally
+/// with the cache-integrated MS curve. Phases with no equilibrium
+/// (`n = 0`) or zero work contribute only their ramp.
+pub fn predict(
+    machine: MachineParams,
+    cache: Option<CacheParams>,
+    phases: &[Phase],
+) -> ExecTimePrediction {
+    let times = phases
+        .iter()
+        .map(|p| {
+            let model = match cache {
+                Some(c) => XModel::with_cache(machine, p.workload, c),
+                None => XModel::new(machine, p.workload),
+            };
+            let ms = model
+                .solve()
+                .operating_point()
+                .map(|op| op.ms_throughput)
+                .unwrap_or(0.0);
+            let steady = if p.requests > 0.0 && ms > 0.0 {
+                p.requests / ms
+            } else {
+                0.0
+            };
+            PhaseTime {
+                steady_cycles: steady,
+                ramp_cycles: machine.l,
+                ms_throughput: ms,
+            }
+        })
+        .collect();
+    ExecTimePrediction { phases: times }
+}
+
+/// Predicted speedup of configuration `b` over configuration `a` for the
+/// same phases (`> 1` means `b` is faster).
+pub fn speedup(a: &ExecTimePrediction, b: &ExecTimePrediction) -> f64 {
+    let (ca, cb) = (a.cycles(), b.cycles());
+    if cb <= 0.0 {
+        return f64::INFINITY;
+    }
+    ca / cb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineParams {
+        MachineParams::new(6.0, 0.1, 600.0)
+    }
+
+    #[test]
+    fn single_phase_is_work_over_throughput() {
+        let w = WorkloadParams::new(5.0, 1.0, 64.0); // memory bound: ms = R
+        let pred = predict(machine(), None, &[Phase::new(w, 100_000.0)]);
+        let expect = 100_000.0 / 0.1 + 600.0;
+        assert!((pred.cycles() - expect).abs() < 1.0, "{}", pred.cycles());
+    }
+
+    #[test]
+    fn work_scales_linearly() {
+        let w = WorkloadParams::new(20.0, 1.0, 48.0);
+        let t1 = predict(machine(), None, &[Phase::new(w, 50_000.0)]);
+        let t2 = predict(machine(), None, &[Phase::new(w, 100_000.0)]);
+        let steady1 = t1.cycles() - 600.0;
+        let steady2 = t2.cycles() - 600.0;
+        assert!((steady2 / steady1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_are_additive() {
+        let a = Phase::new(WorkloadParams::new(5.0, 1.0, 64.0), 10_000.0);
+        let b = Phase::new(WorkloadParams::new(200.0, 2.0, 64.0), 2_000.0);
+        let joint = predict(machine(), None, &[a, b]);
+        let solo_a = predict(machine(), None, &[a]);
+        let solo_b = predict(machine(), None, &[b]);
+        assert!((joint.cycles() - solo_a.cycles() - solo_b.cycles()).abs() < 1e-6);
+        assert_eq!(joint.phases.len(), 2);
+    }
+
+    #[test]
+    fn compute_bound_phase_matches_ops_over_m() {
+        // Huge Z: CS saturated at M; time = ops / M = Z·requests / M.
+        let z = 600.0;
+        let w = WorkloadParams::new(z, 2.0, 64.0);
+        let requests = 1_000.0;
+        let pred = predict(machine(), None, &[Phase::new(w, requests)]);
+        let expect_steady = z * requests / 6.0;
+        assert!(
+            (pred.phases[0].steady_cycles - expect_steady).abs() < 0.01 * expect_steady,
+            "{} vs {}",
+            pred.phases[0].steady_cycles,
+            expect_steady
+        );
+    }
+
+    #[test]
+    fn empty_machine_contributes_ramp_only() {
+        let w = WorkloadParams::new(5.0, 1.0, 0.0);
+        let pred = predict(machine(), None, &[Phase::new(w, 10_000.0)]);
+        assert_eq!(pred.phases[0].steady_cycles, 0.0);
+        assert_eq!(pred.cycles(), 600.0);
+    }
+
+    #[test]
+    fn cached_prediction_uses_cache_curve() {
+        let cache = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+        // Few threads: everything in cache — far faster than DRAM-bound.
+        let w = WorkloadParams::new(40.0, 1.0, 6.0);
+        let with = predict(machine(), Some(cache), &[Phase::new(w, 10_000.0)]);
+        let without = predict(machine(), None, &[Phase::new(w, 10_000.0)]);
+        assert!(with.cycles() < 0.5 * without.cycles());
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        // Enough threads that both machines saturate their bandwidth
+        // (delta = R*L is 60 and 120 respectively).
+        let w = WorkloadParams::new(5.0, 1.0, 200.0);
+        let slow = predict(machine(), None, &[Phase::new(w, 100_000.0)]);
+        let fast_machine = MachineParams::new(6.0, 0.2, 600.0);
+        let fast = predict(fast_machine, None, &[Phase::new(w, 100_000.0)]);
+        let s = speedup(&slow, &fast);
+        assert!(s > 1.8 && s < 2.1, "speedup = {s}");
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        let w = WorkloadParams::new(5.0, 1.0, 64.0);
+        let pred = predict(machine(), None, &[Phase::new(w, 100_000.0)]);
+        let s = pred.seconds(1.0);
+        assert!((s - pred.cycles() / 1e9).abs() < 1e-15);
+    }
+}

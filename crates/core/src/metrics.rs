@@ -1,0 +1,122 @@
+//! The four parallelism metrics of §III-A: MLP, ILP, TLP and DLP, each for
+//! both the machine and the workload.
+//!
+//! | metric | machine | workload |
+//! |---|---|---|
+//! | MLP | `R·L` (threads to saturate MS) | `∝ k` at the operating point |
+//! | ILP | lane count `M` (shared with TLP) | `E` |
+//! | TLP | threads to reach machine balance, `π + δ` | `n` |
+//! | DLP | `M/R` (roofline ridge) | `Z` |
+
+use crate::model::XModel;
+use serde::{Deserialize, Serialize};
+
+/// Summary of the machine-vs-workload parallelism comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParallelismReport {
+    /// MLP of the machine: `R·L` (§III-A1).
+    pub machine_mlp: f64,
+    /// Utilized MLP of the workload: `k` at the default operating point
+    /// (`None` when no equilibrium exists, e.g. `n = 0`).
+    pub workload_mlp: Option<f64>,
+    /// ILP degree of the workload, `E`.
+    pub workload_ilp: f64,
+    /// TLP of the machine: minimum threads for machine balance, `π + δ`
+    /// (§III-A3, left scenario of Fig. 5).
+    pub machine_tlp: f64,
+    /// TLP of the workload, `n`.
+    pub workload_tlp: f64,
+    /// DLP of the machine: `M/R`, the roofline ridge point (§III-A4).
+    pub machine_dlp: f64,
+    /// DLP of the workload: `Z`, the compute intensity.
+    pub workload_dlp: f64,
+}
+
+impl ParallelismReport {
+    /// Compute the report for a model instance.
+    pub fn new(model: &XModel) -> Self {
+        let op = model.solve().operating_point();
+        Self {
+            machine_mlp: model.machine.r * model.machine.l,
+            workload_mlp: op.map(|p| p.k),
+            workload_ilp: model.workload.e,
+            machine_tlp: model.pi() + model.delta(),
+            workload_tlp: model.workload.n,
+            machine_dlp: model.machine.machine_dlp(),
+            workload_dlp: model.workload.z,
+        }
+    }
+
+    /// §III-A4: the workload is memory-bound when its DLP falls short of
+    /// the machine's (`Z < M/R`), computation-bound otherwise.
+    pub fn is_memory_bound(&self) -> bool {
+        self.workload_dlp < self.machine_dlp
+    }
+
+    /// Fraction of the machine's MLP the workload exploits at the
+    /// operating point, `k/(R·L)`, clamped to `[0, 1]`.
+    pub fn mlp_utilization(&self) -> Option<f64> {
+        self.workload_mlp
+            .map(|k| (k / self.machine_mlp).clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    fn model(z: f64, n: f64) -> XModel {
+        XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(z, 1.0, n),
+        )
+    }
+
+    #[test]
+    fn machine_metrics() {
+        let r = model(20.0, 48.0).parallelism();
+        assert_eq!(r.machine_mlp, 50.0);
+        assert_eq!(r.machine_dlp, 40.0);
+        // pi = M/E = 4, delta = 50 => machine TLP = 54.
+        assert_eq!(r.machine_tlp, 54.0);
+    }
+
+    #[test]
+    fn dlp_bound_classification() {
+        // Z = 20 < M/R = 40: memory bound.
+        assert!(model(20.0, 48.0).parallelism().is_memory_bound());
+        // Z = 80 > 40: computation bound.
+        assert!(!model(80.0, 48.0).parallelism().is_memory_bound());
+    }
+
+    #[test]
+    fn workload_mlp_is_operating_k() {
+        let m = model(20.0, 48.0);
+        let r = m.parallelism();
+        let k = m.solve().operating_point().unwrap().k;
+        assert_eq!(r.workload_mlp, Some(k));
+        let util = r.mlp_utilization().unwrap();
+        assert!(util > 0.0 && util <= 1.0);
+    }
+
+    #[test]
+    fn empty_machine_has_no_workload_mlp() {
+        let r = model(20.0, 0.0).parallelism();
+        assert_eq!(r.workload_mlp, None);
+        assert_eq!(r.mlp_utilization(), None);
+    }
+
+    #[test]
+    fn ilp_and_tlp_pass_through() {
+        let m = XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(20.0, 2.5, 32.0),
+        );
+        let r = m.parallelism();
+        assert_eq!(r.workload_ilp, 2.5);
+        assert_eq!(r.workload_tlp, 32.0);
+        // Larger E shrinks pi and therefore machine TLP.
+        assert_eq!(r.machine_tlp, 4.0 / 2.5 + 50.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Cache-less memory-system supply throughput `f(k) = min(k/L, R)`.
+//!
+//! With `k` threads filling `k` pipeline slots of a memory system with
+//! delay `L`, the utilization is `k/L` and the supply throughput is
+//! `f(k) = k·R/L` capped at `R` — a roofline in `k` (§II, Fig. 2-A).
+//! The sloped part has slope `1/L` (the per-thread memory throughput); the
+//! transition point is `δ = R·L`, which is also the MLP of the machine.
+
+use crate::params::MachineParams;
+
+/// The cache-less MS supply curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsCurve {
+    /// `R` — peak sustainable throughput (requests/cycle).
+    pub r: f64,
+    /// `L` — constant access latency (cycles).
+    pub l: f64,
+}
+
+impl MsCurve {
+    /// Build from the machine parameters.
+    pub fn new(machine: &MachineParams) -> Self {
+        Self {
+            r: machine.r,
+            l: machine.l,
+        }
+    }
+
+    /// `f(k) = min(k/L, R)` requests/cycle. Negative `k` clamps to 0.
+    pub fn f(&self, k: f64) -> f64 {
+        (k.max(0.0) / self.l).min(self.r)
+    }
+
+    /// `δ = R·L` — the MS transition point (saturation threshold).
+    pub fn delta(&self) -> f64 {
+        self.r * self.l
+    }
+
+    /// Analytic derivative `df/dk`: `1/L` on the slope, `0` on the plateau.
+    pub fn df_dk(&self, k: f64) -> f64 {
+        let d = self.delta();
+        if k < d {
+            1.0 / self.l
+        } else if k > d {
+            0.0
+        } else {
+            0.5 / self.l
+        }
+    }
+
+    /// Utilization `min(k/δ, 1)`.
+    pub fn utilization(&self, k: f64) -> f64 {
+        (k.max(0.0) / self.delta()).min(1.0)
+    }
+
+    /// Effective (loaded) latency seen by `k` threads: before saturation it
+    /// is the raw `L`; beyond saturation queueing stretches it to `k/R` so
+    /// that `k / latency` never exceeds `R` (§III-B1, `L_m = max{L, k/R}`).
+    pub fn loaded_latency(&self, k: f64) -> f64 {
+        self.l.max(k.max(0.0) / self.r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms() -> MsCurve {
+        MsCurve { r: 0.1, l: 500.0 }
+    }
+
+    #[test]
+    fn f_is_roofline() {
+        let m = ms();
+        assert_eq!(m.f(0.0), 0.0);
+        assert!((m.f(25.0) - 0.05).abs() < 1e-12);
+        assert!((m.f(50.0) - 0.1).abs() < 1e-12); // knee: delta = 50
+        assert_eq!(m.f(500.0), 0.1);
+    }
+
+    #[test]
+    fn delta_is_r_times_l() {
+        assert_eq!(ms().delta(), 50.0);
+    }
+
+    #[test]
+    fn slope_is_reciprocal_latency() {
+        let m = ms();
+        assert!((m.df_dk(10.0) - 1.0 / 500.0).abs() < 1e-15);
+        assert_eq!(m.df_dk(100.0), 0.0);
+    }
+
+    #[test]
+    fn negative_k_clamps() {
+        assert_eq!(ms().f(-3.0), 0.0);
+    }
+
+    #[test]
+    fn loaded_latency_grows_past_saturation() {
+        let m = ms();
+        assert_eq!(m.loaded_latency(10.0), 500.0);
+        assert_eq!(m.loaded_latency(50.0), 500.0);
+        assert!((m.loaded_latency(100.0) - 1000.0).abs() < 1e-9);
+        // The loaded latency keeps f capped at R: k / L_m = R beyond delta.
+        assert!((100.0 / m.loaded_latency(100.0) - m.r).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_clamps_to_one() {
+        let m = ms();
+        assert_eq!(m.utilization(25.0), 0.5);
+        assert_eq!(m.utilization(1e9), 1.0);
+    }
+
+    #[test]
+    fn higher_r_needs_more_threads_to_saturate() {
+        // Fig. 4-A: with L fixed, larger R implies more threads necessary
+        // to approach R — that is the machine MLP.
+        let lo = MsCurve { r: 0.05, l: 500.0 };
+        let hi = MsCurve { r: 0.2, l: 500.0 };
+        assert!(hi.delta() > lo.delta());
+    }
+
+    #[test]
+    fn higher_l_needs_more_threads_to_saturate() {
+        // Fig. 4-B: with R fixed, larger latency requires a larger k to
+        // hide the latency.
+        let fast = MsCurve { r: 0.1, l: 200.0 };
+        let slow = MsCurve { r: 0.1, l: 800.0 };
+        assert!(slow.delta() > fast.delta());
+        assert!(slow.f(20.0) < fast.f(20.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Parameter sets of the X-model (Table I of the paper).
+//!
+//! All quantities live in *model space*: threads are scheduling units
+//! (warps, on a GPU), time is cycles, MS throughput is memory requests per
+//! cycle and CS throughput is operations per cycle. [`crate::units`]
+//! converts to and from physical GB/s and GF/s.
+
+use crate::error::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Architecture-side parameters: `M`, `R`, `L` of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineParams {
+    /// `M` — number of computation lanes, i.e. the peak CS throughput in
+    /// operations per cycle.
+    pub m: f64,
+    /// `R` — maximum sustainable MS throughput in requests per cycle.
+    pub r: f64,
+    /// `L` — average (unloaded) MS access latency in cycles. In the transit
+    /// model this is postulated constant; the cache-integrated model
+    /// replaces it with the loaded latency `L_k` of Eq. (1).
+    pub l: f64,
+}
+
+impl MachineParams {
+    /// Create a machine parameter set, panicking on out-of-domain values.
+    /// Use [`MachineParams::try_new`] for fallible construction.
+    pub fn new(m: f64, r: f64, l: f64) -> Self {
+        Self::try_new(m, r, l).expect("invalid machine parameters")
+    }
+
+    /// Fallible constructor validating `M > 0`, `R > 0`, `L > 0`.
+    pub fn try_new(m: f64, r: f64, l: f64) -> Result<Self> {
+        check_pos("M", m)?;
+        check_pos("R", r)?;
+        check_pos("L", l)?;
+        Ok(Self { m, r, l })
+    }
+
+    /// `δ = R·L` — the MS transition point of the cache-less model: the
+    /// number of MS threads at which `f(k) = min(k/L, R)` saturates.
+    /// Also the *MLP of the machine* (§III-A1).
+    pub fn delta(&self) -> f64 {
+        self.r * self.l
+    }
+
+    /// DLP of the machine, `M/R` — the ridge point of the roofline (§III-A4).
+    pub fn machine_dlp(&self) -> f64 {
+        self.m / self.r
+    }
+}
+
+/// Application-side parameters: `Z`, `E`, `n` of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// `Z` — compute intensity: operations per memory request. Also the
+    /// DLP of the workload (§III-A4).
+    pub z: f64,
+    /// `E` — ILP degree of the workload: how many lanes a single thread can
+    /// occupy simultaneously (§III-A2).
+    pub e: f64,
+    /// `n` — total threads resident on the machine. Also the TLP of the
+    /// workload (§III-A3).
+    pub n: f64,
+}
+
+impl WorkloadParams {
+    /// Create a workload parameter set, panicking on out-of-domain values.
+    pub fn new(z: f64, e: f64, n: f64) -> Self {
+        Self::try_new(z, e, n).expect("invalid workload parameters")
+    }
+
+    /// Fallible constructor validating `Z > 0`, `E > 0`, `n ≥ 0`.
+    pub fn try_new(z: f64, e: f64, n: f64) -> Result<Self> {
+        check_pos("Z", z)?;
+        check_pos("E", e)?;
+        if !(n >= 0.0) || !n.is_finite() {
+            return Err(ModelError::InvalidParameter {
+                name: "n",
+                value: n,
+                constraint: ">= 0",
+            });
+        }
+        Ok(Self { z, e, n })
+    }
+
+    /// Return a copy with a different thread count (tuning knob `n`, Fig. 4-F).
+    #[must_use]
+    pub fn with_n(mut self, n: f64) -> Self {
+        assert!(n >= 0.0, "n must be non-negative");
+        self.n = n;
+        self
+    }
+
+    /// Return a copy with a different compute intensity (knob `Z`, Fig. 4-D).
+    #[must_use]
+    pub fn with_z(mut self, z: f64) -> Self {
+        assert!(z > 0.0, "Z must be positive");
+        self.z = z;
+        self
+    }
+
+    /// Return a copy with a different ILP degree (knob `E`, Fig. 4-E).
+    #[must_use]
+    pub fn with_e(mut self, e: f64) -> Self {
+        assert!(e > 0.0, "E must be positive");
+        self.e = e;
+        self
+    }
+}
+
+fn check_pos(name: &'static str, v: f64) -> Result<()> {
+    if v > 0.0 && v.is_finite() {
+        Ok(())
+    } else {
+        Err(ModelError::InvalidParameter {
+            name,
+            value: v,
+            constraint: "> 0",
+        })
+    }
+}
+
+/// One entry of the Table I parameter glossary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlossaryEntry {
+    /// Symbol as printed in the paper.
+    pub symbol: &'static str,
+    /// Paper description.
+    pub description: &'static str,
+}
+
+/// The full Table I glossary, in paper order.
+pub const TABLE_I: &[GlossaryEntry] = &[
+    GlossaryEntry { symbol: "n", description: "Total threads in the parallel machine" },
+    GlossaryEntry { symbol: "k", description: "Threads in the memory system (MS)" },
+    GlossaryEntry { symbol: "x", description: "Threads in the computation system (CS)" },
+    GlossaryEntry { symbol: "f(k)", description: "MS supply throughput to CS" },
+    GlossaryEntry { symbol: "g(x)", description: "MS demand throughput from CS" },
+    GlossaryEntry { symbol: "Z", description: "Compute intensity (ops/bytes ratio)" },
+    GlossaryEntry { symbol: "E", description: "Instruction-level-parallelism degree" },
+    GlossaryEntry { symbol: "R", description: "Maximum sustainable MS throughput" },
+    GlossaryEntry { symbol: "M", description: "Computation lanes" },
+    GlossaryEntry { symbol: "pi", description: "CS transition point (when CS is saturated)" },
+    GlossaryEntry { symbol: "delta", description: "MS transition point (when MS is saturated)" },
+    GlossaryEntry { symbol: "L", description: "Average MS access latency" },
+    GlossaryEntry { symbol: "h", description: "Shared cache hit rate" },
+    GlossaryEntry { symbol: "psi", description: "Position of cache peak" },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_params_valid() {
+        let p = MachineParams::new(6.0, 0.1, 600.0);
+        assert_eq!(p.delta(), 60.0);
+        assert!((p.machine_dlp() - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn machine_params_rejects_nonpositive() {
+        assert!(MachineParams::try_new(0.0, 0.1, 600.0).is_err());
+        assert!(MachineParams::try_new(6.0, -1.0, 600.0).is_err());
+        assert!(MachineParams::try_new(6.0, 0.1, 0.0).is_err());
+        assert!(MachineParams::try_new(f64::NAN, 0.1, 1.0).is_err());
+        assert!(MachineParams::try_new(f64::INFINITY, 0.1, 1.0).is_err());
+    }
+
+    #[test]
+    fn workload_params_valid() {
+        let w = WorkloadParams::new(24.0, 1.5, 48.0);
+        assert_eq!(w.z, 24.0);
+        assert_eq!(w.with_n(32.0).n, 32.0);
+        assert_eq!(w.with_z(10.0).z, 10.0);
+        assert_eq!(w.with_e(2.0).e, 2.0);
+    }
+
+    #[test]
+    fn workload_allows_zero_threads() {
+        // n = 0 is a valid (degenerate) workload: the empty machine.
+        assert!(WorkloadParams::try_new(1.0, 1.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn workload_rejects_bad_values() {
+        assert!(WorkloadParams::try_new(0.0, 1.0, 1.0).is_err());
+        assert!(WorkloadParams::try_new(1.0, 0.0, 1.0).is_err());
+        assert!(WorkloadParams::try_new(1.0, 1.0, -1.0).is_err());
+        assert!(WorkloadParams::try_new(1.0, 1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid machine parameters")]
+    fn new_panics_on_invalid() {
+        let _ = MachineParams::new(-1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn table1_has_fourteen_symbols() {
+        assert_eq!(TABLE_I.len(), 14);
+        assert_eq!(TABLE_I[0].symbol, "n");
+        assert_eq!(TABLE_I[13].symbol, "psi");
+    }
+}

@@ -1,0 +1,283 @@
+//! Architecture presets for the three GPU generations of Table II.
+//!
+//! | GPU | arch | SM×SP | LDS | freq | mem BW | max warps | δ(SP) | δ(DP) |
+//! |---|---|---|---|---|---|---|---|---|
+//! | GTX570 | Fermi-2.0 | 15×32 | 16 | 1464 MHz | 152 GB/s | 48 | 48/147 | 24/152 |
+//! | Tesla K40 | Kepler-3.5 | 15×192 | 32 | 876 MHz | 288 GB/s | 64 | 64/180 | 48/200 |
+//! | GTX750Ti | Maxwell-5.0 | 5×128 | 32 | 1137 MHz | 86.4 GB/s | 64 | 56/82 | 28/83 |
+//!
+//! The `δ` columns give the profiled MS saturation point as
+//! `warps / sustained GB/s`; the model parameters `R` and `L` are derived
+//! from them (`R` from the sustained bandwidth, `L = δ_warps / R`), exactly
+//! as the paper recovers them by profiling a Stream-like benchmark.
+
+use crate::params::MachineParams;
+use crate::units::{UnitContext, WARP_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// GPU generation of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuGeneration {
+    /// Fermi (compute 2.0).
+    Fermi,
+    /// Kepler (compute 3.5).
+    Kepler,
+    /// Maxwell (compute 5.0).
+    Maxwell,
+}
+
+/// Floating-point precision (element width) of the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4-byte elements; one warp request moves 128 bytes.
+    Single,
+    /// 8-byte elements; one warp request moves 256 bytes.
+    Double,
+}
+
+impl Precision {
+    /// Bytes per fully-coalesced warp-wide request.
+    pub fn bytes_per_request(self) -> f64 {
+        match self {
+            Precision::Single => 4.0 * WARP_SIZE,
+            Precision::Double => 8.0 * WARP_SIZE,
+        }
+    }
+}
+
+/// A physical GPU description (one row of Table II).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Architecture generation.
+    pub generation: GpuGeneration,
+    /// Number of SMs.
+    pub sm_count: usize,
+    /// CUDA cores (SPs) per SM.
+    pub sp_per_sm: usize,
+    /// Load/store units per SM.
+    pub lds_per_sm: usize,
+    /// Core clock in MHz.
+    pub freq_mhz: f64,
+    /// Theoretical memory bandwidth, GB/s.
+    pub mem_bw_gbs: f64,
+    /// Maximum resident warps per SM.
+    pub max_warps: usize,
+    /// Warp schedulers per SM.
+    pub schedulers: usize,
+    /// Warp dispatch units per SM.
+    pub dispatch: usize,
+    /// Profiled MS saturation for SP: (warps, sustained GB/s).
+    pub delta_sp: (f64, f64),
+    /// Profiled MS saturation for DP: (warps, sustained GB/s).
+    pub delta_dp: (f64, f64),
+    /// DP throughput ratio relative to SP lanes.
+    pub dp_ratio: f64,
+    /// Configurable L1 sizes in KiB (first entry = default).
+    pub l1_sizes_kib: &'static [u32],
+}
+
+impl GpuSpec {
+    /// GTX570 (Fermi-2.0), the case-study platform of §VI.
+    pub fn fermi_gtx570() -> Self {
+        Self {
+            name: "GTX570",
+            generation: GpuGeneration::Fermi,
+            sm_count: 15,
+            sp_per_sm: 32,
+            lds_per_sm: 16,
+            freq_mhz: 1464.0,
+            mem_bw_gbs: 152.0,
+            max_warps: 48,
+            schedulers: 2,
+            dispatch: 2,
+            delta_sp: (48.0, 147.0),
+            delta_dp: (24.0, 152.0),
+            dp_ratio: 1.0 / 8.0,
+            l1_sizes_kib: &[16, 48],
+        }
+    }
+
+    /// Tesla K40 (Kepler-3.5), the validation platform of §V.
+    pub fn kepler_k40() -> Self {
+        Self {
+            name: "Tesla K40",
+            generation: GpuGeneration::Kepler,
+            sm_count: 15,
+            sp_per_sm: 192,
+            lds_per_sm: 32,
+            freq_mhz: 876.0,
+            mem_bw_gbs: 288.0,
+            max_warps: 64,
+            schedulers: 4,
+            dispatch: 8,
+            delta_sp: (64.0, 180.0),
+            delta_dp: (48.0, 200.0),
+            dp_ratio: 1.0 / 3.0,
+            l1_sizes_kib: &[16, 32, 48],
+        }
+    }
+
+    /// GTX750Ti (Maxwell-5.0).
+    pub fn maxwell_gtx750ti() -> Self {
+        Self {
+            name: "GTX750Ti",
+            generation: GpuGeneration::Maxwell,
+            sm_count: 5,
+            sp_per_sm: 128,
+            lds_per_sm: 32,
+            freq_mhz: 1137.0,
+            mem_bw_gbs: 86.4,
+            max_warps: 64,
+            schedulers: 2,
+            dispatch: 4,
+            delta_sp: (56.0, 82.0),
+            delta_dp: (28.0, 83.0),
+            dp_ratio: 1.0 / 32.0,
+            l1_sizes_kib: &[24],
+        }
+    }
+
+    /// All three Table II platforms.
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::fermi_gtx570(),
+            Self::kepler_k40(),
+            Self::maxwell_gtx750ti(),
+        ]
+    }
+
+    /// Unit-conversion context for this GPU at a given precision.
+    pub fn units(&self, precision: Precision) -> UnitContext {
+        UnitContext::new(
+            self.freq_mhz / 1000.0,
+            precision.bytes_per_request(),
+            2.0,
+            self.sm_count,
+        )
+    }
+
+    /// Profiled `(δ_warps, sustained GB/s)` for a precision.
+    pub fn delta(&self, precision: Precision) -> (f64, f64) {
+        match precision {
+            Precision::Single => self.delta_sp,
+            Precision::Double => self.delta_dp,
+        }
+    }
+
+    /// `M` — warp-ops per cycle the CS can retire at a precision.
+    pub fn lanes(&self, precision: Precision) -> f64 {
+        let sp = self.sp_per_sm as f64 / WARP_SIZE;
+        match precision {
+            Precision::Single => sp,
+            Precision::Double => (sp * self.dp_ratio).max(1.0 / WARP_SIZE),
+        }
+    }
+
+    /// Derive the per-SM model parameters `(M, R, L)` from the Table II
+    /// profile, exactly as §IV does from Stream-benchmark measurements.
+    pub fn machine_params(&self, precision: Precision) -> MachineParams {
+        let units = self.units(precision);
+        let (delta_warps, sustained_gbs) = self.delta(precision);
+        let r = units.r_from_chip_bandwidth(sustained_gbs);
+        let l = delta_warps / r;
+        MachineParams::new(self.lanes(precision), r, l)
+    }
+
+    /// Default L1 capacity in bytes.
+    pub fn default_l1_bytes(&self) -> f64 {
+        self.l1_sizes_kib[0] as f64 * 1024.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_row_values() {
+        let f = GpuSpec::fermi_gtx570();
+        assert_eq!(f.sm_count, 15);
+        assert_eq!(f.max_warps, 48);
+        let k = GpuSpec::kepler_k40();
+        assert_eq!(k.sp_per_sm, 192);
+        assert_eq!(k.dispatch, 8);
+        let m = GpuSpec::maxwell_gtx750ti();
+        assert_eq!(m.sm_count, 5);
+        assert_eq!(m.delta_sp, (56.0, 82.0));
+    }
+
+    #[test]
+    fn derived_r_matches_sustained_bandwidth() {
+        for spec in GpuSpec::all() {
+            for prec in [Precision::Single, Precision::Double] {
+                let p = spec.machine_params(prec);
+                let u = spec.units(prec);
+                let chip_gbs = u.ms_to_gbs(p.r) * spec.sm_count as f64;
+                let (_, sustained) = spec.delta(prec);
+                assert!(
+                    (chip_gbs - sustained).abs() < 0.5,
+                    "{} {:?}: {} vs {}",
+                    spec.name,
+                    prec,
+                    chip_gbs,
+                    sustained
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derived_delta_matches_table() {
+        // delta = R*L must reproduce the profiled saturation warp count.
+        for spec in GpuSpec::all() {
+            for prec in [Precision::Single, Precision::Double] {
+                let p = spec.machine_params(prec);
+                let (warps, _) = spec.delta(prec);
+                assert!(
+                    (p.delta() - warps).abs() < 1e-6,
+                    "{} {:?}: delta {} vs table {}",
+                    spec.name,
+                    prec,
+                    p.delta(),
+                    warps
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_per_generation() {
+        assert_eq!(GpuSpec::fermi_gtx570().lanes(Precision::Single), 1.0);
+        assert_eq!(GpuSpec::kepler_k40().lanes(Precision::Single), 6.0);
+        assert_eq!(GpuSpec::maxwell_gtx750ti().lanes(Precision::Single), 4.0);
+        // DP lanes are scaled by the ratio.
+        assert_eq!(GpuSpec::kepler_k40().lanes(Precision::Double), 2.0);
+    }
+
+    #[test]
+    fn latency_is_plausible() {
+        // Derived loaded latencies land in the hundreds of cycles.
+        for spec in GpuSpec::all() {
+            let p = spec.machine_params(Precision::Single);
+            assert!(
+                (300.0..1200.0).contains(&p.l),
+                "{}: L = {}",
+                spec.name,
+                p.l
+            );
+        }
+    }
+
+    #[test]
+    fn bytes_per_request() {
+        assert_eq!(Precision::Single.bytes_per_request(), 128.0);
+        assert_eq!(Precision::Double.bytes_per_request(), 256.0);
+    }
+
+    #[test]
+    fn default_l1() {
+        assert_eq!(GpuSpec::fermi_gtx570().default_l1_bytes(), 16384.0);
+    }
+}

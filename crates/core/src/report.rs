@@ -1,0 +1,206 @@
+//! A textual performance report card for a model instance.
+//!
+//! Gathers the pieces a tuner reads off an X-graph — operating point,
+//! bound classification, parallelism metrics, cache features, stability —
+//! into one formatted block. The CLI, examples and experiment binaries
+//! all render through this, so the analysis reads the same everywhere.
+
+use crate::model::XModel;
+use crate::sensitivity;
+use crate::stability::Stability;
+use crate::units::UnitContext;
+use std::fmt::Write as _;
+
+/// Render the report card. With a [`UnitContext`] throughput appears in
+/// GB/s / GF/s; without, in model units (requests/cycle, ops/cycle).
+pub fn render(model: &XModel, units: Option<&UnitContext>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "machine:  M = {} ops/cyc, R = {:.4} req/cyc, L = {:.0} cyc  (pi = {:.2}, delta = {:.1})",
+        model.machine.m,
+        model.machine.r,
+        model.machine.l,
+        model.pi(),
+        model.delta()
+    );
+    let _ = writeln!(
+        out,
+        "workload: Z = {}, E = {}, n = {}",
+        model.workload.z, model.workload.e, model.workload.n
+    );
+    if let Some(c) = model.cache {
+        let _ = writeln!(
+            out,
+            "cache:    S$ = {:.0} B, L$ = {:.0} cyc, alpha = {:.2}, beta = {:.0} B",
+            c.s_cache, c.l_cache, c.alpha, c.beta
+        );
+    }
+
+    let eq = model.solve();
+    if eq.points().is_empty() {
+        let _ = writeln!(out, "state:    no equilibrium (n = 0)");
+        return out;
+    }
+    for p in eq.points() {
+        let tag = match p.stability {
+            Stability::Stable => "stable",
+            Stability::Unstable => "UNSTABLE",
+            Stability::Marginal => "marginal",
+        };
+        match units {
+            Some(u) => {
+                let _ = writeln!(
+                    out,
+                    "state:    k = {:6.2}  MS {:8.2} GB/s  CS {:8.2} GF/s  [{tag}]",
+                    p.k,
+                    u.ms_to_gbs(p.ms_throughput),
+                    u.cs_to_gflops(p.cs_throughput)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "state:    k = {:6.2}  MS {:.5} req/cyc  CS {:.4} ops/cyc  [{tag}]",
+                    p.k, p.ms_throughput, p.cs_throughput
+                );
+            }
+        }
+    }
+    if eq.is_bistable() {
+        let _ = writeln!(
+            out,
+            "warning:  bistable — potential degradation {:.4} req/cyc (sigma' -> sigma'')",
+            eq.degradation()
+        );
+    }
+
+    let bal = model.balance();
+    let _ = writeln!(
+        out,
+        "bound:    {:?}  (CS util {:.0}%, MS util {:.0}%, machine TLP {:.1})",
+        bal.bound,
+        bal.cs_utilization * 100.0,
+        bal.ms_utilization * 100.0,
+        bal.balance_threads
+    );
+
+    let p = model.parallelism();
+    let _ = writeln!(
+        out,
+        "metrics:  MLP {:.1}/{:.1}  DLP {:.1}/{:.1} ({})  ILP E = {:.2}  TLP n = {:.0}",
+        p.workload_mlp.unwrap_or(0.0),
+        p.machine_mlp,
+        p.workload_dlp,
+        p.machine_dlp,
+        if p.is_memory_bound() {
+            "memory bound"
+        } else {
+            "computation bound"
+        },
+        p.workload_ilp,
+        p.workload_tlp
+    );
+
+    if model.cache.is_some() {
+        let feats = model.ms_features((model.workload.n * 4.0).max(64.0));
+        match (feats.peak, feats.valley) {
+            (Some(pk), Some(v)) => {
+                let _ = writeln!(
+                    out,
+                    "cache:    peak psi = {:.1} (f = {:.4}), valley at {:.1} (f = {:.4}), plateau {:.4}",
+                    pk.k, pk.value, v.k, v.value, feats.plateau
+                );
+            }
+            (Some(pk), None) => {
+                let _ = writeln!(
+                    out,
+                    "cache:    peak psi = {:.1} (f = {:.4}), plateau {:.4}",
+                    pk.k, pk.value, feats.plateau
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "cache:    no significant cache peak (insensitive)");
+            }
+        }
+    }
+
+    let sens = sensitivity::analyze(model);
+    if let Some(d) = sens.dominant() {
+        let _ = writeln!(
+            out,
+            "advice:   most sensitive knob: {} (elasticity {:+.2}); runner-up: {}",
+            d.param,
+            d.ms_elasticity,
+            sens.entries
+                .get(1)
+                .map(|e| format!("{} ({:+.2})", e.param, e.ms_elasticity))
+                .unwrap_or_default()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheParams;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    fn cached_model() -> XModel {
+        XModel::with_cache(
+            MachineParams::new(6.0, 0.02, 600.0),
+            WorkloadParams::new(40.0, 2.0, 20.0),
+            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        )
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let r = render(&cached_model(), None);
+        for needle in ["machine:", "workload:", "cache:", "state:", "bound:", "metrics:", "advice:"] {
+            assert!(r.contains(needle), "missing `{needle}` in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn unit_rendering_switches_to_gbs() {
+        let u = UnitContext::new(1.464, 128.0, 2.0, 15);
+        let r = render(&cached_model(), Some(&u));
+        assert!(r.contains("GB/s"));
+        assert!(r.contains("GF/s"));
+    }
+
+    #[test]
+    fn bistable_model_warns() {
+        let m = XModel::with_cache(
+            MachineParams::new(6.0, 0.02, 600.0),
+            WorkloadParams::new(66.0, 0.25, 60.0),
+            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        );
+        let r = render(&m, None);
+        assert!(r.contains("bistable"));
+        assert!(r.contains("UNSTABLE"));
+    }
+
+    #[test]
+    fn empty_machine_reports_no_equilibrium() {
+        let m = XModel::new(
+            MachineParams::new(6.0, 0.02, 600.0),
+            WorkloadParams::new(40.0, 1.0, 0.0),
+        );
+        let r = render(&m, None);
+        assert!(r.contains("no equilibrium"));
+    }
+
+    #[test]
+    fn cacheless_model_has_no_cache_line() {
+        let m = XModel::new(
+            MachineParams::new(6.0, 0.1, 600.0),
+            WorkloadParams::new(5.0, 1.0, 64.0),
+        );
+        let r = render(&m, None);
+        assert!(!r.contains("S$ ="));
+        assert!(r.contains("memory bound"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Parameter sensitivity: which knob moves the operating point most?
+//!
+//! For every model parameter `p`, the elasticity
+//! `∂ln(throughput)/∂ln(p)` at the operating point says how many percent
+//! of throughput one percent of `p` buys. This turns the Fig. 4/8 "play
+//! each knob and look" workflow into a ranked list — the first thing a
+//! tuner wants from the model.
+
+use crate::model::XModel;
+use crate::tuning::{CacheKnob, Knob, TuningOp};
+use serde::{Deserialize, Serialize};
+
+/// Relative perturbation used for the central difference.
+const REL_STEP: f64 = 0.02;
+
+/// Elasticities of one throughput metric with respect to one parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sensitivity {
+    /// Human name of the parameter (paper symbol).
+    pub param: String,
+    /// `∂ln(MS throughput)/∂ln(p)`.
+    pub ms_elasticity: f64,
+    /// `∂ln(CS throughput)/∂ln(p)`.
+    pub cs_elasticity: f64,
+}
+
+/// Full sensitivity report, sorted by `|ms_elasticity|` descending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityReport {
+    /// Per-parameter elasticities.
+    pub entries: Vec<Sensitivity>,
+}
+
+impl SensitivityReport {
+    /// The dominant knob for MS throughput.
+    pub fn dominant(&self) -> Option<&Sensitivity> {
+        self.entries.first()
+    }
+
+    /// Look up one parameter by symbol.
+    pub fn get(&self, param: &str) -> Option<&Sensitivity> {
+        self.entries.iter().find(|e| e.param == param)
+    }
+}
+
+fn throughputs(model: &XModel) -> Option<(f64, f64)> {
+    model
+        .solve()
+        .operating_point()
+        .map(|p| (p.ms_throughput, p.cs_throughput))
+}
+
+fn elasticity(model: &XModel, value: f64, make: impl Fn(f64) -> TuningOp) -> Option<(f64, f64)> {
+    let up = make(value * (1.0 + REL_STEP)).apply(model);
+    let dn = make(value * (1.0 - REL_STEP)).apply(model);
+    let (ms_u, cs_u) = throughputs(&up)?;
+    let (ms_d, cs_d) = throughputs(&dn)?;
+    if ms_u <= 0.0 || ms_d <= 0.0 || cs_u <= 0.0 || cs_d <= 0.0 {
+        return Some((0.0, 0.0));
+    }
+    let dlnp = ((1.0 + REL_STEP) / (1.0 - REL_STEP)).ln();
+    Some((
+        (ms_u / ms_d).ln() / dlnp,
+        (cs_u / cs_d).ln() / dlnp,
+    ))
+}
+
+/// Compute the sensitivity report for a model at its operating point.
+/// Machine knobs (`R, L, M`), workload knobs (`Z, E, n`) and — when a
+/// cache is present — the cache knobs (`S$, L$, α`) are all covered.
+///
+/// ## Example
+///
+/// ```
+/// use xmodel_core::prelude::*;
+/// use xmodel_core::sensitivity;
+///
+/// // A bandwidth-saturated workload: only R matters.
+/// let model = XModel::new(
+///     MachineParams::new(6.0, 0.1, 600.0),
+///     WorkloadParams::new(5.0, 1.0, 200.0),
+/// );
+/// let report = sensitivity::analyze(&model);
+/// assert_eq!(report.dominant().unwrap().param, "R");
+/// ```
+pub fn analyze(model: &XModel) -> SensitivityReport {
+    let mut entries = Vec::new();
+    let mut push = |param: &str, e: Option<(f64, f64)>| {
+        if let Some((ms, cs)) = e {
+            entries.push(Sensitivity {
+                param: param.to_string(),
+                ms_elasticity: ms,
+                cs_elasticity: cs,
+            });
+        }
+    };
+
+    push(
+        "R",
+        elasticity(model, model.machine.r, |v| {
+            TuningOp::Machine(Knob::MemBandwidth(v))
+        }),
+    );
+    push(
+        "L",
+        elasticity(model, model.machine.l, |v| {
+            TuningOp::Machine(Knob::MemLatency(v))
+        }),
+    );
+    push(
+        "M",
+        elasticity(model, model.machine.m, |v| TuningOp::Machine(Knob::Lanes(v))),
+    );
+    push(
+        "Z",
+        elasticity(model, model.workload.z, |v| {
+            TuningOp::Machine(Knob::Intensity(v))
+        }),
+    );
+    push(
+        "E",
+        elasticity(model, model.workload.e, |v| TuningOp::Machine(Knob::Ilp(v))),
+    );
+    if model.workload.n > 0.0 {
+        push(
+            "n",
+            elasticity(model, model.workload.n, |v| {
+                TuningOp::Machine(Knob::Threads(v))
+            }),
+        );
+    }
+    if let Some(c) = model.cache {
+        if c.s_cache > 0.0 {
+            push(
+                "S$",
+                elasticity(model, c.s_cache, |v| TuningOp::Cache(CacheKnob::Capacity(v))),
+            );
+        }
+        push(
+            "L$",
+            elasticity(model, c.l_cache, |v| TuningOp::Cache(CacheKnob::Latency(v))),
+        );
+        push(
+            "alpha",
+            elasticity(model, c.alpha, |v| {
+                TuningOp::Cache(CacheKnob::Locality {
+                    alpha: v.max(1.001),
+                    beta: c.beta,
+                })
+            }),
+        );
+    }
+
+    entries.sort_by(|a, b| b.ms_elasticity.abs().total_cmp(&a.ms_elasticity.abs()));
+    SensitivityReport { entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheParams;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    #[test]
+    fn memory_bound_workload_is_r_dominated() {
+        // MS saturated at R: throughput scales 1:1 with R and with
+        // nothing else.
+        let m = XModel::new(
+            MachineParams::new(6.0, 0.1, 600.0),
+            WorkloadParams::new(5.0, 1.0, 200.0),
+        );
+        let rep = analyze(&m);
+        let r = rep.get("R").unwrap();
+        assert!((r.ms_elasticity - 1.0).abs() < 0.05, "{r:?}");
+        assert_eq!(rep.dominant().unwrap().param, "R");
+        // Latency does not matter once saturated.
+        assert!(rep.get("L").unwrap().ms_elasticity.abs() < 0.05);
+    }
+
+    #[test]
+    fn thread_bound_workload_is_n_and_l_dominated() {
+        // On the sloped parts: ms = n/(L+Z) roughly, so elasticity w.r.t.
+        // n is +1 and w.r.t. L is about -L/(L+Z).
+        let m = XModel::new(
+            MachineParams::new(6.0, 0.1, 600.0),
+            WorkloadParams::new(20.0, 1.0, 10.0),
+        );
+        let rep = analyze(&m);
+        let n = rep.get("n").unwrap();
+        assert!((n.ms_elasticity - 1.0).abs() < 0.05, "{n:?}");
+        let l = rep.get("L").unwrap();
+        let expect = -600.0 / 620.0;
+        assert!((l.ms_elasticity - expect).abs() < 0.05, "{l:?}");
+        // Bandwidth is irrelevant before saturation.
+        assert!(rep.get("R").unwrap().ms_elasticity.abs() < 0.05);
+    }
+
+    #[test]
+    fn compute_bound_workload_is_m_and_z_dominated() {
+        let m = XModel::new(
+            MachineParams::new(6.0, 0.1, 600.0),
+            WorkloadParams::new(500.0, 1.0, 200.0),
+        );
+        let rep = analyze(&m);
+        // CS throughput pinned at M: cs elasticity w.r.t. M is +1.
+        let mm = rep.get("M").unwrap();
+        assert!((mm.cs_elasticity - 1.0).abs() < 0.05, "{mm:?}");
+        // MS throughput = M/Z: Z elasticity on MS is -1, on CS ~0.
+        let z = rep.get("Z").unwrap();
+        assert!((z.ms_elasticity + 1.0).abs() < 0.05, "{z:?}");
+        assert!(z.cs_elasticity.abs() < 0.05, "{z:?}");
+    }
+
+    #[test]
+    fn thrashing_workload_feels_the_cache() {
+        let m = XModel::with_cache(
+            MachineParams::new(6.0, 0.02, 600.0),
+            WorkloadParams::new(40.0, 2.0, 20.0),
+            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        );
+        let rep = analyze(&m);
+        // Cache capacity and locality both matter under thrashing.
+        assert!(rep.get("S$").unwrap().ms_elasticity > 0.05);
+        assert!(rep.get("alpha").unwrap().ms_elasticity.abs() > 0.05);
+        // Thread count has *negative* elasticity (throttling helps).
+        assert!(rep.get("n").unwrap().ms_elasticity < -0.02);
+    }
+
+    #[test]
+    fn entries_sorted_by_magnitude() {
+        let m = XModel::new(
+            MachineParams::new(6.0, 0.1, 600.0),
+            WorkloadParams::new(5.0, 1.0, 200.0),
+        );
+        let rep = analyze(&m);
+        for w in rep.entries.windows(2) {
+            assert!(w[0].ms_elasticity.abs() >= w[1].ms_elasticity.abs() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn cacheless_model_has_no_cache_entries() {
+        let m = XModel::new(
+            MachineParams::new(6.0, 0.1, 600.0),
+            WorkloadParams::new(5.0, 1.0, 200.0),
+        );
+        let rep = analyze(&m);
+        assert!(rep.get("S$").is_none());
+        assert_eq!(rep.entries.len(), 6);
+    }
+}

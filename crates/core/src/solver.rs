@@ -1,0 +1,324 @@
+//! Flow-balance solver: all intersections of `f(k)` and `ĝ(n−k)`.
+//!
+//! A steady state of the machine satisfies `f(k) = g(x)/Z` with `x = n − k`
+//! (§II, flow balance). With the cache-integrated `f(k)` of Eq. (5) up to
+//! three intersections exist (Fig. 9-B): the outer two stable (`σ′`, `σ″`)
+//! and the middle one (`σ`) unstable. The solver dense-scans
+//! `F(k) = f(k) − ĝ(n−k)` over `k ∈ [0, n]` for sign changes and refines
+//! each bracket by bisection, then classifies stability from the local
+//! slopes (Eq. 6).
+
+use crate::stability::{classify, Stability};
+use serde::{Deserialize, Serialize};
+
+/// One flow-balance intersection: a candidate spatial state of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Intersection {
+    /// Threads in MS at the equilibrium.
+    pub k: f64,
+    /// Threads in CS at the equilibrium (`x = n − k`).
+    pub x: f64,
+    /// MS throughput `f(k) = g(x)/Z` (requests/cycle).
+    pub ms_throughput: f64,
+    /// CS throughput `g(x) = Z·f(k)` (operations/cycle).
+    pub cs_throughput: f64,
+    /// Stability per Eq. (6).
+    pub stability: Stability,
+}
+
+/// The full set of intersections for one model instance, sorted by `k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Equilibria {
+    points: Vec<Intersection>,
+    n: f64,
+}
+
+impl Equilibria {
+    /// All intersections in increasing `k` order.
+    pub fn points(&self) -> &[Intersection] {
+        &self.points
+    }
+
+    /// Total threads this solve was performed for.
+    pub fn n(&self) -> f64 {
+        self.n
+    }
+
+    /// The stable intersections only.
+    pub fn stable(&self) -> impl Iterator<Item = &Intersection> {
+        self.points.iter().filter(|p| p.stability.is_stable())
+    }
+
+    /// The *default operating point*: the stable intersection with the
+    /// smallest `k` (σ′ in Fig. 9-B — most threads computing, highest
+    /// performance). §III-D notes the machine may instead settle at σ″
+    /// depending on the initial thread distribution; use
+    /// [`crate::dynamics`] to resolve basins of attraction explicitly.
+    ///
+    /// When only marginal intersections exist (e.g. the exact machine
+    /// balance `Z = M/R`, where both plateaus coincide over a continuum),
+    /// the first marginal point is returned.
+    pub fn operating_point(&self) -> Option<Intersection> {
+        self.stable().next().copied().or_else(|| {
+            self.points
+                .iter()
+                .find(|p| p.stability == Stability::Marginal)
+                .copied()
+        })
+    }
+
+    /// The worst stable intersection (σ″): largest `k` among stable points,
+    /// falling back to the last marginal point when none is stable.
+    pub fn worst_stable(&self) -> Option<Intersection> {
+        self.stable()
+            .last()
+            .or_else(|| {
+                self.points
+                    .iter()
+                    .filter(|p| p.stability == Stability::Marginal)
+                    .last()
+            })
+            .copied()
+    }
+
+    /// `true` when two distinct stable states exist (the bistable scenario
+    /// of Fig. 9-B with σ′ and σ″ separated by the unstable σ).
+    pub fn is_bistable(&self) -> bool {
+        self.stable().count() >= 2
+    }
+
+    /// The unstable intersections (σ in Fig. 9-B), if any.
+    pub fn unstable(&self) -> impl Iterator<Item = &Intersection> {
+        self.points
+            .iter()
+            .filter(|p| p.stability == Stability::Unstable)
+    }
+
+    /// Magnitude of the potential performance drop from the best to the
+    /// worst stable state (§III-D2), in MS-throughput units. Zero when not
+    /// bistable.
+    pub fn degradation(&self) -> f64 {
+        match (self.operating_point(), self.worst_stable()) {
+            (Some(best), Some(worst)) if best.k < worst.k => {
+                (best.ms_throughput - worst.ms_throughput).max(0.0)
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Default number of scan samples used by [`solve`].
+pub const DEFAULT_SAMPLES: usize = 2048;
+
+/// Bisection iterations per bracketed root.
+const BISECT_ITERS: usize = 80;
+
+/// Find all intersections of `f(k)` with `ĝ(n−k)` for `k ∈ [0, n]`.
+///
+/// * `f` — MS supply curve in requests/cycle.
+/// * `g_hat` — CS demand curve in requests/cycle (`g(x)/Z`), evaluated at
+///   `x` (threads in CS).
+/// * `z` — compute intensity, used to report CS throughput.
+/// * `samples` — dense-scan resolution (the ablation knob; see
+///   `DEFAULT_SAMPLES`).
+pub fn solve_with(
+    f: &dyn Fn(f64) -> f64,
+    g_hat: &dyn Fn(f64) -> f64,
+    n: f64,
+    z: f64,
+    samples: usize,
+) -> Equilibria {
+    assert!(samples >= 2, "need at least two scan samples");
+    let mut points = Vec::new();
+    if n <= 0.0 {
+        return Equilibria { points, n };
+    }
+
+    let big_f = |k: f64| f(k) - g_hat(n - k);
+    let step = n / samples as f64;
+    let mut prev_k = 0.0;
+    let mut prev_v = big_f(0.0);
+
+    // Treat an exact zero at the left boundary as a root.
+    if prev_v == 0.0 {
+        points.push(make_point(f, g_hat, n, z, 0.0));
+    }
+
+    for i in 1..=samples {
+        let k = step * i as f64;
+        let v = big_f(k);
+        if v == 0.0 {
+            points.push(make_point(f, g_hat, n, z, k));
+        } else if prev_v != 0.0 && (prev_v < 0.0) != (v < 0.0) {
+            let root = bisect(&big_f, prev_k, k, prev_v);
+            points.push(make_point(f, g_hat, n, z, root));
+        }
+        prev_k = k;
+        prev_v = v;
+    }
+
+    // De-duplicate roots that collapsed to the same k, and collapse
+    // zero-runs (a continuum of plateau-on-plateau contact, e.g. the exact
+    // machine balance Z = M/R) to their first contact point.
+    points.sort_by(|a, b| a.k.total_cmp(&b.k));
+    points.dedup_by(|b, a| (b.k - a.k).abs() <= 1.5 * step);
+
+    Equilibria { points, n }
+}
+
+/// [`solve_with`] at the default resolution.
+pub fn solve(f: &dyn Fn(f64) -> f64, g_hat: &dyn Fn(f64) -> f64, n: f64, z: f64) -> Equilibria {
+    solve_with(f, g_hat, n, z, DEFAULT_SAMPLES)
+}
+
+fn make_point(
+    f: &dyn Fn(f64) -> f64,
+    g_hat: &dyn Fn(f64) -> f64,
+    n: f64,
+    z: f64,
+    k: f64,
+) -> Intersection {
+    let x = n - k;
+    let ms = f(k);
+    // Central-difference slopes for the stability test.
+    let h = (n * 1e-7).max(1e-9);
+    let df = (f(k + h) - f((k - h).max(0.0))) / (k + h - (k - h).max(0.0));
+    let dg = (g_hat(x + h) - g_hat((x - h).max(0.0))) / (x + h - (x - h).max(0.0));
+    Intersection {
+        k,
+        x,
+        ms_throughput: ms,
+        cs_throughput: ms * z,
+        stability: classify(df, dg),
+    }
+}
+
+fn bisect(big_f: &dyn Fn(f64) -> f64, mut lo: f64, mut hi: f64, f_lo: f64) -> f64 {
+    let lo_neg = f_lo < 0.0;
+    for _ in 0..BISECT_ITERS {
+        let mid = 0.5 * (lo + hi);
+        let v = big_f(mid);
+        if v == 0.0 {
+            return mid;
+        }
+        if (v < 0.0) == lo_neg {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Transit-style configuration with a closed-form solution.
+    /// f(k) = min(k/L, R), ghat(x) = min(E x, M)/Z.
+    fn transit_curves() -> (impl Fn(f64) -> f64, impl Fn(f64) -> f64) {
+        let (r, l) = (0.1_f64, 500.0_f64);
+        let (m, e, z) = (4.0_f64, 1.0_f64, 20.0_f64);
+        (
+            move |k: f64| (k.max(0.0) / l).min(r),
+            move |x: f64| (e * x.max(0.0)).min(m) / z,
+        )
+    }
+
+    #[test]
+    fn single_intersection_transit() {
+        let (f, g) = transit_curves();
+        let n = 48.0;
+        let eq = solve(&f, &g, n, 20.0);
+        assert_eq!(eq.points().len(), 1);
+        let p = eq.operating_point().unwrap();
+        // Closed form: on slopes of both curves, k/500 = (n-k)/20
+        // => 20k = 500n - 500k => k = 500*48/520 = 46.1538...
+        let expect_k = 500.0 * 48.0 / 520.0;
+        assert!((p.k - expect_k).abs() < 1e-6, "k = {}", p.k);
+        assert!((p.x + p.k - n).abs() < 1e-9);
+        assert!((p.ms_throughput - expect_k / 500.0).abs() < 1e-9);
+        assert!((p.cs_throughput - 20.0 * p.ms_throughput).abs() < 1e-9);
+        assert!(p.stability.is_stable());
+    }
+
+    #[test]
+    fn zero_threads_no_equilibrium() {
+        let (f, g) = transit_curves();
+        let eq = solve(&f, &g, 0.0, 20.0);
+        assert!(eq.points().is_empty());
+        assert!(eq.operating_point().is_none());
+        assert_eq!(eq.degradation(), 0.0);
+    }
+
+    #[test]
+    fn saturated_cs_intersection_on_flat_g() {
+        // Plenty of threads: g saturates, intersection on its flat part.
+        let (f, g) = transit_curves();
+        // Demand plateau = M/Z = 0.2 > R = 0.1, so MS saturates instead:
+        // equilibrium on the flat part of f at ms = R... but then demand
+        // 0.2 > supply 0.1 pushes k to where g's slope region starts.
+        let n = 2000.0;
+        let eq = solve(&f, &g, n, 20.0);
+        let p = eq.operating_point().unwrap();
+        // Supply capped at R=0.1; demand min(x,4)/20 = 0.1 at x = 2.
+        assert!((p.ms_throughput - 0.1).abs() < 1e-6);
+        assert!((p.x - 2.0).abs() < 1e-3, "x = {}", p.x);
+    }
+
+    #[test]
+    fn three_intersections_with_cache_shape() {
+        // Synthetic f with a tall peak and a deep valley, crossing a
+        // roofline g three times (Fig. 9-B).
+        let f = |k: f64| {
+            // peak at k=8 of height 0.3, valley at k=24 of 0.05, plateau 0.1
+            let k = k.max(0.0);
+            if k <= 8.0 {
+                0.3 * k / 8.0
+            } else if k <= 24.0 {
+                0.3 - 0.25 * (k - 8.0) / 16.0
+            } else if k <= 60.0 {
+                0.05 + 0.05 * (k - 24.0) / 36.0
+            } else {
+                0.1
+            }
+        };
+        let g = |x: f64| (x.max(0.0) * 1.0).min(10.0) / 50.0; // plateau 0.2
+        let n = 64.0;
+        let eq = solve(&f, &g, n, 50.0);
+        assert_eq!(eq.points().len(), 3, "points: {:?}", eq.points());
+        let pts = eq.points();
+        // Middle one unstable, outer two stable.
+        assert!(pts[0].stability.is_stable());
+        assert_eq!(pts[1].stability, Stability::Unstable);
+        assert!(pts[2].stability.is_stable());
+        assert!(eq.is_bistable());
+        // sigma' (small k) outperforms sigma'' (large k).
+        let best = eq.operating_point().unwrap();
+        let worst = eq.worst_stable().unwrap();
+        assert!(best.ms_throughput > worst.ms_throughput);
+        assert!(eq.degradation() > 0.0);
+    }
+
+    #[test]
+    fn resolution_ablation_converges() {
+        let (f, g) = transit_curves();
+        let coarse = solve_with(&f, &g, 48.0, 20.0, 64);
+        let fine = solve_with(&f, &g, 48.0, 20.0, 8192);
+        let kc = coarse.operating_point().unwrap().k;
+        let kf = fine.operating_point().unwrap().k;
+        assert!((kc - kf).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flow_balance_holds_at_every_root() {
+        let (f, g) = transit_curves();
+        let eq = solve(&f, &g, 48.0, 20.0);
+        for p in eq.points() {
+            assert!((f(p.k) - g(p.x)).abs() < 1e-9, "imbalance at k={}", p.k);
+        }
+    }
+}

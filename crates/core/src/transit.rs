@@ -1,0 +1,235 @@
+//! The Transit model (§II) — the predecessor of the X-model.
+//!
+//! The transit model is the basic cache-less form with unit ILP: a thread
+//! occupies exactly one lane, so `g(x) = min(x, M)` and `f(k) = min(k/L, R)`.
+//! Its equilibrium has a closed form, which this module provides along with
+//! the three reading principles of §II. The closed form doubles as an
+//! oracle for the generic numeric solver (they are cross-checked in the
+//! test-suite).
+
+use crate::model::XModel;
+use crate::params::{MachineParams, WorkloadParams};
+use crate::solver::Intersection;
+use crate::stability::Stability;
+use serde::{Deserialize, Serialize};
+
+/// The transit model: inputs `R, L, M` (architecture) and `Z, n`
+/// (application); `L` is postulated constant.
+///
+/// ## Example
+///
+/// ```
+/// use xmodel_core::prelude::*;
+///
+/// let t = TransitModel::new(MachineParams::new(4.0, 0.1, 500.0), 20.0, 48.0);
+/// let eq = t.equilibrium().unwrap();
+/// // Closed form matches the generic solver.
+/// let numeric = t.to_xmodel().solve().operating_point().unwrap();
+/// assert!((eq.k - numeric.k).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitModel {
+    /// Architecture parameters.
+    pub machine: MachineParams,
+    /// `Z` — compute intensity.
+    pub z: f64,
+    /// `n` — total threads.
+    pub n: f64,
+}
+
+impl TransitModel {
+    /// Create a transit model.
+    pub fn new(machine: MachineParams, z: f64, n: f64) -> Self {
+        assert!(z > 0.0 && n >= 0.0);
+        Self { machine, z, n }
+    }
+
+    /// Lift into the equivalent X-model (`E = 1`, no cache).
+    pub fn to_xmodel(&self) -> XModel {
+        XModel::new(self.machine, WorkloadParams::new(self.z, 1.0, self.n))
+    }
+
+    /// Closed-form equilibrium of `min(k/L, R) = min(n−k, M)/Z`.
+    ///
+    /// Cases (writing `δ = R·L`, demand plateau `M/Z`, supply plateau `R`):
+    /// 1. both on slopes: `k/L = (n−k)/Z` → `k = nL/(L+Z)` — valid while
+    ///    `k ≤ δ` and `x ≤ M`;
+    /// 2. supply saturated (`f = R`): `x = R·Z` threads suffice in CS —
+    ///    valid when `R ≤ M/Z` and `k = n − R·Z ≥ δ`;
+    /// 3. demand saturated (`g = M`): `k = L·M/Z` — valid when
+    ///    `M/Z ≤ R` and `x = n − k ≥ M`;
+    /// 4. both saturated (machine balance `M/Z = R`, `n ≥ δ + M`):
+    ///    contact settles at `k = δ`.
+    ///
+    /// Returns `None` for `n = 0`.
+    pub fn equilibrium(&self) -> Option<Intersection> {
+        let (r, l, m) = (self.machine.r, self.machine.l, self.machine.m);
+        let (z, n) = (self.z, self.n);
+        if n <= 0.0 {
+            return None;
+        }
+        let delta = r * l;
+        let supply_plateau = r;
+        let demand_plateau = m / z;
+
+        // Case 1: both on slopes.
+        let k1 = n * l / (l + z);
+        if k1 <= delta + 1e-12 && (n - k1) <= m + 1e-12 {
+            return Some(self.point(k1, k1 / l));
+        }
+        // Case 3: demand saturated, supply on slope.
+        let k3 = l * m / z;
+        if demand_plateau <= supply_plateau + 1e-12 && n - k3 >= m - 1e-12 {
+            return Some(self.point(k3.min(n), (k3 / l).min(r)));
+        }
+        // Case 2: supply saturated, demand on slope.
+        let x2 = r * z;
+        let k2 = n - x2;
+        if supply_plateau <= demand_plateau + 1e-12 && k2 >= delta - 1e-12 {
+            return Some(self.point(k2.max(0.0), r));
+        }
+        // Case 4: exact balance contact at the knees.
+        Some(self.point(delta.min(n), (delta.min(n) / l).min(r)))
+    }
+
+    fn point(&self, k: f64, ms: f64) -> Intersection {
+        Intersection {
+            k,
+            x: self.n - k,
+            ms_throughput: ms,
+            cs_throughput: ms * self.z,
+            // The cache-less supply curve never descends: stable.
+            stability: Stability::Stable,
+        }
+    }
+
+    /// Principle 1 (§II): if the intersection moves up, MS throughput
+    /// increased. Compares `self` (before) with `after`.
+    pub fn principle1_ms_improves(&self, after: &TransitModel) -> Option<bool> {
+        let b = self.equilibrium()?;
+        let a = after.equilibrium()?;
+        Some(a.ms_throughput > b.ms_throughput + 1e-15)
+    }
+
+    /// Principle 2 (§II): if the intersection moves up and `Z` is
+    /// unchanged, CS throughput increased too.
+    pub fn principle2_cs_improves(&self, after: &TransitModel) -> Option<bool> {
+        if (self.z - after.z).abs() > 1e-12 {
+            return None; // principle does not apply
+        }
+        self.principle1_ms_improves(after)
+    }
+
+    /// Principle 3 (§II): if `Z` increases and the intersection sits right
+    /// of the CS transition point `π`, CS throughput increases.
+    pub fn principle3_applies(&self, after: &TransitModel) -> Option<bool> {
+        if after.z <= self.z {
+            return None;
+        }
+        let b = self.equilibrium()?;
+        let a = after.equilibrium()?;
+        // "Right of pi" on the x axis: CS saturated, x >= pi = M.
+        if b.x >= self.machine.m - 1e-9 {
+            Some(a.cs_throughput >= b.cs_throughput - 1e-12)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineParams {
+        MachineParams::new(4.0, 0.1, 500.0) // delta = 50, M/R ridge = 40
+    }
+
+    #[test]
+    fn slope_slope_case_matches_algebra() {
+        let t = TransitModel::new(machine(), 20.0, 48.0);
+        let p = t.equilibrium().unwrap();
+        assert!((p.k - 48.0 * 500.0 / 520.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supply_saturated_case() {
+        // Z small (memory bound), many threads: f = R, x = R*Z.
+        let t = TransitModel::new(machine(), 5.0, 500.0);
+        let p = t.equilibrium().unwrap();
+        assert!((p.ms_throughput - 0.1).abs() < 1e-12);
+        assert!((p.x - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_saturated_case() {
+        // Z large (compute bound): g = M, k = L*M/Z.
+        let t = TransitModel::new(machine(), 400.0, 500.0);
+        let p = t.equilibrium().unwrap();
+        assert!((p.k - 5.0).abs() < 1e-9);
+        assert!((p.cs_throughput - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closed_form_agrees_with_numeric_solver() {
+        for &(z, n) in &[
+            (5.0, 20.0),
+            (5.0, 500.0),
+            (20.0, 48.0),
+            (40.0, 54.0),
+            (40.0, 200.0),
+            (400.0, 500.0),
+            (100.0, 30.0),
+        ] {
+            let t = TransitModel::new(machine(), z, n);
+            let closed = t.equilibrium().unwrap();
+            let numeric = t.to_xmodel().solve().operating_point().unwrap();
+            assert!(
+                (closed.ms_throughput - numeric.ms_throughput).abs() < 1e-6,
+                "Z={z} n={n}: closed {} vs numeric {}",
+                closed.ms_throughput,
+                numeric.ms_throughput
+            );
+            assert!(
+                (closed.k - numeric.k).abs() < 0.1,
+                "Z={z} n={n}: k closed {} vs numeric {}",
+                closed.k,
+                numeric.k
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threads_has_no_equilibrium() {
+        assert!(TransitModel::new(machine(), 20.0, 0.0).equilibrium().is_none());
+    }
+
+    #[test]
+    fn principle1_more_threads_raises_ms_throughput() {
+        let before = TransitModel::new(machine(), 20.0, 20.0);
+        let after = TransitModel::new(machine(), 20.0, 40.0);
+        assert_eq!(before.principle1_ms_improves(&after), Some(true));
+        assert_eq!(after.principle1_ms_improves(&before), Some(false));
+    }
+
+    #[test]
+    fn principle2_requires_unchanged_z() {
+        let before = TransitModel::new(machine(), 20.0, 20.0);
+        let after_more_threads = TransitModel::new(machine(), 20.0, 40.0);
+        assert_eq!(before.principle2_cs_improves(&after_more_threads), Some(true));
+        let after_z_change = TransitModel::new(machine(), 30.0, 40.0);
+        assert_eq!(before.principle2_cs_improves(&after_z_change), None);
+    }
+
+    #[test]
+    fn principle3_z_increase_right_of_pi() {
+        // Saturated CS (x >= M): raising Z keeps/raises CS throughput.
+        let before = TransitModel::new(machine(), 100.0, 60.0);
+        let b = before.equilibrium().unwrap();
+        assert!(b.x >= 4.0);
+        let after = TransitModel::new(machine(), 150.0, 60.0);
+        assert_eq!(before.principle3_applies(&after), Some(true));
+        // Not applicable when Z decreases.
+        assert_eq!(before.principle3_applies(&TransitModel::new(machine(), 50.0, 60.0)), None);
+    }
+}

@@ -1,0 +1,263 @@
+//! The tuning operations of Fig. 4 (machine/workload knobs) and Fig. 8
+//! (cache knobs).
+//!
+//! Every knob maps one [`XModel`] to a tuned copy, so what-if scenarios
+//! compose: apply a sequence of [`TuningOp`]s and compare operating points
+//! before and after. The six Fig. 4 knobs are `R, L, M, Z, E, n`; the
+//! three Fig. 8 knobs are the cache capacity `S$`, cache latency `L$` and
+//! workload locality `(α, β)`.
+
+use crate::model::XModel;
+use serde::{Deserialize, Serialize};
+
+/// Machine/workload knobs of Fig. 4. Each variant carries the *new value*
+/// for its parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Knob {
+    /// Fig. 4-A: set memory bandwidth `R`.
+    MemBandwidth(f64),
+    /// Fig. 4-B: set memory access latency `L`.
+    MemLatency(f64),
+    /// Fig. 4-C: set compute lanes `M`.
+    Lanes(f64),
+    /// Fig. 4-D: set compute intensity `Z`.
+    Intensity(f64),
+    /// Fig. 4-E: set ILP degree `E`.
+    Ilp(f64),
+    /// Fig. 4-F: set machine threads `n`.
+    Threads(f64),
+}
+
+/// Cache knobs of Fig. 8. Only meaningful for models with a cache; applying
+/// one to a cache-less model is a no-op and is reported as such.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CacheKnob {
+    /// Fig. 8-B: set cache capacity `S$`.
+    Capacity(f64),
+    /// Fig. 8-C: set cache access latency `L$`.
+    Latency(f64),
+    /// Fig. 8-A: set workload locality `(α, β)`.
+    Locality {
+        /// New locality exponent.
+        alpha: f64,
+        /// New per-thread working-set scale.
+        beta: f64,
+    },
+}
+
+/// A single tuning operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TuningOp {
+    /// A machine/workload knob.
+    Machine(Knob),
+    /// A cache knob.
+    Cache(CacheKnob),
+}
+
+impl TuningOp {
+    /// Apply the operation, returning the tuned model.
+    #[must_use]
+    pub fn apply(&self, model: &XModel) -> XModel {
+        let mut out = *model;
+        match *self {
+            TuningOp::Machine(Knob::MemBandwidth(r)) => out.machine.r = pos("R", r),
+            TuningOp::Machine(Knob::MemLatency(l)) => out.machine.l = pos("L", l),
+            TuningOp::Machine(Knob::Lanes(m)) => out.machine.m = pos("M", m),
+            TuningOp::Machine(Knob::Intensity(z)) => out.workload.z = pos("Z", z),
+            TuningOp::Machine(Knob::Ilp(e)) => out.workload.e = pos("E", e),
+            TuningOp::Machine(Knob::Threads(n)) => {
+                assert!(n >= 0.0, "n must be non-negative");
+                out.workload.n = n;
+            }
+            TuningOp::Cache(knob) => {
+                if let Some(cache) = out.cache.as_mut() {
+                    match knob {
+                        CacheKnob::Capacity(s) => {
+                            assert!(s >= 0.0, "S$ must be non-negative");
+                            cache.s_cache = s;
+                        }
+                        CacheKnob::Latency(l) => cache.l_cache = pos("L$", l),
+                        CacheKnob::Locality { alpha, beta } => {
+                            assert!(alpha > 1.0, "alpha must exceed 1");
+                            cache.alpha = alpha;
+                            cache.beta = pos("beta", beta);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn pos(name: &str, v: f64) -> f64 {
+    assert!(v > 0.0 && v.is_finite(), "{name} must be positive, got {v}");
+    v
+}
+
+/// Effect of one tuning operation on the operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TuningEffect {
+    /// MS throughput before.
+    pub ms_before: f64,
+    /// MS throughput after.
+    pub ms_after: f64,
+    /// CS throughput before.
+    pub cs_before: f64,
+    /// CS throughput after.
+    pub cs_after: f64,
+}
+
+impl TuningEffect {
+    /// MS-throughput speedup factor.
+    pub fn ms_speedup(&self) -> f64 {
+        if self.ms_before > 0.0 {
+            self.ms_after / self.ms_before
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// CS-throughput speedup factor.
+    pub fn cs_speedup(&self) -> f64 {
+        if self.cs_before > 0.0 {
+            self.cs_after / self.cs_before
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Evaluate one tuning operation against the default operating point.
+/// Returns `None` when either side has no equilibrium (`n = 0`).
+pub fn evaluate(model: &XModel, op: TuningOp) -> Option<TuningEffect> {
+    let before = model.solve().operating_point()?;
+    let after_model = op.apply(model);
+    let after = after_model.solve().operating_point()?;
+    Some(TuningEffect {
+        ms_before: before.ms_throughput,
+        ms_after: after.ms_throughput,
+        cs_before: before.cs_throughput,
+        cs_after: after.cs_throughput,
+    })
+}
+
+/// Apply a sweep of values to one knob constructor, returning the series of
+/// tuned models (for multi-curve figures like Fig. 4 and Fig. 8).
+pub fn sweep(model: &XModel, make: impl Fn(f64) -> TuningOp, values: &[f64]) -> Vec<XModel> {
+    values.iter().map(|&v| make(v).apply(model)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheParams;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    fn model() -> XModel {
+        XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(20.0, 1.0, 48.0),
+        )
+    }
+
+    fn cached_model() -> XModel {
+        XModel::with_cache(
+            model().machine,
+            model().workload,
+            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        )
+    }
+
+    #[test]
+    fn each_machine_knob_sets_its_field() {
+        let m = model();
+        assert_eq!(TuningOp::Machine(Knob::MemBandwidth(0.2)).apply(&m).machine.r, 0.2);
+        assert_eq!(TuningOp::Machine(Knob::MemLatency(300.0)).apply(&m).machine.l, 300.0);
+        assert_eq!(TuningOp::Machine(Knob::Lanes(8.0)).apply(&m).machine.m, 8.0);
+        assert_eq!(TuningOp::Machine(Knob::Intensity(40.0)).apply(&m).workload.z, 40.0);
+        assert_eq!(TuningOp::Machine(Knob::Ilp(2.0)).apply(&m).workload.e, 2.0);
+        assert_eq!(TuningOp::Machine(Knob::Threads(64.0)).apply(&m).workload.n, 64.0);
+    }
+
+    #[test]
+    fn cache_knobs_set_fields() {
+        let m = cached_model();
+        let c = TuningOp::Cache(CacheKnob::Capacity(48.0 * 1024.0)).apply(&m);
+        assert_eq!(c.cache.unwrap().s_cache, 48.0 * 1024.0);
+        let c = TuningOp::Cache(CacheKnob::Latency(10.0)).apply(&m);
+        assert_eq!(c.cache.unwrap().l_cache, 10.0);
+        let c = TuningOp::Cache(CacheKnob::Locality { alpha: 3.0, beta: 512.0 }).apply(&m);
+        assert_eq!(c.cache.unwrap().alpha, 3.0);
+        assert_eq!(c.cache.unwrap().beta, 512.0);
+    }
+
+    #[test]
+    fn cache_knob_on_cacheless_model_is_noop() {
+        let m = model();
+        let tuned = TuningOp::Cache(CacheKnob::Capacity(1024.0)).apply(&m);
+        assert_eq!(tuned, m);
+    }
+
+    #[test]
+    fn more_threads_raises_throughput_when_thread_bound() {
+        // Fig. 4-F / Principle 1: growing n lifts the intersection while
+        // the machine is thread bound.
+        let m = model();
+        let eff = evaluate(&m, TuningOp::Machine(Knob::Threads(96.0))).unwrap();
+        assert!(eff.ms_speedup() > 1.0);
+        assert!(eff.cs_speedup() > 1.0);
+    }
+
+    #[test]
+    fn more_bandwidth_helps_memory_bound_workload() {
+        // Fig. 4-A: raising R lifts the supply roofline.
+        let mem_bound = XModel::new(
+            MachineParams::new(4.0, 0.05, 500.0),
+            WorkloadParams::new(5.0, 1.0, 500.0),
+        );
+        let eff = evaluate(&mem_bound, TuningOp::Machine(Knob::MemBandwidth(0.1))).unwrap();
+        assert!(eff.ms_speedup() > 1.9);
+    }
+
+    #[test]
+    fn lower_latency_helps_thread_bound_workload() {
+        // Fig. 4-B: smaller L steepens f, helping before saturation.
+        let m = model();
+        let eff = evaluate(&m, TuningOp::Machine(Knob::MemLatency(250.0))).unwrap();
+        assert!(eff.ms_speedup() > 1.0);
+    }
+
+    #[test]
+    fn intensity_raises_cs_not_ms_when_memory_bound() {
+        // Fig. 4-D / Principle 3 flavour: with MS saturated, raising Z
+        // boosts CS throughput while MS throughput stays at R.
+        let mem_bound = XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(5.0, 1.0, 500.0),
+        );
+        let eff = evaluate(&mem_bound, TuningOp::Machine(Knob::Intensity(10.0))).unwrap();
+        assert!((eff.ms_after - eff.ms_before).abs() < 1e-9, "MS pinned at R");
+        assert!(eff.cs_speedup() > 1.9);
+    }
+
+    #[test]
+    fn sweep_generates_one_model_per_value() {
+        let m = model();
+        let series = sweep(&m, |v| TuningOp::Machine(Knob::Ilp(v)), &[1.0, 2.0, 4.0]);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[2].workload.e, 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_knob_value_panics() {
+        let _ = TuningOp::Machine(Knob::MemBandwidth(-1.0)).apply(&model());
+    }
+
+    #[test]
+    fn evaluate_none_on_empty_machine() {
+        let empty = XModel::new(model().machine, WorkloadParams::new(20.0, 1.0, 0.0));
+        assert!(evaluate(&empty, TuningOp::Machine(Knob::Ilp(2.0))).is_none());
+    }
+}

@@ -1,0 +1,117 @@
+//! Conversions between model space and physical units.
+//!
+//! The model works per-SM and per-cycle with warp-granularity threads:
+//! MS throughput is *coalesced memory requests per cycle* (one request =
+//! one warp-wide transaction) and CS throughput is *warp-operations per
+//! cycle*. This module converts those to the GB/s and GF/s numbers the
+//! paper's figures use, and back.
+
+use serde::{Deserialize, Serialize};
+
+/// Threads per warp on every architecture modelled here.
+pub const WARP_SIZE: f64 = 32.0;
+
+/// Unit-conversion context for one SM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitContext {
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Bytes moved by one warp-wide coalesced request (128 for 4-byte
+    /// elements, 256 for 8-byte elements).
+    pub bytes_per_request: f64,
+    /// FLOPs per lane-operation (2 for FMA-counting, 1 otherwise).
+    pub flops_per_op: f64,
+    /// Number of SMs on the chip (for whole-chip aggregates).
+    pub sm_count: usize,
+}
+
+impl UnitContext {
+    /// Create a context; validates positivity.
+    pub fn new(freq_ghz: f64, bytes_per_request: f64, flops_per_op: f64, sm_count: usize) -> Self {
+        assert!(freq_ghz > 0.0 && bytes_per_request > 0.0 && flops_per_op > 0.0 && sm_count > 0);
+        Self {
+            freq_ghz,
+            bytes_per_request,
+            flops_per_op,
+            sm_count,
+        }
+    }
+
+    /// MS throughput: requests/cycle → GB/s per SM.
+    pub fn ms_to_gbs(&self, req_per_cycle: f64) -> f64 {
+        req_per_cycle * self.bytes_per_request * self.freq_ghz
+    }
+
+    /// MS throughput: GB/s per SM → requests/cycle.
+    pub fn gbs_to_ms(&self, gbs: f64) -> f64 {
+        gbs / (self.bytes_per_request * self.freq_ghz)
+    }
+
+    /// Whole-chip memory bandwidth (GB/s) → per-SM requests/cycle.
+    pub fn r_from_chip_bandwidth(&self, gbs_total: f64) -> f64 {
+        self.gbs_to_ms(gbs_total / self.sm_count as f64)
+    }
+
+    /// CS throughput: warp-ops/cycle → GF/s per SM.
+    pub fn cs_to_gflops(&self, warp_ops_per_cycle: f64) -> f64 {
+        warp_ops_per_cycle * WARP_SIZE * self.flops_per_op * self.freq_ghz
+    }
+
+    /// CS throughput: GF/s per SM → warp-ops/cycle.
+    pub fn gflops_to_cs(&self, gflops: f64) -> f64 {
+        gflops / (WARP_SIZE * self.flops_per_op * self.freq_ghz)
+    }
+
+    /// Whole-chip CS throughput in GF/s for a per-SM ops/cycle figure.
+    pub fn chip_gflops(&self, warp_ops_per_cycle: f64) -> f64 {
+        self.cs_to_gflops(warp_ops_per_cycle) * self.sm_count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kepler_sp() -> UnitContext {
+        UnitContext::new(0.876, 128.0, 2.0, 15)
+    }
+
+    #[test]
+    fn ms_round_trip() {
+        let u = kepler_sp();
+        let r = 0.107;
+        let gbs = u.ms_to_gbs(r);
+        assert!((u.gbs_to_ms(gbs) - r).abs() < 1e-12);
+        // 0.107 req/cyc * 128 B * 0.876 GHz ≈ 12 GB/s per SM ≈ 180 GB/s chip.
+        assert!((gbs * 15.0 - 180.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cs_round_trip() {
+        let u = kepler_sp();
+        let ops = 6.0;
+        let gf = u.cs_to_gflops(ops);
+        assert!((u.gflops_to_cs(gf) - ops).abs() < 1e-12);
+        // 6 warp-ops * 32 * 2 flop * 0.876 GHz ≈ 336 GF/s per SM.
+        assert!((gf - 336.4).abs() < 0.5);
+    }
+
+    #[test]
+    fn chip_bandwidth_to_r() {
+        let u = kepler_sp();
+        let r = u.r_from_chip_bandwidth(180.0);
+        assert!((r - 0.107).abs() < 1e-3, "r = {r}");
+    }
+
+    #[test]
+    fn chip_gflops_scales_by_sm() {
+        let u = kepler_sp();
+        assert!((u.chip_gflops(1.0) - 15.0 * u.cs_to_gflops(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_frequency() {
+        let _ = UnitContext::new(0.0, 128.0, 2.0, 15);
+    }
+}

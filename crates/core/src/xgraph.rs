@@ -1,0 +1,147 @@
+//! Assembled X-graph data, ready for rendering (§III-C, §IV).
+//!
+//! An X-graph plots both subsystem curves in MS-throughput space over a
+//! shared thread axis: `f(k)` left-to-right, and the demand curve reversed
+//! — `ĝ(n − k)` — so their intersections are the machine's candidate
+//! spatial states. The struct here carries everything a renderer needs:
+//! sampled curves, intersections with stability, the transition points
+//! `π` and `δ`, and the cache features `ψ`/valley when present.
+
+use crate::cache::MsCurveFeatures;
+use crate::model::XModel;
+use crate::solver::{Equilibria, Intersection};
+use serde::{Deserialize, Serialize};
+
+/// A fully-assembled X-graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct XGraph {
+    /// Total threads `n` (the shared axis runs `k ∈ [0, n]`).
+    pub n: f64,
+    /// Compute intensity used for the CS→MS projection.
+    pub z: f64,
+    /// Sampled `(k, f(k))` supply curve.
+    pub fk: Vec<(f64, f64)>,
+    /// Sampled `(k, ĝ(n−k))` demand curve on the same axis.
+    pub ghat: Vec<(f64, f64)>,
+    /// All flow-balance intersections (σ′, σ, σ″ …).
+    pub intersections: Vec<Intersection>,
+    /// Position of the CS transition point `π` on the k axis (`k = n − π`),
+    /// `None` when `π > n` (CS can never saturate with these threads).
+    pub pi_k: Option<f64>,
+    /// MS curve features (peak `ψ`, valley, plateau, `δ`).
+    pub features: MsCurveFeatures,
+}
+
+impl XGraph {
+    /// Assemble the X-graph for a model with `samples` points per curve.
+    pub fn build(model: &XModel, samples: usize) -> Self {
+        assert!(samples >= 2);
+        let n = model.workload.n;
+        let fk = model.sample_fk(n, samples);
+        let ghat = (0..samples)
+            .map(|i| {
+                let k = n * i as f64 / (samples - 1) as f64;
+                (k, model.g_hat(n - k))
+            })
+            .collect();
+        let eq: Equilibria = model.solve();
+        let pi = model.pi();
+        Self {
+            n,
+            z: model.workload.z,
+            fk,
+            ghat,
+            intersections: eq.points().to_vec(),
+            pi_k: (pi <= n).then(|| n - pi),
+            features: model.ms_features(n.max(1.0)),
+        }
+    }
+
+    /// The default operating point (first stable/marginal intersection).
+    pub fn operating_point(&self) -> Option<&Intersection> {
+        self.intersections
+            .iter()
+            .find(|p| p.stability.is_stable())
+            .or_else(|| self.intersections.first())
+    }
+
+    /// Maximum y value across both curves (for axis scaling).
+    pub fn y_max(&self) -> f64 {
+        self.fk
+            .iter()
+            .chain(self.ghat.iter())
+            .map(|&(_, y)| y)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheParams;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    fn model() -> XModel {
+        XModel::with_cache(
+            MachineParams::new(6.0, 0.02, 600.0),
+            WorkloadParams::new(40.0, 2.0, 20.0),
+            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        )
+    }
+
+    #[test]
+    fn build_produces_consistent_axes() {
+        let g = XGraph::build(&model(), 101);
+        assert_eq!(g.fk.len(), 101);
+        assert_eq!(g.ghat.len(), 101);
+        assert_eq!(g.fk[0].0, 0.0);
+        assert!((g.fk[100].0 - 20.0).abs() < 1e-9);
+        // Demand curve at k = n means x = 0: zero demand.
+        assert_eq!(g.ghat[100].1, 0.0);
+        // Demand at k = 0 is ghat(n).
+        assert!(g.ghat[0].1 > 0.0);
+    }
+
+    #[test]
+    fn intersections_match_solver() {
+        let m = model();
+        let g = XGraph::build(&m, 64);
+        let eq = m.solve();
+        assert_eq!(g.intersections.len(), eq.points().len());
+    }
+
+    #[test]
+    fn pi_position_on_k_axis() {
+        let g = XGraph::build(&model(), 64);
+        // pi = M/E = 3, so pi_k = n - 3 = 17.
+        assert_eq!(g.pi_k, Some(17.0));
+    }
+
+    #[test]
+    fn pi_none_when_cs_cannot_saturate() {
+        let m = XModel::new(
+            MachineParams::new(64.0, 0.02, 600.0),
+            WorkloadParams::new(40.0, 1.0, 20.0),
+        );
+        // pi = 64 > n = 20.
+        let g = XGraph::build(&m, 64);
+        assert_eq!(g.pi_k, None);
+    }
+
+    #[test]
+    fn y_max_covers_both_curves() {
+        let g = XGraph::build(&model(), 256);
+        let ymax = g.y_max();
+        for &(_, y) in g.fk.iter().chain(g.ghat.iter()) {
+            assert!(y <= ymax + 1e-12);
+        }
+        assert!(ymax > 0.0);
+    }
+
+    #[test]
+    fn operating_point_is_stable() {
+        let g = XGraph::build(&model(), 256);
+        let op = g.operating_point().expect("has operating point");
+        assert!(op.stability.is_stable());
+    }
+}

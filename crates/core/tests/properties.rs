@@ -1,0 +1,161 @@
+//! Property-based tests of the analytic core.
+
+use proptest::prelude::*;
+use xmodel_core::cache::{CachedMsCurve, CacheParams};
+use xmodel_core::cs::CsCurve;
+use xmodel_core::ms::MsCurve;
+use xmodel_core::params::{MachineParams, WorkloadParams};
+use xmodel_core::stability::Stability;
+use xmodel_core::transit::TransitModel;
+use xmodel_core::tuning::{evaluate, Knob, TuningOp};
+use xmodel_core::xgraph::XGraph;
+use xmodel_core::XModel;
+
+fn machine() -> impl Strategy<Value = MachineParams> {
+    (0.25f64..32.0, 0.002f64..1.0, 50.0f64..2000.0)
+        .prop_map(|(m, r, l)| MachineParams::new(m, r, l))
+}
+
+fn cache() -> impl Strategy<Value = CacheParams> {
+    (256.0f64..262144.0, 2.0f64..100.0, 1.05f64..8.0, 64.0f64..32768.0)
+        .prop_map(|(s, lc, a, b)| CacheParams::new(s, lc, a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// g(x) is a non-decreasing roofline capped at M with slope E.
+    #[test]
+    fn g_monotone_and_capped(m in machine(), e in 0.1f64..8.0, x in 0.0f64..512.0) {
+        let c = CsCurve { m: m.m, e, z: 1.0 };
+        prop_assert!(c.g(x) <= m.m + 1e-12);
+        prop_assert!(c.g(x) >= 0.0);
+        prop_assert!(c.g(x + 1.0) >= c.g(x) - 1e-12);
+        // Slope bound: growth over one thread never exceeds E.
+        prop_assert!(c.g(x + 1.0) - c.g(x) <= e + 1e-12);
+    }
+
+    /// Cache-less f is a non-decreasing roofline capped at R.
+    #[test]
+    fn f_monotone_and_capped(m in machine(), k in 0.0f64..2048.0) {
+        let c = MsCurve::new(&m);
+        prop_assert!(c.f(k) <= m.r + 1e-12);
+        prop_assert!(c.f(k + 1.0) >= c.f(k) - 1e-12);
+        // delta is exactly where the cap binds.
+        prop_assert!((c.f(c.delta()) - m.r).abs() < 1e-9);
+    }
+
+    /// Eq. (5) stays within physical bounds: the loaded latency
+    /// interpolates between L$ and L_m, so f(k) never beats the *faster*
+    /// of the two paths (a cache slower than memory — Fig. 8-C curve 1 —
+    /// is legal, and then memory is the fast path).
+    #[test]
+    fn eq5_bounded_by_pure_cache_rate(m in machine(), c in cache(), k in 0.01f64..512.0) {
+        let curve = CachedMsCurve::new(&m, c);
+        let lk = curve.loaded_latency(k);
+        let lm = curve.memory_latency(k);
+        prop_assert!(curve.f(k) <= k / lm.min(c.l_cache) + 1e-9);
+        prop_assert!(lk <= lm.max(c.l_cache) + 1e-9);
+        prop_assert!(lk >= lm.min(c.l_cache) - 1e-9);
+    }
+
+    /// Faster caches dominate pointwise (Fig. 8-C, generalized).
+    #[test]
+    fn faster_cache_dominates(m in machine(), c in cache(), k in 0.01f64..256.0) {
+        let slow = CachedMsCurve::new(&m, c);
+        let fast = CachedMsCurve::new(&m, c.with_latency(c.l_cache * 0.5));
+        prop_assert!(fast.f(k) >= slow.f(k) - 1e-12);
+    }
+
+    /// Hit rate is monotone in capacity and antitone in thread count.
+    #[test]
+    fn hit_rate_monotonicity(c in cache(), k in 0.1f64..256.0) {
+        let bigger = c.with_capacity(c.s_cache * 2.0);
+        prop_assert!(bigger.hit_rate(k) >= c.hit_rate(k) - 1e-12);
+        prop_assert!(c.hit_rate(k * 2.0) <= c.hit_rate(k) + 1e-12);
+    }
+
+    /// Closed-form transit equilibrium always matches the numeric solver.
+    #[test]
+    fn transit_closed_form_equals_numeric(
+        m in machine(),
+        z in 1.0f64..500.0,
+        n in 0.5f64..256.0,
+    ) {
+        let t = TransitModel::new(m, z, n);
+        let closed = t.equilibrium().unwrap();
+        let numeric = t.to_xmodel().solve().operating_point().unwrap();
+        prop_assert!(
+            (closed.ms_throughput - numeric.ms_throughput).abs()
+                < 1e-3 * (1.0 + numeric.ms_throughput),
+            "closed {} vs numeric {} (Z={z}, n={n})",
+            closed.ms_throughput,
+            numeric.ms_throughput
+        );
+    }
+
+    /// Principle 1 as a property: adding threads to a thread-bound transit
+    /// machine never reduces MS throughput.
+    #[test]
+    fn principle1_monotone_threads(m in machine(), z in 1.0f64..200.0, n in 1.0f64..100.0) {
+        let before = TransitModel::new(m, z, n);
+        let after = TransitModel::new(m, z, n + 5.0);
+        let b = before.equilibrium().unwrap().ms_throughput;
+        let a = after.equilibrium().unwrap().ms_throughput;
+        prop_assert!(a >= b - 1e-9);
+    }
+
+    /// The XGraph's intersections always lie on both sampled curves'
+    /// domain and its operating point equals the solver's.
+    #[test]
+    fn xgraph_consistent_with_solver(m in machine(), z in 1.0f64..200.0, n in 1.0f64..128.0) {
+        let model = XModel::new(m, WorkloadParams::new(z, 1.0, n));
+        let g = XGraph::build(&model, 128);
+        let op_graph = g.operating_point().unwrap().k;
+        let op_solver = model.solve().operating_point().unwrap().k;
+        prop_assert!((op_graph - op_solver).abs() < 1e-9);
+        for p in &g.intersections {
+            prop_assert!(p.k >= -1e-9 && p.k <= n + 1e-9);
+        }
+    }
+
+    /// Tuning any knob yields a model that still solves, and identity
+    /// knob values change nothing.
+    #[test]
+    fn tuning_identity_and_closure(m in machine(), z in 1.0f64..200.0, n in 1.0f64..128.0) {
+        let model = XModel::new(m, WorkloadParams::new(z, 1.0, n));
+        let same = TuningOp::Machine(Knob::Intensity(z)).apply(&model);
+        prop_assert_eq!(same, model);
+        let eff = evaluate(&model, TuningOp::Machine(Knob::Threads(n * 2.0))).unwrap();
+        prop_assert!(eff.ms_after.is_finite() && eff.cs_after.is_finite());
+    }
+
+    /// Every equilibrium's CS throughput equals Z times its MS throughput.
+    #[test]
+    fn cs_equals_z_times_ms(m in machine(), z in 1.0f64..200.0, n in 1.0f64..128.0) {
+        let model = XModel::new(m, WorkloadParams::new(z, 1.0, n));
+        for p in model.solve().points() {
+            prop_assert!((p.cs_throughput - z * p.ms_throughput).abs() < 1e-9);
+        }
+    }
+
+    /// Unstable points never appear without at least two non-unstable
+    /// neighbours (they separate basins).
+    #[test]
+    fn unstable_points_are_interior(
+        m in machine(),
+        c in cache(),
+        z in 1.0f64..200.0,
+        n in 4.0f64..128.0,
+    ) {
+        let model = XModel::with_cache(m, WorkloadParams::new(z, 1.0, n), c);
+        let eq = model.solve();
+        let pts = eq.points();
+        for (i, p) in pts.iter().enumerate() {
+            if p.stability == Stability::Unstable {
+                prop_assert!(i > 0 && i + 1 < pts.len(),
+                    "unstable point at boundary: idx {i} of {}", pts.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The static analyser: extracts `E` and `Z` from a kernel (§V).
+//!
+//! * **ILP degree `E`** — Kepler-class GPUs embed scheduling information in
+//!   the SASS stream; instructions flagged `dual_issue` leave in the same
+//!   issue slot as their predecessor. `E` is therefore *dynamic
+//!   instructions per issue group*, weighted per basic block by loop trip
+//!   count, exactly the procedure the paper describes (and like the paper's
+//!   tool it tops out at the hardware pairing width of 2).
+//! * **Compute intensity `Z`** — the ratio of total dynamic instructions to
+//!   dynamic *off-chip* memory instructions, weighted by trip counts.
+
+use crate::inst::OpClass;
+use crate::kernel::Kernel;
+use serde::{Deserialize, Serialize};
+
+/// Result of statically analysing one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StaticAnalysis {
+    /// `E` — dynamic instructions per issue group (≥ 1).
+    pub ilp: f64,
+    /// `Z` — dynamic instructions per off-chip memory instruction.
+    /// `f64::INFINITY` for kernels that never touch global memory.
+    pub intensity: f64,
+    /// Total dynamic instructions per thread.
+    pub dynamic_insts: f64,
+    /// Dynamic off-chip memory instructions per thread.
+    pub offchip_mem_insts: f64,
+    /// Dynamic FLOPs per thread (per lane; FMA counts 2).
+    pub flops: f64,
+    /// Fraction of dynamic instructions that access any memory space.
+    pub mem_fraction: f64,
+    /// `true` when the kernel executes FP64 arithmetic.
+    pub uses_fp64: bool,
+}
+
+impl StaticAnalysis {
+    /// Analyse a kernel.
+    pub fn of(kernel: &Kernel) -> Self {
+        let mut dyn_insts = 0.0;
+        let mut dyn_groups = 0.0;
+        let mut dyn_offchip = 0.0;
+        let mut dyn_mem = 0.0;
+        let mut flops = 0.0;
+        let mut uses_fp64 = false;
+
+        for block in &kernel.blocks {
+            if block.insts.is_empty() || block.weight == 0.0 {
+                continue;
+            }
+            let w = block.weight;
+            let mut groups = 0usize;
+            for (i, inst) in block.insts.iter().enumerate() {
+                // A group starts at any instruction not paired with its
+                // predecessor (the first instruction always starts one).
+                if i == 0 || !inst.dual_issue {
+                    groups += 1;
+                }
+                if inst.opcode.is_offchip_mem() {
+                    dyn_offchip += w;
+                }
+                if inst.opcode.is_mem() {
+                    dyn_mem += w;
+                }
+                flops += w * inst.opcode.flops() as f64;
+                if matches!(inst.opcode.class(), OpClass::Fp64) {
+                    uses_fp64 = true;
+                }
+            }
+            dyn_insts += w * block.insts.len() as f64;
+            dyn_groups += w * groups as f64;
+        }
+
+        let ilp = if dyn_groups > 0.0 {
+            dyn_insts / dyn_groups
+        } else {
+            1.0
+        };
+        let intensity = if dyn_offchip > 0.0 {
+            dyn_insts / dyn_offchip
+        } else {
+            f64::INFINITY
+        };
+        Self {
+            ilp,
+            intensity,
+            dynamic_insts: dyn_insts,
+            offchip_mem_insts: dyn_offchip,
+            flops,
+            mem_fraction: if dyn_insts > 0.0 {
+                dyn_mem / dyn_insts
+            } else {
+                0.0
+            },
+            uses_fp64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::inst::Opcode::*;
+    use crate::kernel::Kernel;
+
+    #[test]
+    fn solo_stream_has_unit_ilp() {
+        let k = Kernel::builder("solo", 32)
+            .block(10.0, |b| b.repeat(FFMA, 8).inst(LDG))
+            .build();
+        let a = k.analyze();
+        assert_eq!(a.ilp, 1.0);
+        assert_eq!(a.intensity, 9.0);
+    }
+
+    #[test]
+    fn fully_paired_stream_has_ilp_two() {
+        let k = Kernel::builder("paired", 32)
+            .block(1.0, |b| b.repeat_pairs(FFMA, FADD, 6))
+            .build();
+        let a = k.analyze();
+        assert!((a.ilp - 2.0).abs() < 1e-12);
+        assert_eq!(a.intensity, f64::INFINITY);
+    }
+
+    #[test]
+    fn trip_count_weighting_dominates() {
+        // A heavy loop body with ILP 2 and a light prologue with ILP 1:
+        // the weighted E must land close to 2.
+        let k = Kernel::builder("weighted", 32)
+            .block(1.0, |b| b.repeat(MOV, 10))
+            .block(1000.0, |b| b.repeat_pairs(FFMA, FADD, 5))
+            .build();
+        let a = k.analyze();
+        assert!(a.ilp > 1.95, "ilp = {}", a.ilp);
+    }
+
+    #[test]
+    fn intensity_counts_only_offchip() {
+        let k = Kernel::builder("smem", 32)
+            .block(1.0, |b| {
+                b.inst(LDG).inst(LDS).inst(STS).inst(FFMA).inst(STG)
+            })
+            .build();
+        let a = k.analyze();
+        // 5 instructions, 2 off-chip (LDG, STG).
+        assert!((a.intensity - 2.5).abs() < 1e-12);
+        // 4 of 5 touch some memory space (LDG, LDS, STS, STG).
+        assert!((a.mem_fraction - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_counting_weights_fma() {
+        let k = Kernel::builder("flops", 32)
+            .block(2.0, |b| b.inst(FFMA).inst(FADD).inst(LDG))
+            .build();
+        let a = k.analyze();
+        // (2 + 1) flops * weight 2.
+        assert_eq!(a.flops, 6.0);
+    }
+
+    #[test]
+    fn fp64_detection() {
+        let sp = Kernel::builder("sp", 32).block(1.0, |b| b.inst(FFMA)).build();
+        assert!(!sp.analyze().uses_fp64);
+        let dp = Kernel::builder("dp", 32).block(1.0, |b| b.inst(DFMA)).build();
+        assert!(dp.analyze().uses_fp64);
+    }
+
+    #[test]
+    fn zero_weight_blocks_are_ignored() {
+        let k = Kernel::builder("zw", 32)
+            .block(0.0, |b| b.repeat(LDG, 100))
+            .block(1.0, |b| b.repeat(FFMA, 4).inst(LDG))
+            .build();
+        let a = k.analyze();
+        assert_eq!(a.intensity, 5.0);
+        assert_eq!(a.dynamic_insts, 5.0);
+    }
+
+    #[test]
+    fn pure_compute_kernel_has_infinite_intensity() {
+        let k = Kernel::builder("pc", 32).block(5.0, |b| b.repeat(FFMA, 3)).build();
+        assert!(k.analyze().intensity.is_infinite());
+        assert_eq!(k.analyze().offchip_mem_insts, 0.0);
+    }
+}

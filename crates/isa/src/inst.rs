@@ -1,0 +1,245 @@
+//! Instructions: a SASS-flavoured opcode set with dual-issue flags.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Memory space targeted by a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Off-chip global memory (counts towards `Z`'s denominator).
+    Global,
+    /// On-chip shared memory / scratchpad.
+    Shared,
+    /// Constant cache.
+    Constant,
+    /// Local (stack) memory.
+    Local,
+}
+
+/// Coarse instruction class used by the analyser and simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-precision floating point.
+    Fp32,
+    /// Double-precision floating point.
+    Fp64,
+    /// Integer / address arithmetic.
+    Int,
+    /// Data movement between registers.
+    Move,
+    /// Memory access in a [`MemSpace`].
+    Memory(MemSpace),
+    /// Branches, predicates, barriers, exit.
+    Control,
+}
+
+/// SASS-flavoured opcodes (the subset the analyser and the 12 workload
+/// kernels need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum Opcode {
+    /// FP32 fused multiply-add.
+    FFMA,
+    /// FP32 add.
+    FADD,
+    /// FP32 multiply.
+    FMUL,
+    /// FP32 reciprocal / special function.
+    MUFU,
+    /// FP32 compare-and-set.
+    FSETP,
+    /// FP64 fused multiply-add.
+    DFMA,
+    /// FP64 add.
+    DADD,
+    /// FP64 multiply.
+    DMUL,
+    /// Integer add.
+    IADD,
+    /// Integer multiply-add (addressing arithmetic).
+    IMAD,
+    /// Integer shift.
+    SHL,
+    /// Integer compare-and-set.
+    ISETP,
+    /// Logic op.
+    LOP,
+    /// Register move.
+    MOV,
+    /// Load from global memory.
+    LDG,
+    /// Store to global memory.
+    STG,
+    /// Load from shared memory.
+    LDS,
+    /// Store to shared memory.
+    STS,
+    /// Load from constant cache.
+    LDC,
+    /// Load from local memory.
+    LDL,
+    /// Store to local memory.
+    STL,
+    /// Branch.
+    BRA,
+    /// Barrier synchronization.
+    BAR,
+    /// Kernel exit.
+    EXIT,
+    /// No-op (alignment filler in real SASS).
+    NOP,
+}
+
+impl Opcode {
+    /// The coarse class of this opcode.
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            FFMA | FADD | FMUL | MUFU | FSETP => OpClass::Fp32,
+            DFMA | DADD | DMUL => OpClass::Fp64,
+            IADD | IMAD | SHL | ISETP | LOP => OpClass::Int,
+            MOV => OpClass::Move,
+            LDG | STG => OpClass::Memory(MemSpace::Global),
+            LDS | STS => OpClass::Memory(MemSpace::Shared),
+            LDC => OpClass::Memory(MemSpace::Constant),
+            LDL | STL => OpClass::Memory(MemSpace::Local),
+            BRA | BAR | EXIT | NOP => OpClass::Control,
+        }
+    }
+
+    /// `true` for off-chip (global) memory accesses — the denominator of
+    /// the compute-intensity ratio `Z`.
+    pub fn is_offchip_mem(self) -> bool {
+        matches!(self.class(), OpClass::Memory(MemSpace::Global))
+    }
+
+    /// `true` for any memory access.
+    pub fn is_mem(self) -> bool {
+        matches!(self.class(), OpClass::Memory(_))
+    }
+
+    /// `true` for floating-point compute (the FLOP-counting set).
+    pub fn is_flop(self) -> bool {
+        matches!(self.class(), OpClass::Fp32 | OpClass::Fp64)
+    }
+
+    /// FLOPs per lane executing this opcode (FMA counts 2).
+    pub fn flops(self) -> u32 {
+        use Opcode::*;
+        match self {
+            FFMA | DFMA => 2,
+            FADD | FMUL | MUFU | FSETP | DADD | DMUL => 1,
+            _ => 0,
+        }
+    }
+
+    /// All opcodes, for enumeration in tests and parsers.
+    pub fn all() -> &'static [Opcode] {
+        use Opcode::*;
+        &[
+            FFMA, FADD, FMUL, MUFU, FSETP, DFMA, DADD, DMUL, IADD, IMAD, SHL, ISETP, LOP, MOV,
+            LDG, STG, LDS, STS, LDC, LDL, STL, BRA, BAR, EXIT, NOP,
+        ]
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl FromStr for Opcode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Opcode::all()
+            .iter()
+            .copied()
+            .find(|o| format!("{o:?}") == s)
+            .ok_or_else(|| format!("unknown opcode `{s}`"))
+    }
+}
+
+/// One static instruction: an opcode plus the Kepler-style control bit
+/// saying whether it issues *together with the previous instruction*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The operation.
+    pub opcode: Opcode,
+    /// Dual-issue flag: `true` when the hardware scheduler pairs this
+    /// instruction with its predecessor in the same issue slot.
+    pub dual_issue: bool,
+}
+
+impl Instruction {
+    /// A solo-issued instruction.
+    pub fn solo(opcode: Opcode) -> Self {
+        Self {
+            opcode,
+            dual_issue: false,
+        }
+    }
+
+    /// An instruction flagged to pair with its predecessor.
+    pub fn paired(opcode: Opcode) -> Self {
+        Self {
+            opcode,
+            dual_issue: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_partition_covers_all_opcodes() {
+        for &op in Opcode::all() {
+            // class() must not panic and flop-count must be consistent.
+            let c = op.class();
+            if op.is_flop() {
+                assert!(matches!(c, OpClass::Fp32 | OpClass::Fp64));
+                assert!(op.flops() >= 1);
+            } else {
+                assert_eq!(op.flops(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn offchip_detection() {
+        assert!(Opcode::LDG.is_offchip_mem());
+        assert!(Opcode::STG.is_offchip_mem());
+        assert!(!Opcode::LDS.is_offchip_mem());
+        assert!(!Opcode::FFMA.is_offchip_mem());
+        assert!(Opcode::LDS.is_mem());
+        assert!(!Opcode::BRA.is_mem());
+    }
+
+    #[test]
+    fn fma_counts_two_flops() {
+        assert_eq!(Opcode::FFMA.flops(), 2);
+        assert_eq!(Opcode::DFMA.flops(), 2);
+        assert_eq!(Opcode::FADD.flops(), 1);
+        assert_eq!(Opcode::LDG.flops(), 0);
+    }
+
+    #[test]
+    fn opcode_text_round_trip() {
+        for &op in Opcode::all() {
+            let s = op.to_string();
+            let parsed: Opcode = s.parse().unwrap();
+            assert_eq!(parsed, op);
+        }
+        assert!("BOGUS".parse::<Opcode>().is_err());
+    }
+
+    #[test]
+    fn instruction_constructors() {
+        assert!(!Instruction::solo(Opcode::FFMA).dual_issue);
+        assert!(Instruction::paired(Opcode::FADD).dual_issue);
+    }
+}

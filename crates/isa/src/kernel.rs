@@ -1,0 +1,249 @@
+//! Kernels as weighted basic blocks, with a fluent builder.
+
+use crate::analysis::StaticAnalysis;
+use crate::inst::{Instruction, Opcode};
+use serde::{Deserialize, Serialize};
+
+/// A basic block: straight-line instructions plus the average number of
+/// times the block executes per thread (its loop trip count weight).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Straight-line instruction sequence.
+    pub insts: Vec<Instruction>,
+    /// Average executions per thread (≥ 0; loop bodies get their trip
+    /// count, straight-line code gets 1).
+    pub weight: f64,
+}
+
+impl BasicBlock {
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` when the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Dynamic instruction count contributed by this block.
+    pub fn dynamic_insts(&self) -> f64 {
+        self.weight * self.insts.len() as f64
+    }
+}
+
+/// A kernel: named, with resource footprints and weighted basic blocks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Threads per thread-block at launch.
+    pub threads_per_block: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory per thread-block, bytes.
+    pub smem_per_block: u32,
+    /// Weighted basic blocks.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Kernel {
+    /// Start building a kernel.
+    pub fn builder(name: impl Into<String>, threads_per_block: u32) -> KernelBuilder {
+        KernelBuilder {
+            kernel: Kernel {
+                name: name.into(),
+                threads_per_block,
+                regs_per_thread: 32,
+                smem_per_block: 0,
+                blocks: Vec::new(),
+            },
+        }
+    }
+
+    /// Run the static analysis (E, Z, instruction mix).
+    pub fn analyze(&self) -> StaticAnalysis {
+        StaticAnalysis::of(self)
+    }
+
+    /// Total dynamic instructions per thread.
+    pub fn dynamic_insts(&self) -> f64 {
+        self.blocks.iter().map(BasicBlock::dynamic_insts).sum()
+    }
+
+    /// Dynamic count of instructions satisfying a predicate.
+    pub fn dynamic_count(&self, pred: impl Fn(Opcode) -> bool) -> f64 {
+        self.blocks
+            .iter()
+            .map(|b| b.weight * b.insts.iter().filter(|i| pred(i.opcode)).count() as f64)
+            .sum()
+    }
+
+    /// Warps per thread-block (rounded up).
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block.div_ceil(32)
+    }
+}
+
+/// Fluent kernel builder.
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    kernel: Kernel,
+}
+
+impl KernelBuilder {
+    /// Set registers per thread.
+    #[must_use]
+    pub fn registers(mut self, regs: u32) -> Self {
+        self.kernel.regs_per_thread = regs;
+        self
+    }
+
+    /// Set shared memory per block in bytes.
+    #[must_use]
+    pub fn shared_memory(mut self, bytes: u32) -> Self {
+        self.kernel.smem_per_block = bytes;
+        self
+    }
+
+    /// Append a basic block with the given weight, filled by the closure.
+    #[must_use]
+    pub fn block(mut self, weight: f64, fill: impl FnOnce(BlockBuilder) -> BlockBuilder) -> Self {
+        assert!(weight >= 0.0, "block weight must be non-negative");
+        let bb = fill(BlockBuilder { insts: Vec::new() });
+        self.kernel.blocks.push(BasicBlock {
+            insts: bb.insts,
+            weight,
+        });
+        self
+    }
+
+    /// Finish, validating the kernel is non-trivial.
+    pub fn build(self) -> Kernel {
+        assert!(
+            !self.kernel.blocks.is_empty(),
+            "kernel needs at least one block"
+        );
+        assert!(self.kernel.threads_per_block > 0);
+        self.kernel
+    }
+}
+
+/// Fluent basic-block filler.
+#[derive(Debug, Clone)]
+pub struct BlockBuilder {
+    insts: Vec<Instruction>,
+}
+
+impl BlockBuilder {
+    /// Append a solo-issued instruction.
+    #[must_use]
+    pub fn inst(mut self, op: Opcode) -> Self {
+        self.insts.push(Instruction::solo(op));
+        self
+    }
+
+    /// Append an instruction dual-issued with its predecessor.
+    #[must_use]
+    pub fn dual(mut self, op: Opcode) -> Self {
+        assert!(
+            !self.insts.is_empty(),
+            "dual-issue needs a preceding instruction"
+        );
+        self.insts.push(Instruction::paired(op));
+        self
+    }
+
+    /// Append `count` solo copies of an opcode.
+    #[must_use]
+    pub fn repeat(mut self, op: Opcode, count: usize) -> Self {
+        self.insts
+            .extend(std::iter::repeat_n(Instruction::solo(op), count));
+        self
+    }
+
+    /// Append `count` dual-issue *pairs* of `(a, b)` — `2·count`
+    /// instructions forming `count` issue groups of width 2.
+    #[must_use]
+    pub fn repeat_pairs(mut self, a: Opcode, b: Opcode, count: usize) -> Self {
+        for _ in 0..count {
+            self.insts.push(Instruction::solo(a));
+            self.insts.push(Instruction::paired(b));
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode::*;
+
+    fn sample() -> Kernel {
+        Kernel::builder("k", 256)
+            .registers(24)
+            .shared_memory(4096)
+            .block(1.0, |b| b.inst(MOV).inst(IMAD))
+            .block(100.0, |b| b.inst(LDG).dual(FFMA).inst(STG).inst(BRA))
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_resources() {
+        let k = sample();
+        assert_eq!(k.regs_per_thread, 24);
+        assert_eq!(k.smem_per_block, 4096);
+        assert_eq!(k.threads_per_block, 256);
+        assert_eq!(k.blocks.len(), 2);
+    }
+
+    #[test]
+    fn dynamic_counts_are_weighted() {
+        let k = sample();
+        assert_eq!(k.dynamic_insts(), 2.0 + 400.0);
+        assert_eq!(k.dynamic_count(|o| o.is_offchip_mem()), 200.0);
+        assert_eq!(k.dynamic_count(|o| o == FFMA), 100.0);
+    }
+
+    #[test]
+    fn warps_per_block_rounds_up() {
+        assert_eq!(sample().warps_per_block(), 8);
+        let k = Kernel::builder("odd", 96).block(1.0, |b| b.inst(EXIT)).build();
+        assert_eq!(k.warps_per_block(), 3);
+        let k = Kernel::builder("tiny", 33).block(1.0, |b| b.inst(EXIT)).build();
+        assert_eq!(k.warps_per_block(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_kernel_rejected() {
+        let _ = Kernel::builder("e", 32).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "preceding instruction")]
+    fn leading_dual_rejected() {
+        let _ = Kernel::builder("d", 32).block(1.0, |b| b.dual(FFMA)).build();
+    }
+
+    #[test]
+    fn repeat_helpers() {
+        let k = Kernel::builder("r", 32)
+            .block(1.0, |b| b.repeat(FFMA, 3).repeat_pairs(FFMA, FADD, 2))
+            .build();
+        assert_eq!(k.blocks[0].len(), 7);
+        assert!(k.blocks[0].insts[4].dual_issue);
+        assert!(!k.blocks[0].insts[3].dual_issue);
+    }
+
+    #[test]
+    fn block_len_and_empty() {
+        let b = BasicBlock {
+            insts: vec![],
+            weight: 1.0,
+        };
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.dynamic_insts(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! # xmodel-isa — SASS-like kernel IR and static analysis
+//!
+//! The X-model needs three application parameters: the ILP degree `E`, the
+//! compute intensity `Z` and the resident thread count `n`. The paper
+//! (§IV–V) extracts them from real CUDA binaries: it reads the dual-issue
+//! scheduling hints that Kepler-class GPUs embed in SASS, counts
+//! instruction mixes per basic block weighted by loop trip counts, and
+//! runs the CUDA occupancy calculation. This crate reproduces that
+//! pipeline on a self-contained instruction representation:
+//!
+//! * [`Opcode`]/[`Instruction`] — a SASS-flavoured instruction set with
+//!   per-instruction dual-issue flags (the Kepler control-word bits);
+//! * [`Kernel`]/[`BasicBlock`] — kernels as weighted basic blocks, with
+//!   per-thread register and per-block shared-memory footprints;
+//! * [`analysis`] — the static analyser computing `E` (issue-group width
+//!   weighted by trip count) and `Z` (instructions per off-chip memory
+//!   instruction);
+//! * [`occupancy`] — a CUDA-style occupancy calculator giving `n`;
+//! * [`disasm`] — a textual SASS-like listing format with a parser, so
+//!   kernels can round-trip through text.
+//!
+//! ```
+//! use xmodel_isa::prelude::*;
+//!
+//! let k = Kernel::builder("axpy", 256)
+//!     .registers(16)
+//!     .block(1024.0, |b| {
+//!         b.inst(Opcode::LDG)
+//!          .dual(Opcode::LDG)
+//!          .inst(Opcode::FFMA)
+//!          .inst(Opcode::STG)
+//!          .inst(Opcode::IADD)
+//!          .inst(Opcode::BRA)
+//!     })
+//!     .build();
+//! let a = k.analyze();
+//! assert!(a.ilp > 1.0 && a.ilp <= 2.0);
+//! assert!(a.intensity > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod dataflow;
+pub mod disasm;
+pub mod inst;
+pub mod kernel;
+pub mod occupancy;
+
+pub use analysis::StaticAnalysis;
+pub use dataflow::{DfBlock, DfInst, DfKernel};
+pub use inst::{Instruction, MemSpace, OpClass, Opcode};
+pub use kernel::{BasicBlock, BlockBuilder, Kernel, KernelBuilder};
+pub use occupancy::{ArchLimits, Occupancy};
+
+/// Glob import of the common types.
+pub mod prelude {
+    pub use crate::analysis::StaticAnalysis;
+    pub use crate::dataflow::{DfBlock, DfInst, DfKernel};
+    pub use crate::inst::{Instruction, MemSpace, OpClass, Opcode};
+    pub use crate::kernel::{BasicBlock, Kernel, KernelBuilder};
+    pub use crate::occupancy::{ArchLimits, Occupancy};
+}

@@ -1,0 +1,285 @@
+//! CUDA-style occupancy calculation: how many warps are resident per SM.
+//!
+//! The paper's `n` is "how many warps can be allocated simultaneously on a
+//! SM" (§V). Residency is limited by four resources: the warp-slot limit,
+//! the thread-block limit, the register file, and shared memory. The block
+//! count is the minimum over the per-resource block limits; `n` is then
+//! `blocks × warps_per_block`.
+
+use crate::kernel::Kernel;
+use serde::{Deserialize, Serialize};
+
+/// Per-SM residency limits of one architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchLimits {
+    /// Maximum resident warps per SM.
+    pub max_warps: u32,
+    /// Maximum resident thread-blocks per SM.
+    pub max_blocks: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Shared memory per SM, bytes.
+    pub smem_per_sm: u32,
+    /// Register allocation granularity (registers are allocated per warp in
+    /// multiples of this).
+    pub reg_alloc_granularity: u32,
+}
+
+impl ArchLimits {
+    /// Fermi (compute 2.0) limits with a given L1/shared split: `smem` is
+    /// 48 KiB by default (16 KiB L1), or 16 KiB when L1 is enlarged.
+    pub fn fermi(smem_bytes: u32) -> Self {
+        Self {
+            max_warps: 48,
+            max_blocks: 8,
+            regs_per_sm: 32 * 1024,
+            smem_per_sm: smem_bytes,
+            reg_alloc_granularity: 64,
+        }
+    }
+
+    /// Kepler (compute 3.5) limits.
+    pub fn kepler() -> Self {
+        Self {
+            max_warps: 64,
+            max_blocks: 16,
+            regs_per_sm: 64 * 1024,
+            smem_per_sm: 48 * 1024,
+            reg_alloc_granularity: 256,
+        }
+    }
+
+    /// Maxwell (compute 5.0) limits.
+    pub fn maxwell() -> Self {
+        Self {
+            max_warps: 64,
+            max_blocks: 32,
+            regs_per_sm: 64 * 1024,
+            smem_per_sm: 64 * 1024,
+            reg_alloc_granularity: 256,
+        }
+    }
+}
+
+/// Occupancy result for one kernel on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident thread-blocks per SM.
+    pub blocks: u32,
+    /// Resident warps per SM — the model's `n`.
+    pub warps: u32,
+    /// Warp-slot limit on blocks.
+    pub limit_warps: u32,
+    /// Block-count limit.
+    pub limit_blocks: u32,
+    /// Register-file limit on blocks.
+    pub limit_regs: u32,
+    /// Shared-memory limit on blocks.
+    pub limit_smem: u32,
+}
+
+impl Occupancy {
+    /// Compute occupancy of a kernel under architecture limits.
+    pub fn compute(kernel: &Kernel, arch: &ArchLimits) -> Self {
+        let warps_per_block = kernel.warps_per_block().max(1);
+
+        // Register cost per block: per-warp allocation rounded up to the
+        // granularity.
+        let regs_per_warp = kernel.regs_per_thread * 32;
+        let granule = arch.reg_alloc_granularity.max(1);
+        let regs_per_warp_alloc = regs_per_warp.div_ceil(granule) * granule;
+        let regs_per_block = regs_per_warp_alloc * warps_per_block;
+
+        let limit_warps = arch.max_warps / warps_per_block;
+        let limit_blocks = arch.max_blocks;
+        let limit_regs = if regs_per_block == 0 {
+            u32::MAX
+        } else {
+            arch.regs_per_sm / regs_per_block
+        };
+        let limit_smem = if kernel.smem_per_block == 0 {
+            u32::MAX
+        } else {
+            arch.smem_per_sm / kernel.smem_per_block
+        };
+
+        let blocks = limit_warps
+            .min(limit_blocks)
+            .min(limit_regs)
+            .min(limit_smem);
+        Occupancy {
+            blocks,
+            warps: blocks * warps_per_block,
+            limit_warps,
+            limit_blocks,
+            limit_regs,
+            limit_smem,
+        }
+    }
+
+    /// Occupancy as a fraction of the warp slots.
+    pub fn fraction(&self, arch: &ArchLimits) -> f64 {
+        self.warps as f64 / arch.max_warps as f64
+    }
+
+    /// Sweep thread-block sizes and return `(threads_per_block, warps)`
+    /// for each candidate — the launch-configuration advisor behind the
+    /// CUDA occupancy calculator workflow. Candidates are multiples of 32
+    /// up to 1024 (the architectural block-size limit).
+    pub fn sweep_block_size(kernel: &Kernel, arch: &ArchLimits) -> Vec<(u32, u32)> {
+        (1..=32)
+            .map(|w| {
+                let tpb = w * 32;
+                let mut k = kernel.clone();
+                k.threads_per_block = tpb;
+                (tpb, Occupancy::compute(&k, arch).warps)
+            })
+            .collect()
+    }
+
+    /// The smallest block size achieving the maximum possible occupancy
+    /// for this kernel (smaller blocks mean finer-grained scheduling and
+    /// less barrier scope, so prefer them at equal occupancy).
+    pub fn best_block_size(kernel: &Kernel, arch: &ArchLimits) -> (u32, u32) {
+        let sweep = Self::sweep_block_size(kernel, arch);
+        let max_warps = sweep.iter().map(|&(_, w)| w).max().unwrap_or(0);
+        sweep
+            .into_iter()
+            .find(|&(_, w)| w == max_warps)
+            .unwrap_or((32, 0))
+    }
+
+    /// Which resource binds (the smallest limit).
+    pub fn limiter(&self) -> &'static str {
+        let b = self.blocks;
+        if b == self.limit_smem {
+            "shared memory"
+        } else if b == self.limit_regs {
+            "registers"
+        } else if b == self.limit_blocks {
+            "block count"
+        } else {
+            "warp slots"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Opcode::*;
+    use crate::kernel::Kernel;
+
+    fn kernel(regs: u32, smem: u32, tpb: u32) -> Kernel {
+        Kernel::builder("k", tpb)
+            .registers(regs)
+            .shared_memory(smem)
+            .block(1.0, |b| b.inst(LDG).inst(FFMA).inst(EXIT))
+            .build()
+    }
+
+    #[test]
+    fn gesummv_launch_fills_fermi() {
+        // §VI: 512 threads (16 warps) per block, three blocks fill the 48
+        // warp slots of a Fermi SM.
+        let k = kernel(20, 0, 512);
+        let occ = Occupancy::compute(&k, &ArchLimits::fermi(48 * 1024));
+        assert_eq!(occ.blocks, 3);
+        assert_eq!(occ.warps, 48);
+        assert!((occ.fraction(&ArchLimits::fermi(48 * 1024)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn register_pressure_limits_occupancy() {
+        // 64 regs/thread on Kepler: 64*32 = 2048 regs per warp, 16384 per
+        // 256-thread block => only 4 blocks = 32 warps.
+        let k = kernel(64, 0, 256);
+        let occ = Occupancy::compute(&k, &ArchLimits::kepler());
+        assert_eq!(occ.blocks, 4);
+        assert_eq!(occ.warps, 32);
+        assert_eq!(occ.limiter(), "registers");
+    }
+
+    #[test]
+    fn shared_memory_limits_occupancy() {
+        // 24 KiB smem per block on Kepler: 2 blocks fit in 48 KiB.
+        let k = kernel(16, 24 * 1024, 128);
+        let occ = Occupancy::compute(&k, &ArchLimits::kepler());
+        assert_eq!(occ.blocks, 2);
+        assert_eq!(occ.warps, 8);
+        assert_eq!(occ.limiter(), "shared memory");
+    }
+
+    #[test]
+    fn block_count_limits_small_blocks() {
+        // 32-thread blocks on Fermi: block limit (8) binds before the 48
+        // warp slots do.
+        let k = kernel(16, 0, 32);
+        let occ = Occupancy::compute(&k, &ArchLimits::fermi(48 * 1024));
+        assert_eq!(occ.blocks, 8);
+        assert_eq!(occ.warps, 8);
+        assert_eq!(occ.limiter(), "block count");
+    }
+
+    #[test]
+    fn warp_slots_limit_big_blocks() {
+        // 1024-thread blocks (32 warps) on Kepler: 2 blocks = 64 warps.
+        let k = kernel(16, 0, 1024);
+        let occ = Occupancy::compute(&k, &ArchLimits::kepler());
+        assert_eq!(occ.blocks, 2);
+        assert_eq!(occ.warps, 64);
+        assert_eq!(occ.limiter(), "warp slots");
+    }
+
+    #[test]
+    fn register_granularity_rounds_up() {
+        // 17 regs/thread = 544/warp, rounds to 768 on Kepler (granule 256).
+        let k = kernel(17, 0, 256);
+        let occ = Occupancy::compute(&k, &ArchLimits::kepler());
+        // 768 * 8 warps = 6144 regs per block; 65536/6144 = 10 blocks,
+        // but warp slots allow only 8 blocks (64/8).
+        assert_eq!(occ.limit_regs, 10);
+        assert_eq!(occ.blocks, 8);
+    }
+
+    #[test]
+    fn block_size_advisor_finds_full_occupancy() {
+        // Plain kernel: many block sizes reach 64 warps on Kepler; the
+        // advisor returns the smallest.
+        let k = kernel(16, 0, 256);
+        let (tpb, warps) = Occupancy::best_block_size(&k, &ArchLimits::kepler());
+        assert_eq!(warps, 64);
+        // 16 blocks x 4 warps = 64: the smallest full-occupancy block is
+        // 4 warps = 128 threads.
+        assert_eq!(tpb, 128);
+    }
+
+    #[test]
+    fn block_size_advisor_respects_smem() {
+        // 12 KiB smem per block on Kepler: at most 4 resident blocks, so
+        // bigger blocks are needed to fill warp slots.
+        let k = kernel(16, 12 * 1024, 128);
+        let (tpb, warps) = Occupancy::best_block_size(&k, &ArchLimits::kepler());
+        assert!(warps <= 64);
+        // 4 blocks: need 16 warps/block for 64 -> tpb = 512.
+        assert_eq!(tpb, 512);
+        assert_eq!(warps, 64);
+    }
+
+    #[test]
+    fn sweep_covers_all_multiples() {
+        let k = kernel(16, 0, 256);
+        let sweep = Occupancy::sweep_block_size(&k, &ArchLimits::kepler());
+        assert_eq!(sweep.len(), 32);
+        assert_eq!(sweep[0].0, 32);
+        assert_eq!(sweep[31].0, 1024);
+    }
+
+    #[test]
+    fn fermi_l1_split_changes_smem_limit() {
+        let k = kernel(16, 12 * 1024, 128);
+        let big_smem = Occupancy::compute(&k, &ArchLimits::fermi(48 * 1024));
+        let small_smem = Occupancy::compute(&k, &ArchLimits::fermi(16 * 1024));
+        assert!(big_smem.warps > small_smem.warps);
+    }
+}

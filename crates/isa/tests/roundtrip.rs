@@ -1,0 +1,75 @@
+//! Property tests: random kernels survive the disassemble/parse round
+//! trip and the analyser never panics.
+
+use proptest::prelude::*;
+use xmodel_isa::disasm;
+use xmodel_isa::{BasicBlock, Instruction, Kernel, Opcode};
+
+fn any_opcode() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(Opcode::all().to_vec())
+}
+
+fn any_block() -> impl Strategy<Value = BasicBlock> {
+    (
+        prop::collection::vec((any_opcode(), any::<bool>()), 1..24),
+        0.0f64..10_000.0,
+    )
+        .prop_map(|(ops, weight)| {
+            let insts = ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, (op, dual))| Instruction {
+                    opcode: op,
+                    // The first instruction of a block can never pair.
+                    dual_issue: dual && i > 0,
+                })
+                .collect();
+            BasicBlock { insts, weight }
+        })
+}
+
+fn any_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        "[a-z][a-z0-9_]{0,12}",
+        1u32..1025,
+        1u32..256,
+        0u32..49152,
+        prop::collection::vec(any_block(), 1..6),
+    )
+        .prop_map(|(name, tpb, regs, smem, blocks)| Kernel {
+            name,
+            threads_per_block: tpb,
+            regs_per_thread: regs,
+            smem_per_block: smem,
+            blocks,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn disassembly_round_trips(kernel in any_kernel()) {
+        let text = disasm::disassemble(&kernel);
+        let back = disasm::parse(&text).unwrap();
+        prop_assert_eq!(back, kernel);
+    }
+
+    #[test]
+    fn analysis_never_panics_and_stays_in_domain(kernel in any_kernel()) {
+        let a = kernel.analyze();
+        prop_assert!(a.ilp >= 1.0);
+        prop_assert!(a.intensity >= 1.0 || a.intensity.is_infinite());
+        prop_assert!(a.mem_fraction >= 0.0 && a.mem_fraction <= 1.0);
+        prop_assert!(a.flops >= 0.0);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_slots(kernel in any_kernel()) {
+        use xmodel_isa::{ArchLimits, Occupancy};
+        for arch in [ArchLimits::fermi(48 * 1024), ArchLimits::kepler(), ArchLimits::maxwell()] {
+            let occ = Occupancy::compute(&kernel, &arch);
+            prop_assert!(occ.warps <= arch.max_warps + kernel.warps_per_block());
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Trace calibration: fit a synthetic generator to a recorded trace.
+//!
+//! The `concrete_traces` ablation shows where the statistical generators
+//! diverge from the real algorithms. This module closes that loop: grid
+//! search the [`TraceSpec::PrivateWorkingSet`] knobs so the synthetic
+//! hit-rate-vs-sharers curve matches the recorded one, measured on the
+//! same shared-LRU reference cache.
+
+use serde::{Deserialize, Serialize};
+use xmodel_workloads::concrete::RecordedTraces;
+use xmodel_workloads::locality::measure_hit_rate_streams;
+use xmodel_workloads::TraceSpec;
+
+/// Warp counts sampled when comparing hit curves.
+const KS: [u32; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Result of a calibration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// The best-fitting synthetic spec.
+    pub spec: TraceSpec,
+    /// RMS distance between the hit curves after calibration.
+    pub rms: f64,
+    /// The recorded trace's hit curve `(k, h)`.
+    pub target_curve: Vec<(f64, f64)>,
+}
+
+/// Hit curve of a recorded trace across sharer counts.
+pub fn recorded_hit_curve(
+    traces: &RecordedTraces,
+    cache_bytes: u64,
+    accesses: usize,
+) -> Vec<(f64, f64)> {
+    KS.iter()
+        .map(|&k| {
+            let streams = traces.streams(k);
+            (k as f64, measure_hit_rate_streams(streams, cache_bytes, accesses))
+        })
+        .collect()
+}
+
+/// Hit curve of a synthetic spec across sharer counts.
+pub fn synthetic_hit_curve(spec: &TraceSpec, cache_bytes: u64, accesses: usize) -> Vec<(f64, f64)> {
+    KS.iter()
+        .map(|&k| {
+            let streams = (0..k).map(|w| spec.instantiate(w, 7)).collect();
+            (k as f64, measure_hit_rate_streams(streams, cache_bytes, accesses))
+        })
+        .collect()
+}
+
+/// RMS distance between two curves sampled at the same points.
+pub fn curve_rms(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&(_, ha), &(_, hb))| (ha - hb) * (ha - hb))
+        .sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+/// Fit a [`TraceSpec::PrivateWorkingSet`] to a recorded trace by grid
+/// search over working-set size, stream probability and reuse skew.
+pub fn calibrate_private_ws(
+    traces: &RecordedTraces,
+    cache_bytes: u64,
+    accesses: usize,
+) -> Calibration {
+    let target = recorded_hit_curve(traces, cache_bytes, accesses);
+    let mut best: Option<(TraceSpec, f64)> = None;
+    for &ws in &[4u64, 8, 16, 24, 32, 48, 64, 96, 128] {
+        for &stream in &[0.0, 0.05, 0.1, 0.2, 0.35, 0.5, 0.7] {
+            for &skew in &[0.0, 0.8, 1.5, 2.5] {
+                let spec = TraceSpec::PrivateWorkingSet {
+                    ws_lines: ws,
+                    stream_prob: stream,
+                    reuse_skew: skew,
+                };
+                let curve = synthetic_hit_curve(&spec, cache_bytes, accesses / 2);
+                let rms = curve_rms(&target, &curve);
+                if best.as_ref().map(|&(_, b)| rms < b).unwrap_or(true) {
+                    best = Some((spec, rms));
+                }
+            }
+        }
+    }
+    let (spec, rms) = best.expect("non-empty grid");
+    Calibration {
+        spec,
+        rms,
+        target_curve: target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmodel_workloads::concrete;
+
+    #[test]
+    fn curve_rms_basics() {
+        let a = vec![(1.0, 0.5), (2.0, 0.7)];
+        let b = vec![(1.0, 0.5), (2.0, 0.7)];
+        assert_eq!(curve_rms(&a, &b), 0.0);
+        let c = vec![(1.0, 0.4), (2.0, 0.8)];
+        assert!((curve_rms(&a, &c) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_beats_the_default_spmv_spec() {
+        let traces = concrete::spmv_csr(4096, 8, 32, 7);
+        let cache = 16 * 1024;
+        let cal = calibrate_private_ws(&traces, cache, 8_000);
+        // The default suite spec for spmv (a weak gather) fits worse than
+        // the calibrated private-working-set spec.
+        let default_spec = xmodel_workloads::Workload::get(
+            xmodel_workloads::WorkloadId::Spmv,
+        )
+        .trace;
+        let default_curve = synthetic_hit_curve(&default_spec, cache, 8_000);
+        let default_rms = curve_rms(&cal.target_curve, &default_curve);
+        assert!(
+            cal.rms < default_rms,
+            "calibrated {} vs default {}",
+            cal.rms,
+            default_rms
+        );
+        assert!(cal.rms < 0.25, "calibrated rms {}", cal.rms);
+    }
+
+    #[test]
+    fn stencil_reuse_is_inter_warp() {
+        // A genuinely instructive recorded-trace property: a single warp
+        // strides rows far apart (no private reuse at transaction
+        // granularity), while neighbouring warps share each other's halo
+        // rows — so the stencil's hit rate *rises* with sharers, the
+        // opposite of the private-working-set assumption behind Eq. (3).
+        // A large grid so the single-warp measurement does not wrap its
+        // recorded trace (wrapping would manufacture artificial reuse).
+        let traces = concrete::stencil5(1024, 256, 32);
+        let curve = recorded_hit_curve(&traces, 16 * 1024, 800);
+        let h1 = curve.first().unwrap().1;
+        let h32 = curve.last().unwrap().1;
+        // A lone warp only hits on the halo ping-pong at line boundaries
+        // (~1/3 of transactions); neighbours sharing rows push it higher.
+        assert!(h1 < 0.45, "single-warp stencil hit rate {h1}");
+        assert!(h32 > h1 + 0.1, "sharers must raise reuse: {h1} -> {h32}");
+        for &(_, h) in &curve {
+            assert!((0.0..=1.0).contains(&h));
+        }
+    }
+}

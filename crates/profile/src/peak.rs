@@ -1,0 +1,76 @@
+//! Peak-operations profiling of the lane count `M` (Volkov-style).
+
+use xmodel_sim::{simulate, SimConfig, SimWorkload};
+use xmodel_workloads::microbench::peak_ops_kernel;
+use xmodel_workloads::TraceSpec;
+
+/// Profile the CS lane count by saturating it with register-only FMA
+/// warps at maximum pairing. Returns the sustained warp-ops/cycle.
+pub fn profile_lanes(cfg: &SimConfig, warps: u32) -> f64 {
+    let analysis = peak_ops_kernel(2.0).analyze();
+    let wl = SimWorkload {
+        trace: TraceSpec::Stream { region_lines: 64 },
+        ops_per_request: f64::INFINITY,
+        ilp: analysis.ilp,
+        warps,
+    };
+    simulate(cfg, &wl, 2_000, 10_000).cs_throughput()
+}
+
+/// Profile CS throughput as a function of warp count for a fixed ILP —
+/// the `g(x)` sweep behind the Fig. 10 curve family.
+pub fn profile_gx(cfg: &SimConfig, ilp: f64, max_warps: u32, step: u32) -> Vec<(u32, f64)> {
+    assert!(max_warps >= 1 && step >= 1);
+    let mut out = Vec::new();
+    let mut w = 1;
+    while w <= max_warps {
+        let wl = SimWorkload {
+            trace: TraceSpec::Stream { region_lines: 64 },
+            ops_per_request: f64::INFINITY,
+            ilp,
+            warps: w,
+        };
+        out.push((w, simulate(cfg, &wl, 2_000, 8_000).cs_throughput()));
+        w += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::sim_config_for;
+    use xmodel_core::presets::{GpuSpec, Precision};
+
+    #[test]
+    fn recovers_kepler_lane_count() {
+        let cfg = sim_config_for(&GpuSpec::kepler_k40(), Precision::Single);
+        let m = profile_lanes(&cfg, 32);
+        assert!((m - 6.0).abs() < 0.1, "M = {m}");
+    }
+
+    #[test]
+    fn recovers_fermi_lane_count() {
+        let cfg = sim_config_for(&GpuSpec::fermi_gtx570(), Precision::Single);
+        let m = profile_lanes(&cfg, 32);
+        assert!((m - 1.0).abs() < 0.05, "M = {m}");
+    }
+
+    #[test]
+    fn gx_sweep_is_roofline_with_ilp_slope() {
+        let cfg = sim_config_for(&GpuSpec::kepler_k40(), Precision::Single);
+        let g1 = profile_gx(&cfg, 1.0, 16, 1);
+        let g2 = profile_gx(&cfg, 2.0, 16, 1);
+        // Slope region: ILP 2 doubles single-warp throughput.
+        assert!((g1[0].1 - 1.0).abs() < 0.05);
+        assert!((g2[0].1 - 2.0).abs() < 0.05);
+        // Both saturate at M = 6.
+        assert!((g1.last().unwrap().1 - 6.0).abs() < 0.2);
+        assert!((g2.last().unwrap().1 - 6.0).abs() < 0.2);
+        // E = 2 saturates with fewer warps (pi = M/E).
+        let sat = |g: &[(u32, f64)]| {
+            g.iter().find(|&&(_, t)| t >= 5.8).map(|&(w, _)| w).unwrap()
+        };
+        assert!(sat(&g2) < sat(&g1));
+    }
+}

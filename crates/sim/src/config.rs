@@ -1,0 +1,248 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+use xmodel_workloads::TraceSpec;
+
+/// DRAM (off-chip memory) model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramConfig {
+    /// Service latency per request in cycles (unloaded).
+    pub latency: u64,
+    /// Sustained bandwidth in bytes per cycle (per SM share).
+    pub bytes_per_cycle: f64,
+}
+
+/// L1 cache model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+    /// Miss-status holding registers: outstanding distinct line misses.
+    pub mshrs: u32,
+}
+
+/// L2 cache stage: a capacity with its own service channel, between L1
+/// (or the bypass path) and DRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct L2Config {
+    /// Capacity in bytes (the SM's share of the chip-wide L2).
+    pub capacity_bytes: u64,
+    /// Hit service latency in cycles.
+    pub latency: u64,
+    /// Hit bandwidth in bytes per cycle (per SM share; typically several
+    /// times the DRAM share — this is why bypassing L1 to L2 pays off).
+    pub bytes_per_cycle: f64,
+}
+
+/// Full SM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// CS lane capacity in warp-ops per cycle (`M`).
+    pub lanes: f64,
+    /// Maximum warps the scheduler can select per cycle.
+    pub issue_width: u32,
+    /// Warp memory requests accepted per cycle by the LSU.
+    pub lsu_per_cycle: u32,
+    /// L1 cache; `None` disables it (all requests go to L2/DRAM).
+    pub l1: Option<CacheConfig>,
+    /// L2 stage; `None` sends L1 misses and bypasses straight to DRAM.
+    pub l2: Option<L2Config>,
+    /// DRAM model.
+    pub dram: DramConfig,
+    /// Fraction of warps that bypass L1 for the next memory level
+    /// (cache-bypassing of §VI). Warps with the highest ids bypass.
+    pub bypass_fraction: f64,
+    /// Bytes one warp request moves through the memory channels. 128 for a
+    /// fully-coalesced 4-byte access; larger for uncoalesced patterns that
+    /// split into several transactions (the coalescing effect §V names as
+    /// the model's main accuracy limiter).
+    pub request_bytes: f64,
+}
+
+impl SimConfig {
+    /// Start building a configuration with reasonable defaults.
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig {
+                lanes: 1.0,
+                issue_width: 4,
+                lsu_per_cycle: 2,
+                l1: None,
+                l2: None,
+                dram: DramConfig {
+                    latency: 500,
+                    bytes_per_cycle: 8.0,
+                },
+                bypass_fraction: 0.0,
+                request_bytes: 128.0,
+            },
+        }
+    }
+}
+
+/// Fluent builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Set CS lane capacity (`M`, warp-ops/cycle).
+    #[must_use]
+    pub fn lanes(mut self, m: f64) -> Self {
+        assert!(m > 0.0);
+        self.cfg.lanes = m;
+        self
+    }
+
+    /// Set scheduler issue width (warps selected per cycle).
+    #[must_use]
+    pub fn issue_width(mut self, w: u32) -> Self {
+        assert!(w >= 1);
+        self.cfg.issue_width = w;
+        self
+    }
+
+    /// Set LSU throughput (warp requests accepted per cycle).
+    #[must_use]
+    pub fn lsu(mut self, per_cycle: u32) -> Self {
+        assert!(per_cycle >= 1);
+        self.cfg.lsu_per_cycle = per_cycle;
+        self
+    }
+
+    /// Set DRAM latency (cycles) and bandwidth (bytes/cycle).
+    #[must_use]
+    pub fn dram(mut self, latency: u64, bytes_per_cycle: f64) -> Self {
+        assert!(latency >= 1 && bytes_per_cycle > 0.0);
+        self.cfg.dram = DramConfig {
+            latency,
+            bytes_per_cycle,
+        };
+        self
+    }
+
+    /// Enable an L1 cache with capacity, hit latency and MSHR count
+    /// (128-byte lines, 8-way by default).
+    #[must_use]
+    pub fn l1(mut self, capacity_bytes: u64, hit_latency: u64, mshrs: u32) -> Self {
+        assert!(capacity_bytes >= 128 && hit_latency >= 1 && mshrs >= 1);
+        self.cfg.l1 = Some(CacheConfig {
+            capacity_bytes,
+            line_bytes: 128,
+            ways: 8,
+            hit_latency,
+            mshrs,
+        });
+        self
+    }
+
+    /// Remove the L1 (the Fig. 18 "disable L1" configuration).
+    #[must_use]
+    pub fn no_l1(mut self) -> Self {
+        self.cfg.l1 = None;
+        self
+    }
+
+    /// Enable an L2 stage with capacity, latency and bandwidth.
+    #[must_use]
+    pub fn l2(mut self, capacity_bytes: u64, latency: u64, bytes_per_cycle: f64) -> Self {
+        assert!(capacity_bytes >= 128 && latency >= 1 && bytes_per_cycle > 0.0);
+        self.cfg.l2 = Some(L2Config {
+            capacity_bytes,
+            latency,
+            bytes_per_cycle,
+        });
+        self
+    }
+
+    /// Set the bytes each warp request moves (coalescing factor × 128).
+    #[must_use]
+    pub fn request_bytes(mut self, bytes: f64) -> Self {
+        assert!(bytes >= 1.0);
+        self.cfg.request_bytes = bytes;
+        self
+    }
+
+    /// Set the bypass fraction (cache-bypassing of §VI).
+    #[must_use]
+    pub fn bypass(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.cfg.bypass_fraction = fraction;
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> SimConfig {
+        self.cfg
+    }
+}
+
+/// The workload the SM executes: an address stream plus the per-warp
+/// compute quantum between requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimWorkload {
+    /// Per-warp memory access pattern.
+    pub trace: TraceSpec,
+    /// Average warp-instructions executed between two memory requests
+    /// (the workload's `Z`).
+    pub ops_per_request: f64,
+    /// ILP degree: warp-ops the warp can retire per selected cycle (`E`).
+    pub ilp: f64,
+    /// Resident warps (`n`).
+    pub warps: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_and_overrides() {
+        let cfg = SimConfig::builder()
+            .lanes(6.0)
+            .issue_width(4)
+            .lsu(2)
+            .dram(600, 13.7)
+            .l1(16 * 1024, 30, 32)
+            .l2(128 * 1024, 120, 40.0)
+            .bypass(0.25)
+            .build();
+        assert_eq!(cfg.lanes, 6.0);
+        assert_eq!(cfg.dram.latency, 600);
+        let l1 = cfg.l1.unwrap();
+        assert_eq!(l1.capacity_bytes, 16 * 1024);
+        assert_eq!(l1.line_bytes, 128);
+        assert_eq!(cfg.bypass_fraction, 0.25);
+        assert_eq!(cfg.request_bytes, 128.0);
+        let c2 = SimConfig::builder().request_bytes(384.0).build();
+        assert_eq!(c2.request_bytes, 384.0);
+        let l2 = cfg.l2.unwrap();
+        assert_eq!(l2.capacity_bytes, 128 * 1024);
+        assert_eq!(l2.latency, 120);
+    }
+
+    #[test]
+    fn no_l1_clears_cache() {
+        let cfg = SimConfig::builder().l1(16 * 1024, 30, 32).no_l1().build();
+        assert!(cfg.l1.is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_lanes() {
+        let _ = SimConfig::builder().lanes(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_bypass() {
+        let _ = SimConfig::builder().bypass(1.5);
+    }
+}

@@ -1,0 +1,166 @@
+//! DRAM model: fixed service latency plus a bandwidth token bucket.
+//!
+//! A request accepted at cycle `t` completes at
+//! `max(t, channel_free) + latency`, and the channel-free pointer advances
+//! by `bytes / bytes_per_cycle`. This reproduces the two regimes of the
+//! model's `L_m = max{L, k/R}` (Eq. 4): latency-bound while the channel is
+//! underutilized, bandwidth-bound (queueing) once it saturates.
+
+use crate::config::DramConfig;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Opaque tag the caller attaches to each request (MSHR index, warp id…).
+pub type Tag = u64;
+
+/// The DRAM channel.
+#[derive(Debug)]
+pub struct Dram {
+    cfg: DramConfig,
+    /// Next cycle at which the channel can accept a new transfer, in
+    /// fixed-point 1/256 cycles to honour fractional bytes/cycle rates.
+    channel_free_fp: u64,
+    /// Pending completions: (complete_cycle, tag).
+    pending: BinaryHeap<Reverse<(u64, Tag)>>,
+    /// Total requests accepted.
+    accepted: u64,
+    /// Total bytes transferred.
+    bytes: u64,
+}
+
+const FP: u64 = 256;
+
+impl Dram {
+    /// Build from a configuration.
+    pub fn new(cfg: DramConfig) -> Self {
+        assert!(cfg.bytes_per_cycle > 0.0);
+        Self {
+            cfg,
+            channel_free_fp: 0,
+            pending: BinaryHeap::new(),
+            accepted: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Submit a request of `bytes` at cycle `now`; returns its completion
+    /// cycle. The channel serializes transfers at the configured bandwidth.
+    pub fn submit(&mut self, now: u64, bytes: u64, tag: Tag) -> u64 {
+        let now_fp = now * FP;
+        let start_fp = self.channel_free_fp.max(now_fp);
+        let dur_fp = ((bytes as f64 / self.cfg.bytes_per_cycle) * FP as f64).ceil() as u64;
+        self.channel_free_fp = start_fp + dur_fp;
+        let complete = (start_fp + dur_fp).div_ceil(FP) + self.cfg.latency;
+        self.pending.push(Reverse((complete, tag)));
+        self.accepted += 1;
+        self.bytes += bytes;
+        complete
+    }
+
+    /// Pop all requests completing at or before `now`.
+    pub fn drain_completions(&mut self, now: u64, out: &mut Vec<Tag>) {
+        while let Some(&Reverse((t, tag))) = self.pending.peek() {
+            if t > now {
+                break;
+            }
+            self.pending.pop();
+            out.push(tag);
+        }
+    }
+
+    /// Requests in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `(accepted requests, bytes)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.accepted, self.bytes)
+    }
+
+    /// The earliest cycle the channel could accept a new transfer.
+    pub fn channel_free(&self) -> u64 {
+        self.channel_free_fp.div_ceil(FP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram(latency: u64, bw: f64) -> Dram {
+        Dram::new(DramConfig {
+            latency,
+            bytes_per_cycle: bw,
+        })
+    }
+
+    #[test]
+    fn single_request_completes_after_latency() {
+        let mut d = dram(100, 128.0);
+        let t = d.submit(10, 128, 1);
+        // 1 cycle transfer + 100 latency.
+        assert_eq!(t, 111);
+        let mut out = Vec::new();
+        d.drain_completions(110, &mut out);
+        assert!(out.is_empty());
+        d.drain_completions(111, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back() {
+        // 8 bytes/cycle: each 128-byte request occupies 16 cycles.
+        let mut d = dram(100, 8.0);
+        let t1 = d.submit(0, 128, 1);
+        let t2 = d.submit(0, 128, 2);
+        let t3 = d.submit(0, 128, 3);
+        assert_eq!(t1, 116);
+        assert_eq!(t2, 132);
+        assert_eq!(t3, 148);
+    }
+
+    #[test]
+    fn idle_channel_resets_queueing() {
+        let mut d = dram(100, 8.0);
+        let _ = d.submit(0, 128, 1);
+        // Long gap: the second request sees no queueing.
+        let t2 = d.submit(1000, 128, 2);
+        assert_eq!(t2, 1116);
+    }
+
+    #[test]
+    fn fractional_bandwidth_accumulates() {
+        // 6.4 bytes/cycle: a 128-byte transfer takes 20 cycles.
+        let mut d = dram(0, 6.4);
+        let t1 = d.submit(0, 128, 1);
+        assert_eq!(t1, 20);
+        let t2 = d.submit(0, 128, 2);
+        assert_eq!(t2, 40);
+    }
+
+    #[test]
+    fn sustained_rate_matches_bandwidth() {
+        let mut d = dram(200, 8.0);
+        for i in 0..1000 {
+            d.submit(0, 128, i);
+        }
+        // Last completion ≈ 1000 * 16 + 200.
+        let mut out = Vec::new();
+        d.drain_completions(1000 * 16 + 200, &mut out);
+        assert_eq!(out.len(), 1000);
+        let (req, bytes) = d.counters();
+        assert_eq!(req, 1000);
+        assert_eq!(bytes, 128_000);
+    }
+
+    #[test]
+    fn completions_drain_in_time_order() {
+        let mut d = dram(10, 128.0);
+        d.submit(0, 128, 3);
+        d.submit(5, 128, 7);
+        let mut out = Vec::new();
+        d.drain_completions(100, &mut out);
+        assert_eq!(out, vec![3, 7]);
+    }
+}

@@ -1,0 +1,567 @@
+//! IR-driven simulation: execute a `xmodel-isa` kernel directly.
+//!
+//! The parametric [`crate::Sm`] abstracts a kernel to `(Z, E)` — exactly
+//! the abstraction the analytic model makes. This module is the ablation
+//! of that abstraction: warps fetch the *actual instruction stream*,
+//! issue it in its dual-issue groups, stall on global memory, take a
+//! fixed-latency shared-memory path for `LDS`/`STS`, and synchronize at
+//! `BAR` barriers with the other warps of their thread block — behaviour
+//! the scalar `(Z, E)` pair cannot express (visible in the `nw`/`lud`
+//! workloads). Comparing the two modes quantifies what the paper's
+//! three-parameter application abstraction loses.
+
+use crate::cache::{Access, L1Cache, SimpleCache};
+use crate::config::SimConfig;
+use crate::dram::Dram;
+use crate::stats::SimStats;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use xmodel_isa::{Kernel, MemSpace, OpClass, Opcode};
+use xmodel_workloads::{AddressStream, TraceSpec};
+
+/// Cycles an `LDS`/`STS` access keeps a warp waiting.
+const SMEM_LATENCY: u64 = 24;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WarpState {
+    /// Executing instructions.
+    Running,
+    /// Waiting for a memory return (global or shared path).
+    Waiting,
+    /// Parked at a barrier until the block arrives.
+    AtBarrier,
+    /// Memory request rejected (MSHRs full); retry.
+    Stalled,
+}
+
+struct WarpCtx {
+    state: WarpState,
+    /// Current block index.
+    block: usize,
+    /// Instruction index within the block.
+    pc: usize,
+    /// Remaining iterations of the current block.
+    trips_left: u64,
+    stream: Box<dyn AddressStream>,
+    rng: SmallRng,
+    pending_addr: u64,
+    /// Thread-block this warp belongs to (for barriers).
+    cta: usize,
+}
+
+/// An SM executing kernel IR.
+///
+/// ## Example
+///
+/// ```
+/// use xmodel_sim::prelude::*;
+/// use xmodel_workloads::microbench::{stream_kernel, stream_trace};
+///
+/// let cfg = SimConfig::builder().lanes(6.0).dram(540, 13.7).build();
+/// let stats = simulate_ir(&cfg, &stream_kernel(false), stream_trace(), 32, 5_000, 20_000);
+/// assert!(stats.ms_throughput() > 0.0);
+/// ```
+pub struct IrSm {
+    cfg: SimConfig,
+    kernel: Kernel,
+    warps: Vec<WarpCtx>,
+    warps_per_cta: usize,
+    l1: Option<L1Cache>,
+    l2: Option<(SimpleCache, Dram)>,
+    dram: Dram,
+    /// `(cycle, warp, is_global_request)` returns.
+    return_queue: BinaryHeap<Reverse<(u64, u32, bool)>>,
+    cycle: u64,
+    rr: usize,
+    measuring: bool,
+    stats: SimStats,
+    drain_buf: Vec<u64>,
+}
+
+const TAG_DIRECT: u64 = 1 << 63;
+
+impl IrSm {
+    /// Build an IR-driven SM running `warps` copies of `kernel`, with
+    /// global addresses drawn from `trace`.
+    pub fn new(cfg: &SimConfig, kernel: &Kernel, trace: TraceSpec, warps: u32, seed: u64) -> Self {
+        assert!(warps >= 1);
+        assert!(!kernel.blocks.is_empty());
+        let warps_per_cta = kernel.warps_per_block().max(1) as usize;
+        let ctxs = (0..warps)
+            .map(|w| {
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+                let trips = trip_count(kernel.blocks[0].weight, &mut rng);
+                WarpCtx {
+                    state: WarpState::Running,
+                    block: 0,
+                    pc: 0,
+                    trips_left: trips,
+                    stream: trace.instantiate(w, seed),
+                    rng,
+                    pending_addr: 0,
+                    cta: w as usize / warps_per_cta,
+                }
+            })
+            .collect();
+        Self {
+            cfg: *cfg,
+            kernel: kernel.clone(),
+            warps: ctxs,
+            warps_per_cta,
+            l1: cfg.l1.map(L1Cache::new),
+            l2: cfg.l2.map(|l2| {
+                (
+                    SimpleCache::new(l2.capacity_bytes, 128),
+                    Dram::new(crate::config::DramConfig {
+                        latency: l2.latency,
+                        bytes_per_cycle: l2.bytes_per_cycle,
+                    }),
+                )
+            }),
+            dram: Dram::new(cfg.dram),
+            return_queue: BinaryHeap::new(),
+            cycle: 0,
+            rr: 0,
+            measuring: false,
+            stats: SimStats::new(warps),
+            drain_buf: Vec::new(),
+        }
+    }
+
+    fn bypasses(&self, warp: u32) -> bool {
+        self.l1.is_none()
+            || (warp as f64) >= (1.0 - self.cfg.bypass_fraction) * self.warps.len() as f64
+    }
+
+    fn submit_mem(&mut self, now: u64, addr: u64, tag: u64) {
+        let bytes = self.cfg.request_bytes.round().max(1.0) as u64;
+        match self.l2.as_mut() {
+            Some((cache, channel)) => {
+                if cache.probe_insert(addr) {
+                    channel.submit(now, bytes, tag);
+                } else {
+                    self.dram.submit(now, bytes, tag);
+                }
+            }
+            None => {
+                self.dram.submit(now, bytes, tag);
+            }
+        }
+    }
+
+    /// Advance the warp's control flow past its current instruction.
+    fn advance(&mut self, wi: usize) {
+        let w = &mut self.warps[wi];
+        w.pc += 1;
+        let block_len = self.kernel.blocks[w.block].insts.len();
+        if w.pc < block_len {
+            return;
+        }
+        w.pc = 0;
+        if w.trips_left > 1 {
+            w.trips_left -= 1;
+            return;
+        }
+        // Next block (skipping zero-trip blocks), wrapping to restart the
+        // kernel for steady-state measurement.
+        loop {
+            w.block = (w.block + 1) % self.kernel.blocks.len();
+            let trips = trip_count(self.kernel.blocks[w.block].weight, &mut w.rng);
+            if trips > 0 && !self.kernel.blocks[w.block].insts.is_empty() {
+                w.trips_left = trips;
+                break;
+            }
+        }
+    }
+
+    fn wake(&mut self, warp: u32, is_global: bool) {
+        let wi = warp as usize;
+        self.warps[wi].state = WarpState::Running;
+        if is_global && self.measuring {
+            self.stats.requests_completed += 1;
+            self.stats.bytes_delivered += self.cfg.request_bytes.round().max(1.0) as u64;
+        }
+        self.advance(wi);
+    }
+
+    fn release_barrier_if_ready(&mut self, cta: usize) {
+        let members: Vec<usize> = (0..self.warps.len())
+            .filter(|&i| self.warps[i].cta == cta)
+            .collect();
+        if members
+            .iter()
+            .all(|&i| self.warps[i].state == WarpState::AtBarrier)
+        {
+            for i in members {
+                self.warps[i].state = WarpState::Running;
+                self.advance(i);
+            }
+        }
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+
+        // 1. Memory completions (DRAM + L2 channel + smem/hit returns).
+        self.drain_buf.clear();
+        let mut buf = std::mem::take(&mut self.drain_buf);
+        self.dram.drain_completions(now, &mut buf);
+        if let Some((_, channel)) = self.l2.as_mut() {
+            channel.drain_completions(now, &mut buf);
+        }
+        for tag in buf.drain(..) {
+            if tag & TAG_DIRECT != 0 {
+                self.wake((tag & !TAG_DIRECT) as u32, true);
+            } else {
+                let waiters = self
+                    .l1
+                    .as_mut()
+                    .expect("MSHR completion without L1")
+                    .complete_fill(tag as usize);
+                for w in waiters {
+                    self.wake(w, true);
+                }
+            }
+        }
+        self.drain_buf = buf;
+        while let Some(&Reverse((t, w, is_global))) = self.return_queue.peek() {
+            if t > now {
+                break;
+            }
+            self.return_queue.pop();
+            self.wake(w, is_global);
+        }
+
+        // 2. Retry stalled memory requests through the LSU.
+        let n = self.warps.len();
+        let mut lsu_used = 0u32;
+        for wi in 0..n {
+            if self.warps[wi].state == WarpState::Stalled && lsu_used < self.cfg.lsu_per_cycle {
+                lsu_used += 1;
+                self.issue_memory(wi, now);
+            }
+        }
+
+        // 3. Scheduler: pick up to issue_width running warps, each issuing
+        // one dual-issue group; lane credit caps total ops.
+        let mut credit = self.cfg.lanes;
+        let mut selected = 0u32;
+        let mut retired = 0.0f64;
+        let mut barriers_hit: Vec<usize> = Vec::new();
+        for off in 0..n {
+            if credit <= 1e-12 || selected >= self.cfg.issue_width {
+                break;
+            }
+            let wi = (self.rr + off) % n;
+            if self.warps[wi].state != WarpState::Running {
+                continue;
+            }
+            selected += 1;
+
+            // Issue one group: current inst plus trailing dual-issue pairs.
+            loop {
+                let (block, pc) = (self.warps[wi].block, self.warps[wi].pc);
+                let inst = self.kernel.blocks[block].insts[pc];
+                match inst.opcode.class() {
+                    OpClass::Memory(MemSpace::Global) => {
+                        if lsu_used >= self.cfg.lsu_per_cycle {
+                            // LSU port busy: warp retries next cycle.
+                            break;
+                        }
+                        lsu_used += 1;
+                        retired += 1.0;
+                        credit -= 1.0;
+                        self.warps[wi].pending_addr = self.warps[wi].stream.next_addr();
+                        self.issue_memory(wi, now);
+                        // pc stays on the load; it advances at wake-up.
+                        break;
+                    }
+                    OpClass::Memory(_) => {
+                        // Shared/constant/local path: fixed short latency,
+                        // no request accounting; pc advances at return.
+                        retired += 1.0;
+                        credit -= 1.0;
+                        self.warps[wi].state = WarpState::Waiting;
+                        self.return_queue
+                            .push(Reverse((now + SMEM_LATENCY, wi as u32, false)));
+                        break;
+                    }
+                    OpClass::Control if inst.opcode == Opcode::BAR => {
+                        self.warps[wi].state = WarpState::AtBarrier;
+                        barriers_hit.push(self.warps[wi].cta);
+                        // pc advances when the barrier releases.
+                        break;
+                    }
+                    _ => {
+                        retired += 1.0;
+                        credit -= 1.0;
+                        self.advance(wi);
+                    }
+                }
+                // Continue the group only while the next inst pairs with
+                // its predecessor (pc == 0 means we wrapped into a new
+                // block or iteration: a fresh group).
+                let (block, pc) = (self.warps[wi].block, self.warps[wi].pc);
+                let next = self.kernel.blocks[block].insts[pc];
+                if !next.dual_issue || credit <= 1e-12 || pc == 0 {
+                    break;
+                }
+            }
+        }
+        self.rr = (self.rr + 1) % n;
+
+        for cta in barriers_hit {
+            self.release_barrier_if_ready(cta);
+        }
+
+        // 4. Accounting.
+        if self.measuring {
+            self.stats.cycles += 1;
+            self.stats.ops_retired += retired;
+            let k = self
+                .warps
+                .iter()
+                .filter(|w| matches!(w.state, WarpState::Waiting | WarpState::Stalled))
+                .count();
+            self.stats.sum_k += k as f64;
+            self.stats.sum_x += (n - k) as f64;
+            self.stats.k_histogram[k] += 1;
+        }
+        self.cycle += 1;
+    }
+
+    /// Issue the pending global request of warp `wi` into the hierarchy.
+    fn issue_memory(&mut self, wi: usize, now: u64) {
+        let addr = self.warps[wi].pending_addr;
+        if self.bypasses(wi as u32) {
+            self.submit_mem(now, addr, TAG_DIRECT | wi as u64);
+            self.warps[wi].state = WarpState::Waiting;
+            return;
+        }
+        let l1 = self.l1.as_mut().expect("cached warp without L1");
+        match l1.access(addr, wi as u32) {
+            Access::Hit => {
+                let lat = self.cfg.l1.map(|c| c.hit_latency).unwrap_or(1);
+                self.return_queue.push(Reverse((now + lat, wi as u32, true)));
+                self.warps[wi].state = WarpState::Waiting;
+                if self.measuring {
+                    self.stats.l1_hits += 1;
+                }
+            }
+            Access::MissAllocated { mshr } => {
+                self.submit_mem(now, addr, mshr as u64);
+                self.warps[wi].state = WarpState::Waiting;
+                if self.measuring {
+                    self.stats.l1_misses += 1;
+                }
+            }
+            Access::MissMerged { .. } => {
+                self.warps[wi].state = WarpState::Waiting;
+                if self.measuring {
+                    self.stats.l1_merges += 1;
+                }
+            }
+            Access::MshrFull => {
+                self.warps[wi].state = WarpState::Stalled;
+                if self.measuring {
+                    self.stats.mshr_stalls += 1;
+                }
+            }
+        }
+    }
+
+    /// Run `warmup` unmeasured cycles then `measure` measured ones.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> &SimStats {
+        self.measuring = false;
+        for _ in 0..warmup {
+            self.step();
+        }
+        self.measuring = true;
+        for _ in 0..measure {
+            self.step();
+        }
+        &self.stats
+    }
+
+    /// Stats so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Warps per thread block (barrier scope).
+    pub fn warps_per_cta(&self) -> usize {
+        self.warps_per_cta
+    }
+}
+
+/// Randomized rounding of a fractional trip count (mean-preserving).
+fn trip_count(weight: f64, rng: &mut SmallRng) -> u64 {
+    if weight <= 0.0 {
+        return 0;
+    }
+    let base = weight.floor();
+    let frac = weight - base;
+    base as u64 + u64::from(rng.random::<f64>() < frac)
+}
+
+/// Convenience: run a kernel IR on a configuration.
+pub fn simulate_ir(
+    cfg: &SimConfig,
+    kernel: &Kernel,
+    trace: TraceSpec,
+    warps: u32,
+    warmup: u64,
+    measure: u64,
+) -> SimStats {
+    let mut sm = IrSm::new(cfg, kernel, trace, warps, 42);
+    sm.run(warmup, measure);
+    sm.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sm::simulate;
+    use crate::SimWorkload;
+    use xmodel_workloads::microbench::{peak_ops_kernel, stream_kernel, stream_trace};
+    use xmodel_workloads::Workload;
+
+    fn cfg() -> SimConfig {
+        SimConfig::builder()
+            .lanes(6.0)
+            .issue_width(8)
+            .lsu(2)
+            .dram(540, 13.7)
+            .build()
+    }
+
+    #[test]
+    fn deterministic() {
+        let k = stream_kernel(false);
+        let a = simulate_ir(&cfg(), &k, stream_trace(), 16, 5_000, 20_000);
+        let b = simulate_ir(&cfg(), &k, stream_trace(), 16, 5_000, 20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pure_compute_ir_saturates_lanes() {
+        let k = peak_ops_kernel(2.0);
+        let s = simulate_ir(&cfg(), &k, stream_trace(), 16, 2_000, 10_000);
+        assert!(
+            (s.cs_throughput() - 6.0).abs() < 0.2,
+            "cs = {}",
+            s.cs_throughput()
+        );
+        assert_eq!(s.requests_completed, 0);
+    }
+
+    #[test]
+    fn single_warp_dual_issue_rate() {
+        let k = peak_ops_kernel(2.0);
+        let s = simulate_ir(&cfg(), &k, stream_trace(), 1, 2_000, 10_000);
+        // One warp with fully-paired FMAs retires ~2 ops/cycle (minus the
+        // group-boundary solo instructions).
+        assert!(
+            s.cs_throughput() > 1.7 && s.cs_throughput() <= 2.0 + 1e-9,
+            "cs = {}",
+            s.cs_throughput()
+        );
+    }
+
+    #[test]
+    fn ir_stream_matches_parametric_sim() {
+        // The core ablation: executing the stream kernel's IR should give
+        // the same throughput as the (Z, E) abstraction of it.
+        let kernel = stream_kernel(false);
+        let a = kernel.analyze();
+        let ir = simulate_ir(&cfg(), &kernel, stream_trace(), 48, 20_000, 60_000);
+        let par = simulate(
+            &cfg(),
+            &SimWorkload {
+                trace: stream_trace(),
+                ops_per_request: a.intensity,
+                ilp: a.ilp,
+                warps: 48,
+            },
+            20_000,
+            60_000,
+        );
+        let rel = (ir.ms_throughput() - par.ms_throughput()).abs() / par.ms_throughput();
+        assert!(
+            rel < 0.15,
+            "IR {} vs parametric {}",
+            ir.ms_throughput(),
+            par.ms_throughput()
+        );
+    }
+
+    #[test]
+    fn every_suite_kernel_executes() {
+        for w in Workload::suite() {
+            let s = simulate_ir(&cfg(), &w.kernel, w.trace, 16, 5_000, 15_000);
+            assert!(
+                s.cs_throughput() > 0.0,
+                "{} retired nothing",
+                w.name
+            );
+            assert!(
+                s.requests_completed > 0,
+                "{} made no requests",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn barriers_keep_blocks_in_lockstep() {
+        use xmodel_isa::Opcode::*;
+        // Two warps per block; each iteration does one load + barrier.
+        let k = xmodel_isa::Kernel::builder("bar", 64)
+            .block(1000.0, |b| b.inst(LDG).inst(IADD).inst(BAR))
+            .build();
+        let trace = TraceSpec::Gather {
+            footprint_lines: 1 << 16,
+            skew: 0.0,
+        };
+        let s = simulate_ir(&cfg(), &k, trace, 8, 5_000, 30_000);
+        assert!(s.requests_completed > 0);
+        // A barrier-free variant must be at least as fast.
+        let free = xmodel_isa::Kernel::builder("nobar", 64)
+            .block(1000.0, |b| b.inst(LDG).inst(IADD).inst(IADD))
+            .build();
+        let sf = simulate_ir(&cfg(), &free, trace, 8, 5_000, 30_000);
+        assert!(
+            sf.ms_throughput() >= s.ms_throughput() * 0.99,
+            "barrier {} vs free {}",
+            s.ms_throughput(),
+            sf.ms_throughput()
+        );
+    }
+
+    #[test]
+    fn smem_ops_take_the_short_path() {
+        use xmodel_isa::Opcode::*;
+        // Shared-memory-heavy kernel: no DRAM traffic from LDS/STS.
+        let k = xmodel_isa::Kernel::builder("smem", 64)
+            .block(1000.0, |b| b.inst(LDS).inst(FFMA).inst(STS).inst(IADD))
+            .build();
+        let s = simulate_ir(&cfg(), &k, stream_trace(), 8, 2_000, 10_000);
+        assert_eq!(s.requests_completed, 0, "smem must not touch DRAM");
+        assert!(s.cs_throughput() > 0.0);
+    }
+
+    #[test]
+    fn zero_weight_blocks_are_skipped() {
+        use xmodel_isa::Opcode::*;
+        let k = xmodel_isa::Kernel::builder("zw", 32)
+            .block(0.0, |b| b.inst(BAR).inst(BAR))
+            .block(10.0, |b| b.inst(FFMA).inst(IADD))
+            .build();
+        let s = simulate_ir(&cfg(), &k, stream_trace(), 4, 1_000, 5_000);
+        assert!(s.cs_throughput() > 0.0);
+    }
+}

@@ -1,0 +1,673 @@
+//! The cycle-stepped SM driver.
+
+use crate::cache::{Access, L1Cache, SimpleCache};
+use crate::config::{SimConfig, SimWorkload};
+use crate::dram::Dram;
+use std::cell::RefCell;
+use std::rc::Rc;
+use crate::stats::SimStats;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use xmodel_workloads::AddressStream;
+
+/// Tag bit marking a DRAM completion that wakes a warp directly (bypass or
+/// no-L1) rather than completing an MSHR fill.
+const TAG_DIRECT: u64 = 1 << 63;
+
+/// Bit offset where a chip-level simulation stores the SM id in shared
+/// DRAM tags (see [`crate::chip`]).
+pub(crate) const TAG_SM_SHIFT: u32 = 48;
+
+/// A DRAM attachment: private channel, or a chip-shared channel the SM
+/// submits to with its id encoded in the tag (completions are routed back
+/// by the chip driver).
+enum DramPort {
+    Own(Dram),
+    Shared(Rc<RefCell<Dram>>, u64),
+}
+
+impl DramPort {
+    fn submit(&mut self, now: u64, bytes: u64, tag: u64) {
+        match self {
+            DramPort::Own(d) => {
+                d.submit(now, bytes, tag);
+            }
+            DramPort::Shared(d, smbits) => {
+                d.borrow_mut().submit(now, bytes, tag | *smbits);
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WarpState {
+    /// Executing: `ops_left` warp-ops until the next memory request.
+    Computing { ops_left: f64 },
+    /// Has a memory request ready to hand to the LSU.
+    IssuePending,
+    /// Request in flight (L1 hit pipeline, MSHR fill, or direct DRAM).
+    Waiting,
+    /// Rejected for MSHR exhaustion; retries through the LSU.
+    Stalled,
+}
+
+struct Warp {
+    state: WarpState,
+    pending_addr: u64,
+    stream: Box<dyn AddressStream>,
+    rng: SmallRng,
+}
+
+/// One simulated streaming multiprocessor.
+pub struct Sm {
+    cfg: SimConfig,
+    wl: SimWorkload,
+    warps: Vec<Warp>,
+    l1: Option<L1Cache>,
+    l2: Option<(SimpleCache, Dram)>,
+    dram: DramPort,
+    hit_queue: BinaryHeap<Reverse<(u64, u32)>>,
+    cycle: u64,
+    rr: usize,
+    lsu_rr: usize,
+    measuring: bool,
+    stats: SimStats,
+    drain_buf: Vec<u64>,
+    /// Sample the spatial trajectory every this many cycles (0 = never).
+    pub trajectory_interval: u64,
+}
+
+impl Sm {
+    /// Build an SM with every warp starting in CS (a fresh compute
+    /// quantum). `seed` controls the per-warp address streams and compute
+    /// jitter; identical seeds give identical runs.
+    pub fn new(cfg: &SimConfig, wl: &SimWorkload, seed: u64) -> Self {
+        Self::with_initial_ms_fraction(cfg, wl, seed, 0.0)
+    }
+
+    /// Build an SM with the first `ms_fraction` of warps starting with an
+    /// immediate memory request (threads initially in MS) — the knob used
+    /// to probe the bistable regime of §III-D.
+    pub fn with_initial_ms_fraction(
+        cfg: &SimConfig,
+        wl: &SimWorkload,
+        seed: u64,
+        ms_fraction: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&ms_fraction));
+        assert!(wl.warps >= 1, "need at least one warp");
+        assert!(wl.ilp > 0.0 && wl.ops_per_request > 0.0);
+        let in_ms = (ms_fraction * wl.warps as f64).round() as u32;
+        let warps = (0..wl.warps)
+            .map(|w| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let mut stream = wl.trace.instantiate(w, seed);
+                let state = if w < in_ms {
+                    WarpState::IssuePending
+                } else {
+                    WarpState::Computing {
+                        ops_left: sample_ops(wl.ops_per_request, &mut rng),
+                    }
+                };
+                let pending_addr = stream.next_addr();
+                Warp {
+                    state,
+                    pending_addr,
+                    stream,
+                    rng,
+                }
+            })
+            .collect();
+        Self {
+            warps,
+            l1: cfg.l1.map(L1Cache::new),
+            l2: cfg.l2.map(|l2| {
+                (
+                    SimpleCache::new(l2.capacity_bytes, 128),
+                    Dram::new(crate::config::DramConfig {
+                        latency: l2.latency,
+                        bytes_per_cycle: l2.bytes_per_cycle,
+                    }),
+                )
+            }),
+            dram: DramPort::Own(Dram::new(cfg.dram)),
+            hit_queue: BinaryHeap::new(),
+            cycle: 0,
+            rr: 0,
+            lsu_rr: 0,
+            measuring: false,
+            stats: SimStats::new(wl.warps),
+            drain_buf: Vec::new(),
+            cfg: *cfg,
+            wl: *wl,
+            trajectory_interval: 0,
+        }
+    }
+
+    /// Build an SM from pre-instantiated per-warp address streams (for
+    /// recorded/algorithm-derived traces); `z`/`e` play the same role as
+    /// in [`SimWorkload`]. The workload's own trace field is ignored.
+    pub fn with_streams(
+        cfg: &SimConfig,
+        streams: Vec<Box<dyn xmodel_workloads::AddressStream>>,
+        ops_per_request: f64,
+        ilp: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!streams.is_empty());
+        let wl = SimWorkload {
+            trace: xmodel_workloads::TraceSpec::Stream { region_lines: 1 },
+            ops_per_request,
+            ilp,
+            warps: streams.len() as u32,
+        };
+        let mut sm = Self::new(cfg, &wl, seed);
+        for (w, stream) in sm.warps.iter_mut().zip(streams) {
+            w.stream = stream;
+            w.pending_addr = w.stream.next_addr();
+        }
+        sm
+    }
+
+    /// Re-attach this SM to a chip-shared DRAM channel (used by
+    /// [`crate::chip::ChipSim`]). Completions must then be injected via
+    /// [`Sm::step_with`].
+    pub(crate) fn attach_shared_dram(&mut self, dram: Rc<RefCell<Dram>>, sm_id: u16) {
+        self.dram = DramPort::Shared(dram, (sm_id as u64) << TAG_SM_SHIFT);
+    }
+
+    fn bypasses(&self, warp: u32) -> bool {
+        self.l1.is_none()
+            || (warp as f64) >= (1.0 - self.cfg.bypass_fraction) * self.wl.warps as f64
+    }
+
+    /// Send a request for `addr` into the memory hierarchy below L1:
+    /// probe L2 when configured (hits ride the L2 channel; misses install
+    /// the line and fall through to DRAM), else go straight to DRAM.
+    fn submit_mem(&mut self, now: u64, addr: u64, tag: u64) {
+        let bytes = self.cfg.request_bytes.round().max(1.0) as u64;
+        match self.l2.as_mut() {
+            Some((cache, channel)) => {
+                if cache.probe_insert(addr) {
+                    channel.submit(now, bytes, tag);
+                } else {
+                    self.dram.submit(now, bytes, tag);
+                }
+            }
+            None => {
+                self.dram.submit(now, bytes, tag);
+            }
+        }
+    }
+
+    fn wake(&mut self, warp: u32) {
+        let w = &mut self.warps[warp as usize];
+        let ops = sample_ops(self.wl.ops_per_request, &mut w.rng);
+        w.state = WarpState::Computing { ops_left: ops };
+        w.pending_addr = w.stream.next_addr();
+        if self.measuring {
+            self.stats.requests_completed += 1;
+            self.stats.bytes_delivered += self.cfg.request_bytes.round().max(1.0) as u64;
+        }
+    }
+
+    /// Advance one cycle (private-DRAM configuration).
+    pub fn step(&mut self) {
+        self.step_with(&[]);
+    }
+
+    /// Advance one cycle, additionally delivering `injected` completion
+    /// tags routed from a chip-shared DRAM channel.
+    pub fn step_with(&mut self, injected: &[u64]) {
+        let now = self.cycle;
+
+        // 1. Completions: DRAM first, then the L1 hit pipeline.
+        self.drain_buf.clear();
+        let mut buf = std::mem::take(&mut self.drain_buf);
+        buf.extend_from_slice(injected);
+        if let DramPort::Own(d) = &mut self.dram {
+            d.drain_completions(now, &mut buf);
+        }
+        if let Some((_, channel)) = self.l2.as_mut() {
+            channel.drain_completions(now, &mut buf);
+        }
+        for tag in buf.drain(..) {
+            if tag & TAG_DIRECT != 0 {
+                self.wake((tag & !TAG_DIRECT) as u32);
+            } else {
+                let waiters = self
+                    .l1
+                    .as_mut()
+                    .expect("MSHR completion without L1")
+                    .complete_fill(tag as usize);
+                for w in waiters {
+                    self.wake(w);
+                }
+            }
+        }
+        self.drain_buf = buf;
+        while let Some(&Reverse((t, w))) = self.hit_queue.peek() {
+            if t > now {
+                break;
+            }
+            self.hit_queue.pop();
+            self.wake(w);
+        }
+
+        // 2. LSU: issue up to lsu_per_cycle pending requests, round-robin.
+        let n = self.warps.len();
+        let mut issued = 0;
+        for off in 0..n {
+            if issued >= self.cfg.lsu_per_cycle {
+                break;
+            }
+            let wi = (self.lsu_rr + off) % n;
+            if !matches!(
+                self.warps[wi].state,
+                WarpState::IssuePending | WarpState::Stalled
+            ) {
+                continue;
+            }
+            issued += 1;
+            let addr = self.warps[wi].pending_addr;
+            if self.bypasses(wi as u32) {
+                self.submit_mem(now, addr, TAG_DIRECT | wi as u64);
+                self.warps[wi].state = WarpState::Waiting;
+            } else {
+                let l1 = self.l1.as_mut().expect("cached warp without L1");
+                match l1.access(addr, wi as u32) {
+                    Access::Hit => {
+                        self.hit_queue
+                            .push(Reverse((now + l1_hit_latency(&self.cfg), wi as u32)));
+                        self.warps[wi].state = WarpState::Waiting;
+                        if self.measuring {
+                            self.stats.l1_hits += 1;
+                        }
+                    }
+                    Access::MissAllocated { mshr } => {
+                        self.submit_mem(now, addr, mshr as u64);
+                        self.warps[wi].state = WarpState::Waiting;
+                        if self.measuring {
+                            self.stats.l1_misses += 1;
+                        }
+                    }
+                    Access::MissMerged { .. } => {
+                        self.warps[wi].state = WarpState::Waiting;
+                        if self.measuring {
+                            self.stats.l1_merges += 1;
+                        }
+                    }
+                    Access::MshrFull => {
+                        self.warps[wi].state = WarpState::Stalled;
+                        if self.measuring {
+                            self.stats.mshr_stalls += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.lsu_rr = (self.lsu_rr + 1) % n;
+
+        // 3. CS: spend up to `lanes` warp-ops, round-robin, each selected
+        // warp retiring at most its ILP width.
+        let mut credit = self.cfg.lanes;
+        let mut selected = 0;
+        let mut retired = 0.0;
+        for off in 0..n {
+            if credit <= 1e-12 || selected >= self.cfg.issue_width {
+                break;
+            }
+            let wi = (self.rr + off) % n;
+            if let WarpState::Computing { ops_left } = self.warps[wi].state {
+                let take = self.wl.ilp.min(ops_left).min(credit);
+                let left = ops_left - take;
+                credit -= take;
+                retired += take;
+                selected += 1;
+                self.warps[wi].state = if left <= 1e-9 {
+                    WarpState::IssuePending
+                } else {
+                    WarpState::Computing { ops_left: left }
+                };
+            }
+        }
+        self.rr = (self.rr + 1) % n;
+
+        // 4. Accounting.
+        if self.measuring {
+            self.stats.cycles += 1;
+            self.stats.ops_retired += retired;
+            let k = self
+                .warps
+                .iter()
+                .filter(|w| {
+                    matches!(
+                        w.state,
+                        WarpState::IssuePending | WarpState::Waiting | WarpState::Stalled
+                    )
+                })
+                .count();
+            self.stats.sum_k += k as f64;
+            self.stats.sum_x += (n - k) as f64;
+            self.stats.k_histogram[k] += 1;
+            if self.trajectory_interval > 0 && now % self.trajectory_interval == 0 {
+                self.stats.trajectory.push((now, k as u32));
+            }
+        }
+
+        self.cycle += 1;
+    }
+
+    /// Enable or disable measurement (chip driver control).
+    pub fn set_measuring(&mut self, on: bool) {
+        self.measuring = on;
+    }
+
+    /// Run `warmup` unmeasured cycles then `measure` measured ones.
+    pub fn run(&mut self, warmup: u64, measure: u64) -> &SimStats {
+        self.measuring = false;
+        for _ in 0..warmup {
+            self.step();
+        }
+        self.measuring = true;
+        for _ in 0..measure {
+            self.step();
+        }
+        &self.stats
+    }
+
+    /// Run with measurement on until `requests` warp requests complete or
+    /// `max_cycles` elapse; returns the cycles spent (None on timeout).
+    /// Used to validate the execution-time extension of `xmodel-core`.
+    pub fn run_until_requests(&mut self, requests: u64, max_cycles: u64) -> Option<u64> {
+        self.measuring = true;
+        let start = self.cycle;
+        while self.stats.requests_completed < requests {
+            if self.cycle - start >= max_cycles {
+                return None;
+            }
+            self.step();
+        }
+        Some(self.cycle - start)
+    }
+
+    /// Stats collected so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+fn l1_hit_latency(cfg: &SimConfig) -> u64 {
+    cfg.l1.map(|c| c.hit_latency).unwrap_or(1)
+}
+
+/// Uniform jitter in `[0.5·z, 1.5·z)` with mean `z`, desynchronising warps
+/// the way variable control flow does on hardware. Infinite `z` (pure
+/// compute) passes through.
+fn sample_ops(z: f64, rng: &mut SmallRng) -> f64 {
+    if z.is_infinite() {
+        return f64::INFINITY;
+    }
+    z * (0.5 + rng.random::<f64>())
+}
+
+/// Run a fresh SM to completion and return its stats (seed 42).
+pub fn simulate(cfg: &SimConfig, wl: &SimWorkload, warmup: u64, measure: u64) -> SimStats {
+    simulate_with_seed(cfg, wl, warmup, measure, 42)
+}
+
+/// [`simulate`] with an explicit seed.
+pub fn simulate_with_seed(
+    cfg: &SimConfig,
+    wl: &SimWorkload,
+    warmup: u64,
+    measure: u64,
+    seed: u64,
+) -> SimStats {
+    let mut sm = Sm::new(cfg, wl, seed);
+    sm.run(warmup, measure);
+    sm.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmodel_workloads::TraceSpec;
+
+    fn stream_wl(warps: u32, z: f64, e: f64) -> SimWorkload {
+        SimWorkload {
+            trace: TraceSpec::Stream {
+                region_lines: 1 << 22,
+            },
+            ops_per_request: z,
+            ilp: e,
+            warps,
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SimConfig::builder().lanes(4.0).dram(400, 8.0).build();
+        let wl = stream_wl(16, 10.0, 1.0);
+        let a = simulate_with_seed(&cfg, &wl, 5_000, 20_000, 7);
+        let b = simulate_with_seed(&cfg, &wl, 5_000, 20_000, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pure_compute_saturates_lanes() {
+        let cfg = SimConfig::builder().lanes(4.0).issue_width(8).build();
+        let wl = SimWorkload {
+            trace: TraceSpec::Stream { region_lines: 64 },
+            ops_per_request: f64::INFINITY,
+            ilp: 1.0,
+            warps: 16,
+        };
+        let s = simulate(&cfg, &wl, 1_000, 10_000);
+        assert!((s.cs_throughput() - 4.0).abs() < 0.01, "{}", s.cs_throughput());
+        assert_eq!(s.requests_completed, 0);
+        assert_eq!(s.avg_k(), 0.0);
+    }
+
+    #[test]
+    fn few_threads_cannot_saturate_lanes() {
+        let cfg = SimConfig::builder().lanes(4.0).issue_width(8).build();
+        let wl = SimWorkload {
+            trace: TraceSpec::Stream { region_lines: 64 },
+            ops_per_request: f64::INFINITY,
+            ilp: 1.0,
+            warps: 2,
+        };
+        let s = simulate(&cfg, &wl, 1_000, 10_000);
+        // Two warps at ILP 1 retire 2 ops/cycle on 4 lanes.
+        assert!((s.cs_throughput() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn ilp_multiplies_single_warp_throughput() {
+        let cfg = SimConfig::builder().lanes(4.0).issue_width(8).build();
+        let mk = |e| SimWorkload {
+            trace: TraceSpec::Stream { region_lines: 64 },
+            ops_per_request: f64::INFINITY,
+            ilp: e,
+            warps: 1,
+        };
+        let s1 = simulate(&cfg, &mk(1.0), 1_000, 5_000);
+        let s2 = simulate(&cfg, &mk(2.0), 1_000, 5_000);
+        assert!((s1.cs_throughput() - 1.0).abs() < 0.01);
+        assert!((s2.cs_throughput() - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn memory_bound_stream_saturates_dram_bandwidth() {
+        // Z tiny: throughput pinned by DRAM: 8 B/cyc = 1/16 req/cyc.
+        let cfg = SimConfig::builder()
+            .lanes(4.0)
+            .issue_width(8)
+            .dram(400, 8.0)
+            .build();
+        let s = simulate(&cfg, &stream_wl(48, 2.0, 1.0), 20_000, 50_000);
+        let expect = 8.0 / 128.0;
+        assert!(
+            (s.ms_throughput() - expect).abs() < 0.1 * expect,
+            "ms = {}, expect {}",
+            s.ms_throughput(),
+            expect
+        );
+    }
+
+    #[test]
+    fn latency_bound_throughput_scales_with_warps() {
+        // Few warps, huge bandwidth: each warp turns around in
+        // ~Z + latency cycles => ms ≈ n / (L + Z).
+        let cfg = SimConfig::builder()
+            .lanes(8.0)
+            .issue_width(8)
+            .lsu(8)
+            .dram(400, 1e6)
+            .build();
+        let s4 = simulate(&cfg, &stream_wl(4, 10.0, 1.0), 10_000, 40_000);
+        let s8 = simulate(&cfg, &stream_wl(8, 10.0, 1.0), 10_000, 40_000);
+        let ratio = s8.ms_throughput() / s4.ms_throughput();
+        assert!((ratio - 2.0).abs() < 0.15, "ratio = {ratio}");
+        let expect4 = 4.0 / 410.0;
+        assert!(
+            (s4.ms_throughput() - expect4).abs() < 0.15 * expect4,
+            "ms = {} vs {}",
+            s4.ms_throughput(),
+            expect4
+        );
+    }
+
+    #[test]
+    fn spatial_state_concentrates_in_ms_for_memory_bound() {
+        let cfg = SimConfig::builder().lanes(4.0).dram(400, 8.0).build();
+        let s = simulate(&cfg, &stream_wl(32, 2.0, 1.0), 10_000, 40_000);
+        // Memory bound: nearly every warp waits in MS.
+        assert!(s.avg_k() > 28.0, "avg_k = {}", s.avg_k());
+        assert!((s.avg_k() + s.avg_x() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_hits_cut_memory_traffic() {
+        let wl = SimWorkload {
+            trace: TraceSpec::PrivateWorkingSet {
+                ws_lines: 8,
+                stream_prob: 0.0,
+                reuse_skew: 0.0,
+            },
+            ops_per_request: 10.0,
+            ilp: 1.0,
+            warps: 8,
+        };
+        let base = SimConfig::builder().lanes(4.0).dram(400, 8.0);
+        let no_l1 = base.clone().build();
+        let with_l1 = base.l1(64 * 1024, 20, 32).build();
+        let s0 = simulate(&no_l1, &wl, 10_000, 40_000);
+        let s1 = simulate(&with_l1, &wl, 10_000, 40_000);
+        assert!(s1.hit_rate() > 0.9, "hit rate = {}", s1.hit_rate());
+        assert!(
+            s1.ms_throughput() > 3.0 * s0.ms_throughput(),
+            "cached {} vs uncached {}",
+            s1.ms_throughput(),
+            s0.ms_throughput()
+        );
+    }
+
+    #[test]
+    fn thrashing_working_set_degrades_hit_rate() {
+        let mk = |warps| SimWorkload {
+            trace: TraceSpec::PrivateWorkingSet {
+                ws_lines: 32,
+                stream_prob: 0.0,
+                reuse_skew: 0.0,
+            },
+            ops_per_request: 10.0,
+            ilp: 1.0,
+            warps,
+        };
+        let cfg = SimConfig::builder()
+            .lanes(4.0)
+            .dram(400, 8.0)
+            // 16 KiB = 128 lines: four warps' working sets fit.
+            .l1(16 * 1024, 20, 32)
+            .build();
+        let few = simulate(&cfg, &mk(4), 20_000, 40_000);
+        let many = simulate(&cfg, &mk(48), 20_000, 40_000);
+        assert!(few.hit_rate() > 0.9, "few = {}", few.hit_rate());
+        assert!(
+            many.hit_rate() < 0.5,
+            "many = {} should thrash",
+            many.hit_rate()
+        );
+    }
+
+    #[test]
+    fn bypass_fraction_sends_warps_straight_to_dram() {
+        let wl = SimWorkload {
+            trace: TraceSpec::PrivateWorkingSet {
+                ws_lines: 8,
+                stream_prob: 0.0,
+                reuse_skew: 0.0,
+            },
+            ops_per_request: 10.0,
+            ilp: 1.0,
+            warps: 8,
+        };
+        let all_cached = SimConfig::builder()
+            .lanes(4.0)
+            .dram(400, 8.0)
+            .l1(64 * 1024, 20, 32)
+            .build();
+        let all_bypass = SimConfig::builder()
+            .lanes(4.0)
+            .dram(400, 8.0)
+            .l1(64 * 1024, 20, 32)
+            .bypass(1.0)
+            .build();
+        let sc = simulate(&all_cached, &wl, 5_000, 20_000);
+        let sb = simulate(&all_bypass, &wl, 5_000, 20_000);
+        assert!(sc.l1_hits > 0);
+        assert_eq!(sb.l1_hits + sb.l1_misses + sb.l1_merges, 0);
+    }
+
+    #[test]
+    fn mshr_pressure_is_observable() {
+        // Streaming misses with very few MSHRs: stalls must appear.
+        let cfg = SimConfig::builder()
+            .lanes(4.0)
+            .lsu(4)
+            .dram(600, 4.0)
+            .l1(16 * 1024, 20, 2)
+            .build();
+        let s = simulate(&cfg, &stream_wl(32, 2.0, 1.0), 5_000, 20_000);
+        assert!(s.mshr_stalls > 0);
+    }
+
+    #[test]
+    fn initial_distribution_knob() {
+        let cfg = SimConfig::builder().lanes(4.0).dram(400, 8.0).build();
+        let wl = stream_wl(16, 50.0, 1.0);
+        let mut all_ms = Sm::with_initial_ms_fraction(&cfg, &wl, 1, 1.0);
+        // Before any step, every warp sits in MS.
+        all_ms.run(0, 1);
+        assert!(all_ms.stats().avg_k() >= 15.0);
+    }
+
+    #[test]
+    fn trajectory_sampling() {
+        let cfg = SimConfig::builder().lanes(4.0).dram(400, 8.0).build();
+        let wl = stream_wl(8, 10.0, 1.0);
+        let mut sm = Sm::new(&cfg, &wl, 3);
+        sm.trajectory_interval = 100;
+        sm.run(0, 1_000);
+        assert!(sm.stats().trajectory.len() >= 9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests of simulator invariants.
+
+use proptest::prelude::*;
+use xmodel_sim::prelude::*;
+use xmodel_workloads::TraceSpec;
+
+fn any_trace() -> impl Strategy<Value = TraceSpec> {
+    prop_oneof![
+        (8u64..4096).prop_map(|r| TraceSpec::Stream { region_lines: r }),
+        (1u64..64, 8u64..2048).prop_map(|(s, r)| TraceSpec::Strided {
+            stride_lines: s,
+            region_lines: r,
+        }),
+        (1u64..128, 0.0f64..0.9, 0.0f64..2.5).prop_map(|(w, p, k)| {
+            TraceSpec::PrivateWorkingSet {
+                ws_lines: w,
+                stream_prob: p,
+                reuse_skew: k,
+            }
+        }),
+        (1u64..128, 16u64..4096, 0.0f64..1.0).prop_map(|(v, r, p)| TraceSpec::SharedVector {
+            vector_lines: v,
+            region_lines: r,
+            vector_prob: p,
+        }),
+        (16u64..65536, 0.0f64..2.0).prop_map(|(f, s)| TraceSpec::Gather {
+            footprint_lines: f,
+            skew: s,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation and bounds hold for any trace/config combination.
+    #[test]
+    fn parametric_sim_invariants(
+        trace in any_trace(),
+        warps in 1u32..24,
+        z in 1.0f64..64.0,
+        lanes in 1.0f64..8.0,
+        with_l1 in any::<bool>(),
+    ) {
+        let mut b = SimConfig::builder()
+            .lanes(lanes)
+            .issue_width(4)
+            .lsu(2)
+            .dram(300, 12.0);
+        if with_l1 {
+            b = b.l1(8 * 1024, 20, 16);
+        }
+        let cfg = b.build();
+        let wl = SimWorkload {
+            trace,
+            ops_per_request: z,
+            ilp: 1.0,
+            warps,
+        };
+        let s = xmodel_sim::simulate(&cfg, &wl, 1_000, 4_000);
+        prop_assert!((s.avg_k() + s.avg_x() - warps as f64).abs() < 1e-9);
+        prop_assert!(s.cs_throughput() <= lanes + 1e-9);
+        prop_assert!(s.ms_throughput() >= 0.0);
+        prop_assert!(s.hit_rate() >= 0.0 && s.hit_rate() <= 1.0);
+        // Histogram sums to measured cycles.
+        let hist_total: u64 = s.k_histogram.iter().sum();
+        prop_assert_eq!(hist_total, s.cycles);
+        // Requests imply bytes.
+        prop_assert_eq!(s.bytes_delivered, s.requests_completed * 128);
+    }
+
+    /// Determinism: identical seeds give identical stats for every trace.
+    #[test]
+    fn sim_is_deterministic(trace in any_trace(), warps in 1u32..16, seed in 0u64..64) {
+        let cfg = SimConfig::builder().lanes(4.0).dram(300, 12.0).build();
+        let wl = SimWorkload {
+            trace,
+            ops_per_request: 8.0,
+            ilp: 1.0,
+            warps,
+        };
+        let a = xmodel_sim::simulate_with_seed(&cfg, &wl, 500, 2_000, seed);
+        let b = xmodel_sim::simulate_with_seed(&cfg, &wl, 500, 2_000, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The IR-driven mode honours the same invariants.
+    #[test]
+    fn ir_sim_invariants(trace in any_trace(), warps in 1u32..12) {
+        let cfg = SimConfig::builder()
+            .lanes(6.0)
+            .issue_width(4)
+            .lsu(2)
+            .dram(300, 12.0)
+            .build();
+        let kernel = xmodel_workloads::microbench::stream_kernel(false);
+        let s = xmodel_sim::exec::simulate_ir(&cfg, &kernel, trace, warps, 1_000, 4_000);
+        prop_assert!((s.avg_k() + s.avg_x() - warps as f64).abs() < 1e-9);
+        prop_assert!(s.cs_throughput() <= 6.0 + 1e-9);
+        prop_assert!(s.ms_throughput() >= 0.0);
+    }
+
+    /// More DRAM bandwidth never hurts a memory-bound stream.
+    #[test]
+    fn bandwidth_monotonicity(bw in 2.0f64..32.0) {
+        let wl = SimWorkload {
+            trace: TraceSpec::Stream { region_lines: 1 << 20 },
+            ops_per_request: 2.0,
+            ilp: 1.0,
+            warps: 24,
+        };
+        let lo = SimConfig::builder().lanes(4.0).dram(300, bw).build();
+        let hi = SimConfig::builder().lanes(4.0).dram(300, bw * 1.5).build();
+        let a = xmodel_sim::simulate(&lo, &wl, 3_000, 10_000);
+        let b = xmodel_sim::simulate(&hi, &wl, 3_000, 10_000);
+        prop_assert!(b.ms_throughput() >= a.ms_throughput() * 0.98,
+            "bw {} -> {}: thr {} -> {}", bw, bw * 1.5, a.ms_throughput(), b.ms_throughput());
+    }
+}

@@ -1,0 +1,137 @@
+//! ASCII chart rendering for terminal output.
+
+use crate::axis::Axis;
+
+/// A terminal chart: multiple series drawn with distinct glyphs on a
+/// character grid.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    /// Title line.
+    pub title: String,
+    /// Grid width in characters (plot area).
+    pub width: usize,
+    /// Grid height in characters (plot area).
+    pub height: usize,
+    series: Vec<(char, Vec<(f64, f64)>)>,
+}
+
+/// Glyphs assigned to successive series.
+const GLYPHS: [char; 8] = ['*', 'o', '+', 'x', '#', '@', '%', '~'];
+
+impl AsciiChart {
+    /// New chart with a plot area of `width × height` characters.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> Self {
+        assert!(width >= 16 && height >= 4);
+        Self {
+            title: title.into(),
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series; glyphs are assigned in order.
+    pub fn add(&mut self, points: &[(f64, f64)]) {
+        let glyph = GLYPHS[self.series.len() % GLYPHS.len()];
+        self.series.push((glyph, points.to_vec()));
+    }
+
+    /// Render to a multi-line string.
+    pub fn render(&self) -> String {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, p)| p.iter().copied())
+            .filter(|&(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return format!("{}\n(no data)\n", self.title);
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        y0 = y0.min(0.0);
+        if (x1 - x0).abs() < f64::EPSILON {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < f64::EPSILON {
+            y1 = y0 + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (glyph, series) in &self.series {
+            for &(x, y) in series {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy.min(self.height - 1);
+                grid[row][cx.min(self.width - 1)] = *glyph;
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        for (i, row) in grid.iter().enumerate() {
+            let yv = y1 - (y1 - y0) * i as f64 / (self.height - 1) as f64;
+            out.push_str(&format!("{:>9} |", Axis::fmt(yv)));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>9} +{}\n{:>9}  {}{}\n",
+            "",
+            "-".repeat(self.width),
+            "",
+            Axis::fmt(x0),
+            format!("{:>w$}", Axis::fmt(x1), w = self.width - Axis::fmt(x0).len())
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_series_glyphs() {
+        let mut c = AsciiChart::new("f(k)", 40, 10);
+        c.add(&(0..40).map(|i| (i as f64, (i as f64) * 0.5)).collect::<Vec<_>>());
+        c.add(&[(0.0, 20.0), (39.0, 0.0)]);
+        let s = c.render();
+        assert!(s.starts_with("f(k)\n"));
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+        assert_eq!(s.lines().count(), 1 + 10 + 2);
+    }
+
+    #[test]
+    fn empty_chart() {
+        let c = AsciiChart::new("t", 20, 5);
+        assert!(c.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn single_point_does_not_panic() {
+        let mut c = AsciiChart::new("p", 20, 5);
+        c.add(&[(3.0, 7.0)]);
+        let s = c.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn axis_labels_present() {
+        let mut c = AsciiChart::new("t", 30, 6);
+        c.add(&[(0.0, 0.0), (64.0, 0.25)]);
+        let s = c.render();
+        assert!(s.contains("64"));
+        assert!(s.contains("0.25"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Linear axis scaling with nice-number tick placement.
+
+/// A linear or logarithmic axis over a data range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    /// Axis label.
+    pub label: String,
+    /// Data minimum (after nice-rounding).
+    pub min: f64,
+    /// Data maximum (after nice-rounding).
+    pub max: f64,
+    /// Tick positions.
+    pub ticks: Vec<f64>,
+    /// Logarithmic mapping (base 10 ticks).
+    pub log: bool,
+}
+
+impl Axis {
+    /// Build an axis covering `[lo, hi]` with about `n_ticks` ticks at
+    /// nice (1/2/5 × 10^k) intervals.
+    pub fn nice(label: impl Into<String>, lo: f64, hi: f64, n_ticks: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "axis bounds must be finite");
+        let (lo, hi) = if (hi - lo).abs() < f64::EPSILON {
+            (lo - 0.5, hi + 0.5)
+        } else if hi < lo {
+            (hi, lo)
+        } else {
+            (lo, hi)
+        };
+        let step = nice_step(hi - lo, n_ticks.max(2));
+        let min = (lo / step).floor() * step;
+        let max = (hi / step).ceil() * step;
+        let mut ticks = Vec::new();
+        let mut t = min;
+        while t <= max + step * 1e-9 {
+            // Snap tiny float noise to zero.
+            ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+            t += step;
+        }
+        Self {
+            label: label.into(),
+            min,
+            max,
+            ticks,
+            log: false,
+        }
+    }
+
+    /// Build a logarithmic axis covering `[lo, hi]` (both must be
+    /// positive) with decade ticks.
+    pub fn nice_log(label: impl Into<String>, lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "axis bounds must be finite");
+        let lo = lo.max(1e-12);
+        let hi = hi.max(lo * 10.0);
+        let dmin = lo.log10().floor();
+        let dmax = hi.log10().ceil();
+        let ticks = (dmin as i32..=dmax as i32)
+            .map(|d| 10f64.powi(d))
+            .collect();
+        Self {
+            label: label.into(),
+            min: 10f64.powf(dmin),
+            max: 10f64.powf(dmax),
+            ticks,
+            log: true,
+        }
+    }
+
+    /// Map a data value to `[0, 1]` along the axis.
+    pub fn unit(&self, v: f64) -> f64 {
+        if self.log {
+            let v = v.max(self.min * 1e-3);
+            (v.ln() - self.min.ln()) / (self.max.ln() - self.min.ln())
+        } else {
+            (v - self.min) / (self.max - self.min)
+        }
+    }
+
+    /// Format a tick value compactly.
+    pub fn fmt(v: f64) -> String {
+        if v == 0.0 {
+            return "0".to_string();
+        }
+        let a = v.abs();
+        if a >= 1e6 || a < 1e-3 {
+            format!("{v:.1e}")
+        } else if a >= 100.0 || (v.fract() == 0.0 && a >= 1.0) {
+            format!("{v:.0}")
+        } else if a >= 1.0 {
+            trim(format!("{v:.2}"))
+        } else {
+            trim(format!("{v:.3}"))
+        }
+    }
+}
+
+fn trim(mut s: String) -> String {
+    if s.contains('.') {
+        while s.ends_with('0') {
+            s.pop();
+        }
+        if s.ends_with('.') {
+            s.pop();
+        }
+    }
+    s
+}
+
+/// Largest of {1, 2, 5}·10^k producing at least `n` intervals over `span`.
+fn nice_step(span: f64, n: usize) -> f64 {
+    let raw = span / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let norm = raw / mag;
+    let nice = if norm <= 1.0 {
+        1.0
+    } else if norm <= 2.0 {
+        2.0
+    } else if norm <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_axis_covers_range() {
+        let a = Axis::nice("x", 0.0, 48.0, 6);
+        assert!(a.min <= 0.0 && a.max >= 48.0);
+        assert!(a.ticks.len() >= 4);
+        // Ticks are evenly spaced.
+        let step = a.ticks[1] - a.ticks[0];
+        for w in a.ticks.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_widened() {
+        let a = Axis::nice("x", 3.0, 3.0, 5);
+        assert!(a.max > a.min);
+    }
+
+    #[test]
+    fn reversed_range_is_swapped() {
+        let a = Axis::nice("x", 10.0, 0.0, 5);
+        assert!(a.min <= 0.0 && a.max >= 10.0);
+    }
+
+    #[test]
+    fn unit_maps_endpoints() {
+        let a = Axis::nice("x", 0.0, 100.0, 5);
+        assert_eq!(a.unit(a.min), 0.0);
+        assert_eq!(a.unit(a.max), 1.0);
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(Axis::fmt(0.0), "0");
+        assert_eq!(Axis::fmt(150.0), "150");
+        assert_eq!(Axis::fmt(2.5), "2.5");
+        assert_eq!(Axis::fmt(0.125), "0.125");
+        assert_eq!(Axis::fmt(3.0), "3");
+        assert!(Axis::fmt(1.5e7).contains('e'));
+    }
+
+    #[test]
+    fn nice_steps() {
+        assert_eq!(nice_step(10.0, 5), 2.0);
+        assert_eq!(nice_step(1.0, 5), 0.2);
+        assert_eq!(nice_step(48.0, 6), 10.0);
+        assert_eq!(nice_step(0.3, 6), 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_bounds() {
+        let _ = Axis::nice("x", f64::NAN, 1.0, 5);
+    }
+
+    #[test]
+    fn log_axis_decade_ticks() {
+        let a = Axis::nice_log("z", 0.3, 700.0);
+        assert!(a.log);
+        assert_eq!(a.ticks, vec![0.1, 1.0, 10.0, 100.0, 1000.0]);
+        assert_eq!(a.unit(a.min), 0.0);
+        assert_eq!(a.unit(a.max), 1.0);
+        // Geometric midpoint maps to the middle.
+        let mid = (a.min * a.max).sqrt();
+        assert!((a.unit(mid) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_axis_clamps_nonpositive() {
+        let a = Axis::nice_log("z", 1.0, 100.0);
+        assert!(a.unit(0.0) < 0.0 + 1e-9 || a.unit(0.0).is_finite());
+    }
+}

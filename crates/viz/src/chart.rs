@@ -1,0 +1,396 @@
+//! Line/scatter/bar charts with dual y-axes, markers and legends.
+
+use crate::axis::Axis;
+use crate::svg::SvgDoc;
+use crate::PALETTE;
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeriesKind {
+    /// Connected line.
+    Line,
+    /// Dashed connected line.
+    DashedLine,
+    /// Isolated points (the Fig. 12 trace-points).
+    Scatter,
+    /// Vertical bars (Fig. 18).
+    Bars,
+}
+
+/// One data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` data points.
+    pub points: Vec<(f64, f64)>,
+    /// Rendering style.
+    pub kind: SeriesKind,
+    /// Palette index (wraps).
+    pub color: usize,
+    /// `true` to scale against the right-hand y axis.
+    pub right_axis: bool,
+}
+
+impl Series {
+    /// A line series on the left axis.
+    pub fn line(label: impl Into<String>, points: Vec<(f64, f64)>, color: usize) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            kind: SeriesKind::Line,
+            color,
+            right_axis: false,
+        }
+    }
+
+    /// A scatter series on the left axis.
+    pub fn scatter(label: impl Into<String>, points: Vec<(f64, f64)>, color: usize) -> Self {
+        Self {
+            kind: SeriesKind::Scatter,
+            ..Self::line(label, points, color)
+        }
+    }
+
+    /// A bar series on the left axis.
+    pub fn bars(label: impl Into<String>, points: Vec<(f64, f64)>, color: usize) -> Self {
+        Self {
+            kind: SeriesKind::Bars,
+            ..Self::line(label, points, color)
+        }
+    }
+
+    /// Move this series to the right-hand y axis.
+    #[must_use]
+    pub fn on_right_axis(mut self) -> Self {
+        self.right_axis = true;
+        self
+    }
+
+    /// Use a dashed line.
+    #[must_use]
+    pub fn dashed(mut self) -> Self {
+        self.kind = SeriesKind::DashedLine;
+        self
+    }
+}
+
+/// A labelled point or vertical marker (σ, π, δ, ψ annotations).
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// Greek-letter label.
+    pub label: String,
+    /// x position.
+    pub x: f64,
+    /// y position; `None` draws a full-height vertical dashed line.
+    pub y: Option<f64>,
+}
+
+/// A complete chart description.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title above the plot.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// Left y-axis label.
+    pub y_label: String,
+    /// Right y-axis label (enables the right axis when any series uses it).
+    pub y2_label: String,
+    /// The series to draw.
+    pub series: Vec<Series>,
+    /// Annotations.
+    pub markers: Vec<Marker>,
+    /// Force the left y axis to start at zero (default true).
+    pub zero_based: bool,
+    /// Logarithmic x axis (decade ticks).
+    pub log_x: bool,
+    /// Logarithmic left y axis (decade ticks). The right axis stays
+    /// linear.
+    pub log_y: bool,
+}
+
+impl Chart {
+    /// New empty chart.
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            y2_label: String::new(),
+            series: Vec::new(),
+            markers: Vec::new(),
+            zero_based: true,
+            log_x: false,
+            log_y: false,
+        }
+    }
+
+    /// Switch to log-log scales (the classic roofline layout).
+    #[must_use]
+    pub fn log_log(mut self) -> Self {
+        self.log_x = true;
+        self.log_y = true;
+        self.zero_based = false;
+        self
+    }
+
+    /// Add a series (builder style).
+    #[must_use]
+    pub fn with(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Add a marker (builder style).
+    #[must_use]
+    pub fn with_marker(mut self, m: Marker) -> Self {
+        self.markers.push(m);
+        self
+    }
+
+    /// Set the right-axis label.
+    #[must_use]
+    pub fn right_axis(mut self, label: impl Into<String>) -> Self {
+        self.y2_label = label.into();
+        self
+    }
+
+    fn bounds(&self, right: bool) -> Option<(f64, f64, f64, f64)> {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .filter(|s| s.right_axis == right)
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|&(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return None;
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for (x, y) in pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        Some((x0, x1, y0, y1))
+    }
+
+    /// Render to an SVG document of the given size.
+    pub fn render(&self, width: f64, height: f64) -> SvgDoc {
+        let mut doc = SvgDoc::new(width, height);
+        let (ml, mr, mt, mb) = (56.0, if self.y2_label.is_empty() { 18.0 } else { 56.0 }, 30.0, 46.0);
+        let (pw, ph) = (width - ml - mr, height - mt - mb);
+
+        let left_b = self.bounds(false);
+        let right_b = self.bounds(true);
+        let all_x = match (left_b, right_b) {
+            (Some(l), Some(r)) => Some((l.0.min(r.0), l.1.max(r.1))),
+            (Some(l), None) => Some((l.0, l.1)),
+            (None, Some(r)) => Some((r.0, r.1)),
+            (None, None) => None,
+        };
+        let Some((x_lo, x_hi)) = all_x else {
+            doc.text(width / 2.0, height / 2.0, "(no data)", 12.0, "middle", 0.0);
+            return doc;
+        };
+        let x_axis = if self.log_x {
+            Axis::nice_log(self.x_label.clone(), x_lo, x_hi)
+        } else {
+            Axis::nice(self.x_label.clone(), x_lo, x_hi, 6)
+        };
+        let (y_lo, y_hi) = left_b.map(|b| (b.2, b.3)).unwrap_or((0.0, 1.0));
+        let y_axis = if self.log_y {
+            Axis::nice_log(self.y_label.clone(), y_lo, y_hi)
+        } else {
+            Axis::nice(
+                self.y_label.clone(),
+                if self.zero_based { y_lo.min(0.0) } else { y_lo },
+                y_hi,
+                5,
+            )
+        };
+        let y2_axis = right_b.map(|b| {
+            Axis::nice(
+                self.y2_label.clone(),
+                if self.zero_based { b.2.min(0.0) } else { b.2 },
+                b.3,
+                5,
+            )
+        });
+
+        let px = |v: f64| ml + x_axis.unit(v) * pw;
+        let py = |v: f64| mt + (1.0 - y_axis.unit(v)) * ph;
+        let py2 = |v: f64, a: &Axis| mt + (1.0 - a.unit(v)) * ph;
+
+        // Frame and grid.
+        doc.rect(ml, mt, pw, ph, "none", Some("#999"));
+        for &t in &x_axis.ticks {
+            let x = px(t);
+            doc.line(x, mt + ph, x, mt + ph + 4.0, "#444", 1.0, None);
+            doc.text(x, mt + ph + 16.0, &Axis::fmt(t), 10.0, "middle", 0.0);
+        }
+        for &t in &y_axis.ticks {
+            let y = py(t);
+            doc.line(ml - 4.0, y, ml, y, "#444", 1.0, None);
+            doc.line(ml, y, ml + pw, y, "#eee", 0.5, None);
+            doc.text(ml - 7.0, y + 3.0, &Axis::fmt(t), 10.0, "end", 0.0);
+        }
+        if let Some(a2) = &y2_axis {
+            for &t in &a2.ticks {
+                let y = py2(t, a2);
+                doc.line(ml + pw, y, ml + pw + 4.0, y, "#444", 1.0, None);
+                doc.text(ml + pw + 7.0, y + 3.0, &Axis::fmt(t), 10.0, "start", 0.0);
+            }
+            doc.text(
+                width - 12.0,
+                mt + ph / 2.0,
+                &self.y2_label,
+                11.0,
+                "middle",
+                90.0,
+            );
+        }
+        doc.text(width / 2.0, height - 8.0, &self.x_label, 11.0, "middle", 0.0);
+        doc.text(14.0, mt + ph / 2.0, &self.y_label, 11.0, "middle", -90.0);
+        doc.text(width / 2.0, 16.0, &self.title, 13.0, "middle", 0.0);
+
+        // Series.
+        for s in &self.series {
+            let color = PALETTE[s.color % PALETTE.len()];
+            let to_px: Box<dyn Fn(f64, f64) -> (f64, f64)> = match (&s.right_axis, &y2_axis) {
+                (true, Some(a2)) => Box::new(move |x, y| (px(x), py2(y, a2))),
+                _ => Box::new(move |x, y| (px(x), py(y))),
+            };
+            match s.kind {
+                SeriesKind::Line | SeriesKind::DashedLine => {
+                    let pts: Vec<_> = s.points.iter().map(|&(x, y)| to_px(x, y)).collect();
+                    let dash = if s.kind == SeriesKind::DashedLine {
+                        Some("6 4")
+                    } else {
+                        None
+                    };
+                    doc.polyline(&pts, color, 1.8, dash);
+                }
+                SeriesKind::Scatter => {
+                    for &(x, y) in &s.points {
+                        let (cx, cy) = to_px(x, y);
+                        doc.circle(cx, cy, 3.0, color);
+                    }
+                }
+                SeriesKind::Bars => {
+                    let bw = pw / (s.points.len().max(1) as f64) * 0.6;
+                    for &(x, y) in &s.points {
+                        let (cx, cy) = to_px(x, y);
+                        let y0 = py(0.0f64.max(y_axis.min));
+                        doc.rect(cx - bw / 2.0, cy.min(y0), bw, (y0 - cy).abs(), color, None);
+                    }
+                }
+            }
+        }
+
+        // Markers.
+        for m in &self.markers {
+            let x = px(m.x);
+            match m.y {
+                Some(yv) => {
+                    let y = py(yv);
+                    doc.circle(x, y, 4.0, "#222");
+                    doc.text(x + 6.0, y - 6.0, &m.label, 11.0, "start", 0.0);
+                }
+                None => {
+                    doc.line(x, mt, x, mt + ph, "#888", 1.0, Some("3 3"));
+                    doc.text(x, mt - 4.0, &m.label, 11.0, "middle", 0.0);
+                }
+            }
+        }
+
+        // Legend.
+        let mut ly = mt + 8.0;
+        for s in &self.series {
+            let color = PALETTE[s.color % PALETTE.len()];
+            doc.line(ml + 8.0, ly, ml + 28.0, ly, color, 2.0, None);
+            doc.text(ml + 33.0, ly + 3.5, &s.label, 10.0, "start", 0.0);
+            ly += 14.0;
+        }
+        doc
+    }
+
+    /// Render and return the SVG file contents.
+    pub fn to_svg(&self, width: f64, height: f64) -> String {
+        self.render(width, height).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_chart() -> Chart {
+        Chart::new("X-graph", "Threads", "MS Throughput")
+            .with(Series::line("f(k)", vec![(0.0, 0.0), (8.0, 0.3), (20.0, 0.1)], 0))
+            .with(
+                Series::line("g(x)", vec![(0.0, 0.15), (17.0, 0.15), (20.0, 0.0)], 1).dashed(),
+            )
+            .with_marker(Marker {
+                label: "σ'".into(),
+                x: 8.0,
+                y: Some(0.3),
+            })
+            .with_marker(Marker {
+                label: "π".into(),
+                x: 17.0,
+                y: None,
+            })
+    }
+
+    #[test]
+    fn renders_complete_svg() {
+        let svg = sample_chart().to_svg(480.0, 320.0);
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("X-graph"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("stroke-dasharray")); // dashed g(x) + pi marker
+        assert!(svg.contains("σ"));
+        assert!(svg.contains("Threads"));
+    }
+
+    #[test]
+    fn empty_chart_renders_placeholder() {
+        let svg = Chart::new("t", "x", "y").to_svg(200.0, 100.0);
+        assert!(svg.contains("(no data)"));
+    }
+
+    #[test]
+    fn dual_axis_renders_both_scales() {
+        let c = Chart::new("arch", "Warps", "GB/s")
+            .right_axis("GF/s")
+            .with(Series::line("f(k)", vec![(0.0, 0.0), (48.0, 150.0)], 0))
+            .with(Series::line("g(x)", vec![(0.0, 0.0), (48.0, 90.0)], 1).on_right_axis());
+        let svg = c.to_svg(480.0, 320.0);
+        assert!(svg.contains("GF/s"));
+        assert!(svg.contains("rotate(90.0") || svg.contains("rotate(90 "));
+    }
+
+    #[test]
+    fn scatter_and_bars_render() {
+        let c = Chart::new("b", "x", "y")
+            .with(Series::scatter("pts", vec![(1.0, 1.0), (2.0, 2.0)], 2))
+            .with(Series::bars("bars", vec![(1.0, 1.0), (2.0, 0.5)], 3));
+        let svg = c.to_svg(300.0, 200.0);
+        assert!(svg.matches("<circle").count() >= 2);
+        assert!(svg.matches("<rect").count() >= 3); // background + frame + bars
+    }
+
+    #[test]
+    fn nonfinite_points_are_ignored_for_bounds() {
+        let c = Chart::new("t", "x", "y").with(Series::line(
+            "s",
+            vec![(0.0, 1.0), (1.0, f64::NAN), (2.0, 3.0)],
+            0,
+        ));
+        // Must not panic.
+        let _ = c.to_svg(200.0, 150.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Multi-panel figure composition (Figs. 10 and 11 are panel grids).
+
+use crate::chart::Chart;
+use crate::svg::SvgDoc;
+
+/// A grid of charts rendered into one SVG.
+#[derive(Debug, Clone)]
+pub struct PanelGrid {
+    /// Overall figure title.
+    pub title: String,
+    /// Panels in row-major order.
+    pub panels: Vec<Chart>,
+    /// Number of columns.
+    pub cols: usize,
+    /// Per-panel pixel size.
+    pub panel_size: (f64, f64),
+}
+
+impl PanelGrid {
+    /// New grid with `cols` columns.
+    pub fn new(title: impl Into<String>, cols: usize) -> Self {
+        assert!(cols >= 1);
+        Self {
+            title: title.into(),
+            panels: Vec::new(),
+            cols,
+            panel_size: (420.0, 300.0),
+        }
+    }
+
+    /// Add a panel (builder style).
+    #[must_use]
+    pub fn with(mut self, chart: Chart) -> Self {
+        self.panels.push(chart);
+        self
+    }
+
+    /// Number of rows the current panels occupy.
+    pub fn rows(&self) -> usize {
+        self.panels.len().div_ceil(self.cols)
+    }
+
+    /// Render the full grid.
+    pub fn to_svg(&self) -> String {
+        let (pw, ph) = self.panel_size;
+        let title_h = if self.title.is_empty() { 0.0 } else { 28.0 };
+        let cols = self.cols.min(self.panels.len().max(1));
+        let width = pw * cols as f64;
+        let height = ph * self.rows().max(1) as f64 + title_h;
+        let mut doc = SvgDoc::new(width.max(1.0), height.max(1.0));
+        if !self.title.is_empty() {
+            doc.text(width / 2.0, 19.0, &self.title, 15.0, "middle", 0.0);
+        }
+        for (i, chart) in self.panels.iter().enumerate() {
+            let col = i % self.cols;
+            let row = i / self.cols;
+            let panel = chart.render(pw, ph);
+            doc.embed(&panel, col as f64 * pw, title_h + row as f64 * ph);
+        }
+        doc.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::Series;
+
+    fn chart(i: usize) -> Chart {
+        Chart::new(format!("panel {i}"), "x", "y")
+            .with(Series::line("s", vec![(0.0, 0.0), (1.0, i as f64)], i))
+    }
+
+    #[test]
+    fn grid_places_all_panels() {
+        let g = PanelGrid::new("Fig 10", 3)
+            .with(chart(0))
+            .with(chart(1))
+            .with(chart(2))
+            .with(chart(3));
+        assert_eq!(g.rows(), 2);
+        let svg = g.to_svg();
+        assert!(svg.contains("Fig 10"));
+        for i in 0..4 {
+            assert!(svg.contains(&format!("panel {i}")));
+        }
+        assert_eq!(svg.matches("translate(").count(), 4);
+    }
+
+    #[test]
+    fn empty_grid_renders() {
+        let svg = PanelGrid::new("empty", 2).to_svg();
+        assert!(svg.contains("<svg"));
+    }
+
+    #[test]
+    fn single_column_layout() {
+        let g = PanelGrid::new("", 1).with(chart(0)).with(chart(1));
+        assert_eq!(g.rows(), 2);
+        let svg = g.to_svg();
+        assert!(svg.contains("translate(0.00 300.00)"));
+    }
+}

@@ -1,0 +1,259 @@
+//! Heatmaps for two-parameter design-space sweeps.
+
+use crate::axis::Axis;
+use crate::svg::SvgDoc;
+
+/// A dense 2-D field with labelled axes.
+///
+/// ## Example
+///
+/// ```
+/// use xmodel_viz::heatmap::Heatmap;
+///
+/// let map = Heatmap::evaluate(
+///     "z = x*y", "x", "y",
+///     (1..=8).map(f64::from).collect(),
+///     (1..=4).map(f64::from).collect(),
+///     |x, y| x * y,
+/// );
+/// assert_eq!(map.argmax(), (8.0, 4.0, 32.0));
+/// assert!(map.to_svg(320.0, 200.0).contains("<svg"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heatmap {
+    /// Title above the map.
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// Column coordinates (len = width).
+    pub xs: Vec<f64>,
+    /// Row coordinates (len = height).
+    pub ys: Vec<f64>,
+    /// Row-major values, `values[row * xs.len() + col]`.
+    pub values: Vec<f64>,
+}
+
+impl Heatmap {
+    /// Build from a function evaluated over the grid.
+    pub fn evaluate(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        mut f: impl FnMut(f64, f64) -> f64,
+    ) -> Self {
+        assert!(!xs.is_empty() && !ys.is_empty());
+        let mut values = Vec::with_capacity(xs.len() * ys.len());
+        for &y in &ys {
+            for &x in &xs {
+                values.push(f(x, y));
+            }
+        }
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            xs,
+            ys,
+            values,
+        }
+    }
+
+    /// `(min, max)` of the finite values (`(0, 1)` when none are finite).
+    pub fn range(&self) -> (f64, f64) {
+        let finite: Vec<f64> = self.values.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return (0.0, 1.0);
+        }
+        let lo = finite.iter().copied().fold(f64::MAX, f64::min);
+        let hi = finite.iter().copied().fold(f64::MIN, f64::max);
+        if (hi - lo).abs() < f64::EPSILON {
+            (lo, lo + 1.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    /// Location `(x, y, value)` of the maximum cell.
+    pub fn argmax(&self) -> (f64, f64, f64) {
+        let mut best = (0usize, f64::MIN);
+        for (i, &v) in self.values.iter().enumerate() {
+            if v.is_finite() && v > best.1 {
+                best = (i, v);
+            }
+        }
+        let (i, v) = best;
+        (self.xs[i % self.xs.len()], self.ys[i / self.xs.len()], v)
+    }
+
+    /// Render to SVG with a sequential colour scale and a colour bar.
+    pub fn to_svg(&self, width: f64, height: f64) -> String {
+        let (ml, mr, mt, mb) = (56.0, 70.0, 30.0, 46.0);
+        let (pw, ph) = (width - ml - mr, height - mt - mb);
+        let mut doc = SvgDoc::new(width, height);
+        let (lo, hi) = self.range();
+        let (w, h) = (self.xs.len(), self.ys.len());
+        let (cw, ch) = (pw / w as f64, ph / h as f64);
+
+        for row in 0..h {
+            for col in 0..w {
+                let v = self.values[row * w + col];
+                let color = if v.is_finite() {
+                    sequential((v - lo) / (hi - lo))
+                } else {
+                    "#dddddd".to_string()
+                };
+                // Row 0 at the bottom (y increases upward).
+                let x = ml + col as f64 * cw;
+                let y = mt + ph - (row + 1) as f64 * ch;
+                doc.rect(x, y, cw + 0.5, ch + 0.5, &color, None);
+            }
+        }
+        doc.rect(ml, mt, pw, ph, "none", Some("#666"));
+
+        // Axis labels at the corners of the grid.
+        doc.text(ml, mt + ph + 16.0, &Axis::fmt(self.xs[0]), 10.0, "start", 0.0);
+        doc.text(
+            ml + pw,
+            mt + ph + 16.0,
+            &Axis::fmt(*self.xs.last().unwrap()),
+            10.0,
+            "end",
+            0.0,
+        );
+        doc.text(ml - 6.0, mt + ph, &Axis::fmt(self.ys[0]), 10.0, "end", 0.0);
+        doc.text(
+            ml - 6.0,
+            mt + 10.0,
+            &Axis::fmt(*self.ys.last().unwrap()),
+            10.0,
+            "end",
+            0.0,
+        );
+        doc.text(width / 2.0, height - 8.0, &self.x_label, 11.0, "middle", 0.0);
+        doc.text(14.0, mt + ph / 2.0, &self.y_label, 11.0, "middle", -90.0);
+        doc.text(width / 2.0, 16.0, &self.title, 13.0, "middle", 0.0);
+
+        // Colour bar.
+        let bx = ml + pw + 16.0;
+        for i in 0..64 {
+            let t = i as f64 / 63.0;
+            let y = mt + ph * (1.0 - t) - ph / 64.0;
+            doc.rect(bx, y, 14.0, ph / 64.0 + 0.5, &sequential(t), None);
+        }
+        doc.rect(bx, mt, 14.0, ph, "none", Some("#666"));
+        doc.text(bx + 18.0, mt + ph, &Axis::fmt(lo), 9.0, "start", 0.0);
+        doc.text(bx + 18.0, mt + 8.0, &Axis::fmt(hi), 9.0, "start", 0.0);
+        doc.finish()
+    }
+
+    /// ASCII rendering with a 10-glyph ramp.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+        let (lo, hi) = self.range();
+        let w = self.xs.len();
+        let mut out = format!("{}\n", self.title);
+        for row in (0..self.ys.len()).rev() {
+            out.push_str(&format!("{:>9} |", Axis::fmt(self.ys[row])));
+            for col in 0..w {
+                let v = self.values[row * w + col];
+                let g = if v.is_finite() {
+                    let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                    RAMP[(t * 9.0).round() as usize]
+                } else {
+                    '?'
+                };
+                out.push(g);
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>9}  {}..{}  ({})\n",
+            "",
+            Axis::fmt(self.xs[0]),
+            Axis::fmt(*self.xs.last().unwrap()),
+            self.x_label
+        ));
+        out
+    }
+}
+
+/// Sequential colour scale from deep blue to warm yellow.
+fn sequential(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    let r = (20.0 + 215.0 * t) as u8;
+    let g = (40.0 + 170.0 * t) as u8;
+    let b = (120.0 + 60.0 * (1.0 - t) - 60.0 * t) as u8;
+    format!("#{r:02x}{g:02x}{b:02x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> Heatmap {
+        Heatmap::evaluate(
+            "t",
+            "x",
+            "y",
+            (0..8).map(|i| i as f64).collect(),
+            (0..5).map(|i| i as f64).collect(),
+            |x, y| x + 10.0 * y,
+        )
+    }
+
+    #[test]
+    fn evaluate_fills_row_major() {
+        let m = map();
+        assert_eq!(m.values.len(), 40);
+        assert_eq!(m.values[0], 0.0); // (x=0, y=0)
+        assert_eq!(m.values[7], 7.0); // (x=7, y=0)
+        assert_eq!(m.values[8], 10.0); // (x=0, y=1)
+    }
+
+    #[test]
+    fn range_and_argmax() {
+        let m = map();
+        assert_eq!(m.range(), (0.0, 47.0));
+        assert_eq!(m.argmax(), (7.0, 4.0, 47.0));
+    }
+
+    #[test]
+    fn svg_renders_cells_and_colorbar() {
+        let svg = map().to_svg(480.0, 320.0);
+        assert!(svg.contains("<svg"));
+        // 40 cells + frame + colour bar (64) + bar frame + background.
+        assert!(svg.matches("<rect").count() >= 40 + 64);
+    }
+
+    #[test]
+    fn ascii_uses_ramp() {
+        let a = map().to_ascii();
+        assert!(a.contains('@'), "max glyph present");
+        assert!(a.lines().count() >= 7);
+    }
+
+    #[test]
+    fn degenerate_constant_field() {
+        let m = Heatmap::evaluate("c", "x", "y", vec![0.0, 1.0], vec![0.0], |_, _| 3.0);
+        let (lo, hi) = m.range();
+        assert!(hi > lo);
+        let _ = m.to_svg(100.0, 80.0);
+    }
+
+    #[test]
+    fn nan_cells_are_tolerated() {
+        let m = Heatmap::evaluate("n", "x", "y", vec![0.0, 1.0], vec![0.0], |x, _| {
+            if x > 0.5 {
+                f64::NAN
+            } else {
+                1.0
+            }
+        });
+        assert!(m.to_ascii().contains('?'));
+        let _ = m.to_svg(100.0, 80.0);
+    }
+}

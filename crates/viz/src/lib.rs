@@ -1,0 +1,41 @@
+//! # xmodel-viz — dependency-free SVG and ASCII plotting
+//!
+//! The X-model is a *visual* analytic model: its deliverable is the
+//! X-graph. The Rust plotting ecosystem being thin, this crate implements
+//! the small slice of 2-D charting the paper's figures need, with zero
+//! dependencies:
+//!
+//! * [`axis`] — nice-number tick placement and linear mapping;
+//! * [`svg`] — a minimal SVG document builder with proper escaping;
+//! * [`chart`] — line/scatter/bar charts with dual y-axes, markers and
+//!   legends (every figure of the paper is one of these);
+//! * [`grid`] — multi-panel composition (Figs. 10 and 11 are grids);
+//! * [`ascii`] — terminal rendering for quick looks from the CLI.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ascii;
+pub mod axis;
+pub mod chart;
+pub mod grid;
+pub mod heatmap;
+pub mod svg;
+
+pub use chart::{Chart, Marker, Series, SeriesKind};
+pub use grid::PanelGrid;
+pub use heatmap::Heatmap;
+
+/// Categorical palette used across every figure (color-blind friendly).
+pub const PALETTE: [&str; 8] = [
+    "#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb", "#222222",
+];
+
+/// Glob import of the common types.
+pub mod prelude {
+    pub use crate::ascii::AsciiChart;
+    pub use crate::chart::{Chart, Marker, Series, SeriesKind};
+    pub use crate::grid::PanelGrid;
+    pub use crate::heatmap::Heatmap;
+    pub use crate::PALETTE;
+}

@@ -1,0 +1,183 @@
+//! Minimal SVG document builder.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+/// Escape text content for XML.
+pub fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '&' => "&amp;".chars().collect::<Vec<_>>(),
+            '<' => "&lt;".chars().collect(),
+            '>' => "&gt;".chars().collect(),
+            '"' => "&quot;".chars().collect(),
+            '\'' => "&apos;".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl SvgDoc {
+    /// Start a document of the given pixel size.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0);
+        Self {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Add a line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64, dash: Option<&str>) {
+        let dash = dash
+            .map(|d| format!(" stroke-dasharray=\"{d}\""))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"{dash}/>"#
+        );
+    }
+
+    /// Add a polyline through `pts` (pixel coordinates).
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64, dash: Option<&str>) {
+        if pts.len() < 2 {
+            return;
+        }
+        let mut d = String::new();
+        for &(x, y) in pts {
+            let _ = write!(d, "{x:.2},{y:.2} ");
+        }
+        let dash = dash
+            .map(|d| format!(" stroke-dasharray=\"{d}\""))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}"{dash}/>"#,
+            d.trim_end()
+        );
+    }
+
+    /// Add a circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Add a rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str, stroke: Option<&str>) {
+        let stroke = stroke
+            .map(|s| format!(" stroke=\"{s}\""))
+            .unwrap_or_default();
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"{stroke}/>"#
+        );
+    }
+
+    /// Add text. `anchor` ∈ {start, middle, end}; `rotate` in degrees
+    /// about the text position.
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str, rotate: f64) {
+        let transform = if rotate != 0.0 {
+            format!(" transform=\"rotate({rotate:.1} {x:.2} {y:.2})\"")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            self.body,
+            r##"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="Helvetica,Arial,sans-serif" text-anchor="{anchor}" fill="#222"{transform}>{}</text>"##,
+            escape(content)
+        );
+    }
+
+    /// Embed another document's body at an offset (panel composition).
+    pub fn embed(&mut self, other: &SvgDoc, dx: f64, dy: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<g transform="translate({dx:.2} {dy:.2})">{}</g>"#,
+            other.body
+        );
+    }
+
+    /// Finish: the full SVG file contents.
+    pub fn finish(&self) -> String {
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut d = SvgDoc::new(100.0, 50.0);
+        d.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0, None);
+        d.circle(5.0, 5.0, 2.0, "red");
+        d.text(1.0, 1.0, "σ'", 10.0, "middle", 0.0);
+        let s = d.finish();
+        assert!(s.starts_with("<?xml"));
+        assert!(s.contains("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert!(s.contains("<line"));
+        assert!(s.contains("<circle"));
+        assert!(s.contains("σ"));
+    }
+
+    #[test]
+    fn polyline_needs_two_points() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.polyline(&[(1.0, 1.0)], "#000", 1.0, None);
+        assert!(!d.finish().contains("<polyline"));
+        d.polyline(&[(1.0, 1.0), (2.0, 2.0)], "#000", 1.0, Some("4 2"));
+        let s = d.finish();
+        assert!(s.contains("<polyline"));
+        assert!(s.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn embed_translates() {
+        let mut inner = SvgDoc::new(10.0, 10.0);
+        inner.circle(1.0, 1.0, 1.0, "blue");
+        let mut outer = SvgDoc::new(40.0, 40.0);
+        outer.embed(&inner, 20.0, 5.0);
+        let s = outer.finish();
+        assert!(s.contains("translate(20.00 5.00)"));
+        assert!(s.contains("<circle"));
+    }
+
+    #[test]
+    fn rotated_text() {
+        let mut d = SvgDoc::new(10.0, 10.0);
+        d.text(5.0, 5.0, "y", 8.0, "middle", -90.0);
+        assert!(d.finish().contains("rotate(-90.0"));
+    }
+}

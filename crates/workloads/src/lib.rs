@@ -1,0 +1,46 @@
+//! # xmodel-workloads — benchmark kernels and memory-trace generators
+//!
+//! The paper validates the X-model on 12 applications from Rodinia,
+//! Parboil, Polybench and HPCCG (§V) and runs its case study on
+//! `gesummv` (§VI). Since the original CUDA binaries and datasets are not
+//! available here, each benchmark is regenerated from its algorithmic
+//! structure as:
+//!
+//! * a [`xmodel_isa::Kernel`] — a SASS-like instruction stream whose static
+//!   analysis yields the same three scalars the paper extracts (`E`, `Z`,
+//!   and occupancy `n`), and
+//! * a [`trace::TraceSpec`] — a per-warp memory-address generator with the
+//!   kernel's characteristic access pattern (streaming, strided, gather,
+//!   shared-vector reuse, blocked working sets).
+//!
+//! The trace feeds the cycle-level simulator (`xmodel-sim`); the kernel IR
+//! feeds the static analyser. Both views are generated from one
+//! description, so "measured" (simulated) and "predicted" (modelled)
+//! numbers are commensurable — the substitution the DESIGN.md inventory
+//! documents.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod concrete;
+pub mod locality;
+pub mod microbench;
+pub mod suite;
+pub mod trace;
+
+pub use suite::{Workload, WorkloadId};
+pub use trace::{AddressStream, TraceSpec};
+
+/// Cache-line size (bytes) assumed by every trace generator; matches the
+/// 128-byte coalesced transaction granularity of the modelled GPUs.
+pub const LINE_BYTES: u64 = 128;
+
+/// Glob import of the common types.
+pub mod prelude {
+    pub use crate::concrete::RecordedTraces;
+    pub use crate::locality::{fit_jacob, JacobFit};
+    pub use crate::microbench::{peak_ops_kernel, stream_kernel, stream_trace};
+    pub use crate::suite::{Workload, WorkloadId};
+    pub use crate::trace::{AddressStream, TraceSpec};
+    pub use crate::LINE_BYTES;
+}

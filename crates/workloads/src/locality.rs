@@ -1,0 +1,392 @@
+//! Locality measurement and Jacob-model fitting.
+//!
+//! The analytic cache model (Eq. 3 of the paper) needs the workload
+//! locality pair `(α, β)`. The paper obtains them by fitting profiled hit
+//! rates; here we do the same against traces: run `k` warps' interleaved
+//! address streams through a shared fully-associative LRU cache, measure
+//! the per-thread hit rate at several `k`, and least-squares fit
+//! `h(k) = 1 − (S$/(β·k) + 1)^−(α−1)`.
+
+use crate::trace::TraceSpec;
+use crate::LINE_BYTES;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// A shared fully-associative LRU cache over line addresses (measurement
+/// tool — the cycle-level simulator has its own set-associative cache).
+#[derive(Debug)]
+pub struct LruSet {
+    capacity: usize,
+    stamp: u64,
+    by_addr: HashMap<u64, u64>,
+    by_stamp: BTreeMap<u64, u64>,
+}
+
+impl LruSet {
+    /// Create with a capacity in lines.
+    pub fn new(capacity_lines: usize) -> Self {
+        Self {
+            capacity: capacity_lines.max(1),
+            stamp: 0,
+            by_addr: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+        }
+    }
+
+    /// Access a line address; returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / LINE_BYTES;
+        self.stamp += 1;
+        let hit = if let Some(old) = self.by_addr.insert(line, self.stamp) {
+            self.by_stamp.remove(&old);
+            true
+        } else {
+            false
+        };
+        self.by_stamp.insert(self.stamp, line);
+        if self.by_addr.len() > self.capacity {
+            let (&oldest, &victim) = self.by_stamp.iter().next().expect("nonempty");
+            self.by_stamp.remove(&oldest);
+            self.by_addr.remove(&victim);
+        }
+        hit
+    }
+
+    /// Lines currently resident.
+    pub fn len(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// `true` when no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.by_addr.is_empty()
+    }
+}
+
+/// Measured hit rate with `k` warps sharing a cache of `cache_bytes`.
+pub fn measure_hit_rate(spec: &TraceSpec, k: u32, cache_bytes: u64, accesses: usize) -> f64 {
+    assert!(k >= 1);
+    let gens: Vec<_> = (0..k).map(|w| spec.instantiate(w, 7)).collect();
+    measure_hit_rate_streams(gens, cache_bytes, accesses)
+}
+
+/// Measured hit rate for arbitrary pre-instantiated streams interleaved
+/// round-robin through one shared LRU cache (used to profile recorded
+/// algorithm traces as well as synthetic generators).
+pub fn measure_hit_rate_streams(
+    mut gens: Vec<Box<dyn crate::trace::AddressStream>>,
+    cache_bytes: u64,
+    accesses: usize,
+) -> f64 {
+    assert!(!gens.is_empty());
+    let k = gens.len();
+    let mut cache = LruSet::new((cache_bytes / LINE_BYTES) as usize);
+    // Warm-up pass to populate the cache.
+    let warm = accesses / 4;
+    let mut hits = 0usize;
+    let mut counted = 0usize;
+    for i in 0..(accesses + warm) {
+        let g = &mut gens[i % k];
+        let hit = cache.access(g.next_addr());
+        if i >= warm {
+            counted += 1;
+            if hit {
+                hits += 1;
+            }
+        }
+    }
+    hits as f64 / counted as f64
+}
+
+/// Measure the full hit-rate-vs-k curve.
+pub fn measure_hit_curve(
+    spec: &TraceSpec,
+    ks: &[u32],
+    cache_bytes: u64,
+    accesses: usize,
+) -> Vec<(f64, f64)> {
+    ks.iter()
+        .map(|&k| (k as f64, measure_hit_rate(spec, k, cache_bytes, accesses)))
+        .collect()
+}
+
+/// Result of fitting the Jacob model to measured hit rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JacobFit {
+    /// Fitted locality exponent `α`.
+    pub alpha: f64,
+    /// Fitted per-thread working-set scale `β` (bytes).
+    pub beta: f64,
+    /// Root-mean-square error of the fit.
+    pub rmse: f64,
+}
+
+/// Predicted hit rate of the Jacob model.
+pub fn jacob_hit_rate(s_cache: f64, k: f64, alpha: f64, beta: f64) -> f64 {
+    if k <= 0.0 {
+        return 1.0;
+    }
+    1.0 - (s_cache / (beta * k) + 1.0).powf(-(alpha - 1.0))
+}
+
+/// Least-squares fit of `(α, β)` to `(k, hit-rate)` samples for a cache of
+/// `s_cache` bytes. Grid search over a log-spaced β range and α ∈ (1, 8],
+/// followed by one coordinate-refinement pass.
+pub fn fit_jacob(samples: &[(f64, f64)], s_cache: f64) -> JacobFit {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let sse = |alpha: f64, beta: f64| {
+        samples
+            .iter()
+            .map(|&(k, h)| {
+                let p = jacob_hit_rate(s_cache, k, alpha, beta);
+                (p - h) * (p - h)
+            })
+            .sum::<f64>()
+    };
+
+    let alphas: Vec<f64> = (0..60).map(|i| 1.02 + i as f64 * 0.12).collect();
+    let betas: Vec<f64> = (0..60)
+        .map(|i| LINE_BYTES as f64 * 0.25 * 1.25f64.powi(i))
+        .collect();
+
+    let mut best = (alphas[0], betas[0], f64::INFINITY);
+    for &a in &alphas {
+        for &b in &betas {
+            let e = sse(a, b);
+            if e < best.2 {
+                best = (a, b, e);
+            }
+        }
+    }
+
+    // Coordinate refinement around the grid optimum.
+    let (mut a, mut b, mut e) = best;
+    for _ in 0..40 {
+        let mut improved = false;
+        for (da, db) in [
+            (1.03, 1.0),
+            (1.0 / 1.03, 1.0),
+            (1.0, 1.05),
+            (1.0, 1.0 / 1.05),
+        ] {
+            let (na, nb) = ((a * da).max(1.001), b * db);
+            let ne = sse(na, nb);
+            if ne < e {
+                a = na;
+                b = nb;
+                e = ne;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    JacobFit {
+        alpha: a,
+        beta: b,
+        rmse: (e / samples.len() as f64).sqrt(),
+    }
+}
+
+/// Convenience: measure a trace's hit curve on a cache and fit `(α, β)`.
+pub fn fit_trace(spec: &TraceSpec, cache_bytes: u64) -> JacobFit {
+    let ks = [1, 2, 4, 6, 8, 12, 16, 24, 32, 48];
+    let curve = measure_hit_curve(spec, &ks, cache_bytes, 20_000);
+    fit_jacob(&curve, cache_bytes as f64)
+}
+
+/// Least-squares fit of one `(α, β)` pair against samples taken at
+/// *several* cache capacities — `(S$, k, h)` triples. Locality is a
+/// workload property, so a single pair must explain every capacity.
+pub fn fit_jacob_multi(samples: &[(f64, f64, f64)]) -> JacobFit {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let sse = |alpha: f64, beta: f64| {
+        samples
+            .iter()
+            .map(|&(s, k, h)| {
+                let p = jacob_hit_rate(s, k, alpha, beta);
+                (p - h) * (p - h)
+            })
+            .sum::<f64>()
+    };
+    let alphas: Vec<f64> = (0..60).map(|i| 1.02 + i as f64 * 0.12).collect();
+    let betas: Vec<f64> = (0..60)
+        .map(|i| LINE_BYTES as f64 * 0.25 * 1.25f64.powi(i))
+        .collect();
+    let mut best = (alphas[0], betas[0], f64::INFINITY);
+    for &a in &alphas {
+        for &b in &betas {
+            let e = sse(a, b);
+            if e < best.2 {
+                best = (a, b, e);
+            }
+        }
+    }
+    let (mut a, mut b, mut e) = best;
+    for _ in 0..40 {
+        let mut improved = false;
+        for (da, db) in [(1.03, 1.0), (1.0 / 1.03, 1.0), (1.0, 1.05), (1.0, 1.0 / 1.05)] {
+            let (na, nb) = ((a * da).max(1.001), b * db);
+            let ne = sse(na, nb);
+            if ne < e {
+                a = na;
+                b = nb;
+                e = ne;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    JacobFit {
+        alpha: a,
+        beta: b,
+        rmse: (e / samples.len() as f64).sqrt(),
+    }
+}
+
+/// Measure a trace at several reference capacities and fit one `(α, β)`
+/// pair — the workload's locality signature, independent of any specific
+/// cache it later runs against.
+pub fn fit_trace_capacities(spec: &TraceSpec, capacities: &[u64]) -> JacobFit {
+    assert!(!capacities.is_empty());
+    let ks = [1u32, 2, 4, 6, 8, 12, 16, 24, 32, 48];
+    let mut samples = Vec::new();
+    for &cap in capacities {
+        for &(k, h) in &measure_hit_curve(spec, &ks, cap, 20_000) {
+            samples.push((cap as f64, k, h));
+        }
+    }
+    fit_jacob_multi(&samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_basic_hit_miss() {
+        let mut c = LruSet::new(2);
+        assert!(!c.access(0));
+        assert!(!c.access(128));
+        assert!(c.access(0));
+        assert!(!c.access(256)); // evicts line 128 (LRU)
+        assert!(c.access(0));
+        assert!(!c.access(128));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_capacity_never_exceeded() {
+        let mut c = LruSet::new(8);
+        for i in 0..100u64 {
+            c.access(i * 128);
+            assert!(c.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn small_working_set_hits_after_warmup() {
+        let spec = TraceSpec::PrivateWorkingSet {
+            ws_lines: 8,
+            stream_prob: 0.0,
+            reuse_skew: 0.0,
+        };
+        // One warp, cache easily holds 8 lines.
+        let h = measure_hit_rate(&spec, 1, 64 * LINE_BYTES, 4000);
+        assert!(h > 0.95, "h = {h}");
+    }
+
+    #[test]
+    fn hit_rate_decreases_with_sharers() {
+        let spec = TraceSpec::PrivateWorkingSet {
+            ws_lines: 64,
+            stream_prob: 0.0,
+            reuse_skew: 0.0,
+        };
+        let cache = 128 * LINE_BYTES; // holds 2 warps' sets
+        let h2 = measure_hit_rate(&spec, 2, cache, 30_000);
+        let h16 = measure_hit_rate(&spec, 16, cache, 30_000);
+        assert!(h2 > h16 + 0.2, "h2 = {h2}, h16 = {h16}");
+    }
+
+    #[test]
+    fn streaming_has_negligible_hit_rate() {
+        let spec = TraceSpec::Stream {
+            region_lines: 1 << 20,
+        };
+        let h = measure_hit_rate(&spec, 4, 256 * LINE_BYTES, 10_000);
+        assert!(h < 0.05, "h = {h}");
+    }
+
+    #[test]
+    fn jacob_form_recovers_itself() {
+        // Generate synthetic samples from known (alpha, beta) and verify
+        // the fitter recovers hit rates (parameters may trade off, so
+        // compare curves, not raw parameters).
+        let (alpha, beta, s) = (3.0, 2048.0, 16384.0);
+        let samples: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+            .iter()
+            .map(|&k| (k, jacob_hit_rate(s, k, alpha, beta)))
+            .collect();
+        let fit = fit_jacob(&samples, s);
+        assert!(fit.rmse < 0.01, "rmse = {}", fit.rmse);
+        for &(k, h) in &samples {
+            let p = jacob_hit_rate(s, k, fit.alpha, fit.beta);
+            assert!((p - h).abs() < 0.03, "k={k}: {p} vs {h}");
+        }
+    }
+
+    #[test]
+    fn fit_trace_on_private_ws_is_cache_sensitive() {
+        let spec = TraceSpec::PrivateWorkingSet {
+            ws_lines: 16,
+            stream_prob: 0.1,
+            reuse_skew: 0.0,
+        };
+        let fit = fit_trace(&spec, 16 * 1024);
+        // Strong locality: alpha well above the cache-insensitive regime.
+        assert!(fit.alpha > 1.3, "alpha = {}", fit.alpha);
+        assert!(fit.rmse < 0.15, "rmse = {}", fit.rmse);
+    }
+
+    #[test]
+    fn multi_capacity_fit_recovers_synthetic_parameters() {
+        let (alpha, beta) = (3.0, 2048.0);
+        let mut samples = Vec::new();
+        for s in [8192.0, 16384.0, 49152.0] {
+            for k in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+                samples.push((s, k, jacob_hit_rate(s, k, alpha, beta)));
+            }
+        }
+        let fit = fit_jacob_multi(&samples);
+        assert!(fit.rmse < 0.01, "rmse = {}", fit.rmse);
+        for &(s, k, h) in &samples {
+            let p = jacob_hit_rate(s, k, fit.alpha, fit.beta);
+            assert!((p - h).abs() < 0.03);
+        }
+    }
+
+    #[test]
+    fn fit_trace_capacities_is_single_signature() {
+        let spec = TraceSpec::PrivateWorkingSet {
+            ws_lines: 16,
+            stream_prob: 0.1,
+            reuse_skew: 0.0,
+        };
+        let fit = fit_trace_capacities(&spec, &[16 * 1024, 48 * 1024]);
+        assert!(fit.alpha > 1.0 && fit.beta > 0.0);
+        assert!(fit.rmse < 0.2, "rmse = {}", fit.rmse);
+    }
+
+    #[test]
+    fn jacob_hit_rate_bounds() {
+        assert_eq!(jacob_hit_rate(1024.0, 0.0, 2.0, 128.0), 1.0);
+        for k in 1..100 {
+            let h = jacob_hit_rate(1024.0, k as f64, 2.0, 128.0);
+            assert!((0.0..=1.0).contains(&h));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Microbenchmarks for profiling the architectural X-graph (§IV).
+//!
+//! * [`stream_kernel`]/[`stream_trace`] — a CUDA-Stream-style copy kernel:
+//!   sweeping its warp count over the simulator profiles `f(k)`, i.e. the
+//!   paper's method for recovering `R` and `L`.
+//! * [`peak_ops_kernel`] — a register-only FMA kernel in the style of
+//!   Volkov's microbenchmark, used to profile the lane count `M`.
+
+use crate::trace::TraceSpec;
+use xmodel_isa::{Kernel, Opcode::*};
+
+/// Stream-style copy kernel: one load, one store, minimal index arithmetic.
+/// `dp` selects double-precision element width (the Table II δ(DP) row).
+pub fn stream_kernel(dp: bool) -> Kernel {
+    let mut b = Kernel::builder(if dp { "stream_dp" } else { "stream_sp" }, 256).registers(16);
+    b = b.block(1.0, |bb| bb.inst(MOV).inst(IMAD));
+    b = b.block(65536.0, |bb| {
+        let bb = bb.inst(LDG).inst(STG).inst(IADD);
+        let bb = if dp { bb.inst(DADD) } else { bb.inst(ISETP) };
+        bb.inst(BRA)
+    });
+    b.build()
+}
+
+/// Trace for the stream kernel: pure per-warp streaming, no reuse.
+pub fn stream_trace() -> TraceSpec {
+    TraceSpec::Stream {
+        region_lines: 1 << 22,
+    }
+}
+
+/// Peak-operations kernel with a target ILP degree `e ∈ [1, 2]`: a mix of
+/// solo and paired FMAs whose static analysis recovers `E ≈ e`. Used to
+/// profile `M` by saturating CS with enough warps.
+pub fn peak_ops_kernel(e: f64) -> Kernel {
+    assert!((1.0..=2.0).contains(&e), "pairing width is 1..=2, got {e}");
+    // With p paired-fraction of issue groups of width 2 and (1-p) of width
+    // 1: E = (2p + (1-p)) / 1 = 1 + p. So p = e - 1.
+    let groups = 64usize;
+    let paired = ((e - 1.0) * groups as f64).round() as usize;
+    Kernel::builder("peak_fma", 256)
+        .registers(32)
+        .block(65536.0, |mut bb| {
+            for i in 0..groups {
+                bb = if i < paired {
+                    bb.inst(FFMA).dual(FFMA)
+                } else {
+                    bb.inst(FFMA)
+                };
+            }
+            bb.inst(IADD).inst(BRA)
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_kernel_is_memory_dominated() {
+        let a = stream_kernel(false).analyze();
+        // 5 instructions, 2 off-chip accesses: Z = 2.5.
+        assert!((a.intensity - 2.5).abs() < 0.01, "Z = {}", a.intensity);
+        assert!(a.ilp < 1.1);
+        let d = stream_kernel(true).analyze();
+        assert!(d.uses_fp64);
+    }
+
+    #[test]
+    fn peak_kernel_hits_target_ilp() {
+        for &e in &[1.0, 1.25, 1.5, 1.75, 2.0] {
+            let a = peak_ops_kernel(e).analyze();
+            assert!(
+                (a.ilp - e).abs() < 0.05,
+                "target {e}, extracted {}",
+                a.ilp
+            );
+        }
+    }
+
+    #[test]
+    fn peak_kernel_never_touches_memory() {
+        let a = peak_ops_kernel(2.0).analyze();
+        assert!(a.intensity.is_infinite());
+        assert!(a.flops > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pairing width")]
+    fn peak_kernel_rejects_out_of_range_ilp() {
+        let _ = peak_ops_kernel(3.0);
+    }
+}

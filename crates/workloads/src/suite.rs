@@ -1,0 +1,638 @@
+//! The 12 validation workloads of §V, regenerated from their algorithmic
+//! structure.
+//!
+//! | id | origin | pattern | character |
+//! |---|---|---|---|
+//! | bfs | Rodinia | gather | frontier expansion, irregular |
+//! | backprop | Rodinia | shared vector | dense layer, weight reuse |
+//! | stencil | Parboil | blocked stream | 7-point neighbourhood |
+//! | gesummv | Polybench | shared vector | `y = (A+B)x`, §VI case study |
+//! | hpccg | Mantevo | gather (DP) | CG sparse solve, double precision |
+//! | heartwall | Rodinia | private WS | image tracking, compute heavy |
+//! | leukocyte | Rodinia | private WS | cell detection, compute heaviest |
+//! | nw | Rodinia | strided | wavefront DP, dependent, smem-bound |
+//! | nn | Rodinia | stream | distance reduction, high ILP |
+//! | spmv | Parboil | gather | CSR sparse matrix-vector |
+//! | atax | Polybench | shared vector | `Aᵀ(Ax)`, memory bound |
+//! | lud | Rodinia | private WS | blocked LU, smem-bound |
+//!
+//! Each workload provides a kernel IR (for the static analyser: `E`, `Z`,
+//! occupancy `n`) and a trace spec (for the simulator and locality fit).
+
+use crate::trace::TraceSpec;
+use serde::{Deserialize, Serialize};
+use xmodel_isa::{Kernel, Opcode::*};
+
+/// Identifier of one §V workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum WorkloadId {
+    Bfs,
+    Backprop,
+    Stencil,
+    Gesummv,
+    Hpccg,
+    Heartwall,
+    Leukocyte,
+    Nw,
+    Nn,
+    Spmv,
+    Atax,
+    Lud,
+}
+
+impl WorkloadId {
+    /// All 12 ids in paper order.
+    pub fn all() -> [WorkloadId; 12] {
+        use WorkloadId::*;
+        [
+            Bfs, Backprop, Stencil, Gesummv, Hpccg, Heartwall, Leukocyte, Nw, Nn, Spmv, Atax, Lud,
+        ]
+    }
+}
+
+/// One benchmark: kernel IR + trace + provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Which benchmark.
+    pub id: WorkloadId,
+    /// Kernel name.
+    pub name: &'static str,
+    /// Original benchmark suite.
+    pub origin: &'static str,
+    /// SASS-like kernel IR.
+    pub kernel: Kernel,
+    /// Memory trace specification.
+    pub trace: TraceSpec,
+    /// One-line description of the regenerated structure.
+    pub description: &'static str,
+    /// Memory transactions per warp request (1.0 = fully coalesced; the
+    /// §V "coalesced access" effect the paper cites as its accuracy
+    /// limiter). Both the model (effective `R/coalesce`) and the simulator
+    /// (`128·coalesce` bytes per request) honour it.
+    pub coalesce: f64,
+}
+
+impl Workload {
+    /// Look up one workload by id.
+    pub fn get(id: WorkloadId) -> Workload {
+        match id {
+            WorkloadId::Bfs => bfs(),
+            WorkloadId::Backprop => backprop(),
+            WorkloadId::Stencil => stencil(),
+            WorkloadId::Gesummv => gesummv(),
+            WorkloadId::Hpccg => hpccg(),
+            WorkloadId::Heartwall => heartwall(),
+            WorkloadId::Leukocyte => leukocyte(),
+            WorkloadId::Nw => nw(),
+            WorkloadId::Nn => nn(),
+            WorkloadId::Spmv => spmv(),
+            WorkloadId::Atax => atax(),
+            WorkloadId::Lud => lud(),
+        }
+    }
+
+    /// The full §V suite in paper order.
+    pub fn suite() -> Vec<Workload> {
+        WorkloadId::all().into_iter().map(Workload::get).collect()
+    }
+
+    /// Look up a workload by its lowercase name (`"gesummv"`, …).
+    pub fn by_name(name: &str) -> Option<Workload> {
+        let lower = name.to_ascii_lowercase();
+        Self::suite().into_iter().find(|w| w.name == lower)
+    }
+}
+
+/// bfs — frontier expansion over an irregular graph. Serial pointer
+/// chasing: no dual issue, two off-chip accesses per visited edge.
+fn bfs() -> Workload {
+    let kernel = Kernel::builder("bfs_kernel", 256)
+        .registers(18)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD).inst(ISETP))
+        .block(512.0, |b| {
+            b.inst(LDG) // frontier node
+                .inst(IADD)
+                .inst(ISETP)
+                .inst(LDG) // edge list
+                .inst(IADD)
+                .inst(LOP)
+                .inst(ISETP)
+                .inst(STG) // next frontier
+                .inst(IADD)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Bfs,
+        name: "bfs",
+        origin: "Rodinia",
+        kernel,
+        trace: TraceSpec::Gather {
+            footprint_lines: 1 << 18,
+            skew: 0.6,
+        },
+        description: "level-synchronous BFS: gather over edge lists, dependent integer chains",
+        coalesce: 1.0,
+    }
+}
+
+/// backprop — dense layer forward/backward: weight rows stream, input
+/// vector is re-read by every warp; FMA pairs dual-issue.
+fn backprop() -> Workload {
+    let kernel = Kernel::builder("backprop_layer", 256)
+        .registers(24)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD).inst(MOV))
+        .block(1024.0, |b| {
+            b.inst(LDG) // weight
+                .dual(FFMA)
+                .inst(LDG) // activation
+                .dual(FFMA)
+                .inst(FFMA)
+                .dual(FADD)
+                .inst(IADD)
+                .dual(ISETP)
+                .inst(FFMA)
+                .inst(FMUL)
+                .inst(IADD)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Backprop,
+        name: "backprop",
+        origin: "Rodinia",
+        kernel,
+        trace: TraceSpec::SharedVector {
+            vector_lines: 128,
+            region_lines: 1 << 20,
+            vector_prob: 0.5,
+        },
+        description: "dense layer: streamed weights + re-read activations, paired FMAs",
+        coalesce: 1.0,
+    }
+}
+
+/// stencil — 7-point stencil sweep: mostly-cached neighbourhood loads with
+/// a streaming frontier.
+fn stencil() -> Workload {
+    let kernel = Kernel::builder("stencil7", 256)
+        .registers(28)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD).inst(IMAD))
+        .block(2048.0, |b| {
+            b.inst(LDG)
+                .dual(FFMA)
+                .inst(FFMA)
+                .inst(FADD)
+                .dual(FFMA)
+                .inst(FFMA)
+                .inst(FADD)
+                .inst(FFMA)
+                .inst(FMUL)
+                .inst(STG)
+                .inst(IADD)
+                .dual(ISETP)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Stencil,
+        name: "stencil",
+        origin: "Parboil",
+        kernel,
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 48,
+            stream_prob: 0.45,
+            reuse_skew: 0.8,
+        },
+        description: "7-point stencil: plane-reuse working set plus streaming frontier",
+        coalesce: 1.0,
+    }
+}
+
+/// gesummv — `y = (A+B)x` (§VI case study): two streamed matrices, one
+/// shared vector; two independent FMA chains give E close to 2.
+fn gesummv() -> Workload {
+    let kernel = Kernel::builder("gesummv", 512)
+        .registers(20)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD))
+        .block(4096.0, |b| {
+            b.inst(LDG) // A row element
+                .dual(FFMA) // acc_a chain
+                .inst(LDG) // B row element
+                .dual(FFMA) // acc_b chain (independent)
+                .inst(LDG) // x vector element (shared)
+                .dual(IADD)
+                .inst(ISETP)
+                .dual(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Gesummv,
+        name: "gesummv",
+        origin: "Polybench",
+        kernel,
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 40,
+            stream_prob: 0.05,
+            reuse_skew: 1.5,
+        },
+        description: "y=(A+B)x: row-tile + x-segment reuse per warp, uncoalesced columns",
+        coalesce: 3.0,
+    }
+}
+
+/// hpccg — double-precision CG sparse solve (the only DP workload).
+fn hpccg() -> Workload {
+    let kernel = Kernel::builder("hpccg_spmv", 256)
+        .registers(32)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD).inst(ISETP))
+        .block(1024.0, |b| {
+            b.inst(LDG) // value
+                .inst(LDG) // column index
+                .inst(LDG) // x[col]
+                .dual(DFMA)
+                .inst(IADD)
+                .inst(ISETP)
+                .inst(DADD)
+                .inst(IADD)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Hpccg,
+        name: "hpccg",
+        origin: "Mantevo/HPCCG",
+        kernel,
+        trace: TraceSpec::Gather {
+            footprint_lines: 1 << 17,
+            skew: 0.8,
+        },
+        description: "CG sparse matrix-vector in double precision, indexed gathers",
+        coalesce: 1.0,
+    }
+}
+
+/// heartwall — blocked image tracking: large cached template windows,
+/// heavy FP arithmetic between accesses.
+fn heartwall() -> Workload {
+    let kernel = Kernel::builder("heartwall_track", 256)
+        .registers(40)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD).inst(MOV).inst(IMAD))
+        .block(512.0, |b| {
+            let mut bb = b.inst(LDG);
+            for _ in 0..8 {
+                bb = bb.inst(FFMA).dual(FMUL).inst(FADD).dual(FFMA);
+            }
+            bb.inst(MUFU).inst(FADD).inst(IADD).dual(ISETP).inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Heartwall,
+        name: "heartwall",
+        origin: "Rodinia",
+        kernel,
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 64,
+            stream_prob: 0.2,
+            reuse_skew: 1.0,
+        },
+        description: "template tracking: windowed reuse, long FP sequences per load",
+        coalesce: 1.0,
+    }
+}
+
+/// leukocyte — the compute-heaviest kernel: long paired FP chains per
+/// rarely-missed load.
+fn leukocyte() -> Workload {
+    let kernel = Kernel::builder("leukocyte_gicov", 256)
+        .registers(36)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD))
+        .block(512.0, |b| {
+            let mut bb = b.inst(LDG);
+            for _ in 0..40 {
+                bb = bb.inst(FFMA).dual(FFMA);
+            }
+            bb = bb.inst(MUFU).inst(FMUL).dual(FADD);
+            bb.inst(IADD).dual(ISETP).inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Leukocyte,
+        name: "leukocyte",
+        origin: "Rodinia",
+        kernel,
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 32,
+            stream_prob: 0.1,
+            reuse_skew: 1.0,
+        },
+        description: "GICOV scoring: ~40 paired FLOPs per load, small hot window",
+        coalesce: 1.0,
+    }
+}
+
+/// nw — Needleman-Wunsch wavefront: dependent integer max-chains, shared
+/// memory tiles cap occupancy, strided apron reads.
+fn nw() -> Workload {
+    let kernel = Kernel::builder("nw_wavefront", 64)
+        .registers(24)
+        .shared_memory(16 * 1024)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD))
+        .block(256.0, |b| {
+            b.inst(LDG)
+                .inst(LDS)
+                .inst(IADD)
+                .inst(ISETP)
+                .inst(LOP)
+                .inst(LDS)
+                .inst(IADD)
+                .inst(ISETP)
+                .inst(STS)
+                .inst(STG)
+                .inst(IADD)
+                .inst(BAR)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Nw,
+        name: "nw",
+        origin: "Rodinia",
+        kernel,
+        trace: TraceSpec::Strided {
+            stride_lines: 33,
+            region_lines: 1 << 16,
+        },
+        description: "sequence alignment wavefront: dependent max-chains, smem tiles",
+        coalesce: 2.0,
+    }
+}
+
+/// nn — nearest neighbour: pure streaming distance computation with
+/// independent lanes (highest dual-issue density).
+fn nn() -> Workload {
+    let kernel = Kernel::builder("nn_distance", 256)
+        .registers(16)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD))
+        .block(2048.0, |b| {
+            b.inst(LDG)
+                .dual(FADD)
+                .inst(FMUL)
+                .dual(FFMA)
+                .inst(FADD)
+                .dual(FMUL)
+                .inst(IADD)
+                .dual(ISETP)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Nn,
+        name: "nn",
+        origin: "Rodinia",
+        kernel,
+        trace: TraceSpec::Stream {
+            region_lines: 1 << 20,
+        },
+        description: "kNN distance scan: streaming records, independent FP lanes",
+        coalesce: 1.0,
+    }
+}
+
+/// spmv — CSR sparse matrix-vector: short dependent gather chains.
+fn spmv() -> Workload {
+    let kernel = Kernel::builder("spmv_csr", 256)
+        .registers(22)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD).inst(ISETP))
+        .block(1024.0, |b| {
+            b.inst(LDG) // val
+                .inst(LDG) // col
+                .inst(LDG) // x[col]
+                .dual(FFMA)
+                .inst(IADD)
+                .inst(ISETP)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Spmv,
+        name: "spmv",
+        origin: "Parboil",
+        kernel,
+        trace: TraceSpec::Gather {
+            footprint_lines: 1 << 17,
+            skew: 0.4,
+        },
+        description: "CSR SpMV: three loads per FMA, weakly skewed gathers",
+        coalesce: 1.0,
+    }
+}
+
+/// atax — `Aᵀ(Ax)`: two matrix-vector passes, memory bound with moderate
+/// pairing.
+fn atax() -> Workload {
+    let kernel = Kernel::builder("atax", 256)
+        .registers(20)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD))
+        .block(2048.0, |b| {
+            b.inst(LDG) // A element
+                .dual(FFMA)
+                .inst(LDG) // x / intermediate vector (shared)
+                .inst(FFMA)
+                .inst(IADD)
+                .dual(ISETP)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Atax,
+        name: "atax",
+        origin: "Polybench",
+        kernel,
+        trace: TraceSpec::SharedVector {
+            vector_lines: 96,
+            region_lines: 1 << 20,
+            vector_prob: 0.4,
+        },
+        description: "ATAX: streamed matrix, re-read vectors, memory bound",
+        coalesce: 1.0,
+    }
+}
+
+/// lud — blocked LU decomposition: shared-memory tiles bound occupancy;
+/// moderate reuse window in L1 for the apron.
+fn lud() -> Workload {
+    let kernel = Kernel::builder("lud_internal", 256)
+        .registers(28)
+        .shared_memory(16 * 1024)
+        .block(1.0, |b| b.inst(MOV).inst(IMAD).inst(MOV))
+        .block(512.0, |b| {
+            b.inst(LDG)
+                .inst(LDS)
+                .dual(FFMA)
+                .inst(LDS)
+                .dual(FFMA)
+                .inst(FFMA)
+                .inst(FADD)
+                .inst(STS)
+                .inst(IADD)
+                .dual(ISETP)
+                .inst(BAR)
+                .inst(BRA)
+        })
+        .build();
+    Workload {
+        id: WorkloadId::Lud,
+        name: "lud",
+        origin: "Rodinia",
+        kernel,
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 48,
+            stream_prob: 0.35,
+            reuse_skew: 0.8,
+        },
+        description: "blocked LU: smem tiles, apron reuse, barrier-separated phases",
+        coalesce: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmodel_isa::{ArchLimits, Occupancy};
+
+    #[test]
+    fn suite_has_twelve_unique_workloads() {
+        let suite = Workload::suite();
+        assert_eq!(suite.len(), 12);
+        let mut names: Vec<_> = suite.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn every_kernel_is_analyzable_with_sane_ranges() {
+        for w in Workload::suite() {
+            let a = w.kernel.analyze();
+            assert!(
+                (1.0..=2.0).contains(&a.ilp),
+                "{}: E = {} out of Kepler pairing range",
+                w.name,
+                a.ilp
+            );
+            assert!(
+                a.intensity.is_finite() && a.intensity >= 2.0,
+                "{}: Z = {}",
+                w.name,
+                a.intensity
+            );
+            assert!(a.dynamic_insts > 0.0);
+        }
+    }
+
+    #[test]
+    fn hpccg_is_the_only_dp_workload() {
+        for w in Workload::suite() {
+            let a = w.kernel.analyze();
+            assert_eq!(
+                a.uses_fp64,
+                w.id == WorkloadId::Hpccg,
+                "{} fp64 flag wrong",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn compute_heavy_kernels_have_higher_intensity() {
+        let z = |id| Workload::get(id).kernel.analyze().intensity;
+        // leukocyte and heartwall sit well above the memory-bound group.
+        assert!(z(WorkloadId::Leukocyte) > 3.0 * z(WorkloadId::Gesummv));
+        assert!(z(WorkloadId::Heartwall) > 2.0 * z(WorkloadId::Spmv));
+        // gesummv/atax/nw are the memory-bound tail.
+        assert!(z(WorkloadId::Gesummv) < 6.0);
+        assert!(z(WorkloadId::Atax) < 8.0);
+    }
+
+    #[test]
+    fn most_sp_kernels_reach_full_kepler_occupancy() {
+        // §V: "MS saturates at 2048 threads (64 warps), which is also the
+        // maximum allowable threads per SM" — most kernels run at full
+        // occupancy on Kepler.
+        let full: Vec<_> = Workload::suite()
+            .into_iter()
+            .filter(|w| {
+                Occupancy::compute(&w.kernel, &ArchLimits::kepler()).warps == 64
+            })
+            .map(|w| w.name)
+            .collect();
+        assert!(full.len() >= 8, "only {full:?} reach full occupancy");
+    }
+
+    #[test]
+    fn smem_bound_kernels_are_occupancy_limited() {
+        for id in [WorkloadId::Nw, WorkloadId::Lud] {
+            let w = Workload::get(id);
+            let occ = Occupancy::compute(&w.kernel, &ArchLimits::kepler());
+            assert!(
+                occ.warps < 64,
+                "{} should be occupancy limited, got {}",
+                w.name,
+                occ.warps
+            );
+            assert_eq!(occ.limiter(), "shared memory", "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn gesummv_matches_case_study_launch() {
+        // §VI: 512 threads (16 warps) per block; 3 blocks fill a Fermi SM.
+        let w = Workload::get(WorkloadId::Gesummv);
+        assert_eq!(w.kernel.threads_per_block, 512);
+        let occ = Occupancy::compute(&w.kernel, &ArchLimits::fermi(48 * 1024));
+        assert_eq!(occ.warps, 48);
+        // Twin FMA chains: high ILP.
+        assert!(w.kernel.analyze().ilp > 1.5);
+    }
+
+    #[test]
+    fn gather_workloads_use_gather_traces() {
+        for id in [WorkloadId::Bfs, WorkloadId::Spmv, WorkloadId::Hpccg] {
+            assert!(matches!(
+                Workload::get(id).trace,
+                TraceSpec::Gather { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(Workload::by_name("gesummv").unwrap().id, WorkloadId::Gesummv);
+        assert_eq!(Workload::by_name("LUD").unwrap().id, WorkloadId::Lud);
+        assert!(Workload::by_name("doom").is_none());
+    }
+
+    #[test]
+    fn coalescing_factors_are_declared() {
+        // gesummv (uncoalesced columns) and nw (strided aprons) carry
+        // multi-transaction factors; the rest are fully coalesced.
+        for w in Workload::suite() {
+            match w.id {
+                WorkloadId::Gesummv => assert_eq!(w.coalesce, 3.0),
+                WorkloadId::Nw => assert_eq!(w.coalesce, 2.0),
+                _ => assert_eq!(w.coalesce, 1.0, "{}", w.name),
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_ir_round_trips_through_disassembly() {
+        for w in Workload::suite() {
+            let text = xmodel_isa::disasm::disassemble(&w.kernel);
+            let back = xmodel_isa::disasm::parse(&text).unwrap();
+            assert_eq!(back, w.kernel, "{} failed round trip", w.name);
+        }
+    }
+}

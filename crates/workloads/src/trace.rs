@@ -1,0 +1,404 @@
+//! Per-warp memory-address generators.
+//!
+//! A [`TraceSpec`] describes the access pattern of a kernel declaratively;
+//! [`TraceSpec::instantiate`] builds a deterministic per-warp
+//! [`AddressStream`] from it. Addresses are byte addresses aligned to the
+//! 128-byte line size; the simulator's cache operates on line granularity.
+
+use crate::LINE_BYTES;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic stream of (line-aligned) byte addresses for one warp.
+pub trait AddressStream: Send {
+    /// Next coalesced request address (always a multiple of [`LINE_BYTES`]).
+    fn next_addr(&mut self) -> u64;
+}
+
+/// Declarative description of a kernel's memory access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceSpec {
+    /// Pure streaming: each warp walks its own disjoint region linearly and
+    /// never revisits a line (Stream benchmark, `stencil`-like row sweeps).
+    Stream {
+        /// Region length per warp, in lines (wraps after that — one full
+        /// pass has zero temporal reuse, wrap gives a huge reuse distance).
+        region_lines: u64,
+    },
+    /// Strided walk with a fixed line stride (column-major accesses,
+    /// uncoalesced-style patterns).
+    Strided {
+        /// Stride between consecutive requests, in lines.
+        stride_lines: u64,
+        /// Region length per warp, in lines.
+        region_lines: u64,
+    },
+    /// Private working set with occasional streaming: with probability
+    /// `1 − stream_prob` the warp revisits a uniformly random line of its
+    /// private working set; otherwise it fetches a fresh streaming line.
+    /// Larger working sets and stream probabilities weaken locality
+    /// (`heartwall`, `leukocyte`, `lud` blocked kernels).
+    PrivateWorkingSet {
+        /// Working-set size per warp, in lines.
+        ws_lines: u64,
+        /// Probability of a streaming (non-reused) access.
+        stream_prob: f64,
+        /// Skew of reuse within the working set: 0 = uniform, larger
+        /// concentrates accesses on a hot subset (power-law locality, the
+        /// regime the Jacob model assumes).
+        reuse_skew: f64,
+    },
+    /// Shared read-only vector plus per-warp streaming rows: `gesummv`,
+    /// `atax`, `nw`-style kernels where every warp re-reads a common vector
+    /// while streaming its own matrix rows. `vector_prob` is the fraction
+    /// of accesses that go to the shared vector.
+    SharedVector {
+        /// Shared-vector size, in lines.
+        vector_lines: u64,
+        /// Per-warp streamed region, in lines.
+        region_lines: u64,
+        /// Fraction of accesses hitting the shared vector.
+        vector_prob: f64,
+    },
+    /// Power-law gather: line indices drawn from a Zipf-like distribution
+    /// over a large footprint (graph/sparse kernels: `bfs`, `spmv`, `nn`).
+    Gather {
+        /// Footprint, in lines.
+        footprint_lines: u64,
+        /// Zipf exponent (0 = uniform; larger = more skewed/more local).
+        skew: f64,
+    },
+}
+
+impl TraceSpec {
+    /// Build the generator for one warp of `n_warps`, deterministically
+    /// seeded by `(seed, warp_id)`.
+    pub fn instantiate(&self, warp_id: u32, seed: u64) -> Box<dyn AddressStream> {
+        let rng = SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(warp_id as u64 + 1)));
+        match *self {
+            TraceSpec::Stream { region_lines } => Box::new(StreamGen {
+                base: warp_region_base(warp_id, region_lines),
+                len: region_lines.max(1),
+                pos: 0,
+            }),
+            TraceSpec::Strided {
+                stride_lines,
+                region_lines,
+            } => Box::new(StridedGen {
+                base: warp_region_base(warp_id, region_lines),
+                len: region_lines.max(1),
+                stride: stride_lines.max(1),
+                pos: 0,
+            }),
+            TraceSpec::PrivateWorkingSet {
+                ws_lines,
+                stream_prob,
+                reuse_skew,
+            } => Box::new(PrivateWsGen {
+                base: warp_region_base(warp_id, ws_lines.max(1) * 1024),
+                ws: ws_lines.max(1),
+                stream_prob: stream_prob.clamp(0.0, 1.0),
+                reuse_skew: reuse_skew.max(0.0),
+                stream_pos: 0,
+                rng,
+            }),
+            TraceSpec::SharedVector {
+                vector_lines,
+                region_lines,
+                vector_prob,
+            } => Box::new(SharedVecGen {
+                vector: vector_lines.max(1),
+                base: SHARED_REGION_BASE + warp_region_base(warp_id, region_lines),
+                len: region_lines.max(1),
+                vector_prob: vector_prob.clamp(0.0, 1.0),
+                pos: 0,
+                rng,
+            }),
+            TraceSpec::Gather {
+                footprint_lines,
+                skew,
+            } => Box::new(GatherGen {
+                footprint: footprint_lines.max(1),
+                skew: skew.max(0.0),
+                rng,
+            }),
+        }
+    }
+
+    /// Rough per-warp working-set estimate in bytes — the `β` scale the
+    /// analytic cache model wants.
+    pub fn beta_bytes(&self) -> f64 {
+        let lines = match *self {
+            // Streams only reuse a line across its residency; effective
+            // per-thread footprint is a handful of in-flight lines.
+            TraceSpec::Stream { .. } => 4,
+            TraceSpec::Strided { .. } => 4,
+            TraceSpec::PrivateWorkingSet {
+                ws_lines,
+                reuse_skew,
+                ..
+            } => {
+                // The effective per-thread footprint is the hot set.
+                ((ws_lines as f64 / (1.0 + reuse_skew)).ceil() as u64).max(1)
+            }
+            TraceSpec::SharedVector { vector_lines, .. } => vector_lines / 4 + 4,
+            TraceSpec::Gather {
+                footprint_lines,
+                skew,
+            } => {
+                // Hot set of a Zipf distribution shrinks with skew.
+                let hot = (footprint_lines as f64 / (1.0 + skew * skew * 16.0)).max(4.0);
+                hot as u64
+            }
+        };
+        (lines * LINE_BYTES) as f64
+    }
+}
+
+/// Disjoint region base address for one warp (1 GiB apart per unit of
+/// region spacing to guarantee no accidental overlap).
+fn warp_region_base(warp_id: u32, region_lines: u64) -> u64 {
+    let spacing = (region_lines.max(1) + 1).next_power_of_two() * LINE_BYTES;
+    (warp_id as u64 + 1) * spacing * 4
+}
+
+/// Base of the region shared by all warps in [`TraceSpec::SharedVector`].
+const SHARED_REGION_BASE: u64 = 1 << 44;
+
+struct StreamGen {
+    base: u64,
+    len: u64,
+    pos: u64,
+}
+
+impl AddressStream for StreamGen {
+    fn next_addr(&mut self) -> u64 {
+        let a = self.base + (self.pos % self.len) * LINE_BYTES;
+        self.pos += 1;
+        a
+    }
+}
+
+struct StridedGen {
+    base: u64,
+    len: u64,
+    stride: u64,
+    pos: u64,
+}
+
+impl AddressStream for StridedGen {
+    fn next_addr(&mut self) -> u64 {
+        let idx = (self.pos * self.stride) % self.len;
+        self.pos += 1;
+        self.base + idx * LINE_BYTES
+    }
+}
+
+struct PrivateWsGen {
+    base: u64,
+    ws: u64,
+    stream_prob: f64,
+    reuse_skew: f64,
+    stream_pos: u64,
+    rng: SmallRng,
+}
+
+impl AddressStream for PrivateWsGen {
+    fn next_addr(&mut self) -> u64 {
+        if self.rng.random::<f64>() < self.stream_prob {
+            // Fresh streaming line beyond the working set.
+            self.stream_pos += 1;
+            self.base + (self.ws + self.stream_pos) * LINE_BYTES
+        } else {
+            // Power-law reuse: idx = ws * u^(1+skew) concentrates on a
+            // hot prefix of the working set.
+            let u = self.rng.random::<f64>();
+            let idx = ((u.powf(1.0 + self.reuse_skew)) * self.ws as f64) as u64;
+            self.base + idx.min(self.ws - 1) * LINE_BYTES
+        }
+    }
+}
+
+struct SharedVecGen {
+    vector: u64,
+    base: u64,
+    len: u64,
+    vector_prob: f64,
+    pos: u64,
+    rng: SmallRng,
+}
+
+impl AddressStream for SharedVecGen {
+    fn next_addr(&mut self) -> u64 {
+        if self.rng.random::<f64>() < self.vector_prob {
+            // Walk the shared vector coherently (all warps sweep it).
+            let idx = self.rng.random_range(0..self.vector);
+            idx * LINE_BYTES // the shared region sits at the bottom
+        } else {
+            let a = self.base + (self.pos % self.len) * LINE_BYTES;
+            self.pos += 1;
+            a
+        }
+    }
+}
+
+struct GatherGen {
+    footprint: u64,
+    skew: f64,
+    rng: SmallRng,
+}
+
+impl AddressStream for GatherGen {
+    fn next_addr(&mut self) -> u64 {
+        // Inverse-CDF sample of a truncated power law: idx ∝ u^(1+skew).
+        let u = self.rng.random::<f64>();
+        let idx = ((u.powf(1.0 + self.skew)) * self.footprint as f64) as u64;
+        idx.min(self.footprint - 1) * LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn collect(spec: TraceSpec, warp: u32, n: usize) -> Vec<u64> {
+        let mut g = spec.instantiate(warp, 42);
+        (0..n).map(|_| g.next_addr()).collect()
+    }
+
+    #[test]
+    fn all_addresses_line_aligned() {
+        let specs = [
+            TraceSpec::Stream { region_lines: 64 },
+            TraceSpec::Strided {
+                stride_lines: 7,
+                region_lines: 64,
+            },
+            TraceSpec::PrivateWorkingSet {
+                ws_lines: 32,
+                stream_prob: 0.3,
+                reuse_skew: 0.0,
+            },
+            TraceSpec::SharedVector {
+                vector_lines: 16,
+                region_lines: 128,
+                vector_prob: 0.5,
+            },
+            TraceSpec::Gather {
+                footprint_lines: 4096,
+                skew: 1.0,
+            },
+        ];
+        for spec in specs {
+            for a in collect(spec, 3, 200) {
+                assert_eq!(a % LINE_BYTES, 0, "{spec:?} produced unaligned {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_warp_seed() {
+        let spec = TraceSpec::Gather {
+            footprint_lines: 1024,
+            skew: 0.5,
+        };
+        assert_eq!(collect(spec, 5, 100), collect(spec, 5, 100));
+        assert_ne!(collect(spec, 5, 100), collect(spec, 6, 100));
+    }
+
+    #[test]
+    fn stream_never_repeats_within_region() {
+        let addrs = collect(TraceSpec::Stream { region_lines: 128 }, 0, 128);
+        let unique: HashSet<_> = addrs.iter().collect();
+        assert_eq!(unique.len(), 128);
+        // And wraps after the region.
+        let wrapped = collect(TraceSpec::Stream { region_lines: 128 }, 0, 129);
+        assert_eq!(wrapped[0], wrapped[128]);
+    }
+
+    #[test]
+    fn warp_regions_are_disjoint_for_private_patterns() {
+        let spec = TraceSpec::Stream { region_lines: 64 };
+        let a: HashSet<_> = collect(spec, 0, 64).into_iter().collect();
+        let b: HashSet<_> = collect(spec, 1, 64).into_iter().collect();
+        assert!(a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn shared_vector_lines_are_shared_across_warps() {
+        let spec = TraceSpec::SharedVector {
+            vector_lines: 8,
+            region_lines: 1 << 20,
+            vector_prob: 1.0,
+        };
+        let a: HashSet<_> = collect(spec, 0, 200).into_iter().collect();
+        let b: HashSet<_> = collect(spec, 1, 200).into_iter().collect();
+        assert!(!a.is_disjoint(&b), "shared vector must overlap");
+        assert!(a.len() <= 8 && b.len() <= 8);
+    }
+
+    #[test]
+    fn private_ws_bounded_when_not_streaming() {
+        let spec = TraceSpec::PrivateWorkingSet {
+            ws_lines: 16,
+            stream_prob: 0.0,
+            reuse_skew: 0.0,
+        };
+        let unique: HashSet<_> = collect(spec, 2, 1000).into_iter().collect();
+        assert!(unique.len() <= 16);
+    }
+
+    #[test]
+    fn gather_skew_concentrates_accesses() {
+        let hot_hits = |skew: f64| {
+            let addrs = collect(
+                TraceSpec::Gather {
+                    footprint_lines: 10_000,
+                    skew,
+                },
+                1,
+                5000,
+            );
+            // Fraction of accesses landing in the first 1% of the footprint.
+            addrs
+                .iter()
+                .filter(|&&a| a < 100 * LINE_BYTES)
+                .count() as f64
+                / 5000.0
+        };
+        assert!(hot_hits(2.0) > 3.0 * hot_hits(0.0));
+    }
+
+    #[test]
+    fn beta_estimates_scale_with_working_set() {
+        let small = TraceSpec::PrivateWorkingSet {
+            ws_lines: 8,
+            stream_prob: 0.0,
+            reuse_skew: 0.0,
+        };
+        let big = TraceSpec::PrivateWorkingSet {
+            ws_lines: 256,
+            stream_prob: 0.0,
+            reuse_skew: 0.0,
+        };
+        assert!(big.beta_bytes() > small.beta_bytes());
+        assert_eq!(small.beta_bytes(), 8.0 * LINE_BYTES as f64);
+    }
+
+    #[test]
+    fn strided_covers_region_with_coprime_stride() {
+        let addrs = collect(
+            TraceSpec::Strided {
+                stride_lines: 7,
+                region_lines: 64,
+            },
+            0,
+            64,
+        );
+        let unique: HashSet<_> = addrs.into_iter().collect();
+        // gcd(7, 64) = 1 so the walk covers every line.
+        assert_eq!(unique.len(), 64);
+    }
+}

@@ -1,0 +1,55 @@
+//! # xmodel — the X-model, batteries included
+//!
+//! Facade crate re-exporting the full reproduction of *"X: A Comprehensive
+//! Analytic Model for Parallel Machines"* (Li et al., IPPS 2016):
+//!
+//! | crate | re-export | contents |
+//! |---|---|---|
+//! | `xmodel-core` | [`core`] | the analytic model itself |
+//! | `xmodel-isa` | [`isa`] | kernel IR, static analysis, occupancy |
+//! | `xmodel-workloads` | [`workloads`] | the 12 §V benchmarks + traces |
+//! | `xmodel-sim` | [`sim`] | cycle-level SM simulator |
+//! | `xmodel-profile` | [`profile`] | profiling + §V validation harness |
+//! | `xmodel-baselines` | [`baselines`] | Roofline, Valley, MWP-CWP |
+//! | `xmodel-viz` | [`viz`] | SVG/ASCII plotting |
+//!
+//! plus [`render`], the adapter that turns an assembled
+//! [`core::xgraph::XGraph`] into a publishable chart.
+//!
+//! ```
+//! use xmodel::prelude::*;
+//!
+//! // Draw the X-graph of a Kepler-like SM running a memory-bound kernel.
+//! let model = XModel::new(
+//!     MachineParams::new(6.0, 0.107, 598.0),
+//!     WorkloadParams::new(10.0, 1.2, 64.0),
+//! );
+//! let graph = XGraph::build(&model, 256);
+//! let svg = xmodel::render::xgraph_chart(&graph, None).to_svg(480.0, 320.0);
+//! assert!(svg.contains("f(k)"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use xmodel_baselines as baselines;
+pub use xmodel_core as core;
+pub use xmodel_isa as isa;
+pub use xmodel_profile as profile;
+pub use xmodel_sim as sim;
+pub use xmodel_viz as viz;
+pub use xmodel_workloads as workloads;
+
+pub mod render;
+
+/// One-stop import for the typical user.
+pub mod prelude {
+    pub use crate::render;
+    pub use xmodel_baselines::prelude::*;
+    pub use xmodel_core::prelude::*;
+    pub use xmodel_isa::prelude::*;
+    pub use xmodel_profile::prelude::*;
+    pub use xmodel_sim::prelude::*;
+    pub use xmodel_viz::prelude::*;
+    pub use xmodel_workloads::prelude::*;
+}

@@ -1,0 +1,144 @@
+//! Rendering adapters: [`XGraph`] → charts.
+
+use xmodel_core::stability::Stability;
+use xmodel_core::units::UnitContext;
+use xmodel_core::xgraph::XGraph;
+use xmodel_viz::ascii::AsciiChart;
+use xmodel_viz::chart::{Chart, Marker, Series};
+
+/// Build the canonical X-graph chart: `f(k)` and the reversed demand
+/// curve `ĝ(n−k)` over the shared thread axis, with σ/π/ψ annotations.
+///
+/// With a [`UnitContext`], the y axis is converted to GB/s and a right
+/// axis in GF/s is added (the Fig. 10 dual-axis layout); without one the
+/// chart stays in model units (requests/cycle).
+pub fn xgraph_chart(graph: &XGraph, units: Option<&UnitContext>) -> Chart {
+    let scale = |v: f64| units.map(|u| u.ms_to_gbs(v)).unwrap_or(v);
+    let y_label = if units.is_some() {
+        "MS Throughput (GB/s per SM)"
+    } else {
+        "MS Throughput (requests/cycle)"
+    };
+
+    let fk: Vec<(f64, f64)> = graph.fk.iter().map(|&(k, v)| (k, scale(v))).collect();
+    let ghat: Vec<(f64, f64)> = graph.ghat.iter().map(|&(k, v)| (k, scale(v))).collect();
+
+    let mut chart = Chart::new("X-graph", "Threads in the machine (k)", y_label)
+        .with(Series::line("f(k)", fk, 0))
+        .with(Series::line("g(n\u{2212}k)/Z", ghat, 1).dashed());
+
+    if let Some(u) = units {
+        // The right axis reports the same demand curve in CS space.
+        let g_cs: Vec<(f64, f64)> = graph
+            .ghat
+            .iter()
+            .map(|&(k, v)| (k, u.cs_to_gflops(v * graph.z)))
+            .collect();
+        chart = chart
+            .right_axis("CS Throughput (GF/s per SM)")
+            .with(Series::line("g(x)", g_cs, 2).on_right_axis());
+    }
+
+    // Intersection annotations: sigma' for the first stable point, sigma
+    // for unstable, sigma'' for the later stable one.
+    let mut stable_seen = 0;
+    for p in &graph.intersections {
+        let label = match p.stability {
+            Stability::Stable | Stability::Marginal => {
+                stable_seen += 1;
+                if stable_seen == 1 { "σ'" } else { "σ''" }
+            }
+            Stability::Unstable => "σ",
+        };
+        chart = chart.with_marker(Marker {
+            label: label.to_string(),
+            x: p.k,
+            y: Some(scale(p.ms_throughput)),
+        });
+    }
+    if let Some(pk) = graph.pi_k {
+        chart = chart.with_marker(Marker {
+            label: "π".to_string(),
+            x: pk,
+            y: None,
+        });
+    }
+    if let Some(peak) = graph.features.peak {
+        chart = chart.with_marker(Marker {
+            label: "ψ".to_string(),
+            x: peak.k,
+            y: None,
+        });
+    }
+    chart
+}
+
+/// Render an X-graph as a quick terminal plot.
+pub fn xgraph_ascii(graph: &XGraph, width: usize, height: usize) -> String {
+    let mut c = AsciiChart::new(
+        format!(
+            "X-graph  (n = {}, Z = {}; * = f(k), o = g(n-k)/Z)",
+            graph.n, graph.z
+        ),
+        width,
+        height,
+    );
+    c.add(&graph.fk);
+    c.add(&graph.ghat);
+    c.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmodel_core::cache::CacheParams;
+    use xmodel_core::params::{MachineParams, WorkloadParams};
+    use xmodel_core::XModel;
+
+    fn bistable_graph() -> XGraph {
+        let model = XModel::with_cache(
+            MachineParams::new(6.0, 0.02, 600.0),
+            WorkloadParams::new(66.0, 0.25, 60.0),
+            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        );
+        XGraph::build(&model, 256)
+    }
+
+    #[test]
+    fn chart_has_both_curves_and_sigmas() {
+        let chart = xgraph_chart(&bistable_graph(), None);
+        assert_eq!(chart.series.len(), 2);
+        let labels: Vec<&str> = chart.markers.iter().map(|m| m.label.as_str()).collect();
+        assert!(labels.contains(&"σ'"));
+        assert!(labels.contains(&"σ"));
+        assert!(labels.contains(&"σ''"));
+        assert!(labels.contains(&"π"));
+        assert!(labels.contains(&"ψ"));
+    }
+
+    #[test]
+    fn unit_scaling_adds_right_axis() {
+        let u = UnitContext::new(0.876, 128.0, 2.0, 15);
+        let chart = xgraph_chart(&bistable_graph(), Some(&u));
+        assert_eq!(chart.series.len(), 3);
+        assert!(chart.series[2].right_axis);
+        assert!(chart.y_label.contains("GB/s"));
+        // Scaled values differ from model units.
+        let raw = xgraph_chart(&bistable_graph(), None);
+        assert!(chart.series[0].points[10].1 > raw.series[0].points[10].1);
+    }
+
+    #[test]
+    fn svg_end_to_end() {
+        let svg = xgraph_chart(&bistable_graph(), None).to_svg(480.0, 320.0);
+        assert!(svg.contains("f(k)"));
+        assert!(svg.contains("σ"));
+    }
+
+    #[test]
+    fn ascii_end_to_end() {
+        let s = xgraph_ascii(&bistable_graph(), 60, 14);
+        assert!(s.contains('*'));
+        assert!(s.contains('o'));
+    }
+}

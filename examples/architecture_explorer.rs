@@ -1,0 +1,87 @@
+//! Architectural X-graphs (§IV, Fig. 10): profile each Table II GPU once
+//! on the simulator, then overlay the g(x) family for E = 1..8.
+//!
+//! ```sh
+//! cargo run --release -p xmodel --example architecture_explorer
+//! ```
+
+use xmodel::prelude::*;
+use xmodel_profile::peak::profile_gx;
+use xmodel_profile::stream::profile_stream;
+use xmodel_viz::chart::{Chart, Series};
+use xmodel_viz::grid::PanelGrid;
+
+fn main() {
+    let out = std::path::Path::new("target/experiments/figs");
+    std::fs::create_dir_all(out).expect("create output dir");
+
+    let mut grid = PanelGrid::new("Architectural X-graphs (profiled on the simulator)", 3);
+    for precision in [Precision::Single, Precision::Double] {
+        for gpu in GpuSpec::all() {
+            let units = gpu.units(precision);
+            let cfg = xmodel_profile::sim_config_for(&gpu, precision);
+            let max_warps = gpu.max_warps as u32;
+
+            // f(k): stream-benchmark sweep.
+            let fk = profile_stream(&cfg, max_warps, 4);
+            println!(
+                "{} {:?}: R = {:.1} GB/s chip-wide, delta = {} warps (Table II: {} / {})",
+                gpu.name,
+                precision,
+                units.ms_to_gbs(fk.r) * gpu.sm_count as f64,
+                fk.delta,
+                gpu.delta(precision).0,
+                gpu.delta(precision).1,
+            );
+
+            let mut chart = Chart::new(
+                format!(
+                    "{} ({:?}) — {}",
+                    gpu.name,
+                    precision,
+                    match gpu.generation {
+                        GpuGeneration::Fermi => "Fermi",
+                        GpuGeneration::Kepler => "Kepler",
+                        GpuGeneration::Maxwell => "Maxwell",
+                    }
+                ),
+                "Warps",
+                "MS GB/s per SM",
+            )
+            .right_axis("CS GF/s per SM");
+            let fk_gbs: Vec<(f64, f64)> = fk
+                .curve
+                .iter()
+                .map(|&(w, t)| (w as f64, units.ms_to_gbs(t)))
+                .collect();
+            chart = chart.with(Series::line("f(k)", fk_gbs, 0));
+
+            // g(x) family: one curve per ILP degree 1..8 (hardware pairing
+            // caps per-warp issue at 2; larger E models multi-scheduler
+            // exploitation, drawn analytically like the paper does).
+            let m = gpu.machine_params(precision).m;
+            for e in 1..=8 {
+                let gx: Vec<(f64, f64)> = if e <= 2 {
+                    profile_gx(&cfg, e as f64, max_warps, 4)
+                        .into_iter()
+                        .map(|(w, t)| (w as f64, units.cs_to_gflops(t)))
+                        .collect()
+                } else {
+                    (1..=max_warps)
+                        .step_by(4)
+                        .map(|w| {
+                            let g = (e as f64 * w as f64).min(m);
+                            (w as f64, units.cs_to_gflops(g))
+                        })
+                        .collect()
+                };
+                chart = chart
+                    .with(Series::line(format!("g(x) E={e}"), gx, e as usize).on_right_axis());
+            }
+            grid = grid.with(chart);
+        }
+    }
+    let path = out.join("fig10_architectural_xgraphs.svg");
+    std::fs::write(&path, grid.to_svg()).expect("write svg");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,88 @@
+//! A practical launch tuner: what a downstream user would actually build
+//! on top of this library. Given a kernel and a GPU, it
+//!
+//! 1. picks the thread-block size (occupancy advisor),
+//! 2. assembles the X-model and reads the report card,
+//! 3. asks the sensitivity analysis which knob to pull,
+//! 4. and, if the model says the cache is thrashing, derives the §VI
+//!    optimization menu with predicted speedups.
+//!
+//! ```sh
+//! cargo run --release -p xmodel --example launch_tuner
+//! ```
+
+use xmodel::core::{report, sensitivity};
+use xmodel::prelude::*;
+use xmodel::profile::fitting;
+
+fn tune(gpu: &GpuSpec, workload: &Workload, l1_kib: u64) {
+    println!("==== {} on {} ({} KiB L1) ====", workload.name, gpu.name, l1_kib);
+
+    // 1. Launch configuration.
+    let limits = fitting::arch_limits(gpu, l1_kib * 1024);
+    let (tpb, warps) = Occupancy::best_block_size(&workload.kernel, &limits);
+    let current = Occupancy::compute(&workload.kernel, &limits);
+    println!(
+        "launch: current {} threads/block -> {} warps (limited by {});",
+        workload.kernel.threads_per_block,
+        current.warps,
+        current.limiter()
+    );
+    println!("        advisor suggests {tpb} threads/block -> {warps} warps");
+
+    // 2. Model + report card.
+    let model = fitting::assemble_model(gpu, workload, l1_kib * 1024);
+    let precision = fitting::workload_precision(workload);
+    let units = gpu.units(precision);
+    print!("{}", report::render(&model, Some(&units)));
+
+    // 3. Dominant knob.
+    let sens = sensitivity::analyze(&model);
+    if let Some(top) = sens.dominant() {
+        println!(
+            "tuner:    pull `{}` first ({:+.2} MS elasticity)",
+            top.param, top.ms_elasticity
+        );
+    }
+
+    // 4. Thrashing menu.
+    let what_if = WhatIf::new(model);
+    if what_if.is_thrashing() {
+        println!("tuner:    cache is thrashing — §VI menu:");
+        let mut menu: Vec<(String, Optimization)> = vec![
+            (
+                "bypass to L2 (R x3)".into(),
+                Optimization::CacheBypass {
+                    r: model.machine.r * 3.0,
+                },
+            ),
+            (
+                "restructure for 2x Z".into(),
+                Optimization::IncreaseIntensity {
+                    z: model.workload.z * 2.0,
+                },
+            ),
+        ];
+        if let Some(n_star) = what_if.optimal_throttle() {
+            menu.insert(0, (format!("throttle to {n_star:.0} warps"), Optimization::ThreadThrottle { n: n_star }));
+        }
+        for (name, opt) in menu {
+            if let Some(eff) = what_if.evaluate(opt) {
+                println!(
+                    "          {:<24} MS {:>5.2}x  CS {:>5.2}x",
+                    name,
+                    eff.ms_speedup(),
+                    eff.cs_speedup()
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // The §VI case study, plus a healthy kernel for contrast.
+    tune(&GpuSpec::fermi_gtx570(), &Workload::get(WorkloadId::Gesummv), 16);
+    tune(&GpuSpec::kepler_k40(), &Workload::get(WorkloadId::Nn), 0);
+    tune(&GpuSpec::kepler_k40(), &Workload::get(WorkloadId::Lud), 0);
+}

@@ -1,0 +1,98 @@
+//! Generality: §IV — *"the same methodology can be applied to other
+//! parallel machines."* The X-model is not GPU-specific; anything with a
+//! CS/MS split and concurrent threads fits. This example models three
+//! very different machines in the same six parameters and compares their
+//! X-graphs on one workload:
+//!
+//! * a GPU SM (Kepler-like),
+//! * a multicore CPU with SMT (threads are hyperthreads, lanes are
+//!   superscalar issue slots),
+//! * a many-core accelerator (Xeon-Phi-like: many simple cores, wide
+//!   vector units, GDDR bandwidth).
+//!
+//! ```sh
+//! cargo run --release -p xmodel --example other_machines
+//! ```
+
+use xmodel::core::xgraph::XGraph;
+use xmodel::prelude::*;
+use xmodel::render;
+
+struct MachineDesc {
+    name: &'static str,
+    notes: &'static str,
+    machine: MachineParams,
+    /// Threads the machine can host.
+    n: f64,
+}
+
+fn machines() -> Vec<MachineDesc> {
+    vec![
+        MachineDesc {
+            name: "GPU SM (Kepler-like)",
+            notes: "threads = warps, M = 6 warp-ops/cyc, deep latency hidden by TLP",
+            machine: MachineParams::new(6.0, 0.107, 598.0),
+            n: 64.0,
+        },
+        MachineDesc {
+            name: "8-core SMT CPU",
+            notes: "threads = hyperthreads (16), M = 8x4 issue slots, short latency",
+            // 32 ops/cycle total issue, ~0.2 cache-miss requests/cycle to
+            // DRAM, ~200-cycle memory latency.
+            machine: MachineParams::new(32.0, 0.2, 200.0),
+            n: 16.0,
+        },
+        MachineDesc {
+            name: "many-core accelerator",
+            notes: "60 cores x 4 SMT, vector ops, GDDR-class bandwidth",
+            machine: MachineParams::new(60.0, 0.5, 300.0),
+            n: 240.0,
+        },
+    ]
+}
+
+fn main() {
+    // One workload shape for all three: moderate intensity, no cache term
+    // (apples-to-apples across very different hierarchies).
+    let z = 12.0;
+    let out = std::path::Path::new("target/experiments/figs");
+    std::fs::create_dir_all(out).expect("output dir");
+
+    println!("One workload (Z = {z}, E = 1) on three different machines:\n");
+    println!(
+        "{:<26} {:>8} {:>8} {:>9} {:>10} {:>12}",
+        "machine", "pi", "delta", "mach.TLP", "MS thr", "bound"
+    );
+    let mut panels = xmodel::viz::grid::PanelGrid::new("X-graphs across machine classes", 3);
+    for desc in machines() {
+        let model = XModel::new(desc.machine, WorkloadParams::new(z, 1.0, desc.n));
+        let op = model.solve().operating_point().expect("op");
+        let bal = model.balance();
+        println!(
+            "{:<26} {:>8.1} {:>8.1} {:>9.1} {:>10.4} {:>12?}",
+            desc.name,
+            model.pi(),
+            model.delta(),
+            bal.balance_threads,
+            op.ms_throughput,
+            bal.bound
+        );
+        println!("{:<26}   {}", "", desc.notes);
+
+        let graph = XGraph::build(&model, 384);
+        let mut chart = render::xgraph_chart(&graph, None);
+        chart.title = desc.name.to_string();
+        panels = panels.with(chart);
+    }
+
+    println!("\nReadings:");
+    println!("- The GPU hides its 600-cycle latency with TLP: machine TLP ~70 warps.");
+    println!("- The CPU's 16 hyperthreads cannot reach its delta = R*L = 40: it is");
+    println!("  thread-bound on this workload; the model says add threads or prefetch");
+    println!("  (i.e. lower effective L) rather than buy bandwidth.");
+    println!("- The accelerator balances at pi + delta = 210 of its 240 threads.");
+
+    let path = out.join("other_machines_xgraphs.svg");
+    std::fs::write(&path, panels.to_svg()).expect("write svg");
+    println!("\nwrote {}", path.display());
+}

@@ -1,0 +1,74 @@
+//! Quickstart: build an X-model, solve for the machine's spatial state,
+//! and draw the X-graph.
+//!
+//! ```sh
+//! cargo run --release -p xmodel --example quickstart
+//! ```
+
+use xmodel::prelude::*;
+use xmodel::render;
+use xmodel_core::xgraph::XGraph;
+
+fn main() {
+    // 1. Architecture: take the Kepler K40 preset of Table II (or craft
+    //    your own MachineParams by profiling with `xmodel-profile`).
+    let gpu = GpuSpec::kepler_k40();
+    let machine = gpu.machine_params(Precision::Single);
+    println!(
+        "machine: M = {} warp-ops/cycle, R = {:.4} req/cycle, L = {:.0} cycles",
+        machine.m, machine.r, machine.l
+    );
+
+    // 2. Application: extract E and Z from a kernel and n from occupancy.
+    let workload = Workload::get(WorkloadId::Gesummv);
+    let analysis = workload.kernel.analyze();
+    let occ = Occupancy::compute(&workload.kernel, &ArchLimits::kepler());
+    println!(
+        "workload `{}`: E = {:.2}, Z = {:.2}, n = {} warps (limited by {})",
+        workload.name,
+        analysis.ilp,
+        analysis.intensity,
+        occ.warps,
+        occ.limiter()
+    );
+    let params = WorkloadParams::new(analysis.intensity, analysis.ilp, occ.warps as f64);
+
+    // 3. Model: solve the flow balance for the spatial state.
+    let model = XModel::new(machine, params);
+    let eq = model.solve();
+    let op = eq.operating_point().expect("an equilibrium exists");
+    let units = gpu.units(Precision::Single);
+    println!(
+        "operating point: k = {:.1} warps in MS, x = {:.1} in CS",
+        op.k, op.x
+    );
+    println!(
+        "throughput: MS = {:.1} GB/s per SM, CS = {:.1} GF/s per SM",
+        units.ms_to_gbs(op.ms_throughput),
+        units.cs_to_gflops(op.cs_throughput)
+    );
+
+    // 4. The four parallelism metrics of §III-A.
+    let p = model.parallelism();
+    println!(
+        "MLP: machine {:.1}, utilized {:.1}; DLP: machine {:.1}, workload {:.1} => {}",
+        p.machine_mlp,
+        p.workload_mlp.unwrap_or(0.0),
+        p.machine_dlp,
+        p.workload_dlp,
+        if p.is_memory_bound() { "memory bound" } else { "computation bound" }
+    );
+    let b = model.balance();
+    println!("bound analysis: {:?} (machine TLP = {:.1})", b.bound, b.balance_threads);
+
+    // 5. Draw the X-graph: terminal first, SVG beside it.
+    let graph = XGraph::build(&model, 512);
+    println!("\n{}", render::xgraph_ascii(&graph, 72, 16));
+
+    let svg = render::xgraph_chart(&graph, Some(&units)).to_svg(560.0, 360.0);
+    let out = std::path::Path::new("target/experiments/figs");
+    std::fs::create_dir_all(out).expect("create output dir");
+    let path = out.join("quickstart_xgraph.svg");
+    std::fs::write(&path, svg).expect("write svg");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,40 @@
+//! The §V validation experiment (Fig. 11): model prediction vs simulator
+//! measurement for all 12 workloads on the Kepler K40.
+//!
+//! ```sh
+//! cargo run --release -p xmodel --example validation_suite
+//! ```
+
+use xmodel::prelude::*;
+
+fn main() {
+    let gpu = GpuSpec::kepler_k40();
+    println!("Validating the X-model on {} ({} workloads)\n", gpu.name, 12);
+    let report = validate_suite(&gpu);
+
+    println!(
+        "{:<11} {:>5} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "app", "n", "PCT", "RCT", "pred k", "meas k", "acc"
+    );
+    for a in &report.apps {
+        println!(
+            "{:<11} {:>5.0} {:>9.3} {:>9.3} {:>9.1} {:>9.1} {:>6.1}%",
+            a.name,
+            a.n,
+            a.predicted_cs,
+            a.measured_cs,
+            a.predicted_k,
+            a.measured_k,
+            a.accuracy() * 100.0
+        );
+    }
+    println!(
+        "\nmean CS-throughput prediction accuracy: {:.1}% (paper: 84.1% on silicon)",
+        report.mean_accuracy() * 100.0
+    );
+    if let Some(w) = report.worst() {
+        println!("hardest to predict: {} ({:.1}%)", w.name, w.accuracy() * 100.0);
+    }
+    println!("\n(PCT/RCT in warp-ops per cycle per SM; the paper's GF/s figures");
+    println!("differ by the constant 32 lanes x 2 flops x clock factor.)");
+}

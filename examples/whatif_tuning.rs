@@ -1,0 +1,92 @@
+//! What-if exploration: play every tuning knob of Figs. 4 and 8 against a
+//! single baseline model and watch the operating point move — the
+//! model-as-a-sandbox usage the paper's title promises.
+//!
+//! Also demonstrates the §III-D phenomena: the unstable intersection σ and
+//! the severe performance degradation when `n` grows.
+//!
+//! ```sh
+//! cargo run --release -p xmodel --example whatif_tuning
+//! ```
+
+use xmodel::prelude::*;
+use xmodel_core::dynamics;
+use xmodel_core::tuning::{self, CacheKnob, Knob, TuningOp};
+
+fn main() {
+    // A cache-sensitive workload on a bandwidth-poor machine: the regime
+    // where all the interesting §III-D structure lives.
+    let model = XModel::with_cache(
+        MachineParams::new(6.0, 0.02, 600.0),
+        WorkloadParams::new(66.0, 0.25, 60.0),
+        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+    );
+
+    println!("== baseline ==");
+    let eq = model.solve();
+    for p in eq.points() {
+        println!(
+            "  intersection at k = {:5.2}: MS = {:.4} req/cyc  [{:?}]",
+            p.k, p.ms_throughput, p.stability
+        );
+    }
+    println!("  bistable? {}", eq.is_bistable());
+    println!(
+        "  potential degradation sigma' -> sigma'': {:.4} req/cyc",
+        eq.degradation()
+    );
+
+    // The unstable point cannot be observed: perturb by one thread.
+    if let Some(sigma) = eq.unstable().next() {
+        let down = dynamics::converge_from(&model, sigma.k - 1.0);
+        let up = dynamics::converge_from(&model, sigma.k + 1.0);
+        println!(
+            "  perturbing sigma (k = {:.2}) by -1/+1 thread settles at k = {:.2} / {:.2}",
+            sigma.k, down, up
+        );
+    }
+
+    println!("\n== one knob at a time (MS-throughput speedup) ==");
+    let knobs: Vec<(&str, TuningOp)> = vec![
+        ("R x2   (Fig 4-A)", TuningOp::Machine(Knob::MemBandwidth(0.04))),
+        ("L /2   (Fig 4-B)", TuningOp::Machine(Knob::MemLatency(300.0))),
+        ("M x2   (Fig 4-C)", TuningOp::Machine(Knob::Lanes(12.0))),
+        ("Z x2   (Fig 4-D)", TuningOp::Machine(Knob::Intensity(132.0))),
+        ("E x2   (Fig 4-E)", TuningOp::Machine(Knob::Ilp(0.5))),
+        ("n /2   (Fig 4-F)", TuningOp::Machine(Knob::Threads(30.0))),
+        ("S$ x3  (Fig 8-B)", TuningOp::Cache(CacheKnob::Capacity(48.0 * 1024.0))),
+        ("L$ /3  (Fig 8-C)", TuningOp::Cache(CacheKnob::Latency(10.0))),
+        (
+            "locality+ (Fig 8-A)",
+            TuningOp::Cache(CacheKnob::Locality { alpha: 6.5, beta: 2048.0 }),
+        ),
+    ];
+    for (name, op) in knobs {
+        match tuning::evaluate(&model, op) {
+            Some(eff) => println!(
+                "  {:<20} MS {:>5.2}x   CS {:>5.2}x",
+                name,
+                eff.ms_speedup(),
+                eff.cs_speedup()
+            ),
+            None => println!("  {name:<20} (no equilibrium)"),
+        }
+    }
+
+    println!("\n== severe degradation as n grows (Fig 9-C) ==");
+    println!("{:>4} {:>10} {:>10} {:>10}", "n", "best MS", "worst MS", "drop%");
+    for n in [20.0, 30.0, 40.0, 50.0, 60.0, 80.0, 120.0] {
+        let eq = TuningOp::Machine(Knob::Threads(n)).apply(&model).solve();
+        let best = eq.operating_point().map(|p| p.ms_throughput).unwrap_or(0.0);
+        let worst = eq.worst_stable().map(|p| p.ms_throughput).unwrap_or(0.0);
+        println!(
+            "{:>4} {:>10.4} {:>10.4} {:>9.1}%",
+            n,
+            best,
+            worst,
+            if best > 0.0 { (best - worst) / best * 100.0 } else { 0.0 }
+        );
+    }
+    println!("\nThe maximum possible drop is M/Z - R = {:.4} req/cyc (paper §III-D2).",
+        model.machine.m / model.workload.z - model.machine.r);
+}

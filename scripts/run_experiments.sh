@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper plus the extension
+# experiments. Outputs land in target/experiments/{*.csv,*.json,figs/}.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS=(
+  table1 table2
+  fig02_transit_curves fig03_transit_figure fig04_tuning_ops
+  fig05_machine_balance fig07_cache_fk fig08_cache_tuning
+  fig09_intersections fig10_arch_xgraphs fig11_validation
+  fig12_gesummv_16k fig13_gesummv_48k fig14_throttling
+  fig15_bypassing fig16_intensity fig17_reduce_ilp fig18_speedups
+  cmp_baselines occupancy_debate ir_vs_parametric chip_partition
+  design_space sensitivity spatial_trajectory concrete_traces
+  roofline_figure validate_all_gpus hysteresis
+)
+
+mkdir -p target/experiments/logs
+for b in "${BINS[@]}"; do
+  echo "=== $b ==="
+  cargo run --release -q -p xmodel-bench --bin "$b" | tee "target/experiments/logs/$b.log"
+  echo
+done
+echo "All experiments done. Figures: target/experiments/figs/"

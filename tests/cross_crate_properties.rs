@@ -1,0 +1,192 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use xmodel::prelude::*;
+
+fn machine_strategy() -> impl Strategy<Value = MachineParams> {
+    (0.5f64..16.0, 0.005f64..0.5, 100.0f64..1200.0)
+        .prop_map(|(m, r, l)| MachineParams::new(m, r, l))
+}
+
+fn workload_strategy() -> impl Strategy<Value = WorkloadParams> {
+    (2.0f64..200.0, 0.25f64..2.0, 1.0f64..128.0)
+        .prop_map(|(z, e, n)| WorkloadParams::new(z, e, n))
+}
+
+fn cache_strategy() -> impl Strategy<Value = CacheParams> {
+    (
+        1024.0f64..65536.0,
+        5.0f64..60.0,
+        1.2f64..6.0,
+        128.0f64..8192.0,
+    )
+        .prop_map(|(s, lc, a, b)| CacheParams::new(s, lc, a, b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flow balance holds at every solver intersection, cache or not.
+    #[test]
+    fn solver_roots_satisfy_flow_balance(
+        machine in machine_strategy(),
+        workload in workload_strategy(),
+        cache in proptest::option::of(cache_strategy()),
+    ) {
+        let model = match cache {
+            Some(c) => XModel::with_cache(machine, workload, c),
+            None => XModel::new(machine, workload),
+        };
+        let eq = model.solve();
+        for p in eq.points() {
+            let supply = model.fk(p.k);
+            let demand = model.g_hat(p.x);
+            prop_assert!(
+                (supply - demand).abs() < 1e-4 * (1.0 + supply.abs()),
+                "imbalance at k={}: f={} ghat={}", p.k, supply, demand
+            );
+            prop_assert!((p.k + p.x - workload.n).abs() < 1e-6);
+            prop_assert!(p.k >= -1e-9 && p.k <= workload.n + 1e-9);
+        }
+    }
+
+    /// There is always at least one non-unstable intersection for n > 0.
+    #[test]
+    fn an_operating_point_always_exists(
+        machine in machine_strategy(),
+        workload in workload_strategy(),
+        cache in proptest::option::of(cache_strategy()),
+    ) {
+        let model = match cache {
+            Some(c) => XModel::with_cache(machine, workload, c),
+            None => XModel::new(machine, workload),
+        };
+        prop_assert!(model.solve().operating_point().is_some());
+    }
+
+    /// Throughput at the operating point never exceeds either subsystem's
+    /// physical ceiling.
+    #[test]
+    fn operating_point_respects_ceilings(
+        machine in machine_strategy(),
+        workload in workload_strategy(),
+    ) {
+        let model = XModel::new(machine, workload);
+        if let Some(p) = model.solve().operating_point() {
+            prop_assert!(p.ms_throughput <= machine.r + 1e-9);
+            prop_assert!(p.cs_throughput <= machine.m + 1e-9);
+            prop_assert!(p.ms_throughput >= -1e-12);
+        }
+    }
+
+    /// The cache-integrated f is non-negative, zero at zero, and settles
+    /// within an order of magnitude of R far out.
+    #[test]
+    fn cached_supply_curve_is_sane(
+        machine in machine_strategy(),
+        cache in cache_strategy(),
+        k in 0.0f64..512.0,
+    ) {
+        let model = XModel::with_cache(machine, WorkloadParams::new(8.0, 1.0, 64.0), cache);
+        let f = model.fk(k);
+        prop_assert!(f >= 0.0 && f.is_finite());
+        prop_assert!(model.fk(0.0) == 0.0);
+    }
+
+    /// Adding threads never reduces the cache-less model's throughput
+    /// (monotonicity only holds without cache effects — that asymmetry is
+    /// the paper's §III-D point).
+    #[test]
+    fn cacheless_throughput_monotone_in_n(
+        machine in machine_strategy(),
+        z in 2.0f64..200.0,
+        e in 0.25f64..2.0,
+        n in 2.0f64..127.0,
+    ) {
+        let lo = XModel::new(machine, WorkloadParams::new(z, e, n));
+        let hi = XModel::new(machine, WorkloadParams::new(z, e, n + 1.0));
+        let t_lo = lo.solve().operating_point().unwrap().ms_throughput;
+        let t_hi = hi.solve().operating_point().unwrap().ms_throughput;
+        prop_assert!(t_hi >= t_lo - 1e-6, "n {n}: {t_lo} -> {t_hi}");
+    }
+
+    /// Stability classification: with a cache-less (monotone) supply
+    /// curve every intersection is stable or marginal.
+    #[test]
+    fn cacheless_intersections_never_unstable(
+        machine in machine_strategy(),
+        workload in workload_strategy(),
+    ) {
+        let model = XModel::new(machine, workload);
+        for p in model.solve().points() {
+            prop_assert!(p.stability != Stability::Unstable);
+        }
+    }
+
+    /// Occupancy never exceeds architectural warp slots and is monotone
+    /// non-increasing in register pressure.
+    #[test]
+    fn occupancy_bounds(regs in 8u32..128, tpb in prop::sample::select(vec![32u32, 64, 128, 256, 512, 1024])) {
+        use xmodel_isa::{Kernel, Opcode};
+        let mk = |r: u32| {
+            let k = Kernel::builder("k", tpb)
+                .registers(r)
+                .block(1.0, |b| b.inst(Opcode::LDG).inst(Opcode::FFMA))
+                .build();
+            Occupancy::compute(&k, &ArchLimits::kepler()).warps
+        };
+        let w = mk(regs);
+        prop_assert!(w <= 64);
+        prop_assert!(mk(regs + 16) <= w);
+    }
+
+    /// The trace generators only ever emit line-aligned addresses, and
+    /// identical seeds reproduce identical streams.
+    #[test]
+    fn traces_aligned_and_deterministic(
+        warp in 0u32..64,
+        seed in 0u64..1000,
+        ws in 1u64..256,
+    ) {
+        let spec = TraceSpec::PrivateWorkingSet { ws_lines: ws, stream_prob: 0.3,
+ reuse_skew: 0.0,
+};
+        let mut a = spec.instantiate(warp, seed);
+        let mut b = spec.instantiate(warp, seed);
+        for _ in 0..64 {
+            let (x, y) = (a.next_addr(), b.next_addr());
+            prop_assert_eq!(x, y);
+            prop_assert_eq!(x % LINE_BYTES, 0);
+        }
+    }
+
+    /// Jacob hit-rate fitting returns parameters in their domain.
+    #[test]
+    fn jacob_fit_domain(samples in prop::collection::vec((1.0f64..64.0, 0.0f64..1.0), 3..12)) {
+        let fit = fit_jacob(&samples, 16384.0);
+        prop_assert!(fit.alpha > 1.0);
+        prop_assert!(fit.beta > 0.0);
+        prop_assert!(fit.rmse >= 0.0 && fit.rmse.is_finite());
+    }
+
+    /// The simulator conserves threads: avg_k + avg_x = n, and throughput
+    /// observables are non-negative and bounded by configuration.
+    #[test]
+    fn simulator_conservation(
+        n in 1u32..32,
+        z in 2.0f64..64.0,
+        e in prop::sample::select(vec![0.5f64, 1.0, 1.5, 2.0]),
+    ) {
+        let cfg = SimConfig::builder().lanes(4.0).dram(300, 16.0).build();
+        let wl = SimWorkload {
+            trace: TraceSpec::Stream { region_lines: 1 << 16 },
+            ops_per_request: z,
+            ilp: e,
+            warps: n,
+        };
+        let s = xmodel_sim::simulate(&cfg, &wl, 2_000, 8_000);
+        prop_assert!((s.avg_k() + s.avg_x() - n as f64).abs() < 1e-9);
+        prop_assert!(s.cs_throughput() <= 4.0 + 1e-9);
+        prop_assert!(s.ms_throughput() >= 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration: the full §IV pipeline — kernel IR → static analysis →
+//! occupancy → profiled architecture → assembled model → rendered X-graph.
+
+use xmodel::prelude::*;
+use xmodel::render;
+use xmodel_core::xgraph::XGraph;
+use xmodel_isa::disasm;
+use xmodel_profile::fitting::assemble_model;
+use xmodel_profile::stream::profile_stream;
+
+#[test]
+fn kernel_text_to_xgraph_svg() {
+    // A user writes a kernel listing...
+    let listing = "\
+.kernel saxpy tpb=256 regs=16 smem=0
+.block weight=1
+    MOV
+    IMAD
+.block weight=4096
+    LDG
+  + FFMA
+    LDG
+    FFMA
+    STG
+    IADD
+  + ISETP
+    BRA
+";
+    let kernel = disasm::parse(listing).expect("parse kernel");
+    let a = kernel.analyze();
+    assert!(a.ilp > 1.0 && a.ilp < 2.0);
+    // Z: 8 instructions, 3 off-chip accesses.
+    assert!((a.intensity - 8.0 / 3.0).abs() < 0.01);
+
+    // ...computes occupancy on Kepler...
+    let occ = Occupancy::compute(&kernel, &ArchLimits::kepler());
+    assert_eq!(occ.warps, 64);
+
+    // ...builds the model against the Table II preset...
+    let gpu = GpuSpec::kepler_k40();
+    let model = XModel::new(
+        gpu.machine_params(Precision::Single),
+        WorkloadParams::new(a.intensity, a.ilp, occ.warps as f64),
+    );
+    let op = model.solve().operating_point().expect("equilibrium");
+    assert!(op.ms_throughput > 0.0);
+
+    // ...and renders the X-graph.
+    let graph = XGraph::build(&model, 256);
+    let svg = render::xgraph_chart(&graph, Some(&gpu.units(Precision::Single)))
+        .to_svg(560.0, 360.0);
+    assert!(svg.contains("f(k)") && svg.contains("GB/s"));
+    let ascii = render::xgraph_ascii(&graph, 64, 12);
+    assert!(ascii.contains('*'));
+}
+
+#[test]
+fn profiled_architecture_matches_preset_derivation() {
+    // Profiling the simulator must recover the same machine parameters the
+    // preset derives from Table II (that is the whole point of §IV).
+    let gpu = GpuSpec::kepler_k40();
+    let cfg = xmodel_profile::sim_config_for(&gpu, Precision::Single);
+    let profile = profile_stream(&cfg, 64, 8);
+    let preset = gpu.machine_params(Precision::Single);
+    assert!(
+        (profile.r - preset.r).abs() < 0.12 * preset.r,
+        "profiled R {} vs preset {}",
+        profile.r,
+        preset.r
+    );
+    assert!(
+        (profile.l - preset.l).abs() < 0.35 * preset.l,
+        "profiled L {} vs preset {}",
+        profile.l,
+        preset.l
+    );
+}
+
+#[test]
+fn assembled_models_produce_actionable_analyses() {
+    let gpu = GpuSpec::fermi_gtx570();
+    for w in Workload::suite() {
+        let model = assemble_model(&gpu, &w, gpu.default_l1_bytes() as u64);
+        let what_if = WhatIf::new(model);
+        // Every workload admits a throttle bound and an equilibrium.
+        assert!(what_if.throttle_bound() > 0.0, "{}", w.name);
+        let eq = model.solve();
+        assert!(eq.operating_point().is_some(), "{}", w.name);
+        // The balance report is coherent.
+        let b = model.balance();
+        assert!(b.cs_utilization >= 0.0 && b.cs_utilization <= 1.0 + 1e-9, "{}", w.name);
+    }
+}
+
+#[test]
+fn baselines_and_xmodel_agree_on_bound_direction() {
+    // Roofline and the X-model must classify memory- vs compute-bound the
+    // same way (they share the DLP criterion).
+    let gpu = GpuSpec::kepler_k40();
+    let machine = gpu.machine_params(Precision::Single);
+    let roofline = Roofline::new(machine.m, machine.r);
+    for w in Workload::suite() {
+        let a = w.kernel.analyze();
+        if a.uses_fp64 {
+            continue;
+        }
+        let model = XModel::new(machine, WorkloadParams::new(a.intensity, a.ilp, 64.0));
+        assert_eq!(
+            roofline.is_memory_bound(a.intensity),
+            model.parallelism().is_memory_bound(),
+            "{} bound classification diverges",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn valley_model_and_xmodel_share_the_cache_peak_story() {
+    // Same locality parameters: both models must place a performance
+    // optimum at a moderate thread count for a cache-sensitive workload.
+    let cache = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+    // Bandwidth-poor machine so the cache peak clears the plateau in the
+    // X-model's significance test.
+    let machine = MachineParams::new(6.0, 0.05, 600.0);
+    let xfeat = XModel::with_cache(machine, WorkloadParams::new(8.0, 1.0, 64.0), cache)
+        .ms_features(64.0);
+    let xpeak = xfeat.peak.expect("x-model peak").k;
+
+    let valley = ValleyModel {
+        m: 6.0,
+        r: 0.2,
+        l: 600.0,
+        z: 8.0,
+        s_cache: 16.0 * 1024.0,
+        alpha: 5.0,
+        beta: 2048.0,
+    };
+    let vvalley = valley.valley(64.0).expect("valley exists").0;
+    // The x-model peak precedes the valley-model's valley: consistent
+    // "good zone then cliff" narratives.
+    assert!(
+        xpeak < vvalley,
+        "x-model peak {xpeak} should precede valley {vvalley}"
+    );
+}

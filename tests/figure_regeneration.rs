@@ -1,0 +1,166 @@
+//! Integration: every figure-regeneration path produces plausible data
+//! and valid SVG. (The bench binaries print the full tables; these tests
+//! guard the underlying code paths so `cargo test` alone exercises them.)
+
+use xmodel::prelude::*;
+use xmodel::render;
+use xmodel_core::tuning::{CacheKnob, Knob, TuningOp};
+use xmodel_core::xgraph::XGraph;
+
+fn fermi_case_study_model() -> XModel {
+    XModel::with_cache(
+        MachineParams::new(6.0, 0.02, 600.0),
+        WorkloadParams::new(40.0, 2.0, 20.0),
+        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+    )
+}
+
+#[test]
+fn fig2_3_transit_curves_and_figure() {
+    let t = TransitModel::new(MachineParams::new(4.0, 0.1, 500.0), 20.0, 48.0);
+    let model = t.to_xmodel();
+    let fk = model.sample_fk(48.0, 128);
+    let gh = model.sample_ghat(48.0, 128);
+    assert_eq!(fk.len(), 128);
+    assert!(gh[0].1 == 0.0 && gh.last().unwrap().1 > 0.0);
+    let eq = t.equilibrium().unwrap();
+    let num = model.solve().operating_point().unwrap();
+    assert!((eq.k - num.k).abs() < 0.1);
+}
+
+#[test]
+fn fig4_all_six_knobs_move_the_graph() {
+    let base = fermi_case_study_model();
+    let ops = [
+        TuningOp::Machine(Knob::MemBandwidth(0.04)),
+        TuningOp::Machine(Knob::MemLatency(300.0)),
+        TuningOp::Machine(Knob::Lanes(12.0)),
+        TuningOp::Machine(Knob::Intensity(80.0)),
+        TuningOp::Machine(Knob::Ilp(1.0)),
+        TuningOp::Machine(Knob::Threads(40.0)),
+    ];
+    for op in ops {
+        let tuned = op.apply(&base);
+        assert_ne!(tuned, base, "{op:?} must change the model");
+        assert!(tuned.solve().operating_point().is_some());
+    }
+}
+
+#[test]
+fn fig5_machine_balance_scenarios() {
+    let machine = MachineParams::new(4.0, 0.1, 500.0);
+    // Left scenario: n exactly pi + delta.
+    let exact = XModel::new(machine, WorkloadParams::new(40.0, 1.0, 54.0)).balance();
+    assert_eq!(exact.bound, BoundKind::CapacityBound);
+    assert!(exact.idle_threads.abs() < 1e-9);
+    // Right scenario: surplus threads idle.
+    let surplus = XModel::new(machine, WorkloadParams::new(40.0, 1.0, 80.0)).balance();
+    assert_eq!(surplus.bound, BoundKind::CapacityBound);
+    assert!(surplus.idle_threads > 0.0);
+}
+
+#[test]
+fn fig7_feature_extraction_is_complete() {
+    let model = XModel::with_cache(
+        MachineParams::new(6.0, 0.1, 600.0),
+        WorkloadParams::new(8.0, 1.0, 64.0),
+        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+    );
+    let f = model.ms_features(256.0);
+    assert!(f.peak.is_some() && f.valley.is_some());
+    assert_eq!(f.plateau, 0.1);
+}
+
+#[test]
+fn fig8_three_cache_knobs() {
+    let base = fermi_case_study_model();
+    for knob in [
+        TuningOp::Cache(CacheKnob::Capacity(48.0 * 1024.0)),
+        TuningOp::Cache(CacheKnob::Latency(10.0)),
+        TuningOp::Cache(CacheKnob::Locality {
+            alpha: 3.0,
+            beta: 1024.0,
+        }),
+    ] {
+        let tuned = knob.apply(&base);
+        assert_ne!(tuned.cache, base.cache);
+    }
+}
+
+#[test]
+fn fig9_stable_unstable_and_degradation() {
+    let model = XModel::with_cache(
+        MachineParams::new(6.0, 0.02, 600.0),
+        WorkloadParams::new(66.0, 0.25, 60.0),
+        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+    );
+    let eq = model.solve();
+    assert!(eq.is_bistable());
+    assert_eq!(eq.unstable().count(), 1);
+    assert!(eq.degradation() > 0.0);
+    // Degradation is bounded by M/Z - R (§III-D2).
+    let bound = model.machine.m / model.workload.z - model.machine.r;
+    assert!(eq.degradation() <= bound + 1e-9);
+}
+
+#[test]
+fn fig10_dual_axis_architectural_chart_renders() {
+    let gpu = GpuSpec::maxwell_gtx750ti();
+    let model = XModel::new(
+        gpu.machine_params(Precision::Single),
+        WorkloadParams::new(12.0, 1.0, 64.0),
+    );
+    let graph = XGraph::build(&model, 128);
+    let svg = render::xgraph_chart(&graph, Some(&gpu.units(Precision::Single)))
+        .to_svg(480.0, 320.0);
+    assert!(svg.contains("GB/s") && svg.contains("GF/s"));
+}
+
+#[test]
+fn fig11_validation_structures() {
+    // One cheap representative (the full sweep runs in the bench binary).
+    let gpu = GpuSpec::kepler_k40();
+    let v = xmodel_profile::validate::validate_one(&gpu, &Workload::get(WorkloadId::Spmv));
+    assert!(v.accuracy() > 0.5, "spmv accuracy {}", v.accuracy());
+}
+
+#[test]
+fn fig12_17_case_study_whatifs() {
+    let w = WhatIf::new(fermi_case_study_model());
+    assert!(w.is_thrashing());
+    let n_star = w.optimal_throttle().unwrap();
+    let throttle = w.evaluate(Optimization::ThreadThrottle { n: n_star }).unwrap();
+    let bypass = w.evaluate(Optimization::CacheBypass { r: 0.08 }).unwrap();
+    let intensity = w.evaluate(Optimization::IncreaseIntensity { z: 80.0 }).unwrap();
+    let ilp = w.evaluate(Optimization::ReduceIlp { e: 0.5 }).unwrap();
+    assert!(throttle.ms_speedup() > 1.0);
+    assert!(bypass.ms_speedup() > 1.0);
+    assert!(intensity.cs_speedup() > 1.0);
+    assert!(ilp.ms_speedup() > 1.0);
+}
+
+#[test]
+fn fig18_bar_chart_renders() {
+    use xmodel_viz::chart::{Chart, Series};
+    let bars = Series::bars(
+        "speedup",
+        vec![(1.0, 1.0), (2.0, 1.08), (3.0, 1.22), (4.0, 1.07), (5.0, 1.26), (6.0, 1.36)],
+        0,
+    );
+    let svg = Chart::new("gesummv optimizations", "config", "speedup")
+        .with(bars)
+        .to_svg(480.0, 300.0);
+    assert!(svg.matches("<rect").count() >= 7);
+}
+
+#[test]
+fn table2_presets_expose_all_columns() {
+    for gpu in GpuSpec::all() {
+        assert!(gpu.sm_count > 0 && gpu.sp_per_sm > 0);
+        assert!(gpu.delta_sp.0 > 0.0 && gpu.delta_dp.1 > 0.0);
+        for p in [Precision::Single, Precision::Double] {
+            let mp = gpu.machine_params(p);
+            assert!((mp.delta() - gpu.delta(p).0).abs() < 1e-6);
+        }
+    }
+}

