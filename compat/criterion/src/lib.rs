@@ -1,0 +1,214 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! A timing-only harness: each benchmark warms up briefly, calibrates an
+//! iteration count to a fixed measurement window, and prints mean
+//! time/iteration (plus throughput when declared). No statistics,
+//! plotting, or baseline persistence. Honours `XMODEL_BENCH_FAST=1` to
+//! shrink the measurement window for smoke runs.
+
+use std::time::{Duration, Instant};
+
+fn measure_window() -> Duration {
+    if std::env::var_os("XMODEL_BENCH_FAST").is_some() {
+        Duration::from_millis(30)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+/// Declared work per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter alone as the identifier.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs the timed loop.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, storing mean ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills
+        // roughly one tenth of the measurement window.
+        let mut n: u64 = 1;
+        let calibrate_target = measure_window() / 10;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= calibrate_target || n >= 1 << 30 {
+                let per_iter = elapsed.as_nanos() as f64 / n as f64;
+                let window = measure_window().as_nanos() as f64;
+                n = ((window / per_iter.max(1.0)) as u64).clamp(1, 1 << 30);
+                break;
+            }
+            n = n.saturating_mul(4);
+        }
+        let start = Instant::now();
+        for _ in 0..n {
+            std::hint::black_box(routine());
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / n as f64;
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let time = if ns_per_iter >= 1e9 {
+        format!("{:.3} s", ns_per_iter / 1e9)
+    } else if ns_per_iter >= 1e6 {
+        format!("{:.3} ms", ns_per_iter / 1e6)
+    } else if ns_per_iter >= 1e3 {
+        format!("{:.3} µs", ns_per_iter / 1e3)
+    } else {
+        format!("{ns_per_iter:.1} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  ({:.3} Melem/s)", n as f64 / ns_per_iter * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  ({:.3} MiB/s)",
+                n as f64 / ns_per_iter * 1e9 / (1 << 20) as f64
+            )
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<40} {time}/iter{rate}");
+}
+
+/// Benchmark registry; entry point handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh harness (used by `criterion_main!`).
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter, None);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration work for all following benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F, I>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+        I: std::fmt::Display,
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<F, I, D>(&mut self, id: D, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+        I: ?Sized,
+        D: std::fmt::Display,
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// End the group (kept for API compatibility; no finalisation needed).
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $($group(&mut c);)+
+        }
+    };
+}

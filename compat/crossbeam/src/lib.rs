@@ -1,0 +1,84 @@
+//! Offline API-compatible subset of `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; it is
+//! implemented directly on `std::thread::scope` (stable since 1.63).
+//! The one API difference papered over here: crossbeam's spawn closures
+//! receive a `&Scope` argument and `scope(..)` returns a `Result`.
+
+pub mod thread {
+    //! Scoped threads.
+
+    /// Handle passed to spawn closures; spawns more threads in the same scope.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside this scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish, returning its result or panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads may borrow from the
+    /// enclosing stack frame; all threads are joined before returning.
+    ///
+    /// Unlike crossbeam proper, unjoined-thread panics propagate directly
+    /// (std's behaviour) rather than being collected into the `Err` arm,
+    /// so the result here is always `Ok`. Callers that `.expect(..)` it —
+    /// the only usage in this workspace — behave identically.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = crate::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .expect("crossbeam scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline API-compatible subset of `serde`.
+//!
+//! This workspace builds in containers without network access or a crates
+//! registry mirror, so the real `serde` cannot be fetched. This crate
+//! provides the slice of serde's API the workspace actually uses:
+//!
+//! * the [`ser`] module — `Serialize`, `Serializer`, the seven compound
+//!   serializer traits and the `Error` trait, with signatures matching
+//!   upstream so existing `Serializer` implementations (e.g. the JSON
+//!   writer in `xmodel-bench` and `xmodel-obs`) compile unchanged;
+//! * `Serialize` implementations for the primitive and std types derived
+//!   report types contain (integers, floats, bool, strings, tuples,
+//!   slices, `Vec`, `Option`, maps);
+//! * a `Deserialize` marker trait (no deserializer exists in this
+//!   workspace; the derive emits nothing for it);
+//! * with the `derive` feature, re-exports of the `Serialize`/
+//!   `Deserialize` derive macros from the sibling `serde_derive` stub.
+//!
+//! If real network access ever becomes available, deleting `compat/` and
+//! restoring the registry versions in the workspace manifest restores
+//! upstream serde with no source changes elsewhere.
+
+pub mod ser;
+
+pub mod de {
+    //! Marker-only deserialization side.
+    //!
+    //! Nothing in the workspace drives a `Deserializer`; the JSONL trace
+    //! reader in `xmodel-obs` parses into a dynamic value type instead.
+    //! `Deserialize` therefore only needs to exist as a bound-satisfying
+    //! marker.
+
+    /// Marker trait mirroring `serde::de::Deserialize`.
+    pub trait Deserialize<'de>: Sized {}
+
+    impl<'de, T: Sized> Deserialize<'de> for T {}
+}
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

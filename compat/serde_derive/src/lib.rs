@@ -1,0 +1,359 @@
+//! Derive macros for the offline serde compat crate.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which cannot be fetched in this offline build environment). Supports
+//! the shapes this workspace derives on: non-generic structs (named,
+//! tuple, unit) and enums (unit, tuple and struct variants). `#[serde]`
+//! helper attributes are accepted and ignored.
+//!
+//! `derive(Serialize)` generates a real `serde::Serialize` impl driving
+//! the serializer through serde's usual data model, so JSON writers in
+//! the workspace see the same shapes upstream serde would produce.
+//! `derive(Deserialize)` emits nothing: the compat `Deserialize` trait is
+//! a blanket-implemented marker (no deserializer exists in the
+//! workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+use std::iter::Peekable;
+
+/// Derive a real `serde::Serialize` implementation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = generate_serialize(&item);
+    src.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Accept `derive(Deserialize)` as a no-op (marker trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+enum Fields {
+    Unit,
+    /// Tuple fields: their count.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum keyword, got {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the offline serde compat derive");
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match it.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = match it.next() {
+                        Some(TokenTree::Group(g)) => g,
+                        _ => unreachable!(),
+                    };
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = match it.next() {
+                        Some(TokenTree::Group(g)) => g,
+                        _ => unreachable!(),
+                    };
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                _ => Fields::Unit,
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = loop {
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+                    Some(_) => continue,
+                    None => panic!("serde_derive: enum `{name}` has no body"),
+                }
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body.stream()),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attrs_and_vis(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next(); // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning field names in order.
+/// Commas inside angle brackets (`HashMap<K, V>`) are not separators, so
+/// angle depth is tracked across punctuation (`->` is skipped as a unit).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        names.push(name);
+        skip_type_until_comma(&mut it);
+    }
+    names
+}
+
+fn skip_type_until_comma(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle = 0i32;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                it.next();
+                return;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                it.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '-' => {
+                // `-> T` in fn-pointer types: consume both halves so the
+                // `>` does not decrement the angle depth.
+                it.next();
+                if matches!(it.peek(), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                    it.next();
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                it.next();
+            }
+            _ => {
+                it.next();
+            }
+        }
+    }
+}
+
+/// Count fields of a tuple struct/variant: top-level commas + 1, ignoring
+/// a trailing comma; 0 for an empty stream.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = 0usize;
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        fields += 1;
+        skip_type_until_comma(&mut it);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    _ => unreachable!(),
+                };
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        let mut depth_guard = 0i32;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth_guard == 0 => {
+                    it.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth_guard += 1;
+                    it.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth_guard -= 1;
+                    it.next();
+                }
+                _ => {
+                    it.next();
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+                Fields::Tuple(n) => {
+                    let mut b = format!(
+                        "let mut __s = __serializer.serialize_tuple_struct(\"{name}\", {n})?;\n"
+                    );
+                    for i in 0..*n {
+                        let _ = writeln!(
+                            b,
+                            "::serde::ser::SerializeTupleStruct::serialize_field(&mut __s, &self.{i})?;"
+                        );
+                    }
+                    b.push_str("::serde::ser::SerializeTupleStruct::end(__s)");
+                    b
+                }
+                Fields::Named(names) => {
+                    let mut b = format!(
+                        "let mut __s = __serializer.serialize_struct(\"{name}\", {})?;\n",
+                        names.len()
+                    );
+                    for f in names {
+                        let _ = writeln!(
+                            b,
+                            "::serde::ser::SerializeStruct::serialize_field(&mut __s, \"{f}\", &self.{f})?;"
+                        );
+                    }
+                    b.push_str("::serde::ser::SerializeStruct::end(__s)");
+                    b
+                }
+            };
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binds.join(", ");
+                        if *n == 1 {
+                            let _ = writeln!(
+                                arms,
+                                "{name}::{vname}({pat}) => __serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", {pat}),"
+                            );
+                        } else {
+                            let mut body = format!(
+                                "let mut __s = __serializer.serialize_tuple_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;\n"
+                            );
+                            for b in &binds {
+                                let _ = writeln!(
+                                    body,
+                                    "::serde::ser::SerializeTupleVariant::serialize_field(&mut __s, {b})?;"
+                                );
+                            }
+                            body.push_str("::serde::ser::SerializeTupleVariant::end(__s)");
+                            let _ = writeln!(arms, "{name}::{vname}({pat}) => {{\n{body}\n}}");
+                        }
+                    }
+                    Fields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut body = format!(
+                            "let mut __s = __serializer.serialize_struct_variant(\"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            let _ = writeln!(
+                                body,
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __s, \"{f}\", {f})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__s)");
+                        let _ = writeln!(arms, "{name}::{vname} {{ {pat} }} => {{\n{body}\n}}");
+                    }
+                }
+            }
+            let match_body = if variants.is_empty() {
+                "match *self {}".to_string()
+            } else {
+                format!("match self {{\n{arms}\n}}")
+            };
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n{match_body}\n}}\n}}\n"
+            );
+        }
+    }
+    out
+}

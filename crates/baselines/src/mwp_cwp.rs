@@ -174,6 +174,13 @@ mod tests {
 
     #[test]
     fn zero_warps_zero_throughput() {
-        assert_eq!(MwpCwp { warps: 0.0, ..base() }.throughput(), 0.0);
+        assert_eq!(
+            MwpCwp {
+                warps: 0.0,
+                ..base()
+            }
+            .throughput(),
+            0.0
+        );
     }
 }

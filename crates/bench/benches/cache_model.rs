@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use xmodel::core::cache::{CachedMsCurve, CacheParams};
+use xmodel::core::cache::{CacheParams, CachedMsCurve};
 use xmodel::core::params::MachineParams;
 use xmodel::workloads::locality::{fit_jacob, jacob_hit_rate};
 
@@ -25,7 +25,9 @@ fn bench_eq5(c: &mut Criterion) {
             acc
         })
     });
-    c.bench_function("cache/features_scan", |b| b.iter(|| black_box(cu.features(256.0))));
+    c.bench_function("cache/features_scan", |b| {
+        b.iter(|| black_box(cu.features(256.0)))
+    });
 }
 
 fn bench_multilevel(c: &mut Criterion) {

@@ -1,0 +1,98 @@
+//! Cost of the `xmodel-obs` instrumentation layer.
+//!
+//! The contract is that disabled tracing is ~free: one relaxed atomic
+//! load per would-be event, no clock reads, no allocation. These benches
+//! pin that down from three angles: the raw disabled-path primitives,
+//! the same primitives with a live sink, and the instrumented simulator
+//! loop (which should run at the same cycles/second either way).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xmodel::prelude::*;
+use xmodel::workloads::TraceSpec;
+
+const CYCLES: u64 = 20_000;
+
+fn wl() -> SimWorkload {
+    SimWorkload {
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 32,
+            stream_prob: 0.1,
+            reuse_skew: 1.0,
+        },
+        ops_per_request: 10.0,
+        ilp: 1.0,
+        warps: 32,
+    }
+}
+
+fn cfg() -> SimConfig {
+    SimConfig::builder()
+        .lanes(6.0)
+        .dram(540, 13.7)
+        .l1(16 * 1024, 28, 32)
+        .build()
+}
+
+/// Disabled-path primitives: what every instrumented call site pays
+/// when no sink is installed.
+fn bench_disabled_primitives(c: &mut Criterion) {
+    assert!(!xmodel_obs::enabled());
+    let mut g = c.benchmark_group("obs/disabled");
+    g.bench_function("event", |b| {
+        b.iter(|| xmodel_obs::event!("bench.tick", i = black_box(7u64)))
+    });
+    g.bench_function("span", |b| {
+        b.iter(|| {
+            let _s = xmodel_obs::span!("bench.span");
+        })
+    });
+    g.bench_function("counter", |b| {
+        b.iter(|| xmodel_obs::metrics::counter_add("bench.n", black_box(1)))
+    });
+    g.finish();
+}
+
+/// Live-path primitives against an in-memory sink, for scale.
+fn bench_enabled_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/enabled");
+    let sink = xmodel_obs::MemSink::new();
+    xmodel_obs::install(Box::new(sink));
+    g.bench_function("event", |b| {
+        b.iter(|| xmodel_obs::event!("bench.tick", i = black_box(7u64)))
+    });
+    g.bench_function("span", |b| {
+        b.iter(|| {
+            let _s = xmodel_obs::span!("bench.span");
+        })
+    });
+    xmodel_obs::finish(None);
+    g.finish();
+}
+
+/// The instrumented simulator with tracing off: this is the number that
+/// must not regress relative to the pre-instrumentation simulator bench.
+fn bench_sim_tracing_off(c: &mut Criterion) {
+    assert!(!xmodel_obs::enabled());
+    let mut g = c.benchmark_group("obs/sim");
+    g.throughput(Throughput::Elements(CYCLES));
+    let (cfg, wl) = (cfg(), wl());
+    g.bench_function("tracing-off", |b| {
+        b.iter(|| black_box(xmodel::sim::simulate(&cfg, &wl, 0, CYCLES)))
+    });
+    let sink = xmodel_obs::MemSink::new();
+    xmodel_obs::install(Box::new(sink));
+    g.bench_function("tracing-on", |b| {
+        b.iter(|| black_box(xmodel::sim::simulate(&cfg, &wl, 0, CYCLES)))
+    });
+    xmodel_obs::finish(None);
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_disabled_primitives,
+    bench_enabled_primitives,
+    bench_sim_tracing_off
+);
+criterion_main!(benches);

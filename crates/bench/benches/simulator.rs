@@ -45,7 +45,13 @@ fn bench_hierarchy_ablation(c: &mut Criterion) {
     let configs = [
         ("dram_only", base.clone().build()),
         ("l1", base.clone().l1(16 * 1024, 28, 32).build()),
-        ("l1_l2", base.clone().l1(16 * 1024, 28, 32).l2(96 * 1024, 150, 40.0).build()),
+        (
+            "l1_l2",
+            base.clone()
+                .l1(16 * 1024, 28, 32)
+                .l2(96 * 1024, 150, 40.0)
+                .build(),
+        ),
     ];
     for (name, cfg) in configs {
         g.bench_function(name, |b| {

@@ -49,11 +49,18 @@ fn bench_derived_analyses(c: &mut Criterion) {
     c.bench_function("analysis/ms_features", |b| {
         b.iter(|| black_box(cached.ms_features(256.0)))
     });
-    c.bench_function("analysis/balance", |b| b.iter(|| black_box(cached.balance())));
+    c.bench_function("analysis/balance", |b| {
+        b.iter(|| black_box(cached.balance()))
+    });
     c.bench_function("analysis/dynamics_converge", |b| {
         b.iter(|| black_box(xmodel::core::dynamics::converge_from(&cached, 0.0)))
     });
 }
 
-criterion_group!(benches, bench_solve, bench_resolution_ablation, bench_derived_analyses);
+criterion_group!(
+    benches,
+    bench_solve,
+    bench_resolution_ablation,
+    bench_derived_analyses
+);
 criterion_main!(benches);

@@ -9,7 +9,12 @@ const ACCESSES: usize = 10_000;
 
 fn bench_generators(c: &mut Criterion) {
     let specs: Vec<(&str, TraceSpec)> = vec![
-        ("stream", TraceSpec::Stream { region_lines: 1 << 20 }),
+        (
+            "stream",
+            TraceSpec::Stream {
+                region_lines: 1 << 20,
+            },
+        ),
         (
             "private_ws",
             TraceSpec::PrivateWorkingSet {
@@ -26,7 +31,13 @@ fn bench_generators(c: &mut Criterion) {
                 vector_prob: 0.4,
             },
         ),
-        ("gather", TraceSpec::Gather { footprint_lines: 1 << 18, skew: 0.6 }),
+        (
+            "gather",
+            TraceSpec::Gather {
+                footprint_lines: 1 << 18,
+                skew: 0.6,
+            },
+        ),
     ];
     let mut g = c.benchmark_group("trace/generate");
     g.throughput(Throughput::Elements(ACCESSES as u64));

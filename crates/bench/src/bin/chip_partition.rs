@@ -61,7 +61,11 @@ fn main() {
         ]);
     }
     print_table(&["sm", "measured", "partition pred.", "error"], &rows);
-    write_csv("chip_partition_homogeneous", &["sm", "measured", "solo", "err"], &rows);
+    write_csv(
+        "chip_partition_homogeneous",
+        &["sm", "measured", "solo", "err"],
+        &rows,
+    );
 
     // Heterogeneous: one hungry SM among compute-bound neighbours.
     println!("\nheterogeneous chip (1 memory-hungry + 3 compute-bound SMs):");
@@ -80,7 +84,11 @@ fn main() {
         ]);
     }
     print_table(&["sm", "MS thr", "CS thr", "vs partition pred."], &rows);
-    write_csv("chip_partition_heterogeneous", &["sm", "ms", "cs", "vs_share"], &rows);
+    write_csv(
+        "chip_partition_heterogeneous",
+        &["sm", "ms", "cs", "vs_share"],
+        &rows,
+    );
 
     println!("\nConclusion: with symmetric workloads the static 1/N partition the");
     println!("paper assumes holds within a few percent; with asymmetric mixes an");

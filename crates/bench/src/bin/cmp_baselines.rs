@@ -3,9 +3,9 @@
 //! all judged against the cycle-level simulator.
 
 use xmodel::prelude::*;
-use xmodel_bench::{cell, print_table, write_csv};
 use xmodel::profile::fitting::{assemble_model, workload_precision};
 use xmodel::profile::validate::validate_one;
+use xmodel_bench::{cell, print_table, write_csv};
 
 fn accuracy(pred: f64, meas: f64) -> f64 {
     if meas <= 0.0 {
@@ -16,7 +16,10 @@ fn accuracy(pred: f64, meas: f64) -> f64 {
 
 fn main() {
     let gpu = GpuSpec::kepler_k40();
-    println!("X-model vs baselines on {} (CS throughput, warp-ops/cycle)\n", gpu.name);
+    println!(
+        "X-model vs baselines on {} (CS throughput, warp-ops/cycle)\n",
+        gpu.name
+    );
 
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 4];
@@ -68,11 +71,25 @@ fn main() {
             cell(roofline, 3),
             cell(valley, 3),
             cell(mwp, 3),
-            format!("{:.0}/{:.0}/{:.0}/{:.0}", accs[0] * 100.0, accs[1] * 100.0, accs[2] * 100.0, accs[3] * 100.0),
+            format!(
+                "{:.0}/{:.0}/{:.0}/{:.0}",
+                accs[0] * 100.0,
+                accs[1] * 100.0,
+                accs[2] * 100.0,
+                accs[3] * 100.0
+            ),
         ]);
     }
     print_table(
-        &["app", "measured", "X-model", "roofline", "valley", "MWP-CWP", "acc% X/R/V/M"],
+        &[
+            "app",
+            "measured",
+            "X-model",
+            "roofline",
+            "valley",
+            "MWP-CWP",
+            "acc% X/R/V/M",
+        ],
         &rows,
     );
     let n = rows.len() as f64;
@@ -87,7 +104,9 @@ fn main() {
     println!("the valley model fixes latency; MWP-CWP lacks what-if structure.");
     write_csv(
         "cmp_baselines",
-        &["app", "measured", "xmodel", "roofline", "valley", "mwpcwp", "accs"],
+        &[
+            "app", "measured", "xmodel", "roofline", "valley", "mwpcwp", "accs",
+        ],
         &rows,
     );
 }

@@ -41,13 +41,7 @@ fn run_synthetic(w: &Workload, warps: u32) -> (f64, f64) {
 
 fn run_recorded(w: &Workload, traces: &concrete::RecordedTraces, warps: u32) -> (f64, f64) {
     let a = w.kernel.analyze();
-    let mut sm = Sm::with_streams(
-        &cached_cfg(),
-        traces.streams(warps),
-        a.intensity,
-        a.ilp,
-        42,
-    );
+    let mut sm = Sm::with_streams(&cached_cfg(), traces.streams(warps), a.intensity, a.ilp, 42);
     sm.run(15_000, 50_000);
     (sm.stats().ms_throughput(), sm.stats().hit_rate())
 }
@@ -91,13 +85,21 @@ fn main() {
     }
     print_table(
         &[
-            "app", "synthetic MS", "recorded MS", "gap", "syn hit", "rec hit", "trace len",
+            "app",
+            "synthetic MS",
+            "recorded MS",
+            "gap",
+            "syn hit",
+            "rec hit",
+            "trace len",
         ],
         &rows,
     );
     write_csv(
         "concrete_traces",
-        &["app", "syn_ms", "rec_ms", "gap", "syn_hit", "rec_hit", "len"],
+        &[
+            "app", "syn_ms", "rec_ms", "gap", "syn_hit", "rec_hit", "len",
+        ],
         &rows,
     );
     println!("\nWhere hit rates diverge, the synthetic generator's locality knob");
@@ -109,7 +111,10 @@ fn main() {
     println!("\n== calibration (spmv) ==");
     let (_, w, traces) = &cases[0];
     let cal = calibrate_private_ws(traces, 16 * 1024, 8_000);
-    println!("fitted spec: {:?}  (hit-curve rms {:.3})", cal.spec, cal.rms);
+    println!(
+        "fitted spec: {:?}  (hit-curve rms {:.3})",
+        cal.spec, cal.rms
+    );
     let default_rms = curve_rms(
         &cal.target_curve,
         &synthetic_hit_curve(&w.trace, 16 * 1024, 8_000),

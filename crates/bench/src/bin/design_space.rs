@@ -56,7 +56,12 @@ fn main() {
         z_star
     );
     let (cn, cz, cv) = cs_map.argmax();
-    println!("best CS throughput {} ops/cyc at n = {}, Z = {}", cell(cv, 3), cn, cz);
+    println!(
+        "best CS throughput {} ops/cyc at n = {}, Z = {}",
+        cell(cv, 3),
+        cn,
+        cz
+    );
 
     // Execution-time view of the same space for a fixed amount of work.
     let time_map = Heatmap::evaluate(
@@ -78,5 +83,10 @@ fn main() {
     let p1 = save_svg("design_space_ms", &ms_map.to_svg(640.0, 420.0));
     let p2 = save_svg("design_space_cs", &cs_map.to_svg(640.0, 420.0));
     let p3 = save_svg("design_space_time", &time_map.to_svg(640.0, 420.0));
-    println!("\nwrote {}\nwrote {}\nwrote {}", p1.display(), p2.display(), p3.display());
+    println!(
+        "\nwrote {}\nwrote {}\nwrote {}",
+        p1.display(),
+        p2.display(),
+        p3.display()
+    );
 }

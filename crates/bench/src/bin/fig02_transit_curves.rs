@@ -3,9 +3,9 @@
 //! combined figure).
 
 use xmodel::prelude::*;
-use xmodel_bench::{cell, save_svg, write_csv};
 use xmodel::viz::chart::{Chart, Marker, Series};
 use xmodel::viz::grid::PanelGrid;
+use xmodel_bench::{cell, save_svg, write_csv};
 
 fn main() {
     let machine = MachineParams::new(4.0, 0.1, 500.0);
@@ -21,10 +21,18 @@ fn main() {
 
     let panel_a = Chart::new("(A) MS supply f(k)", "MS threads (k)", "MS throughput")
         .with(Series::line("f(k) = min(k/L, R)", fk.clone(), 0))
-        .with_marker(Marker { label: "δ".into(), x: machine.delta(), y: None });
+        .with_marker(Marker {
+            label: "δ".into(),
+            x: machine.delta(),
+            y: None,
+        });
     let panel_b = Chart::new("(B) CS demand g(x)/Z", "CS threads (x)", "MS throughput")
         .with(Series::line("g(x)/Z = min(Ex, M)/Z", ghat.clone(), 1))
-        .with_marker(Marker { label: "π".into(), x: model.pi(), y: None });
+        .with_marker(Marker {
+            label: "π".into(),
+            x: model.pi(),
+            y: None,
+        });
     let svg = PanelGrid::new("Fig. 2 — supply and demand throughput", 2)
         .with(panel_a)
         .with(panel_b)
@@ -38,7 +46,15 @@ fn main() {
         .collect();
     write_csv("fig02_transit_curves", &["k", "f_k", "x", "ghat_x"], &rows);
 
-    println!("Fig. 2 regenerated: delta = {} threads, pi = {} threads", machine.delta(), model.pi());
-    println!("supply plateau R = {}, demand plateau M/Z = {}", machine.r, machine.m / 20.0);
+    println!(
+        "Fig. 2 regenerated: delta = {} threads, pi = {} threads",
+        machine.delta(),
+        model.pi()
+    );
+    println!(
+        "supply plateau R = {}, demand plateau M/Z = {}",
+        machine.r,
+        machine.m / 20.0
+    );
     println!("wrote {}", path.display());
 }

@@ -2,10 +2,10 @@
 //! the equilibrium between MS service demand and supply, i.e. the spatial
 //! machine state (k threads in MS, x in CS).
 
+use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
 use xmodel::render;
 use xmodel_bench::{cell, print_table, save_svg, write_csv};
-use xmodel::core::xgraph::XGraph;
 
 fn main() {
     let machine = MachineParams::new(4.0, 0.1, 500.0);

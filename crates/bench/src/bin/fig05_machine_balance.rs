@@ -1,11 +1,11 @@
 //! Fig. 5: capacity bound / machine balance — both subsystems at their
 //! best simultaneously, with (right) and without (left) idle threads.
 
+use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
 use xmodel::render;
-use xmodel_bench::{cell, print_table, save_svg};
-use xmodel::core::xgraph::XGraph;
 use xmodel::viz::grid::PanelGrid;
+use xmodel_bench::{cell, print_table, save_svg};
 
 fn main() {
     // Balanced workload: Z = M/R so both plateaus meet.
@@ -16,7 +16,10 @@ fn main() {
     println!("Fig. 5 — machine balance at Z = M/R = {z}\n");
     let mut rows = Vec::new();
     let mut grid = PanelGrid::new("Fig. 5 — capacity bound / machine balance", 2);
-    for (label, n) in [("exact balance (n = pi + delta)", tlp), ("surplus threads", tlp + 40.0)] {
+    for (label, n) in [
+        ("exact balance (n = pi + delta)", tlp),
+        ("surplus threads", tlp + 40.0),
+    ] {
         let model = XModel::new(machine, WorkloadParams::new(z, 1.0, n));
         let rep = model.balance();
         rows.push(vec![
@@ -31,7 +34,14 @@ fn main() {
         grid = grid.with(render::xgraph_chart(&graph, None));
     }
     print_table(
-        &["scenario", "n", "bound", "CS util", "MS util", "idle threads"],
+        &[
+            "scenario",
+            "n",
+            "bound",
+            "CS util",
+            "MS util",
+            "idle threads",
+        ],
         &rows,
     );
     let path = save_svg("fig05_machine_balance", &grid.to_svg());

@@ -2,11 +2,11 @@
 //! (α, β), (B) cache capacity S$, (C) cache access latency L$ — each as a
 //! three-curve family of Eq. (5).
 
-use xmodel::prelude::*;
-use xmodel_bench::{cell, save_svg, write_csv};
 use xmodel::core::cache::CachedMsCurve;
+use xmodel::prelude::*;
 use xmodel::viz::chart::{Chart, Series};
 use xmodel::viz::grid::PanelGrid;
+use xmodel_bench::{cell, save_svg, write_csv};
 
 fn main() {
     let machine = MachineParams::new(6.0, 0.1, 600.0);
@@ -76,6 +76,10 @@ fn main() {
         .with(panel_c);
     let path = save_svg("fig08_cache_tuning", &grid.to_svg());
     xmodel_bench::print_table(&["panel", "curve", "ψ", "peak f", "valley f"], &rows);
-    write_csv("fig08_cache_tuning", &["panel", "curve", "psi", "peak", "valley"], &rows);
+    write_csv(
+        "fig08_cache_tuning",
+        &["panel", "curve", "psi", "peak", "valley"],
+        &rows,
+    );
     println!("\nwrote {}", path.display());
 }

@@ -2,12 +2,12 @@
 //! intersection, (B) the bistable triple σ′/σ/σ″ with the unstable middle,
 //! (C) severe performance degradation as n grows.
 
-use xmodel::prelude::*;
-use xmodel::render;
-use xmodel_bench::{cell, print_table, save_svg, write_csv};
 use xmodel::core::dynamics;
 use xmodel::core::xgraph::XGraph;
+use xmodel::prelude::*;
+use xmodel::render;
 use xmodel::viz::grid::PanelGrid;
+use xmodel_bench::{cell, print_table, save_svg, write_csv};
 
 fn machine() -> MachineParams {
     MachineParams::new(6.0, 0.02, 600.0)
@@ -63,9 +63,15 @@ fn main() {
             eq.is_bistable().to_string(),
         ]);
     }
-    print_table(&["n", "σ' MS thr", "σ'' MS thr", "drop", "bistable"], &sweep_rows);
+    print_table(
+        &["n", "σ' MS thr", "σ'' MS thr", "drop", "bistable"],
+        &sweep_rows,
+    );
     let max_drop = bistable.machine.m / bistable.workload.z - bistable.machine.r;
-    println!("\nmaximum possible drop M/Z − R = {} (attained as n → ∞)", cell(max_drop, 4));
+    println!(
+        "\nmaximum possible drop M/Z − R = {} (attained as n → ∞)",
+        cell(max_drop, 4)
+    );
     write_csv(
         "fig09_degradation",
         &["n", "best", "worst", "drop", "bistable"],

@@ -3,10 +3,10 @@
 //! Stream sweep, g(x) families for E = 1..8.
 
 use xmodel::prelude::*;
-use xmodel_bench::{cell, save_svg, write_csv};
 use xmodel::profile::stream::profile_stream;
 use xmodel::viz::chart::{Chart, Marker, Series};
 use xmodel::viz::grid::PanelGrid;
+use xmodel_bench::{cell, save_svg, write_csv};
 
 fn main() {
     let mut grid = PanelGrid::new("Fig. 10 — architectural X-graphs", 3);
@@ -32,7 +32,11 @@ fn main() {
                     .collect(),
                 0,
             ))
-            .with_marker(Marker { label: "δ".into(), x: fk.delta, y: None });
+            .with_marker(Marker {
+                label: "δ".into(),
+                x: fk.delta,
+                y: None,
+            });
 
             let m = gpu.machine_params(precision).m;
             for e in 1..=8u32 {
@@ -42,11 +46,14 @@ fn main() {
                         (w as f64, units.cs_to_gflops(g))
                     })
                     .collect();
-                chart = chart.with(
-                    Series::line(format!("g(x), E={e}"), gx, e as usize).on_right_axis(),
-                );
+                chart = chart
+                    .with(Series::line(format!("g(x), E={e}"), gx, e as usize).on_right_axis());
             }
-            chart = chart.with_marker(Marker { label: "π(E=1)".into(), x: m, y: None });
+            chart = chart.with_marker(Marker {
+                label: "π(E=1)".into(),
+                x: m,
+                y: None,
+            });
             grid = grid.with(chart);
 
             rows.push(vec![
@@ -62,7 +69,11 @@ fn main() {
         &["GPU", "prec", "sustained GB/s", "δ warps", "peak GF/s"],
         &rows,
     );
-    write_csv("fig10_arch", &["gpu", "prec", "gbs", "delta", "gflops"], &rows);
+    write_csv(
+        "fig10_arch",
+        &["gpu", "prec", "gbs", "delta", "gflops"],
+        &rows,
+    );
     let path = save_svg("fig10_arch_xgraphs", &grid.to_svg());
     println!("\nwrote {}", path.display());
 }

@@ -2,14 +2,14 @@
 //! computation/memory throughput for the 12-workload suite, plus the
 //! per-application X-graph panels with the measured point overlaid.
 
-use xmodel::prelude::*;
-use xmodel::render;
-use xmodel_bench::{cell, print_table, save_svg, write_csv};
 use xmodel::core::xgraph::XGraph;
+use xmodel::prelude::*;
 use xmodel::profile::fitting::assemble_model;
 use xmodel::profile::validate::{validate_one, ValidationReport};
+use xmodel::render;
 use xmodel::viz::chart::Series;
 use xmodel::viz::grid::PanelGrid;
+use xmodel_bench::{cell, print_table, save_svg, write_csv};
 
 fn main() {
     let gpu = GpuSpec::kepler_k40();
@@ -39,7 +39,10 @@ fn main() {
         let model = assemble_model(&gpu, &w, 0);
         let graph = XGraph::build(&model, 256);
         let mut chart = render::xgraph_chart(&graph, None);
-        chart.title = format!("{} (PCT {:.2}, RCT {:.2})", w.name, v.predicted_cs, v.measured_cs);
+        chart.title = format!(
+            "{} (PCT {:.2}, RCT {:.2})",
+            w.name, v.predicted_cs, v.measured_cs
+        );
         chart = chart.with(Series::scatter(
             "measured",
             vec![(v.measured_k, v.measured_ms)],
@@ -48,7 +51,9 @@ fn main() {
         grid = grid.with(chart);
     }
     print_table(
-        &["app", "n", "PCT", "RCT", "pred MS", "meas MS", "pred k", "meas k", "acc"],
+        &[
+            "app", "n", "PCT", "RCT", "pred MS", "meas MS", "pred k", "meas k", "acc",
+        ],
         &rows,
     );
     let mean = accs.iter().sum::<f64>() / accs.len() as f64;

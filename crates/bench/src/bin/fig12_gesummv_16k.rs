@@ -2,13 +2,13 @@
 //! analytic curves plus the isolated f(k) trace-points profiled through
 //! the bypassing technique of [13] (here: on the simulator).
 
+use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
+use xmodel::profile::bypass::bypass_trace_points;
 use xmodel::render;
+use xmodel::viz::chart::Series;
 use xmodel_bench::case_study;
 use xmodel_bench::{cell, save_svg, write_csv};
-use xmodel::core::xgraph::XGraph;
-use xmodel::profile::bypass::bypass_trace_points;
-use xmodel::viz::chart::Series;
 
 fn main() {
     let model = case_study::model(16);
@@ -40,10 +40,22 @@ fn main() {
     println!("\nbypass-profiled f(k) trace-points:");
     let mut rows = Vec::new();
     for &(j, thr) in &pts {
-        println!("  {:>2} cached warps: {} GB/s per SM", j, cell(units.ms_to_gbs(thr), 2));
-        rows.push(vec![j.to_string(), cell(thr, 5), cell(units.ms_to_gbs(thr), 3)]);
+        println!(
+            "  {:>2} cached warps: {} GB/s per SM",
+            j,
+            cell(units.ms_to_gbs(thr), 2)
+        );
+        rows.push(vec![
+            j.to_string(),
+            cell(thr, 5),
+            cell(units.ms_to_gbs(thr), 3),
+        ]);
     }
-    write_csv("fig12_trace_points", &["cached_warps", "req_per_cycle", "gbs"], &rows);
+    write_csv(
+        "fig12_trace_points",
+        &["cached_warps", "req_per_cycle", "gbs"],
+        &rows,
+    );
 
     let graph = XGraph::build(&model, 512);
     let mut chart = render::xgraph_chart(&graph, Some(&units));

@@ -2,13 +2,13 @@
 //! markedly but the operating point barely moves (thrashing persists), the
 //! paper's "usage 1" insight.
 
+use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
+use xmodel::profile::bypass::bypass_trace_points;
 use xmodel::render;
+use xmodel::viz::chart::Series;
 use xmodel_bench::case_study;
 use xmodel_bench::{cell, save_svg, write_csv};
-use xmodel::core::xgraph::XGraph;
-use xmodel::profile::bypass::bypass_trace_points;
-use xmodel::viz::chart::Series;
 
 fn main() {
     let units = case_study::gpu().units(Precision::Single);
@@ -56,7 +56,11 @@ fn main() {
         .iter()
         .map(|&(j, t)| vec![j.to_string(), cell(t, 5), cell(units.ms_to_gbs(t), 3)])
         .collect();
-    write_csv("fig13_trace_points", &["cached_warps", "req_per_cycle", "gbs"], &rows);
+    write_csv(
+        "fig13_trace_points",
+        &["cached_warps", "req_per_cycle", "gbs"],
+        &rows,
+    );
 
     let graph = XGraph::build(&m48, 512);
     let mut chart = render::xgraph_chart(&graph, Some(&units));

@@ -2,12 +2,12 @@
 //! climbs the descending slope of f until g(x) passes through the cache
 //! peak ψ; throttling further degrades again.
 
+use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
 use xmodel::render;
+use xmodel::viz::grid::PanelGrid;
 use xmodel_bench::case_study;
 use xmodel_bench::{cell, print_table, save_svg, write_csv};
-use xmodel::core::xgraph::XGraph;
-use xmodel::viz::grid::PanelGrid;
 
 fn main() {
     let model = case_study::model(16);
@@ -16,7 +16,10 @@ fn main() {
     let n_star = what_if.optimal_throttle().expect("cache peak exists");
 
     println!("Fig. 14 — thread throttling (--n)\n");
-    println!("optimal throttle n* = ψ + x* = {:.1} warps (of {})", n_star, model.workload.n);
+    println!(
+        "optimal throttle n* = ψ + x* = {:.1} warps (of {})",
+        n_star, model.workload.n
+    );
     println!(
         "throttle bound: min(f(ψ), M/Z) = {} GB/s per SM\n",
         cell(units.ms_to_gbs(what_if.throttle_bound()), 2)
@@ -41,7 +44,11 @@ fn main() {
     );
     println!("\nPrinciple 2: the intersection climbs while Z is unchanged, so CS and");
     println!("MS improve together; beyond ψ the curve falls again (last rows).");
-    write_csv("fig14_throttling", &["n", "model_gbs", "model_speedup", "sim_gbs"], &rows);
+    write_csv(
+        "fig14_throttling",
+        &["n", "model_gbs", "model_speedup", "sim_gbs"],
+        &rows,
+    );
 
     let before = XGraph::build(&model, 512);
     let after = XGraph::build(

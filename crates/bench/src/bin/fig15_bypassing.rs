@@ -2,12 +2,12 @@
 //! warps cache-eligible raises the effective memory-side bandwidth; the
 //! model expresses it as lifting R toward the cache-peak level.
 
+use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
 use xmodel::render;
+use xmodel::viz::grid::PanelGrid;
 use xmodel_bench::case_study;
 use xmodel_bench::{cell, print_table, save_svg, write_csv};
-use xmodel::core::xgraph::XGraph;
-use xmodel::viz::grid::PanelGrid;
 
 fn main() {
     let model = case_study::model(16);

@@ -2,12 +2,12 @@
 //! Principle 3: CS throughput rises markedly while the MS intersection
 //! barely moves (algorithm-level change required).
 
+use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
 use xmodel::render;
+use xmodel::viz::grid::PanelGrid;
 use xmodel_bench::case_study;
 use xmodel_bench::{cell, print_table, save_svg, write_csv};
-use xmodel::core::xgraph::XGraph;
-use xmodel::viz::grid::PanelGrid;
 
 fn main() {
     let model = case_study::model(16);
@@ -43,7 +43,10 @@ fn main() {
 
     let before = XGraph::build(&model, 512);
     let after = XGraph::build(
-        &Optimization::IncreaseIntensity { z: model.workload.z * 2.0 }.apply(&model),
+        &Optimization::IncreaseIntensity {
+            z: model.workload.z * 2.0,
+        }
+        .apply(&model),
         512,
     );
     let grid = PanelGrid::new("Fig. 16 — increasing Z", 2)

@@ -3,12 +3,12 @@
 //! intersection up the descending slope of f, raising both CS and MS
 //! throughput.
 
+use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
 use xmodel::render;
+use xmodel::viz::grid::PanelGrid;
 use xmodel_bench::case_study;
 use xmodel_bench::{cell, print_table, save_svg, write_csv};
-use xmodel::core::xgraph::XGraph;
-use xmodel::viz::grid::PanelGrid;
 
 fn main() {
     // Figs. 14-17 in the paper are schematic X-graphs: the mechanism is
@@ -22,11 +22,17 @@ fn main() {
         CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
     );
     let what_if = WhatIf::new(model);
-    assert!(what_if.is_thrashing(), "fixture must be in the Fig. 12 state");
+    assert!(
+        what_if.is_thrashing(),
+        "fixture must be in the Fig. 12 state"
+    );
     let units = case_study::gpu().units(Precision::Single);
 
     println!("Fig. 17 — reducing ILP (--E) under thrashing\n");
-    println!("baseline E = {} (twin FMA chains of gesummv)\n", cell(model.workload.e, 2));
+    println!(
+        "baseline E = {} (twin FMA chains of gesummv)\n",
+        cell(model.workload.e, 2)
+    );
     let mut rows = Vec::new();
     for mult in [1.0, 0.75, 0.5, 0.375, 0.25] {
         let e = model.workload.e * mult;
@@ -44,11 +50,18 @@ fn main() {
     println!("descending f. Principle 2 then gives both CS and MS gains.");
     println!("The paper leaves exploiting this as future work; the model");
     println!("quantifies the opportunity above.");
-    write_csv("fig17_reduce_ilp", &["e", "ms_gbs", "ms_speedup", "cs_speedup"], &rows);
+    write_csv(
+        "fig17_reduce_ilp",
+        &["e", "ms_gbs", "ms_speedup", "cs_speedup"],
+        &rows,
+    );
 
     let before = XGraph::build(&model, 512);
     let after = XGraph::build(
-        &Optimization::ReduceIlp { e: model.workload.e * 0.5 }.apply(&model),
+        &Optimization::ReduceIlp {
+            e: model.workload.e * 0.5,
+        }
+        .apply(&model),
         512,
     );
     let grid = PanelGrid::new("Fig. 17 — reducing E", 2)

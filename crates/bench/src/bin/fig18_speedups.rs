@@ -3,9 +3,9 @@
 //! cache bypassing under both L1 sizes, plus the L1-disabled reference.
 
 use xmodel::prelude::*;
+use xmodel::viz::chart::{Chart, Series};
 use xmodel_bench::case_study;
 use xmodel_bench::{cell, print_table, save_svg, write_csv};
-use xmodel::viz::chart::{Chart, Series};
 
 const SWEEP: [u32; 9] = [2, 3, 4, 6, 8, 12, 16, 24, 32];
 
@@ -64,7 +64,11 @@ fn main() {
         ]);
     }
     print_table(&["config", "GB/s per SM", "speedup", "paper"], &rows);
-    write_csv("fig18_speedups", &["config", "gbs", "speedup", "paper"], &rows);
+    write_csv(
+        "fig18_speedups",
+        &["config", "gbs", "speedup", "paper"],
+        &rows,
+    );
 
     println!("\nShape check: larger cache alone is modest; throttling and");
     println!("bypassing both help, more so with 48 KiB; disabling L1 is a wash.");

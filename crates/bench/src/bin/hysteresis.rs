@@ -71,7 +71,11 @@ fn main() {
     println!("history — the same kernel at the same Z runs at two different");
     println!("speeds depending on where it came from. A concrete protocol a");
     println!("hardware measurement could reproduce (§III-D made testable).");
-    write_csv("hysteresis", &["z", "up", "up_k", "down", "down_k", "split"], &rows);
+    write_csv(
+        "hysteresis",
+        &["z", "up", "up_k", "down", "down_k", "split"],
+        &rows,
+    );
 
     let chart = Chart::new(
         "Hysteresis loop: MS throughput vs Z (warm-started sweeps)",

@@ -23,10 +23,7 @@ fn main() {
         let mut cfg = xmodel::profile::sim_config_for(&gpu, precision);
         cfg.request_bytes = 128.0 * w.coalesce;
         let a = w.kernel.analyze();
-        let occ = Occupancy::compute(
-            &w.kernel,
-            &xmodel::profile::fitting::arch_limits(&gpu, 0),
-        );
+        let occ = Occupancy::compute(&w.kernel, &xmodel::profile::fitting::arch_limits(&gpu, 0));
         let n = occ.warps.min(gpu.max_warps as u32);
 
         let par = xmodel::sim::simulate(

@@ -12,9 +12,9 @@
 //!   at half the occupancy E = 1 needs (Volkov's observation).
 
 use xmodel::prelude::*;
-use xmodel_bench::{cell, print_table, save_svg, write_csv};
 use xmodel::viz::chart::{Chart, Series};
 use xmodel::viz::grid::PanelGrid;
+use xmodel_bench::{cell, print_table, save_svg, write_csv};
 
 fn main() {
     println!("The occupancy debate, resolved in one model (intro, refs [1] and [2])\n");
@@ -85,11 +85,7 @@ fn main() {
         c = c.with(Series::line("MS thr", cache_curve, 0));
         c
     };
-    let mut panel_b = Chart::new(
-        "(b) ILP lets low occupancy win",
-        "warps",
-        "CS throughput",
-    );
+    let mut panel_b = Chart::new("(b) ILP lets low occupancy win", "warps", "CS throughput");
     for (i, (label, pts)) in curves.into_iter().enumerate() {
         panel_b = panel_b.with(Series::line(label, pts, i));
     }
@@ -98,6 +94,10 @@ fn main() {
         .with(panel_b)
         .to_svg();
     let path = save_svg("occupancy_debate", &svg);
-    write_csv("occupancy_debate", &["occupancy", "warps", "ms"], &cache_rows);
+    write_csv(
+        "occupancy_debate",
+        &["occupancy", "warps", "ms"],
+        &cache_rows,
+    );
     println!("\nwrote {}", path.display());
 }

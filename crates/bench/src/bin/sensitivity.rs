@@ -40,10 +40,7 @@ fn main() {
         ]);
         reports.push((w.name.to_string(), rep));
     }
-    print_table(
-        &["app", "R", "L", "M", "Z", "E", "n", "dominant"],
-        &rows,
-    );
+    print_table(&["app", "R", "L", "M", "Z", "E", "n", "dominant"], &rows);
     write_csv(
         "sensitivity",
         &["app", "R", "L", "M", "Z", "E", "n", "dominant"],

@@ -59,7 +59,6 @@ fn main() {
             max_steps: horizon as usize,
             tol: 0.0, // run the full horizon
             record_every: 50,
-            ..Default::default()
         };
         let traj = ode(&model, k0_frac * 48.0, opts);
         chart = chart.with(Series::line(
@@ -78,9 +77,8 @@ fn main() {
             .iter()
             .map(|&(t, k)| (t as f64, k as f64))
             .collect();
-        chart = chart.with(
-            Series::line(format!("sim {label}"), sim_pts.clone(), i * 2 + 1).dashed(),
-        );
+        chart =
+            chart.with(Series::line(format!("sim {label}"), sim_pts.clone(), i * 2 + 1).dashed());
 
         let model_end = traj.samples.last().unwrap().1;
         let sim_end = sim_pts.last().map(|&(_, k)| k).unwrap_or(0.0);
@@ -101,10 +99,7 @@ fn main() {
             &csv,
         );
     }
-    print_table(
-        &["launch", "model k(end)", "sim k(end)", "model k*"],
-        &rows,
-    );
+    print_table(&["launch", "model k(end)", "sim k(end)", "model k*"], &rows);
     println!("\nBoth descriptions converge to the same equilibrium from both sides.");
     let path = save_svg("spatial_trajectory", &chart.to_svg(640.0, 400.0));
     println!("wrote {}", path.display());

@@ -36,16 +36,38 @@ fn main() {
     }
     print_table(
         &[
-            "GPU", "arch", "SMxSP", "LDS", "freq", "mem BW", "warps", "schr", "disp",
-            "δ(SP) meas", "δ(SP) paper", "δ(DP) meas", "δ(DP) paper",
+            "GPU",
+            "arch",
+            "SMxSP",
+            "LDS",
+            "freq",
+            "mem BW",
+            "warps",
+            "schr",
+            "disp",
+            "δ(SP) meas",
+            "δ(SP) paper",
+            "δ(DP) meas",
+            "δ(DP) paper",
         ],
         &rows,
     );
     write_csv(
         "table2",
         &[
-            "gpu", "arch", "sm_sp", "lds", "freq", "bw", "warps", "schr", "disp", "dsp_meas",
-            "dsp_paper", "ddp_meas", "ddp_paper",
+            "gpu",
+            "arch",
+            "sm_sp",
+            "lds",
+            "freq",
+            "bw",
+            "warps",
+            "schr",
+            "disp",
+            "dsp_meas",
+            "dsp_paper",
+            "ddp_meas",
+            "ddp_paper",
         ],
         &rows,
     );

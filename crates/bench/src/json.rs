@@ -435,10 +435,7 @@ mod tests {
 
     #[test]
     fn string_escaping() {
-        assert_eq!(
-            to_json(&"a\"b\\c\nd").unwrap(),
-            "\"a\\\"b\\\\c\\nd\""
-        );
+        assert_eq!(to_json(&"a\"b\\c\nd").unwrap(), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(to_json(&'\u{1}').unwrap(), "\"\\u0001\"");
     }
 
@@ -473,10 +470,7 @@ mod tests {
         let mut m = BTreeMap::new();
         m.insert(1u32, "one");
         m.insert(2u32, "two");
-        assert_eq!(
-            to_json(&m).unwrap(),
-            "{\"1\":\"one\",\"2\":\"two\"}"
-        );
+        assert_eq!(to_json(&m).unwrap(), "{\"1\":\"one\",\"2\":\"two\"}");
     }
 
     #[test]

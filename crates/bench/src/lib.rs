@@ -64,12 +64,7 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
         println!("{}", s.trim_end());
     };
     line(&header.iter().map(|h| h.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<_>>(),
-    );
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);
     }
@@ -158,7 +153,12 @@ pub mod case_study {
 
     /// Measured MS throughput (useful requests/cycle) for a configuration.
     pub fn measure(l1_kib: u64, bypass: f64, warps: u32) -> f64 {
-        xmodel::sim::simulate(&sim_config(l1_kib, bypass), &sim_workload(warps), 30_000, 80_000)
-            .ms_throughput()
+        xmodel::sim::simulate(
+            &sim_config(l1_kib, bypass),
+            &sim_workload(warps),
+            30_000,
+            80_000,
+        )
+        .ms_throughput()
     }
 }

@@ -8,15 +8,28 @@
 //! xmodel validate [--gpu <gpu>]       run the §V validation suite
 //! xmodel whatif [opts]                evaluate the §VI optimizations
 //! ```
+//!
+//! Every command accepts a global `--trace FILE` flag (or the
+//! `XMODEL_TRACE` environment variable) that streams structured JSONL
+//! events — solver spans, per-interval simulator snapshots, a final run
+//! manifest — to `FILE`; `xmodel trace-report FILE` summarizes one.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
 use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
 use xmodel::render;
+use xmodel_obs::manifest::RunManifest;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let tracing = match init_tracing(&mut args) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
@@ -32,12 +45,17 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(parse_flags(rest)),
         "whatif" => cmd_whatif(parse_flags(rest)),
         "sim" => cmd_sim(parse_flags(rest)),
+        "trace-report" => cmd_trace_report(rest),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
         }
         other => Err(format!("unknown command `{other}`")),
     };
+    if tracing {
+        let manifest = RunManifest::collect(cmd, manifest_params(rest), None);
+        xmodel_obs::finish(Some(&manifest));
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -46,6 +64,35 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Strip a global `--trace FILE` flag from `args` and install the JSONL
+/// sink; fall back to the `XMODEL_TRACE` environment variable. Returns
+/// whether tracing is live (a run manifest is then owed at exit).
+fn init_tracing(args: &mut Vec<String>) -> Result<bool, String> {
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        if i + 1 >= args.len() {
+            return Err("--trace requires a file path".to_string());
+        }
+        let path = args.remove(i + 1);
+        args.remove(i);
+        xmodel_obs::init_jsonl(std::path::Path::new(&path))
+            .map_err(|e| format!("--trace {path}: {e}"))?;
+        return Ok(true);
+    }
+    Ok(xmodel_obs::init_from_env().is_some())
+}
+
+/// Flags (plus any leading positional argument) of the traced command,
+/// recorded verbatim in the run manifest.
+fn manifest_params(rest: &[String]) -> BTreeMap<String, String> {
+    let mut params: BTreeMap<String, String> = parse_flags(rest).into_iter().collect();
+    if let Some(first) = rest.first() {
+        if !first.starts_with("--") {
+            params.insert("arg".to_string(), first.clone());
+        }
+    }
+    params
 }
 
 fn usage() {
@@ -60,8 +107,36 @@ fn usage() {
            workload NAME [--gpu GPU] [--l1 KIB] [--svg FILE]\n\
            validate [--gpu GPU]\n\
            whatif [--gpu GPU] [--workload NAME] [--l1 KIB]\n\
-           sim --workload NAME [--gpu GPU] [--warps N] [--l1 KIB] [--ir]\n"
+           sim --workload NAME [--gpu GPU] [--warps N] [--l1 KIB] [--ir]\n\
+           trace-report FILE [--timeline] [--svg FILE]\n\
+         \n\
+         global flags:\n\
+           --trace FILE   stream JSONL trace events (also: XMODEL_TRACE env var)\n"
     );
+}
+
+fn cmd_trace_report(args: &[String]) -> Result<(), String> {
+    let file = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("trace-report: trace file required")?;
+    let flags = parse_flags(&args[1..]);
+    let path = std::path::Path::new(file);
+    let report =
+        xmodel_obs::report::TraceReport::from_path(path).map_err(|e| format!("{file}: {e}"))?;
+    print!("{}", report.render());
+    if flags.contains_key("timeline") || flags.contains_key("svg") {
+        let tl = xmodel::viz::Timeline::from_path(path).map_err(|e| format!("{file}: {e}"))?;
+        println!("\n{}", tl.render_ascii(72, 16));
+        if let Some(svg) = flags.get("svg") {
+            if !tl.is_empty() {
+                std::fs::write(svg, tl.to_chart().to_svg(640.0, 400.0))
+                    .map_err(|e| e.to_string())?;
+                println!("wrote {svg}");
+            }
+        }
+    }
+    Ok(())
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -220,7 +295,12 @@ fn cmd_validate(flags: HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_sim(flags: HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("kepler"))?;
-    let w = workload_by_name(flags.get("workload").map(String::as_str).unwrap_or("gesummv"))?;
+    let w = workload_by_name(
+        flags
+            .get("workload")
+            .map(String::as_str)
+            .unwrap_or("gesummv"),
+    )?;
     let precision = xmodel::profile::fitting::workload_precision(&w);
     let mut cfg = xmodel::profile::sim_config_for(&gpu, precision);
     cfg.request_bytes = 128.0 * w.coalesce;
@@ -294,7 +374,12 @@ fn cmd_sim(flags: HashMap<String, String>) -> Result<(), String> {
 
 fn cmd_whatif(flags: HashMap<String, String>) -> Result<(), String> {
     let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("fermi"))?;
-    let w = workload_by_name(flags.get("workload").map(String::as_str).unwrap_or("gesummv"))?;
+    let w = workload_by_name(
+        flags
+            .get("workload")
+            .map(String::as_str)
+            .unwrap_or("gesummv"),
+    )?;
     let l1 = get_f64(&flags, "l1")?.unwrap_or(16.0) as u64;
     let model = xmodel::profile::fitting::assemble_model(&gpu, &w, l1 * 1024);
     let what_if = WhatIf::new(model);
@@ -307,13 +392,39 @@ fn cmd_whatif(flags: HashMap<String, String>) -> Result<(), String> {
     );
     let n_star = what_if.optimal_throttle();
     let mut candidates = vec![
-        ("bypass (R x3)".to_string(), Optimization::CacheBypass { r: model.machine.r * 3.0 }),
-        ("intensity (Z x2)".to_string(), Optimization::IncreaseIntensity { z: model.workload.z * 2.0 }),
-        ("reduce ILP (E /2)".to_string(), Optimization::ReduceIlp { e: model.workload.e * 0.5 }),
-        ("enlarge cache (x3)".to_string(), Optimization::EnlargeCache { s_cache: l1 as f64 * 1024.0 * 3.0 }),
+        (
+            "bypass (R x3)".to_string(),
+            Optimization::CacheBypass {
+                r: model.machine.r * 3.0,
+            },
+        ),
+        (
+            "intensity (Z x2)".to_string(),
+            Optimization::IncreaseIntensity {
+                z: model.workload.z * 2.0,
+            },
+        ),
+        (
+            "reduce ILP (E /2)".to_string(),
+            Optimization::ReduceIlp {
+                e: model.workload.e * 0.5,
+            },
+        ),
+        (
+            "enlarge cache (x3)".to_string(),
+            Optimization::EnlargeCache {
+                s_cache: l1 as f64 * 1024.0 * 3.0,
+            },
+        ),
     ];
     if let Some(n) = n_star {
-        candidates.insert(0, (format!("throttle (n={n:.1})"), Optimization::ThreadThrottle { n }));
+        candidates.insert(
+            0,
+            (
+                format!("throttle (n={n:.1})"),
+                Optimization::ThreadThrottle { n },
+            ),
+        );
     }
     for (name, opt) in candidates {
         match what_if.evaluate(opt) {

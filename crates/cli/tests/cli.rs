@@ -60,7 +60,9 @@ fn draw_with_explicit_params() {
 
 #[test]
 fn draw_with_gpu_preset_and_units() {
-    let (ok, out, _) = run(&["draw", "--gpu", "kepler", "--z", "20", "--e", "1.2", "--n", "64"]);
+    let (ok, out, _) = run(&[
+        "draw", "--gpu", "kepler", "--z", "20", "--e", "1.2", "--n", "64",
+    ]);
     assert!(ok, "{out}");
     assert!(out.contains("GB/s"));
     assert!(out.contains("GF/s"));
@@ -87,8 +89,7 @@ fn draw_writes_svg() {
     let path = dir.join("graph.svg");
     let path_str = path.to_str().unwrap();
     let (ok, out, _) = run(&[
-        "draw", "--m", "4", "--r", "0.1", "--l", "500", "--z", "20", "--n", "48", "--svg",
-        path_str,
+        "draw", "--m", "4", "--r", "0.1", "--l", "500", "--z", "20", "--n", "48", "--svg", path_str,
     ]);
     assert!(ok, "{out}");
     let svg = std::fs::read_to_string(&path).unwrap();
@@ -99,8 +100,8 @@ fn draw_writes_svg() {
 #[test]
 fn draw_with_cache_reports_cached_curve() {
     let (ok, out, _) = run(&[
-        "draw", "--m", "6", "--r", "0.02", "--l", "600", "--z", "66", "--e", "0.25", "--n",
-        "60", "--l1", "16", "--alpha", "5", "--beta", "2048",
+        "draw", "--m", "6", "--r", "0.02", "--l", "600", "--z", "66", "--e", "0.25", "--n", "60",
+        "--l1", "16", "--alpha", "5", "--beta", "2048",
     ]);
     assert!(ok, "{out}");
     // The bistable configuration shows several intersections.
@@ -138,7 +139,15 @@ fn sim_runs_parametric_and_ir() {
 #[test]
 fn sim_with_l1_reports_hit_rate() {
     let (ok, out, _) = run(&[
-        "sim", "--workload", "gesummv", "--gpu", "fermi", "--l1", "16", "--warps", "24",
+        "sim",
+        "--workload",
+        "gesummv",
+        "--gpu",
+        "fermi",
+        "--l1",
+        "16",
+        "--warps",
+        "24",
     ]);
     assert!(ok, "{out}");
     assert!(out.contains("hit rate"));
@@ -146,7 +155,15 @@ fn sim_with_l1_reports_hit_rate() {
 
 #[test]
 fn whatif_runs_case_study() {
-    let (ok, out, _) = run(&["whatif", "--gpu", "fermi", "--workload", "gesummv", "--l1", "16"]);
+    let (ok, out, _) = run(&[
+        "whatif",
+        "--gpu",
+        "fermi",
+        "--workload",
+        "gesummv",
+        "--l1",
+        "16",
+    ]);
     assert!(ok, "{out}");
     assert!(out.contains("thrashing"));
     assert!(out.contains("bypass"));

@@ -52,28 +52,28 @@ impl CacheParams {
 
     /// Fallible constructor: `S$ ≥ 0`, `L$ > 0`, `α > 1`, `β > 0`.
     pub fn try_new(s_cache: f64, l_cache: f64, alpha: f64, beta: f64) -> Result<Self> {
-        if !(s_cache >= 0.0) || !s_cache.is_finite() {
+        if s_cache < 0.0 || !s_cache.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "S$",
                 value: s_cache,
                 constraint: ">= 0",
             });
         }
-        if !(l_cache > 0.0) || !l_cache.is_finite() {
+        if l_cache <= 0.0 || !l_cache.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "L$",
                 value: l_cache,
                 constraint: "> 0",
             });
         }
-        if !(alpha > 1.0) || !alpha.is_finite() {
+        if alpha <= 1.0 || !alpha.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "alpha",
                 value: alpha,
                 constraint: "> 1",
             });
         }
-        if !(beta > 0.0) || !beta.is_finite() {
+        if beta <= 0.0 || !beta.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "beta",
                 value: beta,
@@ -249,10 +249,7 @@ pub fn scan_features(f: impl Fn(f64) -> f64, plateau: f64, k_max: f64) -> MsCurv
     // First significant interior local maximum = the cache peak.
     let mut peak_idx = None;
     for i in 1..SAMPLES {
-        if fs[i] > fs[i - 1]
-            && fs[i] >= fs[i + 1]
-            && fs[i] >= plateau * (1.0 + PEAK_SIGNIFICANCE)
-        {
+        if fs[i] > fs[i - 1] && fs[i] >= fs[i + 1] && fs[i] >= plateau * (1.0 + PEAK_SIGNIFICANCE) {
             peak_idx = Some(i);
             break;
         }
@@ -454,10 +451,7 @@ mod tests {
         let fast = CachedMsCurve::new(&machine(), hcs_cache().with_latency(10.0));
         for i in 1..=256 {
             let k = i as f64;
-            assert!(
-                fast.f(k) >= slow.f(k) - 1e-12,
-                "fast cache slower at k={k}"
-            );
+            assert!(fast.f(k) >= slow.f(k) - 1e-12, "fast cache slower at k={k}");
         }
         let ps = slow.features(256.0).peak;
         let pf = fast.features(256.0).peak.expect("fast cache must peak");
@@ -556,8 +550,8 @@ mod tests {
         let small = CachedMsCurve::new(&machine(), hcs_cache());
         let big = CachedMsCurve::new(&machine(), hcs_cache().with_capacity(48.0 * 1024.0));
         let mshrs = 4.0;
-        let peak_gain = big.features(64.0).peak.unwrap().value
-            / small.features(64.0).peak.unwrap().value;
+        let peak_gain =
+            big.features(64.0).peak.unwrap().value / small.features(64.0).peak.unwrap().value;
         assert!(peak_gain > 1.5, "peak gain {peak_gain}");
         // Deep in the thrashing regime (both caches overwhelmed) the MSHR
         // cap keeps the large-cache advantage far below its peak gain.

@@ -85,7 +85,11 @@ mod tests {
     use super::*;
 
     fn curve() -> CsCurve {
-        CsCurve { m: 6.0, e: 2.0, z: 12.0 }
+        CsCurve {
+            m: 6.0,
+            e: 2.0,
+            z: 12.0,
+        }
     }
 
     #[test]
@@ -121,8 +125,16 @@ mod tests {
     fn larger_e_saturates_with_fewer_threads() {
         // Fig. 4-E: with a larger E relatively fewer threads are required
         // to fill the available lanes.
-        let lo = CsCurve { m: 6.0, e: 1.0, z: 1.0 };
-        let hi = CsCurve { m: 6.0, e: 3.0, z: 1.0 };
+        let lo = CsCurve {
+            m: 6.0,
+            e: 1.0,
+            z: 1.0,
+        };
+        let hi = CsCurve {
+            m: 6.0,
+            e: 3.0,
+            z: 1.0,
+        };
         assert!(hi.pi() < lo.pi());
         assert!(hi.g(1.5) > lo.g(1.5));
         // Peak is unchanged: E affects the slope, not the ceiling.

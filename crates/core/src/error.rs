@@ -33,7 +33,10 @@ impl fmt::Display for ModelError {
                 name,
                 value,
                 constraint,
-            } => write!(f, "parameter {name} = {value} violates constraint {constraint}"),
+            } => write!(
+                f,
+                "parameter {name} = {value} violates constraint {constraint}"
+            ),
             ModelError::NoEquilibrium => write!(f, "no flow-balance equilibrium exists"),
             ModelError::NoConvergence { routine } => {
                 write!(f, "numeric routine `{routine}` did not converge")

@@ -1,7 +1,7 @@
 //! The [`XModel`] type: machine + workload (+ optional shared cache).
 
 use crate::balance::{self, BalanceReport};
-use crate::cache::{CachedMsCurve, CacheParams, MsCurveFeatures};
+use crate::cache::{CacheParams, CachedMsCurve, MsCurveFeatures};
 use crate::cs::CsCurve;
 use crate::metrics::ParallelismReport;
 use crate::ms::MsCurve;
@@ -35,7 +35,11 @@ impl XModel {
     }
 
     /// Regular X-model with shared-cache effects (§III-B).
-    pub fn with_cache(machine: MachineParams, workload: WorkloadParams, cache: CacheParams) -> Self {
+    pub fn with_cache(
+        machine: MachineParams,
+        workload: WorkloadParams,
+        cache: CacheParams,
+    ) -> Self {
         Self {
             machine,
             workload,

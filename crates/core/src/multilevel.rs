@@ -41,21 +41,21 @@ pub struct L2Params {
 impl L2Params {
     /// Validated constructor.
     pub fn try_new(s2: f64, l2: f64, r2: f64) -> Result<Self> {
-        if !(s2 >= 0.0) || !s2.is_finite() {
+        if s2 < 0.0 || !s2.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "S2",
                 value: s2,
                 constraint: ">= 0",
             });
         }
-        if !(l2 > 0.0) || !l2.is_finite() {
+        if l2 <= 0.0 || !l2.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "L2",
                 value: l2,
                 constraint: "> 0",
             });
         }
-        if !(r2 > 0.0) || !r2.is_finite() {
+        if r2 <= 0.0 || !r2.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "R2",
                 value: r2,
@@ -215,11 +215,7 @@ mod tests {
         // must collapse to Eq. (5) with the DRAM term... except L2 latency
         // still shields nothing. Compare against single-level with the
         // same L1.
-        let two = TwoLevelMsCurve::new(
-            &machine(),
-            l1(),
-            L2Params::new(16.0 * 1024.0, 180.0, 0.06),
-        );
+        let two = TwoLevelMsCurve::new(&machine(), l1(), L2Params::new(16.0 * 1024.0, 180.0, 0.06));
         let one = CachedMsCurve::new(&machine(), l1());
         for i in 1..=64 {
             let k = i as f64;

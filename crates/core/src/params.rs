@@ -74,7 +74,7 @@ impl WorkloadParams {
     pub fn try_new(z: f64, e: f64, n: f64) -> Result<Self> {
         check_pos("Z", z)?;
         check_pos("E", e)?;
-        if !(n >= 0.0) || !n.is_finite() {
+        if n < 0.0 || !n.is_finite() {
             return Err(ModelError::InvalidParameter {
                 name: "n",
                 value: n,
@@ -132,20 +132,62 @@ pub struct GlossaryEntry {
 
 /// The full Table I glossary, in paper order.
 pub const TABLE_I: &[GlossaryEntry] = &[
-    GlossaryEntry { symbol: "n", description: "Total threads in the parallel machine" },
-    GlossaryEntry { symbol: "k", description: "Threads in the memory system (MS)" },
-    GlossaryEntry { symbol: "x", description: "Threads in the computation system (CS)" },
-    GlossaryEntry { symbol: "f(k)", description: "MS supply throughput to CS" },
-    GlossaryEntry { symbol: "g(x)", description: "MS demand throughput from CS" },
-    GlossaryEntry { symbol: "Z", description: "Compute intensity (ops/bytes ratio)" },
-    GlossaryEntry { symbol: "E", description: "Instruction-level-parallelism degree" },
-    GlossaryEntry { symbol: "R", description: "Maximum sustainable MS throughput" },
-    GlossaryEntry { symbol: "M", description: "Computation lanes" },
-    GlossaryEntry { symbol: "pi", description: "CS transition point (when CS is saturated)" },
-    GlossaryEntry { symbol: "delta", description: "MS transition point (when MS is saturated)" },
-    GlossaryEntry { symbol: "L", description: "Average MS access latency" },
-    GlossaryEntry { symbol: "h", description: "Shared cache hit rate" },
-    GlossaryEntry { symbol: "psi", description: "Position of cache peak" },
+    GlossaryEntry {
+        symbol: "n",
+        description: "Total threads in the parallel machine",
+    },
+    GlossaryEntry {
+        symbol: "k",
+        description: "Threads in the memory system (MS)",
+    },
+    GlossaryEntry {
+        symbol: "x",
+        description: "Threads in the computation system (CS)",
+    },
+    GlossaryEntry {
+        symbol: "f(k)",
+        description: "MS supply throughput to CS",
+    },
+    GlossaryEntry {
+        symbol: "g(x)",
+        description: "MS demand throughput from CS",
+    },
+    GlossaryEntry {
+        symbol: "Z",
+        description: "Compute intensity (ops/bytes ratio)",
+    },
+    GlossaryEntry {
+        symbol: "E",
+        description: "Instruction-level-parallelism degree",
+    },
+    GlossaryEntry {
+        symbol: "R",
+        description: "Maximum sustainable MS throughput",
+    },
+    GlossaryEntry {
+        symbol: "M",
+        description: "Computation lanes",
+    },
+    GlossaryEntry {
+        symbol: "pi",
+        description: "CS transition point (when CS is saturated)",
+    },
+    GlossaryEntry {
+        symbol: "delta",
+        description: "MS transition point (when MS is saturated)",
+    },
+    GlossaryEntry {
+        symbol: "L",
+        description: "Average MS access latency",
+    },
+    GlossaryEntry {
+        symbol: "h",
+        description: "Shared cache hit rate",
+    },
+    GlossaryEntry {
+        symbol: "psi",
+        description: "Position of cache peak",
+    },
 ];
 
 #[cfg(test)]

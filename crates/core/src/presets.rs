@@ -261,12 +261,7 @@ mod tests {
         // Derived loaded latencies land in the hundreds of cycles.
         for spec in GpuSpec::all() {
             let p = spec.machine_params(Precision::Single);
-            assert!(
-                (300.0..1200.0).contains(&p.l),
-                "{}: L = {}",
-                spec.name,
-                p.l
-            );
+            assert!((300.0..1200.0).contains(&p.l), "{}: L = {}", spec.name, p.l);
         }
     }
 

@@ -158,7 +158,15 @@ mod tests {
     #[test]
     fn report_contains_all_sections() {
         let r = render(&cached_model(), None);
-        for needle in ["machine:", "workload:", "cache:", "state:", "bound:", "metrics:", "advice:"] {
+        for needle in [
+            "machine:",
+            "workload:",
+            "cache:",
+            "state:",
+            "bound:",
+            "metrics:",
+            "advice:",
+        ] {
             assert!(r.contains(needle), "missing `{needle}` in:\n{r}");
         }
     }

@@ -59,10 +59,7 @@ fn elasticity(model: &XModel, value: f64, make: impl Fn(f64) -> TuningOp) -> Opt
         return Some((0.0, 0.0));
     }
     let dlnp = ((1.0 + REL_STEP) / (1.0 - REL_STEP)).ln();
-    Some((
-        (ms_u / ms_d).ln() / dlnp,
-        (cs_u / cs_d).ln() / dlnp,
-    ))
+    Some(((ms_u / ms_d).ln() / dlnp, (cs_u / cs_d).ln() / dlnp))
 }
 
 /// Compute the sensitivity report for a model at its operating point.
@@ -109,7 +106,9 @@ pub fn analyze(model: &XModel) -> SensitivityReport {
     );
     push(
         "M",
-        elasticity(model, model.machine.m, |v| TuningOp::Machine(Knob::Lanes(v))),
+        elasticity(model, model.machine.m, |v| {
+            TuningOp::Machine(Knob::Lanes(v))
+        }),
     );
     push(
         "Z",
@@ -133,7 +132,9 @@ pub fn analyze(model: &XModel) -> SensitivityReport {
         if c.s_cache > 0.0 {
             push(
                 "S$",
-                elasticity(model, c.s_cache, |v| TuningOp::Cache(CacheKnob::Capacity(v))),
+                elasticity(model, c.s_cache, |v| {
+                    TuningOp::Cache(CacheKnob::Capacity(v))
+                }),
             );
         }
         push(

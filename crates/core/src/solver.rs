@@ -75,8 +75,7 @@ impl Equilibria {
             .or_else(|| {
                 self.points
                     .iter()
-                    .filter(|p| p.stability == Stability::Marginal)
-                    .last()
+                    .rfind(|p| p.stability == Stability::Marginal)
             })
             .copied()
     }
@@ -129,6 +128,7 @@ pub fn solve_with(
     samples: usize,
 ) -> Equilibria {
     assert!(samples >= 2, "need at least two scan samples");
+    let _span = xmodel_obs::span!("solver.solve");
     let mut points = Vec::new();
     if n <= 0.0 {
         return Equilibria { points, n };
@@ -151,6 +151,7 @@ pub fn solve_with(
             points.push(make_point(f, g_hat, n, z, k));
         } else if prev_v != 0.0 && (prev_v < 0.0) != (v < 0.0) {
             let root = bisect(&big_f, prev_k, k, prev_v);
+            xmodel_obs::event!("solver.bracket", lo = prev_k, hi = k, root = root);
             points.push(make_point(f, g_hat, n, z, root));
         }
         prev_k = k;
@@ -163,7 +164,16 @@ pub fn solve_with(
     points.sort_by(|a, b| a.k.total_cmp(&b.k));
     points.dedup_by(|b, a| (b.k - a.k).abs() <= 1.5 * step);
 
-    Equilibria { points, n }
+    let eq = Equilibria { points, n };
+    xmodel_obs::metrics::counter_add("solver.solves", 1);
+    xmodel_obs::event!(
+        "solver.result",
+        n = n,
+        roots = eq.points.len(),
+        bistable = eq.is_bistable(),
+        degradation = eq.degradation(),
+    );
+    eq
 }
 
 /// [`solve_with`] at the default resolution.
@@ -184,12 +194,20 @@ fn make_point(
     let h = (n * 1e-7).max(1e-9);
     let df = (f(k + h) - f((k - h).max(0.0))) / (k + h - (k - h).max(0.0));
     let dg = (g_hat(x + h) - g_hat((x - h).max(0.0))) / (x + h - (x - h).max(0.0));
+    let stability = classify(df, dg);
+    xmodel_obs::event!(
+        "solver.classify",
+        k = k,
+        x = x,
+        ms = ms,
+        stability = format!("{stability:?}"),
+    );
     Intersection {
         k,
         x,
         ms_throughput: ms,
         cs_throughput: ms * z,
-        stability: classify(df, dg),
+        stability,
     }
 }
 

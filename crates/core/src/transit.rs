@@ -201,7 +201,9 @@ mod tests {
 
     #[test]
     fn zero_threads_has_no_equilibrium() {
-        assert!(TransitModel::new(machine(), 20.0, 0.0).equilibrium().is_none());
+        assert!(TransitModel::new(machine(), 20.0, 0.0)
+            .equilibrium()
+            .is_none());
     }
 
     #[test]
@@ -216,7 +218,10 @@ mod tests {
     fn principle2_requires_unchanged_z() {
         let before = TransitModel::new(machine(), 20.0, 20.0);
         let after_more_threads = TransitModel::new(machine(), 20.0, 40.0);
-        assert_eq!(before.principle2_cs_improves(&after_more_threads), Some(true));
+        assert_eq!(
+            before.principle2_cs_improves(&after_more_threads),
+            Some(true)
+        );
         let after_z_change = TransitModel::new(machine(), 30.0, 40.0);
         assert_eq!(before.principle2_cs_improves(&after_z_change), None);
     }
@@ -230,6 +235,9 @@ mod tests {
         let after = TransitModel::new(machine(), 150.0, 60.0);
         assert_eq!(before.principle3_applies(&after), Some(true));
         // Not applicable when Z decreases.
-        assert_eq!(before.principle3_applies(&TransitModel::new(machine(), 50.0, 60.0)), None);
+        assert_eq!(
+            before.principle3_applies(&TransitModel::new(machine(), 50.0, 60.0)),
+            None
+        );
     }
 }

@@ -172,12 +172,33 @@ mod tests {
     #[test]
     fn each_machine_knob_sets_its_field() {
         let m = model();
-        assert_eq!(TuningOp::Machine(Knob::MemBandwidth(0.2)).apply(&m).machine.r, 0.2);
-        assert_eq!(TuningOp::Machine(Knob::MemLatency(300.0)).apply(&m).machine.l, 300.0);
+        assert_eq!(
+            TuningOp::Machine(Knob::MemBandwidth(0.2))
+                .apply(&m)
+                .machine
+                .r,
+            0.2
+        );
+        assert_eq!(
+            TuningOp::Machine(Knob::MemLatency(300.0))
+                .apply(&m)
+                .machine
+                .l,
+            300.0
+        );
         assert_eq!(TuningOp::Machine(Knob::Lanes(8.0)).apply(&m).machine.m, 8.0);
-        assert_eq!(TuningOp::Machine(Knob::Intensity(40.0)).apply(&m).workload.z, 40.0);
+        assert_eq!(
+            TuningOp::Machine(Knob::Intensity(40.0))
+                .apply(&m)
+                .workload
+                .z,
+            40.0
+        );
         assert_eq!(TuningOp::Machine(Knob::Ilp(2.0)).apply(&m).workload.e, 2.0);
-        assert_eq!(TuningOp::Machine(Knob::Threads(64.0)).apply(&m).workload.n, 64.0);
+        assert_eq!(
+            TuningOp::Machine(Knob::Threads(64.0)).apply(&m).workload.n,
+            64.0
+        );
     }
 
     #[test]
@@ -187,7 +208,11 @@ mod tests {
         assert_eq!(c.cache.unwrap().s_cache, 48.0 * 1024.0);
         let c = TuningOp::Cache(CacheKnob::Latency(10.0)).apply(&m);
         assert_eq!(c.cache.unwrap().l_cache, 10.0);
-        let c = TuningOp::Cache(CacheKnob::Locality { alpha: 3.0, beta: 512.0 }).apply(&m);
+        let c = TuningOp::Cache(CacheKnob::Locality {
+            alpha: 3.0,
+            beta: 512.0,
+        })
+        .apply(&m);
         assert_eq!(c.cache.unwrap().alpha, 3.0);
         assert_eq!(c.cache.unwrap().beta, 512.0);
     }
@@ -237,7 +262,10 @@ mod tests {
             WorkloadParams::new(5.0, 1.0, 500.0),
         );
         let eff = evaluate(&mem_bound, TuningOp::Machine(Knob::Intensity(10.0))).unwrap();
-        assert!((eff.ms_after - eff.ms_before).abs() < 1e-9, "MS pinned at R");
+        assert!(
+            (eff.ms_after - eff.ms_before).abs() < 1e-9,
+            "MS pinned at R"
+        );
         assert!(eff.cs_speedup() > 1.9);
     }
 

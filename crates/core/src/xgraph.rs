@@ -52,7 +52,7 @@ impl XGraph {
             fk,
             ghat,
             intersections: eq.points().to_vec(),
-            pi_k: (pi <= n).then(|| n - pi),
+            pi_k: (pi <= n).then_some(n - pi),
             features: model.ms_features(n.max(1.0)),
         }
     }

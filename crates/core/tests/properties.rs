@@ -1,7 +1,7 @@
 //! Property-based tests of the analytic core.
 
 use proptest::prelude::*;
-use xmodel_core::cache::{CachedMsCurve, CacheParams};
+use xmodel_core::cache::{CacheParams, CachedMsCurve};
 use xmodel_core::cs::CsCurve;
 use xmodel_core::ms::MsCurve;
 use xmodel_core::params::{MachineParams, WorkloadParams};
@@ -17,7 +17,12 @@ fn machine() -> impl Strategy<Value = MachineParams> {
 }
 
 fn cache() -> impl Strategy<Value = CacheParams> {
-    (256.0f64..262144.0, 2.0f64..100.0, 1.05f64..8.0, 64.0f64..32768.0)
+    (
+        256.0f64..262144.0,
+        2.0f64..100.0,
+        1.05f64..8.0,
+        64.0f64..32768.0,
+    )
         .prop_map(|(s, lc, a, b)| CacheParams::new(s, lc, a, b))
 }
 

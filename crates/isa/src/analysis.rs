@@ -159,9 +159,13 @@ mod tests {
 
     #[test]
     fn fp64_detection() {
-        let sp = Kernel::builder("sp", 32).block(1.0, |b| b.inst(FFMA)).build();
+        let sp = Kernel::builder("sp", 32)
+            .block(1.0, |b| b.inst(FFMA))
+            .build();
         assert!(!sp.analyze().uses_fp64);
-        let dp = Kernel::builder("dp", 32).block(1.0, |b| b.inst(DFMA)).build();
+        let dp = Kernel::builder("dp", 32)
+            .block(1.0, |b| b.inst(DFMA))
+            .build();
         assert!(dp.analyze().uses_fp64);
     }
 
@@ -178,7 +182,9 @@ mod tests {
 
     #[test]
     fn pure_compute_kernel_has_infinite_intensity() {
-        let k = Kernel::builder("pc", 32).block(5.0, |b| b.repeat(FFMA, 3)).build();
+        let k = Kernel::builder("pc", 32)
+            .block(5.0, |b| b.repeat(FFMA, 3))
+            .build();
         assert!(k.analyze().intensity.is_infinite());
         assert_eq!(k.analyze().offchip_mem_insts, 0.0);
     }

@@ -455,11 +455,7 @@ mod tests {
         let mut insts: Vec<DfInst> = (0..8)
             .map(|i| DfInst::new(FFMA, (10 + i) as Reg, &[0]))
             .collect();
-        insts.push(DfInst::new(
-            FADD,
-            30,
-            &[10, 11, 12, 13, 14, 15, 16, 17],
-        ));
+        insts.push(DfInst::new(FADD, 30, &[10, 11, 12, 13, 14, 15, 16, 17]));
         let dfk = DfKernel {
             name: "wide".into(),
             threads_per_block: 32,

@@ -131,7 +131,9 @@ mod tests {
             .registers(16)
             .shared_memory(2048)
             .block(1.0, |b| b.inst(MOV).inst(IMAD))
-            .block(1024.0, |b| b.inst(LDG).dual(LDG).inst(FFMA).inst(STG).inst(BRA))
+            .block(1024.0, |b| {
+                b.inst(LDG).dual(LDG).inst(FFMA).inst(STG).inst(BRA)
+            })
             .build()
     }
 

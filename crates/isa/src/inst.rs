@@ -138,8 +138,8 @@ impl Opcode {
     pub fn all() -> &'static [Opcode] {
         use Opcode::*;
         &[
-            FFMA, FADD, FMUL, MUFU, FSETP, DFMA, DADD, DMUL, IADD, IMAD, SHL, ISETP, LOP, MOV,
-            LDG, STG, LDS, STS, LDC, LDL, STL, BRA, BAR, EXIT, NOP,
+            FFMA, FADD, FMUL, MUFU, FSETP, DFMA, DADD, DMUL, IADD, IMAD, SHL, ISETP, LOP, MOV, LDG,
+            STG, LDS, STS, LDC, LDL, STL, BRA, BAR, EXIT, NOP,
         ]
     }
 }

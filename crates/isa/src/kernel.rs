@@ -208,9 +208,13 @@ mod tests {
     #[test]
     fn warps_per_block_rounds_up() {
         assert_eq!(sample().warps_per_block(), 8);
-        let k = Kernel::builder("odd", 96).block(1.0, |b| b.inst(EXIT)).build();
+        let k = Kernel::builder("odd", 96)
+            .block(1.0, |b| b.inst(EXIT))
+            .build();
         assert_eq!(k.warps_per_block(), 3);
-        let k = Kernel::builder("tiny", 33).block(1.0, |b| b.inst(EXIT)).build();
+        let k = Kernel::builder("tiny", 33)
+            .block(1.0, |b| b.inst(EXIT))
+            .build();
         assert_eq!(k.warps_per_block(), 2);
     }
 
@@ -223,7 +227,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "preceding instruction")]
     fn leading_dual_rejected() {
-        let _ = Kernel::builder("d", 32).block(1.0, |b| b.dual(FFMA)).build();
+        let _ = Kernel::builder("d", 32)
+            .block(1.0, |b| b.dual(FFMA))
+            .build();
     }
 
     #[test]

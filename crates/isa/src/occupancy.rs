@@ -92,16 +92,14 @@ impl Occupancy {
 
         let limit_warps = arch.max_warps / warps_per_block;
         let limit_blocks = arch.max_blocks;
-        let limit_regs = if regs_per_block == 0 {
-            u32::MAX
-        } else {
-            arch.regs_per_sm / regs_per_block
-        };
-        let limit_smem = if kernel.smem_per_block == 0 {
-            u32::MAX
-        } else {
-            arch.smem_per_sm / kernel.smem_per_block
-        };
+        let limit_regs = arch
+            .regs_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(u32::MAX);
+        let limit_smem = arch
+            .smem_per_sm
+            .checked_div(kernel.smem_per_block)
+            .unwrap_or(u32::MAX);
 
         let blocks = limit_warps
             .min(limit_blocks)

@@ -1,0 +1,115 @@
+//! Trace events: a kind, a timestamp, the enclosing span, and a flat set
+//! of named fields. One event serializes to one JSONL line with the
+//! fields inlined at top level, e.g.
+//! `{"kind":"sim.snapshot","t_us":812,"span":"simulate","cycle":5000,"k":17}`.
+
+use crate::json;
+use serde::ser::{SerializeMap, Serializer};
+use serde::Serialize;
+
+/// Version tag stamped on every trace (`schema` field of the manifest);
+/// bump when the event shape changes incompatibly.
+pub const SCHEMA: &str = "xmodel-trace/1";
+
+/// A dynamically typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float (non-finite serializes as `null`).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Value::U64(v) => serializer.serialize_u64(*v),
+            Value::I64(v) => serializer.serialize_i64(*v),
+            Value::F64(v) => serializer.serialize_f64(*v),
+            Value::Bool(v) => serializer.serialize_bool(*v),
+            Value::Str(v) => serializer.serialize_str(v),
+        }
+    }
+}
+
+macro_rules! value_from {
+    ($($ty:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl From<$ty> for Value {
+            fn from(v: $ty) -> Value {
+                Value::$variant(v as $cast)
+            }
+        }
+    )*};
+}
+
+value_from! {
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64,
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Dotted event kind, e.g. `solver.bracket` or `sim.snapshot`.
+    pub kind: &'static str,
+    /// Microseconds since trace initialisation (monotonic clock).
+    pub t_us: u64,
+    /// Name of the innermost active span on the emitting thread.
+    pub span: Option<&'static str>,
+    /// Named payload fields, serialized inline at top level.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+impl Serialize for Event {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let extra = 2 + usize::from(self.span.is_some());
+        let mut map = serializer.serialize_map(Some(self.fields.len() + extra))?;
+        map.serialize_key(&"kind")?;
+        map.serialize_value(&self.kind)?;
+        map.serialize_key(&"t_us")?;
+        map.serialize_value(&self.t_us)?;
+        if let Some(span) = self.span {
+            map.serialize_key(&"span")?;
+            map.serialize_value(&span)?;
+        }
+        for (name, value) in &self.fields {
+            map.serialize_key(name)?;
+            map.serialize_value(value)?;
+        }
+        map.end()
+    }
+}
+
+impl Event {
+    /// Serialize to one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+}

@@ -1,0 +1,90 @@
+//! Run manifests: one structured record describing a whole run —
+//! command, parameters, seed, code version, and wall-time per phase —
+//! appended as the final line of a trace.
+
+use crate::{json, metrics, span};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Aggregate timing of one span name over the run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseSummary {
+    /// Span name.
+    pub name: String,
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Total wall time, milliseconds.
+    pub total_ms: f64,
+}
+
+/// End-of-run record summarising what ran and how long each phase took.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunManifest {
+    /// Line discriminator: always `"run_manifest"`.
+    pub kind: &'static str,
+    /// Trace schema version ([`crate::event::SCHEMA`]).
+    pub schema: &'static str,
+    /// The command that ran (e.g. `sim`, `whatif`, bench name).
+    pub command: String,
+    /// Flag/parameter values the run was invoked with.
+    pub params: BTreeMap<String, String>,
+    /// RNG seed, where the command uses one.
+    pub seed: Option<u64>,
+    /// Code version: `git describe`-style when available, else crate version.
+    pub version: String,
+    /// Total wall time since trace initialisation, milliseconds.
+    pub wall_ms: f64,
+    /// Per-phase wall time from the span registry.
+    pub phases: Vec<PhaseSummary>,
+    /// Counter metrics accumulated during the run.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunManifest {
+    /// Assemble a manifest for `command`, pulling phase times and
+    /// counters from the global registries.
+    pub fn collect(
+        command: &str,
+        params: BTreeMap<String, String>,
+        seed: Option<u64>,
+    ) -> RunManifest {
+        let phases = span::aggregates()
+            .into_iter()
+            .map(|(name, agg)| PhaseSummary {
+                name: name.to_string(),
+                count: agg.count,
+                total_ms: agg.total_ns as f64 / 1e6,
+            })
+            .collect();
+        RunManifest {
+            kind: "run_manifest",
+            schema: crate::event::SCHEMA,
+            command: command.to_string(),
+            params,
+            seed,
+            version: describe_version(),
+            wall_ms: crate::now_us() as f64 / 1e3,
+            phases,
+            counters: metrics::snapshot().counters,
+        }
+    }
+
+    /// Serialize to one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+}
+
+/// `git describe --tags --always --dirty` when run inside a checkout;
+/// falls back to the crate version for installed binaries.
+pub fn describe_version() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--tags", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| format!("v{}", env!("CARGO_PKG_VERSION")))
+}

@@ -1,0 +1,136 @@
+//! Process-wide metrics registry: named counters, gauges, and fixed-
+//! bucket histograms. Generalizes the ad-hoc counters in `SimStats` for
+//! consumers outside the simulator; values are folded into the run
+//! manifest at the end of a traced run.
+//!
+//! All update paths are gated on the global tracing flag, so a build with
+//! tracing disabled pays one relaxed atomic load per call.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// Monotonically increasing counter value.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(pub u64);
+
+/// Last-write-wins instantaneous value.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(pub f64);
+
+/// Histogram over fixed, caller-supplied bucket edges.
+///
+/// With edges `[e0, e1, ..., en]` there are `n + 2` buckets: values
+/// `v <= e0` land in bucket 0, `e_{i-1} < v <= e_i` in bucket `i`, and
+/// `v > en` in the final overflow bucket.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Upper bucket edges (inclusive), ascending.
+    pub edges: Vec<f64>,
+    /// Per-bucket observation counts (`edges.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    fn new(edges: &[f64]) -> Self {
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let bucket = self.edges.partition_point(|&e| e < v);
+        self.counts[bucket] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = REGISTRY.lock();
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Add `delta` to the named counter (created at zero on first use).
+pub fn counter_add(name: &str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| r.counters.entry(name.to_string()).or_default().0 += delta);
+}
+
+/// Set the named gauge.
+pub fn gauge_set(name: &str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| r.gauges.entry(name.to_string()).or_default().0 = value);
+}
+
+/// Observe `value` in the named histogram, creating it with `edges` on
+/// first use (later calls may pass the same or empty edges; the first
+/// registration wins).
+pub fn histogram_observe(name: &str, edges: &[f64], value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_registry(|r| {
+        r.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(edges))
+            .observe(value);
+    });
+}
+
+/// Snapshot of every metric, for the manifest and for tests.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Take a snapshot of the registry.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|r| MetricsSnapshot {
+        counters: r.counters.iter().map(|(k, v)| (k.clone(), v.0)).collect(),
+        gauges: r.gauges.iter().map(|(k, v)| (k.clone(), v.0)).collect(),
+        histograms: r.histograms.clone(),
+    })
+}
+
+/// Clear all metrics (between runs in one process, and in tests).
+pub fn reset() {
+    *REGISTRY.lock() = None;
+}

@@ -1,0 +1,98 @@
+//! Trace sinks: where serialized events go.
+
+use crate::event::Event;
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::Arc;
+
+/// Destination for trace events. Implementations receive fully formed
+/// events and decide how to persist them; `emit` must be cheap enough to
+/// call from simulator inner loops (the JSONL sink buffers writes).
+pub trait Sink: Send {
+    /// Record one event.
+    fn emit(&self, event: &Event);
+
+    /// Record an already-serialized JSON line (used for the manifest).
+    fn emit_raw(&self, line: &str);
+
+    /// Flush buffered output to its destination.
+    fn flush(&self);
+}
+
+/// Discards everything. Installed implicitly when tracing is disabled;
+/// never actually reached because emission is gated on the global enable
+/// flag, so disabled tracing costs one relaxed atomic load per call site.
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+    fn emit_raw(&self, _line: &str) {}
+    fn flush(&self) {}
+}
+
+/// Buffered JSON-lines writer over any `io::Write`.
+pub struct JsonlSink {
+    writer: Mutex<std::io::BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Create over an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            writer: Mutex::new(std::io::BufWriter::new(writer)),
+        }
+    }
+
+    /// Create writing to `path` (truncates an existing file).
+    pub fn create(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(file)))
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        self.emit_raw(&event.to_json());
+    }
+
+    fn emit_raw(&self, line: &str) {
+        let mut w = self.writer.lock();
+        // I/O errors must not abort a simulation mid-run; drop the line.
+        let _ = w.write_all(line.as_bytes());
+        let _ = w.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+/// In-memory sink for tests: collects serialized lines.
+#[derive(Clone, Default)]
+pub struct MemSink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemSink {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all lines emitted so far.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+impl Sink for MemSink {
+    fn emit(&self, event: &Event) {
+        self.lines.lock().push(event.to_json());
+    }
+
+    fn emit_raw(&self, line: &str) {
+        self.lines.lock().push(line.to_string());
+    }
+
+    fn flush(&self) {}
+}

@@ -9,11 +9,7 @@ use xmodel_sim::{simulate, SimConfig, SimWorkload};
 
 /// Measure `(j, requests/cycle)` trace-points with `j` cache-eligible
 /// warps, `j` sweeping `1..=workload.warps` in `step`s.
-pub fn bypass_trace_points(
-    cfg: &SimConfig,
-    workload: &SimWorkload,
-    step: u32,
-) -> Vec<(u32, f64)> {
+pub fn bypass_trace_points(cfg: &SimConfig, workload: &SimWorkload, step: u32) -> Vec<(u32, f64)> {
     assert!(cfg.l1.is_some(), "bypass profiling needs an L1");
     assert!(step >= 1);
     let n = workload.warps;

@@ -34,7 +34,10 @@ pub fn recorded_hit_curve(
     KS.iter()
         .map(|&k| {
             let streams = traces.streams(k);
-            (k as f64, measure_hit_rate_streams(streams, cache_bytes, accesses))
+            (
+                k as f64,
+                measure_hit_rate_streams(streams, cache_bytes, accesses),
+            )
         })
         .collect()
 }
@@ -44,7 +47,10 @@ pub fn synthetic_hit_curve(spec: &TraceSpec, cache_bytes: u64, accesses: usize) 
     KS.iter()
         .map(|&k| {
             let streams = (0..k).map(|w| spec.instantiate(w, 7)).collect();
-            (k as f64, measure_hit_rate_streams(streams, cache_bytes, accesses))
+            (
+                k as f64,
+                measure_hit_rate_streams(streams, cache_bytes, accesses),
+            )
         })
         .collect()
 }
@@ -67,6 +73,7 @@ pub fn calibrate_private_ws(
     cache_bytes: u64,
     accesses: usize,
 ) -> Calibration {
+    let _span = xmodel_obs::span!("profile.calibrate");
     let target = recorded_hit_curve(traces, cache_bytes, accesses);
     let mut best: Option<(TraceSpec, f64)> = None;
     for &ws in &[4u64, 8, 16, 24, 32, 48, 64, 96, 128] {
@@ -79,7 +86,16 @@ pub fn calibrate_private_ws(
                 };
                 let curve = synthetic_hit_curve(&spec, cache_bytes, accesses / 2);
                 let rms = curve_rms(&target, &curve);
-                if best.as_ref().map(|&(_, b)| rms < b).unwrap_or(true) {
+                let improved = best.as_ref().map(|&(_, b)| rms < b).unwrap_or(true);
+                xmodel_obs::event!(
+                    "calibrate.eval",
+                    ws_lines = ws,
+                    stream_prob = stream,
+                    reuse_skew = skew,
+                    rms = rms,
+                    improved = improved,
+                );
+                if improved {
                     best = Some((spec, rms));
                 }
             }
@@ -114,10 +130,8 @@ mod tests {
         let cal = calibrate_private_ws(&traces, cache, 8_000);
         // The default suite spec for spmv (a weak gather) fits worse than
         // the calibrated private-working-set spec.
-        let default_spec = xmodel_workloads::Workload::get(
-            xmodel_workloads::WorkloadId::Spmv,
-        )
-        .trace;
+        let default_spec =
+            xmodel_workloads::Workload::get(xmodel_workloads::WorkloadId::Spmv).trace;
         let default_curve = synthetic_hit_curve(&default_spec, cache, 8_000);
         let default_rms = curve_rms(&cal.target_curve, &default_curve);
         assert!(

@@ -40,6 +40,7 @@ pub fn workload_precision(w: &Workload) -> Precision {
 /// `l1_bytes = 0` produces the basic (cache-less) model — also the right
 /// choice for Kepler where global loads skip L1.
 pub fn assemble_model(spec: &GpuSpec, workload: &Workload, l1_bytes: u64) -> XModel {
+    let _span = xmodel_obs::span!("profile.assemble");
     let precision = workload_precision(workload);
     let mut machine = spec.machine_params(precision);
     // Uncoalesced access splits each request into `coalesce` transactions:
@@ -51,15 +52,27 @@ pub fn assemble_model(spec: &GpuSpec, workload: &Workload, l1_bytes: u64) -> XMo
     let occ = Occupancy::compute(&workload.kernel, &arch_limits(spec, l1_bytes));
     let n = occ.warps.min(spec.max_warps as u32) as f64;
     let wp = WorkloadParams::new(analysis.intensity, analysis.ilp, n);
+    xmodel_obs::event!(
+        "profile.model",
+        workload = workload.name,
+        gpu = spec.name,
+        n = n,
+        z = analysis.intensity,
+        e = analysis.ilp,
+        l1_bytes = l1_bytes,
+    );
 
     if l1_bytes == 0 {
         XModel::new(machine, wp)
     } else {
         // Locality is a workload signature: fit one (alpha, beta) pair
         // across reference capacities, then apply it to this cache size.
-        let fit = fit_trace_capacities(
-            &workload.trace,
-            &[8 * 1024, 16 * 1024, 48 * 1024],
+        let fit = fit_trace_capacities(&workload.trace, &[8 * 1024, 16 * 1024, 48 * 1024]);
+        xmodel_obs::event!(
+            "profile.locality_fit",
+            workload = workload.name,
+            alpha = fit.alpha,
+            beta = fit.beta,
         );
         let cache = CacheParams::new(
             l1_bytes as f64,
@@ -114,7 +127,11 @@ mod tests {
         let spec = GpuSpec::kepler_k40();
         let w = Workload::get(WorkloadId::Nw);
         let m = assemble_model(&spec, &w, 0);
-        assert!(m.workload.n < 64.0, "nw is smem-limited, n = {}", m.workload.n);
+        assert!(
+            m.workload.n < 64.0,
+            "nw is smem-limited, n = {}",
+            m.workload.n
+        );
     }
 
     #[test]

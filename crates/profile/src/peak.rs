@@ -68,9 +68,7 @@ mod tests {
         assert!((g1.last().unwrap().1 - 6.0).abs() < 0.2);
         assert!((g2.last().unwrap().1 - 6.0).abs() < 0.2);
         // E = 2 saturates with fewer warps (pi = M/E).
-        let sat = |g: &[(u32, f64)]| {
-            g.iter().find(|&&(_, t)| t >= 5.8).map(|&(w, _)| w).unwrap()
-        };
+        let sat = |g: &[(u32, f64)]| g.iter().find(|&&(_, t)| t >= 5.8).map(|&(w, _)| w).unwrap();
         assert!(sat(&g2) < sat(&g1));
     }
 }

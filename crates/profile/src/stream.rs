@@ -42,7 +42,11 @@ pub fn profile_stream(cfg: &SimConfig, max_warps: u32, step: u32) -> StreamProfi
     // Slope from the first sample: one warp's round-trip throughput is
     // 1/(L + Z/E) ≈ 1/L for a memory-dominated kernel.
     let (w0, t0) = curve[0];
-    let l = if t0 > 0.0 { w0 as f64 / t0 } else { f64::INFINITY };
+    let l = if t0 > 0.0 {
+        w0 as f64 / t0
+    } else {
+        f64::INFINITY
+    };
     let delta = curve
         .iter()
         .find(|&&(_, t)| t >= 0.95 * r)
@@ -80,11 +84,7 @@ mod tests {
         );
         // Saturation point in the right neighbourhood (Table II: 64 warps
         // saturate; accept the 45..=64 band since the sweep is discrete).
-        assert!(
-            (45.0..=64.0).contains(&p.delta),
-            "delta = {}",
-            p.delta
-        );
+        assert!((45.0..=64.0).contains(&p.delta), "delta = {}", p.delta);
         // Monotone non-decreasing up to saturation (roofline shape).
         for w in p.curve.windows(2) {
             if (w[1].0 as f64) < p.delta {
@@ -99,10 +99,6 @@ mod tests {
         let p = profile_stream(&cfg, 16, 4);
         // Configured DRAM latency is ~538; the measured per-request
         // latency adds transfer and queueing.
-        assert!(
-            (400.0..900.0).contains(&p.l),
-            "L = {}",
-            p.l
-        );
+        assert!((400.0..900.0).contains(&p.l), "L = {}", p.l);
     }
 }

@@ -147,7 +147,11 @@ mod tests {
         let rep = validate_suite(&spec);
         assert_eq!(rep.apps.len(), 12);
         let acc = rep.mean_accuracy();
-        assert!(acc > 0.70, "mean accuracy = {acc:.3}; worst = {:?}", rep.worst());
+        assert!(
+            acc > 0.70,
+            "mean accuracy = {acc:.3}; worst = {:?}",
+            rep.worst()
+        );
     }
 
     #[test]

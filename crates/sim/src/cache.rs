@@ -250,10 +250,8 @@ impl SimpleCache {
                 self.ways[i].last_use = self.tick;
                 return true;
             }
-            if !self.ways[i].valid {
-                victim = i;
-            } else if self.ways[victim].valid
-                && self.ways[i].last_use < self.ways[victim].last_use
+            if !self.ways[i].valid
+                || (self.ways[victim].valid && self.ways[i].last_use < self.ways[victim].last_use)
             {
                 victim = i;
             }

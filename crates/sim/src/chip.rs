@@ -192,7 +192,7 @@ mod tests {
         // must exceed its static 1/4 share — the partition's error case.
         let hungry = (cfg(), stream_wl(48, 2.0));
         let compute = (cfg(), stream_wl(48, 400.0));
-        let nodes = vec![hungry, compute.clone(), compute.clone(), compute];
+        let nodes = vec![hungry, compute, compute, compute];
         let stats = ChipSim::new(&nodes, 32.0, 7).run(20_000, 40_000);
         let share = 8.0 / 128.0; // static quarter
         assert!(
@@ -213,8 +213,7 @@ mod tests {
         // Same configuration, same seed handling differences only in the
         // seed mix: throughput should agree closely.
         assert!(
-            (chip[0].ms_throughput() - solo.ms_throughput()).abs()
-                < 0.05 * solo.ms_throughput(),
+            (chip[0].ms_throughput() - solo.ms_throughput()).abs() < 0.05 * solo.ms_throughput(),
             "chip {} vs solo {}",
             chip[0].ms_throughput(),
             solo.ms_throughput()

@@ -138,18 +138,13 @@ impl IrSm {
 
     fn submit_mem(&mut self, now: u64, addr: u64, tag: u64) {
         let bytes = self.cfg.request_bytes.round().max(1.0) as u64;
-        match self.l2.as_mut() {
-            Some((cache, channel)) => {
-                if cache.probe_insert(addr) {
-                    channel.submit(now, bytes, tag);
-                } else {
-                    self.dram.submit(now, bytes, tag);
-                }
-            }
-            None => {
-                self.dram.submit(now, bytes, tag);
+        if let Some((cache, channel)) = self.l2.as_mut() {
+            if cache.probe_insert(addr) {
+                channel.submit(now, bytes, tag);
+                return;
             }
         }
+        self.dram.submit(now, bytes, tag);
     }
 
     /// Advance the warp's control flow past its current instruction.
@@ -330,6 +325,19 @@ impl IrSm {
             self.stats.sum_k += k as f64;
             self.stats.sum_x += (n - k) as f64;
             self.stats.k_histogram[k] += 1;
+            // Trace snapshot (read-only; see `Sm::step_with`).
+            if xmodel_obs::enabled() && now % crate::sm::SNAPSHOT_INTERVAL == 0 {
+                xmodel_obs::event!(
+                    "sim.snapshot",
+                    cycle = now,
+                    k = k,
+                    x = n - k,
+                    mshrs_busy = self.l1.as_ref().map_or(0, L1Cache::mshrs_busy),
+                    dram_inflight = self.dram.in_flight(),
+                    dram_backlog = self.dram.channel_free().saturating_sub(now),
+                    hit_rate = self.stats.hit_rate(),
+                );
+            }
         }
         self.cycle += 1;
     }
@@ -346,7 +354,8 @@ impl IrSm {
         match l1.access(addr, wi as u32) {
             Access::Hit => {
                 let lat = self.cfg.l1.map(|c| c.hit_latency).unwrap_or(1);
-                self.return_queue.push(Reverse((now + lat, wi as u32, true)));
+                self.return_queue
+                    .push(Reverse((now + lat, wi as u32, true)));
                 self.warps[wi].state = WarpState::Waiting;
                 if self.measuring {
                     self.stats.l1_hits += 1;
@@ -376,13 +385,20 @@ impl IrSm {
 
     /// Run `warmup` unmeasured cycles then `measure` measured ones.
     pub fn run(&mut self, warmup: u64, measure: u64) -> &SimStats {
+        let _span = xmodel_obs::span!("sim.run_ir");
         self.measuring = false;
-        for _ in 0..warmup {
-            self.step();
+        {
+            let _warm = xmodel_obs::span!("sim.warmup");
+            for _ in 0..warmup {
+                self.step();
+            }
         }
         self.measuring = true;
-        for _ in 0..measure {
-            self.step();
+        {
+            let _meas = xmodel_obs::span!("sim.measure");
+            for _ in 0..measure {
+                self.step();
+            }
         }
         &self.stats
     }
@@ -503,16 +519,8 @@ mod tests {
     fn every_suite_kernel_executes() {
         for w in Workload::suite() {
             let s = simulate_ir(&cfg(), &w.kernel, w.trace, 16, 5_000, 15_000);
-            assert!(
-                s.cs_throughput() > 0.0,
-                "{} retired nothing",
-                w.name
-            );
-            assert!(
-                s.requests_completed > 0,
-                "{} made no requests",
-                w.name
-            );
+            assert!(s.cs_throughput() > 0.0, "{} retired nothing", w.name);
+            assert!(s.requests_completed > 0, "{} made no requests", w.name);
         }
     }
 

@@ -45,13 +45,13 @@
 pub mod cache;
 pub mod chip;
 pub mod config;
-pub mod exec;
 pub mod dram;
+pub mod exec;
 pub mod sm;
 pub mod stats;
 
-pub use config::{CacheConfig, DramConfig, SimConfig, SimConfigBuilder, SimWorkload};
 pub use chip::{simulate_chip, ChipSim};
+pub use config::{CacheConfig, DramConfig, SimConfig, SimConfigBuilder, SimWorkload};
 pub use exec::{simulate_ir, IrSm};
 pub use sm::{simulate, simulate_with_seed, Sm};
 pub use stats::SimStats;

@@ -3,13 +3,13 @@
 use crate::cache::{Access, L1Cache, SimpleCache};
 use crate::config::{SimConfig, SimWorkload};
 use crate::dram::Dram;
-use std::cell::RefCell;
-use std::rc::Rc;
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use xmodel_workloads::AddressStream;
 
 /// Tag bit marking a DRAM completion that wakes a warp directly (bypass or
@@ -19,6 +19,10 @@ const TAG_DIRECT: u64 = 1 << 63;
 /// Bit offset where a chip-level simulation stores the SM id in shared
 /// DRAM tags (see [`crate::chip`]).
 pub(crate) const TAG_SM_SHIFT: u32 = 48;
+
+/// Cycle period of `sim.snapshot` trace events when tracing is live and
+/// no explicit `trajectory_interval` is set.
+pub(crate) const SNAPSHOT_INTERVAL: u64 = 256;
 
 /// A DRAM attachment: private channel, or a chip-shared channel the SM
 /// submits to with its id encoded in the tag (completions are routed back
@@ -102,7 +106,8 @@ impl Sm {
         let in_ms = (ms_fraction * wl.warps as f64).round() as u32;
         let warps = (0..wl.warps)
             .map(|w| {
-                let mut rng = SmallRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                let mut rng =
+                    SmallRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0xA24B_AED4_963E_E407));
                 let mut stream = wl.trace.instantiate(w, seed);
                 let state = if w < in_ms {
                     WarpState::IssuePending
@@ -188,18 +193,13 @@ impl Sm {
     /// the line and fall through to DRAM), else go straight to DRAM.
     fn submit_mem(&mut self, now: u64, addr: u64, tag: u64) {
         let bytes = self.cfg.request_bytes.round().max(1.0) as u64;
-        match self.l2.as_mut() {
-            Some((cache, channel)) => {
-                if cache.probe_insert(addr) {
-                    channel.submit(now, bytes, tag);
-                } else {
-                    self.dram.submit(now, bytes, tag);
-                }
-            }
-            None => {
-                self.dram.submit(now, bytes, tag);
+        if let Some((cache, channel)) = self.l2.as_mut() {
+            if cache.probe_insert(addr) {
+                channel.submit(now, bytes, tag);
+                return;
             }
         }
+        self.dram.submit(now, bytes, tag);
     }
 
     fn wake(&mut self, warp: u32) {
@@ -355,6 +355,34 @@ impl Sm {
             if self.trajectory_interval > 0 && now % self.trajectory_interval == 0 {
                 self.stats.trajectory.push((now, k as u32));
             }
+            // Trace snapshot: a superset of the trajectory sample. Reads
+            // simulator state only — determinism is unaffected by tracing.
+            if xmodel_obs::enabled() {
+                let interval = if self.trajectory_interval > 0 {
+                    self.trajectory_interval
+                } else {
+                    SNAPSHOT_INTERVAL
+                };
+                if now % interval == 0 {
+                    let (dram_inflight, dram_backlog) = match &self.dram {
+                        DramPort::Own(d) => (d.in_flight(), d.channel_free().saturating_sub(now)),
+                        DramPort::Shared(d, _) => {
+                            let d = d.borrow();
+                            (d.in_flight(), d.channel_free().saturating_sub(now))
+                        }
+                    };
+                    xmodel_obs::event!(
+                        "sim.snapshot",
+                        cycle = now,
+                        k = k,
+                        x = n - k,
+                        mshrs_busy = self.l1.as_ref().map_or(0, L1Cache::mshrs_busy),
+                        dram_inflight = dram_inflight,
+                        dram_backlog = dram_backlog,
+                        hit_rate = self.stats.hit_rate(),
+                    );
+                }
+            }
         }
 
         self.cycle += 1;
@@ -367,13 +395,20 @@ impl Sm {
 
     /// Run `warmup` unmeasured cycles then `measure` measured ones.
     pub fn run(&mut self, warmup: u64, measure: u64) -> &SimStats {
+        let _span = xmodel_obs::span!("sim.run");
         self.measuring = false;
-        for _ in 0..warmup {
-            self.step();
+        {
+            let _warm = xmodel_obs::span!("sim.warmup");
+            for _ in 0..warmup {
+                self.step();
+            }
         }
         self.measuring = true;
-        for _ in 0..measure {
-            self.step();
+        {
+            let _meas = xmodel_obs::span!("sim.measure");
+            for _ in 0..measure {
+                self.step();
+            }
         }
         &self.stats
     }
@@ -471,7 +506,11 @@ mod tests {
             warps: 16,
         };
         let s = simulate(&cfg, &wl, 1_000, 10_000);
-        assert!((s.cs_throughput() - 4.0).abs() < 0.01, "{}", s.cs_throughput());
+        assert!(
+            (s.cs_throughput() - 4.0).abs() < 0.01,
+            "{}",
+            s.cs_throughput()
+        );
         assert_eq!(s.requests_completed, 0);
         assert_eq!(s.avg_k(), 0.0);
     }

@@ -101,13 +101,16 @@ impl SimStats {
         self.k_histogram
             .iter()
             .enumerate()
-            .fold((0usize, 0u64), |best, (k, &c)| {
-                if c > best.1 {
-                    (k, c)
-                } else {
-                    best
-                }
-            })
+            .fold(
+                (0usize, 0u64),
+                |best, (k, &c)| {
+                    if c > best.1 {
+                        (k, c)
+                    } else {
+                        best
+                    }
+                },
+            )
             .0 as u32
     }
 }

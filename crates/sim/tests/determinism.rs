@@ -1,0 +1,70 @@
+//! Tracing must be an observer, not a participant: running the
+//! simulator with a live `xmodel-obs` sink attached has to produce
+//! byte-identical statistics to an untraced run with the same
+//! configuration. The instrumentation only *reads* simulator state
+//! (MSHR occupancy, DRAM backlog, hit rate) at sampling boundaries —
+//! this test is the regression gate for that invariant.
+//!
+//! The obs sink is process-global, so all scenarios live in one `#[test]`
+//! to keep install/finish ordering deterministic.
+
+use xmodel_obs::MemSink;
+use xmodel_sim::{simulate, CacheConfig, SimConfig, SimStats, SimWorkload};
+use xmodel_workloads::TraceSpec;
+
+fn config() -> SimConfig {
+    let mut cfg = SimConfig::builder().lanes(6.0).dram(540, 13.7).build();
+    cfg.l1 = Some(CacheConfig {
+        capacity_bytes: 16 * 1024,
+        line_bytes: 128,
+        ways: 8,
+        hit_latency: 28,
+        mshrs: 32,
+    });
+    cfg
+}
+
+fn workload() -> SimWorkload {
+    SimWorkload {
+        trace: TraceSpec::PrivateWorkingSet {
+            ws_lines: 32,
+            stream_prob: 0.1,
+            reuse_skew: 1.0,
+        },
+        ops_per_request: 10.0,
+        ilp: 2.0,
+        warps: 32,
+    }
+}
+
+fn run() -> SimStats {
+    simulate(&config(), &workload(), 2_000, 12_000)
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    // Baseline: tracing disabled (the default state).
+    assert!(!xmodel_obs::enabled());
+    let untraced = run();
+
+    // Same config under a live in-memory sink.
+    let sink = MemSink::new();
+    xmodel_obs::install(Box::new(sink.clone()));
+    let traced = run();
+    xmodel_obs::finish(None);
+
+    // The trace must have been live (snapshots actually emitted) ...
+    let lines = sink.lines();
+    let snapshots = lines
+        .iter()
+        .filter(|l| l.contains("\"kind\":\"sim.snapshot\""))
+        .count();
+    assert!(snapshots > 0, "traced run emitted no snapshots");
+
+    // ... and invisible to the simulation.
+    assert_eq!(untraced, traced, "tracing changed the simulation");
+
+    // A third run after the sink is torn down still agrees.
+    assert!(!xmodel_obs::enabled());
+    assert_eq!(untraced, run(), "state leaked across a traced run");
+}

@@ -84,13 +84,13 @@ impl AsciiChart {
             out.extend(row.iter());
             out.push('\n');
         }
+        let left = Axis::fmt(x0);
+        let right = format!("{:>w$}", Axis::fmt(x1), w = self.width - left.len());
         out.push_str(&format!(
-            "{:>9} +{}\n{:>9}  {}{}\n",
+            "{:>9} +{}\n{:>9}  {left}{right}\n",
             "",
             "-".repeat(self.width),
-            "",
-            Axis::fmt(x0),
-            format!("{:>w$}", Axis::fmt(x1), w = self.width - Axis::fmt(x0).len())
+            ""
         ));
         out
     }
@@ -103,7 +103,11 @@ mod tests {
     #[test]
     fn renders_series_glyphs() {
         let mut c = AsciiChart::new("f(k)", 40, 10);
-        c.add(&(0..40).map(|i| (i as f64, (i as f64) * 0.5)).collect::<Vec<_>>());
+        c.add(
+            &(0..40)
+                .map(|i| (i as f64, (i as f64) * 0.5))
+                .collect::<Vec<_>>(),
+        );
         c.add(&[(0.0, 20.0), (39.0, 0.0)]);
         let s = c.render();
         assert!(s.starts_with("f(k)\n"));

@@ -19,7 +19,10 @@ impl Axis {
     /// Build an axis covering `[lo, hi]` with about `n_ticks` ticks at
     /// nice (1/2/5 × 10^k) intervals.
     pub fn nice(label: impl Into<String>, lo: f64, hi: f64, n_ticks: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "axis bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "axis bounds must be finite"
+        );
         let (lo, hi) = if (hi - lo).abs() < f64::EPSILON {
             (lo - 0.5, hi + 0.5)
         } else if hi < lo {
@@ -49,14 +52,15 @@ impl Axis {
     /// Build a logarithmic axis covering `[lo, hi]` (both must be
     /// positive) with decade ticks.
     pub fn nice_log(label: impl Into<String>, lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "axis bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "axis bounds must be finite"
+        );
         let lo = lo.max(1e-12);
         let hi = hi.max(lo * 10.0);
         let dmin = lo.log10().floor();
         let dmax = hi.log10().ceil();
-        let ticks = (dmin as i32..=dmax as i32)
-            .map(|d| 10f64.powi(d))
-            .collect();
+        let ticks = (dmin as i32..=dmax as i32).map(|d| 10f64.powi(d)).collect();
         Self {
             label: label.into(),
             min: 10f64.powf(dmin),
@@ -82,7 +86,7 @@ impl Axis {
             return "0".to_string();
         }
         let a = v.abs();
-        if a >= 1e6 || a < 1e-3 {
+        if !(1e-3..1e6).contains(&a) {
             format!("{v:.1e}")
         } else if a >= 100.0 || (v.fract() == 0.0 && a >= 1.0) {
             format!("{v:.0}")

@@ -112,7 +112,11 @@ pub struct Chart {
 
 impl Chart {
     /// New empty chart.
-    pub fn new(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -180,7 +184,12 @@ impl Chart {
     /// Render to an SVG document of the given size.
     pub fn render(&self, width: f64, height: f64) -> SvgDoc {
         let mut doc = SvgDoc::new(width, height);
-        let (ml, mr, mt, mb) = (56.0, if self.y2_label.is_empty() { 18.0 } else { 56.0 }, 30.0, 46.0);
+        let (ml, mr, mt, mb) = (
+            56.0,
+            if self.y2_label.is_empty() { 18.0 } else { 56.0 },
+            30.0,
+            46.0,
+        );
         let (pw, ph) = (width - ml - mr, height - mt - mb);
 
         let left_b = self.bounds(false);
@@ -252,7 +261,14 @@ impl Chart {
                 90.0,
             );
         }
-        doc.text(width / 2.0, height - 8.0, &self.x_label, 11.0, "middle", 0.0);
+        doc.text(
+            width / 2.0,
+            height - 8.0,
+            &self.x_label,
+            11.0,
+            "middle",
+            0.0,
+        );
         doc.text(14.0, mt + ph / 2.0, &self.y_label, 11.0, "middle", -90.0);
         doc.text(width / 2.0, 16.0, &self.title, 13.0, "middle", 0.0);
 
@@ -329,10 +345,12 @@ mod tests {
 
     fn sample_chart() -> Chart {
         Chart::new("X-graph", "Threads", "MS Throughput")
-            .with(Series::line("f(k)", vec![(0.0, 0.0), (8.0, 0.3), (20.0, 0.1)], 0))
-            .with(
-                Series::line("g(x)", vec![(0.0, 0.15), (17.0, 0.15), (20.0, 0.0)], 1).dashed(),
-            )
+            .with(Series::line(
+                "f(k)",
+                vec![(0.0, 0.0), (8.0, 0.3), (20.0, 0.1)],
+                0,
+            ))
+            .with(Series::line("g(x)", vec![(0.0, 0.15), (17.0, 0.15), (20.0, 0.0)], 1).dashed())
             .with_marker(Marker {
                 label: "σ'".into(),
                 x: 8.0,

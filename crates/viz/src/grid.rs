@@ -67,8 +67,11 @@ mod tests {
     use crate::chart::Series;
 
     fn chart(i: usize) -> Chart {
-        Chart::new(format!("panel {i}"), "x", "y")
-            .with(Series::line("s", vec![(0.0, 0.0), (1.0, i as f64)], i))
+        Chart::new(format!("panel {i}"), "x", "y").with(Series::line(
+            "s",
+            vec![(0.0, 0.0), (1.0, i as f64)],
+            i,
+        ))
     }
 
     #[test]

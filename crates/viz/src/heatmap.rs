@@ -64,7 +64,12 @@ impl Heatmap {
 
     /// `(min, max)` of the finite values (`(0, 1)` when none are finite).
     pub fn range(&self) -> (f64, f64) {
-        let finite: Vec<f64> = self.values.iter().copied().filter(|v| v.is_finite()).collect();
+        let finite: Vec<f64> = self
+            .values
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .collect();
         if finite.is_empty() {
             return (0.0, 1.0);
         }
@@ -115,7 +120,14 @@ impl Heatmap {
         doc.rect(ml, mt, pw, ph, "none", Some("#666"));
 
         // Axis labels at the corners of the grid.
-        doc.text(ml, mt + ph + 16.0, &Axis::fmt(self.xs[0]), 10.0, "start", 0.0);
+        doc.text(
+            ml,
+            mt + ph + 16.0,
+            &Axis::fmt(self.xs[0]),
+            10.0,
+            "start",
+            0.0,
+        );
         doc.text(
             ml + pw,
             mt + ph + 16.0,
@@ -133,7 +145,14 @@ impl Heatmap {
             "end",
             0.0,
         );
-        doc.text(width / 2.0, height - 8.0, &self.x_label, 11.0, "middle", 0.0);
+        doc.text(
+            width / 2.0,
+            height - 8.0,
+            &self.x_label,
+            11.0,
+            "middle",
+            0.0,
+        );
         doc.text(14.0, mt + ph / 2.0, &self.y_label, 11.0, "middle", -90.0);
         doc.text(width / 2.0, 16.0, &self.title, 13.0, "middle", 0.0);
 

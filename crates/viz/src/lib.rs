@@ -10,7 +10,9 @@
 //! * [`chart`] — line/scatter/bar charts with dual y-axes, markers and
 //!   legends (every figure of the paper is one of these);
 //! * [`grid`] — multi-panel composition (Figs. 10 and 11 are grids);
-//! * [`ascii`] — terminal rendering for quick looks from the CLI.
+//! * [`ascii`] — terminal rendering for quick looks from the CLI;
+//! * [`timeline`] — k(t)/x(t) trajectories reconstructed from
+//!   `xmodel-obs` trace files.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,10 +23,12 @@ pub mod chart;
 pub mod grid;
 pub mod heatmap;
 pub mod svg;
+pub mod timeline;
 
 pub use chart::{Chart, Marker, Series, SeriesKind};
 pub use grid::PanelGrid;
 pub use heatmap::Heatmap;
+pub use timeline::Timeline;
 
 /// Categorical palette used across every figure (color-blind friendly).
 pub const PALETTE: [&str; 8] = [
@@ -37,5 +41,6 @@ pub mod prelude {
     pub use crate::chart::{Chart, Marker, Series, SeriesKind};
     pub use crate::grid::PanelGrid;
     pub use crate::heatmap::Heatmap;
+    pub use crate::timeline::Timeline;
     pub use crate::PALETTE;
 }

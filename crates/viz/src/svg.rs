@@ -46,7 +46,17 @@ impl SvgDoc {
     }
 
     /// Add a line segment.
-    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64, dash: Option<&str>) {
+    #[allow(clippy::too_many_arguments)]
+    pub fn line(
+        &mut self,
+        x1: f64,
+        y1: f64,
+        x2: f64,
+        y2: f64,
+        stroke: &str,
+        width: f64,
+        dash: Option<&str>,
+    ) {
         let dash = dash
             .map(|d| format!(" stroke-dasharray=\"{d}\""))
             .unwrap_or_default();

@@ -1,0 +1,156 @@
+//! k(t) timeline reconstructed from `sim.snapshot` trace events.
+//!
+//! The simulator emits one `sim.snapshot` event per sampling interval
+//! while tracing is enabled (`xmodel sim --trace out.jsonl`). This
+//! module parses a JSONL trace back into time series — warps in the
+//! memory phase `k(t)`, compute phase `x(t)`, MSHR occupancy and L1 hit
+//! rate — and renders them as an ASCII chart or an SVG figure. It is the
+//! dynamic companion to the static X-graph: where the X-graph shows the
+//! fixed points of Eq. (1), the timeline shows the trajectory the
+//! simulated SM actually follows between them.
+
+use crate::chart::{Chart, Series};
+use crate::prelude::AsciiChart;
+use xmodel_obs::json::{parse, JsonValue};
+
+/// Time series extracted from one trace file.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// `(cycle, k)` — warps waiting on memory.
+    pub k: Vec<(f64, f64)>,
+    /// `(cycle, x)` — warps in the compute phase.
+    pub x: Vec<(f64, f64)>,
+    /// `(cycle, mshrs_busy)` — occupied miss-status registers.
+    pub mshrs: Vec<(f64, f64)>,
+    /// `(cycle, hit_rate)` — cumulative L1 hit rate.
+    pub hit_rate: Vec<(f64, f64)>,
+    /// Snapshot lines seen (`k.len()` unless some were malformed).
+    pub snapshots: usize,
+}
+
+impl Timeline {
+    /// Build a timeline from trace lines, keeping only `sim.snapshot`
+    /// events. Malformed lines and other event kinds are skipped.
+    pub fn from_lines<'a>(lines: impl Iterator<Item = &'a str>) -> Timeline {
+        let mut tl = Timeline::default();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Ok(v) = parse(line) else { continue };
+            if v.get("kind").and_then(JsonValue::as_str) != Some("sim.snapshot") {
+                continue;
+            }
+            let Some(cycle) = v.get("cycle").and_then(JsonValue::as_f64) else {
+                continue;
+            };
+            tl.snapshots += 1;
+            let push = |dst: &mut Vec<(f64, f64)>, key: &str| {
+                if let Some(y) = v.get(key).and_then(JsonValue::as_f64) {
+                    dst.push((cycle, y));
+                }
+            };
+            push(&mut tl.k, "k");
+            push(&mut tl.x, "x");
+            push(&mut tl.mshrs, "mshrs_busy");
+            push(&mut tl.hit_rate, "hit_rate");
+        }
+        tl
+    }
+
+    /// Read a JSONL trace file and build the timeline.
+    pub fn from_path(path: &std::path::Path) -> std::io::Result<Timeline> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Timeline::from_lines(text.lines()))
+    }
+
+    /// True when the trace held no snapshot events.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots == 0
+    }
+
+    /// Terminal rendering: `k(t)` (`*`) and `x(t)` (`o`) on one grid.
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        if self.is_empty() {
+            return "timeline: no sim.snapshot events in trace\n".to_string();
+        }
+        let mut c = AsciiChart::new(
+            format!("k(t) [*] and x(t) [o], {} snapshots", self.snapshots),
+            width,
+            height,
+        );
+        c.add(&self.k);
+        c.add(&self.x);
+        c.render()
+    }
+
+    /// SVG rendering of the full timeline (k, x, MSHRs; hit rate on the
+    /// right axis when present).
+    pub fn to_chart(&self) -> Chart {
+        let mut chart = Chart::new("Simulated SM trajectory", "cycle", "warps")
+            .with(Series::line("k (memory)", self.k.clone(), 0))
+            .with(Series::line("x (compute)", self.x.clone(), 1));
+        if self.mshrs.iter().any(|&(_, y)| y > 0.0) {
+            chart = chart.with(Series::line("MSHRs busy", self.mshrs.clone(), 2).dashed());
+        }
+        if self.hit_rate.iter().any(|&(_, y)| y > 0.0) {
+            chart = chart
+                .right_axis("L1 hit rate")
+                .with(Series::line("hit rate", self.hit_rate.clone(), 3).on_right_axis());
+        }
+        chart
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(cycle: u64, k: u64, x: u64) -> String {
+        format!(
+            "{{\"kind\":\"sim.snapshot\",\"t_us\":1,\"cycle\":{cycle},\"k\":{k},\"x\":{x},\
+             \"mshrs_busy\":2,\"dram_inflight\":1,\"dram_backlog\":0,\"hit_rate\":0.5}}"
+        )
+    }
+
+    #[test]
+    fn extracts_snapshot_series() {
+        let lines = [
+            snapshot(256, 10, 22),
+            "{\"kind\":\"solver.result\",\"t_us\":3,\"n\":32}".to_string(),
+            snapshot(512, 12, 20),
+            "not json at all".to_string(),
+        ];
+        let tl = Timeline::from_lines(lines.iter().map(String::as_str));
+        assert_eq!(tl.snapshots, 2);
+        assert_eq!(tl.k, vec![(256.0, 10.0), (512.0, 12.0)]);
+        assert_eq!(tl.x, vec![(256.0, 22.0), (512.0, 20.0)]);
+        assert_eq!(tl.mshrs.len(), 2);
+        assert_eq!(tl.hit_rate, vec![(256.0, 0.5), (512.0, 0.5)]);
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let tl = Timeline::from_lines([].into_iter());
+        assert!(tl.is_empty());
+        assert!(tl.render_ascii(40, 8).contains("no sim.snapshot"));
+    }
+
+    #[test]
+    fn ascii_render_has_both_series() {
+        let lines: Vec<String> = (1..=32).map(|i| snapshot(i * 256, i, 32 - i)).collect();
+        let tl = Timeline::from_lines(lines.iter().map(String::as_str));
+        let s = tl.render_ascii(60, 12);
+        assert!(s.contains('*') && s.contains('o'));
+    }
+
+    #[test]
+    fn svg_chart_includes_hit_rate_axis() {
+        let lines: Vec<String> = (1..=8).map(|i| snapshot(i * 256, i, 8 - i)).collect();
+        let tl = Timeline::from_lines(lines.iter().map(String::as_str));
+        let svg = tl.to_chart().to_svg(640.0, 400.0);
+        assert!(svg.contains("hit rate"));
+        assert!(svg.contains("k (memory)"));
+    }
+}

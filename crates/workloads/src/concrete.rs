@@ -106,7 +106,11 @@ impl Recorder {
     }
 
     fn finish(self) -> Arc<Vec<u64>> {
-        Arc::new(if self.seq.is_empty() { vec![0] } else { self.seq })
+        Arc::new(if self.seq.is_empty() {
+            vec![0]
+        } else {
+            self.seq
+        })
     }
 }
 

@@ -226,7 +226,12 @@ pub fn fit_jacob_multi(samples: &[(f64, f64, f64)]) -> JacobFit {
     let (mut a, mut b, mut e) = best;
     for _ in 0..40 {
         let mut improved = false;
-        for (da, db) in [(1.03, 1.0), (1.0 / 1.03, 1.0), (1.0, 1.05), (1.0, 1.0 / 1.05)] {
+        for (da, db) in [
+            (1.03, 1.0),
+            (1.0 / 1.03, 1.0),
+            (1.0, 1.05),
+            (1.0, 1.0 / 1.05),
+        ] {
             let (na, nb) = ((a * da).max(1.001), b * db);
             let ne = sse(na, nb);
             if ne < e {

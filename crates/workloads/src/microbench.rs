@@ -71,11 +71,7 @@ mod tests {
     fn peak_kernel_hits_target_ilp() {
         for &e in &[1.0, 1.25, 1.5, 1.75, 2.0] {
             let a = peak_ops_kernel(e).analyze();
-            assert!(
-                (a.ilp - e).abs() < 0.05,
-                "target {e}, extracted {}",
-                a.ilp
-            );
+            assert!((a.ilp - e).abs() < 0.05, "target {e}, extracted {}", a.ilp);
         }
     }
 

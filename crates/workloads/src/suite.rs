@@ -563,9 +563,7 @@ mod tests {
         // occupancy on Kepler.
         let full: Vec<_> = Workload::suite()
             .into_iter()
-            .filter(|w| {
-                Occupancy::compute(&w.kernel, &ArchLimits::kepler()).warps == 64
-            })
+            .filter(|w| Occupancy::compute(&w.kernel, &ArchLimits::kepler()).warps == 64)
             .map(|w| w.name)
             .collect();
         assert!(full.len() >= 8, "only {full:?} reach full occupancy");
@@ -600,16 +598,16 @@ mod tests {
     #[test]
     fn gather_workloads_use_gather_traces() {
         for id in [WorkloadId::Bfs, WorkloadId::Spmv, WorkloadId::Hpccg] {
-            assert!(matches!(
-                Workload::get(id).trace,
-                TraceSpec::Gather { .. }
-            ));
+            assert!(matches!(Workload::get(id).trace, TraceSpec::Gather { .. }));
         }
     }
 
     #[test]
     fn by_name_lookup() {
-        assert_eq!(Workload::by_name("gesummv").unwrap().id, WorkloadId::Gesummv);
+        assert_eq!(
+            Workload::by_name("gesummv").unwrap().id,
+            WorkloadId::Gesummv
+        );
         assert_eq!(Workload::by_name("LUD").unwrap().id, WorkloadId::Lud);
         assert!(Workload::by_name("doom").is_none());
     }

@@ -75,7 +75,9 @@ impl TraceSpec {
     /// Build the generator for one warp of `n_warps`, deterministically
     /// seeded by `(seed, warp_id)`.
     pub fn instantiate(&self, warp_id: u32, seed: u64) -> Box<dyn AddressStream> {
-        let rng = SmallRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(warp_id as u64 + 1)));
+        let rng = SmallRng::seed_from_u64(
+            seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(warp_id as u64 + 1)),
+        );
         match *self {
             TraceSpec::Stream { region_lines } => Box::new(StreamGen {
                 base: warp_region_base(warp_id, region_lines),
@@ -362,11 +364,7 @@ mod tests {
                 5000,
             );
             // Fraction of accesses landing in the first 1% of the footprint.
-            addrs
-                .iter()
-                .filter(|&&a| a < 100 * LINE_BYTES)
-                .count() as f64
-                / 5000.0
+            addrs.iter().filter(|&&a| a < 100 * LINE_BYTES).count() as f64 / 5000.0
         };
         assert!(hot_hits(2.0) > 3.0 * hot_hits(0.0));
     }

@@ -46,7 +46,11 @@ pub fn xgraph_chart(graph: &XGraph, units: Option<&UnitContext>) -> Chart {
         let label = match p.stability {
             Stability::Stable | Stability::Marginal => {
                 stable_seen += 1;
-                if stable_seen == 1 { "σ'" } else { "σ''" }
+                if stable_seen == 1 {
+                    "σ'"
+                } else {
+                    "σ''"
+                }
             }
             Stability::Unstable => "σ",
         };

@@ -75,8 +75,8 @@ fn main() {
                         })
                         .collect()
                 };
-                chart = chart
-                    .with(Series::line(format!("g(x) E={e}"), gx, e as usize).on_right_axis());
+                chart =
+                    chart.with(Series::line(format!("g(x) E={e}"), gx, e as usize).on_right_axis());
             }
             grid = grid.with(chart);
         }

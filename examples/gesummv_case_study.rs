@@ -45,7 +45,9 @@ fn main() {
 
     // --- Fig. 13: enlarge L1 to 48 KiB --------------------------------
     let eff48 = what_if
-        .evaluate(Optimization::EnlargeCache { s_cache: 48.0 * 1024.0 })
+        .evaluate(Optimization::EnlargeCache {
+            s_cache: 48.0 * 1024.0,
+        })
         .unwrap();
     println!(
         "\n48 KiB L1 (model): MS speedup {:.2}x — the model says a higher",
@@ -57,10 +59,28 @@ fn main() {
     println!("\n== model-guided optimizations (usage 2: derive options) ==");
     let n_star = what_if.optimal_throttle().unwrap_or(model16.workload.n);
     let candidates = [
-        ("thread throttling (--n)", Optimization::ThreadThrottle { n: n_star }),
-        ("cache bypassing  (++R)", Optimization::CacheBypass { r: model16.machine.r * 3.0 }),
-        ("algorithmic      (++Z)", Optimization::IncreaseIntensity { z: model16.workload.z * 2.0 }),
-        ("reduce ILP       (--E)", Optimization::ReduceIlp { e: model16.workload.e * 0.5 }),
+        (
+            "thread throttling (--n)",
+            Optimization::ThreadThrottle { n: n_star },
+        ),
+        (
+            "cache bypassing  (++R)",
+            Optimization::CacheBypass {
+                r: model16.machine.r * 3.0,
+            },
+        ),
+        (
+            "algorithmic      (++Z)",
+            Optimization::IncreaseIntensity {
+                z: model16.workload.z * 2.0,
+            },
+        ),
+        (
+            "reduce ILP       (--E)",
+            Optimization::ReduceIlp {
+                e: model16.workload.e * 0.5,
+            },
+        ),
     ];
     for (name, opt) in candidates {
         let eff = what_if.evaluate(opt).unwrap();

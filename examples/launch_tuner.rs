@@ -16,7 +16,10 @@ use xmodel::prelude::*;
 use xmodel::profile::fitting;
 
 fn tune(gpu: &GpuSpec, workload: &Workload, l1_kib: u64) {
-    println!("==== {} on {} ({} KiB L1) ====", workload.name, gpu.name, l1_kib);
+    println!(
+        "==== {} on {} ({} KiB L1) ====",
+        workload.name, gpu.name, l1_kib
+    );
 
     // 1. Launch configuration.
     let limits = fitting::arch_limits(gpu, l1_kib * 1024);
@@ -64,7 +67,13 @@ fn tune(gpu: &GpuSpec, workload: &Workload, l1_kib: u64) {
             ),
         ];
         if let Some(n_star) = what_if.optimal_throttle() {
-            menu.insert(0, (format!("throttle to {n_star:.0} warps"), Optimization::ThreadThrottle { n: n_star }));
+            menu.insert(
+                0,
+                (
+                    format!("throttle to {n_star:.0} warps"),
+                    Optimization::ThreadThrottle { n: n_star },
+                ),
+            );
         }
         for (name, opt) in menu {
             if let Some(eff) = what_if.evaluate(opt) {
@@ -82,7 +91,11 @@ fn tune(gpu: &GpuSpec, workload: &Workload, l1_kib: u64) {
 
 fn main() {
     // The §VI case study, plus a healthy kernel for contrast.
-    tune(&GpuSpec::fermi_gtx570(), &Workload::get(WorkloadId::Gesummv), 16);
+    tune(
+        &GpuSpec::fermi_gtx570(),
+        &Workload::get(WorkloadId::Gesummv),
+        16,
+    );
     tune(&GpuSpec::kepler_k40(), &Workload::get(WorkloadId::Nn), 0);
     tune(&GpuSpec::kepler_k40(), &Workload::get(WorkloadId::Lud), 0);
 }

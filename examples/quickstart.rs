@@ -56,10 +56,17 @@ fn main() {
         p.workload_mlp.unwrap_or(0.0),
         p.machine_dlp,
         p.workload_dlp,
-        if p.is_memory_bound() { "memory bound" } else { "computation bound" }
+        if p.is_memory_bound() {
+            "memory bound"
+        } else {
+            "computation bound"
+        }
     );
     let b = model.balance();
-    println!("bound analysis: {:?} (machine TLP = {:.1})", b.bound, b.balance_threads);
+    println!(
+        "bound analysis: {:?} (machine TLP = {:.1})",
+        b.bound, b.balance_threads
+    );
 
     // 5. Draw the X-graph: terminal first, SVG beside it.
     let graph = XGraph::build(&model, 512);

@@ -9,7 +9,10 @@ use xmodel::prelude::*;
 
 fn main() {
     let gpu = GpuSpec::kepler_k40();
-    println!("Validating the X-model on {} ({} workloads)\n", gpu.name, 12);
+    println!(
+        "Validating the X-model on {} ({} workloads)\n",
+        gpu.name, 12
+    );
     let report = validate_suite(&gpu);
 
     println!(
@@ -33,7 +36,11 @@ fn main() {
         report.mean_accuracy() * 100.0
     );
     if let Some(w) = report.worst() {
-        println!("hardest to predict: {} ({:.1}%)", w.name, w.accuracy() * 100.0);
+        println!(
+            "hardest to predict: {} ({:.1}%)",
+            w.name,
+            w.accuracy() * 100.0
+        );
     }
     println!("\n(PCT/RCT in warp-ops per cycle per SM; the paper's GF/s figures");
     println!("differ by the constant 32 lanes x 2 flops x clock factor.)");

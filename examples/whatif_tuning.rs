@@ -48,17 +48,35 @@ fn main() {
 
     println!("\n== one knob at a time (MS-throughput speedup) ==");
     let knobs: Vec<(&str, TuningOp)> = vec![
-        ("R x2   (Fig 4-A)", TuningOp::Machine(Knob::MemBandwidth(0.04))),
-        ("L /2   (Fig 4-B)", TuningOp::Machine(Knob::MemLatency(300.0))),
+        (
+            "R x2   (Fig 4-A)",
+            TuningOp::Machine(Knob::MemBandwidth(0.04)),
+        ),
+        (
+            "L /2   (Fig 4-B)",
+            TuningOp::Machine(Knob::MemLatency(300.0)),
+        ),
         ("M x2   (Fig 4-C)", TuningOp::Machine(Knob::Lanes(12.0))),
-        ("Z x2   (Fig 4-D)", TuningOp::Machine(Knob::Intensity(132.0))),
+        (
+            "Z x2   (Fig 4-D)",
+            TuningOp::Machine(Knob::Intensity(132.0)),
+        ),
         ("E x2   (Fig 4-E)", TuningOp::Machine(Knob::Ilp(0.5))),
         ("n /2   (Fig 4-F)", TuningOp::Machine(Knob::Threads(30.0))),
-        ("S$ x3  (Fig 8-B)", TuningOp::Cache(CacheKnob::Capacity(48.0 * 1024.0))),
-        ("L$ /3  (Fig 8-C)", TuningOp::Cache(CacheKnob::Latency(10.0))),
+        (
+            "S$ x3  (Fig 8-B)",
+            TuningOp::Cache(CacheKnob::Capacity(48.0 * 1024.0)),
+        ),
+        (
+            "L$ /3  (Fig 8-C)",
+            TuningOp::Cache(CacheKnob::Latency(10.0)),
+        ),
         (
             "locality+ (Fig 8-A)",
-            TuningOp::Cache(CacheKnob::Locality { alpha: 6.5, beta: 2048.0 }),
+            TuningOp::Cache(CacheKnob::Locality {
+                alpha: 6.5,
+                beta: 2048.0,
+            }),
         ),
     ];
     for (name, op) in knobs {
@@ -74,7 +92,10 @@ fn main() {
     }
 
     println!("\n== severe degradation as n grows (Fig 9-C) ==");
-    println!("{:>4} {:>10} {:>10} {:>10}", "n", "best MS", "worst MS", "drop%");
+    println!(
+        "{:>4} {:>10} {:>10} {:>10}",
+        "n", "best MS", "worst MS", "drop%"
+    );
     for n in [20.0, 30.0, 40.0, 50.0, 60.0, 80.0, 120.0] {
         let eq = TuningOp::Machine(Knob::Threads(n)).apply(&model).solve();
         let best = eq.operating_point().map(|p| p.ms_throughput).unwrap_or(0.0);
@@ -84,9 +105,15 @@ fn main() {
             n,
             best,
             worst,
-            if best > 0.0 { (best - worst) / best * 100.0 } else { 0.0 }
+            if best > 0.0 {
+                (best - worst) / best * 100.0
+            } else {
+                0.0
+            }
         );
     }
-    println!("\nThe maximum possible drop is M/Z - R = {:.4} req/cyc (paper §III-D2).",
-        model.machine.m / model.workload.z - model.machine.r);
+    println!(
+        "\nThe maximum possible drop is M/Z - R = {:.4} req/cyc (paper §III-D2).",
+        model.machine.m / model.workload.z - model.machine.r
+    );
 }

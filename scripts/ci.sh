@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, build, the full test suite, and a
+# smoke test of the tracing pipeline. Everything runs without network
+# access — dependencies resolve to the vendored `compat/` crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --check
+
+echo "=== cargo clippy (warnings are errors) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== cargo build --release ==="
+cargo build --release
+
+echo "=== cargo test ==="
+cargo test -q
+
+echo "=== trace smoke test ==="
+trace="$(mktemp -t xmodel-trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace"' EXIT
+./target/release/xmodel sim --workload gesummv --gpu fermi --l1 16 \
+  --trace "$trace" > /dev/null
+grep -q '"kind":"sim.snapshot"' "$trace"
+grep -q '"kind":"run_manifest"' "$trace"
+./target/release/xmodel trace-report "$trace" > /dev/null
+
+echo "CI green."

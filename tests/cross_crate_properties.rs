@@ -9,8 +9,7 @@ fn machine_strategy() -> impl Strategy<Value = MachineParams> {
 }
 
 fn workload_strategy() -> impl Strategy<Value = WorkloadParams> {
-    (2.0f64..200.0, 0.25f64..2.0, 1.0f64..128.0)
-        .prop_map(|(z, e, n)| WorkloadParams::new(z, e, n))
+    (2.0f64..200.0, 0.25f64..2.0, 1.0f64..128.0).prop_map(|(z, e, n)| WorkloadParams::new(z, e, n))
 }
 
 fn cache_strategy() -> impl Strategy<Value = CacheParams> {

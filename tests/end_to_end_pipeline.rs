@@ -47,8 +47,8 @@ fn kernel_text_to_xgraph_svg() {
 
     // ...and renders the X-graph.
     let graph = XGraph::build(&model, 256);
-    let svg = render::xgraph_chart(&graph, Some(&gpu.units(Precision::Single)))
-        .to_svg(560.0, 360.0);
+    let svg =
+        render::xgraph_chart(&graph, Some(&gpu.units(Precision::Single))).to_svg(560.0, 360.0);
     assert!(svg.contains("f(k)") && svg.contains("GB/s"));
     let ascii = render::xgraph_ascii(&graph, 64, 12);
     assert!(ascii.contains('*'));
@@ -88,7 +88,11 @@ fn assembled_models_produce_actionable_analyses() {
         assert!(eq.operating_point().is_some(), "{}", w.name);
         // The balance report is coherent.
         let b = model.balance();
-        assert!(b.cs_utilization >= 0.0 && b.cs_utilization <= 1.0 + 1e-9, "{}", w.name);
+        assert!(
+            b.cs_utilization >= 0.0 && b.cs_utilization <= 1.0 + 1e-9,
+            "{}",
+            w.name
+        );
     }
 }
 
@@ -122,8 +126,8 @@ fn valley_model_and_xmodel_share_the_cache_peak_story() {
     // Bandwidth-poor machine so the cache peak clears the plateau in the
     // X-model's significance test.
     let machine = MachineParams::new(6.0, 0.05, 600.0);
-    let xfeat = XModel::with_cache(machine, WorkloadParams::new(8.0, 1.0, 64.0), cache)
-        .ms_features(64.0);
+    let xfeat =
+        XModel::with_cache(machine, WorkloadParams::new(8.0, 1.0, 64.0), cache).ms_features(64.0);
     let xpeak = xfeat.peak.expect("x-model peak").k;
 
     let valley = ValleyModel {

@@ -111,8 +111,8 @@ fn fig10_dual_axis_architectural_chart_renders() {
         WorkloadParams::new(12.0, 1.0, 64.0),
     );
     let graph = XGraph::build(&model, 128);
-    let svg = render::xgraph_chart(&graph, Some(&gpu.units(Precision::Single)))
-        .to_svg(480.0, 320.0);
+    let svg =
+        render::xgraph_chart(&graph, Some(&gpu.units(Precision::Single))).to_svg(480.0, 320.0);
     assert!(svg.contains("GB/s") && svg.contains("GF/s"));
 }
 
@@ -129,9 +129,13 @@ fn fig12_17_case_study_whatifs() {
     let w = WhatIf::new(fermi_case_study_model());
     assert!(w.is_thrashing());
     let n_star = w.optimal_throttle().unwrap();
-    let throttle = w.evaluate(Optimization::ThreadThrottle { n: n_star }).unwrap();
+    let throttle = w
+        .evaluate(Optimization::ThreadThrottle { n: n_star })
+        .unwrap();
     let bypass = w.evaluate(Optimization::CacheBypass { r: 0.08 }).unwrap();
-    let intensity = w.evaluate(Optimization::IncreaseIntensity { z: 80.0 }).unwrap();
+    let intensity = w
+        .evaluate(Optimization::IncreaseIntensity { z: 80.0 })
+        .unwrap();
     let ilp = w.evaluate(Optimization::ReduceIlp { e: 0.5 }).unwrap();
     assert!(throttle.ms_speedup() > 1.0);
     assert!(bypass.ms_speedup() > 1.0);
@@ -144,7 +148,14 @@ fn fig18_bar_chart_renders() {
     use xmodel_viz::chart::{Chart, Series};
     let bars = Series::bars(
         "speedup",
-        vec![(1.0, 1.0), (2.0, 1.08), (3.0, 1.22), (4.0, 1.07), (5.0, 1.26), (6.0, 1.36)],
+        vec![
+            (1.0, 1.0),
+            (2.0, 1.08),
+            (3.0, 1.22),
+            (4.0, 1.07),
+            (5.0, 1.26),
+            (6.0, 1.36),
+        ],
         0,
     );
     let svg = Chart::new("gesummv optimizations", "config", "speedup")

@@ -8,7 +8,10 @@ use xmodel_workloads::TraceSpec;
 
 /// Build matching (model, sim-config, sim-workload) triples.
 fn triple(z: f64, e: f64, n: u32, r: f64, l: f64, m: f64) -> (XModel, SimConfig, SimWorkload) {
-    let model = XModel::new(MachineParams::new(m, r, l), WorkloadParams::new(z, e, n as f64));
+    let model = XModel::new(
+        MachineParams::new(m, r, l),
+        WorkloadParams::new(z, e, n as f64),
+    );
     let cfg = SimConfig::builder()
         .lanes(m)
         .issue_width(8)
@@ -56,7 +59,10 @@ fn compute_bound_regime_agrees() {
         predicted.cs_throughput,
         measured.cs_throughput()
     );
-    assert!(measured.cs_throughput() > 5.5, "CS should saturate near M = 6");
+    assert!(
+        measured.cs_throughput() > 5.5,
+        "CS should saturate near M = 6"
+    );
 }
 
 #[test]
@@ -97,7 +103,10 @@ fn ilp_raises_throughput_in_both_when_thread_bound() {
         / lo.0.solve().operating_point().unwrap().cs_throughput;
     let sim_gain = xmodel_sim::simulate(&hi.1, &hi.2, 10_000, 40_000).cs_throughput()
         / xmodel_sim::simulate(&lo.1, &lo.2, 10_000, 40_000).cs_throughput();
-    assert!(model_gain > 1.02 && sim_gain > 1.02, "model {model_gain}, sim {sim_gain}");
+    assert!(
+        model_gain > 1.02 && sim_gain > 1.02,
+        "model {model_gain}, sim {sim_gain}"
+    );
     assert!(
         (model_gain - sim_gain).abs() < 0.25,
         "gains diverge: model {model_gain} vs sim {sim_gain}"
@@ -143,7 +152,11 @@ fn cache_peak_appears_in_both_model_and_simulator() {
     }
     // The simulator's best n is interior (a peak), and the tail declines.
     assert!(best.0 >= 4 && best.0 <= 24, "sim peak at n = {}", best.0);
-    assert!(last < 0.9 * best.1, "tail {last} should fall below peak {}", best.1);
+    assert!(
+        last < 0.9 * best.1,
+        "tail {last} should fall below peak {}",
+        best.1
+    );
 }
 
 #[test]
@@ -158,9 +171,7 @@ fn execution_time_extension_matches_simulated_completion() {
         &[Phase::new(model.workload, work as f64)],
     );
     let mut sm = Sm::new(&cfg, &wl, 11);
-    let cycles = sm
-        .run_until_requests(work, 10_000_000)
-        .expect("completes") as f64;
+    let cycles = sm.run_until_requests(work, 10_000_000).expect("completes") as f64;
     assert!(
         relative_error(pred.cycles(), cycles) < 0.15,
         "predicted {} vs simulated {}",
