@@ -12,7 +12,12 @@
 //! Every command accepts a global `--trace FILE` flag (or the
 //! `XMODEL_TRACE` environment variable) that streams structured JSONL
 //! events — solver spans, per-interval simulator snapshots, a final run
-//! manifest — to `FILE`; `xmodel trace-report FILE` summarizes one.
+//! manifest — to `FILE`; `xmodel trace-report FILE` summarizes one and
+//! `xmodel profile FILE` folds it into a call-tree profile with a
+//! flamegraph-compatible folded-stack output. A second global flag,
+//! `--metrics-addr HOST:PORT` (or `XMODEL_METRICS_ADDR`), serves the
+//! live metrics registry as Prometheus text format while a run is in
+//! flight. Flags win over their environment variables.
 
 use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
@@ -30,6 +35,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Err(e) = init_metrics(&mut args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
@@ -46,6 +55,7 @@ fn main() -> ExitCode {
         "whatif" => cmd_whatif(parse_flags(rest)),
         "sim" => cmd_sim(parse_flags(rest)),
         "trace-report" => cmd_trace_report(rest),
+        "profile" => cmd_profile(rest),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -83,6 +93,29 @@ fn init_tracing(args: &mut Vec<String>) -> Result<bool, String> {
     Ok(xmodel_obs::init_from_env().is_some())
 }
 
+/// Strip a global `--metrics-addr HOST:PORT` flag and start the live
+/// Prometheus exporter; fall back to the `XMODEL_METRICS_ADDR`
+/// environment variable (the flag wins when both are present). With
+/// neither, the exporter thread is never spawned. The bound address is
+/// reported on stderr so `--metrics-addr 127.0.0.1:0` is scrapable.
+fn init_metrics(args: &mut Vec<String>) -> Result<(), String> {
+    if let Some(i) = args.iter().position(|a| a == "--metrics-addr") {
+        if i + 1 >= args.len() {
+            return Err("--metrics-addr requires HOST:PORT".to_string());
+        }
+        let addr = args.remove(i + 1);
+        args.remove(i);
+        let server =
+            xmodel_obs::serve_metrics(&addr).map_err(|e| format!("--metrics-addr {addr}: {e}"))?;
+        eprintln!("metrics: serving http://{}/metrics", server.addr());
+        return Ok(());
+    }
+    if let Some(server) = xmodel_obs::init_metrics_from_env() {
+        eprintln!("metrics: serving http://{}/metrics", server.addr());
+    }
+    Ok(())
+}
+
 /// Flags (plus any leading positional argument) of the traced command,
 /// recorded verbatim in the run manifest.
 fn manifest_params(rest: &[String]) -> BTreeMap<String, String> {
@@ -108,10 +141,16 @@ fn usage() {
            validate [--gpu GPU]\n\
            whatif [--gpu GPU] [--workload NAME] [--l1 KIB]\n\
            sim --workload NAME [--gpu GPU] [--warps N] [--l1 KIB] [--ir]\n\
-           trace-report FILE [--timeline] [--svg FILE]\n\
+           trace-report FILE [--timeline] [--svg FILE] [--profile]\n\
+           profile FILE [--folded FILE] [--top N]\n\
          \n\
          global flags:\n\
-           --trace FILE   stream JSONL trace events (also: XMODEL_TRACE env var)\n"
+           --trace FILE          stream JSONL trace events to FILE\n\
+           --metrics-addr H:P    serve live Prometheus metrics on HOST:PORT\n\
+         \n\
+         environment:\n\
+           XMODEL_TRACE          trace file, when --trace is absent\n\
+           XMODEL_METRICS_ADDR   metrics HOST:PORT, when --metrics-addr is absent\n"
     );
 }
 
@@ -135,6 +174,39 @@ fn cmd_trace_report(args: &[String]) -> Result<(), String> {
                 println!("wrote {svg}");
             }
         }
+    }
+    if flags.contains_key("profile") {
+        let profile = xmodel_obs::profile::SpanProfile::from_path(path)
+            .map_err(|e| format!("{file}: {e}"))?;
+        println!("\n{}", profile.render().trim_end());
+    }
+    Ok(())
+}
+
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let file = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("profile: trace file required")?;
+    let flags = parse_flags(&args[1..]);
+    let path = std::path::Path::new(file);
+    let profile =
+        xmodel_obs::profile::SpanProfile::from_path(path).map_err(|e| format!("{file}: {e}"))?;
+    print!("{}", profile.render());
+    if !profile.is_empty() {
+        let top = match flags.get("top") {
+            Some(v) => v.parse::<usize>().map_err(|e| format!("--top: {e}"))?,
+            None => 10,
+        };
+        println!("\nhot spans (self time):");
+        print!(
+            "{}",
+            xmodel::viz::flame::self_time_bars(&profile.hotspots(), 40, top)
+        );
+    }
+    if let Some(folded) = flags.get("folded") {
+        std::fs::write(folded, profile.to_folded()).map_err(|e| format!("{folded}: {e}"))?;
+        println!("wrote {folded}");
     }
     Ok(())
 }

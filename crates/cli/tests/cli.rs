@@ -168,3 +168,175 @@ fn whatif_runs_case_study() {
     assert!(out.contains("thrashing"));
     assert!(out.contains("bypass"));
 }
+
+/// Like [`run`], but with extra environment variables set.
+fn run_env(args: &[&str], envs: &[(&str, &str)]) -> (bool, String, String) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_xmodel"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn xmodel");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xmodel_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{name}", std::process::id()))
+}
+
+#[test]
+fn help_documents_observability_env_vars() {
+    let (ok, _, err) = run(&["--help"]);
+    assert!(ok);
+    assert!(err.contains("XMODEL_TRACE"), "{err}");
+    assert!(err.contains("XMODEL_METRICS_ADDR"), "{err}");
+    assert!(err.contains("--metrics-addr"), "{err}");
+    assert!(err.contains("profile FILE"), "{err}");
+}
+
+#[test]
+fn trace_flag_wins_over_env_var() {
+    let flag_trace = temp_path("flag.jsonl");
+    let env_trace = temp_path("env.jsonl");
+    let (ok, _, _) = run_env(
+        &["list", "--trace", flag_trace.to_str().unwrap()],
+        &[("XMODEL_TRACE", env_trace.to_str().unwrap())],
+    );
+    assert!(ok);
+    assert!(flag_trace.exists(), "--trace path must be used");
+    assert!(!env_trace.exists(), "env path must be ignored when flagged");
+    std::fs::remove_file(&flag_trace).ok();
+}
+
+#[test]
+fn trace_env_var_used_when_flag_absent() {
+    let env_trace = temp_path("env-only.jsonl");
+    let (ok, _, _) = run_env(&["list"], &[("XMODEL_TRACE", env_trace.to_str().unwrap())]);
+    assert!(ok);
+    let text = std::fs::read_to_string(&env_trace).expect("env trace written");
+    assert!(text.contains("\"kind\":\"run_manifest\""));
+    std::fs::remove_file(&env_trace).ok();
+}
+
+#[test]
+fn metrics_addr_flag_wins_over_env_var() {
+    // The env var is unbindable garbage; the flag is valid. Success plus
+    // a serving line proves the flag took precedence.
+    let (ok, _, err) = run_env(
+        &["list", "--metrics-addr", "127.0.0.1:0"],
+        &[("XMODEL_METRICS_ADDR", "not-an-address")],
+    );
+    assert!(ok, "{err}");
+    assert!(err.contains("metrics: serving http://127.0.0.1:"), "{err}");
+}
+
+#[test]
+fn metrics_exporter_absent_without_flag_or_env() {
+    let (ok, _, err) = run(&["list"]);
+    assert!(ok);
+    assert!(!err.contains("metrics:"), "{err}");
+}
+
+#[test]
+fn metrics_addr_invalid_fails() {
+    let (ok, _, err) = run(&["list", "--metrics-addr", "not-an-address"]);
+    assert!(!ok);
+    assert!(err.contains("--metrics-addr"), "{err}");
+}
+
+#[test]
+fn profile_command_renders_call_tree_and_folded_stacks() {
+    let trace = temp_path("profile.jsonl");
+    let folded = temp_path("profile.folded");
+    let (ok, _, _) = run(&[
+        "validate",
+        "--gpu",
+        "kepler",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok);
+
+    let (ok, out, _) = run(&[
+        "profile",
+        trace.to_str().unwrap(),
+        "--folded",
+        folded.to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    // Call-tree table with self/total/percentile columns.
+    assert!(out.contains("total ms"), "{out}");
+    assert!(out.contains("self ms"), "{out}");
+    assert!(out.contains("p95"), "{out}");
+    assert!(out.contains("sim.measure"), "{out}");
+    assert!(out.contains("hot spans"), "{out}");
+
+    // Folded-stack file: `frame;frame value` lines, flamegraph.pl-style.
+    let text = std::fs::read_to_string(&folded).expect("folded file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("stack + count");
+        assert!(!stack.is_empty());
+        assert!(value.parse::<u64>().is_ok(), "bad folded line: {line}");
+    }
+    assert!(
+        text.lines().any(|l| l.starts_with("sim.run;")),
+        "nested stacks present:\n{text}"
+    );
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&folded).ok();
+}
+
+#[test]
+fn trace_report_profile_flag_appends_profile() {
+    let trace = temp_path("tr-profile.jsonl");
+    let (ok, _, _) = run(&[
+        "sim",
+        "--workload",
+        "spmv",
+        "--warps",
+        "8",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let (ok, out, _) = run(&["trace-report", trace.to_str().unwrap(), "--profile"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("events:"), "{out}");
+    assert!(out.contains("self ms"), "{out}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn profile_and_trace_report_survive_malformed_traces() {
+    let empty = temp_path("empty.jsonl");
+    std::fs::write(&empty, "").unwrap();
+    let (ok, out, _) = run(&["profile", empty.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("warning"), "{out}");
+    let (ok, out, _) = run(&["trace-report", empty.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("warning: trace is empty"), "{out}");
+
+    let torn = temp_path("torn.jsonl");
+    std::fs::write(
+        &torn,
+        "{\"kind\":\"span\",\"t_us\":1,\"name\":\"a\",\"dur_us\":5}\n{\"kind\":\"sp",
+    )
+    .unwrap();
+    let (ok, out, _) = run(&["profile", torn.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("malformed"), "{out}");
+    assert!(out.contains('a'), "{out}");
+    let (ok, out, _) = run(&["trace-report", torn.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("1 malformed"), "{out}");
+    std::fs::remove_file(&empty).ok();
+    std::fs::remove_file(&torn).ok();
+}

@@ -1,0 +1,213 @@
+//! Live metrics endpoint: a std-only background exporter serving the
+//! metrics registry ([`crate::metrics`]) and span aggregates
+//! ([`crate::span`]) as Prometheus text format (version 0.0.4) over
+//! plain HTTP.
+//!
+//! Built directly on [`std::net::TcpListener`] — no HTTP framework, no
+//! new dependencies — because the endpoint only ever answers one shape
+//! of request: `GET /metrics`. The CLI wires this to `--metrics-addr
+//! HOST:PORT` and the `XMODEL_METRICS_ADDR` environment variable so
+//! long-running sweeps can be scraped (or just `curl`ed) mid-run.
+//!
+//! The exporter thread is spawned **only** by [`serve`]; when no address
+//! is configured nothing here runs and the instrumentation fast path is
+//! untouched.
+
+use crate::metrics;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+/// Handle to a running exporter. Dropping it does **not** stop the
+/// server — the thread is detached and serves until process exit, which
+/// is the lifetime a run-scoped scrape target wants.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+}
+
+impl MetricsServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// Bind `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port) and
+/// serve `/metrics` from a detached background thread.
+pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("xmodel-metrics".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // One connection at a time: scrape bodies are tiny and
+                // serialized access keeps the thread budget at one.
+                let _ = handle_connection(stream);
+            }
+        })?;
+    Ok(MetricsServer { addr: bound })
+}
+
+fn handle_connection(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers until the blank line; we never need their contents.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", render_prometheus())
+    } else {
+        ("404 Not Found", "not found\n".to_string())
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Replace every character Prometheus metric names reject with `_`
+/// (names here are dotted, e.g. `solver.brackets`).
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// Escape a Prometheus label value.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the current metrics snapshot and span aggregates as
+/// Prometheus text format. Span-duration histograms (named
+/// `span_us.<name>`) collapse into one `xmodel_span_duration_us` family
+/// with a `span` label; everything else exports under its sanitized
+/// name prefixed `xmodel_`.
+pub fn render_prometheus() -> String {
+    let snap = metrics::snapshot();
+    let mut out = String::new();
+
+    for (name, value) in &snap.counters {
+        let metric = format!("xmodel_{}", sanitize(name));
+        out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let metric = format!("xmodel_{}", sanitize(name));
+        out.push_str(&format!(
+            "# TYPE {metric} gauge\n{metric} {}\n",
+            fmt_value(*value)
+        ));
+    }
+    for (name, hist) in &snap.histograms {
+        let (metric, label) = match name.strip_prefix("span_us.") {
+            Some(span) => (
+                "xmodel_span_duration_us".to_string(),
+                format!("span=\"{}\",", escape_label(span)),
+            ),
+            None => (format!("xmodel_{}", sanitize(name)), String::new()),
+        };
+        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, count) in hist.counts.iter().enumerate() {
+            cumulative += count;
+            let le = match hist.edges.get(i) {
+                Some(edge) => fmt_value(*edge),
+                None => "+Inf".to_string(),
+            };
+            out.push_str(&format!(
+                "{metric}_bucket{{{label}le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        let bare = label.trim_end_matches(',');
+        let series = |suffix: &str| {
+            if bare.is_empty() {
+                format!("{metric}{suffix}")
+            } else {
+                format!("{metric}{suffix}{{{bare}}}")
+            }
+        };
+        out.push_str(&format!("{} {}\n", series("_sum"), fmt_value(hist.sum)));
+        out.push_str(&format!("{} {cumulative}\n", series("_count")));
+    }
+
+    // Span aggregates as counters, so scrapers see phase totals even
+    // between manifest writes.
+    let aggs = crate::span::aggregates();
+    if !aggs.is_empty() {
+        out.push_str("# TYPE xmodel_span_calls_total counter\n");
+        for (name, agg) in &aggs {
+            out.push_str(&format!(
+                "xmodel_span_calls_total{{span=\"{}\"}} {}\n",
+                escape_label(name),
+                agg.count
+            ));
+        }
+        out.push_str("# TYPE xmodel_span_seconds_total counter\n");
+        for (name, agg) in &aggs {
+            out.push_str(&format!(
+                "xmodel_span_seconds_total{{span=\"{}\"}} {}\n",
+                escape_label(name),
+                fmt_value(agg.total_ns as f64 / 1e9)
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_rewrites_bad_characters() {
+        assert_eq!(sanitize("solver.brackets"), "solver_brackets");
+        assert_eq!(sanitize("0abc-d"), "_abc_d");
+        assert_eq!(sanitize("a0:b_c"), "a0:b_c");
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed_when_empty() {
+        // No install() here: whatever global state exists, rendering
+        // must produce parseable output (possibly empty).
+        let text = render_prometheus();
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains(' '),
+                "bad exposition line: {line}"
+            );
+        }
+    }
+}

@@ -31,6 +31,17 @@
 //! environment variable (see [`init_from_env`]), and appends a
 //! [`manifest::RunManifest`] as the final line of every traced run.
 //!
+//! Two consumption layers sit on top of the raw stream:
+//!
+//! * [`profile`] folds a trace's span events back into a call-tree
+//!   profile (self/total time, call counts, p50/p95/p99) and emits a
+//!   flamegraph-compatible folded-stack rendering — `xmodel profile`.
+//! * [`export`] serves the live metrics registry as Prometheus text
+//!   format over `std::net` — `xmodel --metrics-addr HOST:PORT` or the
+//!   `XMODEL_METRICS_ADDR` environment variable. [`init_metrics_from_env`]
+//!   mirrors [`init_from_env`] for that variable. The exporter thread is
+//!   only spawned when an address is configured.
+//!
 //! ## Trace format
 //!
 //! One JSON object per line, schema [`event::SCHEMA`]. Every line has a
@@ -42,9 +53,11 @@
 //! instrumentation only ever *reads* model and simulator state.
 
 pub mod event;
+pub mod export;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod sink;
 pub mod span;
@@ -98,6 +111,34 @@ pub fn init_from_env() -> Option<std::path::PathBuf> {
         Ok(()) => Some(path),
         Err(e) => {
             eprintln!("warning: XMODEL_TRACE={}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Start the background `/metrics` exporter on `addr` (port 0 picks a
+/// free port; the bound address is in the returned handle). When no
+/// sink is live this installs a [`NullSink`] first so spans and metrics
+/// record for the exporter to serve; a later [`install`] replaces the
+/// sink without disturbing the exporter. When no address is configured
+/// this is never called and no exporter thread exists.
+pub fn serve_metrics(addr: &str) -> std::io::Result<export::MetricsServer> {
+    if !enabled() {
+        install(Box::new(NullSink));
+    }
+    export::serve(addr)
+}
+
+/// Start the exporter at `$XMODEL_METRICS_ADDR` if that variable is
+/// set. Returns the bound server, or `None` when the variable is unset.
+/// An address that cannot be bound is reported on stderr and the
+/// exporter stays off.
+pub fn init_metrics_from_env() -> Option<export::MetricsServer> {
+    let addr = std::env::var("XMODEL_METRICS_ADDR").ok()?;
+    match serve_metrics(&addr) {
+        Ok(server) => Some(server),
+        Err(e) => {
+            eprintln!("warning: XMODEL_METRICS_ADDR={addr}: {e}");
             None
         }
     }

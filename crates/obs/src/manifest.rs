@@ -15,6 +15,14 @@ pub struct PhaseSummary {
     pub count: u64,
     /// Total wall time, milliseconds.
     pub total_ms: f64,
+    /// Median single-span latency, microseconds (absent when the
+    /// duration histogram recorded nothing, e.g. tracing toggled off
+    /// mid-run).
+    pub p50_us: Option<f64>,
+    /// 95th-percentile single-span latency, microseconds.
+    pub p95_us: Option<f64>,
+    /// 99th-percentile single-span latency, microseconds.
+    pub p99_us: Option<f64>,
 }
 
 /// End-of-run record summarising what ran and how long each phase took.
@@ -48,12 +56,20 @@ impl RunManifest {
         params: BTreeMap<String, String>,
         seed: Option<u64>,
     ) -> RunManifest {
+        let snapshot = metrics::snapshot();
         let phases = span::aggregates()
             .into_iter()
-            .map(|(name, agg)| PhaseSummary {
-                name: name.to_string(),
-                count: agg.count,
-                total_ms: agg.total_ns as f64 / 1e6,
+            .map(|(name, agg)| {
+                let hist = snapshot.histograms.get(&metrics::span_histogram_name(name));
+                let q = |p: f64| hist.and_then(|h| h.quantile(p));
+                PhaseSummary {
+                    name: name.to_string(),
+                    count: agg.count,
+                    total_ms: agg.total_ns as f64 / 1e6,
+                    p50_us: q(0.50),
+                    p95_us: q(0.95),
+                    p99_us: q(0.99),
+                }
             })
             .collect();
         RunManifest {
@@ -65,7 +81,7 @@ impl RunManifest {
             version: describe_version(),
             wall_ms: crate::now_us() as f64 / 1e3,
             phases,
-            counters: metrics::snapshot().counters,
+            counters: snapshot.counters,
         }
     }
 

@@ -8,6 +8,7 @@
 
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// Monotonically increasing counter value.
 #[derive(Debug, Clone, Default)]
@@ -35,7 +36,10 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(edges: &[f64]) -> Self {
+    /// Empty histogram over `edges` (strictly ascending upper bounds).
+    /// Also usable standalone, outside the global registry — the span
+    /// profiler builds one per span name.
+    pub fn with_edges(edges: &[f64]) -> Self {
         assert!(
             edges.windows(2).all(|w| w[0] < w[1]),
             "histogram edges must be strictly ascending"
@@ -46,6 +50,15 @@ impl Histogram {
             sum: 0.0,
             count: 0,
         }
+    }
+
+    fn new(edges: &[f64]) -> Self {
+        Self::with_edges(edges)
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, v: f64) {
+        self.observe(v);
     }
 
     fn observe(&mut self, v: f64) {
@@ -63,6 +76,70 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`0 <= q <= 1`) by linear interpolation
+    /// within the bucket containing the target rank. Returns `None` when
+    /// the histogram is empty. The underflow bucket interpolates from 0,
+    /// the overflow bucket is pinned to its lower edge (the estimate is
+    /// then a lower bound — the registry has no upper bound to offer).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cumulative + n;
+            if next as f64 >= target {
+                let frac = ((target - cumulative as f64) / n as f64).clamp(0.0, 1.0);
+                let (lo, hi) = self.bucket_bounds(i);
+                return Some(match hi {
+                    Some(hi) => lo + frac * (hi - lo),
+                    None => lo, // overflow bucket: lower bound
+                });
+            }
+            cumulative = next;
+        }
+        // Unreachable with count > 0, but stay total.
+        self.edges.last().copied().map(|e| e.max(0.0))
+    }
+
+    /// `(lower, upper)` value bounds of bucket `i`; upper is `None` for
+    /// the overflow bucket.
+    fn bucket_bounds(&self, i: usize) -> (f64, Option<f64>) {
+        if self.edges.is_empty() {
+            return (0.0, None);
+        }
+        if i == 0 {
+            (0.0f64.min(self.edges[0]), Some(self.edges[0]))
+        } else if i < self.edges.len() {
+            (self.edges[i - 1], Some(self.edges[i]))
+        } else {
+            (self.edges[self.edges.len() - 1], None)
+        }
+    }
+}
+
+/// Log-spaced bucket edges for latency-in-microseconds histograms:
+/// 1 µs … ~100 s in quarter-decade steps. Shared by the span timer
+/// ([`crate::span`]), the manifest phase summaries, and the profiler so
+/// their percentiles agree.
+pub fn latency_edges_us() -> &'static [f64] {
+    static EDGES: OnceLock<Vec<f64>> = OnceLock::new();
+    EDGES.get_or_init(|| {
+        (0..33)
+            .map(|i| 10f64.powf(i as f64 / 4.0))
+            .collect::<Vec<f64>>()
+    })
+}
+
+/// Histogram name under which a span's duration distribution is
+/// registered: `span_us.<span name>`.
+pub fn span_histogram_name(span: &str) -> String {
+    format!("span_us.{span}")
 }
 
 #[derive(Default)]

@@ -63,14 +63,18 @@ impl TraceReport {
         report
     }
 
-    /// Build a report by reading `path`.
+    /// Build a report by reading `path`. Invalid UTF-8 is replaced, not
+    /// fatal — a torn write mid-line must still yield a best-effort
+    /// report; only a missing/unreadable file errors.
     pub fn from_path(path: &std::path::Path) -> std::io::Result<TraceReport> {
-        let text = std::fs::read_to_string(path)?;
+        let bytes = std::fs::read(path)?;
+        let text = String::from_utf8_lossy(&bytes);
         Ok(Self::from_lines(text.lines()))
     }
 
     fn record_span(&mut self, value: &JsonValue) {
         let Some(name) = value.get("name").and_then(JsonValue::as_str) else {
+            self.malformed += 1; // a `span` line without its name
             return;
         };
         let dur_us = value
@@ -100,6 +104,14 @@ impl TraceReport {
             "trace: {} lines ({} malformed)\n",
             self.lines, self.malformed
         ));
+        if self.lines == 0 {
+            out.push_str("warning: trace is empty\n");
+        } else if self.malformed > 0 {
+            out.push_str(&format!(
+                "warning: {} malformed line(s) skipped (truncated trace?)\n",
+                self.malformed
+            ));
+        }
 
         if let Some(manifest) = &self.manifest {
             let field = |k: &str| {

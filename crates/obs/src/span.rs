@@ -87,6 +87,13 @@ impl Drop for SpanGuard {
             agg.count += 1;
             agg.total_ns += elapsed.as_nanos();
         }
+        // Duration distribution per span name, for the p50/p95/p99
+        // columns of the manifest phase summary and the /metrics export.
+        crate::metrics::histogram_observe(
+            &crate::metrics::span_histogram_name(active.name),
+            crate::metrics::latency_edges_us(),
+            elapsed.as_nanos() as f64 / 1e3,
+        );
         let mut fields = vec![
             ("name", Value::from(active.name)),
             ("dur_us", Value::F64(elapsed.as_nanos() as f64 / 1e3)),

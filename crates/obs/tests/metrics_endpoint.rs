@@ -1,0 +1,107 @@
+//! Integration test of the live `/metrics` endpoint: bind on port 0,
+//! scrape it over a real TCP connection mid-run, and check the body is
+//! valid Prometheus text format reflecting the live registry.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Minimal Prometheus text-format validation: every non-comment line is
+/// `name{labels} value` or `name value`, `# TYPE` lines name a known
+/// metric type, and bucket counts are cumulative.
+fn assert_valid_prometheus(body: &str) {
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let _name = parts.next().expect("TYPE line names a metric");
+            let ty = parts.next().expect("TYPE line carries a type");
+            assert!(
+                ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
+                "unknown metric type {ty:?} in {line:?}"
+            );
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment form: {line:?}");
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "-Inf" || value == "NaN",
+            "unparseable sample value {value:?} in {line:?}"
+        );
+        let name = series.split('{').next().unwrap_or("");
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "invalid metric name {name:?} in {line:?}"
+        );
+        if series.contains('{') {
+            assert!(series.ends_with('}'), "unclosed label set in {line:?}");
+        }
+    }
+}
+
+fn scrape(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has header/body split");
+    (head.to_string(), body.to_string())
+}
+
+#[test]
+fn scrape_mid_run_yields_valid_prometheus_text() {
+    // serve_metrics() with no live sink installs a NullSink, enabling
+    // the registry without a trace file — the long-running-sweep shape.
+    let server = xmodel_obs::serve_metrics("127.0.0.1:0").expect("bind port 0");
+    assert!(xmodel_obs::enabled(), "exporter implies live registry");
+
+    // Mid-run state: some phases have completed, counters are moving.
+    for i in 0..10u64 {
+        let _span = xmodel_obs::span!("sweep.point");
+        xmodel_obs::metrics::counter_add("sweep.evals", 3);
+        xmodel_obs::metrics::gauge_set("sweep.progress", i as f64 / 10.0);
+        xmodel_obs::metrics::histogram_observe("eq5.eval_us", &[1.0, 10.0, 100.0], i as f64);
+    }
+
+    let (head, body) = scrape(server.addr(), "/metrics");
+    assert!(head.starts_with("HTTP/1.1 200"), "head: {head}");
+    assert!(
+        head.contains("text/plain; version=0.0.4"),
+        "missing exposition content type: {head}"
+    );
+    assert_valid_prometheus(&body);
+
+    assert!(body.contains("xmodel_sweep_evals 30"), "body:\n{body}");
+    assert!(body.contains("# TYPE xmodel_sweep_evals counter"));
+    assert!(body.contains("xmodel_sweep_progress 0.9"));
+    assert!(body.contains("# TYPE xmodel_eq5_eval_us histogram"));
+    assert!(body.contains("xmodel_eq5_eval_us_count 10"));
+    assert!(body.contains("le=\"+Inf\""));
+    assert!(body.contains("xmodel_span_calls_total{span=\"sweep.point\"} 10"));
+    assert!(body.contains("# TYPE xmodel_span_duration_us histogram"));
+    assert!(body.contains("span=\"sweep.point\""));
+
+    // A second scrape still works (connections are handled serially)
+    // and sees fresh state.
+    xmodel_obs::metrics::counter_add("sweep.evals", 1);
+    let (_, body2) = scrape(server.addr(), "/metrics");
+    assert!(body2.contains("xmodel_sweep_evals 31"), "body2:\n{body2}");
+
+    // Unknown paths 404 without killing the exporter.
+    let (head3, _) = scrape(server.addr(), "/nope");
+    assert!(head3.starts_with("HTTP/1.1 404"), "head3: {head3}");
+    let (head4, _) = scrape(server.addr(), "/metrics");
+    assert!(head4.starts_with("HTTP/1.1 200"));
+
+    xmodel_obs::finish(None);
+}

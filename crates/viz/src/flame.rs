@@ -1,0 +1,94 @@
+//! Profile rendering: horizontal self-time bars for the hot-span view
+//! of `xmodel profile`, fed by `xmodel-obs`'s folded span profiles.
+//!
+//! The folded-stack *file* is the flamegraph interchange format; this
+//! module is the quick terminal look — one labelled bar per span name,
+//! scaled to the hottest.
+
+/// Render `(label, value)` pairs as right-aligned labels with
+/// proportional bars, largest first. `width` is the bar column width in
+/// characters; entries beyond `top` are summed into an `(other)` row.
+/// Values are microseconds and are printed as milliseconds.
+pub fn self_time_bars(entries: &[(String, f64)], width: usize, top: usize) -> String {
+    let width = width.max(8);
+    let mut sorted: Vec<&(String, f64)> = entries.iter().filter(|(_, v)| *v > 0.0).collect();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if sorted.is_empty() {
+        return "(no self time recorded)\n".to_string();
+    }
+    let shown = sorted.len().min(top.max(1));
+    let rest: f64 = sorted[shown..].iter().map(|(_, v)| v).sum();
+    let label_w = sorted[..shown]
+        .iter()
+        .map(|(name, _)| name.len())
+        .chain(std::iter::once(7)) // "(other)"
+        .max()
+        .unwrap_or(7)
+        .min(32);
+    let max = sorted[0].1;
+
+    let mut out = String::new();
+    let mut row = |name: &str, value: f64| {
+        let filled = ((value / max) * width as f64).round() as usize;
+        let filled = filled.clamp(usize::from(value > 0.0), width);
+        out.push_str(&format!(
+            "{:<label_w$} {:>10.3} ms |{}{}|\n",
+            truncate(name, label_w),
+            value / 1e3,
+            "█".repeat(filled),
+            " ".repeat(width - filled),
+        ));
+    };
+    for (name, value) in &sorted[..shown] {
+        row(name, *value);
+    }
+    if rest > 0.0 {
+        row("(other)", rest);
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{head}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_and_sort() {
+        let entries = vec![
+            ("small".to_string(), 100.0),
+            ("big".to_string(), 1000.0),
+            ("zero".to_string(), 0.0),
+        ];
+        let out = self_time_bars(&entries, 20, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "zero-value entries are dropped:\n{out}");
+        assert!(lines[0].starts_with("big"), "sorted descending:\n{out}");
+        let bar_len = |l: &str| l.chars().filter(|&c| c == '█').count();
+        assert_eq!(bar_len(lines[0]), 20);
+        assert_eq!(bar_len(lines[1]), 2);
+    }
+
+    #[test]
+    fn overflow_collapses_into_other() {
+        let entries: Vec<(String, f64)> = (0..5)
+            .map(|i| (format!("s{i}"), 100.0 + i as f64))
+            .collect();
+        let out = self_time_bars(&entries, 16, 2);
+        assert!(out.contains("(other)"), "{out}");
+        assert_eq!(out.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        assert!(self_time_bars(&[], 20, 5).contains("no self time"));
+    }
+}

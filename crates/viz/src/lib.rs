@@ -12,7 +12,8 @@
 //! * [`grid`] — multi-panel composition (Figs. 10 and 11 are grids);
 //! * [`ascii`] — terminal rendering for quick looks from the CLI;
 //! * [`timeline`] — k(t)/x(t) trajectories reconstructed from
-//!   `xmodel-obs` trace files.
+//!   `xmodel-obs` trace files;
+//! * [`flame`] — self-time bar rendering for span profiles.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -20,6 +21,7 @@
 pub mod ascii;
 pub mod axis;
 pub mod chart;
+pub mod flame;
 pub mod grid;
 pub mod heatmap;
 pub mod svg;

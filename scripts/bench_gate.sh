@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Continuous-benchmark regression gate: compare a fresh bench-report
+# snapshot against the committed baseline.
+#
+#   usage: bench_gate.sh BASELINE NEW [THRESHOLD]
+#
+# THRESHOLD is a relative slowdown fraction (default 0.25 = +25%), also
+# settable via BENCH_GATE_THRESHOLD. Exit status:
+#   0  every shared bench is within threshold (or regressions were
+#      downgraded because BENCH_GATE_WARN_ONLY=1 — CI sets this when the
+#      baseline came from different hardware)
+#   1  at least one bench regressed beyond threshold
+#   2  a snapshot is unreadable or has an incompatible schema (always
+#      fatal, even with BENCH_GATE_WARN_ONLY=1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="${1:?usage: bench_gate.sh BASELINE NEW [THRESHOLD]}"
+fresh="${2:?usage: bench_gate.sh BASELINE NEW [THRESHOLD]}"
+threshold="${3:-${BENCH_GATE_THRESHOLD:-0.25}}"
+
+bin="target/release/bench-report"
+if [ ! -x "$bin" ]; then
+  cargo build --release -p xmodel-bench --bin bench-report
+fi
+
+set +e
+"$bin" --compare "$baseline" "$fresh" --threshold "$threshold"
+status=$?
+set -e
+
+if [ "$status" -eq 1 ] && [ "${BENCH_GATE_WARN_ONLY:-0}" = "1" ]; then
+  echo "bench_gate: regression detected, but BENCH_GATE_WARN_ONLY=1 (baseline hardware differs?) — not failing" >&2
+  exit 0
+fi
+exit "$status"

@@ -19,11 +19,30 @@ cargo test -q
 
 echo "=== trace smoke test ==="
 trace="$(mktemp -t xmodel-trace.XXXXXX.jsonl)"
-trap 'rm -f "$trace"' EXIT
+folded="$(mktemp -t xmodel-folded.XXXXXX.txt)"
+bench_ci="target/BENCH_ci.json"
+trap 'rm -f "$trace" "$folded"' EXIT
 ./target/release/xmodel sim --workload gesummv --gpu fermi --l1 16 \
   --trace "$trace" > /dev/null
 grep -q '"kind":"sim.snapshot"' "$trace"
 grep -q '"kind":"run_manifest"' "$trace"
-./target/release/xmodel trace-report "$trace" > /dev/null
+grep -q '"p95_us"' "$trace"
+./target/release/xmodel trace-report "$trace" --profile > /dev/null
+./target/release/xmodel profile "$trace" --folded "$folded" > /dev/null
+test -s "$folded"
+
+echo "=== bench-report smoke + regression gate ==="
+./target/release/bench-report --smoke --label ci --out "$bench_ci"
+# Synthetic-regression self-check: the gate must fail on a known-bad pair.
+if BENCH_GATE_WARN_ONLY=0 scripts/bench_gate.sh \
+    crates/bench/tests/fixtures/bench_base.json \
+    crates/bench/tests/fixtures/bench_regressed.json > /dev/null 2>&1; then
+  echo "bench_gate.sh failed to flag the synthetic regression" >&2
+  exit 1
+fi
+# Real comparison against the committed baseline. CI hardware differs
+# from the machine that produced BENCH_seed.json, so regressions only
+# warn here — but schema errors (exit 2) still fail the build.
+BENCH_GATE_WARN_ONLY=1 scripts/bench_gate.sh BENCH_seed.json "$bench_ci"
 
 echo "CI green."
