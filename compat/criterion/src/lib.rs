@@ -6,6 +6,8 @@
 //! plotting, or baseline persistence. Honours `XMODEL_BENCH_FAST=1` to
 //! shrink the measurement window for smoke runs.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 fn measure_window() -> Duration {

@@ -5,6 +5,8 @@
 //! The one API difference papered over here: crossbeam's spawn closures
 //! receive a `&Scope` argument and `scope(..)` returns a `Result`.
 
+#![forbid(unsafe_code)]
+
 pub mod thread {
     //! Scoped threads.
 

@@ -6,6 +6,8 @@
 //! lock) are recovered by taking the inner guard — parking_lot itself
 //! never poisons, so this matches its observable behaviour.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{
     Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
 };

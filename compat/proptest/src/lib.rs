@@ -10,6 +10,8 @@
 //! string-regex strategy supports only the class/quantifier subset the
 //! tests use (e.g. `"[a-z][a-z0-9_]{0,12}"`).
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

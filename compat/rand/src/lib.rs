@@ -8,6 +8,8 @@
 //! simulator requires; they are not reproductions of upstream's exact
 //! sequences.
 
+#![forbid(unsafe_code)]
+
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// Next raw 64-bit output.

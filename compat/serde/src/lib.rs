@@ -20,6 +20,8 @@
 //! restoring the registry versions in the workspace manifest restores
 //! upstream serde with no source changes elsewhere.
 
+#![forbid(unsafe_code)]
+
 pub mod ser;
 
 pub mod de {

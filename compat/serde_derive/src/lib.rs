@@ -13,6 +13,8 @@
 //! a blanket-implemented marker (no deserializer exists in the
 //! workspace).
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
 use std::iter::Peekable;

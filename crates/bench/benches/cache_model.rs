@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use xmodel::core::cache::{CacheParams, CachedMsCurve};
 use xmodel::core::params::MachineParams;
+use xmodel::core::units::Threads;
 use xmodel::workloads::locality::{fit_jacob, jacob_hit_rate};
 
 fn curve() -> CachedMsCurve {
@@ -20,13 +21,13 @@ fn bench_eq5(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for i in 1..=256 {
-                acc += cu.f(black_box(i as f64 * 0.5));
+                acc += cu.f(Threads(black_box(i as f64 * 0.5))).get();
             }
             acc
         })
     });
     c.bench_function("cache/features_scan", |b| {
-        b.iter(|| black_box(cu.features(256.0)))
+        b.iter(|| black_box(cu.features(Threads(256.0))))
     });
 }
 
@@ -54,7 +55,9 @@ fn bench_multilevel(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for i in 1..=256 {
-                acc += single.f_mshr(black_box(i as f64 * 0.5), 32.0);
+                acc += single
+                    .f_mshr(Threads(black_box(i as f64 * 0.5)), 32.0)
+                    .get();
             }
             acc
         })

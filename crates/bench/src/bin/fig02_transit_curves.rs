@@ -9,7 +9,7 @@ use xmodel_bench::{cell, save_svg, write_csv};
 
 fn main() {
     let machine = MachineParams::new(4.0, 0.1, 500.0);
-    let model = TransitModel::new(machine, 20.0, 48.0).to_xmodel();
+    let model = TransitModel::new(machine, OpsPerRequest(20.0), Threads(48.0)).to_xmodel();
 
     let fk = model.sample_fk(80.0, 161);
     let ghat: Vec<(f64, f64)> = (0..161)
@@ -23,7 +23,7 @@ fn main() {
         .with(Series::line("f(k) = min(k/L, R)", fk.clone(), 0))
         .with_marker(Marker {
             label: "δ".into(),
-            x: machine.delta(),
+            x: machine.delta().get(),
             y: None,
         });
     let panel_b = Chart::new("(B) CS demand g(x)/Z", "CS threads (x)", "MS throughput")

@@ -14,7 +14,7 @@ fn main() {
     // Equilibria across a thread sweep: closed form vs numeric solver.
     let mut rows = Vec::new();
     for n in [8.0, 16.0, 24.0, 32.0, 48.0, 64.0, 96.0, 200.0] {
-        let transit = TransitModel::new(machine, 20.0, n);
+        let transit = TransitModel::new(machine, OpsPerRequest(20.0), Threads(n));
         let closed = transit.equilibrium().unwrap();
         let numeric = transit.to_xmodel().solve().operating_point().unwrap();
         rows.push(vec![
@@ -36,7 +36,7 @@ fn main() {
         &rows,
     );
 
-    let model = TransitModel::new(machine, 20.0, 48.0).to_xmodel();
+    let model = TransitModel::new(machine, OpsPerRequest(20.0), Threads(48.0)).to_xmodel();
     let graph = XGraph::build(&model, 256);
     let path = save_svg(
         "fig03_transit_figure",

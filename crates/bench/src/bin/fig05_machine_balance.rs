@@ -11,7 +11,7 @@ fn main() {
     // Balanced workload: Z = M/R so both plateaus meet.
     let machine = MachineParams::new(4.0, 0.1, 500.0);
     let z = machine.m / machine.r; // 40
-    let tlp = machine.m / 1.0 + machine.delta(); // pi + delta = 54
+    let tlp = machine.m / 1.0 + machine.delta().get(); // pi + delta = 54
 
     println!("Fig. 5 — machine balance at Z = M/R = {z}\n");
     let mut rows = Vec::new();

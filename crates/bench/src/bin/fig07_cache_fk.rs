@@ -15,10 +15,10 @@ fn main() {
     let pts: Vec<(f64, f64)> = (0..=512)
         .map(|i| {
             let k = 256.0 * i as f64 / 512.0;
-            (k, curve.f(k))
+            (k, curve.f(Threads(k)).get())
         })
         .collect();
-    let feats = curve.features(256.0);
+    let feats = curve.features(Threads(256.0));
     let peak = feats.peak.expect("peak");
     let valley = feats.valley.expect("valley");
 

@@ -16,7 +16,7 @@ fn main() {
         (0..=256)
             .map(|i| {
                 let k = 128.0 * i as f64 / 256.0;
-                (k, c.f(k))
+                (k, c.f(Threads(k)).get())
             })
             .collect()
     };
@@ -24,7 +24,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut record = |panel: &str, label: &str, cache: CacheParams| {
         let c = CachedMsCurve::new(&machine, cache);
-        let f = c.features(128.0);
+        let f = c.features(Threads(128.0));
         rows.push(vec![
             panel.to_string(),
             label.to_string(),

@@ -2,6 +2,7 @@
 //! of the §VI case-study configuration so every symbol has a concrete
 //! number next to it.
 
+use xmodel::prelude::Threads;
 use xmodel_bench::{cell, print_table, write_csv};
 
 fn main() {
@@ -25,7 +26,7 @@ fn main() {
             "L" => cell(model.machine.l, 0),
             "h" => model
                 .cache
-                .map(|c| cell(c.hit_rate(op.k), 3))
+                .map(|c| cell(c.hit_rate(Threads(op.k)), 3))
                 .unwrap_or_else(|| "-".into()),
             "psi" => feats
                 .psi()

@@ -7,6 +7,8 @@
 //! (solver, simulator, cache model, trace generation) including the
 //! ablations DESIGN.md calls out.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use std::fmt::Write as _;

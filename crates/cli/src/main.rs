@@ -19,6 +19,8 @@
 //! live metrics registry as Prometheus text format while a run is in
 //! flight. Flags win over their environment variables.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
 use xmodel::core::xgraph::XGraph;

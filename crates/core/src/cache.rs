@@ -25,6 +25,7 @@
 
 use crate::error::{ModelError, Result};
 use crate::params::MachineParams;
+use crate::units::{Cycles, ReqPerCycle, Threads};
 use serde::{Deserialize, Serialize};
 
 /// Shared-cache parameters: `S$`, `L$` plus the workload locality pair
@@ -89,23 +90,28 @@ impl CacheParams {
     }
 
     /// Hit rate seen by one of `k` sharing threads, Eq. (3).
-    /// `h = 1 − (S$/(β·k) + 1)^−(α−1)`, in `[0, 1]`.
-    pub fn hit_rate(&self, k: f64) -> f64 {
+    /// `h = 1 − (S$/(β·k) + 1)^−(α−1)`, in `[0, 1]` (dimensionless).
+    pub fn hit_rate(&self, k: Threads) -> f64 {
         if self.s_cache <= 0.0 {
             return 0.0;
         }
-        if k <= 0.0 {
+        if k <= Threads::ZERO {
             // A single (infinitesimal) sharer sees the whole cache.
             return 1.0;
         }
-        let share = self.s_cache / (self.beta * k);
+        let share = self.s_cache / (self.beta * k.get());
         1.0 - (share + 1.0).powf(-(self.alpha - 1.0))
+    }
+
+    /// `L$` as a typed quantity: the raw cache access latency.
+    pub fn latency(&self) -> Cycles {
+        Cycles(self.l_cache)
     }
 
     /// Number of threads whose aggregate working set exactly fills the
     /// cache, `S$/β` — a useful scale for where the cache peak can sit.
-    pub fn fit_threads(&self) -> f64 {
-        self.s_cache / self.beta
+    pub fn fit_threads(&self) -> Threads {
+        Threads(self.s_cache / self.beta)
     }
 
     /// Return a copy with a different capacity (tuning knob `S$`, Fig. 8-B).
@@ -138,9 +144,9 @@ impl CacheParams {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CachedMsCurve {
     /// `R` — main-memory peak throughput (requests/cycle).
-    pub r: f64,
+    pub r: ReqPerCycle,
     /// `L` — unloaded main-memory latency (cycles).
-    pub l: f64,
+    pub l: Cycles,
     /// Cache parameters.
     pub cache: CacheParams,
 }
@@ -157,42 +163,44 @@ impl CachedMsCurve {
     /// Build from machine and cache parameters.
     pub fn new(machine: &MachineParams, cache: CacheParams) -> Self {
         Self {
-            r: machine.r,
-            l: machine.l,
+            r: machine.peak_ms(),
+            l: machine.latency(),
             cache,
         }
     }
 
     /// Queue-stretched memory latency `L_m = max{L, k/R}` (Eq. 4).
-    pub fn memory_latency(&self, k: f64) -> f64 {
-        self.l.max(k.max(0.0) / self.r)
+    pub fn memory_latency(&self, k: Threads) -> Cycles {
+        self.l.max(k.max(Threads::ZERO) / self.r)
     }
 
     /// Loaded average MS latency `L_k` (Eq. 1) combined with Eqs. (3)–(4).
-    pub fn loaded_latency(&self, k: f64) -> f64 {
+    pub fn loaded_latency(&self, k: Threads) -> Cycles {
         let h = self.cache.hit_rate(k);
         let lm = self.memory_latency(k);
-        h * self.cache.l_cache + (1.0 - h) * lm
+        h * self.cache.latency() + (1.0 - h) * lm
     }
 
     /// The cache-integrated supply throughput `f(k)`, Eq. (5).
-    pub fn f(&self, k: f64) -> f64 {
-        if k <= 0.0 {
-            return 0.0;
+    pub fn f(&self, k: Threads) -> ReqPerCycle {
+        if k <= Threads::ZERO {
+            return ReqPerCycle::ZERO;
         }
         k / self.loaded_latency(k)
     }
 
-    /// Central-difference derivative `df/dk` with relative step.
-    pub fn df_dk(&self, k: f64) -> f64 {
+    /// Central-difference derivative `df/dk` (requests/cycle per thread)
+    /// with relative step.
+    pub fn df_dk(&self, k: Threads) -> f64 {
+        let k = k.get();
         let h = (k.abs() * 1e-6).max(1e-9);
         let lo = (k - h).max(0.0);
         let hi = k + h;
-        (self.f(hi) - self.f(lo)) / (hi - lo)
+        (self.f(Threads(hi)) - self.f(Threads(lo))).get() / (hi - lo)
     }
 
     /// The memory-plateau value: `lim k→∞ f(k) = R`.
-    pub fn plateau(&self) -> f64 {
+    pub fn plateau(&self) -> ReqPerCycle {
         self.r
     }
 
@@ -206,7 +214,7 @@ impl CachedMsCurve {
     /// * `δ` is the onset of the memory plateau: the smallest sampled `k`
     ///   from which the curve stays within 5% of `R` up to `k_max`. It is
     ///   `None` when the plateau lies beyond `k_max`.
-    pub fn features(&self, k_max: f64) -> MsCurveFeatures {
+    pub fn features(&self, k_max: Threads) -> MsCurveFeatures {
         scan_features(|k| self.f(k), self.plateau(), k_max)
     }
 
@@ -223,14 +231,14 @@ impl CachedMsCurve {
     ///
     /// (the second term is the total request rate whose miss fraction
     /// saturates the MSHR file; it goes to infinity as h → 1).
-    pub fn f_mshr(&self, k: f64, mshrs: f64) -> f64 {
+    pub fn f_mshr(&self, k: Threads, mshrs: f64) -> ReqPerCycle {
         assert!(mshrs > 0.0);
         let base = self.f(k);
         let miss = 1.0 - self.cache.hit_rate(k);
         if miss <= 1e-12 {
             return base;
         }
-        let cap = mshrs / (self.memory_latency(k) * miss);
+        let cap = ReqPerCycle(mshrs / (self.memory_latency(k).get() * miss));
         base.min(cap)
     }
 }
@@ -239,8 +247,15 @@ impl CachedMsCurve {
 /// [`CachedMsCurve::features`] for the semantics). Exposed so alternative
 /// `f(k)` shapes — e.g. the two-level hierarchy of
 /// [`crate::multilevel`] — share one feature definition.
-pub fn scan_features(f: impl Fn(f64) -> f64, plateau: f64, k_max: f64) -> MsCurveFeatures {
+pub fn scan_features(
+    f: impl Fn(Threads) -> ReqPerCycle,
+    plateau: ReqPerCycle,
+    k_max: Threads,
+) -> MsCurveFeatures {
     const SAMPLES: usize = 4096;
+    let f = move |k: f64| f(Threads(k)).get();
+    let plateau = plateau.get();
+    let k_max = k_max.get();
     assert!(k_max > 0.0, "k_max must be positive");
     let step = k_max / SAMPLES as f64;
     let ks: Vec<f64> = (0..=SAMPLES).map(|i| step * i as f64).collect();
@@ -370,9 +385,9 @@ mod tests {
     #[test]
     fn hit_rate_in_unit_interval_and_decreasing() {
         let c = hcs_cache();
-        let mut prev = c.hit_rate(0.5);
+        let mut prev = c.hit_rate(Threads(0.5));
         for i in 1..200 {
-            let h = c.hit_rate(i as f64 * 0.5);
+            let h = c.hit_rate(Threads(i as f64 * 0.5));
             assert!((0.0..=1.0).contains(&h), "h out of range: {h}");
             assert!(h <= prev + 1e-12, "hit rate must not increase with k");
             prev = h;
@@ -382,7 +397,7 @@ mod tests {
     #[test]
     fn zero_capacity_means_zero_hit_rate() {
         let c = CacheParams::new(0.0, 30.0, 2.0, 1024.0);
-        assert_eq!(c.hit_rate(10.0), 0.0);
+        assert_eq!(c.hit_rate(Threads(10.0)), 0.0);
     }
 
     #[test]
@@ -391,10 +406,11 @@ mod tests {
         let nocache = CachedMsCurve::new(&m, CacheParams::new(0.0, 30.0, 2.0, 1024.0));
         let roofline = crate::ms::MsCurve::new(&m);
         for i in 0..100 {
-            let k = i as f64;
+            let k = Threads(i as f64);
             assert!(
-                (nocache.f(k) - roofline.f(k)).abs() < 1e-12,
-                "mismatch at k={k}: {} vs {}",
+                (nocache.f(k) - roofline.f(k)).get().abs() < 1e-12,
+                "mismatch at k={}: {} vs {}",
+                k.get(),
                 nocache.f(k),
                 roofline.f(k)
             );
@@ -405,31 +421,34 @@ mod tests {
     fn tiny_k_runs_at_cache_speed() {
         let curve = CachedMsCurve::new(&machine(), hcs_cache());
         // One thread with the whole cache to itself: latency close to L$.
-        let l1 = curve.loaded_latency(1.0);
-        assert!(l1 < 0.1 * machine().l, "latency {l1} should be cache-like");
+        let l1 = curve.loaded_latency(Threads(1.0));
+        assert!(
+            l1 < Cycles(0.1 * machine().l),
+            "latency {l1} should be cache-like"
+        );
     }
 
     #[test]
     fn full_shape_has_peak_valley_plateau() {
         let curve = CachedMsCurve::new(&machine(), hcs_cache());
-        let feats = curve.features(256.0);
+        let feats = curve.features(Threads(256.0));
         let peak = feats.peak.expect("cache peak expected");
         let valley = feats.valley.expect("cache valley expected");
         assert!(peak.k < valley.k, "peak must precede valley");
         assert!(peak.value > valley.value, "peak must exceed valley");
         // Cache peak exceeds raw memory bandwidth (Fig. 7 / Fig. 9).
-        assert!(peak.value > curve.plateau());
+        assert!(peak.value > curve.plateau().get());
         assert!(feats.valley_depth() > 0.0);
         // The peak sits near the thread count whose working sets fill S$.
-        assert!(peak.k < 2.5 * hcs_cache().fit_threads());
+        assert!(peak.k < 2.5 * hcs_cache().fit_threads().get());
     }
 
     #[test]
     fn plateau_is_r() {
         let curve = CachedMsCurve::new(&machine(), hcs_cache());
-        assert_eq!(curve.plateau(), 0.1);
+        assert_eq!(curve.plateau(), ReqPerCycle(0.1));
         // Far out, f approaches R.
-        let f_far = curve.f(1e7);
+        let f_far = curve.f(Threads(1e7)).get();
         assert!((f_far - 0.1).abs() < 1e-2, "f(1e7) = {f_far}");
     }
 
@@ -438,7 +457,7 @@ mod tests {
         // alpha barely above 1: almost no locality (Fig. 8-A curve 1).
         let ci = CacheParams::new(16.0 * 1024.0, 30.0, 1.01, 2048.0);
         let curve = CachedMsCurve::new(&machine(), ci);
-        let feats = curve.features(128.0);
+        let feats = curve.features(Threads(128.0));
         assert!(feats.peak.is_none(), "CI workload must show no cache peak");
         assert!(feats.valley.is_none());
     }
@@ -450,11 +469,18 @@ mod tests {
         let slow = CachedMsCurve::new(&machine(), hcs_cache().with_latency(60.0));
         let fast = CachedMsCurve::new(&machine(), hcs_cache().with_latency(10.0));
         for i in 1..=256 {
-            let k = i as f64;
-            assert!(fast.f(k) >= slow.f(k) - 1e-12, "fast cache slower at k={k}");
+            let k = Threads(i as f64);
+            assert!(
+                fast.f(k).get() >= slow.f(k).get() - 1e-12,
+                "fast cache slower at k={}",
+                k.get()
+            );
         }
-        let ps = slow.features(256.0).peak;
-        let pf = fast.features(256.0).peak.expect("fast cache must peak");
+        let ps = slow.features(Threads(256.0)).peak;
+        let pf = fast
+            .features(Threads(256.0))
+            .peak
+            .expect("fast cache must peak");
         if let Some(ps) = ps {
             assert!(pf.value > ps.value, "fast cache peak must be higher");
         }
@@ -466,8 +492,11 @@ mod tests {
         // 16 KB vs 48 KB — the L1 configurations of Figs. 12–13.
         let small = CachedMsCurve::new(&machine(), hcs_cache().with_capacity(16.0 * 1024.0));
         let big = CachedMsCurve::new(&machine(), hcs_cache().with_capacity(48.0 * 1024.0));
-        let fs = small.features(512.0).peak.expect("small-cache peak");
-        let fb = big.features(512.0).peak.expect("big-cache peak");
+        let fs = small
+            .features(Threads(512.0))
+            .peak
+            .expect("small-cache peak");
+        let fb = big.features(Threads(512.0)).peak.expect("big-cache peak");
         assert!(fb.k > fs.k, "bigger cache peaks at larger k");
         assert!(fb.value > fs.value, "bigger cache peaks higher");
     }
@@ -477,8 +506,8 @@ mod tests {
         // Fig. 8-A: HCS (large alpha) peaks higher than MCS.
         let mcs = CachedMsCurve::new(&machine(), hcs_cache().with_locality(4.0, 2048.0));
         let hcs = CachedMsCurve::new(&machine(), hcs_cache().with_locality(6.0, 2048.0));
-        let pm = mcs.features(256.0).peak.expect("MCS peak");
-        let ph = hcs.features(256.0).peak.expect("HCS peak");
+        let pm = mcs.features(Threads(256.0)).peak.expect("MCS peak");
+        let ph = hcs.features(Threads(256.0)).peak.expect("HCS peak");
         assert!(ph.value > pm.value);
     }
 
@@ -493,32 +522,32 @@ mod tests {
     #[test]
     fn f_zero_at_zero() {
         let curve = CachedMsCurve::new(&machine(), hcs_cache());
-        assert_eq!(curve.f(0.0), 0.0);
-        assert_eq!(curve.f(-1.0), 0.0);
+        assert_eq!(curve.f(Threads(0.0)), ReqPerCycle::ZERO);
+        assert_eq!(curve.f(Threads(-1.0)), ReqPerCycle::ZERO);
     }
 
     #[test]
     fn memory_latency_matches_eq4() {
         let curve = CachedMsCurve::new(&machine(), hcs_cache());
-        assert_eq!(curve.memory_latency(10.0), 600.0);
-        assert!((curve.memory_latency(120.0) - 1200.0).abs() < 1e-9);
+        assert_eq!(curve.memory_latency(Threads(10.0)), Cycles(600.0));
+        assert!((curve.memory_latency(Threads(120.0)).get() - 1200.0).abs() < 1e-9);
     }
 
     #[test]
     fn derivative_sign_tracks_shape() {
         let curve = CachedMsCurve::new(&machine(), hcs_cache());
-        let feats = curve.features(256.0);
+        let feats = curve.features(Threads(256.0));
         let peak = feats.peak.unwrap();
         let valley = feats.valley.unwrap();
         // Rising before the peak, falling between peak and valley.
-        assert!(curve.df_dk(peak.k * 0.5) > 0.0);
+        assert!(curve.df_dk(Threads(peak.k * 0.5)) > 0.0);
         let mid = 0.5 * (peak.k + valley.k);
-        assert!(curve.df_dk(mid) < 0.0);
+        assert!(curve.df_dk(Threads(mid)) < 0.0);
     }
 
     #[test]
     fn fit_threads_scale() {
-        assert_eq!(hcs_cache().fit_threads(), 8.0);
+        assert_eq!(hcs_cache().fit_threads(), Threads(8.0));
     }
 
     #[test]
@@ -526,19 +555,24 @@ mod tests {
         let curve = CachedMsCurve::new(&machine(), hcs_cache());
         // Plenty of MSHRs: identical to Eq. (5).
         for i in 1..=128 {
-            let k = i as f64;
-            assert!((curve.f_mshr(k, 1e6) - curve.f(k)).abs() < 1e-12);
+            let k = Threads(i as f64);
+            assert!((curve.f_mshr(k, 1e6) - curve.f(k)).get().abs() < 1e-12);
         }
         // Two MSHRs: the memory-parallel tail collapses while the
         // cache-fed region (h near 1) is untouched.
         let tight = 2.0;
-        assert!((curve.f_mshr(2.0, tight) - curve.f(2.0)).abs() < 1e-9);
-        assert!(curve.f_mshr(64.0, tight) < 0.5 * curve.f(64.0));
+        assert!(
+            (curve.f_mshr(Threads(2.0), tight) - curve.f(Threads(2.0)))
+                .get()
+                .abs()
+                < 1e-9
+        );
+        assert!(curve.f_mshr(Threads(64.0), tight) < 0.5 * curve.f(Threads(64.0)));
         // The cap equals mshrs/(Lm*miss) when it binds.
-        let k = 64.0;
+        let k = Threads(64.0);
         let miss = 1.0 - hcs_cache().hit_rate(k);
-        let expect = tight / (curve.memory_latency(k) * miss);
-        assert!((curve.f_mshr(k, tight) - expect).abs() < 1e-9);
+        let expect = tight / (curve.memory_latency(k).get() * miss);
+        assert!((curve.f_mshr(k, tight).get() - expect).abs() < 1e-9);
     }
 
     #[test]
@@ -550,12 +584,12 @@ mod tests {
         let small = CachedMsCurve::new(&machine(), hcs_cache());
         let big = CachedMsCurve::new(&machine(), hcs_cache().with_capacity(48.0 * 1024.0));
         let mshrs = 4.0;
-        let peak_gain =
-            big.features(64.0).peak.unwrap().value / small.features(64.0).peak.unwrap().value;
+        let peak_gain = big.features(Threads(64.0)).peak.unwrap().value
+            / small.features(Threads(64.0)).peak.unwrap().value;
         assert!(peak_gain > 1.5, "peak gain {peak_gain}");
         // Deep in the thrashing regime (both caches overwhelmed) the MSHR
         // cap keeps the large-cache advantage far below its peak gain.
-        let k_thrash = 200.0;
+        let k_thrash = Threads(200.0);
         let tail_gain = big.f_mshr(k_thrash, mshrs) / small.f_mshr(k_thrash, mshrs);
         assert!(
             tail_gain < 1.0 + 0.5 * (peak_gain - 1.0),

@@ -5,60 +5,66 @@
 //! with ILP `E` occupies `E` lanes simultaneously, so fewer threads are
 //! needed to fill CS when `E` grows. The demand this puts on MS is
 //! `ĝ(x) = g(x)/Z` requests per cycle (one memory request every `Z` ops).
+//!
+//! Thread counts, throughputs and the intensity `Z` are dimensionally
+//! typed ([`crate::units`]); the ILP degree `E` stays a bare ratio — it
+//! is the lanes-per-thread identification that converts [`Threads`] into
+//! [`OpsPerCycle`] on the slope.
 
 use crate::params::{MachineParams, WorkloadParams};
+use crate::units::{OpsPerCycle, OpsPerRequest, ReqPerCycle, Threads};
 
 /// The CS throughput curve for one machine/workload pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CsCurve {
     /// `M` — lanes.
-    pub m: f64,
-    /// `E` — workload ILP degree.
+    pub m: OpsPerCycle,
+    /// `E` — workload ILP degree (lanes occupied per thread).
     pub e: f64,
     /// `Z` — compute intensity used when projecting into MS space.
-    pub z: f64,
+    pub z: OpsPerRequest,
 }
 
 impl CsCurve {
     /// Build from parameter sets.
     pub fn new(machine: &MachineParams, workload: &WorkloadParams) -> Self {
         Self {
-            m: machine.m,
+            m: machine.lanes(),
             e: workload.e,
-            z: workload.z,
+            z: workload.intensity(),
         }
     }
 
     /// `g(x) = min(E·x, M)` in operations/cycle. `x < 0` is clamped to 0.
-    pub fn g(&self, x: f64) -> f64 {
-        (self.e * x.max(0.0)).min(self.m)
+    pub fn g(&self, x: Threads) -> OpsPerCycle {
+        OpsPerCycle(self.e * x.get().max(0.0)).min(self.m)
     }
 
     /// `ĝ(x) = g(x)/Z` — the demand throughput from CS to MS, in
     /// requests/cycle. This is the curve that appears in the X-graph.
-    pub fn g_hat(&self, x: f64) -> f64 {
+    pub fn g_hat(&self, x: Threads) -> ReqPerCycle {
         self.g(x) / self.z
     }
 
     /// `π = M/E` — the CS transition point: the thread count at which CS
     /// saturates (§II, Fig. 2-B).
-    pub fn pi(&self) -> f64 {
-        self.m / self.e
+    pub fn pi(&self) -> Threads {
+        Threads(self.m.get() / self.e)
     }
 
     /// Peak CS throughput in ops/cycle (the flat part of the roofline).
-    pub fn peak(&self) -> f64 {
+    pub fn peak(&self) -> OpsPerCycle {
         self.m
     }
 
     /// Peak demand on MS, `M/Z`, in requests/cycle.
-    pub fn peak_demand(&self) -> f64 {
+    pub fn peak_demand(&self) -> ReqPerCycle {
         self.m / self.z
     }
 
     /// Analytic derivative `dg/dx` (operations/cycle per thread);
     /// exactly `E` on the slope, `0` on the plateau, `E/2` at the corner.
-    pub fn dg_dx(&self, x: f64) -> f64 {
+    pub fn dg_dx(&self, x: Threads) -> f64 {
         let pi = self.pi();
         if x < pi {
             self.e
@@ -70,12 +76,12 @@ impl CsCurve {
     }
 
     /// Analytic derivative of the MS-space demand curve, `dĝ/dx = dg/dx / Z`.
-    pub fn dghat_dx(&self, x: f64) -> f64 {
-        self.dg_dx(x) / self.z
+    pub fn dghat_dx(&self, x: Threads) -> f64 {
+        self.dg_dx(x) / self.z.get()
     }
 
     /// Utilization of CS with `x` threads: `g(x)/M ∈ [0, 1]`.
-    pub fn utilization(&self, x: f64) -> f64 {
+    pub fn utilization(&self, x: Threads) -> f64 {
         self.g(x) / self.m
     }
 }
@@ -86,39 +92,39 @@ mod tests {
 
     fn curve() -> CsCurve {
         CsCurve {
-            m: 6.0,
+            m: OpsPerCycle(6.0),
             e: 2.0,
-            z: 12.0,
+            z: OpsPerRequest(12.0),
         }
     }
 
     #[test]
     fn g_is_roofline() {
         let c = curve();
-        assert_eq!(c.g(0.0), 0.0);
-        assert_eq!(c.g(1.0), 2.0);
-        assert_eq!(c.g(3.0), 6.0); // exactly at the knee
-        assert_eq!(c.g(100.0), 6.0); // saturated
+        assert_eq!(c.g(Threads(0.0)), OpsPerCycle(0.0));
+        assert_eq!(c.g(Threads(1.0)), OpsPerCycle(2.0));
+        assert_eq!(c.g(Threads(3.0)), OpsPerCycle(6.0)); // exactly at the knee
+        assert_eq!(c.g(Threads(100.0)), OpsPerCycle(6.0)); // saturated
     }
 
     #[test]
     fn negative_x_clamps_to_zero() {
-        assert_eq!(curve().g(-5.0), 0.0);
+        assert_eq!(curve().g(Threads(-5.0)), OpsPerCycle(0.0));
     }
 
     #[test]
     fn pi_is_m_over_e() {
-        assert_eq!(curve().pi(), 3.0);
+        assert_eq!(curve().pi(), Threads(3.0));
         // ILP = 1 degenerates to the transit model's pi = M.
         let c1 = CsCurve { e: 1.0, ..curve() };
-        assert_eq!(c1.pi(), 6.0);
+        assert_eq!(c1.pi(), Threads(6.0));
     }
 
     #[test]
     fn g_hat_scales_by_z() {
         let c = curve();
-        assert!((c.g_hat(3.0) - 0.5).abs() < 1e-12);
-        assert!((c.peak_demand() - 0.5).abs() < 1e-12);
+        assert!((c.g_hat(Threads(3.0)).get() - 0.5).abs() < 1e-12);
+        assert!((c.peak_demand().get() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -126,36 +132,36 @@ mod tests {
         // Fig. 4-E: with a larger E relatively fewer threads are required
         // to fill the available lanes.
         let lo = CsCurve {
-            m: 6.0,
+            m: OpsPerCycle(6.0),
             e: 1.0,
-            z: 1.0,
+            z: OpsPerRequest(1.0),
         };
         let hi = CsCurve {
-            m: 6.0,
+            m: OpsPerCycle(6.0),
             e: 3.0,
-            z: 1.0,
+            z: OpsPerRequest(1.0),
         };
         assert!(hi.pi() < lo.pi());
-        assert!(hi.g(1.5) > lo.g(1.5));
+        assert!(hi.g(Threads(1.5)) > lo.g(Threads(1.5)));
         // Peak is unchanged: E affects the slope, not the ceiling.
-        assert_eq!(lo.g(100.0), hi.g(100.0));
+        assert_eq!(lo.g(Threads(100.0)), hi.g(Threads(100.0)));
     }
 
     #[test]
     fn derivative_matches_slope() {
         let c = curve();
-        assert_eq!(c.dg_dx(1.0), 2.0);
-        assert_eq!(c.dg_dx(10.0), 0.0);
+        assert_eq!(c.dg_dx(Threads(1.0)), 2.0);
+        assert_eq!(c.dg_dx(Threads(10.0)), 0.0);
         assert_eq!(c.dg_dx(c.pi()), 1.0);
-        assert!((c.dghat_dx(1.0) - 2.0 / 12.0).abs() < 1e-12);
+        assert!((c.dghat_dx(Threads(1.0)) - 2.0 / 12.0).abs() < 1e-12);
     }
 
     #[test]
     fn utilization_bounds() {
         let c = curve();
-        assert_eq!(c.utilization(0.0), 0.0);
-        assert_eq!(c.utilization(3.0), 1.0);
-        assert_eq!(c.utilization(99.0), 1.0);
+        assert_eq!(c.utilization(Threads(0.0)), 0.0);
+        assert_eq!(c.utilization(Threads(3.0)), 1.0);
+        assert_eq!(c.utilization(Threads(99.0)), 1.0);
     }
 
     #[test]
@@ -163,8 +169,8 @@ mod tests {
         let m = MachineParams::new(4.0, 0.1, 500.0);
         let w = WorkloadParams::new(8.0, 2.0, 32.0);
         let c = CsCurve::new(&m, &w);
-        assert_eq!(c.m, 4.0);
+        assert_eq!(c.m, OpsPerCycle(4.0));
         assert_eq!(c.e, 2.0);
-        assert_eq!(c.z, 8.0);
+        assert_eq!(c.z, OpsPerRequest(8.0));
     }
 }

@@ -60,7 +60,7 @@
 //! | [`units`] | conversions between model space and GB/s / GF/s |
 //! | [`xgraph`] | assembled X-graph description for rendering |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod balance;
@@ -102,7 +102,9 @@ pub mod prelude {
     pub use crate::stability::Stability;
     pub use crate::transit::TransitModel;
     pub use crate::tuning::{CacheKnob, Knob, TuningOp};
-    pub use crate::units::UnitContext;
+    pub use crate::units::{
+        Cycles, Ops, OpsPerCycle, OpsPerRequest, ReqPerCycle, Requests, Threads, UnitContext,
+    };
     pub use crate::whatif::{Optimization, WhatIf};
     pub use crate::xgraph::XGraph;
 }

@@ -42,7 +42,7 @@ impl ParallelismReport {
             workload_ilp: model.workload.e,
             machine_tlp: model.pi() + model.delta(),
             workload_tlp: model.workload.n,
-            machine_dlp: model.machine.machine_dlp(),
+            machine_dlp: model.machine.machine_dlp().get(),
             workload_dlp: model.workload.z,
         }
     }

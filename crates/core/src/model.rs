@@ -7,6 +7,7 @@ use crate::metrics::ParallelismReport;
 use crate::ms::MsCurve;
 use crate::params::{MachineParams, WorkloadParams};
 use crate::solver::{self, Equilibria};
+use crate::units::{ReqPerCycle, Threads};
 use serde::{Deserialize, Serialize};
 
 /// A fully-specified X-model instance.
@@ -54,32 +55,36 @@ impl XModel {
 
     /// MS supply throughput `f(k)`: Eq. (5) when a cache is configured,
     /// otherwise the plain roofline `min(k/L, R)`.
+    ///
+    /// This is the plain-`f64` convenience facade over the dimensionally
+    /// typed curves ([`MsCurve::f`] / [`CachedMsCurve::f`]); use those
+    /// directly when unit safety matters.
     pub fn fk(&self, k: f64) -> f64 {
         match self.cache {
-            Some(c) => CachedMsCurve::new(&self.machine, c).f(k),
-            None => MsCurve::new(&self.machine).f(k),
+            Some(c) => CachedMsCurve::new(&self.machine, c).f(Threads(k)).get(),
+            None => MsCurve::new(&self.machine).f(Threads(k)).get(),
         }
     }
 
     /// CS throughput `g(x) = min(E·x, M)` in ops/cycle.
     pub fn gx(&self, x: f64) -> f64 {
-        self.cs_curve().g(x)
+        self.cs_curve().g(Threads(x)).get()
     }
 
     /// CS demand on MS, `ĝ(x) = g(x)/Z`, in requests/cycle.
     pub fn g_hat(&self, x: f64) -> f64 {
-        self.cs_curve().g_hat(x)
+        self.cs_curve().g_hat(Threads(x)).get()
     }
 
     /// `π = M/E` — CS transition point.
     pub fn pi(&self) -> f64 {
-        self.cs_curve().pi()
+        self.cs_curve().pi().get()
     }
 
     /// `δ` of the cache-less roofline, `R·L`. For the cache-integrated
     /// curve use [`XModel::ms_features`] which locates the plateau onset.
     pub fn delta(&self) -> f64 {
-        self.machine.delta()
+        self.machine.delta().get()
     }
 
     /// Solve for all flow-balance intersections at the current `n`.
@@ -89,23 +94,29 @@ impl XModel {
 
     /// Solve with an explicit dense-scan resolution (ablation knob).
     pub fn solve_with(&self, samples: usize) -> Equilibria {
-        let f = |k: f64| self.fk(k);
-        let g = |x: f64| self.g_hat(x);
-        solver::solve_with(&f, &g, self.workload.n, self.workload.z, samples)
+        let f = |k: Threads| ReqPerCycle(self.fk(k.get()));
+        let g = |x: Threads| ReqPerCycle(self.g_hat(x.get()));
+        solver::solve_with(
+            &f,
+            &g,
+            self.workload.threads(),
+            self.workload.intensity(),
+            samples,
+        )
     }
 
     /// Feature set (cache peak ψ, valley, plateau, δ) of the MS curve,
     /// scanned over `k ∈ (0, k_max]`.
     pub fn ms_features(&self, k_max: f64) -> MsCurveFeatures {
         match self.cache {
-            Some(c) => CachedMsCurve::new(&self.machine, c).features(k_max),
+            Some(c) => CachedMsCurve::new(&self.machine, c).features(Threads(k_max)),
             None => {
                 let ms = MsCurve::new(&self.machine);
                 MsCurveFeatures {
                     peak: None,
                     valley: None,
-                    delta: (ms.delta() <= k_max).then(|| ms.delta()),
-                    plateau: ms.r,
+                    delta: (ms.delta().get() <= k_max).then(|| ms.delta().get()),
+                    plateau: ms.r.get(),
                 }
             }
         }

@@ -5,59 +5,65 @@
 //! `f(k) = k·R/L` capped at `R` — a roofline in `k` (§II, Fig. 2-A).
 //! The sloped part has slope `1/L` (the per-thread memory throughput); the
 //! transition point is `δ = R·L`, which is also the MLP of the machine.
+//!
+//! All quantities are dimensionally typed ([`crate::units`]): thread
+//! counts are [`Threads`], latencies [`Cycles`], throughputs
+//! [`ReqPerCycle`] — mixing them up is a compile error.
 
 use crate::params::MachineParams;
+use crate::units::{Cycles, ReqPerCycle, Threads};
 
 /// The cache-less MS supply curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MsCurve {
     /// `R` — peak sustainable throughput (requests/cycle).
-    pub r: f64,
+    pub r: ReqPerCycle,
     /// `L` — constant access latency (cycles).
-    pub l: f64,
+    pub l: Cycles,
 }
 
 impl MsCurve {
     /// Build from the machine parameters.
     pub fn new(machine: &MachineParams) -> Self {
         Self {
-            r: machine.r,
-            l: machine.l,
+            r: machine.peak_ms(),
+            l: machine.latency(),
         }
     }
 
     /// `f(k) = min(k/L, R)` requests/cycle. Negative `k` clamps to 0.
-    pub fn f(&self, k: f64) -> f64 {
-        (k.max(0.0) / self.l).min(self.r)
+    pub fn f(&self, k: Threads) -> ReqPerCycle {
+        (k.max(Threads::ZERO) / self.l).min(self.r)
     }
 
     /// `δ = R·L` — the MS transition point (saturation threshold).
-    pub fn delta(&self) -> f64 {
+    pub fn delta(&self) -> Threads {
         self.r * self.l
     }
 
-    /// Analytic derivative `df/dk`: `1/L` on the slope, `0` on the plateau.
-    pub fn df_dk(&self, k: f64) -> f64 {
+    /// Analytic derivative `df/dk` (requests/cycle per thread): `1/L` on
+    /// the slope, `0` on the plateau.
+    pub fn df_dk(&self, k: Threads) -> f64 {
         let d = self.delta();
         if k < d {
-            1.0 / self.l
+            1.0 / self.l.get()
         } else if k > d {
             0.0
         } else {
-            0.5 / self.l
+            0.5 / self.l.get()
         }
     }
 
     /// Utilization `min(k/δ, 1)`.
-    pub fn utilization(&self, k: f64) -> f64 {
-        (k.max(0.0) / self.delta()).min(1.0)
+    pub fn utilization(&self, k: Threads) -> f64 {
+        (k.max(Threads::ZERO) / self.delta()).min(1.0)
     }
 
     /// Effective (loaded) latency seen by `k` threads: before saturation it
     /// is the raw `L`; beyond saturation queueing stretches it to `k/R` so
     /// that `k / latency` never exceeds `R` (§III-B1, `L_m = max{L, k/R}`).
-    pub fn loaded_latency(&self, k: f64) -> f64 {
-        self.l.max(k.max(0.0) / self.r)
+    pub fn loaded_latency(&self, k: Threads) -> Cycles {
+        self.l.max(k.max(Threads::ZERO) / self.r)
     }
 }
 
@@ -66,58 +72,72 @@ mod tests {
     use super::*;
 
     fn ms() -> MsCurve {
-        MsCurve { r: 0.1, l: 500.0 }
+        MsCurve {
+            r: ReqPerCycle(0.1),
+            l: Cycles(500.0),
+        }
     }
 
     #[test]
     fn f_is_roofline() {
         let m = ms();
-        assert_eq!(m.f(0.0), 0.0);
-        assert!((m.f(25.0) - 0.05).abs() < 1e-12);
-        assert!((m.f(50.0) - 0.1).abs() < 1e-12); // knee: delta = 50
-        assert_eq!(m.f(500.0), 0.1);
+        assert_eq!(m.f(Threads(0.0)), ReqPerCycle(0.0));
+        assert!((m.f(Threads(25.0)).get() - 0.05).abs() < 1e-12);
+        assert!((m.f(Threads(50.0)).get() - 0.1).abs() < 1e-12); // knee: delta = 50
+        assert_eq!(m.f(Threads(500.0)), ReqPerCycle(0.1));
     }
 
     #[test]
     fn delta_is_r_times_l() {
-        assert_eq!(ms().delta(), 50.0);
+        assert_eq!(ms().delta(), Threads(50.0));
     }
 
     #[test]
     fn slope_is_reciprocal_latency() {
         let m = ms();
-        assert!((m.df_dk(10.0) - 1.0 / 500.0).abs() < 1e-15);
-        assert_eq!(m.df_dk(100.0), 0.0);
+        assert!((m.df_dk(Threads(10.0)) - 1.0 / 500.0).abs() < 1e-15);
+        assert_eq!(m.df_dk(Threads(100.0)), 0.0);
     }
 
     #[test]
     fn negative_k_clamps() {
-        assert_eq!(ms().f(-3.0), 0.0);
+        assert_eq!(ms().f(Threads(-3.0)), ReqPerCycle(0.0));
     }
 
     #[test]
     fn loaded_latency_grows_past_saturation() {
         let m = ms();
-        assert_eq!(m.loaded_latency(10.0), 500.0);
-        assert_eq!(m.loaded_latency(50.0), 500.0);
-        assert!((m.loaded_latency(100.0) - 1000.0).abs() < 1e-9);
+        assert_eq!(m.loaded_latency(Threads(10.0)), Cycles(500.0));
+        assert_eq!(m.loaded_latency(Threads(50.0)), Cycles(500.0));
+        assert!((m.loaded_latency(Threads(100.0)).get() - 1000.0).abs() < 1e-9);
         // The loaded latency keeps f capped at R: k / L_m = R beyond delta.
-        assert!((100.0 / m.loaded_latency(100.0) - m.r).abs() < 1e-12);
+        assert!(
+            (Threads(100.0) / m.loaded_latency(Threads(100.0)) - m.r)
+                .get()
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
     fn utilization_clamps_to_one() {
         let m = ms();
-        assert_eq!(m.utilization(25.0), 0.5);
-        assert_eq!(m.utilization(1e9), 1.0);
+        assert_eq!(m.utilization(Threads(25.0)), 0.5);
+        assert_eq!(m.utilization(Threads(1e9)), 1.0);
     }
 
     #[test]
     fn higher_r_needs_more_threads_to_saturate() {
         // Fig. 4-A: with L fixed, larger R implies more threads necessary
         // to approach R — that is the machine MLP.
-        let lo = MsCurve { r: 0.05, l: 500.0 };
-        let hi = MsCurve { r: 0.2, l: 500.0 };
+        let lo = MsCurve {
+            r: ReqPerCycle(0.05),
+            l: Cycles(500.0),
+        };
+        let hi = MsCurve {
+            r: ReqPerCycle(0.2),
+            l: Cycles(500.0),
+        };
         assert!(hi.delta() > lo.delta());
     }
 
@@ -125,9 +145,15 @@ mod tests {
     fn higher_l_needs_more_threads_to_saturate() {
         // Fig. 4-B: with R fixed, larger latency requires a larger k to
         // hide the latency.
-        let fast = MsCurve { r: 0.1, l: 200.0 };
-        let slow = MsCurve { r: 0.1, l: 800.0 };
+        let fast = MsCurve {
+            r: ReqPerCycle(0.1),
+            l: Cycles(200.0),
+        };
+        let slow = MsCurve {
+            r: ReqPerCycle(0.1),
+            l: Cycles(800.0),
+        };
         assert!(slow.delta() > fast.delta());
-        assert!(slow.f(20.0) < fast.f(20.0));
+        assert!(slow.f(Threads(20.0)) < fast.f(Threads(20.0)));
     }
 }

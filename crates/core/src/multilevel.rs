@@ -25,6 +25,7 @@
 use crate::cache::{scan_features, CacheParams, MsCurveFeatures};
 use crate::error::{ModelError, Result};
 use crate::params::MachineParams;
+use crate::units::{ReqPerCycle, Threads};
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the L2 stage behind the L1 of [`CacheParams`].
@@ -132,7 +133,7 @@ impl TwoLevelMsCurve {
     /// for the threads actually sharing L1.
     pub fn h1(&self, k: f64) -> f64 {
         let eligible = (1.0 - self.bypass_fraction) * k;
-        self.l1.hit_rate(eligible)
+        self.l1.hit_rate(Threads(eligible))
     }
 
     /// Conditional L2 hit rate for L1 misses, from the reuse-CDF reading
@@ -146,8 +147,8 @@ impl TwoLevelMsCurve {
             s_cache: self.l2.s2,
             ..self.l1
         };
-        let h_s2 = wide.hit_rate(k);
-        let h_s1 = self.l1.hit_rate(k);
+        let h_s2 = wide.hit_rate(Threads(k));
+        let h_s1 = self.l1.hit_rate(Threads(k));
         if h_s1 >= 1.0 - 1e-12 {
             return 1.0;
         }
@@ -163,7 +164,7 @@ impl TwoLevelMsCurve {
         let below_l1 = h2c * l2_eff + (1.0 - h2c) * lm_eff;
 
         // Cache-eligible stream: L1 first, then the shared lower levels.
-        let h1 = self.l1.hit_rate((1.0 - b) * k);
+        let h1 = self.l1.hit_rate(Threads((1.0 - b) * k));
         let eligible_lat = h1 * self.l1.l_cache + (1.0 - h1) * below_l1;
         // Bypassed stream: straight to the lower levels.
         (1.0 - b) * eligible_lat + b * below_l1
@@ -184,7 +185,11 @@ impl TwoLevelMsCurve {
 
     /// Fig. 7 feature set of the two-level curve.
     pub fn features(&self, k_max: f64) -> MsCurveFeatures {
-        scan_features(|k| self.f(k), self.plateau(), k_max)
+        scan_features(
+            |k: Threads| ReqPerCycle(self.f(k.get())),
+            ReqPerCycle(self.plateau()),
+            Threads(k_max),
+        )
     }
 }
 
@@ -223,10 +228,10 @@ mod tests {
             // With h2c = 0 the below-L1 path is pure DRAM: identical to
             // Eq. (5).
             assert!(
-                (two.f(k) - one.f(k)).abs() < 1e-9,
+                (two.f(k) - one.f(Threads(k)).get()).abs() < 1e-9,
                 "k={k}: {} vs {}",
                 two.f(k),
-                one.f(k)
+                one.f(Threads(k))
             );
         }
     }
@@ -240,10 +245,10 @@ mod tests {
         for i in 1..=128 {
             let k = i as f64;
             assert!(
-                two.f(k) >= one.f(k) - 1e-12,
+                two.f(k) >= one.f(Threads(k)).get() - 1e-12,
                 "k={k}: two-level {} below single {}",
                 two.f(k),
-                one.f(k)
+                one.f(Threads(k))
             );
         }
     }

@@ -6,6 +6,7 @@
 //! converts to and from physical GB/s and GF/s.
 
 use crate::error::{ModelError, Result};
+use crate::units::{Cycles, OpsPerCycle, OpsPerRequest, ReqPerCycle, Threads};
 use serde::{Deserialize, Serialize};
 
 /// Architecture-side parameters: `M`, `R`, `L` of Table I.
@@ -37,16 +38,31 @@ impl MachineParams {
         Ok(Self { m, r, l })
     }
 
+    /// `M` as a typed quantity: the peak CS throughput.
+    pub fn lanes(&self) -> OpsPerCycle {
+        OpsPerCycle(self.m)
+    }
+
+    /// `R` as a typed quantity: the peak MS throughput.
+    pub fn peak_ms(&self) -> ReqPerCycle {
+        ReqPerCycle(self.r)
+    }
+
+    /// `L` as a typed quantity: the unloaded MS latency.
+    pub fn latency(&self) -> Cycles {
+        Cycles(self.l)
+    }
+
     /// `δ = R·L` — the MS transition point of the cache-less model: the
     /// number of MS threads at which `f(k) = min(k/L, R)` saturates.
     /// Also the *MLP of the machine* (§III-A1).
-    pub fn delta(&self) -> f64 {
-        self.r * self.l
+    pub fn delta(&self) -> Threads {
+        self.peak_ms() * self.latency()
     }
 
     /// DLP of the machine, `M/R` — the ridge point of the roofline (§III-A4).
-    pub fn machine_dlp(&self) -> f64 {
-        self.m / self.r
+    pub fn machine_dlp(&self) -> OpsPerRequest {
+        self.lanes() / self.peak_ms()
     }
 }
 
@@ -65,6 +81,16 @@ pub struct WorkloadParams {
 }
 
 impl WorkloadParams {
+    /// `Z` as a typed quantity: the compute intensity.
+    pub fn intensity(&self) -> OpsPerRequest {
+        OpsPerRequest(self.z)
+    }
+
+    /// `n` as a typed quantity: the resident thread count.
+    pub fn threads(&self) -> Threads {
+        Threads(self.n)
+    }
+
     /// Create a workload parameter set, panicking on out-of-domain values.
     pub fn new(z: f64, e: f64, n: f64) -> Self {
         Self::try_new(z, e, n).expect("invalid workload parameters")
@@ -197,8 +223,11 @@ mod tests {
     #[test]
     fn machine_params_valid() {
         let p = MachineParams::new(6.0, 0.1, 600.0);
-        assert_eq!(p.delta(), 60.0);
-        assert!((p.machine_dlp() - 60.0).abs() < 1e-12);
+        assert_eq!(p.delta(), Threads(60.0));
+        assert!((p.machine_dlp().get() - 60.0).abs() < 1e-12);
+        assert_eq!(p.lanes(), OpsPerCycle(6.0));
+        assert_eq!(p.peak_ms(), ReqPerCycle(0.1));
+        assert_eq!(p.latency(), Cycles(600.0));
     }
 
     #[test]

@@ -236,7 +236,7 @@ mod tests {
                 let p = spec.machine_params(prec);
                 let (warps, _) = spec.delta(prec);
                 assert!(
-                    (p.delta() - warps).abs() < 1e-6,
+                    (p.delta().get() - warps).abs() < 1e-6,
                     "{} {:?}: delta {} vs table {}",
                     spec.name,
                     prec,

@@ -9,6 +9,7 @@
 //! slopes (Eq. 6).
 
 use crate::stability::{classify, Stability};
+use crate::units::{OpsPerRequest, ReqPerCycle, Threads};
 use serde::{Deserialize, Serialize};
 
 /// One flow-balance intersection: a candidate spatial state of the machine.
@@ -114,21 +115,31 @@ const BISECT_ITERS: usize = 80;
 
 /// Find all intersections of `f(k)` with `ĝ(n−k)` for `k ∈ [0, n]`.
 ///
-/// * `f` — MS supply curve in requests/cycle.
-/// * `g_hat` — CS demand curve in requests/cycle (`g(x)/Z`), evaluated at
-///   `x` (threads in CS).
+/// * `f` — MS supply curve, [`ReqPerCycle`] as a function of the MS
+///   thread count.
+/// * `g_hat` — CS demand curve (`g(x)/Z`), also [`ReqPerCycle`],
+///   evaluated at `x` (threads in CS).
+/// * `n` — total resident threads.
 /// * `z` — compute intensity, used to report CS throughput.
 /// * `samples` — dense-scan resolution (the ablation knob; see
 ///   `DEFAULT_SAMPLES`).
 pub fn solve_with(
-    f: &dyn Fn(f64) -> f64,
-    g_hat: &dyn Fn(f64) -> f64,
-    n: f64,
-    z: f64,
+    f: &dyn Fn(Threads) -> ReqPerCycle,
+    g_hat: &dyn Fn(Threads) -> ReqPerCycle,
+    n: Threads,
+    z: OpsPerRequest,
     samples: usize,
 ) -> Equilibria {
     assert!(samples >= 2, "need at least two scan samples");
-    let _span = xmodel_obs::span!("solver.solve");
+    let _span = xmodel_obs::span!(xmodel_obs::names::span::SOLVER_SOLVE);
+    // Numeric kernel: unwrap the quantities once at the boundary so the
+    // scan/bisection arithmetic is the exact f64 expression it always was.
+    let n = n.get();
+    let z = z.get();
+    let f = |k: f64| f(Threads(k)).get();
+    let g_hat = |x: f64| g_hat(Threads(x)).get();
+    let f: &dyn Fn(f64) -> f64 = &f;
+    let g_hat: &dyn Fn(f64) -> f64 = &g_hat;
     let mut points = Vec::new();
     if n <= 0.0 {
         return Equilibria { points, n };
@@ -165,7 +176,7 @@ pub fn solve_with(
     points.dedup_by(|b, a| (b.k - a.k).abs() <= 1.5 * step);
 
     let eq = Equilibria { points, n };
-    xmodel_obs::metrics::counter_add("solver.solves", 1);
+    xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SOLVER_SOLVES, 1);
     xmodel_obs::event!(
         "solver.result",
         n = n,
@@ -177,7 +188,12 @@ pub fn solve_with(
 }
 
 /// [`solve_with`] at the default resolution.
-pub fn solve(f: &dyn Fn(f64) -> f64, g_hat: &dyn Fn(f64) -> f64, n: f64, z: f64) -> Equilibria {
+pub fn solve(
+    f: &dyn Fn(Threads) -> ReqPerCycle,
+    g_hat: &dyn Fn(Threads) -> ReqPerCycle,
+    n: Threads,
+    z: OpsPerRequest,
+) -> Equilibria {
     solve_with(f, g_hat, n, z, DEFAULT_SAMPLES)
 }
 
@@ -237,12 +253,15 @@ mod tests {
 
     /// Transit-style configuration with a closed-form solution.
     /// f(k) = min(k/L, R), ghat(x) = min(E x, M)/Z.
-    fn transit_curves() -> (impl Fn(f64) -> f64, impl Fn(f64) -> f64) {
+    fn transit_curves() -> (
+        impl Fn(Threads) -> ReqPerCycle,
+        impl Fn(Threads) -> ReqPerCycle,
+    ) {
         let (r, l) = (0.1_f64, 500.0_f64);
         let (m, e, z) = (4.0_f64, 1.0_f64, 20.0_f64);
         (
-            move |k: f64| (k.max(0.0) / l).min(r),
-            move |x: f64| (e * x.max(0.0)).min(m) / z,
+            move |k: Threads| ReqPerCycle((k.get().max(0.0) / l).min(r)),
+            move |x: Threads| ReqPerCycle((e * x.get().max(0.0)).min(m) / z),
         )
     }
 
@@ -250,7 +269,7 @@ mod tests {
     fn single_intersection_transit() {
         let (f, g) = transit_curves();
         let n = 48.0;
-        let eq = solve(&f, &g, n, 20.0);
+        let eq = solve(&f, &g, Threads(n), OpsPerRequest(20.0));
         assert_eq!(eq.points().len(), 1);
         let p = eq.operating_point().unwrap();
         // Closed form: on slopes of both curves, k/500 = (n-k)/20
@@ -266,7 +285,7 @@ mod tests {
     #[test]
     fn zero_threads_no_equilibrium() {
         let (f, g) = transit_curves();
-        let eq = solve(&f, &g, 0.0, 20.0);
+        let eq = solve(&f, &g, Threads(0.0), OpsPerRequest(20.0));
         assert!(eq.points().is_empty());
         assert!(eq.operating_point().is_none());
         assert_eq!(eq.degradation(), 0.0);
@@ -280,7 +299,7 @@ mod tests {
         // equilibrium on the flat part of f at ms = R... but then demand
         // 0.2 > supply 0.1 pushes k to where g's slope region starts.
         let n = 2000.0;
-        let eq = solve(&f, &g, n, 20.0);
+        let eq = solve(&f, &g, Threads(n), OpsPerRequest(20.0));
         let p = eq.operating_point().unwrap();
         // Supply capped at R=0.1; demand min(x,4)/20 = 0.1 at x = 2.
         assert!((p.ms_throughput - 0.1).abs() < 1e-6);
@@ -291,10 +310,10 @@ mod tests {
     fn three_intersections_with_cache_shape() {
         // Synthetic f with a tall peak and a deep valley, crossing a
         // roofline g three times (Fig. 9-B).
-        let f = |k: f64| {
+        let f = |k: Threads| {
             // peak at k=8 of height 0.3, valley at k=24 of 0.05, plateau 0.1
-            let k = k.max(0.0);
-            if k <= 8.0 {
+            let k = k.get().max(0.0);
+            ReqPerCycle(if k <= 8.0 {
                 0.3 * k / 8.0
             } else if k <= 24.0 {
                 0.3 - 0.25 * (k - 8.0) / 16.0
@@ -302,11 +321,12 @@ mod tests {
                 0.05 + 0.05 * (k - 24.0) / 36.0
             } else {
                 0.1
-            }
+            })
         };
-        let g = |x: f64| (x.max(0.0) * 1.0).min(10.0) / 50.0; // plateau 0.2
+        // plateau 0.2
+        let g = |x: Threads| ReqPerCycle((x.get().max(0.0) * 1.0).min(10.0) / 50.0);
         let n = 64.0;
-        let eq = solve(&f, &g, n, 50.0);
+        let eq = solve(&f, &g, Threads(n), OpsPerRequest(50.0));
         assert_eq!(eq.points().len(), 3, "points: {:?}", eq.points());
         let pts = eq.points();
         // Middle one unstable, outer two stable.
@@ -324,8 +344,8 @@ mod tests {
     #[test]
     fn resolution_ablation_converges() {
         let (f, g) = transit_curves();
-        let coarse = solve_with(&f, &g, 48.0, 20.0, 64);
-        let fine = solve_with(&f, &g, 48.0, 20.0, 8192);
+        let coarse = solve_with(&f, &g, Threads(48.0), OpsPerRequest(20.0), 64);
+        let fine = solve_with(&f, &g, Threads(48.0), OpsPerRequest(20.0), 8192);
         let kc = coarse.operating_point().unwrap().k;
         let kf = fine.operating_point().unwrap().k;
         assert!((kc - kf).abs() < 1e-6);
@@ -334,9 +354,13 @@ mod tests {
     #[test]
     fn flow_balance_holds_at_every_root() {
         let (f, g) = transit_curves();
-        let eq = solve(&f, &g, 48.0, 20.0);
+        let eq = solve(&f, &g, Threads(48.0), OpsPerRequest(20.0));
         for p in eq.points() {
-            assert!((f(p.k) - g(p.x)).abs() < 1e-9, "imbalance at k={}", p.k);
+            assert!(
+                (f(Threads(p.k)) - g(Threads(p.x))).get().abs() < 1e-9,
+                "imbalance at k={}",
+                p.k
+            );
         }
     }
 }

@@ -11,6 +11,7 @@ use crate::model::XModel;
 use crate::params::{MachineParams, WorkloadParams};
 use crate::solver::Intersection;
 use crate::stability::Stability;
+use crate::units::{OpsPerRequest, Threads};
 use serde::{Deserialize, Serialize};
 
 /// The transit model: inputs `R, L, M` (architecture) and `Z, n`
@@ -21,7 +22,11 @@ use serde::{Deserialize, Serialize};
 /// ```
 /// use xmodel_core::prelude::*;
 ///
-/// let t = TransitModel::new(MachineParams::new(4.0, 0.1, 500.0), 20.0, 48.0);
+/// let t = TransitModel::new(
+///     MachineParams::new(4.0, 0.1, 500.0),
+///     OpsPerRequest(20.0),
+///     Threads(48.0),
+/// );
 /// let eq = t.equilibrium().unwrap();
 /// // Closed form matches the generic solver.
 /// let numeric = t.to_xmodel().solve().operating_point().unwrap();
@@ -32,21 +37,24 @@ pub struct TransitModel {
     /// Architecture parameters.
     pub machine: MachineParams,
     /// `Z` — compute intensity.
-    pub z: f64,
+    pub z: OpsPerRequest,
     /// `n` — total threads.
-    pub n: f64,
+    pub n: Threads,
 }
 
 impl TransitModel {
     /// Create a transit model.
-    pub fn new(machine: MachineParams, z: f64, n: f64) -> Self {
-        assert!(z > 0.0 && n >= 0.0);
+    pub fn new(machine: MachineParams, z: OpsPerRequest, n: Threads) -> Self {
+        assert!(z.get() > 0.0 && n.get() >= 0.0);
         Self { machine, z, n }
     }
 
     /// Lift into the equivalent X-model (`E = 1`, no cache).
     pub fn to_xmodel(&self) -> XModel {
-        XModel::new(self.machine, WorkloadParams::new(self.z, 1.0, self.n))
+        XModel::new(
+            self.machine,
+            WorkloadParams::new(self.z.get(), 1.0, self.n.get()),
+        )
     }
 
     /// Closed-form equilibrium of `min(k/L, R) = min(n−k, M)/Z`.
@@ -64,7 +72,7 @@ impl TransitModel {
     /// Returns `None` for `n = 0`.
     pub fn equilibrium(&self) -> Option<Intersection> {
         let (r, l, m) = (self.machine.r, self.machine.l, self.machine.m);
-        let (z, n) = (self.z, self.n);
+        let (z, n) = (self.z.get(), self.n.get());
         if n <= 0.0 {
             return None;
         }
@@ -95,9 +103,9 @@ impl TransitModel {
     fn point(&self, k: f64, ms: f64) -> Intersection {
         Intersection {
             k,
-            x: self.n - k,
+            x: self.n.get() - k,
             ms_throughput: ms,
-            cs_throughput: ms * self.z,
+            cs_throughput: ms * self.z.get(),
             // The cache-less supply curve never descends: stable.
             stability: Stability::Stable,
         }
@@ -114,7 +122,7 @@ impl TransitModel {
     /// Principle 2 (§II): if the intersection moves up and `Z` is
     /// unchanged, CS throughput increased too.
     pub fn principle2_cs_improves(&self, after: &TransitModel) -> Option<bool> {
-        if (self.z - after.z).abs() > 1e-12 {
+        if (self.z - after.z).get().abs() > 1e-12 {
             return None; // principle does not apply
         }
         self.principle1_ms_improves(after)
@@ -145,9 +153,14 @@ mod tests {
         MachineParams::new(4.0, 0.1, 500.0) // delta = 50, M/R ridge = 40
     }
 
+    /// Shorthand: a transit model on the reference machine.
+    fn tm(z: f64, n: f64) -> TransitModel {
+        TransitModel::new(machine(), OpsPerRequest(z), Threads(n))
+    }
+
     #[test]
     fn slope_slope_case_matches_algebra() {
-        let t = TransitModel::new(machine(), 20.0, 48.0);
+        let t = tm(20.0, 48.0);
         let p = t.equilibrium().unwrap();
         assert!((p.k - 48.0 * 500.0 / 520.0).abs() < 1e-9);
     }
@@ -155,7 +168,7 @@ mod tests {
     #[test]
     fn supply_saturated_case() {
         // Z small (memory bound), many threads: f = R, x = R*Z.
-        let t = TransitModel::new(machine(), 5.0, 500.0);
+        let t = tm(5.0, 500.0);
         let p = t.equilibrium().unwrap();
         assert!((p.ms_throughput - 0.1).abs() < 1e-12);
         assert!((p.x - 0.5).abs() < 1e-9);
@@ -164,7 +177,7 @@ mod tests {
     #[test]
     fn demand_saturated_case() {
         // Z large (compute bound): g = M, k = L*M/Z.
-        let t = TransitModel::new(machine(), 400.0, 500.0);
+        let t = tm(400.0, 500.0);
         let p = t.equilibrium().unwrap();
         assert!((p.k - 5.0).abs() < 1e-9);
         assert!((p.cs_throughput - 4.0).abs() < 1e-9);
@@ -181,7 +194,7 @@ mod tests {
             (400.0, 500.0),
             (100.0, 30.0),
         ] {
-            let t = TransitModel::new(machine(), z, n);
+            let t = tm(z, n);
             let closed = t.equilibrium().unwrap();
             let numeric = t.to_xmodel().solve().operating_point().unwrap();
             assert!(
@@ -201,43 +214,38 @@ mod tests {
 
     #[test]
     fn zero_threads_has_no_equilibrium() {
-        assert!(TransitModel::new(machine(), 20.0, 0.0)
-            .equilibrium()
-            .is_none());
+        assert!(tm(20.0, 0.0).equilibrium().is_none());
     }
 
     #[test]
     fn principle1_more_threads_raises_ms_throughput() {
-        let before = TransitModel::new(machine(), 20.0, 20.0);
-        let after = TransitModel::new(machine(), 20.0, 40.0);
+        let before = tm(20.0, 20.0);
+        let after = tm(20.0, 40.0);
         assert_eq!(before.principle1_ms_improves(&after), Some(true));
         assert_eq!(after.principle1_ms_improves(&before), Some(false));
     }
 
     #[test]
     fn principle2_requires_unchanged_z() {
-        let before = TransitModel::new(machine(), 20.0, 20.0);
-        let after_more_threads = TransitModel::new(machine(), 20.0, 40.0);
+        let before = tm(20.0, 20.0);
+        let after_more_threads = tm(20.0, 40.0);
         assert_eq!(
             before.principle2_cs_improves(&after_more_threads),
             Some(true)
         );
-        let after_z_change = TransitModel::new(machine(), 30.0, 40.0);
+        let after_z_change = tm(30.0, 40.0);
         assert_eq!(before.principle2_cs_improves(&after_z_change), None);
     }
 
     #[test]
     fn principle3_z_increase_right_of_pi() {
         // Saturated CS (x >= M): raising Z keeps/raises CS throughput.
-        let before = TransitModel::new(machine(), 100.0, 60.0);
+        let before = tm(100.0, 60.0);
         let b = before.equilibrium().unwrap();
         assert!(b.x >= 4.0);
-        let after = TransitModel::new(machine(), 150.0, 60.0);
+        let after = tm(150.0, 60.0);
         assert_eq!(before.principle3_applies(&after), Some(true));
         // Not applicable when Z decreases.
-        assert_eq!(
-            before.principle3_applies(&TransitModel::new(machine(), 50.0, 60.0)),
-            None
-        );
+        assert_eq!(before.principle3_applies(&tm(50.0, 60.0)), None);
     }
 }

@@ -1,12 +1,222 @@
-//! Conversions between model space and physical units.
+//! Model-space quantity types and conversions to physical units.
 //!
 //! The model works per-SM and per-cycle with warp-granularity threads:
 //! MS throughput is *coalesced memory requests per cycle* (one request =
 //! one warp-wide transaction) and CS throughput is *warp-operations per
-//! cycle*. This module converts those to the GB/s and GF/s numbers the
-//! paper's figures use, and back.
+//! cycle*. This module provides two layers:
+//!
+//! 1. **Dimensional quantity types** — zero-cost `f64` newtypes
+//!    ([`Threads`], [`Cycles`], [`Ops`], [`Requests`], [`OpsPerCycle`],
+//!    [`ReqPerCycle`], [`OpsPerRequest`]) with only the dimensionally
+//!    valid `Mul`/`Div` impls, so a `Z`↔`E` or `R`↔`L` swap in the model
+//!    equations is a compile error rather than a silently wrong
+//!    equilibrium. The Table I symbols map as: `n`, `k`, `x`, `δ`, `π` →
+//!    [`Threads`]; `L`, `L$`, `L_m`, `L_k` → [`Cycles`]; `M`, `g(x)` →
+//!    [`OpsPerCycle`]; `R`, `f(k)`, `ĝ(x)` → [`ReqPerCycle`]; `Z` →
+//!    [`OpsPerRequest`]; work totals `W`, `Q` → [`Ops`] / [`Requests`].
+//! 2. **Physical-unit conversion** — [`UnitContext`] converts model-space
+//!    throughputs to the GB/s and GF/s numbers the paper's figures use,
+//!    and back.
+//!
+//! One deliberate identification: a thread resident in MS has exactly one
+//! request in flight (Little's law, §II), so `ReqPerCycle · Cycles =`
+//! [`Threads`] — that is the transition point `δ = R·L` and the loaded
+//! latency `L_m = k/R` of Eq. (4). [`Requests`] is reserved for workload
+//! totals (e.g. execution-time prediction), not for in-flight occupancy.
 
 use serde::{Deserialize, Serialize};
+
+/// Define one `f64` newtype quantity with its scalar arithmetic.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// The raw scalar value, in $unit.
+            #[inline]
+            pub const fn get(self) -> f64 {
+                self.0
+            }
+
+            /// Pointwise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Pointwise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Is the value finite?
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Same-dimension ratio: dimensionless.
+        impl std::ops::Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        // Manual transparent serialization (a quantity is its scalar on
+        // the wire); the vendored serde derive would emit a one-element
+        // tuple instead.
+        impl Serialize for $name {
+            fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_f64(self.0)
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A thread count: `n`, `k`, `x` and the transition points `δ`, `π`
+    /// (warps, on a GPU).
+    Threads,
+    "threads"
+);
+quantity!(
+    /// A time span in core clock cycles: the latencies `L`, `L$`, `L_m`,
+    /// `L_k`.
+    Cycles,
+    "cycles"
+);
+quantity!(
+    /// An amount of computation: warp-operations (one op = one warp-wide
+    /// lane-operation).
+    Ops,
+    "ops"
+);
+quantity!(
+    /// An amount of memory traffic: coalesced warp-wide requests.
+    Requests,
+    "requests"
+);
+quantity!(
+    /// CS throughput `g(x)` and the lane count `M`, in warp-operations
+    /// per cycle.
+    OpsPerCycle,
+    "ops/cycle"
+);
+quantity!(
+    /// MS throughput `f(k)`, `ĝ(x)` and the peak `R`, in coalesced
+    /// requests per cycle.
+    ReqPerCycle,
+    "req/cycle"
+);
+quantity!(
+    /// Compute intensity `Z`: warp-operations per memory request (the
+    /// DLP of the workload, §III-A4).
+    OpsPerRequest,
+    "ops/request"
+);
+
+/// Define the four operator impls of one dimensional product
+/// `$a * $b = $c` (and therefore `$c / $a = $b`, `$c / $b = $a`).
+macro_rules! dimensional {
+    ($a:ident * $b:ident = $c:ident) => {
+        impl std::ops::Mul<$b> for $a {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $b) -> $c {
+                $c(self.0 * rhs.0)
+            }
+        }
+
+        impl std::ops::Mul<$a> for $b {
+            type Output = $c;
+            #[inline]
+            fn mul(self, rhs: $a) -> $c {
+                $c(self.0 * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<$a> for $c {
+            type Output = $b;
+            #[inline]
+            fn div(self, rhs: $a) -> $b {
+                $b(self.0 / rhs.0)
+            }
+        }
+
+        impl std::ops::Div<$b> for $c {
+            type Output = $a;
+            #[inline]
+            fn div(self, rhs: $b) -> $a {
+                $a(self.0 / rhs.0)
+            }
+        }
+    };
+}
+
+// δ = R·L and L_m = k/R (Little's law: one in-flight request per MS
+// thread), so f(k) = k/L_k comes out in requests per cycle.
+dimensional!(ReqPerCycle * Cycles = Threads);
+// g = Z·f and ĝ = g/Z (Eq. 2 projected into MS space).
+dimensional!(ReqPerCycle * OpsPerRequest = OpsPerCycle);
+// Work accumulated over time: W = g·T.
+dimensional!(OpsPerCycle * Cycles = Ops);
+// Workload totals: W = Z·Q.
+dimensional!(OpsPerRequest * Requests = Ops);
 
 /// Threads per warp on every architecture modelled here.
 pub const WARP_SIZE: f64 = 32.0;
@@ -113,5 +323,63 @@ mod tests {
     #[should_panic]
     fn rejects_zero_frequency() {
         let _ = UnitContext::new(0.0, 128.0, 2.0, 15);
+    }
+
+    #[test]
+    fn littles_law_dimensions() {
+        // delta = R * L and back.
+        let delta: Threads = ReqPerCycle(0.1) * Cycles(500.0);
+        assert_eq!(delta, Threads(50.0));
+        let r: ReqPerCycle = delta / Cycles(500.0);
+        assert_eq!(r, ReqPerCycle(0.1));
+        let lm: Cycles = Threads(100.0) / ReqPerCycle(0.1);
+        assert_eq!(lm, Cycles(1000.0));
+    }
+
+    #[test]
+    fn intensity_dimensions() {
+        // g = Z * f, ghat = g / Z, machine DLP = M / R.
+        let g: OpsPerCycle = OpsPerRequest(20.0) * ReqPerCycle(0.1);
+        assert_eq!(g, OpsPerCycle(2.0));
+        assert_eq!(g / OpsPerRequest(20.0), ReqPerCycle(0.1));
+        let dlp: OpsPerRequest = OpsPerCycle(6.0) / ReqPerCycle(0.1);
+        assert_eq!(dlp, OpsPerRequest(60.0));
+    }
+
+    #[test]
+    fn work_totals() {
+        let w: Ops = OpsPerCycle(4.0) * Cycles(100.0);
+        assert_eq!(w, Ops(400.0));
+        let q: Requests = w / OpsPerRequest(20.0);
+        assert_eq!(q, Requests(20.0));
+        assert_eq!(OpsPerRequest(20.0) * q, w);
+    }
+
+    #[test]
+    fn scalar_ops_and_ordering() {
+        let a = Threads(3.0);
+        assert_eq!(a + Threads(1.0), Threads(4.0));
+        assert_eq!(a - Threads(1.0), Threads(2.0));
+        assert_eq!(a * 2.0, Threads(6.0));
+        assert_eq!(2.0 * a, Threads(6.0));
+        assert_eq!(a / 3.0, Threads(1.0));
+        assert!((a / Threads(2.0) - 1.5).abs() < 1e-15);
+        assert!(Threads(1.0) < a);
+        assert_eq!(a.min(Threads(1.0)), Threads(1.0));
+        assert_eq!(a.max(Threads(5.0)), Threads(5.0));
+        assert_eq!(Threads::ZERO.get(), 0.0);
+        assert!(a.is_finite());
+        assert_eq!(format!("{a}"), "3 threads");
+    }
+
+    #[test]
+    fn quantities_serialize_transparently() {
+        #[derive(Serialize)]
+        struct Wrap {
+            k: Threads,
+        }
+        let json = xmodel_obs::json::to_string(&Wrap { k: Threads(1.5) });
+        assert!(json.contains("1.5"), "{json}");
+        assert!(!json.contains('['), "quantity must serialize as a scalar");
     }
 }

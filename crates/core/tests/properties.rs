@@ -8,6 +8,7 @@ use xmodel_core::params::{MachineParams, WorkloadParams};
 use xmodel_core::stability::Stability;
 use xmodel_core::transit::TransitModel;
 use xmodel_core::tuning::{evaluate, Knob, TuningOp};
+use xmodel_core::units::{OpsPerCycle, OpsPerRequest, ReqPerCycle, Threads};
 use xmodel_core::xgraph::XGraph;
 use xmodel_core::XModel;
 
@@ -32,22 +33,24 @@ proptest! {
     /// g(x) is a non-decreasing roofline capped at M with slope E.
     #[test]
     fn g_monotone_and_capped(m in machine(), e in 0.1f64..8.0, x in 0.0f64..512.0) {
-        let c = CsCurve { m: m.m, e, z: 1.0 };
-        prop_assert!(c.g(x) <= m.m + 1e-12);
-        prop_assert!(c.g(x) >= 0.0);
-        prop_assert!(c.g(x + 1.0) >= c.g(x) - 1e-12);
+        let c = CsCurve { m: OpsPerCycle(m.m), e, z: OpsPerRequest(1.0) };
+        let x = Threads(x);
+        prop_assert!(c.g(x) <= OpsPerCycle(m.m + 1e-12));
+        prop_assert!(c.g(x) >= OpsPerCycle(0.0));
+        prop_assert!(c.g(x + Threads(1.0)) >= c.g(x) - OpsPerCycle(1e-12));
         // Slope bound: growth over one thread never exceeds E.
-        prop_assert!(c.g(x + 1.0) - c.g(x) <= e + 1e-12);
+        prop_assert!((c.g(x + Threads(1.0)) - c.g(x)).get() <= e + 1e-12);
     }
 
     /// Cache-less f is a non-decreasing roofline capped at R.
     #[test]
     fn f_monotone_and_capped(m in machine(), k in 0.0f64..2048.0) {
         let c = MsCurve::new(&m);
-        prop_assert!(c.f(k) <= m.r + 1e-12);
-        prop_assert!(c.f(k + 1.0) >= c.f(k) - 1e-12);
+        let k = Threads(k);
+        prop_assert!(c.f(k) <= ReqPerCycle(m.r + 1e-12));
+        prop_assert!(c.f(k + Threads(1.0)) >= c.f(k) - ReqPerCycle(1e-12));
         // delta is exactly where the cap binds.
-        prop_assert!((c.f(c.delta()) - m.r).abs() < 1e-9);
+        prop_assert!((c.f(c.delta()).get() - m.r).abs() < 1e-9);
     }
 
     /// Eq. (5) stays within physical bounds: the loaded latency
@@ -57,9 +60,9 @@ proptest! {
     #[test]
     fn eq5_bounded_by_pure_cache_rate(m in machine(), c in cache(), k in 0.01f64..512.0) {
         let curve = CachedMsCurve::new(&m, c);
-        let lk = curve.loaded_latency(k);
-        let lm = curve.memory_latency(k);
-        prop_assert!(curve.f(k) <= k / lm.min(c.l_cache) + 1e-9);
+        let lk = curve.loaded_latency(Threads(k)).get();
+        let lm = curve.memory_latency(Threads(k)).get();
+        prop_assert!(curve.f(Threads(k)).get() <= k / lm.min(c.l_cache) + 1e-9);
         prop_assert!(lk <= lm.max(c.l_cache) + 1e-9);
         prop_assert!(lk >= lm.min(c.l_cache) - 1e-9);
     }
@@ -69,15 +72,15 @@ proptest! {
     fn faster_cache_dominates(m in machine(), c in cache(), k in 0.01f64..256.0) {
         let slow = CachedMsCurve::new(&m, c);
         let fast = CachedMsCurve::new(&m, c.with_latency(c.l_cache * 0.5));
-        prop_assert!(fast.f(k) >= slow.f(k) - 1e-12);
+        prop_assert!(fast.f(Threads(k)) >= slow.f(Threads(k)) - ReqPerCycle(1e-12));
     }
 
     /// Hit rate is monotone in capacity and antitone in thread count.
     #[test]
     fn hit_rate_monotonicity(c in cache(), k in 0.1f64..256.0) {
         let bigger = c.with_capacity(c.s_cache * 2.0);
-        prop_assert!(bigger.hit_rate(k) >= c.hit_rate(k) - 1e-12);
-        prop_assert!(c.hit_rate(k * 2.0) <= c.hit_rate(k) + 1e-12);
+        prop_assert!(bigger.hit_rate(Threads(k)) >= c.hit_rate(Threads(k)) - 1e-12);
+        prop_assert!(c.hit_rate(Threads(k * 2.0)) <= c.hit_rate(Threads(k)) + 1e-12);
     }
 
     /// Closed-form transit equilibrium always matches the numeric solver.
@@ -87,7 +90,7 @@ proptest! {
         z in 1.0f64..500.0,
         n in 0.5f64..256.0,
     ) {
-        let t = TransitModel::new(m, z, n);
+        let t = TransitModel::new(m, OpsPerRequest(z), Threads(n));
         let closed = t.equilibrium().unwrap();
         let numeric = t.to_xmodel().solve().operating_point().unwrap();
         prop_assert!(
@@ -103,8 +106,8 @@ proptest! {
     /// machine never reduces MS throughput.
     #[test]
     fn principle1_monotone_threads(m in machine(), z in 1.0f64..200.0, n in 1.0f64..100.0) {
-        let before = TransitModel::new(m, z, n);
-        let after = TransitModel::new(m, z, n + 5.0);
+        let before = TransitModel::new(m, OpsPerRequest(z), Threads(n));
+        let after = TransitModel::new(m, OpsPerRequest(z), Threads(n + 5.0));
         let b = before.equilibrium().unwrap().ms_throughput;
         let a = after.equilibrium().unwrap().ms_throughput;
         prop_assert!(a >= b - 1e-9);

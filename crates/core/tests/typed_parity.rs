@@ -1,0 +1,138 @@
+//! Bit-for-bit parity between the quantity-typed APIs and the paper's
+//! bare-f64 formulas, on the Table II preset machines.
+//!
+//! The dimensional newtypes ([`xmodel_core::units`]) are zero-cost
+//! wrappers: every typed method must unwrap to *exactly* the f64
+//! expression the untyped seed computed. These properties pin that
+//! contract with exact `==` — no epsilon — so a future rearrangement
+//! inside a quantity type (which could perturb the solver's bisection
+//! brackets) fails loudly rather than drifting figures by ulps.
+
+use proptest::prelude::*;
+use xmodel_core::cache::{CacheParams, CachedMsCurve};
+use xmodel_core::cs::CsCurve;
+use xmodel_core::ms::MsCurve;
+use xmodel_core::params::MachineParams;
+use xmodel_core::presets::{GpuSpec, Precision};
+use xmodel_core::solver;
+use xmodel_core::units::{OpsPerCycle, OpsPerRequest, ReqPerCycle, Threads};
+
+/// One of the Table II machines, either precision.
+fn preset_machine() -> impl Strategy<Value = MachineParams> {
+    (0usize..6).prop_map(|i| {
+        let specs = GpuSpec::all();
+        let spec = specs
+            .get(i % 3)
+            .cloned()
+            .unwrap_or_else(GpuSpec::fermi_gtx570);
+        let precision = if i >= 3 {
+            Precision::Double
+        } else {
+            Precision::Single
+        };
+        spec.machine_params(precision)
+    })
+}
+
+/// The bare-f64 Eq. (2) roofline, exactly as the seed wrote it.
+fn f_plain(k: f64, r: f64, l: f64) -> f64 {
+    (k.max(0.0) / l).min(r)
+}
+
+/// The bare-f64 Eq. (1) roofline, exactly as the seed wrote it.
+fn g_plain(x: f64, e: f64, m: f64) -> f64 {
+    (e * x.max(0.0)).min(m)
+}
+
+/// The bare-f64 Eqs. (3)–(5) cache-integrated supply curve.
+fn f_cached_plain(k: f64, r: f64, l: f64, c: &CacheParams) -> f64 {
+    if k <= 0.0 {
+        return 0.0;
+    }
+    let h = c.hit_rate(Threads(k));
+    let lm = l.max(k.max(0.0) / r);
+    let lk = h * c.l_cache + (1.0 - h) * lm;
+    k / lk
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MS supply: `MsCurve::f` is bit-identical to `min(k/L, R)`.
+    #[test]
+    fn ms_curve_matches_f64(mp in preset_machine(), k in -8.0f64..4096.0) {
+        let ms = MsCurve::new(&mp);
+        prop_assert_eq!(ms.f(Threads(k)).get(), f_plain(k, mp.r, mp.l));
+        prop_assert_eq!(ms.delta().get(), mp.r * mp.l);
+        prop_assert_eq!(ms.loaded_latency(Threads(k)).get(), l_loaded(k, mp.r, mp.l));
+    }
+
+    /// CS throughput: `CsCurve::g`/`g_hat` are bit-identical to
+    /// `min(E·x, M)` and `g/Z`.
+    #[test]
+    fn cs_curve_matches_f64(
+        mp in preset_machine(),
+        e in 0.1f64..8.0,
+        z in 1.0f64..200.0,
+        x in -8.0f64..4096.0,
+    ) {
+        let cs = CsCurve { m: OpsPerCycle(mp.m), e, z: OpsPerRequest(z) };
+        prop_assert_eq!(cs.g(Threads(x)).get(), g_plain(x, e, mp.m));
+        prop_assert_eq!(cs.g_hat(Threads(x)).get(), g_plain(x, e, mp.m) / z);
+        prop_assert_eq!(cs.pi().get(), mp.m / e);
+    }
+
+    /// Cache-integrated supply (Eq. 5) on the presets' default L1.
+    #[test]
+    fn cached_curve_matches_f64(
+        idx in 0usize..3,
+        alpha in 1.05f64..8.0,
+        k in -8.0f64..4096.0,
+    ) {
+        let specs = GpuSpec::all();
+        let spec = specs.get(idx).cloned().unwrap_or_else(GpuSpec::fermi_gtx570);
+        let mp = spec.machine_params(Precision::Single);
+        let cache = CacheParams::new(spec.default_l1_bytes(), 30.0, alpha, 128.0);
+        let curve = CachedMsCurve::new(&mp, cache);
+        prop_assert_eq!(
+            curve.f(Threads(k)).get(),
+            f_cached_plain(k, mp.r, mp.l, &cache)
+        );
+    }
+
+    /// The typed solver entry applied to typed curves returns the exact
+    /// same equilibria as the same bare-f64 formulas wrapped at the
+    /// boundary — the quantity layer adds zero floating-point noise to
+    /// the operating points of the preset machines.
+    #[test]
+    fn solver_matches_f64_reference(
+        mp in preset_machine(),
+        e in 0.1f64..8.0,
+        z in 1.0f64..200.0,
+        n in 1.0f64..256.0,
+    ) {
+        let ms = MsCurve::new(&mp);
+        let cs = CsCurve { m: OpsPerCycle(mp.m), e, z: OpsPerRequest(z) };
+        let typed = solver::solve_with(
+            &|k| ms.f(k),
+            &|x| cs.g_hat(x),
+            Threads(n),
+            OpsPerRequest(z),
+            2048,
+        );
+        let (r, l, m) = (mp.r, mp.l, mp.m);
+        let untyped = solver::solve_with(
+            &|k: Threads| ReqPerCycle(f_plain(k.get(), r, l)),
+            &|x: Threads| ReqPerCycle(g_plain(x.get(), e, m) / z),
+            Threads(n),
+            OpsPerRequest(z),
+            2048,
+        );
+        prop_assert_eq!(typed, untyped);
+    }
+}
+
+/// Loaded latency `max(L, k/R)` in bare f64.
+fn l_loaded(k: f64, r: f64, l: f64) -> f64 {
+    l.max(k.max(0.0) / r)
+}

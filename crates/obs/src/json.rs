@@ -8,12 +8,21 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Serialize any `Serialize` value to compact JSON.
+///
+/// The writer itself cannot fail (it appends to a `String`), but a
+/// custom `Serialize` impl may report an error through `ser::Error`;
+/// that degrades to `"null"` rather than panicking — the trace layer
+/// must never take down an instrumented process.
 pub fn to_string<T: Serialize>(value: &T) -> String {
+    try_to_string(value).unwrap_or_else(|_| "null".to_string())
+}
+
+/// Serialize to compact JSON, surfacing any error a custom `Serialize`
+/// impl reports instead of swallowing it.
+pub fn try_to_string<T: Serialize>(value: &T) -> Result<String, Infallible> {
     let mut out = String::new();
-    value
-        .serialize(Writer { out: &mut out })
-        .expect("JSON writer is infallible");
-    out
+    value.serialize(Writer { out: &mut out })?;
+    Ok(out)
 }
 
 /// Escape and append a JSON string literal.
@@ -555,7 +564,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 // Consume one UTF-8 scalar (multi-byte sequences intact).
                 let rest =
                     std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8 in string")?;
-                let c = rest.chars().next().unwrap();
+                let c = rest.chars().next().ok_or("unterminated string")?;
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -52,11 +52,14 @@
 //! trace; determinism of traced runs is guaranteed because
 //! instrumentation only ever *reads* model and simulator state.
 
+#![forbid(unsafe_code)]
+
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
+pub mod names;
 pub mod profile;
 pub mod report;
 pub mod sink;

@@ -1,0 +1,68 @@
+//! Central registry of span and metric names.
+//!
+//! Every span or counter name used by the workspace crates (`core`,
+//! `sim`, `profile`, `cli`) must be a constant from this module, so the
+//! Prometheus label sets, folded profile trees and manifest phase tables
+//! stay consistent across crates. The `span-name-registry` lint
+//! (`cargo run -p xlint`) enforces this: a bare string literal passed to
+//! [`crate::span!`], [`crate::metrics::counter_add`],
+//! [`crate::metrics::gauge_set`] or
+//! [`crate::metrics::histogram_observe`] in those crates is a finding.
+
+/// Span names: `<subsystem>.<phase>`, dot-separated, lowercase.
+pub mod span {
+    /// The dense scan + bisection pass of the flow-balance solver.
+    pub const SOLVER_SOLVE: &str = "solver.solve";
+    /// One cycle-level simulator run (interval machine).
+    pub const SIM_RUN: &str = "sim.run";
+    /// One IR-driven simulator run.
+    pub const SIM_RUN_IR: &str = "sim.run_ir";
+    /// Warm-up portion of a simulator run (excluded from measurement).
+    pub const SIM_WARMUP: &str = "sim.warmup";
+    /// Measured portion of a simulator run.
+    pub const SIM_MEASURE: &str = "sim.measure";
+    /// Assembling machine/workload parameters from profile counters.
+    pub const PROFILE_ASSEMBLE: &str = "profile.assemble";
+    /// Grid-search calibration of cache locality parameters.
+    pub const PROFILE_CALIBRATE: &str = "profile.calibrate";
+}
+
+/// Counter / gauge names: `<subsystem>.<noun>`, dot-separated, lowercase.
+pub mod metric {
+    /// Number of flow-balance solves performed.
+    pub const SOLVER_SOLVES: &str = "solver.solves";
+    /// Calibration grid points whose fit failed and were skipped.
+    pub const PROFILE_CALIBRATE_SKIPPED: &str = "profile.calibrate.skipped";
+}
+
+#[cfg(test)]
+mod tests {
+    /// Registry invariants: names are lowercase dot-separated identifiers
+    /// and globally unique.
+    #[test]
+    fn names_are_well_formed_and_unique() {
+        let all = [
+            super::span::SOLVER_SOLVE,
+            super::span::SIM_RUN,
+            super::span::SIM_RUN_IR,
+            super::span::SIM_WARMUP,
+            super::span::SIM_MEASURE,
+            super::span::PROFILE_ASSEMBLE,
+            super::span::PROFILE_CALIBRATE,
+            super::metric::SOLVER_SOLVES,
+            super::metric::PROFILE_CALIBRATE_SKIPPED,
+        ];
+        for name in all {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+                "bad name {name:?}"
+            );
+            assert!(!name.starts_with('.') && !name.ends_with('.'));
+        }
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "duplicate registry entry");
+    }
+}

@@ -106,10 +106,13 @@ impl Drop for SpanGuard {
 }
 
 /// Start a timed span for the enclosing scope:
-/// `let _span = xmodel_obs::span!("solve");`
+/// `let _span = xmodel_obs::span!(xmodel_obs::names::span::SOLVER_SOLVE);`
+///
+/// The name must be `&'static str`; workspace crates take it from
+/// [`crate::names`] (enforced by the `span-name-registry` lint).
 #[macro_export]
 macro_rules! span {
-    ($name:literal) => {
+    ($name:expr) => {
         $crate::span::SpanGuard::begin($name)
     };
 }

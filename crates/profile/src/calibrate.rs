@@ -73,7 +73,7 @@ pub fn calibrate_private_ws(
     cache_bytes: u64,
     accesses: usize,
 ) -> Calibration {
-    let _span = xmodel_obs::span!("profile.calibrate");
+    let _span = xmodel_obs::span!(xmodel_obs::names::span::PROFILE_CALIBRATE);
     let target = recorded_hit_curve(traces, cache_bytes, accesses);
     let mut best: Option<(TraceSpec, f64)> = None;
     for &ws in &[4u64, 8, 16, 24, 32, 48, 64, 96, 128] {
@@ -101,7 +101,20 @@ pub fn calibrate_private_ws(
             }
         }
     }
-    let (spec, rms) = best.expect("non-empty grid");
+    // The grid is statically non-empty, so `best` is always set; degrade
+    // to the first grid point rather than panic inside a library call.
+    let (spec, rms) = best.unwrap_or_else(|| {
+        xmodel_obs::event!("calibrate.empty_grid");
+        xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::PROFILE_CALIBRATE_SKIPPED, 1);
+        (
+            TraceSpec::PrivateWorkingSet {
+                ws_lines: 4,
+                stream_prob: 0.0,
+                reuse_skew: 0.0,
+            },
+            f64::INFINITY,
+        )
+    });
     Calibration {
         spec,
         rms,

@@ -40,7 +40,7 @@ pub fn workload_precision(w: &Workload) -> Precision {
 /// `l1_bytes = 0` produces the basic (cache-less) model — also the right
 /// choice for Kepler where global loads skip L1.
 pub fn assemble_model(spec: &GpuSpec, workload: &Workload, l1_bytes: u64) -> XModel {
-    let _span = xmodel_obs::span!("profile.assemble");
+    let _span = xmodel_obs::span!(xmodel_obs::names::span::PROFILE_ASSEMBLE);
     let precision = workload_precision(workload);
     let mut machine = spec.machine_params(precision);
     // Uncoalesced access splits each request into `coalesce` transactions:

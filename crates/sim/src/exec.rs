@@ -385,17 +385,17 @@ impl IrSm {
 
     /// Run `warmup` unmeasured cycles then `measure` measured ones.
     pub fn run(&mut self, warmup: u64, measure: u64) -> &SimStats {
-        let _span = xmodel_obs::span!("sim.run_ir");
+        let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_RUN_IR);
         self.measuring = false;
         {
-            let _warm = xmodel_obs::span!("sim.warmup");
+            let _warm = xmodel_obs::span!(xmodel_obs::names::span::SIM_WARMUP);
             for _ in 0..warmup {
                 self.step();
             }
         }
         self.measuring = true;
         {
-            let _meas = xmodel_obs::span!("sim.measure");
+            let _meas = xmodel_obs::span!(xmodel_obs::names::span::SIM_MEASURE);
             for _ in 0..measure {
                 self.step();
             }

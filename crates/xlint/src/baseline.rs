@@ -1,0 +1,123 @@
+//! Allowlist baseline: known findings committed to the repository.
+//!
+//! The baseline is a line-oriented text file (tab-separated
+//! `lint-id TAB path TAB trimmed-source-line`) so diffs review cleanly.
+//! Keys deliberately omit line numbers: editing code *above* a baselined
+//! site must not resurface it. Matching is multiset semantics — if a file
+//! gains a second identical offending line, the extra one is new.
+
+use std::collections::HashMap;
+
+use crate::lints::Finding;
+
+/// Header written at the top of generated baseline files.
+pub const HEADER: &str = "# xlint baseline — regenerate with `cargo run -p xlint -- --write-baseline`\n# format: lint-id<TAB>path<TAB>trimmed source line\n";
+
+/// A parsed baseline: multiset of suppression keys.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    counts: HashMap<String, usize>,
+}
+
+impl Baseline {
+    /// Parse baseline file contents. Blank lines and `#` comments are
+    /// ignored; malformed lines are ignored rather than fatal so a
+    /// hand-edited baseline cannot brick CI.
+    pub fn parse(text: &str) -> Baseline {
+        let mut counts = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line.split('\t').count() >= 2 {
+                *counts.entry(line.to_string()).or_insert(0) += 1;
+            }
+        }
+        Baseline { counts }
+    }
+
+    /// Number of suppression entries (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// True when the baseline holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Split findings into `(new, suppressed)` by consuming baseline
+    /// entries in order.
+    pub fn partition<'f>(&self, findings: &'f [Finding]) -> (Vec<&'f Finding>, Vec<&'f Finding>) {
+        let mut remaining = self.counts.clone();
+        let mut fresh = Vec::new();
+        let mut suppressed = Vec::new();
+        for f in findings {
+            match remaining.get_mut(&f.baseline_key()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    suppressed.push(f);
+                }
+                _ => fresh.push(f),
+            }
+        }
+        (fresh, suppressed)
+    }
+
+    /// Render findings as baseline file contents (sorted, with header).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut keys: Vec<String> = findings.iter().map(Finding::baseline_key).collect();
+        keys.sort();
+        let mut out = String::from(HEADER);
+        for key in keys {
+            out.push_str(&key);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Severity;
+
+    fn finding(lint: &'static str, path: &str, text: &str) -> Finding {
+        Finding {
+            lint,
+            path: path.to_string(),
+            line: 1,
+            severity: Severity::Warning,
+            message: String::new(),
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn multiset_matching() {
+        let a = finding("no-panic-in-lib", "crates/core/src/x.rs", "v.unwrap();");
+        let findings = vec![a.clone(), a.clone()];
+        let base = Baseline::parse(&Baseline::render(&findings[..1]));
+        let (fresh, suppressed) = base.partition(&findings);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let base = Baseline::parse("# hi\n\nno-panic-in-lib\tp.rs\tx.unwrap();\n");
+        assert_eq!(base.len(), 1);
+        assert!(!base.is_empty());
+    }
+
+    #[test]
+    fn line_number_independence() {
+        let mut f = finding("no-panic-in-lib", "crates/core/src/x.rs", "v.unwrap();");
+        let base = Baseline::parse(&Baseline::render(std::slice::from_ref(&f)));
+        f.line = 999;
+        let (fresh, suppressed) = base.partition(std::slice::from_ref(&f));
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed.len(), 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! A minimal Rust lexer: just enough token structure for the lint pass.
+//!
+//! Comments (line, doc, nested block) are discarded; string and char
+//! literals become single tokens carrying their unquoted content;
+//! identifiers, numbers and lifetimes are single tokens; every other
+//! byte is a one-character punctuation token. This is deliberately not a
+//! full Rust lexer — it only has to be faithful enough that token-level
+//! pattern matching (`.unwrap()`, `span!("...")`, `pub fn f(k: f64)`)
+//! cannot be fooled by comments or string contents.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// String literal (`"…"`, `r"…"`, `r#"…"#`, `b"…"`); `text` holds the
+    /// raw content between the quotes, escapes unprocessed.
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (content only, for string/char literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this a punctuation token equal to `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+
+    /// Is this an identifier equal to `name`?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lex `src` into tokens, discarding comments and whitespace.
+///
+/// The lexer is total: any byte sequence produces a token stream (unknown
+/// bytes are skipped), so a syntactically broken file degrades to weaker
+/// linting rather than an error.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                let start_line = line;
+                let (content, next, newlines) = scan_raw_string(src, i);
+                line += newlines;
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+                i = next;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let start_line = line;
+                let (content, next, newlines) = scan_string(src, i + 1);
+                line += newlines;
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+                i = next;
+            }
+            b'"' => {
+                let start_line = line;
+                let (content, next, newlines) = scan_string(src, i);
+                line += newlines;
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: content,
+                    line: start_line,
+                });
+                i = next;
+            }
+            b'\'' => {
+                // Lifetime or char literal.
+                let after = bytes.get(i + 1).copied();
+                let closing = bytes.get(i + 2).copied();
+                if after.map(is_ident_start).unwrap_or(false) && closing != Some(b'\'') {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && is_ident_continue(bytes[j]) {
+                        j += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src.get(start..j).unwrap_or_default().to_string(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        if bytes[j] == b'\\' {
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: src.get(start..j).unwrap_or_default().to_string(),
+                        line,
+                    });
+                    i = (j + 1).min(bytes.len());
+                }
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src.get(start..i).unwrap_or_default().to_string(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (is_ident_continue(bytes[i]) || bytes[i] == b'.') {
+                    // A second '.' (range `0..n`) ends the number.
+                    if bytes[i] == b'.'
+                        && src.get(start..i).map(|s| s.contains('.')).unwrap_or(false)
+                    {
+                        break;
+                    }
+                    // `.` followed by an identifier is a method call on a
+                    // literal (`1.max(x)`), not a fraction.
+                    if bytes[i] == b'.'
+                        && bytes
+                            .get(i + 1)
+                            .map(|&c| is_ident_start(c) || c == b'.')
+                            .unwrap_or(true)
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Num,
+                    text: src.get(start..i).unwrap_or_default().to_string(),
+                    line,
+                });
+            }
+            _ if b.is_ascii() => {
+                tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => i += 1, // non-ASCII outside strings/comments: skip
+        }
+    }
+    tokens
+}
+
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    // r"  r#"  br"  br#"
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+fn scan_raw_string(src: &str, start: usize) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    let content_start = j;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+        }
+        if bytes[j] == b'"' {
+            let close = j + 1;
+            let mut h = 0usize;
+            while h < hashes && bytes.get(close + h) == Some(&b'#') {
+                h += 1;
+            }
+            if h == hashes {
+                let content = src.get(content_start..j).unwrap_or_default().to_string();
+                return (content, close + hashes, newlines);
+            }
+        }
+        j += 1;
+    }
+    (
+        src.get(content_start..).unwrap_or_default().to_string(),
+        bytes.len(),
+        newlines,
+    )
+}
+
+fn scan_string(src: &str, quote: usize) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let start = quote + 1;
+    let mut j = start;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'"' => {
+                let content = src.get(start..j).unwrap_or_default().to_string();
+                return (content, j + 1, newlines);
+            }
+            _ => j += 1,
+        }
+    }
+    (
+        src.get(start..).unwrap_or_default().to_string(),
+        bytes.len(),
+        newlines,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let toks = lex("// .unwrap()\n/* panic!( */ let s = \".expect(\"; n");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "n"]);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec![".expect("]);
+    }
+
+    #[test]
+    fn raw_strings_and_lines() {
+        let toks = lex("let a = r#\"x \" y\"#;\nlet b = 2;");
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(s.text, "x \" y");
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'z'; let nl = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numeric_method_calls_split_correctly() {
+        let toks = lex("let v = 0.5.max(1e-9); a[0]");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(nums.contains(&"0.5"));
+        assert!(nums.contains(&"0"));
+        assert!(toks.iter().any(|t| t.is_ident("max")));
+    }
+}

@@ -1,0 +1,178 @@
+//! # xlint — workspace-local static analysis for the X-model repo
+//!
+//! A dependency-free lint pass that enforces repo invariants the stock
+//! toolchain cannot express:
+//!
+//! * [`no-panic-in-lib`](lints) — library code must not contain panicking
+//!   constructs (`unwrap`, `expect`, `panic!`, integer-literal indexing);
+//! * [`span-name-registry`](lints) — observability span/metric names must
+//!   come from the `xmodel_obs::names` registry, not inline literals;
+//! * [`schema-version-once`](lints) — each `xmodel-*/N` schema tag is
+//!   defined exactly once;
+//! * [`quantity-api`](lints) — the model-equation modules take quantity
+//!   types (`Threads`, `ReqPerCycle`, …), not bare `f64`, for dimensioned
+//!   parameters.
+//!
+//! Known findings live in a committed allowlist (`xlint.baseline`);
+//! anything not in the baseline fails the run, so violations are caught
+//! at introduction time. Run with `cargo run -p xlint` from the workspace
+//! root, or via `scripts/ci.sh`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod lints;
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub use baseline::Baseline;
+pub use lints::{analyze_files, Finding, Severity, SourceFile};
+
+/// Schema tag for the JSON report format.
+pub const REPORT_SCHEMA: &str = "xmodel-xlint/1";
+
+/// Directory names never descended into during the workspace walk.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", ".claude", "node_modules"];
+
+/// Collect every `.rs` file under `root`, returning workspace-relative
+/// paths with forward slashes, sorted for deterministic output.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    collect_rs(root, &mut paths)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        files.push(SourceFile { rel, text });
+    }
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Walk the workspace at `root` and run every lint.
+pub fn analyze(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_files(&workspace_files(root)?))
+}
+
+/// Render findings as a human-readable report, one line each.
+pub fn render_human(findings: &[&Finding], suppressed: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}: {}\n    {}\n",
+            f.path,
+            f.line,
+            f.severity.as_str(),
+            f.lint,
+            f.message,
+            f.text
+        ));
+    }
+    out.push_str(&format!(
+        "xlint: {} new finding(s), {} baselined\n",
+        findings.len(),
+        suppressed
+    ));
+    out
+}
+
+/// Render findings as a JSON report (`xmodel-xlint/1`).
+pub fn render_json(findings: &[&Finding], suppressed: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"");
+    out.push_str(REPORT_SCHEMA);
+    out.push_str("\",\"new\":");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\"baselined\":");
+    out.push_str(&suppressed.to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"lint\":");
+        json_string(&mut out, f.lint);
+        out.push_str(",\"path\":");
+        json_string(&mut out, &f.path);
+        out.push_str(",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"severity\":");
+        json_string(&mut out, f.severity.as_str());
+        out.push_str(",\"message\":");
+        json_string(&mut out, &f.message);
+        out.push_str(",\"text\":");
+        json_string(&mut out, &f.text);
+        out.push('}');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let f = Finding {
+            lint: "no-panic-in-lib",
+            path: "crates/core/src/x.rs".to_string(),
+            line: 3,
+            severity: Severity::Error,
+            message: "a \"quoted\" message".to_string(),
+            text: "panic!(\"boom\");".to_string(),
+        };
+        let json = render_json(&[&f], 2);
+        assert!(json.contains("\"schema\":\"xmodel-xlint/1\""));
+        assert!(json.contains("\"new\":1"));
+        assert!(json.contains("\"baselined\":2"));
+        assert!(json.contains("a \\\"quoted\\\" message"));
+    }
+}

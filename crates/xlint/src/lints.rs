@@ -1,0 +1,528 @@
+//! The four workspace lints, implemented as token-stream pattern matches.
+//!
+//! | id | scope | catches |
+//! |---|---|---|
+//! | `no-panic-in-lib` | `crates/*/src/**` library code | `.unwrap()`, `.expect(`, `panic!`/`unreachable!`/`todo!`/`unimplemented!`, integer-literal indexing |
+//! | `span-name-registry` | core/sim/profile/cli sources | string literals passed to `span!` / metric helpers instead of `xmodel_obs::names` constants |
+//! | `schema-version-once` | all non-test sources | a `xmodel-<name>/<version>` schema literal defined more than once |
+//! | `quantity-api` | the Eq. (1)–(6) modules in `crates/core` | `pub fn` parameters named like model dimensions but typed bare `f64` |
+//!
+//! Test code is exempt everywhere: files under `tests/`, `benches/`,
+//! `examples/` or `fixtures/` directories, and `#[cfg(test)]` regions
+//! inside library files (found by brace matching on the token stream).
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// How serious a finding is. Both levels currently fail CI when new;
+/// the distinction is informational (warnings are candidates for
+/// baseline growth, errors should be fixed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Should be fixed before merging.
+    Error,
+    /// Tolerable when baselined with justification.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// One diagnostic produced by a lint.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable lint identifier (e.g. `no-panic-in-lib`).
+    pub lint: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Severity level.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Trimmed text of the offending source line (baseline key).
+    pub text: String,
+}
+
+impl Finding {
+    /// The baseline identity of this finding: line-number independent so
+    /// unrelated edits above a baselined site do not resurface it.
+    pub fn baseline_key(&self) -> String {
+        format!("{}\t{}\t{}", self.lint, self.path, self.text)
+    }
+}
+
+/// A source file presented to the lints.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// Paths whose findings are always suppressed: test code, fixtures and
+/// vendored compatibility stubs.
+fn is_exempt_path(rel: &str) -> bool {
+    rel.starts_with("compat/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.contains("/fixtures/")
+}
+
+/// `crates/<name>/src/...` → `Some(name)`.
+fn crate_of(rel: &str) -> Option<&str> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+/// Library (non-binary) code under `crates/*/src`.
+fn is_lib_code(rel: &str) -> bool {
+    crate_of(rel).is_some()
+        && !rel.contains("/src/bin/")
+        && !rel.ends_with("/src/main.rs")
+        && !is_exempt_path(rel)
+}
+
+/// Line ranges covered by `#[cfg(test)]` items, found by scanning the
+/// token stream for the attribute and brace-matching the following item.
+fn cfg_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_attr = tokens.get(i).map(|t| t.is_punct('#')).unwrap_or(false)
+            && tokens.get(i + 1).map(|t| t.is_punct('[')).unwrap_or(false)
+            && tokens
+                .get(i + 2)
+                .map(|t| t.is_ident("cfg"))
+                .unwrap_or(false)
+            && tokens.get(i + 3).map(|t| t.is_punct('(')).unwrap_or(false)
+            && tokens
+                .get(i + 4)
+                .map(|t| t.is_ident("test"))
+                .unwrap_or(false)
+            && tokens.get(i + 5).map(|t| t.is_punct(')')).unwrap_or(false)
+            && tokens.get(i + 6).map(|t| t.is_punct(']')).unwrap_or(false);
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens.get(i).map(|t| t.line).unwrap_or(1);
+        // Find the end of the annotated item: either a brace-matched block
+        // (`mod tests { … }`, `fn t() { … }`) or a `;` (`use` item).
+        let mut j = i + 7;
+        let mut depth = 0usize;
+        let mut end_line = start_line;
+        while let Some(t) = tokens.get(j) {
+            end_line = t.line;
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                break;
+            }
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+fn in_regions(line: u32, regions: &[(u32, u32)]) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+fn line_text(lines: &[&str], line: u32) -> String {
+    lines
+        .get(line.saturating_sub(1) as usize)
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// Does `s` look like a schema tag: `xmodel-<name>/<digits>`?
+fn is_schema_literal(s: &str) -> bool {
+    let Some(rest) = s.strip_prefix("xmodel-") else {
+        return false;
+    };
+    let Some((name, version)) = rest.split_once('/') else {
+        return false;
+    };
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !version.is_empty()
+        && version.chars().all(|c| c.is_ascii_digit())
+}
+
+/// Run every lint over the given files and return all findings, sorted by
+/// path, line, then lint id.
+pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // (schema literal, path, line, trimmed text) across the whole workspace.
+    let mut schema_sites: Vec<(String, String, u32, String)> = Vec::new();
+
+    for file in files {
+        if is_exempt_path(&file.rel) {
+            continue;
+        }
+        let tokens = lex(&file.text);
+        let lines: Vec<&str> = file.text.lines().collect();
+        let test_regions = cfg_test_regions(&tokens);
+        let live = |t: &Token| -> bool { !in_regions(t.line, &test_regions) };
+
+        if is_lib_code(&file.rel) {
+            no_panic_in_lib(file, &tokens, &lines, &live, &mut findings);
+        }
+        if matches!(
+            crate_of(&file.rel),
+            Some("core" | "sim" | "profile" | "cli")
+        ) {
+            span_name_registry(file, &tokens, &lines, &live, &mut findings);
+        }
+        if quantity_api_applies(&file.rel) {
+            quantity_api(file, &tokens, &lines, &live, &mut findings);
+        }
+        for t in tokens.iter().filter(|t| t.kind == TokenKind::Str) {
+            if live(t) && is_schema_literal(&t.text) {
+                schema_sites.push((
+                    t.text.clone(),
+                    file.rel.clone(),
+                    t.line,
+                    line_text(&lines, t.line),
+                ));
+            }
+        }
+    }
+
+    schema_version_once(&schema_sites, &mut findings);
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
+    findings
+}
+
+/// `no-panic-in-lib`: panicking constructs in non-test library code.
+fn no_panic_in_lib(
+    file: &SourceFile,
+    tokens: &[Token],
+    lines: &[&str],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+    let mut push = |line: u32, severity: Severity, message: String| {
+        out.push(Finding {
+            lint: "no-panic-in-lib",
+            path: file.rel.clone(),
+            line,
+            severity,
+            message,
+            text: line_text(lines, line),
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if !live(t) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let next_is_bang = tokens.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false);
+                if next_is_bang && PANIC_MACROS.contains(&t.text.as_str()) {
+                    push(
+                        t.line,
+                        Severity::Error,
+                        format!(
+                            "`{}!` in library code; return a Result or restructure",
+                            t.text
+                        ),
+                    );
+                }
+                let after_dot =
+                    i > 0 && tokens.get(i - 1).map(|p| p.is_punct('.')).unwrap_or(false);
+                if after_dot && t.text == "unwrap" {
+                    let is_call = tokens.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+                        && tokens.get(i + 2).map(|n| n.is_punct(')')).unwrap_or(false);
+                    if is_call {
+                        push(
+                            t.line,
+                            Severity::Warning,
+                            "`.unwrap()` in library code; use `?`, a default, or `expect` \
+                             with an invariant message (then baseline it)"
+                                .to_string(),
+                        );
+                    }
+                }
+                if after_dot && t.text == "expect" {
+                    let is_call = tokens.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false);
+                    if is_call {
+                        push(
+                            t.line,
+                            Severity::Warning,
+                            "`.expect(..)` in library code; acceptable only for documented \
+                             invariants (baseline it) — otherwise return an error"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            TokenKind::Num => {
+                // `foo[0]` / `)[1]` / `][2]`: integer-literal indexing.
+                let is_int = t.text.chars().all(|c| c.is_ascii_digit());
+                let bracketed = tokens
+                    .get(i.wrapping_sub(1))
+                    .map(|p| p.is_punct('['))
+                    .unwrap_or(false)
+                    && tokens.get(i + 1).map(|n| n.is_punct(']')).unwrap_or(false);
+                let indexes_expr = i >= 2
+                    && tokens
+                        .get(i - 2)
+                        .map(|p| {
+                            p.kind == TokenKind::Ident && !p.is_ident("mut")
+                                || p.is_punct(')')
+                                || p.is_punct(']')
+                        })
+                        .unwrap_or(false);
+                if is_int && bracketed && indexes_expr && i >= 1 {
+                    push(
+                        t.line,
+                        Severity::Warning,
+                        format!(
+                            "integer-literal index `[{}]` may panic; prefer `.get({})` or \
+                             `.first()`/`.last()`",
+                            t.text, t.text
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `span-name-registry`: span/metric names must come from `xmodel_obs::names`.
+fn span_name_registry(
+    file: &SourceFile,
+    tokens: &[Token],
+    lines: &[&str],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    const METRIC_FNS: [&str; 3] = ["counter_add", "gauge_set", "histogram_observe"];
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || !live(t) {
+            continue;
+        }
+        let (callee, lit_at) = if t.text == "span"
+            && tokens.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false)
+            && tokens.get(i + 2).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            ("span!", i + 3)
+        } else if METRIC_FNS.contains(&t.text.as_str())
+            && tokens.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            ("metric call", i + 2)
+        } else {
+            continue;
+        };
+        if let Some(lit) = tokens.get(lit_at).filter(|l| l.kind == TokenKind::Str) {
+            out.push(Finding {
+                lint: "span-name-registry",
+                path: file.rel.clone(),
+                line: lit.line,
+                severity: Severity::Error,
+                message: format!(
+                    "{callee} uses inline name \"{}\"; add a constant to \
+                     `xmodel_obs::names` and reference it",
+                    lit.text
+                ),
+                text: line_text(lines, lit.line),
+            });
+        }
+    }
+}
+
+/// `schema-version-once`: each schema tag must have exactly one definition.
+fn schema_version_once(sites: &[(String, String, u32, String)], out: &mut Vec<Finding>) {
+    let mut tags: Vec<&str> = sites.iter().map(|(tag, ..)| tag.as_str()).collect();
+    tags.sort_unstable();
+    tags.dedup();
+    for tag in tags {
+        let mut occurrences: Vec<_> = sites.iter().filter(|(t, ..)| t == tag).collect();
+        occurrences.sort_by(|a, b| (&a.1, a.2).cmp(&(&b.1, b.2)));
+        // The first occurrence (in path order) is the definition; any
+        // further literal is a duplicate that can drift.
+        for (tag, path, line, text) in occurrences.iter().skip(1) {
+            out.push(Finding {
+                lint: "schema-version-once",
+                path: path.clone(),
+                line: *line,
+                severity: Severity::Error,
+                message: format!(
+                    "schema literal \"{tag}\" duplicated; reference the single \
+                     exported SCHEMA constant instead"
+                ),
+                text: text.clone(),
+            });
+        }
+    }
+}
+
+/// Files whose public APIs must use quantity types for model dimensions.
+fn quantity_api_applies(rel: &str) -> bool {
+    const FILES: [&str; 6] = [
+        "crates/core/src/ms.rs",
+        "crates/core/src/cs.rs",
+        "crates/core/src/cache.rs",
+        "crates/core/src/transit.rs",
+        "crates/core/src/solver.rs",
+        "crates/core/src/balance.rs",
+    ];
+    FILES.contains(&rel)
+}
+
+/// `quantity-api`: dimension-named `pub fn` parameters typed as bare `f64`.
+fn quantity_api(
+    file: &SourceFile,
+    tokens: &[Token],
+    lines: &[&str],
+    live: &dyn Fn(&Token) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    const DIM_PARAMS: [&str; 6] = ["k", "x", "n", "z", "k_max", "x_max"];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // `pub fn` only: restricted visibility (`pub(crate)` etc.) is not
+        // public API and may keep f64 internals.
+        let is_pub_fn =
+            t.is_ident("pub") && tokens.get(i + 1).map(|n| n.is_ident("fn")).unwrap_or(false);
+        if !is_pub_fn || !live(t) {
+            i += 1;
+            continue;
+        }
+        let j = i + 1;
+        // Find the parameter list opening paren (skipping generics).
+        let mut k = j + 1;
+        while k < tokens.len() {
+            match tokens.get(k) {
+                Some(t) if t.is_punct('(') => break,
+                Some(t) if t.is_punct('{') || t.is_punct(';') => break,
+                Some(_) => k += 1,
+                None => break,
+            }
+        }
+        if !tokens.get(k).map(|t| t.is_punct('(')).unwrap_or(false) {
+            i = k;
+            continue;
+        }
+        // Walk the signature parens at depth 1 looking for `name : f64`.
+        let mut depth = 0usize;
+        let mut p = k;
+        while let Some(tok) = tokens.get(p) {
+            if tok.is_punct('(') {
+                depth += 1;
+            } else if tok.is_punct(')') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1
+                && tok.kind == TokenKind::Ident
+                && DIM_PARAMS.contains(&tok.text.as_str())
+                && tokens.get(p + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+                && tokens
+                    .get(p + 2)
+                    .map(|n| n.is_ident("f64"))
+                    .unwrap_or(false)
+            {
+                out.push(Finding {
+                    lint: "quantity-api",
+                    path: file.rel.clone(),
+                    line: tok.line,
+                    severity: Severity::Error,
+                    message: format!(
+                        "public parameter `{}: f64` in a model-equation module; use the \
+                         matching quantity type from `xmodel_core::units`",
+                        tok.text
+                    ),
+                    text: line_text(lines, tok.line),
+                });
+            }
+            p += 1;
+        }
+        i = p + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn b() {}\n";
+        let toks = lex(src);
+        let regions = cfg_test_regions(&toks);
+        assert_eq!(regions.len(), 1);
+        assert!(in_regions(4, &regions));
+        assert!(!in_regions(1, &regions));
+        assert!(!in_regions(6, &regions));
+    }
+
+    #[test]
+    fn unwrap_in_test_module_is_exempt() {
+        let src = "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n  fn t() { Some(1).unwrap(); }\n}\n";
+        let findings = analyze_files(&[file("crates/core/src/demo.rs", src)]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn schema_literal_matcher() {
+        assert!(is_schema_literal("xmodel-trace/1"));
+        assert!(is_schema_literal("xmodel-bench/12"));
+        assert!(!is_schema_literal("xmodel-trace"));
+        assert!(!is_schema_literal("xmodel-Trace/1"));
+        assert!(!is_schema_literal("trace/1"));
+        assert!(!is_schema_literal("xmodel-trace/v1"));
+    }
+
+    #[test]
+    fn binary_and_test_paths_are_exempt_from_no_panic() {
+        let src = "pub fn f() { Some(1).unwrap(); }\n";
+        for rel in [
+            "crates/cli/src/main.rs",
+            "crates/bench/src/bin/tool.rs",
+            "crates/core/tests/t.rs",
+            "compat/serde/src/lib.rs",
+        ] {
+            let findings = analyze_files(&[file(rel, src)]);
+            assert!(
+                !findings.iter().any(|f| f.lint == "no-panic-in-lib"),
+                "{rel} should be exempt: {findings:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! xlint CLI.
+//!
+//! ```text
+//! cargo run -p xlint [-- OPTIONS]
+//!
+//!   --root PATH       workspace root (default: auto-detect from cwd)
+//!   --baseline PATH   baseline file (default: <root>/xlint.baseline)
+//!   --format FMT      `human` (default) or `json`
+//!   --write-baseline  rewrite the baseline from current findings, exit 0
+//! ```
+//!
+//! Exit codes: `0` clean (all findings baselined), `1` new findings,
+//! `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use xlint::{analyze, render_human, render_json, Baseline};
+
+struct Options {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    format: Format,
+    write_baseline: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        baseline: None,
+        format: Format::Human,
+        write_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a path")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => opts.format = Format::Human,
+                Some("json") => opts.format = Format::Json,
+                _ => return Err("--format must be `human` or `json`".to_string()),
+            },
+            "--write-baseline" => opts.write_baseline = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walk upward from `start` until a directory containing a workspace
+/// `Cargo.toml` is found.
+fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: xlint [--root PATH] [--baseline PATH] [--format human|json] [--write-baseline]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("xlint: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match opts
+        .root
+        .or_else(|| std::env::current_dir().ok().and_then(|cwd| find_root(&cwd)))
+    {
+        Some(r) => r,
+        None => {
+            eprintln!("xlint: could not locate a workspace root (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = match analyze(&root) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("xlint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts.baseline.unwrap_or_else(|| root.join("xlint.baseline"));
+
+    if opts.write_baseline {
+        let contents = Baseline::render(&findings);
+        if let Err(err) = std::fs::write(&baseline_path, contents) {
+            eprintln!("xlint: failed to write {}: {err}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "xlint: wrote {} entry(ies) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+        Err(err) => {
+            eprintln!("xlint: failed to read {}: {err}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let (fresh, suppressed) = baseline.partition(&findings);
+    let report = match opts.format {
+        Format::Human => render_human(&fresh, suppressed.len()),
+        Format::Json => render_json(&fresh, suppressed.len()),
+    };
+    print!("{report}");
+
+    if fresh.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

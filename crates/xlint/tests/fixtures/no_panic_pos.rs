@@ -1,0 +1,12 @@
+// Positive fixture for `no-panic-in-lib`: linted as library code, every
+// construct below must be flagged (4 findings).
+
+pub fn risky(v: &[f64]) -> f64 {
+    let first = v[0];
+    let parsed: f64 = "1.0".parse().unwrap();
+    let tail = v.last().copied().expect("nonempty");
+    if first < 0.0 {
+        panic!("negative input");
+    }
+    first + parsed + tail
+}

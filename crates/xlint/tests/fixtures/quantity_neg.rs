@@ -1,0 +1,16 @@
+// Negative fixture for `quantity-api`: public APIs take quantity types;
+// bare f64 stays on private and crate-internal helpers (0 findings).
+
+use xmodel_core::units::{ReqPerCycle, Threads};
+
+pub fn f(k: Threads) -> ReqPerCycle {
+    ReqPerCycle(scan(k.get()))
+}
+
+fn scan(k: f64) -> f64 {
+    k
+}
+
+pub(crate) fn internal(k: f64) -> f64 {
+    k
+}

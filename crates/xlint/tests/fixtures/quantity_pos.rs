@@ -1,0 +1,10 @@
+// Positive fixture for `quantity-api`: dimension-named public parameters
+// typed bare f64 in a model-equation module (2 findings: `k`, `k_max`).
+
+pub fn f(k: f64) -> f64 {
+    k
+}
+
+pub fn features(k_max: f64, plateau: f64) -> f64 {
+    k_max.min(plateau)
+}

@@ -1,0 +1,8 @@
+// Negative fixture for `schema-version-once`: one definition, every
+// other use references the constant (0 findings).
+
+pub const SCHEMA: &str = "xmodel-demo/1";
+
+pub fn emit() -> String {
+    format!("{{\"schema\":\"{SCHEMA}\"}}")
+}

@@ -1,0 +1,8 @@
+// Positive fixture for `schema-version-once`: the schema tag is written
+// out twice, so the second literal can silently drift (1 finding).
+
+pub const SCHEMA: &str = "xmodel-demo/1";
+
+pub fn emit() -> String {
+    format!("{{\"schema\":\"{}\"}}", "xmodel-demo/1")
+}

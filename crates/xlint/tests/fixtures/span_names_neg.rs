@@ -1,0 +1,7 @@
+// Negative fixture for `span-name-registry`: every observability name
+// comes from the `xmodel_obs::names` registry (0 findings).
+
+pub fn traced(n: u64) {
+    let _span = xmodel_obs::span!(xmodel_obs::names::span::SOLVER_SOLVE);
+    xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SOLVER_SOLVES, n);
+}

@@ -1,0 +1,205 @@
+//! Fixture-driven lint tests plus the live-workspace self-check.
+//!
+//! Each lint has a positive fixture (must be caught), a negative fixture
+//! (must stay silent), and a baseline-suppression check. Fixtures live
+//! under `tests/fixtures/` — a path the lints themselves exempt, so the
+//! deliberately offending code never pollutes a real workspace run.
+
+use std::path::Path;
+
+use xlint::{analyze_files, Baseline, Finding, SourceFile};
+
+fn run(rel: &str, src: &str) -> Vec<Finding> {
+    analyze_files(&[SourceFile {
+        rel: rel.to_string(),
+        text: src.to_string(),
+    }])
+}
+
+fn lints_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.lint).collect()
+}
+
+#[test]
+fn no_panic_positive() {
+    let findings = run(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/no_panic_pos.rs"),
+    );
+    let ids = lints_of(&findings);
+    assert_eq!(ids.len(), 4, "{findings:#?}");
+    assert!(ids.iter().all(|&l| l == "no-panic-in-lib"));
+    let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(messages.iter().any(|m| m.contains("index")));
+    assert!(messages.iter().any(|m| m.contains("unwrap")));
+    assert!(messages.iter().any(|m| m.contains("expect")));
+    assert!(messages.iter().any(|m| m.contains("panic!")));
+}
+
+#[test]
+fn no_panic_negative() {
+    let findings = run(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/no_panic_neg.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn no_panic_baseline_suppression() {
+    let findings = run(
+        "crates/demo/src/lib.rs",
+        include_str!("fixtures/no_panic_pos.rs"),
+    );
+    assert!(!findings.is_empty());
+    let baseline = Baseline::parse(&Baseline::render(&findings));
+    let (fresh, suppressed) = baseline.partition(&findings);
+    assert!(
+        fresh.is_empty(),
+        "baselined findings resurfaced: {fresh:#?}"
+    );
+    assert_eq!(suppressed.len(), findings.len());
+}
+
+#[test]
+fn span_names_positive() {
+    let findings = run(
+        "crates/sim/src/demo.rs",
+        include_str!("fixtures/span_names_pos.rs"),
+    );
+    assert_eq!(
+        lints_of(&findings),
+        ["span-name-registry"; 3],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn span_names_negative() {
+    let findings = run(
+        "crates/sim/src/demo.rs",
+        include_str!("fixtures/span_names_neg.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn span_names_only_in_instrumented_crates() {
+    // The same inline name in a crate outside core/sim/profile/cli is fine
+    // (e.g. obs's own internals and tests of the macro).
+    let findings = run(
+        "crates/viz/src/demo.rs",
+        include_str!("fixtures/span_names_pos.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn schema_positive() {
+    let findings = run(
+        "crates/demo/src/report.rs",
+        include_str!("fixtures/schema_pos.rs"),
+    );
+    assert_eq!(
+        lints_of(&findings),
+        ["schema-version-once"],
+        "{findings:#?}"
+    );
+    assert!(findings.iter().all(|f| f.message.contains("xmodel-demo/1")));
+}
+
+#[test]
+fn schema_negative() {
+    let findings = run(
+        "crates/demo/src/report.rs",
+        include_str!("fixtures/schema_neg.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn schema_duplicates_across_files() {
+    let one = SourceFile {
+        rel: "crates/a/src/lib.rs".to_string(),
+        text: "pub const SCHEMA: &str = \"xmodel-demo/2\";\n".to_string(),
+    };
+    let two = SourceFile {
+        rel: "crates/b/src/lib.rs".to_string(),
+        text: "pub const SCHEMA: &str = \"xmodel-demo/2\";\n".to_string(),
+    };
+    let findings = analyze_files(&[one, two]);
+    assert_eq!(
+        lints_of(&findings),
+        ["schema-version-once"],
+        "{findings:#?}"
+    );
+    // The later path (in sort order) is the duplicate.
+    assert_eq!(
+        findings.first().map(|f| f.path.as_str()),
+        Some("crates/b/src/lib.rs")
+    );
+}
+
+#[test]
+fn quantity_positive() {
+    let findings = run(
+        "crates/core/src/ms.rs",
+        include_str!("fixtures/quantity_pos.rs"),
+    );
+    assert_eq!(lints_of(&findings), ["quantity-api"; 2], "{findings:#?}");
+    let params: Vec<&str> = findings
+        .iter()
+        .filter_map(|f| f.message.split('`').nth(1))
+        .collect();
+    assert_eq!(params, ["k: f64", "k_max: f64"]);
+}
+
+#[test]
+fn quantity_negative() {
+    let findings = run(
+        "crates/core/src/ms.rs",
+        include_str!("fixtures/quantity_neg.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn quantity_lint_scoped_to_equation_modules() {
+    // The same bare-f64 signatures outside the Eq. (1)–(6) modules are
+    // not quantity-api findings (only the panic-free rule sees the file).
+    let findings = run(
+        "crates/core/src/report.rs",
+        include_str!("fixtures/quantity_pos.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+/// The tentpole acceptance check: the workspace as committed must report
+/// zero non-baselined findings. This is the same invariant `scripts/ci.sh`
+/// enforces, kept here so plain `cargo test` catches regressions too.
+#[test]
+fn live_workspace_is_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = xlint::analyze(&root).expect("workspace walk succeeds");
+    assert!(
+        !findings.is_empty(),
+        "the walk found no findings at all — wrong root?"
+    );
+    let baseline_text = std::fs::read_to_string(root.join("xlint.baseline"))
+        .expect("committed xlint.baseline exists at the workspace root");
+    let baseline = Baseline::parse(&baseline_text);
+    let (fresh, suppressed) = baseline.partition(&findings);
+    assert!(
+        !suppressed.is_empty(),
+        "baseline matched nothing — stale format?"
+    );
+    assert!(
+        fresh.is_empty(),
+        "new lint findings not in xlint.baseline:\n{}",
+        fresh
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.path, f.line, f.lint, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

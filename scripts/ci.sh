@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "=== cargo fmt --check ==="
 cargo fmt --check
 
+echo "=== xlint (workspace static analysis) ==="
+cargo run -q -p xlint -- --format json
+
 echo "=== cargo clippy (warnings are errors) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the committed xlint allowlist (xlint.baseline) from the
+# current findings, then verify a clean run against it.
+#
+# Use this after deliberately accepting a new finding (e.g. a documented
+# invariant `.expect`). Review the baseline diff in the PR — every added
+# line is a suppressed finding and needs a justification in review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q -p xlint -- --write-baseline
+cargo run -q -p xlint
+echo "xlint baseline regenerated and verified clean."

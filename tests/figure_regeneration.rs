@@ -17,7 +17,11 @@ fn fermi_case_study_model() -> XModel {
 
 #[test]
 fn fig2_3_transit_curves_and_figure() {
-    let t = TransitModel::new(MachineParams::new(4.0, 0.1, 500.0), 20.0, 48.0);
+    let t = TransitModel::new(
+        MachineParams::new(4.0, 0.1, 500.0),
+        OpsPerRequest(20.0),
+        Threads(48.0),
+    );
     let model = t.to_xmodel();
     let fk = model.sample_fk(48.0, 128);
     let gh = model.sample_ghat(48.0, 128);
@@ -171,7 +175,7 @@ fn table2_presets_expose_all_columns() {
         assert!(gpu.delta_sp.0 > 0.0 && gpu.delta_dp.1 > 0.0);
         for p in [Precision::Single, Precision::Double] {
             let mp = gpu.machine_params(p);
-            assert!((mp.delta() - gpu.delta(p).0).abs() < 1e-6);
+            assert!((mp.delta().get() - gpu.delta(p).0).abs() < 1e-6);
         }
     }
 }
