@@ -11,7 +11,7 @@ use xmodel::workloads::locality::{fit_jacob, jacob_hit_rate};
 fn curve() -> CachedMsCurve {
     CachedMsCurve::new(
         &MachineParams::new(6.0, 0.1, 600.0),
-        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
     )
 }
 
@@ -35,7 +35,7 @@ fn bench_multilevel(c: &mut Criterion) {
     use xmodel::core::multilevel::{L2Params, TwoLevelMsCurve};
     let curve = TwoLevelMsCurve::new(
         &MachineParams::new(6.0, 0.02, 900.0),
-        CacheParams::new(16.0 * 1024.0, 28.0, 5.0, 2048.0),
+        CacheParams::try_new(16.0 * 1024.0, 28.0, 5.0, 2048.0).unwrap(),
         L2Params::new(96.0 * 1024.0, 180.0, 0.06),
     );
     c.bench_function("cache/two_level_eval", |b| {
@@ -49,7 +49,7 @@ fn bench_multilevel(c: &mut Criterion) {
     });
     let single = CachedMsCurve::new(
         &MachineParams::new(6.0, 0.02, 900.0),
-        CacheParams::new(16.0 * 1024.0, 28.0, 5.0, 2048.0),
+        CacheParams::try_new(16.0 * 1024.0, 28.0, 5.0, 2048.0).unwrap(),
     );
     c.bench_function("cache/mshr_capped_eval", |b| {
         b.iter(|| {

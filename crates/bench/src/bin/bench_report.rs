@@ -143,7 +143,7 @@ fn cached_model() -> XModel {
     XModel::with_cache(
         gpu.machine_params(Precision::Single),
         WorkloadParams::new(20.0, 1.2, 64.0),
-        CacheParams::new(16.0 * 1024.0, 30.0, 3.0, 2048.0),
+        CacheParams::try_new(16.0 * 1024.0, 30.0, 3.0, 2048.0).unwrap(),
     )
 }
 
@@ -259,7 +259,7 @@ fn cmd_measure(args: &[String]) -> Result<(), String> {
     run(
         "e2e/validate_gesummv",
         time_bench(window, 1, || {
-            xmodel::profile::validate::validate_one(&gpu, &gesummv)
+            xmodel::profile::validate::validate_one(&gpu, &gesummv).expect("validation failed")
         }),
     );
 

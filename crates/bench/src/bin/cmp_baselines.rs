@@ -24,7 +24,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 4];
     for w in Workload::suite() {
-        let v = validate_one(&gpu, &w); // X-model + simulator measurement
+        let v = validate_one(&gpu, &w).expect("validation failed"); // X-model + simulator
         let model = assemble_model(&gpu, &w, 0);
         let machine = model.machine;
         let a = w.kernel.analyze();

@@ -12,7 +12,7 @@ use xmodel_bench::{cell, save_svg};
 
 fn main() {
     let machine = MachineParams::new(6.0, 0.02, 600.0);
-    let cache = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+    let cache = CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap();
 
     let ns: Vec<f64> = (1..=60).map(|i| i as f64).collect();
     let zs: Vec<f64> = (1..=40).map(|i| i as f64 * 4.0).collect();

@@ -10,7 +10,7 @@ use xmodel_bench::{cell, save_svg, write_csv};
 
 fn main() {
     let machine = MachineParams::new(6.0, 0.1, 600.0);
-    let base = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+    let base = CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap();
     let sample = |cache: CacheParams| -> Vec<(f64, f64)> {
         let c = CachedMsCurve::new(&machine, cache);
         (0..=256)

@@ -14,7 +14,7 @@ fn machine() -> MachineParams {
 }
 
 fn cache() -> CacheParams {
-    CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0)
+    CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap()
 }
 
 fn main() {

@@ -20,7 +20,7 @@ fn main() {
     let mut accs = Vec::new();
     let mut report = ValidationReport { apps: Vec::new() };
     for w in Workload::suite() {
-        let v = validate_one(&gpu, &w);
+        let v = validate_one(&gpu, &w).expect("validation failed");
         accs.push(v.accuracy());
         report.apps.push(v.clone());
         rows.push(vec![

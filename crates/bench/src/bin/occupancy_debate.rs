@@ -21,7 +21,7 @@ fn main() {
 
     // (a) Kayiran et al. [1]: cache thrashing under full occupancy.
     let machine = MachineParams::new(6.0, 0.02, 600.0);
-    let cache = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+    let cache = CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap();
     let mut cache_rows = Vec::new();
     let mut cache_curve = Vec::new();
     for n in (4..=48).step_by(4) {

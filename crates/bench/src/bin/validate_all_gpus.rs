@@ -11,7 +11,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut reports = Vec::new();
     for gpu in GpuSpec::all() {
-        let rep = validate_suite(&gpu);
+        let rep = validate_suite(&gpu).expect("validation failed");
         let worst = rep
             .worst()
             .map(|w| format!("{} ({:.0}%)", w.name, w.accuracy() * 100.0))

@@ -23,29 +23,82 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
+use std::sync::OnceLock;
+use xmodel::core::degrade::DegradeForce;
 use xmodel::core::xgraph::XGraph;
 use xmodel::prelude::*;
 use xmodel::render;
+use xmodel::sim::{FaultSpec, SolverFault, Watchdog};
 use xmodel_obs::manifest::RunManifest;
+
+/// The exit-code contract (asserted by `scripts/ci.sh`):
+///
+/// * `0` — success; a *degraded* result is still exit 0 but prints a
+///   `warning:` line on stderr with the provenance.
+/// * `1` — a well-formed invocation hit a typed model/simulation error.
+/// * `2` — usage error: unknown command/flag/value (usage text follows).
+#[derive(Debug)]
+enum CliError {
+    /// Bad invocation; exits 2 and prints usage.
+    Usage(String),
+    /// Typed model or simulation error; exits 1.
+    Model(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl CliError {
+    fn model(err: impl std::fmt::Display) -> Self {
+        CliError::Model(err.to_string())
+    }
+}
+
+/// The fault spec parsed from `--fault-spec` / `XMODEL_FAULT_SPEC`;
+/// defaults to no faults.
+static FAULT_SPEC: OnceLock<FaultSpec> = OnceLock::new();
+
+fn fault_spec() -> FaultSpec {
+    FAULT_SPEC.get().copied().unwrap_or_default()
+}
+
+/// Solver-fault forcing for the degradation ladder, from the fault spec.
+fn solver_force() -> DegradeForce {
+    match fault_spec().solver {
+        SolverFault::None => DegradeForce::None,
+        SolverFault::NoBracket => DegradeForce::SkipExact,
+        SolverFault::NoGrid => DegradeForce::SkipGrid,
+    }
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = init_faults(&mut args) {
+        eprintln!("error: {e}");
+        usage();
+        return ExitCode::from(2);
+    }
     let tracing = match init_tracing(&mut args) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            usage();
+            return ExitCode::from(2);
         }
     };
     if let Err(e) = init_metrics(&mut args) {
         eprintln!("error: {e}");
-        return ExitCode::FAILURE;
+        usage();
+        return ExitCode::from(2);
     }
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
             usage();
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match cmd {
@@ -62,7 +115,7 @@ fn main() -> ExitCode {
             usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
     };
     if tracing {
         let manifest = RunManifest::collect(cmd, manifest_params(rest), None);
@@ -70,29 +123,72 @@ fn main() -> ExitCode {
     }
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Model(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Usage(e)) => {
             eprintln!("error: {e}");
             usage();
-            ExitCode::FAILURE
+            ExitCode::from(2)
         }
     }
 }
 
+/// Strip a global `--fault-spec SPEC` flag (falling back to the
+/// `XMODEL_FAULT_SPEC` environment variable) and install the parsed
+/// [`FaultSpec`] for the rest of the run. A malformed spec is a usage
+/// error.
+fn init_faults(args: &mut Vec<String>) -> Result<(), String> {
+    let text = if let Some(i) = args.iter().position(|a| a == "--fault-spec") {
+        if i + 1 >= args.len() {
+            return Err("--fault-spec requires a spec string".to_string());
+        }
+        let spec = args.remove(i + 1);
+        args.remove(i);
+        Some(spec)
+    } else {
+        std::env::var("XMODEL_FAULT_SPEC").ok()
+    };
+    if let Some(text) = text {
+        let spec = FaultSpec::parse(&text).map_err(|e| format!("--fault-spec: {e}"))?;
+        let _ = FAULT_SPEC.set(spec);
+    }
+    Ok(())
+}
+
 /// Strip a global `--trace FILE` flag from `args` and install the JSONL
-/// sink; fall back to the `XMODEL_TRACE` environment variable. Returns
-/// whether tracing is live (a run manifest is then owed at exit).
+/// sink; fall back to the `XMODEL_TRACE` environment variable. When the
+/// fault spec perturbs the sink, the JSONL writer is wrapped in a
+/// [`xmodel_obs::FaultySink`] injecting torn writes and write errors.
+/// Returns whether tracing is live (a run manifest is then owed at exit).
 fn init_tracing(args: &mut Vec<String>) -> Result<bool, String> {
-    if let Some(i) = args.iter().position(|a| a == "--trace") {
+    let path: Option<std::path::PathBuf> = if let Some(i) = args.iter().position(|a| a == "--trace")
+    {
         if i + 1 >= args.len() {
             return Err("--trace requires a file path".to_string());
         }
-        let path = args.remove(i + 1);
+        let p = args.remove(i + 1);
         args.remove(i);
-        xmodel_obs::init_jsonl(std::path::Path::new(&path))
-            .map_err(|e| format!("--trace {path}: {e}"))?;
-        return Ok(true);
+        Some(p.into())
+    } else {
+        std::env::var_os("XMODEL_TRACE").map(Into::into)
+    };
+    let Some(path) = path else { return Ok(false) };
+    let sink = xmodel_obs::JsonlSink::create(&path)
+        .map_err(|e| format!("--trace {}: {e}", path.display()))?;
+    let spec = fault_spec();
+    if spec.perturbs_sink() {
+        xmodel_obs::install(Box::new(xmodel_obs::FaultySink::new(
+            Box::new(sink),
+            spec.sink_tear_prob,
+            spec.sink_error_prob,
+            spec.seed,
+        )));
+    } else {
+        xmodel_obs::install(Box::new(sink));
     }
-    Ok(xmodel_obs::init_from_env().is_some())
+    Ok(true)
 }
 
 /// Strip a global `--metrics-addr HOST:PORT` flag and start the live
@@ -149,18 +245,28 @@ fn usage() {
          global flags:\n\
            --trace FILE          stream JSONL trace events to FILE\n\
            --metrics-addr H:P    serve live Prometheus metrics on HOST:PORT\n\
+           --fault-spec SPEC     inject deterministic faults (chaos testing), e.g.\n\
+                                 seed=7,spike=0.01x8,drop=0.001,dup=0.001,\n\
+                                 throttle=1000:0.2:0.25,sink-tear=0.01,sink-error=0.01,\n\
+                                 solver=no-bracket|no-grid\n\
          \n\
          environment:\n\
            XMODEL_TRACE          trace file, when --trace is absent\n\
-           XMODEL_METRICS_ADDR   metrics HOST:PORT, when --metrics-addr is absent\n"
+           XMODEL_METRICS_ADDR   metrics HOST:PORT, when --metrics-addr is absent\n\
+           XMODEL_FAULT_SPEC     fault spec, when --fault-spec is absent\n\
+         \n\
+         exit codes:\n\
+           0  success (degraded results add a `warning:` line on stderr)\n\
+           1  typed model/simulation error\n\
+           2  usage error\n"
     );
 }
 
-fn cmd_trace_report(args: &[String]) -> Result<(), String> {
+fn cmd_trace_report(args: &[String]) -> Result<(), CliError> {
     let file = args
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or("trace-report: trace file required")?;
+        .ok_or_else(|| "trace-report: trace file required".to_string())?;
     let flags = parse_flags(&args[1..]);
     let path = std::path::Path::new(file);
     let report =
@@ -185,11 +291,11 @@ fn cmd_trace_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_profile(args: &[String]) -> Result<(), String> {
+fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     let file = args
         .first()
         .filter(|a| !a.starts_with("--"))
-        .ok_or("profile: trace file required")?;
+        .ok_or_else(|| "profile: trace file required".to_string())?;
     let flags = parse_flags(&args[1..]);
     let path = std::path::Path::new(file);
     let profile =
@@ -251,7 +357,7 @@ fn workload_by_name(name: &str) -> Result<Workload, String> {
     Workload::by_name(name).ok_or_else(|| format!("unknown workload `{name}` (try `xmodel list`)"))
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), CliError> {
     println!("GPUs (Table II):");
     for g in GpuSpec::all() {
         println!(
@@ -270,14 +376,14 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_glossary() -> Result<(), String> {
+fn cmd_glossary() -> Result<(), CliError> {
     for e in xmodel::core::params::TABLE_I {
         println!("  {:<6} {}", e.symbol, e.description);
     }
     Ok(())
 }
 
-fn build_model(flags: &HashMap<String, String>) -> Result<(XModel, Option<UnitContext>), String> {
+fn build_model(flags: &HashMap<String, String>) -> Result<(XModel, Option<UnitContext>), CliError> {
     let (machine, units) = if let Some(gpu) = flags.get("gpu") {
         let spec = gpu_by_name(gpu)?;
         let precision = if flags.contains_key("dp") {
@@ -287,15 +393,18 @@ fn build_model(flags: &HashMap<String, String>) -> Result<(XModel, Option<UnitCo
         };
         (spec.machine_params(precision), Some(spec.units(precision)))
     } else {
-        let m = get_f64(flags, "m")?.ok_or("--m or --gpu required")?;
-        let r = get_f64(flags, "r")?.ok_or("--r required")?;
-        let l = get_f64(flags, "l")?.ok_or("--l required")?;
-        (MachineParams::new(m, r, l), None)
+        let m = get_f64(flags, "m")?.ok_or_else(|| "--m or --gpu required".to_string())?;
+        let r = get_f64(flags, "r")?.ok_or_else(|| "--r required".to_string())?;
+        let l = get_f64(flags, "l")?.ok_or_else(|| "--l required".to_string())?;
+        (
+            MachineParams::try_new(m, r, l).map_err(CliError::model)?,
+            None,
+        )
     };
-    let z = get_f64(flags, "z")?.ok_or("--z required")?;
+    let z = get_f64(flags, "z")?.ok_or_else(|| "--z required".to_string())?;
     let e = get_f64(flags, "e")?.unwrap_or(1.0);
-    let n = get_f64(flags, "n")?.ok_or("--n required")?;
-    let workload = WorkloadParams::new(z, e, n);
+    let n = get_f64(flags, "n")?.ok_or_else(|| "--n required".to_string())?;
+    let workload = WorkloadParams::try_new(z, e, n).map_err(CliError::model)?;
 
     let model = match get_f64(flags, "l1")? {
         Some(kib) if kib > 0.0 => {
@@ -305,7 +414,7 @@ fn build_model(flags: &HashMap<String, String>) -> Result<(XModel, Option<UnitCo
             XModel::with_cache(
                 machine,
                 workload,
-                CacheParams::new(kib * 1024.0, l1_lat, alpha, beta),
+                CacheParams::try_new(kib * 1024.0, l1_lat, alpha, beta).map_err(CliError::model)?,
             )
         }
         _ => XModel::new(machine, workload),
@@ -313,7 +422,34 @@ fn build_model(flags: &HashMap<String, String>) -> Result<(XModel, Option<UnitCo
     Ok((model, units))
 }
 
-fn report(model: &XModel, units: Option<&UnitContext>, svg: Option<&String>) -> Result<(), String> {
+fn report(
+    model: &XModel,
+    units: Option<&UnitContext>,
+    svg: Option<&String>,
+) -> Result<(), CliError> {
+    // Resolve through the degradation ladder first: a model whose curves
+    // defeat exact bracketing (or a forced `--fault-spec solver=...`)
+    // still reports, with the provenance on stderr; only a model that
+    // defeats every rung is a hard error (exit 1).
+    let resolved = model
+        .resolve_operating_point_with(xmodel::core::solver::DEFAULT_SAMPLES, solver_force())
+        .map_err(CliError::model)?;
+    if resolved.degradation.is_degraded() {
+        eprintln!(
+            "warning: operating point degraded to `{}` (residual {:.3e}, schema {})",
+            resolved.degradation,
+            resolved.residual,
+            xmodel::core::degrade::DEGRADE_SCHEMA
+        );
+        println!(
+            "operating point ({}): k = {:.2}, x = {:.2}, MS {:.4} req/cyc, CS {:.4} ops/cyc",
+            resolved.degradation,
+            resolved.point.k,
+            resolved.point.x,
+            resolved.point.ms_throughput,
+            resolved.point.cs_throughput
+        );
+    }
     // The shared report card from xmodel-core, then the terminal X-graph.
     print!("{}", xmodel::core::report::render(model, units));
     let graph = XGraph::build(model, 384);
@@ -326,13 +462,15 @@ fn report(model: &XModel, units: Option<&UnitContext>, svg: Option<&String>) -> 
     Ok(())
 }
 
-fn cmd_draw(flags: HashMap<String, String>) -> Result<(), String> {
+fn cmd_draw(flags: HashMap<String, String>) -> Result<(), CliError> {
     let (model, units) = build_model(&flags)?;
     report(&model, units.as_ref(), flags.get("svg"))
 }
 
-fn cmd_workload(args: &[String]) -> Result<(), String> {
-    let name = args.first().ok_or("workload name required")?;
+fn cmd_workload(args: &[String]) -> Result<(), CliError> {
+    let name = args
+        .first()
+        .ok_or_else(|| "workload name required".to_string())?;
     let flags = parse_flags(&args[1..]);
     let w = workload_by_name(name)?;
     let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("kepler"))?;
@@ -349,10 +487,10 @@ fn cmd_workload(args: &[String]) -> Result<(), String> {
     report(&model, Some(&gpu.units(precision)), flags.get("svg"))
 }
 
-fn cmd_validate(flags: HashMap<String, String>) -> Result<(), String> {
+fn cmd_validate(flags: HashMap<String, String>) -> Result<(), CliError> {
     let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("kepler"))?;
     println!("validating on {} ...", gpu.name);
-    let rep = validate_suite(&gpu);
+    let rep = validate_suite(&gpu).map_err(CliError::model)?;
     println!("{:<11} {:>8} {:>8} {:>7}", "app", "PCT", "RCT", "acc");
     for a in &rep.apps {
         println!(
@@ -367,7 +505,7 @@ fn cmd_validate(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sim(flags: HashMap<String, String>) -> Result<(), String> {
+fn cmd_sim(flags: HashMap<String, String>) -> Result<(), CliError> {
     let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("kepler"))?;
     let w = workload_by_name(
         flags
@@ -396,10 +534,28 @@ fn cmd_sim(flags: HashMap<String, String>) -> Result<(), String> {
         .unwrap_or_else(|| occ.warps.min(gpu.max_warps as u32));
 
     let ir_mode = flags.contains_key("ir");
-    let stats = if ir_mode {
-        xmodel::sim::exec::simulate_ir(&cfg, &w.kernel, w.trace, warps, 15_000, 50_000)
+    let spec = fault_spec();
+    // A hang (e.g. `--fault-spec drop=1` losing every completion) becomes
+    // a typed Watchdog error and exit 1, never a silently-zero result.
+    // The threshold must sit well inside the 50k-cycle measure phase or
+    // it can never trip; healthy runs complete requests every few hundred
+    // cycles, so 25k idle cycles is unambiguous.
+    let watchdog = Watchdog {
+        stall_cycles: 25_000,
+        ..Watchdog::default()
+    };
+    let (stats, faults) = if ir_mode {
+        let mut sm = xmodel::sim::IrSm::new(&cfg, &w.kernel, w.trace, warps, 42);
+        if spec.perturbs_memory() {
+            sm.set_faults(&spec);
+        }
+        let stats = sm
+            .run_watched(15_000, 50_000, &watchdog)
+            .map_err(CliError::model)?
+            .clone();
+        (stats, sm.fault_counters())
     } else {
-        xmodel::sim::simulate(
+        let mut sm = xmodel::sim::Sm::with_faults(
             &cfg,
             &SimWorkload {
                 trace: w.trace,
@@ -407,10 +563,22 @@ fn cmd_sim(flags: HashMap<String, String>) -> Result<(), String> {
                 ilp: a.ilp,
                 warps,
             },
-            15_000,
-            50_000,
-        )
+            42,
+            &spec,
+        );
+        let stats = sm
+            .run_watched(15_000, 50_000, &watchdog)
+            .map_err(CliError::model)?
+            .clone();
+        (stats, sm.fault_counters())
     };
+    if let Some(f) = faults {
+        eprintln!(
+            "warning: injected memory faults: {} spikes, {} drops, {} dups, {} throttled \
+             ({} recovered, {} spurious wakes absorbed)",
+            f.spikes, f.drops, f.dups, f.throttled, stats.lost_recovered, stats.spurious_wakes
+        );
+    }
     let units = gpu.units(precision);
     println!(
         "{} on {} ({} warps, {} mode{})",
@@ -446,7 +614,7 @@ fn cmd_sim(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_whatif(flags: HashMap<String, String>) -> Result<(), String> {
+fn cmd_whatif(flags: HashMap<String, String>) -> Result<(), CliError> {
     let gpu = gpu_by_name(flags.get("gpu").map(String::as_str).unwrap_or("fermi"))?;
     let w = workload_by_name(
         flags

@@ -47,6 +47,7 @@ pub struct CacheParams {
 
 impl CacheParams {
     /// Create cache parameters, panicking on invalid values.
+    #[deprecated(note = "use `CacheParams::try_new` and handle the error")]
     pub fn new(s_cache: f64, l_cache: f64, alpha: f64, beta: f64) -> Self {
         Self::try_new(s_cache, l_cache, alpha, beta).expect("invalid cache parameters")
     }
@@ -379,7 +380,7 @@ mod tests {
     /// A highly cache-sensitive configuration (α = 5, working sets of 8
     /// threads fill the cache) that exhibits the full peak/valley shape.
     fn hcs_cache() -> CacheParams {
-        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0)
+        CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap()
     }
 
     #[test]
@@ -396,14 +397,14 @@ mod tests {
 
     #[test]
     fn zero_capacity_means_zero_hit_rate() {
-        let c = CacheParams::new(0.0, 30.0, 2.0, 1024.0);
+        let c = CacheParams::try_new(0.0, 30.0, 2.0, 1024.0).unwrap();
         assert_eq!(c.hit_rate(Threads(10.0)), 0.0);
     }
 
     #[test]
     fn zero_capacity_degenerates_to_roofline() {
         let m = machine();
-        let nocache = CachedMsCurve::new(&m, CacheParams::new(0.0, 30.0, 2.0, 1024.0));
+        let nocache = CachedMsCurve::new(&m, CacheParams::try_new(0.0, 30.0, 2.0, 1024.0).unwrap());
         let roofline = crate::ms::MsCurve::new(&m);
         for i in 0..100 {
             let k = Threads(i as f64);
@@ -455,7 +456,7 @@ mod tests {
     #[test]
     fn cache_insensitive_has_no_peak() {
         // alpha barely above 1: almost no locality (Fig. 8-A curve 1).
-        let ci = CacheParams::new(16.0 * 1024.0, 30.0, 1.01, 2048.0);
+        let ci = CacheParams::try_new(16.0 * 1024.0, 30.0, 1.01, 2048.0).unwrap();
         let curve = CachedMsCurve::new(&machine(), ci);
         let feats = curve.features(Threads(128.0));
         assert!(feats.peak.is_none(), "CI workload must show no cache peak");

@@ -1,0 +1,344 @@
+//! Graceful degradation ladder for operating-point resolution.
+//!
+//! The paper's flow-balance construction guarantees an intersection for
+//! well-formed parameters, but a production pipeline sees more than
+//! well-formed parameters: custom curves with NaN holes, tangential
+//! plateau-on-plateau contact that sign-change bracketing misses,
+//! degenerate `Z/E/L/R` combinations, and deliberately injected solver
+//! faults (`--fault-spec solver=...`). Instead of aborting with
+//! `NoEquilibrium`, [`resolve`] walks a ladder:
+//!
+//! 1. **exact** — the normal dense-scan + bisection solve
+//!    ([`crate::solver::solve_with`]); taken when it yields a finite
+//!    operating point.
+//! 2. **grid-scan** — a denser scan plus closest-approach minimisation
+//!    ([`crate::solver::closest_approach`]), accepting the point of
+//!    minimum `|f − ĝ|` when the residual gap is small relative to the
+//!    curve scale. Recovers tangential contact and curves with NaN holes.
+//! 3. **baseline-estimate** — a roofline/Little's-law bound computed
+//!    directly from `(M, R, L, Z, E, n)`:
+//!    `ms = min(n/(L + Z/E), R, M/Z)`, `k = ms·L`. This is Hill's
+//!    "three other models" fallback: bottleneck analysis that cannot
+//!    fail, only lose the cache structure. It agrees with
+//!    `xmodel_baselines::Roofline` where their domains overlap (a parity
+//!    test in `tests/fault_matrix.rs` pins this).
+//!
+//! Every rung below *exact* is tagged with a [`Degradation`] provenance
+//! value, counted on the `solver.degraded` metric (so it lands in run
+//! manifests) and emitted as a structured `solver.degraded` warning event
+//! under the [`DEGRADE_SCHEMA`] tag (so `xmodel trace-report` shows it).
+//! A result that would be non-finite is never returned — the ladder
+//! surfaces [`ModelError::NonFinite`] instead.
+
+use crate::error::{ModelError, Result};
+use crate::model::XModel;
+use crate::solver::{self, Intersection};
+use crate::stability::Stability;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Schema tag under which every [`Degradation`] value is serialized in
+/// trace events and manifests. Bump the suffix when the vocabulary
+/// changes; `schema-version-once` (xlint) keeps this the single
+/// definition.
+pub const DEGRADE_SCHEMA: &str = "xmodel-degrade/1";
+
+/// Relative residual gap accepted by the grid-scan rung: the closest
+/// approach counts as an operating point when `gap <= tol · scale`.
+const GRID_SCAN_REL_TOL: f64 = 1e-3;
+
+/// Provenance of a resolved operating point: which rung of the ladder
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Degradation {
+    /// The exact solver found a stable (or marginal) intersection.
+    Exact,
+    /// Closest-approach grid scan; bracketing found nothing usable.
+    GridScan,
+    /// Roofline/Little's-law bound; the curves themselves were unusable.
+    BaselineEstimate,
+}
+
+impl Degradation {
+    /// Stable string form used in trace events, manifests and the CLI
+    /// (`exact` / `grid-scan` / `baseline-estimate`), always paired with
+    /// [`DEGRADE_SCHEMA`].
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Degradation::Exact => "exact",
+            Degradation::GridScan => "grid-scan",
+            Degradation::BaselineEstimate => "baseline-estimate",
+        }
+    }
+
+    /// Inverse of [`Degradation::as_str`].
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "exact" => Some(Degradation::Exact),
+            "grid-scan" => Some(Degradation::GridScan),
+            "baseline-estimate" => Some(Degradation::BaselineEstimate),
+            _ => None,
+        }
+    }
+
+    /// True for any rung below exact.
+    pub fn is_degraded(self) -> bool {
+        self != Degradation::Exact
+    }
+}
+
+impl fmt::Display for Degradation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Forcing knob for fault injection: which rungs to skip, exercising the
+/// recovery paths on demand (`--fault-spec solver=no-bracket|no-grid`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradeForce {
+    /// No forcing: the ladder runs normally.
+    #[default]
+    None,
+    /// Skip the exact rung (simulate bracketing failure).
+    SkipExact,
+    /// Skip the exact and grid-scan rungs (straight to the baseline).
+    SkipGrid,
+}
+
+/// An operating point together with how it was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedOperatingPoint {
+    /// The resolved spatial state.
+    pub point: Intersection,
+    /// Which ladder rung produced it.
+    pub degradation: Degradation,
+    /// Residual `|f(k) − ĝ(x)|` at the point (0 for the baseline rung,
+    /// which does not evaluate the curves).
+    pub residual: f64,
+}
+
+fn finite_point(p: &Intersection) -> bool {
+    p.k.is_finite() && p.x.is_finite() && p.ms_throughput.is_finite() && p.cs_throughput.is_finite()
+}
+
+fn emit_degraded(rung: Degradation, residual: f64) {
+    xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SOLVER_DEGRADED, 1);
+    xmodel_obs::event!(
+        "solver.degraded",
+        schema = DEGRADE_SCHEMA,
+        provenance = rung.as_str(),
+        residual = residual,
+    );
+}
+
+/// Walk the ladder for `model` at scan resolution `samples`. See the
+/// module docs for the rungs; `force` skips rungs for fault injection.
+pub fn resolve(
+    model: &XModel,
+    samples: usize,
+    force: DegradeForce,
+) -> Result<ResolvedOperatingPoint> {
+    // Rung 1: exact solve.
+    if force == DegradeForce::None {
+        let eq = model.solve_with(samples);
+        if let Some(point) = eq.operating_point() {
+            if finite_point(&point) {
+                return Ok(ResolvedOperatingPoint {
+                    point,
+                    degradation: Degradation::Exact,
+                    residual: 0.0,
+                });
+            }
+        }
+    }
+
+    // Rung 2: denser grid + closest approach.
+    if force != DegradeForce::SkipGrid {
+        let f = |k: crate::units::Threads| crate::units::ReqPerCycle(model.fk(k.get()));
+        let g = |x: crate::units::Threads| crate::units::ReqPerCycle(model.g_hat(x.get()));
+        let n = model.workload.threads();
+        let z = model.workload.intensity();
+        let dense = samples.saturating_mul(4).max(solver::DEFAULT_SAMPLES);
+        if let Some((point, gap)) = solver::closest_approach(&f, &g, n, z, dense) {
+            let scale = model
+                .machine
+                .r
+                .max(model.g_hat(model.workload.n))
+                .max(f64::MIN_POSITIVE);
+            if finite_point(&point) && gap <= GRID_SCAN_REL_TOL * scale {
+                emit_degraded(Degradation::GridScan, gap);
+                return Ok(ResolvedOperatingPoint {
+                    point,
+                    degradation: Degradation::GridScan,
+                    residual: gap,
+                });
+            }
+        }
+    }
+
+    // Rung 3: roofline/Little's-law baseline from the raw parameters.
+    let point = baseline_estimate(model)?;
+    emit_degraded(Degradation::BaselineEstimate, 0.0);
+    Ok(ResolvedOperatingPoint {
+        point,
+        degradation: Degradation::BaselineEstimate,
+        residual: 0.0,
+    })
+}
+
+/// The baseline rung: bound MS throughput by the three first-order
+/// limits — latency (Little's law over the round trip `L + Z/E`),
+/// bandwidth (`R`), and compute (`M/Z` requests/cycle when CS saturates
+/// its `M` lanes) — then place `k` by Little's law, `k = ms·L`.
+///
+/// Uses only `(M, R, L, Z, E, n)`; it cannot fail on any parameter set
+/// the [`crate::params`] constructors accept, and it reproduces
+/// `xmodel_baselines::Roofline::attainable` on the bandwidth/compute
+/// side (parity-tested in `tests/fault_matrix.rs`).
+pub fn baseline_estimate(model: &XModel) -> Result<Intersection> {
+    let m = model.machine.m;
+    let r = model.machine.r;
+    let l = model.machine.l;
+    let z = model.workload.z;
+    let e = model.workload.e;
+    let n = model.workload.n;
+
+    let round_trip = l + z / e;
+    let ms = (n / round_trip).min(r).min(m / z).max(0.0);
+    let k = (ms * l).clamp(0.0, n);
+    let point = Intersection {
+        k,
+        x: n - k,
+        ms_throughput: ms,
+        cs_throughput: ms * z,
+        stability: Stability::Marginal,
+    };
+    if !finite_point(&point) {
+        return Err(ModelError::NonFinite {
+            context: "baseline estimate",
+        });
+    }
+    Ok(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    fn model() -> XModel {
+        XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(20.0, 1.0, 48.0),
+        )
+    }
+
+    #[test]
+    fn schema_tag_and_provenance_strings() {
+        assert_eq!(DEGRADE_SCHEMA, "xmodel-degrade/1");
+        for d in [
+            Degradation::Exact,
+            Degradation::GridScan,
+            Degradation::BaselineEstimate,
+        ] {
+            assert_eq!(Degradation::parse(d.as_str()), Some(d));
+            assert_eq!(d.to_string(), d.as_str());
+        }
+        assert_eq!(Degradation::parse("unknown"), None);
+        assert!(!Degradation::Exact.is_degraded());
+        assert!(Degradation::GridScan.is_degraded());
+    }
+
+    #[test]
+    fn healthy_model_resolves_exactly() {
+        let r = resolve(&model(), solver::DEFAULT_SAMPLES, DegradeForce::None).unwrap();
+        assert_eq!(r.degradation, Degradation::Exact);
+        let exact = model().solve().operating_point().unwrap();
+        assert_eq!(r.point.k, exact.k);
+    }
+
+    #[test]
+    fn forced_no_bracket_takes_grid_scan() {
+        let r = resolve(&model(), solver::DEFAULT_SAMPLES, DegradeForce::SkipExact).unwrap();
+        assert_eq!(r.degradation, Degradation::GridScan);
+        let exact = model().solve().operating_point().unwrap();
+        assert!(
+            (r.point.k - exact.k).abs() < 0.5,
+            "grid {} vs exact {}",
+            r.point.k,
+            exact.k
+        );
+        assert!(r.residual < 1e-6);
+    }
+
+    #[test]
+    fn forced_no_grid_takes_baseline() {
+        let r = resolve(&model(), solver::DEFAULT_SAMPLES, DegradeForce::SkipGrid).unwrap();
+        assert_eq!(r.degradation, Degradation::BaselineEstimate);
+        // Latency-bound regime: ms ≈ n/(L + Z/E) = 48/520, within the
+        // same ballpark as the exact answer 46.15/500.
+        let exact = model().solve().operating_point().unwrap();
+        let rel = (r.point.ms_throughput - exact.ms_throughput).abs() / exact.ms_throughput;
+        assert!(
+            rel < 0.05,
+            "baseline {} vs exact {}",
+            r.point.ms_throughput,
+            exact.ms_throughput
+        );
+    }
+
+    #[test]
+    fn baseline_respects_all_three_caps() {
+        // Bandwidth-bound: huge n.
+        let bw = XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(20.0, 1.0, 100_000.0),
+        );
+        let p = baseline_estimate(&bw).unwrap();
+        assert!((p.ms_throughput - 0.1).abs() < 1e-12, "R-capped");
+        // Compute-bound: tiny M relative to R·Z.
+        let cs = XModel::new(
+            MachineParams::new(0.5, 10.0, 100.0),
+            WorkloadParams::new(50.0, 1.0, 100_000.0),
+        );
+        let p = baseline_estimate(&cs).unwrap();
+        assert!((p.ms_throughput - 0.01).abs() < 1e-12, "M/Z-capped");
+        // Latency-bound: tiny n.
+        let lat = XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(20.0, 1.0, 2.0),
+        );
+        let p = baseline_estimate(&lat).unwrap();
+        assert!(
+            (p.ms_throughput - 2.0 / 520.0).abs() < 1e-12,
+            "n/(L+Z/E)-capped"
+        );
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_zero_baseline_not_error() {
+        let idle = XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(20.0, 1.0, 0.0),
+        );
+        let r = resolve(&idle, solver::DEFAULT_SAMPLES, DegradeForce::None).unwrap();
+        assert_eq!(r.degradation, Degradation::BaselineEstimate);
+        assert_eq!(r.point.ms_throughput, 0.0);
+        assert_eq!(r.point.k, 0.0);
+        assert_eq!(r.point.x, 0.0);
+    }
+
+    #[test]
+    fn every_rung_returns_finite_values() {
+        for force in [
+            DegradeForce::None,
+            DegradeForce::SkipExact,
+            DegradeForce::SkipGrid,
+        ] {
+            let r = resolve(&model(), solver::DEFAULT_SAMPLES, force).unwrap();
+            assert!(finite_point(&r.point), "{force:?} produced {:?}", r.point);
+            assert!(r.residual.is_finite());
+        }
+    }
+}

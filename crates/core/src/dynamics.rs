@@ -170,7 +170,7 @@ mod tests {
     /// f(k) again near k ≈ 50.
     fn bistable_model() -> XModel {
         let machine = MachineParams::new(6.0, 0.02, 600.0);
-        let cache = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+        let cache = CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap();
         let workload = WorkloadParams::new(66.0, 0.25, 60.0);
         XModel::with_cache(machine, workload, cache)
     }

@@ -1,12 +1,13 @@
 //! Error type shared by the analytic model.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Result alias for model operations.
 pub type Result<T> = std::result::Result<T, ModelError>;
 
 /// Errors raised when constructing or evaluating a model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ModelError {
     /// A parameter was outside its valid domain.
     InvalidParameter {
@@ -24,6 +25,77 @@ pub enum ModelError {
         /// The routine that gave up.
         routine: &'static str,
     },
+    /// A curve or estimate produced a NaN or infinite value where a
+    /// finite one was required (the degradation ladder refuses to emit
+    /// non-finite results; see [`crate::degrade`]).
+    NonFinite {
+        /// Where the non-finite value appeared.
+        context: &'static str,
+    },
+}
+
+/// Parameter names the workspace constructs [`ModelError::InvalidParameter`]
+/// with — Table I symbols plus the multi-level-cache extension's. Used to
+/// re-intern names when parsing an error back from its `Display` form.
+const PARAM_NAMES: &[&str] = &[
+    "M", "R", "L", "Z", "E", "n", "S$", "L$", "alpha", "beta", "S2", "L2", "R2",
+];
+
+/// Constraint strings in use (see `check_pos` and the `try_new`
+/// constructors).
+const CONSTRAINTS: &[&str] = &["> 0", ">= 0", "> 1", "finite"];
+
+/// Routines that can report [`ModelError::NoConvergence`].
+const ROUTINES: &[&str] = &[
+    "bisect",
+    "grid-scan",
+    "calibrate",
+    "validate",
+    "simulation watchdog",
+];
+
+/// Contexts that can report [`ModelError::NonFinite`].
+const CONTEXTS: &[&str] = &[
+    "ms supply curve",
+    "cs demand curve",
+    "operating point",
+    "baseline estimate",
+];
+
+fn intern(table: &[&'static str], s: &str) -> Option<&'static str> {
+    table.iter().find(|&&t| t == s).copied()
+}
+
+impl ModelError {
+    /// Parse an error back from its [`fmt::Display`] rendering — the
+    /// inverse of `to_string()` for every error this workspace can emit
+    /// (names, constraints, routines and contexts are re-interned against
+    /// the tables above). Returns `None` for text that is not a rendered
+    /// `ModelError`, or whose vocabulary is unknown.
+    pub fn parse(text: &str) -> Option<Self> {
+        if text == "no flow-balance equilibrium exists" {
+            return Some(ModelError::NoEquilibrium);
+        }
+        if let Some(rest) = text.strip_prefix("numeric routine `") {
+            let routine = rest.strip_suffix("` did not converge")?;
+            return Some(ModelError::NoConvergence {
+                routine: intern(ROUTINES, routine)?,
+            });
+        }
+        if let Some(rest) = text.strip_prefix("non-finite value in ") {
+            return Some(ModelError::NonFinite {
+                context: intern(CONTEXTS, rest)?,
+            });
+        }
+        let rest = text.strip_prefix("parameter ")?;
+        let (name, rest) = rest.split_once(" = ")?;
+        let (value, constraint) = rest.split_once(" violates constraint ")?;
+        Some(ModelError::InvalidParameter {
+            name: intern(PARAM_NAMES, name)?,
+            value: value.parse().ok()?,
+            constraint: intern(CONSTRAINTS, constraint)?,
+        })
+    }
 }
 
 impl fmt::Display for ModelError {
@@ -40,6 +112,9 @@ impl fmt::Display for ModelError {
             ModelError::NoEquilibrium => write!(f, "no flow-balance equilibrium exists"),
             ModelError::NoConvergence { routine } => {
                 write!(f, "numeric routine `{routine}` did not converge")
+            }
+            ModelError::NonFinite { context } => {
+                write!(f, "non-finite value in {context}")
             }
         }
     }
@@ -79,5 +154,77 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&ModelError::NoEquilibrium);
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_display() {
+        let cases = [
+            ModelError::InvalidParameter {
+                name: "Z",
+                value: -1.0,
+                constraint: "> 0",
+            },
+            ModelError::InvalidParameter {
+                name: "S$",
+                value: -0.5,
+                constraint: ">= 0",
+            },
+            ModelError::InvalidParameter {
+                name: "alpha",
+                value: 1.0,
+                constraint: "> 1",
+            },
+            ModelError::InvalidParameter {
+                name: "n",
+                value: f64::NEG_INFINITY,
+                constraint: ">= 0",
+            },
+            ModelError::NoEquilibrium,
+            ModelError::NoConvergence { routine: "bisect" },
+            ModelError::NoConvergence {
+                routine: "grid-scan",
+            },
+            ModelError::NonFinite {
+                context: "baseline estimate",
+            },
+            ModelError::NonFinite {
+                context: "ms supply curve",
+            },
+        ];
+        for e in cases {
+            let text = e.to_string();
+            let back =
+                ModelError::parse(&text).unwrap_or_else(|| panic!("failed to parse back {text:?}"));
+            assert_eq!(back, e, "round-trip through {text:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_foreign_text() {
+        for bad in [
+            "",
+            "something else entirely",
+            "parameter Q = 1 violates constraint > 0",
+            "parameter Z = xyz violates constraint > 0",
+            "numeric routine `unknown` did not converge",
+            "non-finite value in the fabric of space",
+        ] {
+            assert!(ModelError::parse(bad).is_none(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn nan_value_round_trips() {
+        let e = ModelError::InvalidParameter {
+            name: "L",
+            value: f64::NAN,
+            constraint: "> 0",
+        };
+        let back = ModelError::parse(&e.to_string()).unwrap();
+        let ModelError::InvalidParameter { name, value, .. } = back else {
+            panic!("wrong variant")
+        };
+        assert_eq!(name, "L");
+        assert!(value.is_nan());
     }
 }

@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn cached_prediction_uses_cache_curve() {
-        let cache = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+        let cache = CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap();
         // Few threads: everything in cache — far faster than DRAM-bound.
         let w = WorkloadParams::new(40.0, 1.0, 6.0);
         let with = predict(machine(), Some(cache), &[Phase::new(w, 10_000.0)]);

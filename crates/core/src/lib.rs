@@ -46,6 +46,7 @@
 //! | [`cache`] | Jacob hit-rate model, Eq. (5), peak/valley/plateau features |
 //! | [`multilevel`] | two-level (L1+L2) extension of Eq. (5), mechanical bypass |
 //! | [`solver`] | flow-balance root finding, all intersections |
+//! | [`degrade`] | graceful-degradation ladder: exact → grid-scan → baseline |
 //! | [`stability`] | Eq. (6) stability classification |
 //! | [`dynamics`] | thread-migration ODE, convergence, hysteresis |
 //! | [`exectime`] | execution-time prediction (the §VII extension) |
@@ -66,6 +67,7 @@
 pub mod balance;
 pub mod cache;
 pub mod cs;
+pub mod degrade;
 pub mod dynamics;
 pub mod error;
 pub mod exectime;
@@ -86,6 +88,7 @@ pub mod xgraph;
 
 mod model;
 
+pub use degrade::{Degradation, DegradeForce, ResolvedOperatingPoint, DEGRADE_SCHEMA};
 pub use error::{ModelError, Result};
 pub use model::XModel;
 
@@ -93,6 +96,7 @@ pub use model::XModel;
 pub mod prelude {
     pub use crate::balance::{BalanceReport, BoundKind};
     pub use crate::cache::{CacheParams, MsCurveFeatures};
+    pub use crate::degrade::{Degradation, DegradeForce, ResolvedOperatingPoint};
     pub use crate::dynamics::{Trajectory, TrajectoryEnd};
     pub use crate::metrics::ParallelismReport;
     pub use crate::model::XModel;

@@ -105,6 +105,31 @@ impl XModel {
         )
     }
 
+    /// Resolve an operating point via the graceful-degradation ladder
+    /// ([`crate::degrade`]): exact solve → closest-approach grid scan →
+    /// roofline/Little's-law baseline. Unlike
+    /// [`Equilibria::operating_point`](crate::solver::Equilibria::operating_point)
+    /// this never returns "no answer" for parameters the constructors
+    /// accept — it returns a weaker answer tagged with its provenance.
+    pub fn resolve_operating_point(
+        &self,
+    ) -> crate::error::Result<crate::degrade::ResolvedOperatingPoint> {
+        self.resolve_operating_point_with(
+            solver::DEFAULT_SAMPLES,
+            crate::degrade::DegradeForce::None,
+        )
+    }
+
+    /// [`XModel::resolve_operating_point`] with an explicit scan
+    /// resolution and a fault-injection forcing knob.
+    pub fn resolve_operating_point_with(
+        &self,
+        samples: usize,
+        force: crate::degrade::DegradeForce,
+    ) -> crate::error::Result<crate::degrade::ResolvedOperatingPoint> {
+        crate::degrade::resolve(self, samples, force)
+    }
+
     /// Feature set (cache peak ψ, valley, plateau, δ) of the MS curve,
     /// scanned over `k ∈ (0, k_max]`.
     pub fn ms_features(&self, k_max: f64) -> MsCurveFeatures {
@@ -169,7 +194,7 @@ mod tests {
         XModel::with_cache(
             MachineParams::new(6.0, 0.1, 600.0),
             WorkloadParams::new(40.0, 1.0, 48.0),
-            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+            CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
         )
     }
 

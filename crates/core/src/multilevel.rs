@@ -81,7 +81,7 @@ impl L2Params {
 /// use xmodel_core::prelude::*;
 ///
 /// let machine = MachineParams::new(6.0, 0.02, 900.0);
-/// let l1 = CacheParams::new(16.0 * 1024.0, 28.0, 5.0, 2048.0);
+/// let l1 = CacheParams::try_new(16.0 * 1024.0, 28.0, 5.0, 2048.0).unwrap();
 /// let l2 = L2Params::new(96.0 * 1024.0, 180.0, 0.06);
 /// let curve = TwoLevelMsCurve::new(&machine, l1, l2);
 /// // The middle level can only help relative to Eq. (5) alone.
@@ -203,7 +203,7 @@ mod tests {
     }
 
     fn l1() -> CacheParams {
-        CacheParams::new(16.0 * 1024.0, 28.0, 5.0, 2048.0)
+        CacheParams::try_new(16.0 * 1024.0, 28.0, 5.0, 2048.0).unwrap()
     }
 
     fn l2() -> L2Params {

@@ -187,6 +187,75 @@ pub fn solve_with(
     eq
 }
 
+/// The point of closest approach between supply and demand: the `k`
+/// minimizing `|f(k) − ĝ(n−k)|` over a dense grid, refined by golden-ish
+/// trisection, together with the residual gap at that point.
+///
+/// This is the grid-scan rung of the degradation ladder
+/// ([`crate::degrade`]): when sign-change bracketing finds no root —
+/// tangential (flat-`g`) contact, NaN holes in a curve, or an injected
+/// solver fault — the closest approach is still well-defined wherever the
+/// curves evaluate finitely. Samples where either curve is non-finite are
+/// skipped; `None` is returned when every sample is non-finite or `n ≤ 0`.
+pub fn closest_approach(
+    f: &dyn Fn(Threads) -> ReqPerCycle,
+    g_hat: &dyn Fn(Threads) -> ReqPerCycle,
+    n: Threads,
+    z: OpsPerRequest,
+    samples: usize,
+) -> Option<(Intersection, f64)> {
+    assert!(samples >= 2, "need at least two scan samples");
+    let n = n.get();
+    let z = z.get();
+    if n <= 0.0 {
+        return None;
+    }
+    let f = |k: f64| f(Threads(k)).get();
+    let g_hat = |x: f64| g_hat(Threads(x)).get();
+    let f: &dyn Fn(f64) -> f64 = &f;
+    let g_hat: &dyn Fn(f64) -> f64 = &g_hat;
+    let gap = |k: f64| (f(k) - g_hat(n - k)).abs();
+
+    let step = n / samples as f64;
+    let mut best: Option<(f64, f64)> = None;
+    for i in 0..=samples {
+        let k = step * i as f64;
+        let g = gap(k);
+        if g.is_finite() && best.is_none_or(|(_, bg)| g < bg) {
+            best = Some((k, g));
+        }
+    }
+    let (mut k, _) = best?;
+    // Local refinement: shrink a one-step-wide window around the best
+    // sample (the gap need not be smooth, so plain interval thirds are
+    // safer than derivative-based steps).
+    let mut lo = (k - step).max(0.0);
+    let mut hi = (k + step).min(n);
+    for _ in 0..48 {
+        let m1 = lo + (hi - lo) / 3.0;
+        let m2 = hi - (hi - lo) / 3.0;
+        let (g1, g2) = (gap(m1), gap(m2));
+        match (g1.is_finite(), g2.is_finite()) {
+            (true, true) => {
+                if g1 <= g2 {
+                    hi = m2;
+                } else {
+                    lo = m1;
+                }
+            }
+            (true, false) => hi = m2,
+            (false, true) => lo = m1,
+            (false, false) => break,
+        }
+    }
+    let mid = 0.5 * (lo + hi);
+    if gap(mid).is_finite() && gap(mid) <= gap(k) {
+        k = mid;
+    }
+    let point = make_point(f, g_hat, n, z, k);
+    Some((point, gap(k)))
+}
+
 /// [`solve_with`] at the default resolution.
 pub fn solve(
     f: &dyn Fn(Threads) -> ReqPerCycle,
@@ -349,6 +418,110 @@ mod tests {
         let kc = coarse.operating_point().unwrap().k;
         let kf = fine.operating_point().unwrap().k;
         assert!((kc - kf).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bisect_budget_still_returns_finite_root() {
+        // A step discontinuity between two scan samples: bisection can
+        // never drive the residual to zero, so it must stop on its
+        // interval/iteration budget and return the midpoint — finite and
+        // inside the bracket — rather than looping forever.
+        let jump = 29.618_033_98_f64; // irrational-ish, never a sample
+        let f = move |k: Threads| ReqPerCycle(if k.get() < jump { 0.0 } else { 1.0 });
+        let g = |_: Threads| ReqPerCycle(0.5);
+        let eq = solve(&f, &g, Threads(64.0), OpsPerRequest(10.0));
+        assert_eq!(eq.points().len(), 1);
+        let p = eq.points()[0];
+        assert!(p.k.is_finite());
+        assert!((p.k - jump).abs() < 1e-6, "k = {}", p.k);
+    }
+
+    #[test]
+    fn zero_threads_closest_approach_is_none() {
+        let (f, g) = transit_curves();
+        assert!(closest_approach(&f, &g, Threads(0.0), OpsPerRequest(20.0), 256).is_none());
+        assert!(closest_approach(&f, &g, Threads(-3.0), OpsPerRequest(20.0), 256).is_none());
+    }
+
+    #[test]
+    fn tangential_flat_contact_found_by_closest_approach() {
+        // Supply plateau exactly equal to the demand plateau: the curves
+        // touch without crossing (F ≥ 0 everywhere, zero on the overlap),
+        // so sign-change bracketing may find nothing. Closest approach
+        // must locate the contact with zero gap.
+        let f = |k: Threads| ReqPerCycle((k.get().max(0.0) / 500.0).min(0.1));
+        let g = |x: Threads| ReqPerCycle((x.get().max(0.0) * 1.0).min(2.0) / 20.0);
+        let n = 500.0; // supply needs k = 50 to reach 0.1 = demand plateau
+        let (p, gap) = closest_approach(&f, &g, Threads(n), OpsPerRequest(20.0), 2048).unwrap();
+        assert!(gap < 1e-9, "gap = {gap}");
+        assert!((p.ms_throughput - 0.1).abs() < 1e-6);
+        assert!(p.k >= 50.0 - 1.0 && p.k <= n - 2.0 + 1.0, "k = {}", p.k);
+    }
+
+    #[test]
+    fn closest_approach_agrees_with_exact_root() {
+        let (f, g) = transit_curves();
+        let eq = solve(&f, &g, Threads(48.0), OpsPerRequest(20.0));
+        let exact = eq.operating_point().unwrap();
+        let (p, gap) = closest_approach(&f, &g, Threads(48.0), OpsPerRequest(20.0), 2048).unwrap();
+        assert!(gap < 1e-6, "gap = {gap}");
+        assert!((p.k - exact.k).abs() < 0.1, "{} vs {}", p.k, exact.k);
+    }
+
+    #[test]
+    fn closest_approach_skips_nan_holes() {
+        // f is NaN over a third of the domain; the scan must skip the hole
+        // and still find the true intersection outside it.
+        let f = |k: Threads| {
+            let k = k.get();
+            ReqPerCycle(if (10.0..20.0).contains(&k) {
+                f64::NAN
+            } else {
+                (k.max(0.0) / 500.0).min(0.1)
+            })
+        };
+        let g = |x: Threads| ReqPerCycle(x.get().clamp(0.0, 4.0) / 20.0);
+        let (p, gap) = closest_approach(&f, &g, Threads(48.0), OpsPerRequest(20.0), 2048).unwrap();
+        assert!(p.k.is_finite() && p.ms_throughput.is_finite());
+        assert!(gap < 1e-6, "gap = {gap}");
+    }
+
+    #[test]
+    fn all_nan_curves_yield_none_not_panic() {
+        let f = |_: Threads| ReqPerCycle(f64::NAN);
+        let g = |_: Threads| ReqPerCycle(f64::NAN);
+        assert!(closest_approach(&f, &g, Threads(48.0), OpsPerRequest(20.0), 256).is_none());
+    }
+
+    #[test]
+    fn bistable_operating_point_is_ambiguous_but_deterministic() {
+        // Same three-intersection shape as above: operating_point() commits to
+        // σ′ (smallest k) even though σ″ is also stable — the ambiguity is
+        // reported via is_bistable()/worst_stable(), never by flip-flopping.
+        let f = |k: Threads| {
+            let k = k.get().max(0.0);
+            ReqPerCycle(if k <= 8.0 {
+                0.3 * k / 8.0
+            } else if k <= 24.0 {
+                0.3 - 0.25 * (k - 8.0) / 16.0
+            } else if k <= 60.0 {
+                0.05 + 0.05 * (k - 24.0) / 36.0
+            } else {
+                0.1
+            })
+        };
+        let g = |x: Threads| ReqPerCycle((x.get().max(0.0) * 1.0).min(10.0) / 50.0);
+        let a = solve(&f, &g, Threads(64.0), OpsPerRequest(50.0));
+        let b = solve(&f, &g, Threads(64.0), OpsPerRequest(50.0));
+        assert!(a.is_bistable());
+        assert_eq!(a.operating_point(), b.operating_point());
+        let op = a.operating_point().unwrap();
+        assert_eq!(
+            op.k,
+            a.points()[0].k,
+            "must commit to the smallest-k stable point"
+        );
+        assert!(a.worst_stable().unwrap().k > op.k);
     }
 
     #[test]

@@ -165,7 +165,7 @@ mod tests {
         XModel::with_cache(
             model().machine,
             model().workload,
-            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+            CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
         )
     }
 

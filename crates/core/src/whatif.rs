@@ -98,7 +98,7 @@ impl Optimization {
 /// let model = XModel::with_cache(
 ///     MachineParams::new(6.0, 0.02, 600.0),
 ///     WorkloadParams::new(40.0, 2.0, 20.0),
-///     CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+///     CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
 /// );
 /// let what_if = WhatIf::new(model);
 /// assert!(what_if.is_thrashing());
@@ -219,7 +219,7 @@ mod tests {
         XModel::with_cache(
             MachineParams::new(6.0, 0.02, 600.0),
             WorkloadParams::new(40.0, 2.0, 20.0),
-            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+            CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
         )
     }
 

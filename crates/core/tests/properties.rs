@@ -24,7 +24,7 @@ fn cache() -> impl Strategy<Value = CacheParams> {
         1.05f64..8.0,
         64.0f64..32768.0,
     )
-        .prop_map(|(s, lc, a, b)| CacheParams::new(s, lc, a, b))
+        .prop_map(|(s, lc, a, b)| CacheParams::try_new(s, lc, a, b).unwrap())
 }
 
 proptest! {

@@ -92,7 +92,7 @@ proptest! {
         let specs = GpuSpec::all();
         let spec = specs.get(idx).cloned().unwrap_or_else(GpuSpec::fermi_gtx570);
         let mp = spec.machine_params(Precision::Single);
-        let cache = CacheParams::new(spec.default_l1_bytes(), 30.0, alpha, 128.0);
+        let cache = CacheParams::try_new(spec.default_l1_bytes(), 30.0, alpha, 128.0).unwrap();
         let curve = CachedMsCurve::new(&mp, cache);
         prop_assert_eq!(
             curve.f(Threads(k)).get(),

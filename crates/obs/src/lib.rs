@@ -66,7 +66,7 @@ pub mod sink;
 pub mod span;
 
 pub use event::{Event, Value};
-pub use sink::{JsonlSink, MemSink, NullSink, Sink};
+pub use sink::{FaultySink, JsonlSink, MemSink, NullSink, Sink, SinkFaultCounters};
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -33,6 +33,11 @@ pub mod metric {
     pub const SOLVER_SOLVES: &str = "solver.solves";
     /// Calibration grid points whose fit failed and were skipped.
     pub const PROFILE_CALIBRATE_SKIPPED: &str = "profile.calibrate.skipped";
+    /// Operating points resolved below the exact rung of the
+    /// degradation ladder (grid-scan or baseline-estimate provenance).
+    pub const SOLVER_DEGRADED: &str = "solver.degraded";
+    /// Calibration measurements rejected as outliers or retried.
+    pub const PROFILE_CALIBRATE_RETRIES: &str = "profile.calibrate.retries";
 }
 
 #[cfg(test)]
@@ -51,6 +56,8 @@ mod tests {
             super::span::PROFILE_CALIBRATE,
             super::metric::SOLVER_SOLVES,
             super::metric::PROFILE_CALIBRATE_SKIPPED,
+            super::metric::SOLVER_DEGRADED,
+            super::metric::PROFILE_CALIBRATE_RETRIES,
         ];
         for name in all {
             assert!(

@@ -74,13 +74,25 @@ pub fn assemble_model(spec: &GpuSpec, workload: &Workload, l1_bytes: u64) -> XMo
             alpha = fit.alpha,
             beta = fit.beta,
         );
-        let cache = CacheParams::new(
+        match CacheParams::try_new(
             l1_bytes as f64,
             (machine.l * 0.05).min(30.0), // L1 pipeline is ~30 cycles
             fit.alpha.max(1.01 + 1e-6),
             fit.beta,
-        );
-        XModel::with_cache(machine, wp, cache)
+        ) {
+            Ok(cache) => XModel::with_cache(machine, wp, cache),
+            // A degenerate locality fit (e.g. β ≤ 0 from a pathological
+            // trace) degrades to the cache-less model instead of
+            // panicking mid-pipeline.
+            Err(e) => {
+                xmodel_obs::event!(
+                    "profile.cache_fit_invalid",
+                    workload = workload.name,
+                    error = e.to_string(),
+                );
+                XModel::new(machine, wp)
+            }
+        }
     }
 }
 

@@ -40,8 +40,10 @@ pub fn profile_stream(cfg: &SimConfig, max_warps: u32, step: u32) -> StreamProfi
 
     let r = curve.iter().map(|&(_, t)| t).fold(0.0, f64::max);
     // Slope from the first sample: one warp's round-trip throughput is
-    // 1/(L + Z/E) ≈ 1/L for a memory-dominated kernel.
-    let (w0, t0) = curve[0];
+    // 1/(L + Z/E) ≈ 1/L for a memory-dominated kernel. The loop above
+    // always records at least the one-warp sample, so the fallback is
+    // unreachable; it keeps the routine panic-free.
+    let (w0, t0) = curve.first().copied().unwrap_or((1, 0.0));
     let l = if t0 > 0.0 {
         w0 as f64 / t0
     } else {

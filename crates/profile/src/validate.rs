@@ -34,6 +34,10 @@ pub struct AppValidation {
     pub measured_k: f64,
     /// Occupancy `n` used for both.
     pub n: f64,
+    /// Degradation provenance when the operating point came from a rung
+    /// below the exact solver (`"grid-scan"` / `"baseline-estimate"`);
+    /// `None` for an exact solve. See [`xmodel_core::degrade`].
+    pub degraded: Option<String>,
 }
 
 impl AppValidation {
@@ -72,12 +76,15 @@ impl ValidationReport {
 }
 
 /// Validate one workload on a GPU.
-pub fn validate_one(spec: &GpuSpec, workload: &Workload) -> AppValidation {
+///
+/// The operating point is resolved through the degradation ladder
+/// ([`xmodel_core::degrade`]), so a workload whose curves defeat exact
+/// bracketing still validates — with [`AppValidation::degraded`] recording
+/// the provenance — instead of aborting the suite.
+pub fn validate_one(spec: &GpuSpec, workload: &Workload) -> xmodel_core::Result<AppValidation> {
     let model = assemble_model(spec, workload, 0);
-    let op = model
-        .solve()
-        .operating_point()
-        .expect("workload has an operating point");
+    let resolved = model.resolve_operating_point()?;
+    let op = resolved.point;
 
     let precision = workload_precision(workload);
     let mut cfg = sim_config_for(spec, precision);
@@ -90,7 +97,7 @@ pub fn validate_one(spec: &GpuSpec, workload: &Workload) -> AppValidation {
     };
     let stats = simulate(&cfg, &wl, 15_000, 60_000);
 
-    AppValidation {
+    Ok(AppValidation {
         name: workload.name.to_string(),
         predicted_cs: op.cs_throughput,
         measured_cs: stats.cs_throughput(),
@@ -99,29 +106,48 @@ pub fn validate_one(spec: &GpuSpec, workload: &Workload) -> AppValidation {
         predicted_k: op.k,
         measured_k: stats.avg_k(),
         n: model.workload.n,
-    }
+        degraded: resolved
+            .degradation
+            .is_degraded()
+            .then(|| resolved.degradation.as_str().to_string()),
+    })
 }
 
 /// Run the full §V validation suite on a GPU (the paper uses the K40).
 /// Applications are validated on worker threads (one simulator instance
 /// each) via a crossbeam scope, preserving suite order in the report.
-pub fn validate_suite(spec: &GpuSpec) -> ValidationReport {
+pub fn validate_suite(spec: &GpuSpec) -> xmodel_core::Result<ValidationReport> {
     let suite = Workload::suite();
-    let mut slots: Vec<Option<AppValidation>> = vec![None; suite.len()];
-    crossbeam::thread::scope(|scope| {
+    let mut slots: Vec<Option<xmodel_core::Result<AppValidation>>> = vec![None; suite.len()];
+    let scoped = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
         for w in &suite {
             let spec = &*spec;
             handles.push(scope.spawn(move |_| validate_one(spec, w)));
         }
         for (slot, h) in slots.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("validation worker panicked"));
+            // A panicked worker is reported as a typed error rather than
+            // re-panicking the whole suite.
+            *slot = Some(
+                h.join()
+                    .unwrap_or(Err(xmodel_core::ModelError::NoConvergence {
+                        routine: "validate",
+                    })),
+            );
         }
-    })
-    .expect("crossbeam scope");
-    ValidationReport {
-        apps: slots.into_iter().map(|s| s.expect("filled")).collect(),
+    });
+    if scoped.is_err() {
+        return Err(xmodel_core::ModelError::NoConvergence {
+            routine: "validate",
+        });
     }
+    let mut apps = Vec::with_capacity(slots.len());
+    for slot in slots {
+        apps.push(slot.unwrap_or(Err(xmodel_core::ModelError::NoConvergence {
+            routine: "validate",
+        }))?);
+    }
+    Ok(ValidationReport { apps })
 }
 
 #[cfg(test)]
@@ -132,9 +158,10 @@ mod tests {
     #[test]
     fn single_app_prediction_is_in_the_ballpark() {
         let spec = GpuSpec::kepler_k40();
-        let v = validate_one(&spec, &Workload::get(WorkloadId::Nn));
+        let v = validate_one(&spec, &Workload::get(WorkloadId::Nn)).unwrap();
         assert!(v.measured_cs > 0.0 && v.predicted_cs > 0.0);
         assert!(v.accuracy() > 0.6, "accuracy = {} ({v:?})", v.accuracy());
+        assert_eq!(v.degraded, None, "healthy workload must solve exactly");
     }
 
     #[test]
@@ -144,7 +171,7 @@ mod tests {
         // model ignores, so accept ≥ 70% while recording the real value in
         // EXPERIMENTS.md.
         let spec = GpuSpec::kepler_k40();
-        let rep = validate_suite(&spec);
+        let rep = validate_suite(&spec).unwrap();
         assert_eq!(rep.apps.len(), 12);
         let acc = rep.mean_accuracy();
         assert!(
@@ -162,10 +189,10 @@ mod tests {
         // both the model and the simulator (GPU-scale latencies keep k
         // high in absolute terms even for compute-bound kernels).
         let spec = GpuSpec::kepler_k40();
-        let v = validate_one(&spec, &Workload::get(WorkloadId::Gesummv));
+        let v = validate_one(&spec, &Workload::get(WorkloadId::Gesummv)).unwrap();
         assert!(v.predicted_k > 0.8 * v.n, "model says MS-heavy");
         assert!(v.measured_k > 0.8 * v.n, "sim agrees");
-        let c = validate_one(&spec, &Workload::get(WorkloadId::Leukocyte));
+        let c = validate_one(&spec, &Workload::get(WorkloadId::Leukocyte)).unwrap();
         assert!(
             c.predicted_k / c.n < v.predicted_k / v.n - 0.1,
             "model: leukocyte less MS-heavy ({} vs {})",

@@ -182,6 +182,16 @@ impl L1Cache {
         std::mem::take(&mut m.waiters)
     }
 
+    /// Duplicate-safe variant of [`L1Cache::complete_fill`]: a completion
+    /// for an idle or out-of-range MSHR (a duplicated or stale fill under
+    /// fault injection) is absorbed as `None` instead of panicking.
+    pub fn try_complete_fill(&mut self, mshr: usize) -> Option<Vec<u32>> {
+        match self.mshrs.get(mshr) {
+            Some(m) if m.busy => Some(self.complete_fill(mshr)),
+            _ => None,
+        }
+    }
+
     /// Number of MSHRs currently busy.
     pub fn mshrs_busy(&self) -> usize {
         self.mshrs.iter().filter(|m| m.busy).count()
@@ -371,6 +381,19 @@ mod tests {
             c.probe_insert(i * 128);
         }
         assert!(!c.probe_insert(0));
+    }
+
+    #[test]
+    fn try_complete_fill_absorbs_duplicates_and_stale_tags() {
+        let mut c = L1Cache::new(cfg(1024, 2, 4));
+        let Access::MissAllocated { mshr } = c.access(0, 0) else {
+            panic!()
+        };
+        assert_eq!(c.try_complete_fill(mshr), Some(vec![0]));
+        // Second (duplicated) completion: absorbed, not a panic.
+        assert_eq!(c.try_complete_fill(mshr), None);
+        // Out-of-range tag: absorbed.
+        assert_eq!(c.try_complete_fill(999), None);
     }
 
     #[test]

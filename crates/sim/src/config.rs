@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::error::SimError;
 use serde::{Deserialize, Serialize};
 use xmodel_workloads::TraceSpec;
 
@@ -96,7 +97,6 @@ impl SimConfigBuilder {
     /// Set CS lane capacity (`M`, warp-ops/cycle).
     #[must_use]
     pub fn lanes(mut self, m: f64) -> Self {
-        assert!(m > 0.0);
         self.cfg.lanes = m;
         self
     }
@@ -104,7 +104,6 @@ impl SimConfigBuilder {
     /// Set scheduler issue width (warps selected per cycle).
     #[must_use]
     pub fn issue_width(mut self, w: u32) -> Self {
-        assert!(w >= 1);
         self.cfg.issue_width = w;
         self
     }
@@ -112,7 +111,6 @@ impl SimConfigBuilder {
     /// Set LSU throughput (warp requests accepted per cycle).
     #[must_use]
     pub fn lsu(mut self, per_cycle: u32) -> Self {
-        assert!(per_cycle >= 1);
         self.cfg.lsu_per_cycle = per_cycle;
         self
     }
@@ -120,7 +118,6 @@ impl SimConfigBuilder {
     /// Set DRAM latency (cycles) and bandwidth (bytes/cycle).
     #[must_use]
     pub fn dram(mut self, latency: u64, bytes_per_cycle: f64) -> Self {
-        assert!(latency >= 1 && bytes_per_cycle > 0.0);
         self.cfg.dram = DramConfig {
             latency,
             bytes_per_cycle,
@@ -132,7 +129,6 @@ impl SimConfigBuilder {
     /// (128-byte lines, 8-way by default).
     #[must_use]
     pub fn l1(mut self, capacity_bytes: u64, hit_latency: u64, mshrs: u32) -> Self {
-        assert!(capacity_bytes >= 128 && hit_latency >= 1 && mshrs >= 1);
         self.cfg.l1 = Some(CacheConfig {
             capacity_bytes,
             line_bytes: 128,
@@ -153,7 +149,6 @@ impl SimConfigBuilder {
     /// Enable an L2 stage with capacity, latency and bandwidth.
     #[must_use]
     pub fn l2(mut self, capacity_bytes: u64, latency: u64, bytes_per_cycle: f64) -> Self {
-        assert!(capacity_bytes >= 128 && latency >= 1 && bytes_per_cycle > 0.0);
         self.cfg.l2 = Some(L2Config {
             capacity_bytes,
             latency,
@@ -165,7 +160,6 @@ impl SimConfigBuilder {
     /// Set the bytes each warp request moves (coalescing factor × 128).
     #[must_use]
     pub fn request_bytes(mut self, bytes: f64) -> Self {
-        assert!(bytes >= 1.0);
         self.cfg.request_bytes = bytes;
         self
     }
@@ -173,14 +167,110 @@ impl SimConfigBuilder {
     /// Set the bypass fraction (cache-bypassing of §VI).
     #[must_use]
     pub fn bypass(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction));
         self.cfg.bypass_fraction = fraction;
         self
     }
 
-    /// Finish.
+    /// Validate and finish. Every NaN, infinite, or out-of-range value
+    /// set on the builder is rejected here with a typed
+    /// [`SimError::InvalidParameter`] naming the offending field, so
+    /// garbage never propagates into a running simulation.
+    pub fn try_build(self) -> Result<SimConfig, SimError> {
+        let cfg = self.cfg;
+        let bad = |name, value, constraint| {
+            Err(SimError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            })
+        };
+        if !cfg.lanes.is_finite() || cfg.lanes <= 0.0 {
+            return bad("lanes", cfg.lanes, "finite and > 0");
+        }
+        if cfg.issue_width < 1 {
+            return bad("issue_width", cfg.issue_width as f64, ">= 1");
+        }
+        if cfg.lsu_per_cycle < 1 {
+            return bad("lsu_per_cycle", cfg.lsu_per_cycle as f64, ">= 1");
+        }
+        if cfg.dram.latency < 1 {
+            return bad("dram.latency", cfg.dram.latency as f64, ">= 1");
+        }
+        if !cfg.dram.bytes_per_cycle.is_finite() || cfg.dram.bytes_per_cycle <= 0.0 {
+            return bad(
+                "dram.bytes_per_cycle",
+                cfg.dram.bytes_per_cycle,
+                "finite and > 0",
+            );
+        }
+        if let Some(l1) = cfg.l1 {
+            if l1.capacity_bytes < 128 {
+                return bad("l1.capacity_bytes", l1.capacity_bytes as f64, ">= 128");
+            }
+            if l1.hit_latency < 1 {
+                return bad("l1.hit_latency", l1.hit_latency as f64, ">= 1");
+            }
+            if l1.mshrs < 1 {
+                return bad("l1.mshrs", l1.mshrs as f64, ">= 1");
+            }
+        }
+        if let Some(l2) = cfg.l2 {
+            if l2.capacity_bytes < 128 {
+                return bad("l2.capacity_bytes", l2.capacity_bytes as f64, ">= 128");
+            }
+            if l2.latency < 1 {
+                return bad("l2.latency", l2.latency as f64, ">= 1");
+            }
+            if !l2.bytes_per_cycle.is_finite() || l2.bytes_per_cycle <= 0.0 {
+                return bad("l2.bytes_per_cycle", l2.bytes_per_cycle, "finite and > 0");
+            }
+        }
+        if !cfg.bypass_fraction.is_finite() || !(0.0..=1.0).contains(&cfg.bypass_fraction) {
+            return bad("bypass_fraction", cfg.bypass_fraction, "within [0, 1]");
+        }
+        if !cfg.request_bytes.is_finite() || cfg.request_bytes < 1.0 {
+            return bad("request_bytes", cfg.request_bytes, "finite and >= 1");
+        }
+        Ok(cfg)
+    }
+
+    /// Finish, panicking on invalid values (documented invariant — use
+    /// [`SimConfigBuilder::try_build`] to handle errors).
     pub fn build(self) -> SimConfig {
-        self.cfg
+        match self.try_build() {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("invalid simulator configuration: {e}"),
+        }
+    }
+}
+
+impl SimWorkload {
+    /// Validate the workload: NaN, infinite (except `ops_per_request`,
+    /// where `+inf` means pure compute) and non-positive values are
+    /// rejected with a typed error.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.warps < 1 {
+            return Err(SimError::InvalidParameter {
+                name: "warps",
+                value: self.warps as f64,
+                constraint: ">= 1",
+            });
+        }
+        if self.ops_per_request.is_nan() || self.ops_per_request <= 0.0 {
+            return Err(SimError::InvalidParameter {
+                name: "ops_per_request",
+                value: self.ops_per_request,
+                constraint: "> 0 (inf = pure compute)",
+            });
+        }
+        if !self.ilp.is_finite() || self.ilp <= 0.0 {
+            return Err(SimError::InvalidParameter {
+                name: "ilp",
+                value: self.ilp,
+                constraint: "finite and > 0",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -235,14 +325,85 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn rejects_zero_lanes() {
-        let _ = SimConfig::builder().lanes(0.0);
+        let err = SimConfig::builder().lanes(0.0).try_build().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidParameter { name: "lanes", .. }
+        ));
     }
 
     #[test]
-    #[should_panic]
     fn rejects_bad_bypass() {
-        let _ = SimConfig::builder().bypass(1.5);
+        let err = SimConfig::builder().bypass(1.5).try_build().unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::InvalidParameter {
+                name: "bypass_fraction",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for (builder, name) in [
+            (SimConfig::builder().lanes(f64::NAN), "lanes"),
+            (SimConfig::builder().lanes(f64::INFINITY), "lanes"),
+            (
+                SimConfig::builder().dram(400, f64::NAN),
+                "dram.bytes_per_cycle",
+            ),
+            (
+                SimConfig::builder().request_bytes(f64::INFINITY),
+                "request_bytes",
+            ),
+            (SimConfig::builder().bypass(f64::NAN), "bypass_fraction"),
+            (
+                SimConfig::builder().l2(1 << 20, 100, -3.0),
+                "l2.bytes_per_cycle",
+            ),
+        ] {
+            let err = builder.try_build().unwrap_err();
+            let SimError::InvalidParameter { name: got, .. } = err else {
+                panic!("wrong variant for {name}")
+            };
+            assert_eq!(got, name);
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_integers() {
+        assert!(SimConfig::builder().issue_width(0).try_build().is_err());
+        assert!(SimConfig::builder().lsu(0).try_build().is_err());
+        assert!(SimConfig::builder().dram(0, 8.0).try_build().is_err());
+        assert!(SimConfig::builder().l1(64, 20, 32).try_build().is_err());
+        assert!(SimConfig::builder().l1(1 << 14, 20, 0).try_build().is_err());
+    }
+
+    #[test]
+    fn workload_validation() {
+        let ok = SimWorkload {
+            trace: TraceSpec::Stream { region_lines: 64 },
+            ops_per_request: f64::INFINITY,
+            ilp: 1.0,
+            warps: 4,
+        };
+        assert!(ok.validate().is_ok());
+        let mut bad = ok;
+        bad.ops_per_request = f64::NAN;
+        assert!(bad.validate().is_err());
+        bad = ok;
+        bad.ilp = 0.0;
+        assert!(bad.validate().is_err());
+        bad = ok;
+        bad.warps = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulator configuration")]
+    fn build_panics_on_invalid() {
+        let _ = SimConfig::builder().lanes(-1.0).build();
     }
 }

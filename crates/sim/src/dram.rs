@@ -7,6 +7,7 @@
 //! underutilized, bandwidth-bound (queueing) once it saturates.
 
 use crate::config::DramConfig;
+use crate::fault::{FaultCounters, FaultInjector};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -26,6 +27,9 @@ pub struct Dram {
     accepted: u64,
     /// Total bytes transferred.
     bytes: u64,
+    /// Optional fault injector perturbing latency, bandwidth and
+    /// completion delivery (see [`crate::fault`]).
+    faults: Option<FaultInjector>,
 }
 
 const FP: u64 = 256;
@@ -40,18 +44,51 @@ impl Dram {
             pending: BinaryHeap::new(),
             accepted: 0,
             bytes: 0,
+            faults: None,
         }
+    }
+
+    /// Install a fault injector; subsequent submissions may spike, drop,
+    /// duplicate or throttle (deterministically, per the injector's seed).
+    pub fn set_faults(&mut self, injector: FaultInjector) {
+        self.faults = Some(injector);
+    }
+
+    /// Faults injected so far, if an injector is installed.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults.as_ref().map(FaultInjector::counters)
     }
 
     /// Submit a request of `bytes` at cycle `now`; returns its completion
     /// cycle. The channel serializes transfers at the configured bandwidth.
     pub fn submit(&mut self, now: u64, bytes: u64, tag: Tag) -> u64 {
+        let mut latency = self.cfg.latency;
+        let mut bandwidth = self.cfg.bytes_per_cycle;
+        let mut lose = false;
+        let mut duplicate = false;
+        if let Some(inj) = self.faults.as_mut() {
+            if let Some(factor) = inj.throttle(now) {
+                bandwidth = (bandwidth * factor).max(1e-6);
+            }
+            if let Some(factor) = inj.spike() {
+                latency = ((latency as f64) * factor).ceil() as u64;
+            }
+            lose = inj.drop_completion();
+            duplicate = !lose && inj.duplicate_completion();
+        }
         let now_fp = now * FP;
         let start_fp = self.channel_free_fp.max(now_fp);
-        let dur_fp = ((bytes as f64 / self.cfg.bytes_per_cycle) * FP as f64).ceil() as u64;
+        let dur_fp = ((bytes as f64 / bandwidth) * FP as f64).ceil() as u64;
         self.channel_free_fp = start_fp + dur_fp;
-        let complete = (start_fp + dur_fp).div_ceil(FP) + self.cfg.latency;
-        self.pending.push(Reverse((complete, tag)));
+        let complete = (start_fp + dur_fp).div_ceil(FP) + latency;
+        // A dropped completion still consumed channel time; it just never
+        // comes back. A duplicated one comes back twice, one cycle apart.
+        if !lose {
+            self.pending.push(Reverse((complete, tag)));
+            if duplicate {
+                self.pending.push(Reverse((complete + 1, tag)));
+            }
+        }
         self.accepted += 1;
         self.bytes += bytes;
         complete
@@ -152,6 +189,52 @@ mod tests {
         let (req, bytes) = d.counters();
         assert_eq!(req, 1000);
         assert_eq!(bytes, 128_000);
+    }
+
+    #[test]
+    fn dropped_completions_never_return() {
+        use crate::fault::{FaultInjector, FaultSpec};
+        let mut d = dram(10, 128.0);
+        d.set_faults(FaultInjector::new(
+            &FaultSpec::parse("seed=1,drop=1").unwrap(),
+        ));
+        d.submit(0, 128, 1);
+        d.submit(0, 128, 2);
+        let mut out = Vec::new();
+        d.drain_completions(u64::MAX / 2, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(d.fault_counters().unwrap().drops, 2);
+    }
+
+    #[test]
+    fn duplicated_completions_return_twice() {
+        use crate::fault::{FaultInjector, FaultSpec};
+        let mut d = dram(10, 128.0);
+        d.set_faults(FaultInjector::new(
+            &FaultSpec::parse("seed=1,dup=1").unwrap(),
+        ));
+        d.submit(0, 128, 7);
+        let mut out = Vec::new();
+        d.drain_completions(1_000, &mut out);
+        assert_eq!(out, vec![7, 7]);
+        assert_eq!(d.fault_counters().unwrap().dups, 1);
+    }
+
+    #[test]
+    fn spike_and_throttle_stretch_timing() {
+        use crate::fault::{FaultInjector, FaultSpec};
+        // Always-spike ×4: 1 cycle transfer + 400 latency.
+        let mut d = dram(100, 128.0);
+        d.set_faults(FaultInjector::new(
+            &FaultSpec::parse("seed=1,spike=1x4").unwrap(),
+        ));
+        assert_eq!(d.submit(10, 128, 1), 411);
+        // Permanent throttle to 1/4 bandwidth: 4-cycle transfer.
+        let mut t = dram(100, 128.0);
+        t.set_faults(FaultInjector::new(
+            &FaultSpec::parse("seed=1,throttle=1000:1:0.25").unwrap(),
+        ));
+        assert_eq!(t.submit(0, 128, 1), 104);
     }
 
     #[test]

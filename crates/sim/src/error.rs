@@ -1,0 +1,231 @@
+//! Typed simulator errors.
+//!
+//! Mirrors the shape of `xmodel_core::ModelError` (this crate does not
+//! depend on `core`, so it carries its own enum): invalid configuration is
+//! rejected up front with the offending parameter named, fault-spec parse
+//! failures identify the bad token, and the run watchdog converts hangs
+//! into a typed error instead of letting a simulation spin forever.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Everything that can go wrong while configuring or running the
+/// simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SimError {
+    /// A configuration value violates its documented constraint.
+    InvalidParameter {
+        /// Parameter name (builder field).
+        name: &'static str,
+        /// The offending value (NaN when not representable as f64).
+        value: f64,
+        /// Human-readable constraint, e.g. `"finite and > 0"`.
+        constraint: &'static str,
+    },
+    /// A `--fault-spec` token did not parse.
+    BadFaultSpec {
+        /// The token that failed.
+        token: String,
+        /// What the parser expected there.
+        expected: &'static str,
+    },
+    /// The run watchdog tripped: the simulation exceeded its budget or
+    /// stopped making forward progress (a hang under fault injection).
+    Watchdog {
+        /// Why the watchdog fired.
+        reason: &'static str,
+        /// Cycles simulated when it fired.
+        cycles: u64,
+        /// Warp requests completed when it fired.
+        requests_completed: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(
+                f,
+                "invalid simulator parameter {name} = {value}: must be {constraint}"
+            ),
+            SimError::BadFaultSpec { token, expected } => {
+                write!(f, "bad fault spec token {token:?}: expected {expected}")
+            }
+            SimError::Watchdog {
+                reason,
+                cycles,
+                requests_completed,
+            } => write!(
+                f,
+                "simulation watchdog tripped ({reason}) after {cycles} cycles, \
+                 {requests_completed} requests completed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Budgets that bound a watched simulator run (see `Sm::run_watched`).
+///
+/// `max_cycles` caps total simulated cycles, `max_wall` caps host wall
+/// clock, and `stall_cycles` bounds how long the measured phase may go
+/// without completing a single warp request before the run is declared
+/// hung. Any limit set to its `None`/`u64::MAX` sentinel is disabled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Watchdog {
+    /// Abort once this many cycles have been simulated.
+    pub max_cycles: u64,
+    /// Abort once this much host wall-clock time has elapsed.
+    pub max_wall: Option<Duration>,
+    /// Abort if no request completes for this many measured cycles.
+    pub stall_cycles: u64,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self {
+            max_cycles: u64::MAX,
+            max_wall: None,
+            stall_cycles: u64::MAX,
+        }
+    }
+}
+
+impl Watchdog {
+    /// A watchdog bounding only the cycle count.
+    pub fn cycles(max_cycles: u64) -> Self {
+        Self {
+            max_cycles,
+            ..Self::default()
+        }
+    }
+
+    /// Check the budgets; `stalled_for` is the number of measured cycles
+    /// since the last completed request.
+    pub(crate) fn check(
+        &self,
+        cycles: u64,
+        requests_completed: u64,
+        stalled_for: u64,
+        started: Instant,
+    ) -> Result<(), SimError> {
+        if cycles >= self.max_cycles {
+            return Err(SimError::Watchdog {
+                reason: "cycle budget exhausted",
+                cycles,
+                requests_completed,
+            });
+        }
+        if stalled_for >= self.stall_cycles {
+            return Err(SimError::Watchdog {
+                reason: "no forward progress",
+                cycles,
+                requests_completed,
+            });
+        }
+        if let Some(limit) = self.max_wall {
+            if started.elapsed() >= limit {
+                return Err(SimError::Watchdog {
+                    reason: "wall-clock budget exhausted",
+                    cycles,
+                    requests_completed,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_parameter() {
+        let e = SimError::InvalidParameter {
+            name: "lanes",
+            value: f64::NAN,
+            constraint: "finite and > 0",
+        };
+        let text = e.to_string();
+        assert!(text.contains("lanes"), "{text}");
+        assert!(text.contains("finite and > 0"), "{text}");
+    }
+
+    #[test]
+    fn watchdog_trips_on_cycle_budget() {
+        let w = Watchdog::cycles(100);
+        let t = Instant::now();
+        assert!(w.check(99, 0, 0, t).is_ok());
+        let err = w.check(100, 3, 0, t).unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::Watchdog {
+                cycles: 100,
+                requests_completed: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn watchdog_trips_on_stall() {
+        let w = Watchdog {
+            stall_cycles: 50,
+            ..Watchdog::default()
+        };
+        let t = Instant::now();
+        assert!(w.check(1_000, 10, 49, t).is_ok());
+        let err = w.check(1_001, 10, 50, t).unwrap_err();
+        let SimError::Watchdog { reason, .. } = err else {
+            panic!("wrong variant")
+        };
+        assert_eq!(reason, "no forward progress");
+    }
+
+    #[test]
+    fn watchdog_trips_on_wall_clock() {
+        let w = Watchdog {
+            max_wall: Some(Duration::from_secs(0)),
+            ..Watchdog::default()
+        };
+        let err = w.check(1, 0, 0, Instant::now()).unwrap_err();
+        let SimError::Watchdog { reason, .. } = err else {
+            panic!("wrong variant")
+        };
+        assert_eq!(reason, "wall-clock budget exhausted");
+    }
+
+    #[test]
+    fn displays_are_distinct_and_descriptive() {
+        let cases = [
+            SimError::InvalidParameter {
+                name: "bypass_fraction",
+                value: 1.5,
+                constraint: "within [0, 1]",
+            },
+            SimError::BadFaultSpec {
+                token: "spike=oops".into(),
+                expected: "spike=<prob>x<factor>",
+            },
+            SimError::Watchdog {
+                reason: "cycle budget exhausted",
+                cycles: 42,
+                requests_completed: 7,
+            },
+        ];
+        let texts: Vec<String> = cases.iter().map(|e| e.to_string()).collect();
+        let mut unique = texts.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), texts.len());
+        assert!(texts[1].contains("spike=oops"));
+        assert!(texts[2].contains("42 cycles"));
+    }
+}

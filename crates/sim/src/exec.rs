@@ -174,6 +174,12 @@ impl IrSm {
 
     fn wake(&mut self, warp: u32, is_global: bool) {
         let wi = warp as usize;
+        if self.warps[wi].state != WarpState::Waiting {
+            // Duplicate or stale completion (possible only under fault
+            // injection): absorb it rather than corrupting the warp.
+            self.stats.spurious_wakes += 1;
+            return;
+        }
         self.warps[wi].state = WarpState::Running;
         if is_global && self.measuring {
             self.stats.requests_completed += 1;
@@ -212,13 +218,17 @@ impl IrSm {
             if tag & TAG_DIRECT != 0 {
                 self.wake((tag & !TAG_DIRECT) as u32, true);
             } else {
-                let waiters = self
+                match self
                     .l1
                     .as_mut()
-                    .expect("MSHR completion without L1")
-                    .complete_fill(tag as usize);
-                for w in waiters {
-                    self.wake(w, true);
+                    .and_then(|l1| l1.try_complete_fill(tag as usize))
+                {
+                    Some(waiters) => {
+                        for w in waiters {
+                            self.wake(w, true);
+                        }
+                    }
+                    None => self.stats.spurious_wakes += 1,
                 }
             }
         }
@@ -383,6 +393,22 @@ impl IrSm {
         }
     }
 
+    /// Install a fault injector on the DRAM channel. Latency spikes,
+    /// bandwidth throttling and duplicated completions are tolerated
+    /// (duplicates are absorbed by the wake guard); dropped completions
+    /// permanently park the affected warps — pair with
+    /// [`IrSm::run_watched`] so such a hang surfaces as a typed error.
+    pub fn set_faults(&mut self, spec: &crate::fault::FaultSpec) {
+        if spec.perturbs_memory() {
+            self.dram.set_faults(crate::fault::FaultInjector::new(spec));
+        }
+    }
+
+    /// Faults injected so far, if [`IrSm::set_faults`] was called.
+    pub fn fault_counters(&self) -> Option<crate::fault::FaultCounters> {
+        self.dram.fault_counters()
+    }
+
     /// Run `warmup` unmeasured cycles then `measure` measured ones.
     pub fn run(&mut self, warmup: u64, measure: u64) -> &SimStats {
         let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_RUN_IR);
@@ -401,6 +427,38 @@ impl IrSm {
             }
         }
         &self.stats
+    }
+
+    /// [`IrSm::run`] under a [`crate::Watchdog`] (see `Sm::run_watched`):
+    /// budget overruns and fault-induced hangs become typed errors.
+    pub fn run_watched(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        watchdog: &crate::Watchdog,
+    ) -> Result<&SimStats, crate::SimError> {
+        let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_RUN_IR);
+        let started = std::time::Instant::now();
+        let total = warmup + measure;
+        let mut last_completed = self.stats.requests_completed;
+        let mut last_progress = 0u64;
+        self.measuring = false;
+        for i in 0..total {
+            if i == warmup {
+                self.measuring = true;
+                last_progress = i;
+            }
+            self.step();
+            if i % 512 == 0 {
+                if self.stats.requests_completed != last_completed {
+                    last_completed = self.stats.requests_completed;
+                    last_progress = i;
+                }
+                let stalled = if self.measuring { i - last_progress } else { 0 };
+                watchdog.check(i + 1, self.stats.requests_completed, stalled, started)?;
+            }
+        }
+        Ok(&self.stats)
     }
 
     /// Stats so far.

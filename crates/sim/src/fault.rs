@@ -1,0 +1,445 @@
+//! Deterministic, seed-configurable fault injection.
+//!
+//! A [`FaultSpec`] describes which faults to inject and how often; it is
+//! parsed from the CLI `--fault-spec` flag (or the `XMODEL_FAULT_SPEC`
+//! environment variable) and can perturb
+//!
+//! * the **DRAM channel** — latency spikes, dropped or duplicated
+//!   completions, periodic bandwidth-throttling windows;
+//! * the **obs sinks** — torn JSONL lines and write errors (the spec
+//!   carries the probabilities; `xmodel_obs::fault` applies them);
+//! * the **solver** — forcing the degradation ladder in
+//!   `xmodel_core` to skip its exact and/or grid-scan rungs so the
+//!   fallback paths are exercisable on demand.
+//!
+//! All randomness flows from a single `seed` through [`SmallRng`], so a
+//! given spec reproduces the same fault sequence on every run — the chaos
+//! suite (`tests/fault_matrix.rs`) asserts this bit-for-bit.
+//!
+//! # Spec grammar
+//!
+//! Comma-separated `key=value` tokens, all optional:
+//!
+//! ```text
+//! seed=7,spike=0.05x8,drop=0.01,dup=0.02,throttle=2000:0.3:0.25,
+//! sink-tear=0.1,sink-error=0.05,solver=no-bracket
+//! ```
+//!
+//! | token | meaning |
+//! |---|---|
+//! | `seed=N` | RNG seed for all probabilistic faults |
+//! | `spike=PxF` | with probability `P`, multiply a request's DRAM latency by `F` |
+//! | `drop=P` | with probability `P`, lose a DRAM completion |
+//! | `dup=P` | with probability `P`, deliver a DRAM completion twice |
+//! | `throttle=C:D:F` | every `C` cycles, throttle bandwidth to `F`× for the first `D` fraction |
+//! | `sink-tear=P` | with probability `P`, truncate an emitted JSONL line |
+//! | `sink-error=P` | with probability `P`, fail an emitted JSONL line |
+//! | `solver=no-bracket` | force the solver off its exact rung (grid scan) |
+//! | `solver=no-grid` | force the solver to the baseline-estimate rung |
+
+use crate::error::SimError;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which rung of the core degradation ladder a spec disables (the solver
+/// itself lives in `xmodel_core`; the CLI translates this into the core
+/// crate's forcing enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SolverFault {
+    /// No solver fault: the exact solve runs normally.
+    #[default]
+    None,
+    /// Pretend bracketing failed: start the ladder at the grid scan.
+    NoBracket,
+    /// Pretend bracketing and the grid scan both failed: go straight to
+    /// the roofline/Little's-law baseline estimate.
+    NoGrid,
+}
+
+/// A parsed fault-injection specification. All probabilities are per
+/// event (request or emitted line) in `[0, 1]`; the default spec injects
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed for every probabilistic fault decision.
+    pub seed: u64,
+    /// Probability a DRAM request suffers a latency spike.
+    pub spike_prob: f64,
+    /// Latency multiplier applied to spiked requests.
+    pub spike_factor: f64,
+    /// Probability a DRAM completion is lost.
+    pub drop_prob: f64,
+    /// Probability a DRAM completion is delivered twice.
+    pub dup_prob: f64,
+    /// Cycle period of the bandwidth-throttle window (0 disables).
+    pub throttle_period: u64,
+    /// Fraction of each period spent throttled, in `[0, 1]`.
+    pub throttle_duty: f64,
+    /// Bandwidth multiplier while throttled, in `(0, 1]`.
+    pub throttle_factor: f64,
+    /// Probability an emitted trace line is torn (truncated mid-record).
+    pub sink_tear_prob: f64,
+    /// Probability an emitted trace line fails to write entirely.
+    pub sink_error_prob: f64,
+    /// Solver-ladder forcing.
+    pub solver: SolverFault,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            seed: 0xFA17,
+            spike_prob: 0.0,
+            spike_factor: 1.0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            throttle_period: 0,
+            throttle_duty: 0.0,
+            throttle_factor: 1.0,
+            sink_tear_prob: 0.0,
+            sink_error_prob: 0.0,
+            solver: SolverFault::None,
+        }
+    }
+}
+
+fn parse_prob(key: &'static str, text: &str, token: &str) -> Result<f64, SimError> {
+    let p: f64 = text.parse().map_err(|_| SimError::BadFaultSpec {
+        token: token.to_string(),
+        expected: "a probability in [0, 1]",
+    })?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(SimError::InvalidParameter {
+            name: key,
+            value: p,
+            constraint: "within [0, 1]",
+        });
+    }
+    Ok(p)
+}
+
+impl FaultSpec {
+    /// Parse the comma-separated spec grammar (see the module docs).
+    /// The empty string parses to the all-off default.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let mut spec = FaultSpec::default();
+        for token in text.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = token.split_once('=') else {
+                return Err(SimError::BadFaultSpec {
+                    token: token.to_string(),
+                    expected: "key=value",
+                });
+            };
+            match key {
+                "seed" => {
+                    spec.seed = value.parse().map_err(|_| SimError::BadFaultSpec {
+                        token: token.to_string(),
+                        expected: "seed=<u64>",
+                    })?;
+                }
+                "spike" => {
+                    let Some((p, f)) = value.split_once('x') else {
+                        return Err(SimError::BadFaultSpec {
+                            token: token.to_string(),
+                            expected: "spike=<prob>x<factor>",
+                        });
+                    };
+                    spec.spike_prob = parse_prob("spike", p, token)?;
+                    spec.spike_factor = f.parse().map_err(|_| SimError::BadFaultSpec {
+                        token: token.to_string(),
+                        expected: "spike=<prob>x<factor>",
+                    })?;
+                    if !spec.spike_factor.is_finite() || spec.spike_factor < 1.0 {
+                        return Err(SimError::InvalidParameter {
+                            name: "spike_factor",
+                            value: spec.spike_factor,
+                            constraint: "finite and >= 1",
+                        });
+                    }
+                }
+                "drop" => spec.drop_prob = parse_prob("drop", value, token)?,
+                "dup" => spec.dup_prob = parse_prob("dup", value, token)?,
+                "throttle" => {
+                    let parts: Vec<&str> = value.split(':').collect();
+                    let [period, duty, factor] = parts.as_slice() else {
+                        return Err(SimError::BadFaultSpec {
+                            token: token.to_string(),
+                            expected: "throttle=<period>:<duty>:<factor>",
+                        });
+                    };
+                    spec.throttle_period = period.parse().map_err(|_| SimError::BadFaultSpec {
+                        token: token.to_string(),
+                        expected: "throttle=<period>:<duty>:<factor>",
+                    })?;
+                    spec.throttle_duty = parse_prob("throttle_duty", duty, token)?;
+                    spec.throttle_factor = factor.parse().map_err(|_| SimError::BadFaultSpec {
+                        token: token.to_string(),
+                        expected: "throttle=<period>:<duty>:<factor>",
+                    })?;
+                    if !spec.throttle_factor.is_finite()
+                        || spec.throttle_factor <= 0.0
+                        || spec.throttle_factor > 1.0
+                    {
+                        return Err(SimError::InvalidParameter {
+                            name: "throttle_factor",
+                            value: spec.throttle_factor,
+                            constraint: "within (0, 1]",
+                        });
+                    }
+                }
+                "sink-tear" => spec.sink_tear_prob = parse_prob("sink-tear", value, token)?,
+                "sink-error" => spec.sink_error_prob = parse_prob("sink-error", value, token)?,
+                "solver" => {
+                    spec.solver = match value {
+                        "no-bracket" => SolverFault::NoBracket,
+                        "no-grid" => SolverFault::NoGrid,
+                        _ => {
+                            return Err(SimError::BadFaultSpec {
+                                token: token.to_string(),
+                                expected: "solver=no-bracket|no-grid",
+                            })
+                        }
+                    };
+                }
+                _ => {
+                    return Err(SimError::BadFaultSpec {
+                        token: token.to_string(),
+                        expected: "one of seed/spike/drop/dup/throttle/sink-tear/sink-error/solver",
+                    });
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    /// True if any memory-system fault is enabled (the simulator only
+    /// pays for recovery bookkeeping when this holds).
+    pub fn perturbs_memory(&self) -> bool {
+        self.spike_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.dup_prob > 0.0
+            || (self.throttle_period > 0 && self.throttle_duty > 0.0 && self.throttle_factor < 1.0)
+    }
+
+    /// True if any obs-sink fault is enabled.
+    pub fn perturbs_sink(&self) -> bool {
+        self.sink_tear_prob > 0.0 || self.sink_error_prob > 0.0
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={}", self.seed)?;
+        if self.spike_prob > 0.0 {
+            write!(f, ",spike={}x{}", self.spike_prob, self.spike_factor)?;
+        }
+        if self.drop_prob > 0.0 {
+            write!(f, ",drop={}", self.drop_prob)?;
+        }
+        if self.dup_prob > 0.0 {
+            write!(f, ",dup={}", self.dup_prob)?;
+        }
+        if self.throttle_period > 0 {
+            write!(
+                f,
+                ",throttle={}:{}:{}",
+                self.throttle_period, self.throttle_duty, self.throttle_factor
+            )?;
+        }
+        if self.sink_tear_prob > 0.0 {
+            write!(f, ",sink-tear={}", self.sink_tear_prob)?;
+        }
+        if self.sink_error_prob > 0.0 {
+            write!(f, ",sink-error={}", self.sink_error_prob)?;
+        }
+        match self.solver {
+            SolverFault::None => {}
+            SolverFault::NoBracket => write!(f, ",solver=no-bracket")?,
+            SolverFault::NoGrid => write!(f, ",solver=no-grid")?,
+        }
+        Ok(())
+    }
+}
+
+/// Counts of faults actually injected by a [`FaultInjector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultCounters {
+    /// DRAM requests whose latency was spiked.
+    pub spikes: u64,
+    /// DRAM completions dropped.
+    pub drops: u64,
+    /// DRAM completions duplicated.
+    pub dups: u64,
+    /// DRAM requests accepted inside a throttle window.
+    pub throttled: u64,
+}
+
+impl FaultCounters {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.spikes + self.drops + self.dups + self.throttled
+    }
+}
+
+/// The stateful injector: one per faulted DRAM channel. Decisions are
+/// drawn from a private [`SmallRng`] seeded from the spec, so the fault
+/// sequence is a pure function of `(spec, request order)`.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    rng: SmallRng,
+    counters: FaultCounters,
+}
+
+impl FaultInjector {
+    /// Build from a spec.
+    pub fn new(spec: &FaultSpec) -> Self {
+        Self {
+            spec: *spec,
+            rng: SmallRng::seed_from_u64(spec.seed),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Bandwidth multiplier for a request accepted at `now`, if the
+    /// throttle window is active (pure in `now`; uses no randomness).
+    pub fn throttle(&mut self, now: u64) -> Option<f64> {
+        if self.spec.throttle_period == 0 || self.spec.throttle_factor >= 1.0 {
+            return None;
+        }
+        let phase = (now % self.spec.throttle_period) as f64;
+        if phase < self.spec.throttle_duty * self.spec.throttle_period as f64 {
+            self.counters.throttled += 1;
+            Some(self.spec.throttle_factor)
+        } else {
+            None
+        }
+    }
+
+    /// Latency multiplier if this request spikes.
+    pub fn spike(&mut self) -> Option<f64> {
+        if self.spec.spike_prob > 0.0 && self.rng.random::<f64>() < self.spec.spike_prob {
+            self.counters.spikes += 1;
+            Some(self.spec.spike_factor)
+        } else {
+            None
+        }
+    }
+
+    /// Should this completion be lost?
+    pub fn drop_completion(&mut self) -> bool {
+        if self.spec.drop_prob > 0.0 && self.rng.random::<f64>() < self.spec.drop_prob {
+            self.counters.drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Should this completion be delivered twice?
+    pub fn duplicate_completion(&mut self) -> bool {
+        if self.spec.dup_prob > 0.0 && self.rng.random::<f64>() < self.spec.dup_prob {
+            self.counters.dups += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// The spec this injector was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_default() {
+        let spec = FaultSpec::parse("").unwrap();
+        assert_eq!(spec, FaultSpec::default());
+        assert!(!spec.perturbs_memory());
+        assert!(!spec.perturbs_sink());
+    }
+
+    #[test]
+    fn full_spec_round_trips_through_display() {
+        let text = "seed=9,spike=0.05x8,drop=0.01,dup=0.02,throttle=2000:0.3:0.25,\
+                    sink-tear=0.1,sink-error=0.05,solver=no-bracket";
+        let spec = FaultSpec::parse(text).unwrap();
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.spike_prob, 0.05);
+        assert_eq!(spec.spike_factor, 8.0);
+        assert_eq!(spec.throttle_period, 2000);
+        assert_eq!(spec.solver, SolverFault::NoBracket);
+        assert!(spec.perturbs_memory());
+        assert!(spec.perturbs_sink());
+        let again = FaultSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(again, spec);
+    }
+
+    #[test]
+    fn rejects_malformed_tokens() {
+        for bad in [
+            "nonsense",
+            "spike=0.5",
+            "spike=2x4",
+            "spike=0.1x0.5",
+            "drop=1.5",
+            "throttle=100:0.5",
+            "throttle=100:0.5:0",
+            "solver=maybe",
+            "frobnicate=1",
+        ] {
+            assert!(FaultSpec::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let spec = FaultSpec::parse("seed=3,spike=0.2x4,drop=0.1,dup=0.1").unwrap();
+        let run = |spec: &FaultSpec| {
+            let mut inj = FaultInjector::new(spec);
+            let mut log = Vec::new();
+            for i in 0..1_000u64 {
+                log.push((
+                    inj.spike().is_some(),
+                    inj.drop_completion(),
+                    inj.duplicate_completion(),
+                    inj.throttle(i).is_some(),
+                ));
+            }
+            (log, inj.counters())
+        };
+        let (log_a, ctr_a) = run(&spec);
+        let (log_b, ctr_b) = run(&spec);
+        assert_eq!(log_a, log_b);
+        assert_eq!(ctr_a, ctr_b);
+        assert!(ctr_a.spikes > 100 && ctr_a.spikes < 300, "{ctr_a:?}");
+    }
+
+    #[test]
+    fn throttle_window_is_periodic() {
+        let spec = FaultSpec::parse("throttle=100:0.25:0.5").unwrap();
+        let mut inj = FaultInjector::new(&spec);
+        assert_eq!(inj.throttle(0), Some(0.5));
+        assert_eq!(inj.throttle(24), Some(0.5));
+        assert_eq!(inj.throttle(25), None);
+        assert_eq!(inj.throttle(99), None);
+        assert_eq!(inj.throttle(100), Some(0.5));
+        assert_eq!(inj.counters().throttled, 3);
+    }
+}

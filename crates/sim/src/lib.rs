@@ -46,13 +46,17 @@ pub mod cache;
 pub mod chip;
 pub mod config;
 pub mod dram;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod sm;
 pub mod stats;
 
 pub use chip::{simulate_chip, ChipSim};
 pub use config::{CacheConfig, DramConfig, SimConfig, SimConfigBuilder, SimWorkload};
+pub use error::{SimError, Watchdog};
 pub use exec::{simulate_ir, IrSm};
+pub use fault::{FaultCounters, FaultInjector, FaultSpec, SolverFault};
 pub use sm::{simulate, simulate_with_seed, Sm};
 pub use stats::SimStats;
 
@@ -60,7 +64,9 @@ pub use stats::SimStats;
 pub mod prelude {
     pub use crate::chip::{simulate_chip, ChipSim};
     pub use crate::config::{CacheConfig, DramConfig, SimConfig, SimWorkload};
+    pub use crate::error::{SimError, Watchdog};
     pub use crate::exec::{simulate_ir, IrSm};
+    pub use crate::fault::{FaultCounters, FaultSpec, SolverFault};
     pub use crate::sm::{simulate, simulate_with_seed, Sm};
     pub use crate::stats::SimStats;
 }

@@ -3,12 +3,14 @@
 use crate::cache::{Access, L1Cache, SimpleCache};
 use crate::config::{SimConfig, SimWorkload};
 use crate::dram::Dram;
+use crate::error::{SimError, Watchdog};
+use crate::fault::{FaultCounters, FaultInjector, FaultSpec};
 use crate::stats::SimStats;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use std::cell::RefCell;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::rc::Rc;
 use xmodel_workloads::AddressStream;
 
@@ -23,6 +25,12 @@ pub(crate) const TAG_SM_SHIFT: u32 = 48;
 /// Cycle period of `sim.snapshot` trace events when tracing is live and
 /// no explicit `trajectory_interval` is set.
 pub(crate) const SNAPSHOT_INTERVAL: u64 = 256;
+
+/// Cycle period of the lost-request recovery sweep under fault injection.
+const RECOVERY_SWEEP: u64 = 256;
+
+/// Cycle stride between watchdog budget checks in [`Sm::run_watched`].
+const WATCHDOG_STRIDE: u64 = 512;
 
 /// A DRAM attachment: private channel, or a chip-shared channel the SM
 /// submits to with its id encoded in the tag (completions are routed back
@@ -81,6 +89,15 @@ pub struct Sm {
     drain_buf: Vec<u64>,
     /// Sample the spatial trajectory every this many cycles (0 = never).
     pub trajectory_interval: u64,
+    /// True when a fault injector may lose completions: enables the
+    /// outstanding-request ledger and the recovery sweep.
+    fault_active: bool,
+    /// In-flight requests by tag → `(submit_cycle, addr)`; only populated
+    /// while `fault_active` (a `BTreeMap` so sweep order is deterministic).
+    outstanding: BTreeMap<u64, (u64, u64)>,
+    /// A request older than this many cycles is presumed lost and
+    /// re-submitted with the same tag.
+    recovery_timeout: u64,
 }
 
 impl Sm {
@@ -148,7 +165,30 @@ impl Sm {
             cfg: *cfg,
             wl: *wl,
             trajectory_interval: 0,
+            fault_active: false,
+            outstanding: BTreeMap::new(),
+            recovery_timeout: u64::MAX,
         }
+    }
+
+    /// Build an SM whose private DRAM channel injects the faults in
+    /// `spec` (latency spikes, dropped/duplicated completions, bandwidth
+    /// throttling). Dropped completions are recovered by a periodic sweep
+    /// that re-submits overdue requests under their original tag; the
+    /// recoveries and any absorbed duplicate completions are counted in
+    /// [`SimStats::lost_recovered`] / [`SimStats::spurious_wakes`]. The
+    /// spec's sink and solver fields are ignored here — they perturb
+    /// other layers (`xmodel_obs::fault`, `xmodel_core::degrade`).
+    pub fn with_faults(cfg: &SimConfig, wl: &SimWorkload, seed: u64, spec: &FaultSpec) -> Self {
+        let mut sm = Self::new(cfg, wl, seed);
+        if spec.perturbs_memory() {
+            if let DramPort::Own(d) = &mut sm.dram {
+                d.set_faults(FaultInjector::new(spec));
+            }
+            sm.fault_active = spec.drop_prob > 0.0;
+            sm.recovery_timeout = recovery_timeout(cfg, wl, spec);
+        }
+        sm
     }
 
     /// Build an SM from pre-instantiated per-warp address streams (for
@@ -193,6 +233,9 @@ impl Sm {
     /// the line and fall through to DRAM), else go straight to DRAM.
     fn submit_mem(&mut self, now: u64, addr: u64, tag: u64) {
         let bytes = self.cfg.request_bytes.round().max(1.0) as u64;
+        if self.fault_active {
+            self.outstanding.insert(tag, (now, addr));
+        }
         if let Some((cache, channel)) = self.l2.as_mut() {
             if cache.probe_insert(addr) {
                 channel.submit(now, bytes, tag);
@@ -202,8 +245,34 @@ impl Sm {
         self.dram.submit(now, bytes, tag);
     }
 
+    /// Re-submit requests whose completion is overdue (lost to a drop
+    /// fault) under their original tag, so the eventual completion still
+    /// routes to the right MSHR or warp.
+    fn recover_lost(&mut self, now: u64) {
+        let timeout = self.recovery_timeout;
+        let overdue: Vec<(u64, u64)> = self
+            .outstanding
+            .iter()
+            .filter(|&(_, &(t0, _))| now.saturating_sub(t0) >= timeout)
+            .map(|(&tag, &(_, addr))| (tag, addr))
+            .collect();
+        for (tag, addr) in overdue {
+            self.stats.lost_recovered += 1;
+            if xmodel_obs::enabled() {
+                xmodel_obs::event!("sim.fault.recovered", cycle = now, tag = tag);
+            }
+            self.submit_mem(now, addr, tag);
+        }
+    }
+
     fn wake(&mut self, warp: u32) {
         let w = &mut self.warps[warp as usize];
+        if w.state != WarpState::Waiting {
+            // A duplicated or stale completion under fault injection:
+            // absorb it rather than corrupting the warp's state machine.
+            self.stats.spurious_wakes += 1;
+            return;
+        }
         let ops = sample_ops(self.wl.ops_per_request, &mut w.rng);
         w.state = WarpState::Computing { ops_left: ops };
         w.pending_addr = w.stream.next_addr();
@@ -234,20 +303,32 @@ impl Sm {
             channel.drain_completions(now, &mut buf);
         }
         for tag in buf.drain(..) {
+            if self.fault_active {
+                self.outstanding.remove(&tag);
+            }
             if tag & TAG_DIRECT != 0 {
                 self.wake((tag & !TAG_DIRECT) as u32);
             } else {
-                let waiters = self
+                match self
                     .l1
                     .as_mut()
-                    .expect("MSHR completion without L1")
-                    .complete_fill(tag as usize);
-                for w in waiters {
-                    self.wake(w);
+                    .and_then(|l1| l1.try_complete_fill(tag as usize))
+                {
+                    Some(waiters) => {
+                        for w in waiters {
+                            self.wake(w);
+                        }
+                    }
+                    // Idle MSHR (duplicated fill) or a tag without an L1:
+                    // absorb instead of panicking.
+                    None => self.stats.spurious_wakes += 1,
                 }
             }
         }
         self.drain_buf = buf;
+        if self.fault_active && now % RECOVERY_SWEEP == 0 && !self.outstanding.is_empty() {
+            self.recover_lost(now);
+        }
         while let Some(&Reverse((t, w))) = self.hit_queue.peek() {
             if t > now {
                 break;
@@ -413,6 +494,41 @@ impl Sm {
         &self.stats
     }
 
+    /// [`Sm::run`] under a [`Watchdog`]: the run is aborted with a typed
+    /// [`SimError::Watchdog`] when it exceeds its cycle or wall-clock
+    /// budget, or (during the measured phase) stops completing requests
+    /// for `stall_cycles` — converting a fault-induced hang into an error
+    /// instead of spinning forever or returning garbage stats.
+    pub fn run_watched(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        watchdog: &Watchdog,
+    ) -> Result<&SimStats, SimError> {
+        let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_RUN);
+        let started = std::time::Instant::now();
+        let total = warmup + measure;
+        let mut last_completed = self.stats.requests_completed;
+        let mut last_progress = 0u64;
+        self.measuring = false;
+        for i in 0..total {
+            if i == warmup {
+                self.measuring = true;
+                last_progress = i;
+            }
+            self.step();
+            if i % WATCHDOG_STRIDE == 0 {
+                if self.stats.requests_completed != last_completed {
+                    last_completed = self.stats.requests_completed;
+                    last_progress = i;
+                }
+                let stalled = if self.measuring { i - last_progress } else { 0 };
+                watchdog.check(i + 1, self.stats.requests_completed, stalled, started)?;
+            }
+        }
+        Ok(&self.stats)
+    }
+
     /// Run with measurement on until `requests` warp requests complete or
     /// `max_cycles` elapse; returns the cycles spent (None on timeout).
     /// Used to validate the execution-time extension of `xmodel-core`.
@@ -437,6 +553,36 @@ impl Sm {
     pub fn cycle(&self) -> u64 {
         self.cycle
     }
+
+    /// Faults the DRAM channel has injected, when built via
+    /// [`Sm::with_faults`] (None otherwise).
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        match &self.dram {
+            DramPort::Own(d) => d.fault_counters(),
+            DramPort::Shared(d, _) => d.borrow().fault_counters(),
+        }
+    }
+
+    /// Requests currently awaiting completion in the recovery ledger
+    /// (0 unless drop faults are active).
+    pub fn outstanding_requests(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+/// How long to wait before declaring a request's completion lost: the
+/// worst-case service time under the spec's spike and throttle factors,
+/// plus full-fleet queueing, with generous margin. Too short would only
+/// cause benign duplicate re-submissions (absorbed by the wake guard);
+/// too long delays recovery.
+fn recovery_timeout(cfg: &SimConfig, wl: &SimWorkload, spec: &FaultSpec) -> u64 {
+    let transfer = (cfg.request_bytes / cfg.dram.bytes_per_cycle)
+        .ceil()
+        .max(1.0);
+    let slow = 1.0 / spec.throttle_factor.clamp(0.01, 1.0);
+    let latency = cfg.dram.latency as f64 * spec.spike_factor.max(1.0);
+    let queueing = wl.warps as f64 * transfer * slow;
+    (4.0 * (latency + transfer * slow) + queueing).ceil() as u64 + 1024
 }
 
 fn l1_hit_latency(cfg: &SimConfig) -> u64 {
@@ -698,6 +844,101 @@ mod tests {
         // Before any step, every warp sits in MS.
         all_ms.run(0, 1);
         assert!(all_ms.stats().avg_k() >= 15.0);
+    }
+
+    #[test]
+    fn fault_free_run_has_no_spurious_or_recovered() {
+        let cfg = SimConfig::builder().lanes(4.0).dram(400, 8.0).build();
+        let s = simulate(&cfg, &stream_wl(16, 10.0, 1.0), 5_000, 20_000);
+        assert_eq!(s.spurious_wakes, 0);
+        assert_eq!(s.lost_recovered, 0);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic() {
+        let cfg = SimConfig::builder()
+            .lanes(4.0)
+            .dram(400, 8.0)
+            .l1(16 * 1024, 20, 16)
+            .build();
+        let wl = stream_wl(16, 10.0, 1.0);
+        let spec =
+            FaultSpec::parse("seed=5,spike=0.05x4,drop=0.02,dup=0.02,throttle=2000:0.25:0.5")
+                .unwrap();
+        let run = || {
+            let mut sm = Sm::with_faults(&cfg, &wl, 7, &spec);
+            sm.run(5_000, 20_000);
+            (sm.stats().clone(), sm.fault_counters().unwrap())
+        };
+        let (sa, ca) = run();
+        let (sb, cb) = run();
+        assert_eq!(sa, sb);
+        assert_eq!(ca, cb);
+        assert!(ca.total() > 0, "{ca:?}");
+    }
+
+    #[test]
+    fn dropped_completions_are_recovered() {
+        let cfg = SimConfig::builder().lanes(4.0).dram(200, 64.0).build();
+        let wl = stream_wl(8, 10.0, 1.0);
+        let spec = FaultSpec::parse("seed=11,drop=0.05").unwrap();
+        let mut sm = Sm::with_faults(&cfg, &wl, 3, &spec);
+        sm.run(0, 200_000);
+        let drops = sm.fault_counters().unwrap().drops;
+        assert!(drops > 0, "no drops injected");
+        assert!(
+            sm.stats().lost_recovered > 0,
+            "drops = {drops} but nothing recovered"
+        );
+        // The run keeps making progress despite every drop.
+        assert!(sm.stats().requests_completed > 1_000);
+        // Whatever is still outstanding is bounded by the in-flight set.
+        assert!(sm.outstanding_requests() <= wl.warps as usize);
+    }
+
+    #[test]
+    fn duplicated_completions_are_absorbed() {
+        let cfg = SimConfig::builder()
+            .lanes(4.0)
+            .dram(200, 64.0)
+            .l1(16 * 1024, 20, 16)
+            .build();
+        let wl = stream_wl(8, 10.0, 1.0);
+        let spec = FaultSpec::parse("seed=11,dup=0.2").unwrap();
+        let mut sm = Sm::with_faults(&cfg, &wl, 3, &spec);
+        sm.run(0, 50_000);
+        assert!(sm.fault_counters().unwrap().dups > 0);
+        assert!(sm.stats().spurious_wakes > 0);
+        assert!(sm.stats().requests_completed > 100);
+    }
+
+    #[test]
+    fn watchdog_converts_hang_to_typed_error() {
+        // Drop every completion with no L2: no request ever completes.
+        let cfg = SimConfig::builder().lanes(4.0).dram(200, 64.0).build();
+        let wl = stream_wl(8, 5.0, 1.0);
+        let spec = FaultSpec::parse("seed=1,drop=1").unwrap();
+        let mut sm = Sm::with_faults(&cfg, &wl, 3, &spec);
+        let watchdog = crate::error::Watchdog {
+            stall_cycles: 20_000,
+            ..Default::default()
+        };
+        let err = sm.run_watched(0, 10_000_000, &watchdog).unwrap_err();
+        assert!(
+            matches!(err, SimError::Watchdog { .. }),
+            "expected watchdog, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn run_watched_matches_run_when_within_budget() {
+        let cfg = SimConfig::builder().lanes(4.0).dram(400, 8.0).build();
+        let wl = stream_wl(16, 10.0, 1.0);
+        let mut a = Sm::new(&cfg, &wl, 7);
+        a.run(2_000, 8_000);
+        let mut b = Sm::new(&cfg, &wl, 7);
+        b.run_watched(2_000, 8_000, &Watchdog::default()).unwrap();
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub struct SimStats {
     pub l1_merges: u64,
     /// Issue attempts rejected because every MSHR was busy.
     pub mshr_stalls: u64,
+    /// Completions absorbed because their target was not waiting — a
+    /// duplicated or stale delivery under fault injection (always 0 in a
+    /// fault-free run).
+    pub spurious_wakes: u64,
+    /// Lost (dropped-completion) requests re-submitted by the recovery
+    /// sweep under fault injection.
+    pub lost_recovered: u64,
     /// Σ over cycles of warps resident in MS (issuing/waiting/stalled).
     pub sum_k: f64,
     /// Σ over cycles of warps resident in CS.
@@ -43,6 +50,8 @@ impl SimStats {
             l1_misses: 0,
             l1_merges: 0,
             mshr_stalls: 0,
+            spurious_wakes: 0,
+            lost_recovered: 0,
             sum_k: 0.0,
             sum_x: 0.0,
             trajectory: Vec::new(),

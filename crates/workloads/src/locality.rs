@@ -45,9 +45,9 @@ impl LruSet {
         };
         self.by_stamp.insert(self.stamp, line);
         if self.by_addr.len() > self.capacity {
-            let (&oldest, &victim) = self.by_stamp.iter().next().expect("nonempty");
-            self.by_stamp.remove(&oldest);
-            self.by_addr.remove(&victim);
+            if let Some((_, victim)) = self.by_stamp.pop_first() {
+                self.by_addr.remove(&victim);
+            }
         }
         hit
     }
@@ -129,29 +129,18 @@ pub fn jacob_hit_rate(s_cache: f64, k: f64, alpha: f64, beta: f64) -> f64 {
     1.0 - (s_cache / (beta * k) + 1.0).powf(-(alpha - 1.0))
 }
 
-/// Least-squares fit of `(α, β)` to `(k, hit-rate)` samples for a cache of
-/// `s_cache` bytes. Grid search over a log-spaced β range and α ∈ (1, 8],
-/// followed by one coordinate-refinement pass.
-pub fn fit_jacob(samples: &[(f64, f64)], s_cache: f64) -> JacobFit {
-    assert!(!samples.is_empty(), "need at least one sample");
-    let sse = |alpha: f64, beta: f64| {
-        samples
-            .iter()
-            .map(|&(k, h)| {
-                let p = jacob_hit_rate(s_cache, k, alpha, beta);
-                (p - h) * (p - h)
-            })
-            .sum::<f64>()
-    };
-
-    let alphas: Vec<f64> = (0..60).map(|i| 1.02 + i as f64 * 0.12).collect();
-    let betas: Vec<f64> = (0..60)
-        .map(|i| LINE_BYTES as f64 * 0.25 * 1.25f64.powi(i))
-        .collect();
-
-    let mut best = (alphas[0], betas[0], f64::INFINITY);
-    for &a in &alphas {
-        for &b in &betas {
+/// Grid search over α ∈ (1, 8.1] and a log-spaced β range, followed by a
+/// coordinate-refinement pass — the minimiser shared by [`fit_jacob`] and
+/// [`fit_jacob_multi`]. The grid is generated rather than indexed, so the
+/// routine is panic-free; when every grid point scores NaN/∞ the seed point
+/// is returned with an infinite error instead of refining garbage.
+fn minimise_jacob_sse(sse: impl Fn(f64, f64) -> f64) -> (f64, f64, f64) {
+    let alpha_at = |i: i32| 1.02 + i as f64 * 0.12;
+    let beta_at = |i: i32| LINE_BYTES as f64 * 0.25 * 1.25f64.powi(i);
+    let mut best = (alpha_at(0), beta_at(0), f64::INFINITY);
+    for i in 0..60 {
+        for j in 0..60 {
+            let (a, b) = (alpha_at(i), beta_at(j));
             let e = sse(a, b);
             if e < best.2 {
                 best = (a, b, e);
@@ -161,6 +150,9 @@ pub fn fit_jacob(samples: &[(f64, f64)], s_cache: f64) -> JacobFit {
 
     // Coordinate refinement around the grid optimum.
     let (mut a, mut b, mut e) = best;
+    if !e.is_finite() {
+        return (a, b, e);
+    }
     for _ in 0..40 {
         let mut improved = false;
         for (da, db) in [
@@ -182,9 +174,26 @@ pub fn fit_jacob(samples: &[(f64, f64)], s_cache: f64) -> JacobFit {
             break;
         }
     }
+    (a, b, e)
+}
+
+/// Least-squares fit of `(α, β)` to `(k, hit-rate)` samples for a cache of
+/// `s_cache` bytes. Grid search over a log-spaced β range and α ∈ (1, 8],
+/// followed by one coordinate-refinement pass.
+pub fn fit_jacob(samples: &[(f64, f64)], s_cache: f64) -> JacobFit {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let (alpha, beta, e) = minimise_jacob_sse(|alpha, beta| {
+        samples
+            .iter()
+            .map(|&(k, h)| {
+                let p = jacob_hit_rate(s_cache, k, alpha, beta);
+                (p - h) * (p - h)
+            })
+            .sum::<f64>()
+    });
     JacobFit {
-        alpha: a,
-        beta: b,
+        alpha,
+        beta,
         rmse: (e / samples.len() as f64).sqrt(),
     }
 }
@@ -201,7 +210,7 @@ pub fn fit_trace(spec: &TraceSpec, cache_bytes: u64) -> JacobFit {
 /// workload property, so a single pair must explain every capacity.
 pub fn fit_jacob_multi(samples: &[(f64, f64, f64)]) -> JacobFit {
     assert!(!samples.is_empty(), "need at least one sample");
-    let sse = |alpha: f64, beta: f64| {
+    let (alpha, beta, e) = minimise_jacob_sse(|alpha, beta| {
         samples
             .iter()
             .map(|&(s, k, h)| {
@@ -209,45 +218,10 @@ pub fn fit_jacob_multi(samples: &[(f64, f64, f64)]) -> JacobFit {
                 (p - h) * (p - h)
             })
             .sum::<f64>()
-    };
-    let alphas: Vec<f64> = (0..60).map(|i| 1.02 + i as f64 * 0.12).collect();
-    let betas: Vec<f64> = (0..60)
-        .map(|i| LINE_BYTES as f64 * 0.25 * 1.25f64.powi(i))
-        .collect();
-    let mut best = (alphas[0], betas[0], f64::INFINITY);
-    for &a in &alphas {
-        for &b in &betas {
-            let e = sse(a, b);
-            if e < best.2 {
-                best = (a, b, e);
-            }
-        }
-    }
-    let (mut a, mut b, mut e) = best;
-    for _ in 0..40 {
-        let mut improved = false;
-        for (da, db) in [
-            (1.03, 1.0),
-            (1.0 / 1.03, 1.0),
-            (1.0, 1.05),
-            (1.0, 1.0 / 1.05),
-        ] {
-            let (na, nb) = ((a * da).max(1.001), b * db);
-            let ne = sse(na, nb);
-            if ne < e {
-                a = na;
-                b = nb;
-                e = ne;
-                improved = true;
-            }
-        }
-        if !improved {
-            break;
-        }
-    }
+    });
     JacobFit {
-        alpha: a,
-        beta: b,
+        alpha,
+        beta,
         rmse: (e / samples.len() as f64).sqrt(),
     }
 }

@@ -35,6 +35,7 @@
 pub use xmodel_baselines as baselines;
 pub use xmodel_core as core;
 pub use xmodel_isa as isa;
+pub use xmodel_obs as obs;
 pub use xmodel_profile as profile;
 pub use xmodel_sim as sim;
 pub use xmodel_viz as viz;

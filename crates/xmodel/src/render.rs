@@ -103,7 +103,7 @@ mod tests {
         let model = XModel::with_cache(
             MachineParams::new(6.0, 0.02, 600.0),
             WorkloadParams::new(66.0, 0.25, 60.0),
-            CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+            CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
         );
         XGraph::build(&model, 256)
     }

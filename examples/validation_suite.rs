@@ -13,7 +13,7 @@ fn main() {
         "Validating the X-model on {} ({} workloads)\n",
         gpu.name, 12
     );
-    let report = validate_suite(&gpu);
+    let report = validate_suite(&gpu).expect("validation suite failed");
 
     println!(
         "{:<11} {:>5} {:>9} {:>9} {:>9} {:>9} {:>7}",

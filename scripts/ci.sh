@@ -34,6 +34,34 @@ grep -q '"p95_us"' "$trace"
 ./target/release/xmodel profile "$trace" --folded "$folded" > /dev/null
 test -s "$folded"
 
+echo "=== fault-matrix chaos suite ==="
+cargo test -q -p xmodel --test fault_matrix
+
+echo "=== CLI exit-code contract smoke ==="
+xm=./target/release/xmodel
+# 0 — exact solve, no warning.
+out="$($xm draw --m 6 --r 0.107 --l 520 --z 20 --e 1 --n 48 2>&1 >/dev/null)"
+test -z "$out" || { echo "exact solve should not warn: $out" >&2; exit 1; }
+# 0 + warning — degraded solve (exact rung disabled via fault spec).
+out="$($xm draw --m 6 --r 0.107 --l 520 --z 20 --e 1 --n 48 \
+  --fault-spec solver=no-bracket 2>&1 >/dev/null)"
+echo "$out" | grep -q 'warning:.*grid-scan' \
+  || { echo "degraded solve must warn with provenance: $out" >&2; exit 1; }
+# 1 — typed model error.
+if $xm draw --m 6 --r 0.107 --l 520 --z -20 --e 1 --n 48 >/dev/null 2>&1; then
+  echo "invalid parameter must exit 1" >&2; exit 1
+else
+  test $? -eq 1 || { echo "invalid parameter exited $? (want 1)" >&2; exit 1; }
+fi
+# 2 — usage errors: unknown command and malformed fault spec.
+for bad in "no-such-command" "draw --fault-spec gremlins=1"; do
+  if $xm $bad >/dev/null 2>&1; then
+    echo "usage error ($bad) must exit 2" >&2; exit 1
+  else
+    test $? -eq 2 || { echo "usage error ($bad) exited $? (want 2)" >&2; exit 1; }
+  fi
+done
+
 echo "=== bench-report smoke + regression gate ==="
 ./target/release/bench-report --smoke --label ci --out "$bench_ci"
 # Synthetic-regression self-check: the gate must fail on a known-bad pair.

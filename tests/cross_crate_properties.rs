@@ -19,7 +19,7 @@ fn cache_strategy() -> impl Strategy<Value = CacheParams> {
         1.2f64..6.0,
         128.0f64..8192.0,
     )
-        .prop_map(|(s, lc, a, b)| CacheParams::new(s, lc, a, b))
+        .prop_map(|(s, lc, a, b)| CacheParams::try_new(s, lc, a, b).unwrap())
 }
 
 proptest! {

@@ -122,7 +122,7 @@ fn baselines_and_xmodel_agree_on_bound_direction() {
 fn valley_model_and_xmodel_share_the_cache_peak_story() {
     // Same locality parameters: both models must place a performance
     // optimum at a moderate thread count for a cache-sensitive workload.
-    let cache = CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0);
+    let cache = CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap();
     // Bandwidth-poor machine so the cache peak clears the plateau in the
     // X-model's significance test.
     let machine = MachineParams::new(6.0, 0.05, 600.0);

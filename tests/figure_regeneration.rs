@@ -11,7 +11,7 @@ fn fermi_case_study_model() -> XModel {
     XModel::with_cache(
         MachineParams::new(6.0, 0.02, 600.0),
         WorkloadParams::new(40.0, 2.0, 20.0),
-        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
     )
 }
 
@@ -68,7 +68,7 @@ fn fig7_feature_extraction_is_complete() {
     let model = XModel::with_cache(
         MachineParams::new(6.0, 0.1, 600.0),
         WorkloadParams::new(8.0, 1.0, 64.0),
-        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
     );
     let f = model.ms_features(256.0);
     assert!(f.peak.is_some() && f.valley.is_some());
@@ -96,7 +96,7 @@ fn fig9_stable_unstable_and_degradation() {
     let model = XModel::with_cache(
         MachineParams::new(6.0, 0.02, 600.0),
         WorkloadParams::new(66.0, 0.25, 60.0),
-        CacheParams::new(16.0 * 1024.0, 30.0, 5.0, 2048.0),
+        CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
     );
     let eq = model.solve();
     assert!(eq.is_bistable());
@@ -124,7 +124,7 @@ fn fig10_dual_axis_architectural_chart_renders() {
 fn fig11_validation_structures() {
     // One cheap representative (the full sweep runs in the bench binary).
     let gpu = GpuSpec::kepler_k40();
-    let v = xmodel_profile::validate::validate_one(&gpu, &Workload::get(WorkloadId::Spmv));
+    let v = xmodel_profile::validate::validate_one(&gpu, &Workload::get(WorkloadId::Spmv)).unwrap();
     assert!(v.accuracy() > 0.5, "spmv accuracy {}", v.accuracy());
 }
 

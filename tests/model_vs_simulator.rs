@@ -117,7 +117,7 @@ fn ilp_raises_throughput_in_both_when_thread_bound() {
 fn cache_peak_appears_in_both_model_and_simulator() {
     // Working-set reuse: the simulator's throughput-vs-n curve must show
     // the rise-then-fall the cache-integrated f(k) predicts.
-    let cache = CacheParams::new(16.0 * 1024.0, 28.0, 5.0, 24.0 * 128.0);
+    let cache = CacheParams::try_new(16.0 * 1024.0, 28.0, 5.0, 24.0 * 128.0).unwrap();
     let machine = MachineParams::new(6.0, 0.03, 600.0);
     let model_peak = {
         let m = XModel::with_cache(machine, WorkloadParams::new(8.0, 1.0, 48.0), cache);
