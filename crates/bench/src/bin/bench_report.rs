@@ -221,6 +221,35 @@ fn cmd_measure(args: &[String]) -> Result<(), String> {
         time_bench(window, passes, || cached.solve()),
     );
 
+    // Fast path: the same cached model answered from a warm SolveCache
+    // (table built once outside the timer, as a sweep would hold it).
+    let mut solve_cache = SolveCache::new();
+    std::hint::black_box(solve_cache.solve(&cached));
+    run(
+        "solver/solve_fast",
+        time_bench(window, passes, || solve_cache.solve(&cached)),
+    );
+
+    // 1024-point n-sweep through the parallel sweep engine, sharing one
+    // tabulated supply curve across all points.
+    let sweep_table = xmodel::core::fastpath::CurveTable::build(&cached, 1024.0);
+    let sweep_ns: Vec<f64> = (1..=1024).map(|i| i as f64).collect();
+    run(
+        "solver/sweep_1k",
+        time_bench(window, passes, || {
+            xmodel::core::sweep::run(xmodel::core::sweep::default_jobs(), &sweep_ns, |_, &n| {
+                let mut m = cached;
+                m.workload.n = n;
+                xmodel::core::fastpath::solve_fast(
+                    &m,
+                    &sweep_table,
+                    xmodel::core::solver::DEFAULT_SAMPLES,
+                )
+                .operating_point()
+            })
+        }),
+    );
+
     // Eq. (5) cache supply: f(k) sweep over the thread range.
     run(
         "cache/fk_sweep_eq5",

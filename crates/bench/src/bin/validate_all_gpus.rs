@@ -8,10 +8,17 @@ use xmodel_bench::{print_table, write_csv, write_json};
 
 fn main() {
     println!("Cross-architecture validation (the §IV generality claim)\n");
+    // The three platforms validate independently: fan them out through
+    // the sweep engine (results come back in GPU order regardless of
+    // the worker count).
+    let gpus = GpuSpec::all();
+    let validated =
+        xmodel::core::sweep::run(xmodel::core::sweep::default_jobs(), &gpus, |_, gpu| {
+            validate_suite(gpu).expect("validation failed")
+        });
     let mut rows = Vec::new();
     let mut reports = Vec::new();
-    for gpu in GpuSpec::all() {
-        let rep = validate_suite(&gpu).expect("validation failed");
+    for (gpu, rep) in gpus.iter().zip(validated) {
         let worst = rep
             .worst()
             .map(|w| format!("{} ({:.0}%)", w.name, w.accuracy() * 100.0))

@@ -109,6 +109,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(parse_flags(rest)),
         "whatif" => cmd_whatif(parse_flags(rest)),
         "sim" => cmd_sim(parse_flags(rest)),
+        "sweep" => cmd_sweep(parse_flags(rest)),
         "trace-report" => cmd_trace_report(rest),
         "profile" => cmd_profile(rest),
         "help" | "--help" | "-h" => {
@@ -239,6 +240,9 @@ fn usage() {
            validate [--gpu GPU]\n\
            whatif [--gpu GPU] [--workload NAME] [--l1 KIB]\n\
            sim --workload NAME [--gpu GPU] [--warps N] [--l1 KIB] [--ir]\n\
+           sweep --n-max N (--gpu GPU [--dp] | --m M --r R --l L) --z Z [--e E]\n\
+                 [--l1 KIB --alpha A --beta B] [--points P] [--samples S]\n\
+                 [--jobs J] [--out FILE]\n\
            trace-report FILE [--timeline] [--svg FILE] [--profile]\n\
            profile FILE [--folded FILE] [--top N]\n\
          \n\
@@ -254,6 +258,7 @@ fn usage() {
            XMODEL_TRACE          trace file, when --trace is absent\n\
            XMODEL_METRICS_ADDR   metrics HOST:PORT, when --metrics-addr is absent\n\
            XMODEL_FAULT_SPEC     fault spec, when --fault-spec is absent\n\
+           XMODEL_JOBS           sweep worker threads, when --jobs is absent\n\
          \n\
          exit codes:\n\
            0  success (degraded results add a `warning:` line on stderr)\n\
@@ -610,6 +615,128 @@ fn cmd_sim(flags: HashMap<String, String>) -> Result<(), CliError> {
             stats.l1_merges,
             stats.mshr_stalls
         );
+    }
+    Ok(())
+}
+
+/// Render a finite f64 as a JSON number, a non-finite one as `null`.
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), CliError> {
+    let n_max = get_f64(&flags, "n-max")?.ok_or_else(|| "--n-max required".to_string())?;
+    if !n_max.is_finite() || n_max <= 0.0 {
+        return Err(CliError::Usage("--n-max must be positive".to_string()));
+    }
+    let points = match flags.get("points") {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("--points: {e}"))?,
+        None => 256,
+    };
+    if points == 0 {
+        return Err(CliError::Usage("--points must be at least 1".to_string()));
+    }
+    let samples = match flags.get("samples") {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("--samples: {e}"))?,
+        None => xmodel::core::solver::DEFAULT_SAMPLES,
+    };
+    if samples < 2 {
+        return Err(CliError::Usage("--samples must be at least 2".to_string()));
+    }
+    // Flag beats XMODEL_JOBS beats the detected core count.
+    let jobs = match flags.get("jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|e| format!("--jobs: {e}"))?
+            .max(1),
+        None => xmodel::core::sweep::default_jobs(),
+    };
+
+    // Reuse the draw/validate model builder with `n = n_max`; each grid
+    // point then overrides the thread count (the one workload knob the
+    // tabulated supply curve does not depend on).
+    let mut mflags = flags.clone();
+    mflags.insert("n".to_string(), format!("{n_max}"));
+    let (base, _units) = build_model(&mflags)?;
+
+    let table = xmodel::core::fastpath::CurveTable::build(&base, n_max);
+    let ns: Vec<f64> = (1..=points)
+        .map(|i| n_max * i as f64 / points as f64)
+        .collect();
+    let rows = xmodel::core::sweep::run(jobs, &ns, |_, &n| {
+        let mut m = base;
+        m.workload.n = n;
+        let eq = xmodel::core::fastpath::solve_fast(&m, &table, samples);
+        (n, eq.points().len(), eq.operating_point())
+    });
+
+    // Deterministic hand-rolled JSON: results are collected in index
+    // order and `jobs` is deliberately *not* recorded, so the bytes are
+    // identical for any worker count (asserted by scripts/ci.sh).
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"xmodel-sweep/1\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"m\": {}, \"r\": {}, \"l\": {}}},\n",
+        jnum(base.machine.m),
+        jnum(base.machine.r),
+        jnum(base.machine.l)
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"z\": {}, \"e\": {}, \"n_max\": {}}},\n",
+        jnum(base.workload.z),
+        jnum(base.workload.e),
+        jnum(n_max)
+    ));
+    match base.cache {
+        Some(c) => out.push_str(&format!(
+            "  \"cache\": {{\"s_bytes\": {}, \"l_cache\": {}, \"alpha\": {}, \"beta\": {}}},\n",
+            jnum(c.s_cache),
+            jnum(c.l_cache),
+            jnum(c.alpha),
+            jnum(c.beta)
+        )),
+        None => out.push_str("  \"cache\": null,\n"),
+    }
+    out.push_str(&format!(
+        "  \"points\": {points},\n  \"samples\": {samples},\n  \"rows\": [\n"
+    ));
+    for (i, (n, roots, op)) in rows.iter().enumerate() {
+        let body = match op {
+            Some(p) => {
+                let stab = match p.stability {
+                    Stability::Stable => "stable",
+                    Stability::Unstable => "unstable",
+                    Stability::Marginal => "marginal",
+                };
+                format!(
+                    "\"k\": {}, \"x\": {}, \"ms\": {}, \"cs\": {}, \"stability\": \"{stab}\"",
+                    jnum(p.k),
+                    jnum(p.x),
+                    jnum(p.ms_throughput),
+                    jnum(p.cs_throughput)
+                )
+            }
+            None => "\"k\": null, \"x\": null, \"ms\": null, \"cs\": null, \"stability\": null"
+                .to_string(),
+        };
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"roots\": {roots}, {body}}}{sep}\n",
+            jnum(*n)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, out).map_err(|e| format!("--out {path}: {e}"))?;
+            println!("wrote {path} ({points} points, {jobs} jobs)");
+        }
+        None => print!("{out}"),
     }
     Ok(())
 }

@@ -340,3 +340,62 @@ fn profile_and_trace_report_survive_malformed_traces() {
     std::fs::remove_file(&empty).ok();
     std::fs::remove_file(&torn).ok();
 }
+
+#[test]
+fn sweep_emits_schema_and_rows() {
+    let (ok, out, _) = run(&[
+        "sweep", "--gpu", "kepler", "--z", "24", "--e", "1.2", "--n-max", "64", "--points", "8",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"schema\": \"xmodel-sweep/1\""), "{out}");
+    assert!(out.matches("\"n\": ").count() >= 8, "{out}");
+    assert!(out.contains("\"stability\": \"stable\""), "{out}");
+}
+
+#[test]
+fn sweep_requires_n_max() {
+    let (ok, _, err) = run(&["sweep", "--gpu", "kepler", "--z", "24"]);
+    assert!(!ok);
+    assert!(err.contains("--n-max"), "{err}");
+}
+
+#[test]
+fn sweep_output_is_byte_identical_for_any_jobs() {
+    let args = [
+        "sweep", "--gpu", "fermi", "--z", "16", "--l1", "16", "--n-max", "48", "--points", "64",
+    ];
+    let with_jobs = |j: &str| {
+        let (ok, out, err) = run(&[&args[..], &["--jobs", j]].concat());
+        assert!(ok, "{err}");
+        out
+    };
+    let one = with_jobs("1");
+    assert_eq!(one, with_jobs("4"), "--jobs must not change the bytes");
+    // XMODEL_JOBS is the fallback when the flag is absent.
+    let (ok, out, err) = run_env(&args, &[("XMODEL_JOBS", "3")]);
+    assert!(ok, "{err}");
+    assert_eq!(one, out, "XMODEL_JOBS must not change the bytes");
+}
+
+#[test]
+fn sweep_writes_out_file() {
+    let path = temp_path("sweep.json");
+    let (ok, out, err) = run(&[
+        "sweep",
+        "--gpu",
+        "maxwell",
+        "--z",
+        "30",
+        "--n-max",
+        "32",
+        "--points",
+        "4",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{err}");
+    assert!(out.contains("wrote "), "{out}");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"xmodel-sweep/1\""));
+    std::fs::remove_file(&path).ok();
+}

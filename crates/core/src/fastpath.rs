@@ -1,0 +1,777 @@
+//! Solver fast path: tabulate `f(k)` once, then solve many instances.
+//!
+//! The Eq. (5) supply curve dominates the solver's cost: the
+//! `(S$/(β·k)+1)^(1−α)` hit-rate `powf` is re-evaluated at every one of
+//! the ~2048 dense-scan samples plus every bisection step, for every
+//! solve — yet `f(k)` depends only on `(R, L, S$, L$, α, β)`, never on
+//! `n` or `Z`, so one tabulation amortizes across an entire sweep. A
+//! [`CurveTable`] samples `f` once per curve and [`solve_fast`] answers
+//! each solve from the table:
+//!
+//! * **coarse scan** — blocks of dense-scan steps are screened with
+//!   monotone-segment range bounds: a block whose bracketed
+//!   `f(k) − ĝ(n−k)` range excludes zero cannot contain a root and is
+//!   skipped wholesale;
+//! * **refine** — inside surviving blocks each dense sample uses the
+//!   interpolated `f̃(k)`; the exact curve is consulted only where
+//!   `|f̃(k) − ĝ(n−k)|` falls within the tabulated interpolation margin;
+//! * **bisection** brackets are polished with the *exact* curve between
+//!   the same dense-grid endpoints the reference would use, so confirmed
+//!   roots are bit-identical to [`solver::solve_with`]'s.
+//!
+//! The screening is sound as long as the per-interval margins bound the
+//! true deviation `|f − f̃|` — guaranteed for curves whose features are
+//! resolvable at the table resolution (the Eq. (2)/(5) curves
+//! comfortably are; margins are probe-estimated with an 8× safety
+//! factor). Non-finite samples mark their intervals *unsound*: those are
+//! never skipped and always evaluated exactly, preserving the
+//! reference's NaN-hole behaviour.
+//!
+//! [`SolveCache`] wraps a table with staleness tracking for use inside
+//! sweeps, and [`reference_stats`] wraps the exact solver with the same
+//! evaluation counters for head-to-head comparisons.
+
+use crate::cache::CacheParams;
+use crate::model::XModel;
+use crate::solver::{self, Equilibria};
+use crate::units::{ReqPerCycle, Threads};
+use std::cell::Cell;
+
+/// Default number of table intervals.
+pub const DEFAULT_RESOLUTION: usize = 4096;
+
+/// Safety factor applied to the probe-estimated interpolation error.
+/// For one curvature sign or a single kink inside an interval the worst
+/// lerp deviation is within ~1.6× of the worse third-point probe.
+const MARGIN_SAFETY: f64 = 8.0;
+
+/// Dense-scan steps screened per coarse block.
+const COARSE_BLOCK: usize = 32;
+
+/// The parameters a [`CurveTable`] is keyed on: everything that shapes
+/// the supply curve `f(k)` — and nothing that does not (`n`, `Z`, `E`
+/// and `M` only move the demand curve).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurveKey {
+    /// `R` — peak MS throughput, requests/cycle.
+    pub r: f64,
+    /// `L` — unloaded MS latency, cycles.
+    pub l: f64,
+    /// Cache parameters when the Eq. (5) form is selected.
+    pub cache: Option<CacheParams>,
+}
+
+impl CurveKey {
+    /// The key of a model's supply curve.
+    pub fn of(model: &XModel) -> Self {
+        Self {
+            r: model.machine.r,
+            l: model.machine.l,
+            cache: model.cache,
+        }
+    }
+}
+
+/// A maximal run of table intervals over which the sampled curve is
+/// monotone (non-decreasing or non-increasing). Runs of non-finite
+/// samples form their own (unsound) segments.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// First interval index of the run.
+    pub start: usize,
+    /// One past the last interval index of the run.
+    pub end: usize,
+    /// `true` when the samples are non-decreasing over the run.
+    pub rising: bool,
+    /// Largest interpolation margin of any interval in the run.
+    max_margin: f64,
+}
+
+/// Piecewise-linear tabulation of one supply curve over `[0, k_max]`,
+/// with monotone-segment metadata and sound interpolation-error margins.
+#[derive(Debug, Clone)]
+pub struct CurveTable {
+    /// `None` for tables built from raw closures via
+    /// [`CurveTable::tabulate`], where no model key exists.
+    key: Option<CurveKey>,
+    k_max: f64,
+    step: f64,
+    /// `resolution + 1` exact samples `f(i·step)`.
+    values: Vec<f64>,
+    /// Per-interval interpolation margins (`+∞` on unsound intervals).
+    margins: Vec<f64>,
+    /// Prefix count of unsound intervals, for O(1) range queries.
+    unsound_prefix: Vec<u32>,
+    segments: Vec<Segment>,
+    build_evals: u64,
+}
+
+impl CurveTable {
+    /// Tabulate `model`'s supply curve over `[0, k_max]` at
+    /// [`DEFAULT_RESOLUTION`].
+    pub fn build(model: &XModel, k_max: f64) -> Self {
+        Self::build_with(model, k_max, DEFAULT_RESOLUTION)
+    }
+
+    /// Tabulate with an explicit interval count. The resolution must
+    /// resolve the curve's features (peak/valley widths) for the
+    /// screening margins to be sound; [`DEFAULT_RESOLUTION`] does so for
+    /// the model's Eq. (2)/(5) curves over any practical domain.
+    pub fn build_with(model: &XModel, k_max: f64, resolution: usize) -> Self {
+        let f = |k: f64| model.fk(k);
+        Self::from_curve(Some(CurveKey::of(model)), &f, k_max, resolution)
+    }
+
+    /// Tabulate an arbitrary supply curve from a raw closure (used with
+    /// [`solve_fast_curves`], e.g. for fault-injected curves in tests).
+    /// The resulting table carries no model key; pairing it with the
+    /// same curve at solve time is the caller's responsibility.
+    pub fn tabulate(f: &dyn Fn(f64) -> f64, k_max: f64, resolution: usize) -> Self {
+        Self::from_curve(None, f, k_max, resolution)
+    }
+
+    fn from_curve(
+        key: Option<CurveKey>,
+        curve: &dyn Fn(f64) -> f64,
+        k_max: f64,
+        resolution: usize,
+    ) -> Self {
+        assert!(k_max.is_finite() && k_max > 0.0, "k_max must be positive");
+        assert!(resolution >= 16, "need at least 16 table intervals");
+        let step = k_max / resolution as f64;
+        let mut evals = 0u64;
+        let mut f = |k: f64| {
+            evals += 1;
+            curve(k)
+        };
+        let values: Vec<f64> = (0..=resolution).map(|i| f(step * i as f64)).collect();
+        let mut margins = Vec::with_capacity(resolution);
+        for i in 0..resolution {
+            let a = step * i as f64;
+            let va = values[i];
+            let vb = values[i + 1];
+            let p1 = f(a + step / 3.0);
+            let p2 = f(a + 2.0 * step / 3.0);
+            let e1 = (p1 - (va + (vb - va) / 3.0)).abs();
+            let e2 = (p2 - (va + (vb - va) * 2.0 / 3.0)).abs();
+            let sound = va.is_finite() && vb.is_finite() && p1.is_finite() && p2.is_finite();
+            margins.push(if sound {
+                MARGIN_SAFETY * e1.max(e2) + 1e-12 * (va.abs().max(vb.abs()) + 1.0)
+            } else {
+                f64::INFINITY
+            });
+        }
+        let mut unsound_prefix = Vec::with_capacity(resolution + 1);
+        let mut running = 0u32;
+        unsound_prefix.push(0);
+        for m in &margins {
+            running += u32::from(!m.is_finite());
+            unsound_prefix.push(running);
+        }
+        let segments = build_segments(&values, &margins);
+        Self {
+            key,
+            k_max,
+            step,
+            values,
+            margins,
+            unsound_prefix,
+            segments,
+            build_evals: evals,
+        }
+    }
+
+    /// The curve parameters this table was built for (`None` for raw
+    /// [`CurveTable::tabulate`] tables).
+    pub fn key(&self) -> Option<&CurveKey> {
+        self.key.as_ref()
+    }
+
+    /// Upper end of the tabulated domain.
+    pub fn k_max(&self) -> f64 {
+        self.k_max
+    }
+
+    /// Number of table intervals.
+    pub fn resolution(&self) -> usize {
+        self.margins.len()
+    }
+
+    /// The monotone segments of the sampled curve, in `k` order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Exact curve evaluations spent building this table.
+    pub fn build_evals(&self) -> u64 {
+        self.build_evals
+    }
+
+    /// Interpolated `f̃(k)` with the containing interval's margin
+    /// (`+∞` on unsound intervals). `k` should lie within `[0, k_max]`.
+    pub fn interp(&self, k: f64) -> (f64, f64) {
+        let i = self.interval_of(k);
+        (self.lerp_in(i, k), self.margins[i])
+    }
+
+    fn interval_of(&self, k: f64) -> usize {
+        ((k / self.step) as usize).min(self.margins.len().saturating_sub(1))
+    }
+
+    fn lerp_in(&self, i: usize, k: f64) -> f64 {
+        let t = k / self.step - i as f64;
+        self.values[i] + (self.values[i + 1] - self.values[i]) * t
+    }
+
+    /// Bounds `(lo, hi)` on the true curve over `[a, b]`, or `None` when
+    /// the span touches an unsound interval.
+    fn range(&self, a: f64, b: f64) -> Option<(f64, f64)> {
+        let ia = self.interval_of(a);
+        let ib = self.interval_of(b);
+        if self.unsound_prefix[ib + 1] > self.unsound_prefix[ia] {
+            return None;
+        }
+        let fa = self.lerp_in(ia, a);
+        let fb = self.lerp_in(ib, b);
+        let mut lo = fa.min(fb);
+        let mut hi = fa.max(fb);
+        let mut margin = 0.0f64;
+        for seg in &self.segments {
+            if seg.end <= ia || seg.start > ib {
+                continue;
+            }
+            margin = margin.max(seg.max_margin);
+            // Monotone within the run, so extremes can only sit at run
+            // boundaries; those strictly inside (a, b) are grid samples.
+            for idx in [seg.start, seg.end] {
+                if idx > ia && idx <= ib {
+                    let v = self.values[idx];
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+            }
+        }
+        Some((lo - margin, hi + margin))
+    }
+}
+
+/// Split the sampled curve into maximal monotone runs. Flat pairs extend
+/// either direction; non-finite pairs form their own runs.
+fn build_segments(values: &[f64], margins: &[f64]) -> Vec<Segment> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Dir {
+        Up,
+        Down,
+        Flat,
+        Broken,
+    }
+    let intervals = margins.len();
+    let dirs: Vec<Dir> = (0..intervals)
+        .map(|i| {
+            let (a, b) = (values[i], values[i + 1]);
+            if !a.is_finite() || !b.is_finite() {
+                Dir::Broken
+            } else if b > a {
+                Dir::Up
+            } else if b < a {
+                Dir::Down
+            } else {
+                Dir::Flat
+            }
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start < intervals {
+        let broken = dirs[start] == Dir::Broken;
+        let mut rising = match dirs[start] {
+            Dir::Up => Some(true),
+            Dir::Down => Some(false),
+            _ => None,
+        };
+        let mut end = start + 1;
+        while end < intervals {
+            let d = dirs[end];
+            let compatible = if broken {
+                d == Dir::Broken
+            } else {
+                match d {
+                    Dir::Broken => false,
+                    Dir::Flat => true,
+                    Dir::Up => rising != Some(false),
+                    Dir::Down => rising != Some(true),
+                }
+            };
+            if !compatible {
+                break;
+            }
+            if !broken {
+                match d {
+                    Dir::Up => rising = Some(true),
+                    Dir::Down => rising = Some(false),
+                    _ => {}
+                }
+            }
+            end += 1;
+        }
+        let max_margin = margins[start..end].iter().fold(0.0f64, |m, &x| m.max(x));
+        out.push(Segment {
+            start,
+            end,
+            rising: rising.unwrap_or(true),
+            max_margin,
+        });
+        start = end;
+    }
+    out
+}
+
+/// Evaluation counts of one solve. The fast path's purpose is to drive
+/// `f_evals` (the `powf`-bearing curve) toward zero away from roots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Exact `f(k)` evaluations.
+    pub f_evals: u64,
+    /// Exact `ĝ(x)` evaluations (cheap, counted for completeness).
+    pub g_evals: u64,
+    /// Dense samples answered from the interpolated table.
+    pub interp_evals: u64,
+    /// Coarse blocks skipped wholesale by range screening.
+    pub blocks_skipped: u64,
+}
+
+impl SolveStats {
+    /// Total exact curve evaluations (`f` + `ĝ`) — the quantity reported
+    /// on the `solver.curve_evals` counter.
+    pub fn total(&self) -> u64 {
+        self.f_evals + self.g_evals
+    }
+}
+
+/// Solve `model` against a prebuilt [`CurveTable`], returning the same
+/// [`Equilibria`] as [`XModel::solve_with`] at the same `samples`.
+///
+/// # Panics
+///
+/// When `table` was built for a different supply curve, does not cover
+/// `[0, n]`, or `samples < 2`.
+pub fn solve_fast(model: &XModel, table: &CurveTable, samples: usize) -> Equilibria {
+    solve_fast_stats(model, table, samples).0
+}
+
+/// [`solve_fast`] returning evaluation statistics alongside the result.
+pub fn solve_fast_stats(
+    model: &XModel,
+    table: &CurveTable,
+    samples: usize,
+) -> (Equilibria, SolveStats) {
+    assert!(
+        table.key == Some(CurveKey::of(model)),
+        "CurveTable was built for a different supply curve"
+    );
+    let f = |k: f64| model.fk(k);
+    let g_hat = |x: f64| model.g_hat(x);
+    solve_fast_curves(
+        &f,
+        &g_hat,
+        table,
+        model.workload.n,
+        model.workload.z,
+        samples,
+    )
+}
+
+/// [`solve_fast`] over raw curve closures paired with a
+/// [`CurveTable::tabulate`] table of the same `f` — the entry point for
+/// curves that exist outside an [`XModel`] (fault-injected or synthetic
+/// shapes). `g_hat` must be non-decreasing in `x` (every Eq. (1) demand
+/// curve is) for the coarse block screening to be sound.
+pub fn solve_fast_curves(
+    curve_f: &dyn Fn(f64) -> f64,
+    curve_g_hat: &dyn Fn(f64) -> f64,
+    table: &CurveTable,
+    n: f64,
+    z: f64,
+    samples: usize,
+) -> (Equilibria, SolveStats) {
+    assert!(samples >= 2, "need at least two scan samples");
+    let _span = xmodel_obs::span!(xmodel_obs::names::span::SOLVER_SOLVE_FAST);
+    let mut stats = SolveStats::default();
+    if n <= 0.0 {
+        return (Equilibria::from_points(Vec::new(), n), stats);
+    }
+    assert!(
+        n <= table.k_max * (1.0 + 1e-9),
+        "CurveTable covers k <= {}, solve needs {}",
+        table.k_max,
+        n
+    );
+
+    let f_evals = Cell::new(0u64);
+    let g_evals = Cell::new(0u64);
+    let f = |k: f64| {
+        f_evals.set(f_evals.get() + 1);
+        curve_f(k)
+    };
+    let g_hat = |x: f64| {
+        g_evals.set(g_evals.get() + 1);
+        curve_g_hat(x)
+    };
+    let f_dyn: &dyn Fn(f64) -> f64 = &f;
+    let g_dyn: &dyn Fn(f64) -> f64 = &g_hat;
+    let big_f = |k: f64| f(k) - g_hat(n - k);
+    let big_f_dyn: &dyn Fn(f64) -> f64 = &big_f;
+
+    // Sign classes mirroring the reference's comparisons: NaN sorts with
+    // the non-negative side there (`v < 0.0` is false), so it does here.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Class {
+        Neg,
+        Zero,
+        NonNeg,
+    }
+    let classify = |v: f64| {
+        if v == 0.0 {
+            Class::Zero
+        } else if v < 0.0 {
+            Class::Neg
+        } else {
+            Class::NonNeg
+        }
+    };
+
+    let step = n / samples as f64;
+    let mut points = Vec::new();
+    // Dense index 0 is always evaluated exactly, like the reference.
+    let v0 = big_f(0.0);
+    if v0 == 0.0 {
+        points.push(solver::make_point(f_dyn, g_dyn, n, z, 0.0));
+    }
+    let mut prev_k = 0.0f64;
+    let mut prev_class = classify(v0);
+
+    let mut i = 1usize;
+    while i <= samples {
+        // Coarse screening: can dense steps i..=j contain a sign change?
+        // The block's k-range starts at the previous dense sample.
+        let j = (i + COARSE_BLOCK - 1).min(samples);
+        let a = step * (i - 1) as f64;
+        let b = step * j as f64;
+        let block_class = table.range(a, b).and_then(|(f_lo, f_hi)| {
+            // ĝ(n−k) is non-increasing in k (g is non-decreasing in x),
+            // so its range over the block is bracketed by the endpoints.
+            let g_hi = g_hat(n - a);
+            let g_lo = g_hat(n - b);
+            if f_lo - g_hi > 0.0 {
+                Some(Class::NonNeg)
+            } else if f_hi - g_lo < 0.0 {
+                Some(Class::Neg)
+            } else {
+                None
+            }
+        });
+        if let Some(class) = block_class {
+            // Every dense sample in the block lies strictly on one side
+            // of zero: no roots or exact zeros inside. Only the block's
+            // left edge can bracket, exactly as the reference would
+            // between dense samples i−1 and i.
+            if prev_class != Class::Zero && prev_class != class {
+                let k_first = step * i as f64;
+                let surrogate = if prev_class == Class::Neg { -1.0 } else { 1.0 };
+                let root = solver::bisect(big_f_dyn, prev_k, k_first, surrogate);
+                xmodel_obs::event!("solver.bracket", lo = prev_k, hi = k_first, root = root);
+                points.push(solver::make_point(f_dyn, g_dyn, n, z, root));
+            }
+            stats.blocks_skipped += 1;
+            prev_k = b;
+            prev_class = class;
+            i = j + 1;
+            continue;
+        }
+        // Refine: screen each dense sample in this block individually.
+        while i <= j {
+            let k = step * i as f64;
+            let gk = g_hat(n - k);
+            let (ft, margin) = table.interp(k);
+            let vt = ft - gk;
+            let class = if vt.abs() > margin {
+                // Interpolation error cannot flip this sign (nor hide an
+                // exact zero), so the class is decided without `f`.
+                stats.interp_evals += 1;
+                classify(vt)
+            } else {
+                // Within the margin (or an unsound interval): consult the
+                // exact curve, reusing the already-computed ĝ value.
+                classify(f(k) - gk)
+            };
+            match class {
+                Class::Zero => points.push(solver::make_point(f_dyn, g_dyn, n, z, k)),
+                _ => {
+                    if prev_class != Class::Zero && prev_class != class {
+                        let surrogate = if prev_class == Class::Neg { -1.0 } else { 1.0 };
+                        let root = solver::bisect(big_f_dyn, prev_k, k, surrogate);
+                        xmodel_obs::event!("solver.bracket", lo = prev_k, hi = k, root = root);
+                        points.push(solver::make_point(f_dyn, g_dyn, n, z, root));
+                    }
+                }
+            }
+            prev_k = k;
+            prev_class = class;
+            i += 1;
+        }
+    }
+
+    stats.f_evals = f_evals.get();
+    stats.g_evals = g_evals.get();
+    let eq = solver::finish(points, n, step);
+    xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SOLVER_CURVE_EVALS, stats.total());
+    (eq, stats)
+}
+
+/// Run the exact reference [`XModel::solve_with`] while counting curve
+/// evaluations, for fast-vs-reference comparisons in tests and benches.
+pub fn reference_stats(model: &XModel, samples: usize) -> (Equilibria, SolveStats) {
+    let f_evals = Cell::new(0u64);
+    let g_evals = Cell::new(0u64);
+    let f = |k: Threads| {
+        f_evals.set(f_evals.get() + 1);
+        ReqPerCycle(model.fk(k.get()))
+    };
+    let g = |x: Threads| {
+        g_evals.set(g_evals.get() + 1);
+        ReqPerCycle(model.g_hat(x.get()))
+    };
+    let eq = solver::solve_with(
+        &f,
+        &g,
+        model.workload.threads(),
+        model.workload.intensity(),
+        samples,
+    );
+    (
+        eq,
+        SolveStats {
+            f_evals: f_evals.get(),
+            g_evals: g_evals.get(),
+            interp_evals: 0,
+            blocks_skipped: 0,
+        },
+    )
+}
+
+/// Reusable solver state for parameter sweeps: keeps the [`CurveTable`]
+/// across iterations and rebuilds it only when the supply curve changes
+/// or the tabulated domain must grow.
+#[derive(Debug, Clone, Default)]
+pub struct SolveCache {
+    table: Option<CurveTable>,
+    resolution: usize,
+    rebuilds: u64,
+    hits: u64,
+}
+
+impl SolveCache {
+    /// Empty cache at [`DEFAULT_RESOLUTION`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty cache with an explicit table resolution.
+    pub fn with_resolution(resolution: usize) -> Self {
+        Self {
+            resolution,
+            ..Self::default()
+        }
+    }
+
+    /// Solve at the default dense-scan resolution.
+    pub fn solve(&mut self, model: &XModel) -> Equilibria {
+        self.solve_with(model, solver::DEFAULT_SAMPLES)
+    }
+
+    /// Solve at an explicit dense-scan resolution.
+    pub fn solve_with(&mut self, model: &XModel, samples: usize) -> Equilibria {
+        self.solve_stats(model, samples).0
+    }
+
+    /// [`SolveCache::solve_with`] plus evaluation statistics.
+    pub fn solve_stats(&mut self, model: &XModel, samples: usize) -> (Equilibria, SolveStats) {
+        let n = model.workload.n;
+        if n <= 0.0 {
+            return (
+                Equilibria::from_points(Vec::new(), n),
+                SolveStats::default(),
+            );
+        }
+        let stale = match &self.table {
+            Some(t) => t.key != Some(CurveKey::of(model)) || t.k_max < n,
+            None => true,
+        };
+        if stale {
+            // Grow the domain in powers of two so an ascending n-sweep
+            // rebuilds the table O(log n) times, not once per step.
+            let mut k_max = 64.0f64;
+            while k_max < n {
+                k_max *= 2.0;
+            }
+            let resolution = if self.resolution == 0 {
+                DEFAULT_RESOLUTION
+            } else {
+                self.resolution
+            };
+            self.table = Some(CurveTable::build_with(model, k_max, resolution));
+            self.rebuilds += 1;
+        } else {
+            self.hits += 1;
+        }
+        match &self.table {
+            Some(t) => solve_fast_stats(model, t, samples),
+            // Unreachable (just built); degrade to the exact reference
+            // rather than panicking.
+            None => (model.solve_with(samples), SolveStats::default()),
+        }
+    }
+
+    /// The cached table, when one has been built.
+    pub fn table(&self) -> Option<&CurveTable> {
+        self.table.as_ref()
+    }
+
+    /// Number of table (re)builds performed.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Number of solves that reused the cached table.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{MachineParams, WorkloadParams};
+
+    fn cached_model() -> XModel {
+        XModel::with_cache(
+            MachineParams::new(6.0, 0.1, 600.0),
+            WorkloadParams::new(40.0, 1.0, 48.0),
+            CacheParams::try_new(16.0 * 1024.0, 30.0, 5.0, 2048.0).unwrap(),
+        )
+    }
+
+    fn basic_model() -> XModel {
+        XModel::new(
+            MachineParams::new(4.0, 0.1, 500.0),
+            WorkloadParams::new(20.0, 1.0, 48.0),
+        )
+    }
+
+    #[test]
+    fn table_matches_curve_at_grid_points() {
+        let m = cached_model();
+        let t = CurveTable::build_with(&m, 64.0, 256);
+        for i in [0usize, 17, 128, 256] {
+            let k = 64.0 * i as f64 / 256.0;
+            let (v, _) = t.interp(k);
+            assert!((v - m.fk(k)).abs() < 1e-12, "grid point {i}");
+        }
+        assert_eq!(t.build_evals(), 3 * 256 + 1);
+    }
+
+    #[test]
+    fn interp_margin_bounds_true_error() {
+        let m = cached_model();
+        let t = CurveTable::build(&m, 64.0);
+        // Off-grid probes: the interpolation error stays within margin.
+        for i in 0..999 {
+            let k = 64.0 * (i as f64 + 0.413) / 999.0;
+            let (v, margin) = t.interp(k);
+            assert!(
+                (v - m.fk(k)).abs() <= margin,
+                "margin violated at k = {k}: |{v} - {}| > {margin}",
+                m.fk(k)
+            );
+        }
+    }
+
+    #[test]
+    fn segments_cover_domain_and_follow_shape() {
+        let m = cached_model();
+        let t = CurveTable::build(&m, 64.0);
+        let segs = t.segments();
+        assert!(!segs.is_empty());
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs[segs.len() - 1].end, t.resolution());
+        for pair in segs.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "segments must tile");
+        }
+        // Eq. (5) with a pronounced peak: first rising, then a falling run.
+        assert!(segs[0].rising);
+        assert!(segs.iter().any(|s| !s.rising), "cache valley missing");
+    }
+
+    #[test]
+    fn fast_matches_reference_bitwise_on_fixtures() {
+        for m in [basic_model(), cached_model()] {
+            let t = CurveTable::build(&m, 64.0);
+            let exact = m.solve();
+            let fast = solve_fast(&m, &t, solver::DEFAULT_SAMPLES);
+            assert_eq!(exact, fast, "fast path must reproduce the reference");
+        }
+    }
+
+    #[test]
+    fn fast_spends_fewer_curve_evals() {
+        let m = cached_model();
+        let t = CurveTable::build(&m, 64.0);
+        let (_, fast) = solve_fast_stats(&m, &t, solver::DEFAULT_SAMPLES);
+        let (_, reference) = reference_stats(&m, solver::DEFAULT_SAMPLES);
+        assert!(
+            fast.total() < reference.total(),
+            "fast {} vs reference {}",
+            fast.total(),
+            reference.total()
+        );
+        assert!(fast.blocks_skipped > 0, "screening never engaged");
+    }
+
+    #[test]
+    fn solve_cache_rebuilds_only_on_curve_change() {
+        let mut cache = SolveCache::new();
+        let m = cached_model();
+        let a = cache.solve(&m);
+        assert_eq!(cache.rebuilds(), 1);
+        // n moves the demand curve only: table is reused.
+        let mut m2 = m;
+        m2.workload.n = 32.0;
+        let _ = cache.solve(&m2);
+        assert_eq!(cache.rebuilds(), 1);
+        assert_eq!(cache.hits(), 1);
+        // R reshapes the supply curve: rebuild.
+        let mut m3 = m;
+        m3.machine.r = 0.05;
+        let _ = cache.solve(&m3);
+        assert_eq!(cache.rebuilds(), 2);
+        assert_eq!(a, m.solve());
+    }
+
+    #[test]
+    fn solve_cache_grows_domain_for_large_n() {
+        let mut cache = SolveCache::new();
+        let mut m = basic_model();
+        m.workload.n = 1000.0;
+        let eq = cache.solve(&m);
+        assert_eq!(eq, m.solve());
+        assert!(cache.table().map(|t| t.k_max()).unwrap_or(0.0) >= 1000.0);
+    }
+
+    #[test]
+    fn zero_threads_is_empty() {
+        let mut cache = SolveCache::new();
+        let mut m = basic_model();
+        m.workload.n = 0.0;
+        assert!(cache.solve(&m).points().is_empty());
+    }
+}

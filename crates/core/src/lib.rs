@@ -46,6 +46,8 @@
 //! | [`cache`] | Jacob hit-rate model, Eq. (5), peak/valley/plateau features |
 //! | [`multilevel`] | two-level (L1+L2) extension of Eq. (5), mechanical bypass |
 //! | [`solver`] | flow-balance root finding, all intersections |
+//! | [`fastpath`] | tabulated supply curve, `solve_fast`, `SolveCache` |
+//! | [`sweep`] | deterministic parallel grid engine |
 //! | [`degrade`] | graceful-degradation ladder: exact → grid-scan → baseline |
 //! | [`stability`] | Eq. (6) stability classification |
 //! | [`dynamics`] | thread-migration ODE, convergence, hysteresis |
@@ -71,6 +73,7 @@ pub mod degrade;
 pub mod dynamics;
 pub mod error;
 pub mod exectime;
+pub mod fastpath;
 pub mod metrics;
 pub mod ms;
 pub mod multilevel;
@@ -80,6 +83,7 @@ pub mod report;
 pub mod sensitivity;
 pub mod solver;
 pub mod stability;
+pub mod sweep;
 pub mod transit;
 pub mod tuning;
 pub mod units;
@@ -98,6 +102,7 @@ pub mod prelude {
     pub use crate::cache::{CacheParams, MsCurveFeatures};
     pub use crate::degrade::{Degradation, DegradeForce, ResolvedOperatingPoint};
     pub use crate::dynamics::{Trajectory, TrajectoryEnd};
+    pub use crate::fastpath::{CurveTable, SolveCache};
     pub use crate::metrics::ParallelismReport;
     pub use crate::model::XModel;
     pub use crate::params::{MachineParams, WorkloadParams};

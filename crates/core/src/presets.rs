@@ -148,6 +148,12 @@ impl GpuSpec {
         ]
     }
 
+    /// The Table II platform set under its paper name — alias of
+    /// [`GpuSpec::all`] for call sites that mirror the paper's tables.
+    pub fn table2() -> Vec<Self> {
+        Self::all()
+    }
+
     /// Unit-conversion context for this GPU at a given precision.
     pub fn units(&self, precision: Precision) -> UnitContext {
         UnitContext::new(
@@ -189,6 +195,12 @@ impl GpuSpec {
     pub fn default_l1_bytes(&self) -> f64 {
         self.l1_sizes_kib[0] as f64 * 1024.0
     }
+}
+
+/// The Table II platform set: free-function form of [`GpuSpec::table2`]
+/// for `presets::table2()` call sites.
+pub fn table2() -> Vec<GpuSpec> {
+    GpuSpec::all()
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! tuner wants from the model.
 
 use crate::model::XModel;
+use crate::sweep;
 use crate::tuning::{CacheKnob, Knob, TuningOp};
 use serde::{Deserialize, Serialize};
 
@@ -81,76 +82,87 @@ fn elasticity(model: &XModel, value: f64, make: impl Fn(f64) -> TuningOp) -> Opt
 /// assert_eq!(report.dominant().unwrap().param, "R");
 /// ```
 pub fn analyze(model: &XModel) -> SensitivityReport {
-    let mut entries = Vec::new();
-    let mut push = |param: &str, e: Option<(f64, f64)>| {
-        if let Some((ms, cs)) = e {
-            entries.push(Sensitivity {
-                param: param.to_string(),
-                ms_elasticity: ms,
-                cs_elasticity: cs,
-            });
-        }
-    };
+    analyze_jobs(model, sweep::default_jobs())
+}
 
-    push(
-        "R",
-        elasticity(model, model.machine.r, |v| {
-            TuningOp::Machine(Knob::MemBandwidth(v))
-        }),
-    );
-    push(
-        "L",
-        elasticity(model, model.machine.l, |v| {
-            TuningOp::Machine(Knob::MemLatency(v))
-        }),
-    );
-    push(
-        "M",
-        elasticity(model, model.machine.m, |v| {
-            TuningOp::Machine(Knob::Lanes(v))
-        }),
-    );
-    push(
-        "Z",
-        elasticity(model, model.workload.z, |v| {
-            TuningOp::Machine(Knob::Intensity(v))
-        }),
-    );
-    push(
-        "E",
-        elasticity(model, model.workload.e, |v| TuningOp::Machine(Knob::Ilp(v))),
-    );
+/// One knob of the sensitivity scan: paper symbol, current value, and
+/// the tuning operation setting it to a perturbed value.
+type KnobSpec = (&'static str, f64, Box<dyn Fn(f64) -> TuningOp + Sync>);
+
+/// [`analyze`] with an explicit parallelism level. Each knob's two
+/// perturbed solves are independent, so the scan fans out through
+/// [`crate::sweep`]; the report is identical for any job count.
+pub fn analyze_jobs(model: &XModel, jobs: usize) -> SensitivityReport {
+    let mut specs: Vec<KnobSpec> = vec![
+        (
+            "R",
+            model.machine.r,
+            Box::new(|v| TuningOp::Machine(Knob::MemBandwidth(v))),
+        ),
+        (
+            "L",
+            model.machine.l,
+            Box::new(|v| TuningOp::Machine(Knob::MemLatency(v))),
+        ),
+        (
+            "M",
+            model.machine.m,
+            Box::new(|v| TuningOp::Machine(Knob::Lanes(v))),
+        ),
+        (
+            "Z",
+            model.workload.z,
+            Box::new(|v| TuningOp::Machine(Knob::Intensity(v))),
+        ),
+        (
+            "E",
+            model.workload.e,
+            Box::new(|v| TuningOp::Machine(Knob::Ilp(v))),
+        ),
+    ];
     if model.workload.n > 0.0 {
-        push(
+        specs.push((
             "n",
-            elasticity(model, model.workload.n, |v| {
-                TuningOp::Machine(Knob::Threads(v))
-            }),
-        );
+            model.workload.n,
+            Box::new(|v| TuningOp::Machine(Knob::Threads(v))),
+        ));
     }
     if let Some(c) = model.cache {
         if c.s_cache > 0.0 {
-            push(
+            specs.push((
                 "S$",
-                elasticity(model, c.s_cache, |v| {
-                    TuningOp::Cache(CacheKnob::Capacity(v))
-                }),
-            );
+                c.s_cache,
+                Box::new(|v| TuningOp::Cache(CacheKnob::Capacity(v))),
+            ));
         }
-        push(
+        specs.push((
             "L$",
-            elasticity(model, c.l_cache, |v| TuningOp::Cache(CacheKnob::Latency(v))),
-        );
-        push(
+            c.l_cache,
+            Box::new(|v| TuningOp::Cache(CacheKnob::Latency(v))),
+        ));
+        let beta = c.beta;
+        specs.push((
             "alpha",
-            elasticity(model, c.alpha, |v| {
+            c.alpha,
+            Box::new(move |v| {
                 TuningOp::Cache(CacheKnob::Locality {
                     alpha: v.max(1.001),
-                    beta: c.beta,
+                    beta,
                 })
             }),
-        );
+        ));
     }
+
+    let mut entries: Vec<Sensitivity> = sweep::run(jobs, &specs, |_, (param, value, make)| {
+        elasticity(model, *value, make.as_ref()).map(|(ms, cs)| Sensitivity {
+            param: (*param).to_string(),
+            ms_elasticity: ms,
+            cs_elasticity: cs,
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
 
     entries.sort_by(|a, b| b.ms_elasticity.abs().total_cmp(&a.ms_elasticity.abs()));
     SensitivityReport { entries }

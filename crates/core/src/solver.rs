@@ -11,6 +11,7 @@
 use crate::stability::{classify, Stability};
 use crate::units::{OpsPerRequest, ReqPerCycle, Threads};
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
 
 /// One flow-balance intersection: a candidate spatial state of the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,12 +99,37 @@ impl Equilibria {
     /// worst stable state (§III-D2), in MS-throughput units. Zero when not
     /// bistable.
     pub fn degradation(&self) -> f64 {
-        match (self.operating_point(), self.worst_stable()) {
+        // Single pass over the points instead of separate
+        // `operating_point()` / `worst_stable()` scans (this runs once per
+        // solve, inside the result event).
+        let mut first_stable: Option<&Intersection> = None;
+        let mut last_stable: Option<&Intersection> = None;
+        let mut first_marginal: Option<&Intersection> = None;
+        let mut last_marginal: Option<&Intersection> = None;
+        for p in &self.points {
+            if p.stability.is_stable() {
+                first_stable.get_or_insert(p);
+                last_stable = Some(p);
+            } else if p.stability == Stability::Marginal {
+                first_marginal.get_or_insert(p);
+                last_marginal = Some(p);
+            }
+        }
+        match (
+            first_stable.or(first_marginal),
+            last_stable.or(last_marginal),
+        ) {
             (Some(best), Some(worst)) if best.k < worst.k => {
                 (best.ms_throughput - worst.ms_throughput).max(0.0)
             }
             _ => 0.0,
         }
+    }
+
+    /// Crate-internal constructor used by the solver entry points
+    /// ([`solve_with`] and [`crate::fastpath::solve_fast`]).
+    pub(crate) fn from_points(points: Vec<Intersection>, n: f64) -> Self {
+        Self { points, n }
     }
 }
 
@@ -136,17 +162,58 @@ pub fn solve_with(
     // scan/bisection arithmetic is the exact f64 expression it always was.
     let n = n.get();
     let z = z.get();
-    let f = |k: f64| f(Threads(k)).get();
-    let g_hat = |x: f64| g_hat(Threads(x)).get();
-    let f: &dyn Fn(f64) -> f64 = &f;
-    let g_hat: &dyn Fn(f64) -> f64 = &g_hat;
-    let mut points = Vec::new();
     if n <= 0.0 {
-        return Equilibria { points, n };
+        return Equilibria {
+            points: Vec::new(),
+            n,
+        };
     }
+    let step = n / samples as f64;
+    let fr = |k: f64| f(Threads(k)).get();
+    let gr = |x: f64| g_hat(Threads(x)).get();
+    // Count curve evaluations only while a tracing sink is listening:
+    // the counting wrapper costs a measurable fraction of the cheap
+    // roofline solve, so the quiet path stays wrapper-free.
+    let points = if xmodel_obs::enabled() {
+        let evals = Cell::new(0u64);
+        let cf = |k: f64| {
+            evals.set(evals.get() + 1);
+            fr(k)
+        };
+        let cg = |x: f64| {
+            evals.set(evals.get() + 1);
+            gr(x)
+        };
+        let points = scan_dense(&cf, &cg, n, z, samples);
+        xmodel_obs::metrics::counter_add(
+            xmodel_obs::names::metric::SOLVER_CURVE_EVALS,
+            evals.get(),
+        );
+        points
+    } else {
+        scan_dense(&fr, &gr, n, z, samples)
+    };
+    finish(points, n, step)
+}
 
+/// The dense sign-change scan at `k_i = n·i/samples`: exact zeros become
+/// roots directly; sign flips between consecutive samples are polished
+/// by [`bisect`].
+///
+/// Inlined into both [`solve_with`] branches so the locally-built
+/// closures devirtualize; as an outlined `&dyn` call the quiet path
+/// pays ~25% on the roofline solve.
+#[inline(always)]
+fn scan_dense(
+    f: &dyn Fn(f64) -> f64,
+    g_hat: &dyn Fn(f64) -> f64,
+    n: f64,
+    z: f64,
+    samples: usize,
+) -> Vec<Intersection> {
     let big_f = |k: f64| f(k) - g_hat(n - k);
     let step = n / samples as f64;
+    let mut points = Vec::new();
     let mut prev_k = 0.0;
     let mut prev_v = big_f(0.0);
 
@@ -168,7 +235,13 @@ pub fn solve_with(
         prev_k = k;
         prev_v = v;
     }
+    points
+}
 
+/// Shared tail of [`solve_with`] and [`crate::fastpath::solve_fast`]:
+/// de-duplicate roots, assemble the [`Equilibria`] and emit the solve
+/// counter and result event.
+pub(crate) fn finish(mut points: Vec<Intersection>, n: f64, step: f64) -> Equilibria {
     // De-duplicate roots that collapsed to the same k, and collapse
     // zero-runs (a continuum of plateau-on-plateau contact, e.g. the exact
     // machine balance Z = M/R) to their first contact point.
@@ -225,7 +298,7 @@ pub fn closest_approach(
             best = Some((k, g));
         }
     }
-    let (mut k, _) = best?;
+    let (mut k, mut best_gap) = best?;
     // Local refinement: shrink a one-step-wide window around the best
     // sample (the gap need not be smooth, so plain interval thirds are
     // safer than derivative-based steps).
@@ -249,11 +322,13 @@ pub fn closest_approach(
         }
     }
     let mid = 0.5 * (lo + hi);
-    if gap(mid).is_finite() && gap(mid) <= gap(k) {
+    let mid_gap = gap(mid);
+    if mid_gap.is_finite() && mid_gap <= best_gap {
         k = mid;
+        best_gap = mid_gap;
     }
     let point = make_point(f, g_hat, n, z, k);
-    Some((point, gap(k)))
+    Some((point, best_gap))
 }
 
 /// [`solve_with`] at the default resolution.
@@ -266,7 +341,7 @@ pub fn solve(
     solve_with(f, g_hat, n, z, DEFAULT_SAMPLES)
 }
 
-fn make_point(
+pub(crate) fn make_point(
     f: &dyn Fn(f64) -> f64,
     g_hat: &dyn Fn(f64) -> f64,
     n: f64,
@@ -277,8 +352,10 @@ fn make_point(
     let ms = f(k);
     // Central-difference slopes for the stability test.
     let h = (n * 1e-7).max(1e-9);
-    let df = (f(k + h) - f((k - h).max(0.0))) / (k + h - (k - h).max(0.0));
-    let dg = (g_hat(x + h) - g_hat((x - h).max(0.0))) / (x + h - (x - h).max(0.0));
+    let k_lo = (k - h).max(0.0);
+    let x_lo = (x - h).max(0.0);
+    let df = (f(k + h) - f(k_lo)) / (k + h - k_lo);
+    let dg = (g_hat(x + h) - g_hat(x_lo)) / (x + h - x_lo);
     let stability = classify(df, dg);
     xmodel_obs::event!(
         "solver.classify",
@@ -296,7 +373,7 @@ fn make_point(
     }
 }
 
-fn bisect(big_f: &dyn Fn(f64) -> f64, mut lo: f64, mut hi: f64, f_lo: f64) -> f64 {
+pub(crate) fn bisect(big_f: &dyn Fn(f64) -> f64, mut lo: f64, mut hi: f64, f_lo: f64) -> f64 {
     let lo_neg = f_lo < 0.0;
     for _ in 0..BISECT_ITERS {
         let mid = 0.5 * (lo + hi);

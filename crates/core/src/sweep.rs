@@ -1,0 +1,167 @@
+//! Deterministic parallel grid engine.
+//!
+//! [`run`] fans an item slice out over vendored-`crossbeam` scoped
+//! worker threads and collects the per-item results back **in index
+//! order**, so the output is a pure function of the inputs — identical
+//! for any job count, byte for byte (CI verifies this on the
+//! `xmodel sweep` JSON output). Work is claimed chunk-by-chunk from an
+//! atomic cursor — idle workers steal the next chunk — so uneven
+//! per-item cost load-balances without scheduling-dependent output.
+//!
+//! The job count comes from (in order) an explicit argument, the
+//! `XMODEL_JOBS` environment variable, or the number of available
+//! cores; see [`default_jobs`]. Each run emits a `sweep.run` span, one
+//! `sweep.chunk` span per claimed chunk and `sweep.items`/`sweep.chunks`
+//! counters, so sweep concurrency is visible in `xmodel profile`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Environment variable overriding the default job count.
+pub const JOBS_ENV: &str = "XMODEL_JOBS";
+
+/// Chunks handed out per worker (on average): small enough to
+/// load-balance uneven items, large enough to amortize claim overhead.
+const CHUNKS_PER_JOB: usize = 4;
+
+/// Job count from the `XMODEL_JOBS` environment variable, when set to a
+/// positive integer (anything else is ignored).
+pub fn env_jobs() -> Option<usize> {
+    std::env::var(JOBS_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&jobs| jobs >= 1)
+}
+
+/// Default job count: `XMODEL_JOBS` when set, otherwise the number of
+/// available cores (at least 1).
+pub fn default_jobs() -> usize {
+    env_jobs().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|cores| cores.get())
+            .unwrap_or(1)
+    })
+}
+
+/// [`run`] with [`default_jobs`] workers.
+pub fn map<I, R, F>(items: &[I], op: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    run(default_jobs(), items, op)
+}
+
+/// Evaluate `op(index, &item)` for every item using `jobs` worker
+/// threads, returning the results in input order.
+///
+/// Every item is computed exactly once by the same pure call, and the
+/// results are reassembled by chunk index — the job count affects
+/// wall-clock time only, never the output.
+pub fn run<I, R, F>(jobs: usize, items: &[I], op: F) -> Vec<R>
+where
+    I: Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    let _span = xmodel_obs::span!(xmodel_obs::names::span::SWEEP_RUN);
+    xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SWEEP_ITEMS, items.len() as u64);
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        let _chunk = xmodel_obs::span!(xmodel_obs::names::span::SWEEP_CHUNK);
+        xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SWEEP_CHUNKS, 1);
+        return items.iter().enumerate().map(|(i, it)| op(i, it)).collect();
+    }
+    let chunk = items.len().div_ceil(jobs * CHUNKS_PER_JOB).max(1);
+    let cursor = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    let joined = crossbeam::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|_| loop {
+                let start = cursor.fetch_add(1, Ordering::Relaxed).saturating_mul(chunk);
+                if start >= items.len() {
+                    break;
+                }
+                let _chunk_span = xmodel_obs::span!(xmodel_obs::names::span::SWEEP_CHUNK);
+                let end = (start + chunk).min(items.len());
+                let out: Vec<R> = items[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(off, it)| op(start + off, it))
+                    .collect();
+                xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SWEEP_CHUNKS, 1);
+                done.lock().push((start, out));
+            });
+        }
+    });
+    match joined {
+        Ok(()) => {
+            let mut chunks = done.into_inner();
+            chunks.sort_unstable_by_key(|&(start, _)| start);
+            chunks
+                .into_iter()
+                .flat_map(|(_, results)| results)
+                .collect()
+        }
+        // The compat scope cannot reach here (worker panics propagate
+        // through the enclosing `std::thread::scope`), but degrade to a
+        // serial pass rather than panicking.
+        Err(_) => items.iter().enumerate().map(|(i, it)| op(i, it)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order_for_any_job_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|&v| v * v).collect();
+        for jobs in [1, 2, 3, 8, 64] {
+            let parallel = run(jobs, &items, |_, &v| v * v);
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = run(3, &items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(got, ["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run(8, &empty, |_, &v| v).is_empty());
+        assert_eq!(run(8, &[7u32], |_, &v| v + 1), [8]);
+    }
+
+    #[test]
+    fn zero_jobs_is_clamped_to_one() {
+        let items = [1u32, 2, 3];
+        assert_eq!(run(0, &items, |_, &v| v), [1, 2, 3]);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn uneven_items_still_ordered() {
+        // Make late items cheap and early items slow, so chunks finish
+        // out of claim order.
+        let items: Vec<u32> = (0..64).collect();
+        let got = run(4, &items, |_, &v| {
+            if v < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            v
+        });
+        assert_eq!(got, items);
+    }
+}

@@ -17,6 +17,7 @@
 //! L1-disable reference configuration of Fig. 18.
 
 use crate::model::XModel;
+use crate::sweep;
 use crate::tuning::TuningEffect;
 use serde::{Deserialize, Serialize};
 
@@ -195,12 +196,26 @@ impl WhatIf {
         }
     }
 
-    /// Rank a candidate list by achieved MS-throughput speedup, best first.
+    /// Rank a candidate list by achieved MS-throughput speedup, best
+    /// first. Candidates are evaluated in parallel through
+    /// [`crate::sweep`] ([`sweep::default_jobs`] workers); the ranking is
+    /// identical for any job count.
     pub fn rank(&self, candidates: &[Optimization]) -> Vec<(Optimization, TuningEffect)> {
-        let mut out: Vec<(Optimization, TuningEffect)> = candidates
-            .iter()
-            .filter_map(|&opt| self.evaluate(opt).map(|e| (opt, e)))
-            .collect();
+        self.rank_jobs(candidates, sweep::default_jobs())
+    }
+
+    /// [`WhatIf::rank`] with an explicit parallelism level.
+    pub fn rank_jobs(
+        &self,
+        candidates: &[Optimization],
+        jobs: usize,
+    ) -> Vec<(Optimization, TuningEffect)> {
+        let mut out: Vec<(Optimization, TuningEffect)> = sweep::run(jobs, candidates, |_, &opt| {
+            self.evaluate(opt).map(|e| (opt, e))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         out.sort_by(|a, b| b.1.ms_speedup().total_cmp(&a.1.ms_speedup()));
         out
     }

@@ -13,6 +13,13 @@
 pub mod span {
     /// The dense scan + bisection pass of the flow-balance solver.
     pub const SOLVER_SOLVE: &str = "solver.solve";
+    /// The tabulated fast path of the flow-balance solver
+    /// (coarse-scan-then-refine over a `CurveTable`).
+    pub const SOLVER_SOLVE_FAST: &str = "solver.solve_fast";
+    /// One full parallel grid sweep (`core::sweep::run`).
+    pub const SWEEP_RUN: &str = "sweep.run";
+    /// One work-stealing chunk of a parallel grid sweep.
+    pub const SWEEP_CHUNK: &str = "sweep.chunk";
     /// One cycle-level simulator run (interval machine).
     pub const SIM_RUN: &str = "sim.run";
     /// One IR-driven simulator run.
@@ -38,6 +45,14 @@ pub mod metric {
     pub const SOLVER_DEGRADED: &str = "solver.degraded";
     /// Calibration measurements rejected as outliers or retried.
     pub const PROFILE_CALIBRATE_RETRIES: &str = "profile.calibrate.retries";
+    /// Exact `f`/`ĝ` curve evaluations performed by the solver, summed
+    /// per solve (both the dense reference and the fast path emit it, so
+    /// the fast path's saving is visible in `xmodel profile`).
+    pub const SOLVER_CURVE_EVALS: &str = "solver.curve_evals";
+    /// Grid points dispatched through `core::sweep::run`.
+    pub const SWEEP_ITEMS: &str = "sweep.items";
+    /// Work-stealing chunks executed by `core::sweep::run`.
+    pub const SWEEP_CHUNKS: &str = "sweep.chunks";
 }
 
 #[cfg(test)]
@@ -48,6 +63,9 @@ mod tests {
     fn names_are_well_formed_and_unique() {
         let all = [
             super::span::SOLVER_SOLVE,
+            super::span::SOLVER_SOLVE_FAST,
+            super::span::SWEEP_RUN,
+            super::span::SWEEP_CHUNK,
             super::span::SIM_RUN,
             super::span::SIM_RUN_IR,
             super::span::SIM_WARMUP,
@@ -55,6 +73,9 @@ mod tests {
             super::span::PROFILE_ASSEMBLE,
             super::span::PROFILE_CALIBRATE,
             super::metric::SOLVER_SOLVES,
+            super::metric::SOLVER_CURVE_EVALS,
+            super::metric::SWEEP_ITEMS,
+            super::metric::SWEEP_CHUNKS,
             super::metric::PROFILE_CALIBRATE_SKIPPED,
             super::metric::SOLVER_DEGRADED,
             super::metric::PROFILE_CALIBRATE_RETRIES,
