@@ -89,10 +89,43 @@ fn bench_sim_tracing_off(c: &mut Criterion) {
     g.finish();
 }
 
+/// The instrumented parallel sweep engine, tracing off vs on. The new
+/// per-worker tallies and fastpath counters are gated on the sink, so
+/// the tracing-off number must track the pre-instrumentation engine.
+fn bench_sweep_tracing_gated(c: &mut Criterion) {
+    assert!(!xmodel_obs::enabled());
+    let gpu = GpuSpec::kepler_k40();
+    let model = XModel::with_cache(
+        gpu.machine_params(Precision::Single),
+        WorkloadParams::new(20.0, 1.2, 64.0),
+        CacheParams::try_new(16.0 * 1024.0, 30.0, 3.0, 2048.0).expect("valid cache params"),
+    );
+    let table = CurveTable::build(&model, 256.0);
+    let ns: Vec<f64> = (1..=256).map(|i| i as f64).collect();
+    let sweep = |jobs: usize| {
+        xmodel::core::sweep::run(jobs, &ns, |_, &n| {
+            let mut m = model;
+            m.workload.n = n;
+            xmodel::core::fastpath::solve_fast(&m, &table, xmodel::core::solver::DEFAULT_SAMPLES)
+                .operating_point()
+        })
+    };
+
+    let mut g = c.benchmark_group("obs/sweep");
+    g.throughput(Throughput::Elements(ns.len() as u64));
+    g.bench_function("tracing-off", |b| b.iter(|| black_box(sweep(4))));
+    let sink = xmodel_obs::MemSink::new();
+    xmodel_obs::install(Box::new(sink));
+    g.bench_function("tracing-on", |b| b.iter(|| black_box(sweep(4))));
+    xmodel_obs::finish(None);
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_disabled_primitives,
     bench_enabled_primitives,
-    bench_sim_tracing_off
+    bench_sim_tracing_off,
+    bench_sweep_tracing_gated
 );
 criterion_main!(benches);

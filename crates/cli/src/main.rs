@@ -35,7 +35,10 @@ use xmodel_obs::manifest::RunManifest;
 ///
 /// * `0` — success; a *degraded* result is still exit 0 but prints a
 ///   `warning:` line on stderr with the provenance.
-/// * `1` — a well-formed invocation hit a typed model/simulation error.
+/// * `1` — a well-formed invocation hit a typed model/simulation error,
+///   or an analysis command found what it was asked to look for
+///   (`trace-diff`: significant differences — mirroring `bench-report
+///   --compare`'s regression exit).
 /// * `2` — usage error: unknown command/flag/value (usage text follows).
 #[derive(Debug)]
 enum CliError {
@@ -43,6 +46,9 @@ enum CliError {
     Usage(String),
     /// Typed model or simulation error; exits 1.
     Model(String),
+    /// An analysis found reportable differences; exits 1 with the
+    /// message on stderr but no `error:` prefix and no usage text.
+    Findings(String),
 }
 
 impl From<String> for CliError {
@@ -112,6 +118,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(parse_flags(rest)),
         "trace-report" => cmd_trace_report(rest),
         "profile" => cmd_profile(rest),
+        "trace-diff" => cmd_trace_diff(rest),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -126,6 +133,10 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Model(e)) => {
             eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+        Err(CliError::Findings(msg)) => {
+            eprintln!("{msg}");
             ExitCode::from(1)
         }
         Err(CliError::Usage(e)) => {
@@ -245,6 +256,8 @@ fn usage() {
                  [--jobs J] [--out FILE]\n\
            trace-report FILE [--timeline] [--svg FILE] [--profile]\n\
            profile FILE [--folded FILE] [--top N]\n\
+           trace-diff BASE NEW [--json] [--folded FILE] [--top N]\n\
+                 [--min-us US] [--rel FRAC]   (exit 1 when differences found)\n\
          \n\
          global flags:\n\
            --trace FILE          stream JSONL trace events to FILE\n\
@@ -262,7 +275,7 @@ fn usage() {
          \n\
          exit codes:\n\
            0  success (degraded results add a `warning:` line on stderr)\n\
-           1  typed model/simulation error\n\
+           1  typed model/simulation error, or trace-diff differences found\n\
            2  usage error\n"
     );
 }
@@ -320,6 +333,75 @@ fn cmd_profile(args: &[String]) -> Result<(), CliError> {
     if let Some(folded) = flags.get("folded") {
         std::fs::write(folded, profile.to_folded()).map_err(|e| format!("{folded}: {e}"))?;
         println!("wrote {folded}");
+    }
+    Ok(())
+}
+
+/// `xmodel trace-diff BASE NEW` — regression attribution between two
+/// trace runs. Renders the aligned per-span delta table (or `--json`
+/// one JSON line, or `--folded FILE` a signed differential folded
+/// stack) and exits 1 when any delta clears the significance
+/// thresholds, so scripts can gate on "did anything move?".
+fn cmd_trace_diff(args: &[String]) -> Result<(), CliError> {
+    let (base_file, new_file) = match args {
+        [base, new, ..] if !base.starts_with("--") && !new.starts_with("--") => (base, new),
+        _ => {
+            return Err(CliError::Usage(
+                "trace-diff: base and new trace files required".to_string(),
+            ))
+        }
+    };
+    let flags = parse_flags(&args[2..]);
+    let top = match flags.get("top") {
+        Some(v) => v.parse::<usize>().map_err(|e| format!("--top: {e}"))?,
+        None => 20,
+    };
+    let min_us = get_f64(&flags, "min-us")?.unwrap_or(xmodel_obs::diff::DEFAULT_MIN_US);
+    let rel = get_f64(&flags, "rel")?.unwrap_or(xmodel_obs::diff::DEFAULT_REL);
+    if min_us < 0.0 || rel < 0.0 {
+        return Err(CliError::Usage(
+            "--min-us and --rel must be non-negative".to_string(),
+        ));
+    }
+
+    let read = |file: &str| {
+        xmodel_obs::profile::SpanProfile::from_path(std::path::Path::new(file))
+            .map_err(|e| CliError::Model(format!("{file}: {e}")))
+    };
+    let diff = xmodel_obs::diff::TraceDiff::between(&read(base_file)?, &read(new_file)?);
+
+    if flags.contains_key("json") {
+        println!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render(top, min_us, rel));
+        let bars: Vec<(String, f64)> = diff
+            .deltas
+            .iter()
+            .map(|d| (d.name.clone(), d.self_delta_us))
+            .collect();
+        if bars.iter().any(|(_, v)| *v != 0.0) {
+            println!("\nself-time deltas (− faster | slower +):");
+            print!("{}", xmodel::viz::flame::delta_bars(&bars, 24, top));
+        }
+    }
+    if let Some(folded) = flags.get("folded") {
+        std::fs::write(folded, diff.to_folded()).map_err(|e| format!("{folded}: {e}"))?;
+        // Keep stdout pure JSON under --json so the output stays
+        // machine-parseable; the notice is advisory either way.
+        if flags.contains_key("json") {
+            eprintln!("wrote {folded}");
+        } else {
+            println!("wrote {folded}");
+        }
+    }
+
+    let significant = diff.significant(min_us, rel).len();
+    if significant > 0 {
+        return Err(CliError::Findings(format!(
+            "trace-diff: {significant} significant difference(s) \
+             (thresholds: {min_us} µs and {:.0}% of base self time)",
+            rel * 100.0
+        )));
     }
     Ok(())
 }

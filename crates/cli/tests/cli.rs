@@ -399,3 +399,201 @@ fn sweep_writes_out_file() {
     assert!(text.contains("\"xmodel-sweep/1\""));
     std::fs::remove_file(&path).ok();
 }
+
+fn span_line(name: &str, parent: Option<&str>, dur_us: u64) -> String {
+    match parent {
+        Some(p) => format!(
+            r#"{{"kind":"span","t_us":1,"name":"{name}","dur_us":{dur_us},"parent":"{p}"}}"#
+        ),
+        None => format!(r#"{{"kind":"span","t_us":1,"name":"{name}","dur_us":{dur_us}}}"#),
+    }
+}
+
+fn write_trace(name: &str, spans: &[(&str, Option<&str>, u64)]) -> std::path::PathBuf {
+    let path = temp_path(name);
+    let body: String = spans
+        .iter()
+        .map(|(n, p, d)| span_line(n, *p, *d) + "\n")
+        .collect();
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn trace_diff_of_identical_traces_reports_no_differences() {
+    let trace = temp_path("td-self.jsonl");
+    let (ok, _, _) = run(&[
+        "validate",
+        "--gpu",
+        "kepler",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    let (ok, out, err) = run(&[
+        "trace-diff",
+        trace.to_str().unwrap(),
+        trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "self-diff must exit 0: {err}");
+    assert!(out.contains("Δself ms"), "{out}");
+    assert!(
+        !out.contains('!'),
+        "no significant rows in a self-diff:\n{out}"
+    );
+    assert!(err.is_empty(), "{err}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn trace_diff_ranks_injected_slow_span_first_and_exits_one() {
+    let base = write_trace(
+        "td-base.jsonl",
+        &[
+            ("root", None, 30_000),
+            ("mid", Some("root"), 10_000),
+            ("leaf", Some("mid"), 4_000),
+        ],
+    );
+    let new = write_trace(
+        "td-new.jsonl",
+        &[
+            ("root", None, 50_000),
+            ("mid", Some("root"), 30_000),
+            ("leaf", Some("mid"), 4_000),
+        ],
+    );
+    let folded = temp_path("td.folded");
+    let (ok, out, err) = run(&[
+        "trace-diff",
+        base.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--folded",
+        folded.to_str().unwrap(),
+    ]);
+    assert!(!ok, "differences must exit non-zero");
+    assert!(err.contains("significant difference(s)"), "{err}");
+    assert!(
+        !err.contains("error:"),
+        "findings are not a typed error: {err}"
+    );
+    // `mid` gained 20 ms of self time (root only gained 20 ms total,
+    // which is all inherited) — it must be the top culprit row.
+    let first_row = out
+        .lines()
+        .find(|l| l.starts_with('!') || l.starts_with('·'))
+        .expect("a data row");
+    assert!(first_row.contains("mid"), "top culprit:\n{out}");
+    assert!(
+        first_row.starts_with('!'),
+        "top culprit is significant:\n{out}"
+    );
+    assert!(out.contains("self-time deltas"), "{out}");
+
+    let text = std::fs::read_to_string(&folded).unwrap();
+    assert!(text.contains("root;mid +20000"), "folded deltas:\n{text}");
+    for path in [&base, &new, &folded] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn trace_diff_json_carries_schema_and_statuses() {
+    let base = write_trace(
+        "td-json-a.jsonl",
+        &[("root", None, 10_000), ("old", Some("root"), 5_000)],
+    );
+    let new = write_trace(
+        "td-json-b.jsonl",
+        &[("root", None, 10_000), ("fresh", Some("root"), 5_000)],
+    );
+    let (ok, out, _) = run(&[
+        "trace-diff",
+        base.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(!ok, "new/vanished spans are differences");
+    assert!(out.contains("\"schema\":\"xmodel-trace-diff/1\""), "{out}");
+    assert!(out.contains("\"vanished\""), "{out}");
+    assert!(out.contains("\"new\""), "{out}");
+    for path in [&base, &new] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn trace_diff_thresholds_silence_small_shifts() {
+    let base = write_trace("td-th-a.jsonl", &[("root", None, 100_000)]);
+    let new = write_trace("td-th-b.jsonl", &[("root", None, 101_000)]);
+    // +1 ms on 100 ms is above the absolute floor but below 5% relative;
+    // raising --min-us above it silences it too.
+    let (ok, _, err) = run(&["trace-diff", base.to_str().unwrap(), new.to_str().unwrap()]);
+    assert!(ok, "1% shift is noise under default thresholds: {err}");
+    let (ok, _, err) = run(&[
+        "trace-diff",
+        base.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--rel",
+        "0.005",
+    ]);
+    assert!(!ok, "lowering --rel must surface the shift");
+    assert!(err.contains("1 significant"), "{err}");
+    for path in [&base, &new] {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[test]
+fn trace_diff_usage_and_io_errors() {
+    let (ok, _, err) = run(&["trace-diff"]);
+    assert!(!ok);
+    assert!(err.contains("usage"), "{err}");
+    let (ok, _, err) = run(&["trace-diff", "a.jsonl", "b.jsonl", "--rel", "-1"]);
+    assert!(!ok);
+    assert!(err.contains("--rel"), "{err}");
+    let missing = temp_path("td-missing.jsonl");
+    let (ok, _, err) = run(&[
+        "trace-diff",
+        missing.to_str().unwrap(),
+        missing.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(
+        err.contains("error:"),
+        "unreadable trace is a typed error: {err}"
+    );
+}
+
+#[test]
+fn sweep_output_is_byte_identical_with_tracing_enabled() {
+    // The sweep worker tallies must stay a side channel: enabling the
+    // trace sink (which turns on every gated counter/gauge) must not
+    // perturb the result bytes, at any worker count.
+    let t1 = temp_path("sweep-traced-1.jsonl");
+    let t4 = temp_path("sweep-traced-4.jsonl");
+    let base = [
+        "sweep", "--gpu", "fermi", "--z", "16", "--l1", "16", "--n-max", "48", "--points", "64",
+    ];
+    let traced = |jobs: &str, trace: &std::path::Path| {
+        let (ok, out, err) = run(&[
+            &base[..],
+            &["--jobs", jobs, "--trace", trace.to_str().unwrap()],
+        ]
+        .concat());
+        assert!(ok, "{err}");
+        out
+    };
+    let one = traced("1", &t1);
+    assert_eq!(
+        one,
+        traced("4", &t4),
+        "tracing instrumentation must not change sweep bytes"
+    );
+    // And a traced run matches an untraced one.
+    let (ok, plain, err) = run(&[&base[..], &["--jobs", "4"]].concat());
+    assert!(ok, "{err}");
+    assert_eq!(one, plain, "trace sink must not change sweep bytes");
+    std::fs::remove_file(&t1).ok();
+    std::fs::remove_file(&t4).ok();
+}

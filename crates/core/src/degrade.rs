@@ -27,6 +27,9 @@
 //! value, counted on the `solver.degraded` metric (so it lands in run
 //! manifests) and emitted as a structured `solver.degraded` warning event
 //! under the [`DEGRADE_SCHEMA`] tag (so `xmodel trace-report` shows it).
+//! With tracing enabled the winning rung is additionally counted on
+//! `degrade.rung_*` and its time-in-rung recorded on the
+//! `degrade.*_us` histograms — disabled runs take no `Instant` calls.
 //! A result that would be non-finite is never returned — the ladder
 //! surfaces [`ModelError::NonFinite`] instead.
 
@@ -132,6 +135,25 @@ fn emit_degraded(rung: Degradation, residual: f64) {
     );
 }
 
+/// Count the winning rung and record time spent in it (µs). The timing
+/// handle is `None` when tracing is off, so disabled runs take no
+/// `Instant::now` calls.
+fn emit_rung(rung: Degradation, started: Option<std::time::Instant>) {
+    use xmodel_obs::metrics::{counter_add, histogram_observe, latency_edges_us};
+    use xmodel_obs::names::metric;
+    let (counter, hist) = match rung {
+        Degradation::Exact => (metric::DEGRADE_RUNG_EXACT, metric::DEGRADE_EXACT_US),
+        Degradation::GridScan => (metric::DEGRADE_RUNG_GRID_SCAN, metric::DEGRADE_GRID_SCAN_US),
+        Degradation::BaselineEstimate => {
+            (metric::DEGRADE_RUNG_BASELINE, metric::DEGRADE_BASELINE_US)
+        }
+    };
+    counter_add(counter, 1);
+    if let Some(t0) = started {
+        histogram_observe(hist, latency_edges_us(), t0.elapsed().as_secs_f64() * 1e6);
+    }
+}
+
 /// Walk the ladder for `model` at scan resolution `samples`. See the
 /// module docs for the rungs; `force` skips rungs for fault injection.
 pub fn resolve(
@@ -139,11 +161,15 @@ pub fn resolve(
     samples: usize,
     force: DegradeForce,
 ) -> Result<ResolvedOperatingPoint> {
+    let instrument = xmodel_obs::enabled();
+
     // Rung 1: exact solve.
     if force == DegradeForce::None {
+        let rung_start = instrument.then(std::time::Instant::now);
         let eq = model.solve_with(samples);
         if let Some(point) = eq.operating_point() {
             if finite_point(&point) {
+                emit_rung(Degradation::Exact, rung_start);
                 return Ok(ResolvedOperatingPoint {
                     point,
                     degradation: Degradation::Exact,
@@ -155,6 +181,7 @@ pub fn resolve(
 
     // Rung 2: denser grid + closest approach.
     if force != DegradeForce::SkipGrid {
+        let rung_start = instrument.then(std::time::Instant::now);
         let f = |k: crate::units::Threads| crate::units::ReqPerCycle(model.fk(k.get()));
         let g = |x: crate::units::Threads| crate::units::ReqPerCycle(model.g_hat(x.get()));
         let n = model.workload.threads();
@@ -168,6 +195,7 @@ pub fn resolve(
                 .max(f64::MIN_POSITIVE);
             if finite_point(&point) && gap <= GRID_SCAN_REL_TOL * scale {
                 emit_degraded(Degradation::GridScan, gap);
+                emit_rung(Degradation::GridScan, rung_start);
                 return Ok(ResolvedOperatingPoint {
                     point,
                     degradation: Degradation::GridScan,
@@ -178,8 +206,10 @@ pub fn resolve(
     }
 
     // Rung 3: roofline/Little's-law baseline from the raw parameters.
+    let rung_start = instrument.then(std::time::Instant::now);
     let point = baseline_estimate(model)?;
     emit_degraded(Degradation::BaselineEstimate, 0.0);
+    emit_rung(Degradation::BaselineEstimate, rung_start);
     Ok(ResolvedOperatingPoint {
         point,
         degradation: Degradation::BaselineEstimate,

@@ -169,6 +169,12 @@ impl CurveTable {
             unsound_prefix.push(running);
         }
         let segments = build_segments(&values, &margins);
+        if xmodel_obs::enabled() {
+            use xmodel_obs::metrics::counter_add;
+            use xmodel_obs::names::metric;
+            counter_add(metric::FASTPATH_TABLE_BUILDS, 1);
+            counter_add(metric::FASTPATH_TABLE_EVALS, evals);
+        }
         Self {
             key,
             k_max,
@@ -338,6 +344,12 @@ pub struct SolveStats {
     pub interp_evals: u64,
     /// Coarse blocks skipped wholesale by range screening.
     pub blocks_skipped: u64,
+    /// Coarse blocks that survived screening and were refined
+    /// sample-by-sample.
+    pub blocks_refined: u64,
+    /// Coarse blocks whose screening was disabled by an unsound
+    /// (non-finite-margin) table interval.
+    pub unsound_disables: u64,
 }
 
 impl SolveStats {
@@ -457,7 +469,11 @@ pub fn solve_fast_curves(
         let j = (i + COARSE_BLOCK - 1).min(samples);
         let a = step * (i - 1) as f64;
         let b = step * j as f64;
-        let block_class = table.range(a, b).and_then(|(f_lo, f_hi)| {
+        let range = table.range(a, b);
+        if range.is_none() {
+            stats.unsound_disables += 1;
+        }
+        let block_class = range.and_then(|(f_lo, f_hi)| {
             // ĝ(n−k) is non-increasing in k (g is non-decreasing in x),
             // so its range over the block is bracketed by the endpoints.
             let g_hi = g_hat(n - a);
@@ -489,6 +505,7 @@ pub fn solve_fast_curves(
             continue;
         }
         // Refine: screen each dense sample in this block individually.
+        stats.blocks_refined += 1;
         while i <= j {
             let k = step * i as f64;
             let gk = g_hat(n - k);
@@ -524,7 +541,16 @@ pub fn solve_fast_curves(
     stats.f_evals = f_evals.get();
     stats.g_evals = g_evals.get();
     let eq = solver::finish(points, n, step);
-    xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SOLVER_CURVE_EVALS, stats.total());
+    if xmodel_obs::enabled() {
+        use xmodel_obs::metrics::counter_add;
+        use xmodel_obs::names::metric;
+        counter_add(metric::SOLVER_CURVE_EVALS, stats.total());
+        counter_add(metric::FASTPATH_BLOCKS_SCREENED, stats.blocks_skipped);
+        counter_add(metric::FASTPATH_BLOCKS_REFINED, stats.blocks_refined);
+        counter_add(metric::FASTPATH_INTERP_EVALS, stats.interp_evals);
+        counter_add(metric::FASTPATH_EXACT_EVALS, stats.f_evals);
+        counter_add(metric::FASTPATH_UNSOUND_DISABLES, stats.unsound_disables);
+    }
     (eq, stats)
 }
 
@@ -553,8 +579,7 @@ pub fn reference_stats(model: &XModel, samples: usize) -> (Equilibria, SolveStat
         SolveStats {
             f_evals: f_evals.get(),
             g_evals: g_evals.get(),
-            interp_evals: 0,
-            blocks_skipped: 0,
+            ..SolveStats::default()
         },
     )
 }
@@ -603,10 +628,23 @@ impl SolveCache {
                 SolveStats::default(),
             );
         }
+        let had_table = self.table.is_some();
         let stale = match &self.table {
             Some(t) => t.key != Some(CurveKey::of(model)) || t.k_max < n,
             None => true,
         };
+        if xmodel_obs::enabled() {
+            use xmodel_obs::metrics::counter_add;
+            use xmodel_obs::names::metric;
+            counter_add(
+                match (stale, had_table) {
+                    (false, _) => metric::FASTPATH_CACHE_HITS,
+                    (true, false) => metric::FASTPATH_CACHE_MISSES,
+                    (true, true) => metric::FASTPATH_CACHE_STALE,
+                },
+                1,
+            );
+        }
         if stale {
             // Grow the domain in powers of two so an ascending n-sweep
             // rebuilds the table O(log n) times, not once per step.

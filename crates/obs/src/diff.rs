@@ -1,0 +1,551 @@
+//! Trace-diff engine for regression attribution: align two trace runs'
+//! span call trees and report, per span, how self/total wall time and
+//! latency percentiles moved — so "the benchmark regressed 8%" becomes
+//! "`solver.solve_fast` gained 7.9 ms of self time".
+//!
+//! Alignment is by registered span name *plus* tree path (the
+//! `root;mid;leaf` chain used by folded stacks): two nodes only pair up
+//! when the same name sits in the same place of the call tree, so a
+//! re-parented span shows up as one vanished and one new entry rather
+//! than a bogus delta. Paths inherit [`crate::profile::SpanProfile`]'s
+//! semantics — first-observed parent, orphan parents treated as roots,
+//! parent-edge cycles cut at the repeated name.
+//!
+//! The result serializes under schema [`SCHEMA`] and renders three ways:
+//! a human table ([`TraceDiff::render`]), compact JSON
+//! ([`TraceDiff::to_json`]), and a *differential* folded-stack form
+//! ([`TraceDiff::to_folded`]) whose sample counts are signed self-time
+//! deltas in microseconds, for side-by-side flamegraph tooling.
+
+use crate::json;
+use crate::profile::SpanProfile;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Schema tag of the serialized diff. Bump the suffix when fields
+/// change; `schema-version-once` (xlint) keeps this the single
+/// definition.
+pub const SCHEMA: &str = "xmodel-trace-diff/1";
+
+/// Default absolute self-time floor below which a delta is noise, µs.
+pub const DEFAULT_MIN_US: f64 = 100.0;
+
+/// Default relative change (vs the base's self time) below which a
+/// delta is noise.
+pub const DEFAULT_REL: f64 = 0.05;
+
+/// How a span aligned across the two traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanStatus {
+    /// Present at the same tree path in both traces.
+    Common,
+    /// Only in the new trace (or moved to a new tree path).
+    New,
+    /// Only in the base trace (or moved away from this tree path).
+    Vanished,
+}
+
+impl SpanStatus {
+    /// Stable lowercase form used in tables and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanStatus::Common => "common",
+            SpanStatus::New => "new",
+            SpanStatus::Vanished => "vanished",
+        }
+    }
+}
+
+impl Serialize for SpanStatus {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+/// Base → new shift of one latency quantile, microseconds.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct QuantileShift {
+    /// Quantile estimate in the base trace.
+    pub base_us: f64,
+    /// Quantile estimate in the new trace.
+    pub new_us: f64,
+    /// `new_us − base_us`.
+    pub delta_us: f64,
+}
+
+impl QuantileShift {
+    fn between(base: f64, new: f64) -> QuantileShift {
+        QuantileShift {
+            base_us: base,
+            new_us: new,
+            delta_us: new - base,
+        }
+    }
+}
+
+/// One aligned span's movement between the two traces.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpanDelta {
+    /// Span name (last element of `path`).
+    pub name: String,
+    /// Semicolon-joined tree path, `root;mid;leaf`.
+    pub path: String,
+    /// Alignment status.
+    pub status: SpanStatus,
+    /// Completed spans in the base trace.
+    pub base_count: u64,
+    /// Completed spans in the new trace.
+    pub new_count: u64,
+    /// Self time in the base trace, µs.
+    pub base_self_us: f64,
+    /// Self time in the new trace, µs.
+    pub new_self_us: f64,
+    /// `new_self_us − base_self_us`.
+    pub self_delta_us: f64,
+    /// Total (inclusive) time in the base trace, µs.
+    pub base_total_us: f64,
+    /// Total (inclusive) time in the new trace, µs.
+    pub new_total_us: f64,
+    /// `new_total_us − base_total_us`.
+    pub total_delta_us: f64,
+    /// Median single-span latency shift.
+    pub p50: QuantileShift,
+    /// 95th-percentile single-span latency shift.
+    pub p95: QuantileShift,
+    /// 99th-percentile single-span latency shift.
+    pub p99: QuantileShift,
+}
+
+impl SpanDelta {
+    /// Is this delta worth reporting? True for new/vanished spans and
+    /// for self-time moves exceeding both the absolute floor `min_us`
+    /// and the relative threshold `rel` (vs the base's self time; a
+    /// base of zero falls back to the absolute floor alone).
+    pub fn significant(&self, min_us: f64, rel: f64) -> bool {
+        if self.status != SpanStatus::Common {
+            return true;
+        }
+        let magnitude = self.self_delta_us.abs();
+        magnitude > min_us && magnitude > rel * self.base_self_us.abs()
+    }
+
+    /// Significant *and* slower (`self_delta_us > 0`): a culprit.
+    pub fn regression(&self, min_us: f64, rel: f64) -> bool {
+        self.significant(min_us, rel) && self.self_delta_us > 0.0
+    }
+}
+
+/// The aligned diff of two trace runs.
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceDiff {
+    /// Line discriminator for JSON output: always `"trace_diff"`.
+    pub kind: &'static str,
+    /// Schema tag ([`SCHEMA`]).
+    pub schema: &'static str,
+    /// Per-span deltas, sorted by `self_delta_us` descending (worst
+    /// regressions first; ties broken by path for determinism).
+    pub deltas: Vec<SpanDelta>,
+    /// Reader warnings from either profile, prefixed `base:` / `new:`.
+    pub warnings: Vec<String>,
+}
+
+/// Tree path of every node: semicolon-joined parent chain ending in the
+/// node's own name, with [`SpanProfile::roots`] semantics (orphan parent
+/// ⇒ root) and parent-edge cycles cut at the repeated name.
+fn tree_paths(profile: &SpanProfile) -> BTreeMap<String, String> {
+    let mut paths = BTreeMap::new();
+    for name in profile.nodes.keys() {
+        let mut chain = vec![name.clone()];
+        let mut cursor = name.as_str();
+        while let Some(parent) = profile
+            .nodes
+            .get(cursor)
+            .and_then(|node| node.parent.as_deref())
+        {
+            if !profile.nodes.contains_key(parent) || chain.iter().any(|seen| seen == parent) {
+                break;
+            }
+            chain.push(parent.to_string());
+            cursor = parent;
+        }
+        chain.reverse();
+        paths.insert(name.clone(), chain.join(";"));
+    }
+    paths
+}
+
+impl TraceDiff {
+    /// Align `base` and `new` and compute all per-span deltas.
+    pub fn between(base: &SpanProfile, new: &SpanProfile) -> TraceDiff {
+        let base_paths = tree_paths(base);
+        let new_paths = tree_paths(new);
+
+        let mut deltas = Vec::new();
+        for (name, base_node) in &base.nodes {
+            let base_path = base_paths
+                .get(name)
+                .cloned()
+                .unwrap_or_else(|| name.clone());
+            let aligned = new
+                .nodes
+                .get(name)
+                .filter(|_| new_paths.get(name) == Some(&base_path));
+            let quantile = |q: f64| {
+                QuantileShift::between(
+                    base_node.hist.quantile(q).unwrap_or(0.0),
+                    aligned.and_then(|n| n.hist.quantile(q)).unwrap_or(0.0),
+                )
+            };
+            let new_self = if aligned.is_some() {
+                new.self_us(name)
+            } else {
+                0.0
+            };
+            let base_self = base.self_us(name);
+            let new_total = aligned.map(|n| n.total_us).unwrap_or(0.0);
+            deltas.push(SpanDelta {
+                name: name.clone(),
+                path: base_path,
+                status: if aligned.is_some() {
+                    SpanStatus::Common
+                } else {
+                    SpanStatus::Vanished
+                },
+                base_count: base_node.count,
+                new_count: aligned.map(|n| n.count).unwrap_or(0),
+                base_self_us: base_self,
+                new_self_us: new_self,
+                self_delta_us: new_self - base_self,
+                base_total_us: base_node.total_us,
+                new_total_us: new_total,
+                total_delta_us: new_total - base_node.total_us,
+                p50: quantile(0.50),
+                p95: quantile(0.95),
+                p99: quantile(0.99),
+            });
+        }
+        for (name, new_node) in &new.nodes {
+            let new_path = new_paths.get(name).cloned().unwrap_or_else(|| name.clone());
+            let already_aligned =
+                base.nodes.contains_key(name) && base_paths.get(name) == Some(&new_path);
+            if already_aligned {
+                continue;
+            }
+            let new_self = new.self_us(name);
+            let quantile =
+                |q: f64| QuantileShift::between(0.0, new_node.hist.quantile(q).unwrap_or(0.0));
+            deltas.push(SpanDelta {
+                name: name.clone(),
+                path: new_path,
+                status: SpanStatus::New,
+                base_count: 0,
+                new_count: new_node.count,
+                base_self_us: 0.0,
+                new_self_us: new_self,
+                self_delta_us: new_self,
+                base_total_us: 0.0,
+                new_total_us: new_node.total_us,
+                total_delta_us: new_node.total_us,
+                p50: quantile(0.50),
+                p95: quantile(0.95),
+                p99: quantile(0.99),
+            });
+        }
+        deltas.sort_by(|a, b| {
+            b.self_delta_us
+                .total_cmp(&a.self_delta_us)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+
+        let mut warnings = Vec::new();
+        warnings.extend(base.warnings.iter().map(|w| format!("base: {w}")));
+        warnings.extend(new.warnings.iter().map(|w| format!("new: {w}")));
+        TraceDiff {
+            kind: "trace_diff",
+            schema: SCHEMA,
+            deltas,
+            warnings,
+        }
+    }
+
+    /// Deltas worth reporting at thresholds `(min_us, rel)` — see
+    /// [`SpanDelta::significant`] — in the stored (worst-first) order.
+    pub fn significant(&self, min_us: f64, rel: f64) -> Vec<&SpanDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.significant(min_us, rel))
+            .collect()
+    }
+
+    /// Significant slowdowns only, worst first — the attribution list.
+    pub fn culprits(&self, min_us: f64, rel: f64) -> Vec<&SpanDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.regression(min_us, rel))
+            .collect()
+    }
+
+    /// True when [`TraceDiff::significant`] is non-empty — drives the
+    /// CLI's "differences found" exit status.
+    pub fn has_differences(&self, min_us: f64, rel: f64) -> bool {
+        self.deltas.iter().any(|d| d.significant(min_us, rel))
+    }
+
+    /// Human table: one row per span (up to `top`), worst self-time
+    /// regression first, with counts, self/total deltas and the p50/p95
+    /// shifts. Insignificant rows are marked `·`, significant ones `!`.
+    pub fn render(&self, top: usize, min_us: f64, rel: f64) -> String {
+        let mut out = String::new();
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
+        }
+        if self.deltas.is_empty() {
+            out.push_str("trace-diff: no span events in either trace\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>13} {:>12} {:>12} {:>11} {:>11}\n",
+            "span (status)", "calls", "Δself ms", "Δtotal ms", "self b→n ms", "Δp50 µs", "Δp95 µs"
+        ));
+        let shown = self.deltas.len().min(top.max(1));
+        for delta in self.deltas.iter().take(shown) {
+            let marker = if delta.significant(min_us, rel) {
+                "!"
+            } else {
+                "·"
+            };
+            let label = match delta.status {
+                SpanStatus::Common => format!("{marker} {}", delta.name),
+                other => format!("{marker} {} ({})", delta.name, other.as_str()),
+            };
+            out.push_str(&format!(
+                "{:<34} {:>8} {:>+13.3} {:>+12.3} {:>12} {:>+11.1} {:>+11.1}\n",
+                label,
+                format!("{}→{}", delta.base_count, delta.new_count),
+                delta.self_delta_us / 1e3,
+                delta.total_delta_us / 1e3,
+                format!(
+                    "{:.1}→{:.1}",
+                    delta.base_self_us / 1e3,
+                    delta.new_self_us / 1e3
+                ),
+                delta.p50.delta_us,
+                delta.p95.delta_us,
+            ));
+        }
+        if self.deltas.len() > shown {
+            out.push_str(&format!("... {} more span(s)\n", self.deltas.len() - shown));
+        }
+        out
+    }
+
+    /// Serialize to one compact JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        json::to_string(self)
+    }
+
+    /// Differential folded-stack rendering: one `root;mid;leaf <±µs>`
+    /// line per span whose self time moved, the "sample count" being the
+    /// *signed* self-time delta rounded to whole microseconds. Lines
+    /// sort by path so the output is diff-stable.
+    pub fn to_folded(&self) -> String {
+        let mut rows: Vec<(&str, i64)> = self
+            .deltas
+            .iter()
+            .map(|d| (d.path.as_str(), d.self_delta_us.round() as i64))
+            .filter(|&(_, delta)| delta != 0)
+            .collect();
+        rows.sort_unstable();
+        let mut out = String::new();
+        for (path, delta) in rows {
+            out.push_str(&format!("{path} {delta:+}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_line(name: &str, parent: Option<&str>, dur_us: f64) -> String {
+        match parent {
+            Some(p) => format!(
+                r#"{{"kind":"span","t_us":1,"name":"{name}","dur_us":{dur_us},"parent":"{p}"}}"#
+            ),
+            None => format!(r#"{{"kind":"span","t_us":1,"name":"{name}","dur_us":{dur_us}}}"#),
+        }
+    }
+
+    fn profile(lines: &[String]) -> SpanProfile {
+        SpanProfile::from_lines(lines.iter().map(String::as_str))
+    }
+
+    fn base_lines() -> Vec<String> {
+        vec![
+            span_line("leaf", Some("mid"), 100.0),
+            span_line("leaf", Some("mid"), 300.0),
+            span_line("mid", Some("root"), 500.0),
+            span_line("root", None, 1000.0),
+        ]
+    }
+
+    #[test]
+    fn self_diff_is_all_zero_and_insignificant() {
+        let base = profile(&base_lines());
+        let diff = TraceDiff::between(&base, &base);
+        assert_eq!(diff.schema, SCHEMA);
+        assert_eq!(diff.deltas.len(), 3);
+        for delta in &diff.deltas {
+            assert_eq!(delta.status, SpanStatus::Common);
+            assert_eq!(delta.self_delta_us, 0.0);
+            assert_eq!(delta.total_delta_us, 0.0);
+            assert_eq!(delta.p95.delta_us, 0.0);
+        }
+        assert!(!diff.has_differences(DEFAULT_MIN_US, DEFAULT_REL));
+        assert!(diff.to_folded().is_empty());
+    }
+
+    #[test]
+    fn slowed_span_ranks_first_with_correct_delta() {
+        let base = profile(&base_lines());
+        // `mid` gains 10 ms of self time (its children are unchanged).
+        let slowed = vec![
+            span_line("leaf", Some("mid"), 100.0),
+            span_line("leaf", Some("mid"), 300.0),
+            span_line("mid", Some("root"), 10500.0),
+            span_line("root", None, 11000.0),
+        ];
+        let diff = TraceDiff::between(&base, &profile(&slowed));
+        let first = diff.deltas.first().map(|d| d.name.as_str());
+        assert_eq!(first, Some("mid"), "slowed span must rank #1");
+        let mid = &diff.deltas[0];
+        assert!((mid.self_delta_us - 10_000.0).abs() < 1e-6);
+        assert_eq!(mid.path, "root;mid");
+        assert!(mid.regression(DEFAULT_MIN_US, DEFAULT_REL));
+        // `root` total grew but its self time did not.
+        let root = diff
+            .deltas
+            .iter()
+            .find(|d| d.name == "root")
+            .expect("root aligned");
+        assert!((root.total_delta_us - 10_000.0).abs() < 1e-6);
+        assert!(root.self_delta_us.abs() < 1e-6);
+        let culprits = diff.culprits(DEFAULT_MIN_US, DEFAULT_REL);
+        assert_eq!(culprits.len(), 1);
+        let folded = diff.to_folded();
+        assert!(folded.contains("root;mid +10000"), "folded:\n{folded}");
+    }
+
+    #[test]
+    fn new_and_vanished_spans_are_flagged() {
+        let base = profile(&base_lines());
+        let changed = vec![
+            span_line("leaf", Some("mid"), 400.0),
+            span_line("mid", Some("root"), 500.0),
+            span_line("root", None, 1000.0),
+            span_line("extra", Some("root"), 50.0),
+        ];
+        let diff = TraceDiff::between(&base, &profile(&changed));
+        let extra = diff
+            .deltas
+            .iter()
+            .find(|d| d.name == "extra")
+            .expect("new span present");
+        assert_eq!(extra.status, SpanStatus::New);
+        assert_eq!(extra.base_count, 0);
+        assert!(extra.significant(DEFAULT_MIN_US, DEFAULT_REL));
+        assert!(diff.has_differences(DEFAULT_MIN_US, DEFAULT_REL));
+
+        let reverse = TraceDiff::between(&profile(&changed), &base);
+        let gone = reverse
+            .deltas
+            .iter()
+            .find(|d| d.name == "extra")
+            .expect("vanished span present");
+        assert_eq!(gone.status, SpanStatus::Vanished);
+        assert_eq!(gone.new_count, 0);
+        assert!((gone.self_delta_us + 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reparented_span_splits_into_vanished_plus_new() {
+        let base = profile(&base_lines());
+        let moved = vec![
+            span_line("leaf", Some("root"), 400.0), // was under mid
+            span_line("mid", Some("root"), 500.0),
+            span_line("root", None, 1000.0),
+        ];
+        let diff = TraceDiff::between(&base, &profile(&moved));
+        let statuses: Vec<(&str, SpanStatus, &str)> = diff
+            .deltas
+            .iter()
+            .filter(|d| d.name == "leaf")
+            .map(|d| (d.name.as_str(), d.status, d.path.as_str()))
+            .collect();
+        assert!(
+            statuses.contains(&("leaf", SpanStatus::Vanished, "root;mid;leaf")),
+            "{statuses:?}"
+        );
+        assert!(
+            statuses.contains(&("leaf", SpanStatus::New, "root;leaf")),
+            "{statuses:?}"
+        );
+    }
+
+    #[test]
+    fn thresholds_separate_noise_from_signal() {
+        let delta = SpanDelta {
+            name: "s".into(),
+            path: "s".into(),
+            status: SpanStatus::Common,
+            base_count: 1,
+            new_count: 1,
+            base_self_us: 10_000.0,
+            new_self_us: 10_300.0,
+            self_delta_us: 300.0,
+            base_total_us: 10_000.0,
+            new_total_us: 10_300.0,
+            total_delta_us: 300.0,
+            p50: QuantileShift::default(),
+            p95: QuantileShift::default(),
+            p99: QuantileShift::default(),
+        };
+        // 3% over a 10 ms base: over the absolute floor, under 5% rel.
+        assert!(!delta.significant(DEFAULT_MIN_US, DEFAULT_REL));
+        assert!(delta.significant(DEFAULT_MIN_US, 0.01));
+        // Improvements are significant but not regressions.
+        let mut faster = delta.clone();
+        faster.self_delta_us = -900.0;
+        assert!(faster.significant(DEFAULT_MIN_US, DEFAULT_REL));
+        assert!(!faster.regression(DEFAULT_MIN_US, DEFAULT_REL));
+    }
+
+    #[test]
+    fn json_and_render_are_consistent() {
+        let base = profile(&base_lines());
+        let diff = TraceDiff::between(&base, &base);
+        let parsed = json::parse(&diff.to_json()).expect("diff JSON parses");
+        assert_eq!(
+            parsed.get("kind").and_then(crate::json::JsonValue::as_str),
+            Some("trace_diff")
+        );
+        assert_eq!(
+            parsed
+                .get("schema")
+                .and_then(crate::json::JsonValue::as_str),
+            Some(SCHEMA)
+        );
+        let table = diff.render(10, DEFAULT_MIN_US, DEFAULT_REL);
+        assert!(table.contains("Δself ms"));
+        assert!(table.contains("root"));
+        // Cycles in the parent chain must not hang path building.
+        let looped = vec![
+            span_line("a", Some("b"), 10.0),
+            span_line("b", Some("a"), 10.0),
+        ];
+        let p = profile(&looped);
+        let d = TraceDiff::between(&p, &p);
+        assert_eq!(d.deltas.len(), 2);
+    }
+}

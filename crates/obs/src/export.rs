@@ -101,6 +101,21 @@ fn escape_label(value: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// Escape `# HELP` text (the format escapes backslash and line feed
+/// only; quotes are legal in help text).
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// `# HELP` + `# TYPE` header for one metric family. `help` falls back
+/// to the `obs::names` registry when the caller has nothing better.
+fn family_header(out: &mut String, metric: &str, kind: &str, help: Option<&str>) {
+    if let Some(help) = help {
+        out.push_str(&format!("# HELP {metric} {}\n", escape_help(help)));
+    }
+    out.push_str(&format!("# TYPE {metric} {kind}\n"));
+}
+
 fn fmt_value(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
@@ -122,33 +137,61 @@ pub fn render_prometheus() -> String {
 
     for (name, value) in &snap.counters {
         let metric = format!("xmodel_{}", sanitize(name));
-        out.push_str(&format!("# TYPE {metric} counter\n{metric} {value}\n"));
+        family_header(
+            &mut out,
+            &metric,
+            "counter",
+            crate::names::metric_help(name),
+        );
+        out.push_str(&format!("{metric} {value}\n"));
     }
     for (name, value) in &snap.gauges {
         let metric = format!("xmodel_{}", sanitize(name));
-        out.push_str(&format!(
-            "# TYPE {metric} gauge\n{metric} {}\n",
-            fmt_value(*value)
-        ));
+        family_header(&mut out, &metric, "gauge", crate::names::metric_help(name));
+        out.push_str(&format!("{metric} {}\n", fmt_value(*value)));
     }
+    // Histogram families may span several registry entries (every
+    // `span_us.<name>` collapses into `xmodel_span_duration_us`); the
+    // format allows each `# TYPE`/`# HELP` line at most once per family.
+    let mut seen_families: Vec<String> = Vec::new();
     for (name, hist) in &snap.histograms {
-        let (metric, label) = match name.strip_prefix("span_us.") {
+        let (metric, label, help) = match name.strip_prefix("span_us.") {
             Some(span) => (
                 "xmodel_span_duration_us".to_string(),
                 format!("span=\"{}\",", escape_label(span)),
+                Some("span duration in microseconds"),
             ),
-            None => (format!("xmodel_{}", sanitize(name)), String::new()),
+            None => (
+                format!("xmodel_{}", sanitize(name)),
+                String::new(),
+                crate::names::metric_help(name),
+            ),
         };
-        out.push_str(&format!("# TYPE {metric} histogram\n"));
+        if !seen_families.contains(&metric) {
+            family_header(&mut out, &metric, "histogram", help);
+            seen_families.push(metric.clone());
+        }
         let mut cumulative = 0u64;
+        let mut inf_emitted = false;
         for (i, count) in hist.counts.iter().enumerate() {
             cumulative += count;
             let le = match hist.edges.get(i) {
                 Some(edge) => fmt_value(*edge),
-                None => "+Inf".to_string(),
+                None => {
+                    inf_emitted = true;
+                    "+Inf".to_string()
+                }
             };
             out.push_str(&format!(
                 "{metric}_bucket{{{label}le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        // The registry always allocates the overflow bucket, but the
+        // format *requires* an `le="+Inf"` series — keep the guarantee
+        // local so a registry change cannot silently break scrapers.
+        if !inf_emitted {
+            out.push_str(&format!(
+                "{metric}_bucket{{{label}le=\"+Inf\"}} {cumulative}\n"
             ));
         }
         let bare = label.trim_end_matches(',');
@@ -167,7 +210,12 @@ pub fn render_prometheus() -> String {
     // between manifest writes.
     let aggs = crate::span::aggregates();
     if !aggs.is_empty() {
-        out.push_str("# TYPE xmodel_span_calls_total counter\n");
+        family_header(
+            &mut out,
+            "xmodel_span_calls_total",
+            "counter",
+            Some("completed spans by name"),
+        );
         for (name, agg) in &aggs {
             out.push_str(&format!(
                 "xmodel_span_calls_total{{span=\"{}\"}} {}\n",
@@ -175,7 +223,12 @@ pub fn render_prometheus() -> String {
                 agg.count
             ));
         }
-        out.push_str("# TYPE xmodel_span_seconds_total counter\n");
+        family_header(
+            &mut out,
+            "xmodel_span_seconds_total",
+            "counter",
+            Some("total wall time in spans by name"),
+        );
         for (name, agg) in &aggs {
             out.push_str(&format!(
                 "xmodel_span_seconds_total{{span=\"{}\"}} {}\n",
@@ -208,6 +261,100 @@ mod tests {
                 line.starts_with('#') || line.contains(' '),
                 "bad exposition line: {line}"
             );
+        }
+    }
+
+    /// Text-format 0.0.4 audit over a populated registry: every family
+    /// gets exactly one `# TYPE` (and at most one `# HELP`) line, HELP
+    /// text is escaped, registered dotted names sanitize cleanly, and
+    /// every histogram emits an `le="+Inf"` bucket whose cumulative
+    /// count equals `_count`.
+    #[test]
+    fn prometheus_format_audit() {
+        let _guard = crate::TEST_LOCK.lock();
+        crate::install(Box::new(crate::NullSink));
+        metrics::counter_add(crate::names::metric::FASTPATH_CACHE_HITS, 3);
+        metrics::counter_add(crate::names::metric::SWEEP_CHUNK_CLAIMS, 9);
+        metrics::gauge_set(crate::names::metric::SWEEP_UTILIZATION, 0.875);
+        metrics::histogram_observe(
+            crate::names::metric::SWEEP_WORKER_CELLS,
+            metrics::count_edges(),
+            17.0,
+        );
+        // Two span histograms: they must share one family header.
+        for span in ["solver.solve_fast", "sweep.run"] {
+            metrics::histogram_observe(
+                &metrics::span_histogram_name(span),
+                metrics::latency_edges_us(),
+                42.0,
+            );
+        }
+        let text = render_prometheus();
+        crate::finish(None);
+
+        let mut type_lines: Vec<&str> = Vec::new();
+        let mut help_lines: Vec<&str> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.is_empty(), "blank exposition line");
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                type_lines.push(rest);
+                let kind = rest.split_whitespace().nth(1).unwrap_or("");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "bad TYPE kind: {line}"
+                );
+            } else if let Some(rest) = line.strip_prefix("# HELP ") {
+                help_lines.push(rest);
+                assert!(!rest.contains('\n'), "unescaped newline in HELP");
+            } else {
+                // Sample line: name{labels} value — metric char set only.
+                let name = line
+                    .split(['{', ' '])
+                    .next()
+                    .expect("sample line has a name");
+                assert!(
+                    name.chars()
+                        .enumerate()
+                        .all(|(i, c)| c.is_ascii_alphabetic()
+                            || c == '_'
+                            || c == ':'
+                            || (i > 0 && c.is_ascii_digit())),
+                    "unsanitized metric name: {name}"
+                );
+            }
+        }
+        for lines in [&type_lines, &help_lines] {
+            let mut families: Vec<&str> = lines
+                .iter()
+                .filter_map(|l| l.split_whitespace().next())
+                .collect();
+            families.sort_unstable();
+            let n = families.len();
+            families.dedup();
+            assert_eq!(families.len(), n, "duplicate TYPE/HELP for a family");
+        }
+        // Registered metrics carry their registry help text.
+        assert!(text.contains("# HELP xmodel_fastpath_cache_hits"));
+        assert!(text.contains("# HELP xmodel_sweep_utilization"));
+        // The two span histograms collapsed into one labelled family.
+        assert_eq!(
+            type_lines
+                .iter()
+                .filter(|l| l.starts_with("xmodel_span_duration_us "))
+                .count(),
+            1
+        );
+        assert!(text.contains("span=\"solver.solve_fast\""));
+        assert!(text.contains("span=\"sweep.run\""));
+        // +Inf buckets: one per histogram series, cumulative == _count.
+        let inf_buckets = text
+            .lines()
+            .filter(|l| l.contains("le=\"+Inf\""))
+            .collect::<Vec<_>>();
+        assert_eq!(inf_buckets.len(), 3, "one +Inf bucket per series");
+        for bucket in inf_buckets {
+            let total = bucket.split_whitespace().last().unwrap_or("");
+            assert_eq!(total, "1", "cumulative +Inf count: {bucket}");
         }
     }
 }

@@ -36,6 +36,9 @@
 //! * [`profile`] folds a trace's span events back into a call-tree
 //!   profile (self/total time, call counts, p50/p95/p99) and emits a
 //!   flamegraph-compatible folded-stack rendering — `xmodel profile`.
+//! * [`diff`] aligns two such profiles by span name + tree path and
+//!   reports per-span self/total-time deltas and percentile shifts —
+//!   `xmodel trace-diff`, the regression-attribution layer.
 //! * [`export`] serves the live metrics registry as Prometheus text
 //!   format over `std::net` — `xmodel --metrics-addr HOST:PORT` or the
 //!   `XMODEL_METRICS_ADDR` environment variable. [`init_metrics_from_env`]
@@ -54,6 +57,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod diff;
 pub mod event;
 pub mod export;
 pub mod json;
@@ -76,6 +80,11 @@ use std::time::Instant;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINK: Mutex<Option<Box<dyn Sink>>> = Mutex::new(None);
 static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+/// Serializes unit tests that touch the process-global tracing state
+/// (shared across this crate's test modules).
+#[cfg(test)]
+pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
 
 /// Is tracing live? Instrumentation sites check this first; when false
 /// they do no other work (the "NullSink" fast path).
@@ -217,7 +226,7 @@ mod tests {
     use std::collections::BTreeMap;
 
     // Global tracing state is process-wide; serialize tests that touch it.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    use crate::TEST_LOCK;
 
     fn with_mem_sink(f: impl FnOnce()) -> Vec<String> {
         let _guard = TEST_LOCK.lock();

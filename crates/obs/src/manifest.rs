@@ -46,6 +46,8 @@ pub struct RunManifest {
     pub phases: Vec<PhaseSummary>,
     /// Counter metrics accumulated during the run.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge metrics at end of run (e.g. `sweep.utilization`).
+    pub gauges: BTreeMap<String, f64>,
 }
 
 impl RunManifest {
@@ -82,6 +84,7 @@ impl RunManifest {
             wall_ms: crate::now_us() as f64 / 1e3,
             phases,
             counters: snapshot.counters,
+            gauges: snapshot.gauges,
         }
     }
 

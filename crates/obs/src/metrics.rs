@@ -136,6 +136,18 @@ pub fn latency_edges_us() -> &'static [f64] {
     })
 }
 
+/// Log-spaced bucket edges for count-valued histograms (items per
+/// worker, cells per chunk, …): 1 … 10⁸ in half-decade steps. Counts of
+/// zero land in the underflow bucket.
+pub fn count_edges() -> &'static [f64] {
+    static EDGES: OnceLock<Vec<f64>> = OnceLock::new();
+    EDGES.get_or_init(|| {
+        (0..17)
+            .map(|i| 10f64.powf(i as f64 / 2.0))
+            .collect::<Vec<f64>>()
+    })
+}
+
 /// Histogram name under which a span's duration distribution is
 /// registered: `span_us.<span name>`.
 pub fn span_histogram_name(span: &str) -> String {

@@ -53,6 +53,103 @@ pub mod metric {
     pub const SWEEP_ITEMS: &str = "sweep.items";
     /// Work-stealing chunks executed by `core::sweep::run`.
     pub const SWEEP_CHUNKS: &str = "sweep.chunks";
+
+    // --- core::fastpath deep introspection -----------------------------
+
+    /// `CurveTable` constructions (one tabulation of Eq. (2)/(5)).
+    pub const FASTPATH_TABLE_BUILDS: &str = "fastpath.table_builds";
+    /// Exact curve evaluations spent building `CurveTable`s.
+    pub const FASTPATH_TABLE_EVALS: &str = "fastpath.table_evals";
+    /// `SolveCache` solves answered from the already-built table.
+    pub const FASTPATH_CACHE_HITS: &str = "fastpath.cache_hits";
+    /// `SolveCache` solves that had no table yet (cold build).
+    pub const FASTPATH_CACHE_MISSES: &str = "fastpath.cache_misses";
+    /// `SolveCache` rebuilds forced by a supply-curve key change or a
+    /// domain that no longer covers `n` (stale table).
+    pub const FASTPATH_CACHE_STALE: &str = "fastpath.cache_stale";
+    /// Coarse blocks skipped wholesale by monotone-range screening.
+    pub const FASTPATH_BLOCKS_SCREENED: &str = "fastpath.blocks_screened";
+    /// Coarse blocks that survived screening and were refined
+    /// sample-by-sample.
+    pub const FASTPATH_BLOCKS_REFINED: &str = "fastpath.blocks_refined";
+    /// Dense samples answered from the interpolated table.
+    pub const FASTPATH_INTERP_EVALS: &str = "fastpath.interp_evals";
+    /// Exact `f(k)` evaluations spent inside fast-path solves.
+    pub const FASTPATH_EXACT_EVALS: &str = "fastpath.exact_evals";
+    /// Coarse blocks whose screening was disabled by an unsound
+    /// (non-finite-margin) table interval.
+    pub const FASTPATH_UNSOUND_DISABLES: &str = "fastpath.unsound_disables";
+
+    // --- core::sweep executor introspection ----------------------------
+
+    /// Chunk claims taken from the atomic cursor, including the final
+    /// empty claim each worker uses to discover the queue is drained.
+    pub const SWEEP_CHUNK_CLAIMS: &str = "sweep.chunk_claims";
+    /// Distribution of grid cells completed per worker per run
+    /// (histogram; a tight distribution means good load balance).
+    pub const SWEEP_WORKER_CELLS: &str = "sweep.worker_cells";
+    /// Worker threads used by the most recent sweep (gauge).
+    pub const SWEEP_WORKERS: &str = "sweep.workers";
+    /// Mean worker busy fraction of the last sweep's wall time (gauge,
+    /// 0–1; 1.0 means every worker computed the whole time).
+    pub const SWEEP_UTILIZATION: &str = "sweep.utilization";
+    /// Relative busy-time spread `(max − min) / max` across workers of
+    /// the last sweep (gauge, 0 = perfectly balanced).
+    pub const SWEEP_IMBALANCE: &str = "sweep.imbalance";
+
+    // --- core::degrade ladder introspection ----------------------------
+
+    /// Operating points resolved by the exact rung.
+    pub const DEGRADE_RUNG_EXACT: &str = "degrade.rung_exact";
+    /// Operating points resolved by the grid-scan rung.
+    pub const DEGRADE_RUNG_GRID_SCAN: &str = "degrade.rung_grid_scan";
+    /// Operating points resolved by the baseline-estimate rung.
+    pub const DEGRADE_RUNG_BASELINE: &str = "degrade.rung_baseline";
+    /// Time spent attempting the exact rung, µs (histogram).
+    pub const DEGRADE_EXACT_US: &str = "degrade.exact_us";
+    /// Time spent attempting the grid-scan rung, µs (histogram).
+    pub const DEGRADE_GRID_SCAN_US: &str = "degrade.grid_scan_us";
+    /// Time spent computing the baseline rung, µs (histogram).
+    pub const DEGRADE_BASELINE_US: &str = "degrade.baseline_us";
+}
+
+/// One-line help text for a registered metric name, used for the
+/// `# HELP` lines of the Prometheus exposition (`crate::export`).
+/// Returns `None` for names outside the registry (ad-hoc test metrics).
+pub fn metric_help(name: &str) -> Option<&'static str> {
+    Some(match name {
+        metric::SOLVER_SOLVES => "flow-balance solves performed",
+        metric::SOLVER_DEGRADED => "operating points resolved below the exact ladder rung",
+        metric::SOLVER_CURVE_EVALS => "exact curve evaluations performed by the solver",
+        metric::PROFILE_CALIBRATE_SKIPPED => "calibration grid points skipped after fit failure",
+        metric::PROFILE_CALIBRATE_RETRIES => "calibration measurements rejected or retried",
+        metric::SWEEP_ITEMS => "grid points dispatched through the sweep executor",
+        metric::SWEEP_CHUNKS => "work-stealing chunks executed by the sweep executor",
+        metric::FASTPATH_TABLE_BUILDS => "CurveTable tabulations built",
+        metric::FASTPATH_TABLE_EVALS => "exact curve evaluations spent building CurveTables",
+        metric::FASTPATH_CACHE_HITS => "SolveCache solves reusing the cached table",
+        metric::FASTPATH_CACHE_MISSES => "SolveCache solves building a table cold",
+        metric::FASTPATH_CACHE_STALE => "SolveCache rebuilds forced by a stale table",
+        metric::FASTPATH_BLOCKS_SCREENED => "coarse blocks skipped wholesale by range screening",
+        metric::FASTPATH_BLOCKS_REFINED => "coarse blocks refined sample-by-sample",
+        metric::FASTPATH_INTERP_EVALS => "dense samples answered from the interpolated table",
+        metric::FASTPATH_EXACT_EVALS => "exact f(k) evaluations inside fast-path solves",
+        metric::FASTPATH_UNSOUND_DISABLES => {
+            "coarse blocks with screening disabled by an unsound margin"
+        }
+        metric::SWEEP_CHUNK_CLAIMS => "chunk claims taken from the sweep cursor",
+        metric::SWEEP_WORKER_CELLS => "cells completed per worker per sweep run",
+        metric::SWEEP_WORKERS => "worker threads used by the most recent sweep",
+        metric::SWEEP_UTILIZATION => "mean worker busy fraction of the last sweep",
+        metric::SWEEP_IMBALANCE => "relative worker busy-time spread of the last sweep",
+        metric::DEGRADE_RUNG_EXACT => "operating points resolved by the exact rung",
+        metric::DEGRADE_RUNG_GRID_SCAN => "operating points resolved by the grid-scan rung",
+        metric::DEGRADE_RUNG_BASELINE => "operating points resolved by the baseline rung",
+        metric::DEGRADE_EXACT_US => "time spent attempting the exact rung in microseconds",
+        metric::DEGRADE_GRID_SCAN_US => "time spent attempting the grid-scan rung in microseconds",
+        metric::DEGRADE_BASELINE_US => "time spent computing the baseline rung in microseconds",
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -79,6 +176,27 @@ mod tests {
             super::metric::PROFILE_CALIBRATE_SKIPPED,
             super::metric::SOLVER_DEGRADED,
             super::metric::PROFILE_CALIBRATE_RETRIES,
+            super::metric::FASTPATH_TABLE_BUILDS,
+            super::metric::FASTPATH_TABLE_EVALS,
+            super::metric::FASTPATH_CACHE_HITS,
+            super::metric::FASTPATH_CACHE_MISSES,
+            super::metric::FASTPATH_CACHE_STALE,
+            super::metric::FASTPATH_BLOCKS_SCREENED,
+            super::metric::FASTPATH_BLOCKS_REFINED,
+            super::metric::FASTPATH_INTERP_EVALS,
+            super::metric::FASTPATH_EXACT_EVALS,
+            super::metric::FASTPATH_UNSOUND_DISABLES,
+            super::metric::SWEEP_CHUNK_CLAIMS,
+            super::metric::SWEEP_WORKER_CELLS,
+            super::metric::SWEEP_WORKERS,
+            super::metric::SWEEP_UTILIZATION,
+            super::metric::SWEEP_IMBALANCE,
+            super::metric::DEGRADE_RUNG_EXACT,
+            super::metric::DEGRADE_RUNG_GRID_SCAN,
+            super::metric::DEGRADE_RUNG_BASELINE,
+            super::metric::DEGRADE_EXACT_US,
+            super::metric::DEGRADE_GRID_SCAN_US,
+            super::metric::DEGRADE_BASELINE_US,
         ];
         for name in all {
             assert!(
@@ -92,5 +210,20 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), all.len(), "duplicate registry entry");
+
+        // Every metric constant (entries after the span block above) must
+        // carry Prometheus HELP text; span names must not.
+        for name in &all[10..] {
+            assert!(
+                super::metric_help(name).is_some(),
+                "metric {name:?} missing metric_help entry"
+            );
+        }
+        for name in &all[..10] {
+            assert!(
+                super::metric_help(name).is_none(),
+                "span {name:?} unexpectedly has metric_help"
+            );
+        }
     }
 }

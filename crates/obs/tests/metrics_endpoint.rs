@@ -7,7 +7,8 @@ use std::net::TcpStream;
 
 /// Minimal Prometheus text-format validation: every non-comment line is
 /// `name{labels} value` or `name value`, `# TYPE` lines name a known
-/// metric type, and bucket counts are cumulative.
+/// metric type, `# HELP` lines carry escaped text, and bucket counts
+/// are cumulative.
 fn assert_valid_prometheus(body: &str) {
     for line in body.lines() {
         if line.is_empty() {
@@ -21,6 +22,13 @@ fn assert_valid_prometheus(body: &str) {
                 ["counter", "gauge", "histogram", "summary", "untyped"].contains(&ty),
                 "unknown metric type {ty:?} in {line:?}"
             );
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let mut parts = rest.splitn(2, ' ');
+            let _name = parts.next().expect("HELP line names a metric");
+            let text = parts.next().expect("HELP line carries text");
+            assert!(!text.is_empty(), "empty HELP text in {line:?}");
             continue;
         }
         assert!(!line.starts_with('#'), "unexpected comment form: {line:?}");

@@ -48,6 +48,57 @@ pub fn self_time_bars(entries: &[(String, f64)], width: usize, top: usize) -> St
     out
 }
 
+/// Render `(label, signed Δµs)` pairs as a two-sided bar chart:
+/// regressions (`+`) grow right of the axis, improvements (`−`) grow
+/// left, both scaled to the largest magnitude. Largest magnitude first;
+/// entries beyond `top` are dropped with a trailing count. `width` is
+/// the bar column width *per side*. Values print as milliseconds.
+pub fn delta_bars(entries: &[(String, f64)], width: usize, top: usize) -> String {
+    let width = width.max(4);
+    let mut sorted: Vec<&(String, f64)> = entries.iter().filter(|(_, v)| *v != 0.0).collect();
+    sorted.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+    if sorted.is_empty() {
+        return "(no self-time deltas)\n".to_string();
+    }
+    let shown = sorted.len().min(top.max(1));
+    let label_w = sorted[..shown]
+        .iter()
+        .map(|(name, _)| name.len())
+        .max()
+        .unwrap_or(8)
+        .min(32);
+    let max = sorted[..shown]
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+
+    let mut out = String::new();
+    for (name, value) in &sorted[..shown] {
+        let filled = ((value.abs() / max) * width as f64).round() as usize;
+        let filled = filled.clamp(1, width);
+        let (left, right) = if *value < 0.0 {
+            (
+                format!("{}{}", " ".repeat(width - filled), "█".repeat(filled)),
+                " ".repeat(width),
+            )
+        } else {
+            (
+                " ".repeat(width),
+                format!("{}{}", "█".repeat(filled), " ".repeat(width - filled)),
+            )
+        };
+        out.push_str(&format!(
+            "{:<label_w$} {:>+10.3} ms |{left}|{right}|\n",
+            truncate(name, label_w),
+            value / 1e3,
+        ));
+    }
+    if sorted.len() > shown {
+        out.push_str(&format!("... {} more\n", sorted.len() - shown));
+    }
+    out
+}
+
 fn truncate(s: &str, max: usize) -> String {
     if s.chars().count() <= max {
         s.to_string()
@@ -90,5 +141,39 @@ mod tests {
     #[test]
     fn empty_input_is_graceful() {
         assert!(self_time_bars(&[], 20, 5).contains("no self time"));
+    }
+
+    #[test]
+    fn delta_bars_split_sides_by_sign() {
+        let entries = vec![
+            ("slower".to_string(), 2000.0),
+            ("faster".to_string(), -1000.0),
+            ("flat".to_string(), 0.0),
+        ];
+        let out = delta_bars(&entries, 10, 10);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "zero deltas dropped:\n{out}");
+        assert!(
+            lines[0].starts_with("slower"),
+            "sorted by magnitude:\n{out}"
+        );
+        // Regression bar sits right of the axis, improvement left.
+        let cells = |l: &str| -> Vec<String> { l.split('|').map(str::to_string).collect() };
+        let slower = cells(lines[0]);
+        assert!(!slower[1].contains('█') && slower[2].contains('█'), "{out}");
+        let faster = cells(lines[1]);
+        assert!(faster[1].contains('█') && !faster[2].contains('█'), "{out}");
+        assert!(lines[0].contains("+2.000 ms"));
+        assert!(lines[1].contains("-1.000 ms"));
+    }
+
+    #[test]
+    fn delta_bars_empty_and_overflow() {
+        assert!(delta_bars(&[], 10, 5).contains("no self-time deltas"));
+        let entries: Vec<(String, f64)> = (0..6)
+            .map(|i| (format!("d{i}"), 100.0 + i as f64))
+            .collect();
+        let out = delta_bars(&entries, 8, 3);
+        assert!(out.contains("... 3 more"), "{out}");
     }
 }

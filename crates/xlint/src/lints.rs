@@ -3,7 +3,7 @@
 //! | id | scope | catches |
 //! |---|---|---|
 //! | `no-panic-in-lib` | `crates/*/src/**` library code | `.unwrap()`, `.expect(`, `panic!`/`unreachable!`/`todo!`/`unimplemented!`, integer-literal indexing |
-//! | `span-name-registry` | core/sim/profile/cli sources | string literals passed to `span!` / metric helpers instead of `xmodel_obs::names` constants |
+//! | `span-name-registry` | all workspace crates | string literals passed to `span!` / metric helpers instead of `xmodel_obs::names` constants |
 //! | `schema-version-once` | all non-test sources | a `xmodel-<name>/<version>` schema literal defined more than once |
 //! | `quantity-api` | the Eq. (1)–(6) modules in `crates/core` | `pub fn` parameters named like model dimensions but typed bare `f64` |
 //!
@@ -189,10 +189,7 @@ pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
         if is_lib_code(&file.rel) {
             no_panic_in_lib(file, &tokens, &lines, &live, &mut findings);
         }
-        if matches!(
-            crate_of(&file.rel),
-            Some("core" | "sim" | "profile" | "cli")
-        ) {
+        if crate_of(&file.rel).is_some() {
             span_name_registry(file, &tokens, &lines, &live, &mut findings);
         }
         if quantity_api_applies(&file.rel) {

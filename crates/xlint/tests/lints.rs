@@ -84,13 +84,21 @@ fn span_names_negative() {
 }
 
 #[test]
-fn span_names_only_in_instrumented_crates() {
-    // The same inline name in a crate outside core/sim/profile/cli is fine
-    // (e.g. obs's own internals and tests of the macro).
+fn span_names_cover_every_workspace_crate() {
+    // The lint fires in any `crates/*` source, not just the originally
+    // instrumented core/sim/profile/cli set — new instrumentation in
+    // e.g. viz or bench must register its names too.
     let findings = run(
         "crates/viz/src/demo.rs",
         include_str!("fixtures/span_names_pos.rs"),
     );
+    assert_eq!(
+        lints_of(&findings),
+        ["span-name-registry"; 3],
+        "{findings:#?}"
+    );
+    // Non-crate paths (scripts, top-level tests) stay exempt.
+    let findings = run("tests/demo.rs", include_str!("fixtures/span_names_pos.rs"));
     assert!(findings.is_empty(), "{findings:#?}");
 }
 

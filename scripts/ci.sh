@@ -26,7 +26,7 @@ folded="$(mktemp -t xmodel-folded.XXXXXX.txt)"
 bench_ci="target/BENCH_ci.json"
 sweep1="$(mktemp -t xmodel-sweep1.XXXXXX.json)"
 sweepn="$(mktemp -t xmodel-sweepn.XXXXXX.json)"
-trap 'rm -f "$trace" "$folded" "$sweep1" "$sweepn"' EXIT
+trap 'rm -f "$trace" "$folded" "$sweep1" "$sweepn" "${diff_base:-}" "${diff_new:-}"' EXIT
 ./target/release/xmodel sim --workload gesummv --gpu fermi --l1 16 \
   --trace "$trace" > /dev/null
 grep -q '"kind":"sim.snapshot"' "$trace"
@@ -35,6 +35,32 @@ grep -q '"p95_us"' "$trace"
 ./target/release/xmodel trace-report "$trace" --profile > /dev/null
 ./target/release/xmodel profile "$trace" --folded "$folded" > /dev/null
 test -s "$folded"
+
+echo "=== trace-diff smoke (regression attribution) ==="
+# Self-diff: identical traces ⇒ no significant differences, exit 0.
+./target/release/xmodel trace-diff "$trace" "$trace" > /dev/null
+# Injected regression: same tree, one span slowed 10× ⇒ that span is
+# the top culprit and the exit code says "differences found" (1).
+diff_base="$(mktemp -t xmodel-diffbase.XXXXXX.jsonl)"
+diff_new="$(mktemp -t xmodel-diffnew.XXXXXX.jsonl)"
+printf '%s\n' \
+  '{"kind":"span","t_us":1,"name":"root","dur_us":30000}' \
+  '{"kind":"span","t_us":1,"name":"hot","dur_us":2000,"parent":"root"}' \
+  > "$diff_base"
+printf '%s\n' \
+  '{"kind":"span","t_us":1,"name":"root","dur_us":48000}' \
+  '{"kind":"span","t_us":1,"name":"hot","dur_us":20000,"parent":"root"}' \
+  > "$diff_new"
+set +e
+diff_out="$(./target/release/xmodel trace-diff "$diff_base" "$diff_new" 2>/dev/null)"
+diff_status=$?
+set -e
+test "$diff_status" -eq 1 \
+  || { echo "trace-diff must exit 1 on differences (got $diff_status)" >&2; exit 1; }
+echo "$diff_out" | grep -E '^[!·]' | head -1 | grep -q 'hot' \
+  || { echo "trace-diff failed to rank the slowed span first:" >&2; \
+       echo "$diff_out" >&2; exit 1; }
+rm -f "$diff_base" "$diff_new"
 
 echo "=== fault-matrix chaos suite ==="
 cargo test -q -p xmodel --test fault_matrix
@@ -96,8 +122,10 @@ fi
 
 echo "=== bench-report smoke + regression gate ==="
 ./target/release/bench-report --smoke --label ci --out "$bench_ci"
-# Synthetic-regression self-check: the gate must fail on a known-bad pair.
-if BENCH_GATE_WARN_ONLY=0 scripts/bench_gate.sh \
+# Synthetic-regression self-check: the gate must fail on a known-bad
+# pair (attribution skipped — the regression is synthetic, there is
+# nothing to attribute).
+if BENCH_GATE_WARN_ONLY=0 BENCH_GATE_NO_ATTRIBUTION=1 scripts/bench_gate.sh \
     crates/bench/tests/fixtures/bench_base.json \
     crates/bench/tests/fixtures/bench_regressed.json > /dev/null 2>&1; then
   echo "bench_gate.sh failed to flag the synthetic regression" >&2
