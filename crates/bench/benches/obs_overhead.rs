@@ -89,6 +89,28 @@ fn bench_sim_tracing_off(c: &mut Criterion) {
     g.finish();
 }
 
+/// The multi-SM chip simulator with its per-interval probe layer,
+/// tracing off vs on. Probes sample warp-state occupancy and DRAM
+/// queue depths at snapshot boundaries; with no sink installed the
+/// probe cursor is never touched, so the tracing-off number is the
+/// cost of the bare simulation.
+fn bench_chip_probes_gated(c: &mut Criterion) {
+    assert!(!xmodel_obs::enabled());
+    let mut g = c.benchmark_group("obs/chip-probes");
+    g.throughput(Throughput::Elements(CYCLES));
+    let (cfg, wl) = (cfg(), wl());
+    g.bench_function("tracing-off", |b| {
+        b.iter(|| black_box(xmodel::sim::simulate_chip(&cfg, &wl, 2, 60.0, 0, CYCLES)))
+    });
+    let sink = xmodel_obs::MemSink::new();
+    xmodel_obs::install(Box::new(sink));
+    g.bench_function("tracing-on", |b| {
+        b.iter(|| black_box(xmodel::sim::simulate_chip(&cfg, &wl, 2, 60.0, 0, CYCLES)))
+    });
+    xmodel_obs::finish(None);
+    g.finish();
+}
+
 /// The instrumented parallel sweep engine, tracing off vs on. The new
 /// per-worker tallies and fastpath counters are gated on the sink, so
 /// the tracing-off number must track the pre-instrumentation engine.
@@ -126,6 +148,7 @@ criterion_group!(
     bench_disabled_primitives,
     bench_enabled_primitives,
     bench_sim_tracing_off,
+    bench_chip_probes_gated,
     bench_sweep_tracing_gated
 );
 criterion_main!(benches);

@@ -117,6 +117,8 @@ fn main() -> ExitCode {
         "sim" => cmd_sim(parse_flags(rest)),
         "sweep" => cmd_sweep(parse_flags(rest)),
         "trace-report" => cmd_trace_report(rest),
+        "sim-report" => cmd_sim_report(rest),
+        "residuals" => cmd_residuals(rest),
         "profile" => cmd_profile(rest),
         "trace-diff" => cmd_trace_diff(rest),
         "help" | "--help" | "-h" => {
@@ -255,6 +257,9 @@ fn usage() {
                  [--l1 KIB --alpha A --beta B] [--points P] [--samples S]\n\
                  [--jobs J] [--out FILE]\n\
            trace-report FILE [--timeline] [--svg FILE] [--profile]\n\
+           sim-report FILE [--json] [--svg FILE] [--heatmap FILE]\n\
+           residuals FILE [--preset GPU] [--workload NAME] [--l1 KIB]\n\
+                 [--rel FRAC] [--json]        (exit 1 when residuals exceed --rel)\n\
            profile FILE [--folded FILE] [--top N]\n\
            trace-diff BASE NEW [--json] [--folded FILE] [--top N]\n\
                  [--min-us US] [--rel FRAC]   (exit 1 when differences found)\n\
@@ -305,6 +310,165 @@ fn cmd_trace_report(args: &[String]) -> Result<(), CliError> {
         let profile = xmodel_obs::profile::SpanProfile::from_path(path)
             .map_err(|e| format!("{file}: {e}"))?;
         println!("\n{}", profile.render().trim_end());
+    }
+    Ok(())
+}
+
+/// `xmodel sim-report TRACE` — occupancy/stall/DRAM digest of a
+/// simulator trace recorded with `xmodel sim ... --trace FILE`. Renders
+/// the `xmodel-simtrace/1` summary (warp-state shares, measured k/x,
+/// probe-delta throughputs, DRAM depth quantiles) plus the occupancy
+/// timeline; `--json` emits the summary as one JSON line, `--svg` /
+/// `--heatmap` write the occupancy chart / state heatmap as SVG.
+fn cmd_sim_report(args: &[String]) -> Result<(), CliError> {
+    let file = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| "sim-report: trace file required".to_string())?;
+    let flags = parse_flags(&args[1..]);
+    let path = std::path::Path::new(file);
+    let trace = xmodel_obs::simtrace::SimTrace::from_path(path)
+        .map_err(|e| CliError::Model(format!("{file}: {e}")))?;
+    let summary = trace.summary();
+    let occ = xmodel::viz::OccupancyTimeline::from_trace(&trace);
+    if flags.contains_key("json") {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{}", summary.render());
+        if !occ.is_empty() {
+            println!("\n{}", occ.render_ascii(72, 16));
+        }
+    }
+    // Keep stdout machine-parseable under --json: notices go to stderr.
+    let notice = |msg: String| {
+        if flags.contains_key("json") {
+            eprintln!("{msg}");
+        } else {
+            println!("{msg}");
+        }
+    };
+    if let Some(svg) = flags.get("svg") {
+        if occ.is_empty() {
+            notice(format!("skipping {svg}: no probe frames to chart"));
+        } else {
+            std::fs::write(svg, occ.to_chart().to_svg(640.0, 400.0))
+                .map_err(|e| format!("{svg}: {e}"))?;
+            notice(format!("wrote {svg}"));
+        }
+    }
+    if let Some(hm_path) = flags.get("heatmap") {
+        match occ.to_heatmap() {
+            Some(hm) => {
+                std::fs::write(hm_path, hm.to_svg(640.0, 300.0))
+                    .map_err(|e| format!("{hm_path}: {e}"))?;
+                notice(format!("wrote {hm_path}"));
+            }
+            None => notice(format!("skipping {hm_path}: no probe frames to chart")),
+        }
+    }
+    Ok(())
+}
+
+/// `xmodel residuals TRACE` — align a recorded simtrace against the
+/// analytic model's predicted operating point and rank the per-variable
+/// residuals (`xmodel-residual/1`). The preset/workload/L1 default to
+/// what the trace's run manifest recorded, so a bare
+/// `xmodel residuals TRACE` validates the trace against the very
+/// configuration that produced it; `--preset` compares against a
+/// different Table II machine. Exits 1 (`Findings`) when any gated
+/// observable's relative residual exceeds `--rel`.
+fn cmd_residuals(args: &[String]) -> Result<(), CliError> {
+    let file = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| "residuals: trace file required".to_string())?;
+    let flags = parse_flags(&args[1..]);
+    let path = std::path::Path::new(file);
+    let trace = xmodel_obs::simtrace::SimTrace::from_path(path)
+        .map_err(|e| CliError::Model(format!("{file}: {e}")))?;
+    if trace.is_empty() {
+        return Err(CliError::Model(format!(
+            "{file}: no sim.probe frames — record one with `xmodel sim ... --trace FILE`"
+        )));
+    }
+    let manifest_param = |key: &str| trace.params.get(key).cloned();
+    let gpu_name = flags
+        .get("preset")
+        .or_else(|| flags.get("gpu"))
+        .cloned()
+        .or_else(|| manifest_param("gpu"))
+        .unwrap_or_else(|| "kepler".to_string());
+    let gpu = gpu_by_name(&gpu_name)?;
+    let wl_name = flags
+        .get("workload")
+        .cloned()
+        .or_else(|| manifest_param("workload"))
+        .unwrap_or_else(|| "gesummv".to_string());
+    let w = workload_by_name(&wl_name)?;
+    let l1 = match flags.get("l1").cloned().or_else(|| manifest_param("l1")) {
+        Some(v) => v.parse::<f64>().map_err(|e| format!("--l1: {e}"))?,
+        None => 0.0,
+    }
+    .max(0.0) as u64;
+    let rel = get_f64(&flags, "rel")?.unwrap_or(xmodel_obs::residual::DEFAULT_REL_TOL);
+    if rel < 0.0 {
+        return Err(CliError::Usage("--rel must be non-negative".to_string()));
+    }
+
+    let _span = xmodel_obs::span!(xmodel_obs::names::span::RESIDUAL_COMPARE);
+    let mut model = xmodel::profile::fitting::assemble_model(&gpu, &w, l1 * 1024);
+    // The traced run's resident-warp count is the n the model must
+    // predict for; the header records it exactly.
+    if let Some(n) = trace.warps() {
+        model.workload.n = f64::from(n);
+    }
+    let resolved = model
+        .resolve_operating_point_with(xmodel::core::solver::DEFAULT_SAMPLES, solver_force())
+        .map_err(CliError::model)?;
+    if resolved.degradation.is_degraded() {
+        eprintln!(
+            "warning: operating point degraded to `{}` (residual {:.3e})",
+            resolved.degradation, resolved.residual
+        );
+    }
+    let p = &resolved.point;
+    let pred = xmodel_obs::residual::ModelPrediction {
+        k: p.k,
+        x: p.x,
+        ms_throughput: p.ms_throughput,
+        cs_throughput: p.cs_throughput,
+        latency: if p.ms_throughput > 0.0 {
+            p.k / p.ms_throughput
+        } else {
+            f64::INFINITY
+        },
+    };
+    let report = xmodel_obs::residual::ResidualReport::between(&trace, &pred);
+    let exceeded = report.exceeding(rel).len();
+    xmodel_obs::metrics::counter_add(
+        xmodel_obs::names::metric::RESIDUAL_VARIABLES,
+        report.series.len() as u64,
+    );
+    xmodel_obs::metrics::counter_add(
+        xmodel_obs::names::metric::RESIDUAL_EXCEEDANCES,
+        exceeded as u64,
+    );
+    if flags.contains_key("json") {
+        println!("{}", report.to_json());
+    } else {
+        println!(
+            "{} on {} (L1 {} KiB, n = {:.0}, {} frame(s))",
+            w.name, gpu.name, l1, model.workload.n, report.frames
+        );
+        print!("{}", report.render(rel));
+    }
+    if exceeded > 0 {
+        return Err(CliError::Findings(format!(
+            "residuals: {exceeded} gated observable(s) exceed rel {:.0}% \
+             against the {} prediction",
+            rel * 100.0,
+            gpu.name
+        )));
     }
     Ok(())
 }

@@ -119,14 +119,25 @@ pub struct SpanDelta {
 impl SpanDelta {
     /// Is this delta worth reporting? True for new/vanished spans and
     /// for self-time moves exceeding both the absolute floor `min_us`
-    /// and the relative threshold `rel` (vs the base's self time; a
-    /// base of zero falls back to the absolute floor alone).
+    /// and the relative threshold `rel`. The relative scale is the
+    /// base's self time; a span with zero base self time (all time in
+    /// its children) falls back to the base *total* time so `rel` keeps
+    /// meaning instead of flagging every over-floor delta, and only when
+    /// both are zero does the absolute floor alone decide.
     pub fn significant(&self, min_us: f64, rel: f64) -> bool {
         if self.status != SpanStatus::Common {
             return true;
         }
         let magnitude = self.self_delta_us.abs();
-        magnitude > min_us && magnitude > rel * self.base_self_us.abs()
+        if magnitude <= min_us {
+            return false;
+        }
+        let scale = if self.base_self_us.abs() > 0.0 {
+            self.base_self_us.abs()
+        } else {
+            self.base_total_us.abs()
+        };
+        scale == 0.0 || magnitude > rel * scale
     }
 
     /// Significant *and* slower (`self_delta_us > 0`): a culprit.
@@ -519,6 +530,42 @@ mod tests {
         faster.self_delta_us = -900.0;
         assert!(faster.significant(DEFAULT_MIN_US, DEFAULT_REL));
         assert!(!faster.regression(DEFAULT_MIN_US, DEFAULT_REL));
+    }
+
+    #[test]
+    fn zero_base_self_time_respects_relative_threshold() {
+        // A pure-parent span: all base time in its children, so base
+        // self time is 0 µs but base total is 100 ms. A 200 µs self-time
+        // wobble clears the absolute floor; it must still be measured
+        // against the base *total* so `--rel` keeps meaning.
+        let wobble = SpanDelta {
+            name: "parent".into(),
+            path: "parent".into(),
+            status: SpanStatus::Common,
+            base_count: 1,
+            new_count: 1,
+            base_self_us: 0.0,
+            new_self_us: 200.0,
+            self_delta_us: 200.0,
+            base_total_us: 100_000.0,
+            new_total_us: 100_200.0,
+            total_delta_us: 200.0,
+            p50: QuantileShift::default(),
+            p95: QuantileShift::default(),
+            p99: QuantileShift::default(),
+        };
+        // 200 µs is 0.2% of the 100 ms base total: noise at rel = 5%.
+        assert!(!wobble.significant(DEFAULT_MIN_US, DEFAULT_REL));
+        // A genuinely large move (10 ms = 10% of base total) still fires.
+        let mut real = wobble.clone();
+        real.new_self_us = 10_000.0;
+        real.self_delta_us = 10_000.0;
+        assert!(real.significant(DEFAULT_MIN_US, DEFAULT_REL));
+        // Both base self and total zero: the absolute floor decides.
+        let mut fresh = wobble.clone();
+        fresh.base_total_us = 0.0;
+        assert!(fresh.significant(DEFAULT_MIN_US, DEFAULT_REL));
+        assert!(!fresh.significant(500.0, DEFAULT_REL));
     }
 
     #[test]

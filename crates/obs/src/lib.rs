@@ -66,6 +66,8 @@ pub mod metrics;
 pub mod names;
 pub mod profile;
 pub mod report;
+pub mod residual;
+pub mod simtrace;
 pub mod sink;
 pub mod span;
 

@@ -32,6 +32,11 @@ pub mod span {
     pub const PROFILE_ASSEMBLE: &str = "profile.assemble";
     /// Grid-search calibration of cache locality parameters.
     pub const PROFILE_CALIBRATE: &str = "profile.calibrate";
+    /// One multi-SM chip simulation (`sim::chip::ChipSim::run`).
+    pub const SIM_CHIP: &str = "sim.chip";
+    /// Aligning a simtrace against the analytic model's predictions
+    /// (`xmodel residuals`).
+    pub const RESIDUAL_COMPARE: &str = "residual.compare";
 }
 
 /// Counter / gauge names: `<subsystem>.<noun>`, dot-separated, lowercase.
@@ -111,6 +116,28 @@ pub mod metric {
     pub const DEGRADE_GRID_SCAN_US: &str = "degrade.grid_scan_us";
     /// Time spent computing the baseline rung, µs (histogram).
     pub const DEGRADE_BASELINE_US: &str = "degrade.baseline_us";
+
+    // --- sim probe layer (`xmodel-simtrace/1`) --------------------------
+
+    /// `sim.probe` frames emitted by the simulator probe layer.
+    pub const SIM_PROBE_FRAMES: &str = "sim.probe_frames";
+    /// DRAM requests in flight at probe boundaries (histogram over
+    /// `crate::simtrace::QUEUE_DEPTH_EDGES`).
+    pub const SIM_DRAM_INFLIGHT: &str = "sim.dram_inflight";
+    /// DRAM channel backlog in cycles at probe boundaries (histogram
+    /// over `crate::simtrace::QUEUE_DEPTH_EDGES`).
+    pub const SIM_DRAM_BACKLOG: &str = "sim.dram_backlog";
+    /// Warp issue attempts rejected for MSHR exhaustion, summed from
+    /// probe-frame deltas.
+    pub const SIM_MSHR_STALLS: &str = "sim.mshr_stalls";
+
+    // --- residual analysis (`xmodel-residual/1`) ------------------------
+
+    /// Observables compared by a residual report.
+    pub const RESIDUAL_VARIABLES: &str = "residual.variables";
+    /// Gated observables whose relative residual exceeded the
+    /// tolerance.
+    pub const RESIDUAL_EXCEEDANCES: &str = "residual.exceedances";
 }
 
 /// One-line help text for a registered metric name, used for the
@@ -148,6 +175,12 @@ pub fn metric_help(name: &str) -> Option<&'static str> {
         metric::DEGRADE_EXACT_US => "time spent attempting the exact rung in microseconds",
         metric::DEGRADE_GRID_SCAN_US => "time spent attempting the grid-scan rung in microseconds",
         metric::DEGRADE_BASELINE_US => "time spent computing the baseline rung in microseconds",
+        metric::SIM_PROBE_FRAMES => "sim.probe frames emitted by the simulator probe layer",
+        metric::SIM_DRAM_INFLIGHT => "DRAM requests in flight at probe boundaries",
+        metric::SIM_DRAM_BACKLOG => "DRAM channel backlog in cycles at probe boundaries",
+        metric::SIM_MSHR_STALLS => "warp issue attempts rejected for MSHR exhaustion",
+        metric::RESIDUAL_VARIABLES => "observables compared by a residual report",
+        metric::RESIDUAL_EXCEEDANCES => "gated observables exceeding the residual tolerance",
         _ => return None,
     })
 }
@@ -169,6 +202,8 @@ mod tests {
             super::span::SIM_MEASURE,
             super::span::PROFILE_ASSEMBLE,
             super::span::PROFILE_CALIBRATE,
+            super::span::SIM_CHIP,
+            super::span::RESIDUAL_COMPARE,
             super::metric::SOLVER_SOLVES,
             super::metric::SOLVER_CURVE_EVALS,
             super::metric::SWEEP_ITEMS,
@@ -197,6 +232,12 @@ mod tests {
             super::metric::DEGRADE_EXACT_US,
             super::metric::DEGRADE_GRID_SCAN_US,
             super::metric::DEGRADE_BASELINE_US,
+            super::metric::SIM_PROBE_FRAMES,
+            super::metric::SIM_DRAM_INFLIGHT,
+            super::metric::SIM_DRAM_BACKLOG,
+            super::metric::SIM_MSHR_STALLS,
+            super::metric::RESIDUAL_VARIABLES,
+            super::metric::RESIDUAL_EXCEEDANCES,
         ];
         for name in all {
             assert!(
@@ -213,13 +254,13 @@ mod tests {
 
         // Every metric constant (entries after the span block above) must
         // carry Prometheus HELP text; span names must not.
-        for name in &all[10..] {
+        for name in &all[12..] {
             assert!(
                 super::metric_help(name).is_some(),
                 "metric {name:?} missing metric_help entry"
             );
         }
-        for name in &all[..10] {
+        for name in &all[..12] {
             assert!(
                 super::metric_help(name).is_none(),
                 "span {name:?} unexpectedly has metric_help"

@@ -109,17 +109,24 @@ impl ChipSim {
     /// Run `warmup` unmeasured cycles then `measure` measured ones and
     /// return per-SM statistics.
     pub fn run(&mut self, warmup: u64, measure: u64) -> Vec<SimStats> {
+        let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_CHIP);
         for sm in &mut self.sms {
             sm.set_measuring(false);
         }
-        for _ in 0..warmup {
-            self.step();
+        {
+            let _warm = xmodel_obs::span!(xmodel_obs::names::span::SIM_WARMUP);
+            for _ in 0..warmup {
+                self.step();
+            }
         }
         for sm in &mut self.sms {
             sm.set_measuring(true);
         }
-        for _ in 0..measure {
-            self.step();
+        {
+            let _meas = xmodel_obs::span!(xmodel_obs::names::span::SIM_MEASURE);
+            for _ in 0..measure {
+                self.step();
+            }
         }
         self.sms.iter().map(|s| s.stats().clone()).collect()
     }

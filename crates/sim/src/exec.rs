@@ -78,6 +78,16 @@ pub struct IrSm {
     measuring: bool,
     stats: SimStats,
     drain_buf: Vec<u64>,
+    /// Construction seed, recorded in the simtrace probe header.
+    seed: u64,
+    /// Kernel compute intensity `z` extracted once at construction for
+    /// the probe header (may be infinite for compute-only kernels).
+    kernel_z: f64,
+    /// Kernel ILP width `e`, likewise extracted once.
+    kernel_e: f64,
+    /// Simtrace probe cursor — tracing-only side state; never read by
+    /// the simulation path.
+    probe: crate::probe::ProbeCursor,
 }
 
 const TAG_DIRECT: u64 = 1 << 63;
@@ -88,6 +98,7 @@ impl IrSm {
     pub fn new(cfg: &SimConfig, kernel: &Kernel, trace: TraceSpec, warps: u32, seed: u64) -> Self {
         assert!(warps >= 1);
         assert!(!kernel.blocks.is_empty());
+        let analysis = kernel.analyze();
         let warps_per_cta = kernel.warps_per_block().max(1) as usize;
         let ctxs = (0..warps)
             .map(|w| {
@@ -128,6 +139,10 @@ impl IrSm {
             measuring: false,
             stats: SimStats::new(warps),
             drain_buf: Vec::new(),
+            seed,
+            kernel_z: analysis.intensity,
+            kernel_e: analysis.ilp,
+            probe: crate::probe::ProbeCursor::default(),
         }
     }
 
@@ -327,11 +342,16 @@ impl IrSm {
         if self.measuring {
             self.stats.cycles += 1;
             self.stats.ops_retired += retired;
-            let k = self
-                .warps
-                .iter()
-                .filter(|w| matches!(w.state, WarpState::Waiting | WarpState::Stalled))
-                .count();
+            let (mut computing, mut queued, mut waiting, mut stalled) = (0u32, 0u32, 0u32, 0u32);
+            for w in &self.warps {
+                match w.state {
+                    WarpState::Running => computing += 1,
+                    WarpState::AtBarrier => queued += 1,
+                    WarpState::Waiting => waiting += 1,
+                    WarpState::Stalled => stalled += 1,
+                }
+            }
+            let k = (waiting + stalled) as usize;
             self.stats.sum_k += k as f64;
             self.stats.sum_x += (n - k) as f64;
             self.stats.k_histogram[k] += 1;
@@ -346,6 +366,27 @@ impl IrSm {
                     dram_inflight = self.dram.in_flight(),
                     dram_backlog = self.dram.channel_free().saturating_sub(now),
                     hit_rate = self.stats.hit_rate(),
+                );
+                self.probe.emit(
+                    &crate::probe::HeaderCtx {
+                        sm: 0,
+                        interval: crate::sm::SNAPSHOT_INTERVAL,
+                        warps: n as u32,
+                        seed: self.seed,
+                        z: self.kernel_z,
+                        e: self.kernel_e,
+                    },
+                    &crate::probe::StateSample {
+                        cycle: now,
+                        computing,
+                        queued,
+                        waiting,
+                        stalled,
+                        k: k as u32,
+                        dram_inflight: self.dram.in_flight(),
+                        dram_backlog: self.dram.channel_free().saturating_sub(now),
+                    },
+                    &self.stats,
                 );
             }
         }

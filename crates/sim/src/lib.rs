@@ -49,6 +49,7 @@ pub mod dram;
 pub mod error;
 pub mod exec;
 pub mod fault;
+pub(crate) mod probe;
 pub mod sm;
 pub mod stats;
 

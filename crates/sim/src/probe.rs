@@ -1,0 +1,179 @@
+//! Write side of the `xmodel-simtrace/1` timeline probes.
+//!
+//! Both simulators ([`crate::sm::Sm`] and [`crate::exec::IrSm`]) sample
+//! their warp-state occupancy and memory-subsystem depth once per
+//! snapshot interval while measuring. This module turns those samples
+//! into `sim.probe` / `sim.probe_header` trace events plus the
+//! registered `sim.*` metrics, and owns the only mutable probe state —
+//! a cursor of previously sampled counters used to emit per-interval
+//! deltas.
+//!
+//! Determinism contract: everything here *reads* simulator state. The
+//! cursor is written only from inside `xmodel_obs::enabled()` blocks and
+//! is never consulted by the simulation path, so enabling tracing cannot
+//! perturb results (`crates/sim/tests/determinism.rs` pins this).
+
+use crate::stats::{ProbeCounters, SimStats};
+
+/// Static per-run context stamped on the (lazily emitted) header frame.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeaderCtx {
+    /// SM index (0 for single-SM runs; set by the chip driver).
+    pub sm: u16,
+    /// Cycles between probe frames.
+    pub interval: u64,
+    /// Resident warps `n`.
+    pub warps: u32,
+    /// RNG seed the SM was built with.
+    pub seed: u64,
+    /// Compute intensity `z` (warp-ops per request).
+    pub z: f64,
+    /// ILP width `e`.
+    pub e: f64,
+}
+
+/// Instantaneous warp-state occupancy and memory-depth sample.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StateSample {
+    /// Measured cycle index of this frame.
+    pub cycle: u64,
+    /// Warps executing in CS.
+    pub computing: u32,
+    /// Warps holding a ready request not yet accepted by the LSU.
+    pub queued: u32,
+    /// Warps with a request in flight.
+    pub waiting: u32,
+    /// Warps rejected for MSHR exhaustion (retrying).
+    pub stalled: u32,
+    /// Warps counted in MS — matches the `sum_k` accounting exactly.
+    pub k: u32,
+    /// Requests currently in flight in the DRAM model.
+    pub dram_inflight: usize,
+    /// Cycles until the DRAM channel frees (bandwidth backlog).
+    pub dram_backlog: u64,
+}
+
+/// Per-SM probe cursor: lazily emits the header, then differences the
+/// monotone counters between frames.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ProbeCursor {
+    header_emitted: bool,
+    prev: ProbeCounters,
+}
+
+impl ProbeCursor {
+    /// Emit one probe frame (and, on the first call, the header). Call
+    /// only under `xmodel_obs::enabled()` while measuring.
+    pub(crate) fn emit(&mut self, header: &HeaderCtx, state: &StateSample, stats: &SimStats) {
+        use xmodel_obs::names::metric;
+        if !self.header_emitted {
+            self.header_emitted = true;
+            xmodel_obs::event!(
+                "sim.probe_header",
+                schema = xmodel_obs::simtrace::SCHEMA,
+                sm = header.sm,
+                interval = header.interval,
+                warps = header.warps,
+                seed = header.seed,
+                z = header.z,
+                e = header.e,
+            );
+        }
+        let now = stats.probe_counters();
+        let d = now.delta(&self.prev);
+        self.prev = now;
+        xmodel_obs::event!(
+            "sim.probe",
+            cycle = state.cycle,
+            sm = header.sm,
+            computing = state.computing,
+            queued = state.queued,
+            waiting = state.waiting,
+            stalled = state.stalled,
+            k = state.k,
+            dram_inflight = state.dram_inflight as u64,
+            dram_backlog = state.dram_backlog,
+            d_cycles = d.cycles,
+            d_ops = d.ops,
+            d_requests = d.requests,
+            d_hits = d.hits,
+            d_misses = d.misses,
+            d_merges = d.merges,
+            d_mshr_stalls = d.mshr_stalls,
+            hit_rate = stats.hit_rate(),
+        );
+        xmodel_obs::metrics::counter_add(metric::SIM_PROBE_FRAMES, 1);
+        if d.mshr_stalls > 0 {
+            xmodel_obs::metrics::counter_add(metric::SIM_MSHR_STALLS, d.mshr_stalls);
+        }
+        xmodel_obs::metrics::histogram_observe(
+            metric::SIM_DRAM_INFLIGHT,
+            &xmodel_obs::simtrace::QUEUE_DEPTH_EDGES,
+            state.dram_inflight as f64,
+        );
+        xmodel_obs::metrics::histogram_observe(
+            metric::SIM_DRAM_BACKLOG,
+            &xmodel_obs::simtrace::QUEUE_DEPTH_EDGES,
+            state.dram_backlog as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_differences_counters_and_emits_header_once() {
+        let sink = xmodel_obs::MemSink::new();
+        xmodel_obs::install(Box::new(sink.clone()));
+        let mut cursor = ProbeCursor::default();
+        let header = HeaderCtx {
+            sm: 3,
+            interval: 256,
+            warps: 8,
+            seed: 42,
+            z: 10.0,
+            e: 1.5,
+        };
+        let mut stats = SimStats::new(8);
+        stats.cycles = 256;
+        stats.ops_retired = 100.0;
+        stats.requests_completed = 10;
+        let state = StateSample {
+            cycle: 256,
+            computing: 5,
+            queued: 1,
+            waiting: 2,
+            stalled: 0,
+            k: 3,
+            dram_inflight: 4,
+            dram_backlog: 7,
+        };
+        cursor.emit(&header, &state, &stats);
+        stats.cycles = 512;
+        stats.ops_retired = 180.0;
+        stats.requests_completed = 19;
+        cursor.emit(&header, &state, &stats);
+        let lines = sink.lines();
+        xmodel_obs::finish(None);
+        // The sink is process-global and other tests may simulate while
+        // it is installed; key every assertion on this test's sm id.
+        let headers: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"sim.probe_header\"") && l.contains("\"sm\":3"))
+            .collect();
+        assert_eq!(headers.len(), 1, "header emitted exactly once");
+        assert!(headers[0].contains("xmodel-simtrace/1"));
+        let frames: Vec<_> = lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"sim.probe\"") && l.contains("\"sm\":3"))
+            .collect();
+        assert_eq!(frames.len(), 2);
+        // First frame deltas are totals since measuring started; the
+        // second differences against the first sample.
+        assert!(frames[0].contains("\"d_requests\":10"));
+        assert!(frames[1].contains("\"d_requests\":9"));
+        assert!(frames[1].contains("\"d_cycles\":256"));
+    }
+}

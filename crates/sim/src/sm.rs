@@ -98,6 +98,13 @@ pub struct Sm {
     /// A request older than this many cycles is presumed lost and
     /// re-submitted with the same tag.
     recovery_timeout: u64,
+    /// SM index stamped on probe frames (0 unless chip-attached).
+    sm_id: u16,
+    /// Construction seed, recorded in the simtrace probe header.
+    seed: u64,
+    /// Simtrace probe cursor — tracing-only side state; never read by
+    /// the simulation path.
+    probe: crate::probe::ProbeCursor,
 }
 
 impl Sm {
@@ -168,6 +175,9 @@ impl Sm {
             fault_active: false,
             outstanding: BTreeMap::new(),
             recovery_timeout: u64::MAX,
+            sm_id: 0,
+            seed,
+            probe: crate::probe::ProbeCursor::default(),
         }
     }
 
@@ -221,6 +231,7 @@ impl Sm {
     /// [`Sm::step_with`].
     pub(crate) fn attach_shared_dram(&mut self, dram: Rc<RefCell<Dram>>, sm_id: u16) {
         self.dram = DramPort::Shared(dram, (sm_id as u64) << TAG_SM_SHIFT);
+        self.sm_id = sm_id;
     }
 
     fn bypasses(&self, warp: u32) -> bool {
@@ -420,16 +431,16 @@ impl Sm {
         if self.measuring {
             self.stats.cycles += 1;
             self.stats.ops_retired += retired;
-            let k = self
-                .warps
-                .iter()
-                .filter(|w| {
-                    matches!(
-                        w.state,
-                        WarpState::IssuePending | WarpState::Waiting | WarpState::Stalled
-                    )
-                })
-                .count();
+            let (mut computing, mut queued, mut waiting, mut stalled) = (0u32, 0u32, 0u32, 0u32);
+            for w in &self.warps {
+                match w.state {
+                    WarpState::Computing { .. } => computing += 1,
+                    WarpState::IssuePending => queued += 1,
+                    WarpState::Waiting => waiting += 1,
+                    WarpState::Stalled => stalled += 1,
+                }
+            }
+            let k = (queued + waiting + stalled) as usize;
             self.stats.sum_k += k as f64;
             self.stats.sum_x += (n - k) as f64;
             self.stats.k_histogram[k] += 1;
@@ -461,6 +472,27 @@ impl Sm {
                         dram_inflight = dram_inflight,
                         dram_backlog = dram_backlog,
                         hit_rate = self.stats.hit_rate(),
+                    );
+                    self.probe.emit(
+                        &crate::probe::HeaderCtx {
+                            sm: self.sm_id,
+                            interval,
+                            warps: self.wl.warps,
+                            seed: self.seed,
+                            z: self.wl.ops_per_request,
+                            e: self.wl.ilp,
+                        },
+                        &crate::probe::StateSample {
+                            cycle: now,
+                            computing,
+                            queued,
+                            waiting,
+                            stalled,
+                            k: k as u32,
+                            dram_inflight,
+                            dram_backlog,
+                        },
+                        &self.stats,
                     );
                 }
             }

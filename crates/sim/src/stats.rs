@@ -124,6 +124,54 @@ impl SimStats {
     }
 }
 
+/// One consistent sample of the monotone counters the simtrace probe
+/// layer ([`crate::probe`]) differences per frame. Keeping the sampling
+/// in one method means a counter cannot be added to the probe stream
+/// without being added here, and the probe side never touches the stats
+/// fields directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct ProbeCounters {
+    pub cycles: u64,
+    pub ops: f64,
+    pub requests: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub merges: u64,
+    pub mshr_stalls: u64,
+}
+
+impl ProbeCounters {
+    /// Per-frame delta against the previous sample. Counters are
+    /// monotone during a run, so plain subtraction is exact; saturating
+    /// keeps a (hypothetical) reset from underflowing.
+    pub(crate) fn delta(&self, prev: &ProbeCounters) -> ProbeCounters {
+        ProbeCounters {
+            cycles: self.cycles.saturating_sub(prev.cycles),
+            ops: (self.ops - prev.ops).max(0.0),
+            requests: self.requests.saturating_sub(prev.requests),
+            hits: self.hits.saturating_sub(prev.hits),
+            misses: self.misses.saturating_sub(prev.misses),
+            merges: self.merges.saturating_sub(prev.merges),
+            mshr_stalls: self.mshr_stalls.saturating_sub(prev.mshr_stalls),
+        }
+    }
+}
+
+impl SimStats {
+    /// Sample every counter the probe layer differences, in one read.
+    pub(crate) fn probe_counters(&self) -> ProbeCounters {
+        ProbeCounters {
+            cycles: self.cycles,
+            ops: self.ops_retired,
+            requests: self.requests_completed,
+            hits: self.l1_hits,
+            misses: self.l1_misses,
+            merges: self.l1_merges,
+            mshr_stalls: self.mshr_stalls,
+        }
+    }
+}
+
 impl std::fmt::Display for SimStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

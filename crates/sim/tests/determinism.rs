@@ -8,8 +8,11 @@
 //! The obs sink is process-global, so all scenarios live in one `#[test]`
 //! to keep install/finish ordering deterministic.
 
+use xmodel_obs::simtrace::SimTrace;
 use xmodel_obs::MemSink;
-use xmodel_sim::{simulate, CacheConfig, SimConfig, SimStats, SimWorkload};
+use xmodel_sim::{
+    simulate, simulate_chip, CacheConfig, FaultSpec, SimConfig, SimStats, SimWorkload, Sm,
+};
 use xmodel_workloads::TraceSpec;
 
 fn config() -> SimConfig {
@@ -67,4 +70,42 @@ fn tracing_does_not_perturb_the_simulation() {
     // A third run after the sink is torn down still agrees.
     assert!(!xmodel_obs::enabled());
     assert_eq!(untraced, run(), "state leaked across a traced run");
+
+    // --- Chip: multi-SM byte-identity, probes on vs off ---------------
+    let chip_run = || simulate_chip(&config(), &workload(), 2, 60.0, 2_000, 12_000);
+    let chip_untraced = chip_run();
+
+    let sink = MemSink::new();
+    xmodel_obs::install(Box::new(sink.clone()));
+    let chip_traced = chip_run();
+    xmodel_obs::finish(None);
+    assert_eq!(
+        chip_untraced, chip_traced,
+        "tracing changed the chip simulation"
+    );
+
+    // The traced chip run labelled its probe frames per SM.
+    let lines = sink.lines();
+    let trace = SimTrace::from_lines(lines.iter().map(String::as_str));
+    assert!(!trace.is_empty(), "chip run emitted no sim.probe frames");
+    assert_eq!(trace.sms(), vec![0, 1], "expected one frame stream per SM");
+
+    // --- Simtrace content determinism under fault injection -----------
+    // Two traced runs with the same seeds must produce identical probe
+    // frames (SimTrace parsing drops the wall-clock t_us field, so this
+    // compares simulation content, not recording time).
+    let spec = FaultSpec::parse("seed=9,spike=0.2x4,throttle=500:0.5:0.5").unwrap();
+    let faulted_frames = || {
+        let sink = MemSink::new();
+        xmodel_obs::install(Box::new(sink.clone()));
+        let mut sm = Sm::with_faults(&config(), &workload(), 7, &spec);
+        sm.run(2_000, 12_000);
+        xmodel_obs::finish(None);
+        let lines = sink.lines();
+        SimTrace::from_lines(lines.iter().map(String::as_str)).frames
+    };
+    let first = faulted_frames();
+    let second = faulted_frames();
+    assert!(!first.is_empty(), "faulted run emitted no sim.probe frames");
+    assert_eq!(first, second, "simtrace content is not deterministic");
 }

@@ -30,7 +30,7 @@ pub mod timeline;
 pub use chart::{Chart, Marker, Series, SeriesKind};
 pub use grid::PanelGrid;
 pub use heatmap::Heatmap;
-pub use timeline::Timeline;
+pub use timeline::{OccupancyTimeline, Timeline};
 
 /// Categorical palette used across every figure (color-blind friendly).
 pub const PALETTE: [&str; 8] = [
@@ -43,6 +43,6 @@ pub mod prelude {
     pub use crate::chart::{Chart, Marker, Series, SeriesKind};
     pub use crate::grid::PanelGrid;
     pub use crate::heatmap::Heatmap;
-    pub use crate::timeline::Timeline;
+    pub use crate::timeline::{OccupancyTimeline, Timeline};
     pub use crate::PALETTE;
 }

@@ -103,6 +103,123 @@ impl Timeline {
     }
 }
 
+/// Warp-state occupancy reconstructed from `sim.probe` frames
+/// (`xmodel-simtrace/1` — see [`xmodel_obs::simtrace`]).
+///
+/// Multi-SM traces are summed per cycle, so the series show chip-wide
+/// occupancy; use [`xmodel_obs::simtrace::SimTrace::header_for`] and
+/// filter frames upstream for a per-SM view.
+#[derive(Debug, Clone, Default)]
+pub struct OccupancyTimeline {
+    /// `(cycle, warps)` executing in CS.
+    pub computing: Vec<(f64, f64)>,
+    /// `(cycle, warps)` holding a ready request not yet issued.
+    pub queued: Vec<(f64, f64)>,
+    /// `(cycle, warps)` with a request in flight.
+    pub waiting: Vec<(f64, f64)>,
+    /// `(cycle, warps)` stalled on MSHR exhaustion.
+    pub stalled: Vec<(f64, f64)>,
+    /// `(cycle, k)` — warps counted in MS.
+    pub k: Vec<(f64, f64)>,
+    /// Probe frames consumed (across all SMs).
+    pub frames: usize,
+}
+
+impl OccupancyTimeline {
+    /// Aggregate a parsed simtrace into chip-wide occupancy series.
+    pub fn from_trace(trace: &xmodel_obs::simtrace::SimTrace) -> OccupancyTimeline {
+        use std::collections::BTreeMap;
+        #[derive(Default)]
+        struct Acc {
+            computing: f64,
+            queued: f64,
+            waiting: f64,
+            stalled: f64,
+            k: f64,
+        }
+        let mut by_cycle: BTreeMap<u64, Acc> = BTreeMap::new();
+        for f in &trace.frames {
+            let e = by_cycle.entry(f.cycle).or_default();
+            e.computing += f64::from(f.computing);
+            e.queued += f64::from(f.queued);
+            e.waiting += f64::from(f.waiting);
+            e.stalled += f64::from(f.stalled);
+            e.k += f64::from(f.k);
+        }
+        let mut occ = OccupancyTimeline {
+            frames: trace.frames.len(),
+            ..OccupancyTimeline::default()
+        };
+        for (cycle, v) in by_cycle {
+            let c = cycle as f64;
+            occ.computing.push((c, v.computing));
+            occ.queued.push((c, v.queued));
+            occ.waiting.push((c, v.waiting));
+            occ.stalled.push((c, v.stalled));
+            occ.k.push((c, v.k));
+        }
+        occ
+    }
+
+    /// True when the trace held no probe frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames == 0
+    }
+
+    /// Terminal rendering: `k(t)` (`*`), computing (`o`), stalled (`+`).
+    pub fn render_ascii(&self, width: usize, height: usize) -> String {
+        if self.is_empty() {
+            return "occupancy: no sim.probe frames in trace\n".to_string();
+        }
+        let mut c = AsciiChart::new(
+            format!(
+                "warp occupancy: k [*], computing [o], stalled [+], {} frames",
+                self.frames
+            ),
+            width,
+            height,
+        );
+        c.add(&self.k);
+        c.add(&self.computing);
+        c.add(&self.stalled);
+        c.render()
+    }
+
+    /// SVG chart of every state series plus the derived `k(t)`.
+    pub fn to_chart(&self) -> Chart {
+        Chart::new("Warp-state occupancy", "cycle", "warps")
+            .with(Series::line("computing", self.computing.clone(), 0))
+            .with(Series::line("queued", self.queued.clone(), 1).dashed())
+            .with(Series::line("waiting", self.waiting.clone(), 2))
+            .with(Series::line("stalled", self.stalled.clone(), 3).dashed())
+            .with(Series::line("k (in MS)", self.k.clone(), 4))
+    }
+
+    /// Heatmap of warp-state occupancy over time: one row per state
+    /// (0 = computing, 1 = queued, 2 = waiting, 3 = stalled), one column
+    /// per sampled cycle. `None` when the trace held no frames.
+    pub fn to_heatmap(&self) -> Option<crate::heatmap::Heatmap> {
+        if self.is_empty() {
+            return None;
+        }
+        let xs: Vec<f64> = self.computing.iter().map(|&(c, _)| c).collect();
+        let ys: Vec<f64> = (0..4).map(f64::from).collect();
+        let rows = [&self.computing, &self.queued, &self.waiting, &self.stalled];
+        let mut values = Vec::with_capacity(xs.len() * 4);
+        for row in rows {
+            values.extend(row.iter().map(|&(_, y)| y));
+        }
+        Some(crate::heatmap::Heatmap {
+            title: "warp-state occupancy (0=computing 1=queued 2=waiting 3=stalled)".into(),
+            x_label: "cycle".into(),
+            y_label: "state".into(),
+            xs,
+            ys,
+            values,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +260,68 @@ mod tests {
         let tl = Timeline::from_lines(lines.iter().map(String::as_str));
         let s = tl.render_ascii(60, 12);
         assert!(s.contains('*') && s.contains('o'));
+    }
+
+    #[test]
+    fn single_snapshot_renders_without_panic() {
+        let line = snapshot(256, 10, 22);
+        let tl = Timeline::from_lines([line.as_str()].into_iter());
+        assert_eq!(tl.snapshots, 1);
+        let ascii = tl.render_ascii(40, 8);
+        assert!(ascii.contains('*'), "single-interval ascii renders");
+        let svg = tl.to_chart().to_svg(320.0, 200.0);
+        assert!(svg.contains("<svg"), "single-interval svg renders");
+    }
+
+    fn probe(cycle: u64, sm: u16, computing: u64, waiting: u64) -> String {
+        format!(
+            "{{\"kind\":\"sim.probe\",\"t_us\":1,\"cycle\":{cycle},\"sm\":{sm},\
+             \"computing\":{computing},\"queued\":0,\"waiting\":{waiting},\"stalled\":0,\
+             \"k\":{waiting},\"dram_inflight\":2,\"dram_backlog\":0,\"d_cycles\":256,\
+             \"d_ops\":100.0,\"d_requests\":10}}"
+        )
+    }
+
+    #[test]
+    fn occupancy_sums_across_sms() {
+        let lines = [
+            probe(256, 0, 20, 12),
+            probe(256, 1, 18, 14),
+            probe(512, 0, 22, 10),
+            probe(512, 1, 21, 11),
+        ];
+        let trace = xmodel_obs::simtrace::SimTrace::from_lines(lines.iter().map(String::as_str));
+        let occ = OccupancyTimeline::from_trace(&trace);
+        assert_eq!(occ.frames, 4);
+        assert_eq!(occ.computing, vec![(256.0, 38.0), (512.0, 43.0)]);
+        assert_eq!(occ.k, vec![(256.0, 26.0), (512.0, 21.0)]);
+        assert!(occ.render_ascii(40, 8).contains('*'));
+        assert!(occ.to_chart().to_svg(320.0, 200.0).contains("computing"));
+        let hm = occ.to_heatmap().expect("non-empty heatmap");
+        assert_eq!(hm.xs.len(), 2);
+        assert_eq!(hm.values.len(), 8);
+    }
+
+    #[test]
+    fn occupancy_handles_empty_and_single_frame_traces() {
+        let empty = OccupancyTimeline::from_trace(&xmodel_obs::simtrace::SimTrace::from_lines(
+            [].into_iter(),
+        ));
+        assert!(empty.is_empty());
+        assert!(empty.render_ascii(40, 8).contains("no sim.probe"));
+        assert!(empty.to_chart().to_svg(320.0, 200.0).contains("(no data)"));
+        assert!(empty.to_heatmap().is_none());
+
+        let line = probe(256, 0, 20, 12);
+        let single = OccupancyTimeline::from_trace(&xmodel_obs::simtrace::SimTrace::from_lines(
+            [line.as_str()].into_iter(),
+        ));
+        assert_eq!(single.frames, 1);
+        assert!(single.render_ascii(40, 8).contains('*'));
+        assert!(single.to_chart().to_svg(320.0, 200.0).contains("<svg"));
+        let hm = single.to_heatmap().expect("single-frame heatmap");
+        let _ = hm.to_svg(200.0, 120.0);
+        let _ = hm.to_ascii();
     }
 
     #[test]

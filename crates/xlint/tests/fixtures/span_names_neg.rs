@@ -1,7 +1,18 @@
 // Negative fixture for `span-name-registry`: every observability name
-// comes from the `xmodel_obs::names` registry (0 findings).
+// comes from the `xmodel_obs::names` registry (0 findings), including
+// the simulator probe layer and residual comparison names.
 
-pub fn traced(n: u64) {
+pub fn traced(n: u64, value: f64) {
     let _span = xmodel_obs::span!(xmodel_obs::names::span::SOLVER_SOLVE);
     xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SOLVER_SOLVES, n);
+
+    let _chip = xmodel_obs::span!(xmodel_obs::names::span::SIM_CHIP);
+    let _cmp = xmodel_obs::span!(xmodel_obs::names::span::RESIDUAL_COMPARE);
+    xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SIM_PROBE_FRAMES, n);
+    xmodel_obs::metrics::histogram_observe(
+        xmodel_obs::names::metric::SIM_DRAM_INFLIGHT,
+        &xmodel_obs::simtrace::QUEUE_DEPTH_EDGES,
+        value,
+    );
+    xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::RESIDUAL_EXCEEDANCES, n);
 }

@@ -1,8 +1,9 @@
 // Positive fixture for `span-name-registry`: inline string names passed
-// to span!/metric helpers in an instrumented crate (3 findings).
+// to span!/metric helpers in an instrumented crate (4 findings).
 
 pub fn traced(value: f64) {
     let _span = xmodel_obs::span!("inline.span.name");
     xmodel_obs::metrics::counter_add("inline.counter", 1);
     xmodel_obs::metrics::gauge_set("inline.gauge", value);
+    xmodel_obs::metrics::histogram_observe("inline.histogram", &[1.0, 2.0], value);
 }

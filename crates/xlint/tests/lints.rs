@@ -69,7 +69,7 @@ fn span_names_positive() {
     );
     assert_eq!(
         lints_of(&findings),
-        ["span-name-registry"; 3],
+        ["span-name-registry"; 4],
         "{findings:#?}"
     );
 }
@@ -94,7 +94,7 @@ fn span_names_cover_every_workspace_crate() {
     );
     assert_eq!(
         lints_of(&findings),
-        ["span-name-registry"; 3],
+        ["span-name-registry"; 4],
         "{findings:#?}"
     );
     // Non-crate paths (scripts, top-level tests) stay exempt.

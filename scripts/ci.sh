@@ -26,10 +26,12 @@ folded="$(mktemp -t xmodel-folded.XXXXXX.txt)"
 bench_ci="target/BENCH_ci.json"
 sweep1="$(mktemp -t xmodel-sweep1.XXXXXX.json)"
 sweepn="$(mktemp -t xmodel-sweepn.XXXXXX.json)"
-trap 'rm -f "$trace" "$folded" "$sweep1" "$sweepn" "${diff_base:-}" "${diff_new:-}"' EXIT
+trap 'rm -f "$trace" "$folded" "$sweep1" "$sweepn" "${diff_base:-}" "${diff_new:-}" "${occ_svg:-}"' EXIT
 ./target/release/xmodel sim --workload gesummv --gpu fermi --l1 16 \
   --trace "$trace" > /dev/null
 grep -q '"kind":"sim.snapshot"' "$trace"
+grep -q '"kind":"sim.probe_header"' "$trace"
+grep -q '"kind":"sim.probe"' "$trace"
 grep -q '"kind":"run_manifest"' "$trace"
 grep -q '"p95_us"' "$trace"
 ./target/release/xmodel trace-report "$trace" --profile > /dev/null
@@ -61,6 +63,32 @@ echo "$diff_out" | grep -E '^[!·]' | head -1 | grep -q 'hot' \
   || { echo "trace-diff failed to rank the slowed span first:" >&2; \
        echo "$diff_out" >&2; exit 1; }
 rm -f "$diff_base" "$diff_new"
+
+echo "=== sim-report smoke (simtrace digest + occupancy timeline) ==="
+./target/release/xmodel sim-report "$trace" > /dev/null
+./target/release/xmodel sim-report "$trace" --json | grep -q 'xmodel-simtrace/1'
+occ_svg="$(mktemp -t xmodel-occ.XXXXXX.svg)"
+./target/release/xmodel sim-report "$trace" --svg "$occ_svg" > /dev/null
+test -s "$occ_svg"
+rm -f "$occ_svg"
+
+echo "=== residual gate smoke (model vs simulator) ==="
+# Self-consistent: comparing the trace against the preset that produced
+# it must stay within the default tolerance ⇒ exit 0.
+./target/release/xmodel residuals "$trace" > /dev/null
+# Mismatched preset: the maxwell prediction cannot explain a fermi
+# trace ⇒ gated observables exceed tolerance ⇒ exit 1.
+set +e
+./target/release/xmodel residuals "$trace" --preset maxwell > /dev/null 2>&1
+res_status=$?
+set -e
+test "$res_status" -eq 1 \
+  || { echo "residuals must exit 1 on a mismatched preset (got $res_status)" >&2; exit 1; }
+# Committed baseline: the simulator is deterministic, so the seed trace
+# should reproduce bit-for-bit, but model/solver tuning legitimately
+# moves residuals — keep this comparison advisory.
+./target/release/xmodel residuals SIMTRACE_seed.jsonl > /dev/null \
+  || echo "warning: committed SIMTRACE_seed.jsonl exceeds the default residual tolerance" >&2
 
 echo "=== fault-matrix chaos suite ==="
 cargo test -q -p xmodel --test fault_matrix
