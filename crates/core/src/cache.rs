@@ -49,6 +49,7 @@ impl CacheParams {
     /// Create cache parameters, panicking on invalid values.
     #[deprecated(note = "use `CacheParams::try_new` and handle the error")]
     pub fn new(s_cache: f64, l_cache: f64, alpha: f64, beta: f64) -> Self {
+        // xlint: allow(no-panic-in-lib, deprecated panicking constructor kept for API compatibility; try_new is the fallible form)
         Self::try_new(s_cache, l_cache, alpha, beta).expect("invalid cache parameters")
     }
 

@@ -367,11 +367,13 @@ impl SolveStats {
 ///
 /// When `table` was built for a different supply curve, does not cover
 /// `[0, n]`, or `samples < 2`.
+// xlint: determinism-root
 pub fn solve_fast(model: &XModel, table: &CurveTable, samples: usize) -> Equilibria {
     solve_fast_stats(model, table, samples).0
 }
 
 /// [`solve_fast`] returning evaluation statistics alongside the result.
+// xlint: determinism-root
 pub fn solve_fast_stats(
     model: &XModel,
     table: &CurveTable,
@@ -398,6 +400,7 @@ pub fn solve_fast_stats(
 /// curves that exist outside an [`XModel`] (fault-injected or synthetic
 /// shapes). `g_hat` must be non-decreasing in `x` (every Eq. (1) demand
 /// curve is) for the coarse block screening to be sound.
+// xlint: determinism-root
 pub fn solve_fast_curves(
     curve_f: &dyn Fn(f64) -> f64,
     curve_g_hat: &dyn Fn(f64) -> f64,
@@ -610,16 +613,19 @@ impl SolveCache {
     }
 
     /// Solve at the default dense-scan resolution.
+    // xlint: determinism-root
     pub fn solve(&mut self, model: &XModel) -> Equilibria {
         self.solve_with(model, solver::DEFAULT_SAMPLES)
     }
 
     /// Solve at an explicit dense-scan resolution.
+    // xlint: determinism-root
     pub fn solve_with(&mut self, model: &XModel, samples: usize) -> Equilibria {
         self.solve_stats(model, samples).0
     }
 
     /// [`SolveCache::solve_with`] plus evaluation statistics.
+    // xlint: determinism-root
     pub fn solve_stats(&mut self, model: &XModel, samples: usize) -> (Equilibria, SolveStats) {
         let n = model.workload.n;
         if n <= 0.0 {

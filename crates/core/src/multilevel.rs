@@ -68,6 +68,7 @@ impl L2Params {
 
     /// Panicking constructor.
     pub fn new(s2: f64, l2: f64, r2: f64) -> Self {
+        // xlint: allow(no-panic-in-lib, documented panicking constructor; try_new is the fallible form)
         Self::try_new(s2, l2, r2).expect("invalid L2 parameters")
     }
 }

@@ -27,6 +27,7 @@ impl MachineParams {
     /// Create a machine parameter set, panicking on out-of-domain values.
     /// Use [`MachineParams::try_new`] for fallible construction.
     pub fn new(m: f64, r: f64, l: f64) -> Self {
+        // xlint: allow(no-panic-in-lib, documented panicking constructor; try_new is the fallible form)
         Self::try_new(m, r, l).expect("invalid machine parameters")
     }
 
@@ -93,6 +94,7 @@ impl WorkloadParams {
 
     /// Create a workload parameter set, panicking on out-of-domain values.
     pub fn new(z: f64, e: f64, n: f64) -> Self {
+        // xlint: allow(no-panic-in-lib, documented panicking constructor; try_new is the fallible form)
         Self::try_new(z, e, n).expect("invalid workload parameters")
     }
 

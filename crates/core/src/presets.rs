@@ -193,7 +193,7 @@ impl GpuSpec {
 
     /// Default L1 capacity in bytes.
     pub fn default_l1_bytes(&self) -> f64 {
-        self.l1_sizes_kib[0] as f64 * 1024.0
+        self.l1_sizes_kib.first().copied().unwrap_or(0) as f64 * 1024.0
     }
 }
 

@@ -149,6 +149,7 @@ const BISECT_ITERS: usize = 80;
 /// * `z` — compute intensity, used to report CS throughput.
 /// * `samples` — dense-scan resolution (the ablation knob; see
 ///   `DEFAULT_SAMPLES`).
+// xlint: determinism-root
 pub fn solve_with(
     f: &dyn Fn(Threads) -> ReqPerCycle,
     g_hat: &dyn Fn(Threads) -> ReqPerCycle,
@@ -332,6 +333,7 @@ pub fn closest_approach(
 }
 
 /// [`solve_with`] at the default resolution.
+// xlint: determinism-root
 pub fn solve(
     f: &dyn Fn(Threads) -> ReqPerCycle,
     g_hat: &dyn Fn(Threads) -> ReqPerCycle,

@@ -76,6 +76,7 @@ const CHUNKS_PER_JOB: usize = 4;
 /// Job count from the `XMODEL_JOBS` environment variable, when set to a
 /// positive integer (anything else is ignored).
 pub fn env_jobs() -> Option<usize> {
+    // xlint: allow(nondeterminism-in-result-path, job count only affects scheduling; chunk reassembly keeps output byte-identical for any value)
     std::env::var(JOBS_ENV)
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
@@ -86,6 +87,7 @@ pub fn env_jobs() -> Option<usize> {
 /// available cores (at least 1).
 pub fn default_jobs() -> usize {
     env_jobs().unwrap_or_else(|| {
+        // xlint: allow(nondeterminism-in-result-path, core count picks the worker pool size only; results are reassembled by chunk index)
         std::thread::available_parallelism()
             .map(|cores| cores.get())
             .unwrap_or(1)
@@ -93,6 +95,7 @@ pub fn default_jobs() -> usize {
 }
 
 /// [`run`] with [`default_jobs`] workers.
+// xlint: determinism-root
 pub fn map<I, R, F>(items: &[I], op: F) -> Vec<R>
 where
     I: Sync,
@@ -108,6 +111,7 @@ where
 /// Every item is computed exactly once by the same pure call, and the
 /// results are reassembled by chunk index — the job count affects
 /// wall-clock time only, never the output.
+// xlint: determinism-root
 pub fn run<I, R, F>(jobs: usize, items: &[I], op: F) -> Vec<R>
 where
     I: Sync,
@@ -120,6 +124,7 @@ where
     // atomic load here and no `Instant::now` calls (PR 5 measured +44%
     // on `solver/solve` from unconditional counting).
     let instrument = xmodel_obs::enabled();
+    // xlint: allow(nondeterminism-in-result-path, tracing-gated tally timer; result collection never reads it)
     let run_start = instrument.then(Instant::now);
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs == 1 {
@@ -152,6 +157,7 @@ where
                         break;
                     }
                     let _chunk_span = xmodel_obs::span!(xmodel_obs::names::span::SWEEP_CHUNK);
+                    // xlint: allow(nondeterminism-in-result-path, tracing-gated per-chunk timer; feeds sweep.* metrics only)
                     let chunk_start = instrument.then(Instant::now);
                     let end = (start + chunk).min(items.len());
                     let out: Vec<R> = items[start..end]
@@ -164,9 +170,11 @@ where
                         tally.cells += (end - start) as u64;
                     }
                     xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SWEEP_CHUNKS, 1);
+                    // xlint: allow(lock-in-result-path, chunk drop-box; results are re-sorted by start index after the join so lock order cannot leak)
                     done.lock().push((start, out));
                 }
                 if instrument {
+                    // xlint: allow(lock-in-result-path, tracing-gated tally box; folded into metrics after the join)
                     tallies.lock().push(tally);
                 }
             });

@@ -41,7 +41,7 @@ impl Histogram {
     /// profiler builds one per span name.
     pub fn with_edges(edges: &[f64]) -> Self {
         assert!(
-            edges.windows(2).all(|w| w[0] < w[1]),
+            edges.windows(2).all(|w| matches!(w, [a, b] if a < b)),
             "histogram edges must be strictly ascending"
         );
         Histogram {
@@ -114,7 +114,8 @@ impl Histogram {
             return (0.0, None);
         }
         if i == 0 {
-            (0.0f64.min(self.edges[0]), Some(self.edges[0]))
+            let first = self.edges.first().copied().unwrap_or(0.0);
+            (0.0f64.min(first), Some(first))
         } else if i < self.edges.len() {
             (self.edges[i - 1], Some(self.edges[i]))
         } else {

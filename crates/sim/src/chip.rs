@@ -53,7 +53,7 @@ impl ChipSim {
         assert!(!nodes.is_empty(), "need at least one SM");
         assert!(nodes.len() <= u16::MAX as usize);
         assert!(chip_bytes_per_cycle > 0.0);
-        let latency = nodes[0].0.dram.latency;
+        let latency = nodes.first().map_or(0, |(cfg, _)| cfg.dram.latency);
         let shared = Rc::new(RefCell::new(Dram::new(crate::config::DramConfig {
             latency,
             bytes_per_cycle: chip_bytes_per_cycle,
@@ -108,6 +108,7 @@ impl ChipSim {
 
     /// Run `warmup` unmeasured cycles then `measure` measured ones and
     /// return per-SM statistics.
+    // xlint: determinism-root
     pub fn run(&mut self, warmup: u64, measure: u64) -> Vec<SimStats> {
         let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_CHIP);
         for sm in &mut self.sms {

@@ -239,6 +239,7 @@ impl SimConfigBuilder {
     pub fn build(self) -> SimConfig {
         match self.try_build() {
             Ok(cfg) => cfg,
+            // xlint: allow(no-panic-in-lib, documented panicking builder; try_build is the fallible form)
             Err(e) => panic!("invalid simulator configuration: {e}"),
         }
     }

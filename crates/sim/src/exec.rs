@@ -104,7 +104,7 @@ impl IrSm {
             .map(|w| {
                 let mut rng =
                     SmallRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
-                let trips = trip_count(kernel.blocks[0].weight, &mut rng);
+                let trips = trip_count(kernel.blocks.first().map_or(0.0, |b| b.weight), &mut rng);
                 WarpCtx {
                     state: WarpState::Running,
                     block: 0,
@@ -401,6 +401,7 @@ impl IrSm {
             self.warps[wi].state = WarpState::Waiting;
             return;
         }
+        // xlint: allow(no-panic-in-lib, state-machine invariant: Cached access is only emitted when an L1 is configured)
         let l1 = self.l1.as_mut().expect("cached warp without L1");
         match l1.access(addr, wi as u32) {
             Access::Hit => {
@@ -451,6 +452,7 @@ impl IrSm {
     }
 
     /// Run `warmup` unmeasured cycles then `measure` measured ones.
+    // xlint: determinism-root
     pub fn run(&mut self, warmup: u64, measure: u64) -> &SimStats {
         let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_RUN_IR);
         self.measuring = false;
@@ -472,6 +474,7 @@ impl IrSm {
 
     /// [`IrSm::run`] under a [`crate::Watchdog`] (see `Sm::run_watched`):
     /// budget overruns and fault-induced hangs become typed errors.
+    // xlint: determinism-root
     pub fn run_watched(
         &mut self,
         warmup: u64,
@@ -479,6 +482,7 @@ impl IrSm {
         watchdog: &crate::Watchdog,
     ) -> Result<&SimStats, crate::SimError> {
         let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_RUN_IR);
+        // xlint: allow(nondeterminism-in-result-path, watchdog wall-clock budget; overruns abort with a typed error and never alter stats)
         let started = std::time::Instant::now();
         let total = warmup + measure;
         let mut last_completed = self.stats.requests_completed;

@@ -368,6 +368,7 @@ impl Sm {
                 self.submit_mem(now, addr, TAG_DIRECT | wi as u64);
                 self.warps[wi].state = WarpState::Waiting;
             } else {
+                // xlint: allow(no-panic-in-lib, state-machine invariant: Cached access is only emitted when an L1 is configured)
                 let l1 = self.l1.as_mut().expect("cached warp without L1");
                 match l1.access(addr, wi as u32) {
                     Access::Hit => {
@@ -507,6 +508,7 @@ impl Sm {
     }
 
     /// Run `warmup` unmeasured cycles then `measure` measured ones.
+    // xlint: determinism-root
     pub fn run(&mut self, warmup: u64, measure: u64) -> &SimStats {
         let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_RUN);
         self.measuring = false;
@@ -531,6 +533,7 @@ impl Sm {
     /// budget, or (during the measured phase) stops completing requests
     /// for `stall_cycles` — converting a fault-induced hang into an error
     /// instead of spinning forever or returning garbage stats.
+    // xlint: determinism-root
     pub fn run_watched(
         &mut self,
         warmup: u64,
@@ -538,6 +541,7 @@ impl Sm {
         watchdog: &Watchdog,
     ) -> Result<&SimStats, SimError> {
         let _span = xmodel_obs::span!(xmodel_obs::names::span::SIM_RUN);
+        // xlint: allow(nondeterminism-in-result-path, watchdog wall-clock budget; overruns abort with a typed error and never alter stats)
         let started = std::time::Instant::now();
         let total = warmup + measure;
         let mut last_completed = self.stats.requests_completed;

@@ -25,7 +25,7 @@ pub fn self_time_bars(entries: &[(String, f64)], width: usize, top: usize) -> St
         .max()
         .unwrap_or(7)
         .min(32);
-    let max = sorted[0].1;
+    let max = sorted.first().map_or(1.0, |(_, v)| *v);
 
     let mut out = String::new();
     let mut row = |name: &str, value: f64| {

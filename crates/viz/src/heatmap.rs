@@ -62,6 +62,22 @@ impl Heatmap {
         }
     }
 
+    /// First and last x-axis ticks (0 when the axis is empty).
+    fn x_bounds(&self) -> (f64, f64) {
+        (
+            self.xs.first().copied().unwrap_or(0.0),
+            self.xs.last().copied().unwrap_or(0.0),
+        )
+    }
+
+    /// First and last y-axis ticks (0 when the axis is empty).
+    fn y_bounds(&self) -> (f64, f64) {
+        (
+            self.ys.first().copied().unwrap_or(0.0),
+            self.ys.last().copied().unwrap_or(0.0),
+        )
+    }
+
     /// `(min, max)` of the finite values (`(0, 1)` when none are finite).
     pub fn range(&self) -> (f64, f64) {
         let finite: Vec<f64> = self
@@ -96,6 +112,8 @@ impl Heatmap {
 
     /// Render to SVG with a sequential colour scale and a colour bar.
     pub fn to_svg(&self, width: f64, height: f64) -> String {
+        let (x0, x1) = self.x_bounds();
+        let (y0, y1) = self.y_bounds();
         let (ml, mr, mt, mb) = (56.0, 70.0, 30.0, 46.0);
         let (pw, ph) = (width - ml - mr, height - mt - mb);
         let mut doc = SvgDoc::new(width, height);
@@ -120,31 +138,10 @@ impl Heatmap {
         doc.rect(ml, mt, pw, ph, "none", Some("#666"));
 
         // Axis labels at the corners of the grid.
-        doc.text(
-            ml,
-            mt + ph + 16.0,
-            &Axis::fmt(self.xs[0]),
-            10.0,
-            "start",
-            0.0,
-        );
-        doc.text(
-            ml + pw,
-            mt + ph + 16.0,
-            &Axis::fmt(*self.xs.last().unwrap()),
-            10.0,
-            "end",
-            0.0,
-        );
-        doc.text(ml - 6.0, mt + ph, &Axis::fmt(self.ys[0]), 10.0, "end", 0.0);
-        doc.text(
-            ml - 6.0,
-            mt + 10.0,
-            &Axis::fmt(*self.ys.last().unwrap()),
-            10.0,
-            "end",
-            0.0,
-        );
+        doc.text(ml, mt + ph + 16.0, &Axis::fmt(x0), 10.0, "start", 0.0);
+        doc.text(ml + pw, mt + ph + 16.0, &Axis::fmt(x1), 10.0, "end", 0.0);
+        doc.text(ml - 6.0, mt + ph, &Axis::fmt(y0), 10.0, "end", 0.0);
+        doc.text(ml - 6.0, mt + 10.0, &Axis::fmt(y1), 10.0, "end", 0.0);
         doc.text(
             width / 2.0,
             height - 8.0,
@@ -192,8 +189,8 @@ impl Heatmap {
         out.push_str(&format!(
             "{:>9}  {}..{}  ({})\n",
             "",
-            Axis::fmt(self.xs[0]),
-            Axis::fmt(*self.xs.last().unwrap()),
+            Axis::fmt(self.x_bounds().0),
+            Axis::fmt(self.x_bounds().1),
             self.x_label
         ));
         out

@@ -210,7 +210,9 @@ pub fn bfs_frontier(nodes: usize, avg_degree: usize, warps: u32, seed: u64) -> R
     // BFS, assigning frontier vertices round-robin to warps.
     let mut recs: Vec<Recorder> = (0..warps).map(|_| Recorder::new()).collect();
     let mut visited = vec![false; nodes];
-    visited[0] = true;
+    if let Some(start) = visited.first_mut() {
+        *start = true;
+    }
     let mut frontier = vec![0u32];
     while !frontier.is_empty() {
         let mut next = Vec::new();

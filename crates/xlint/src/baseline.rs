@@ -50,6 +50,19 @@ impl Baseline {
     /// Split findings into `(new, suppressed)` by consuming baseline
     /// entries in order.
     pub fn partition<'f>(&self, findings: &'f [Finding]) -> (Vec<&'f Finding>, Vec<&'f Finding>) {
+        let (fresh, suppressed, _) = self.partition_full(findings);
+        (fresh, suppressed)
+    }
+
+    /// Like [`Baseline::partition`], additionally returning the *stale*
+    /// baseline keys — entries that matched no current finding (with
+    /// multiplicity). A non-empty stale set means the code they
+    /// suppressed has since been fixed and the baseline should be pruned
+    /// (`--prune-baseline`); CI rejects staleness via `--deny-stale`.
+    pub fn partition_full<'f>(
+        &self,
+        findings: &'f [Finding],
+    ) -> (Vec<&'f Finding>, Vec<&'f Finding>, Vec<String>) {
         let mut remaining = self.counts.clone();
         let mut fresh = Vec::new();
         let mut suppressed = Vec::new();
@@ -62,7 +75,14 @@ impl Baseline {
                 _ => fresh.push(f),
             }
         }
-        (fresh, suppressed)
+        let mut stale: Vec<String> = Vec::new();
+        for (key, n) in &remaining {
+            for _ in 0..*n {
+                stale.push(key.clone());
+            }
+        }
+        stale.sort();
+        (fresh, suppressed, stale)
     }
 
     /// Render findings as baseline file contents (sorted, with header).
@@ -91,6 +111,7 @@ mod tests {
             severity: Severity::Warning,
             message: String::new(),
             text: text.to_string(),
+            chain: Vec::new(),
         }
     }
 
@@ -109,6 +130,17 @@ mod tests {
         let base = Baseline::parse("# hi\n\nno-panic-in-lib\tp.rs\tx.unwrap();\n");
         assert_eq!(base.len(), 1);
         assert!(!base.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported_with_multiplicity() {
+        let a = finding("no-panic-in-lib", "crates/core/src/x.rs", "v.unwrap();");
+        let gone = finding("no-panic-in-lib", "crates/core/src/y.rs", "w.unwrap();");
+        let base = Baseline::parse(&Baseline::render(&[a.clone(), gone.clone(), gone.clone()]));
+        let (fresh, suppressed, stale) = base.partition_full(std::slice::from_ref(&a));
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(stale, vec![gone.baseline_key(), gone.baseline_key()]);
     }
 
     #[test]

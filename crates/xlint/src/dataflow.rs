@@ -1,0 +1,381 @@
+//! The call-graph dataflow lints.
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `nondeterminism-in-result-path` | functions transitively reachable from a `// xlint: determinism-root` fn must not read wall-clock time, seed RNGs from the environment, iterate hash containers, read thread identity / core counts, or read environment variables |
+//! | `lock-in-result-path` | no `Mutex`/`RwLock` acquisition reachable from a determinism root |
+//! | `metric-docs-sync` | every `obs::names` span/metric constant appears in the DESIGN.md metric-inventory table and vice versa |
+//!
+//! The first two walk the [`crate::graph::CallGraph`] breadth-first
+//! from the annotated roots and attach a **witness chain**
+//! (`root → … → offender`) to every finding, so a CI failure already
+//! names the path that lets the nondeterminism reach result bytes.
+//! Sanctioned sites — tracing-gated timing, side-channel tallies,
+//! watchdog clocks — carry an inline `// xlint: allow(lint-id, reason)`
+//! and are suppressed before the baseline is even consulted.
+//!
+//! Calls into the `obs` crate are deliberately not traversed: the
+//! observability layer is a by-design side channel whose gating is
+//! enforced end-to-end by the byte-identity smokes in `scripts/ci.sh`,
+//! and traversing it would force an allow on every tracing-gated tally.
+
+use crate::graph::CallGraph;
+use crate::lints::{Finding, Severity};
+use crate::parser::{CallSite, ParsedFile};
+
+/// Crates never descended into by the dataflow traversal (observability
+/// side channel; see module docs).
+pub const SANCTIONED_CRATES: [&str; 1] = ["obs"];
+
+/// Hash-container methods whose iteration order is nondeterministic.
+const HASH_ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// Classify a path call/reference as a nondeterminism source.
+/// Returns the human-readable source description.
+fn nondet_source(segments: &[String]) -> Option<&'static str> {
+    let n = segments.len();
+    let last = segments.last()?.as_str();
+    let penult = (n >= 2).then(|| segments[n - 2].as_str());
+    match (penult, last) {
+        (Some("Instant"), "now") | (Some("SystemTime"), "now") => Some("wall-clock read"),
+        (Some("thread"), "current") => Some("thread-identity read"),
+        (_, "available_parallelism") => Some("core-count read"),
+        (_, "thread_rng") | (_, "from_entropy") | (_, "from_os_rng") => {
+            Some("environment-seeded RNG")
+        }
+        (Some("rand"), "random") => Some("environment-seeded RNG"),
+        (Some("env"), "var")
+        | (Some("env"), "vars")
+        | (Some("env"), "var_os")
+        | (Some("env"), "vars_os") => Some("environment read"),
+        _ => None,
+    }
+}
+
+/// Run `nondeterminism-in-result-path` and `lock-in-result-path` over
+/// the graph, pushing findings (with witness chains) into `out`.
+pub fn result_path_lints(files: &[ParsedFile], graph: &CallGraph, out: &mut Vec<Finding>) {
+    let pred = graph.reachable_from_roots();
+    for (&id, _) in pred.iter() {
+        let sym = &graph.symbols[id];
+        if SANCTIONED_CRATES.contains(&sym.crate_name.as_str()) {
+            continue;
+        }
+        let file = &files[sym.file];
+        let item = &file.fns[sym.item];
+        let chain = graph.chain(&pred, id);
+        let mut push = |lint: &'static str, line: u32, message: String| {
+            out.push(Finding {
+                lint,
+                path: sym.path.clone(),
+                line,
+                severity: Severity::Error,
+                message,
+                text: String::new(), // caller fills from source text
+                chain: chain.clone(),
+            });
+        };
+        // `.read()`/`.write()` are only lock acquisitions when the
+        // function actually touches an RwLock; bare `.lock()` always is.
+        let mentions_rwlock = item.calls.iter().any(|c| match c {
+            CallSite::Path { segments, .. } | CallSite::Ref { segments, .. } => {
+                segments.iter().any(|s| s == "RwLock")
+            }
+            CallSite::Method { .. } => false,
+        });
+        let has_hash_container = !item.hash_container_lines.is_empty();
+        for call in &item.calls {
+            match call {
+                CallSite::Path { segments, line } | CallSite::Ref { segments, line } => {
+                    if let Some(kind) = nondet_source(segments) {
+                        push(
+                            "nondeterminism-in-result-path",
+                            *line,
+                            format!(
+                                "{kind} (`{}`) in a function reachable from a determinism \
+                                 root; result bytes must not depend on it — restructure, or \
+                                 annotate the sanctioned site with \
+                                 `// xlint: allow(nondeterminism-in-result-path, reason)`",
+                                segments.join("::")
+                            ),
+                        );
+                    }
+                }
+                CallSite::Method { name, line } => {
+                    let is_lock = name == "lock"
+                        || name == "try_lock"
+                        || (mentions_rwlock
+                            && matches!(
+                                name.as_str(),
+                                "read" | "write" | "try_read" | "try_write"
+                            ));
+                    if is_lock {
+                        push(
+                            "lock-in-result-path",
+                            *line,
+                            format!(
+                                "`.{name}()` acquisition in a function reachable from a \
+                                 determinism root; locks on the result path risk \
+                                 scheduling-dependent output — keep tallies in a side \
+                                 channel, or annotate with \
+                                 `// xlint: allow(lock-in-result-path, reason)`"
+                            ),
+                        );
+                    }
+                    if has_hash_container && HASH_ITER_METHODS.contains(&name.as_str()) {
+                        push(
+                            "nondeterminism-in-result-path",
+                            *line,
+                            format!(
+                                "`.{name}()` in a function that uses HashMap/HashSet and is \
+                                 reachable from a determinism root; hash iteration order is \
+                                 nondeterministic — use BTreeMap/Vec or sort before emission"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extract registered names from the `obs::names` source: string
+/// literals shaped like `subsystem.noun` (lowercase, dot-separated,
+/// no spaces). Help strings contain spaces and are skipped.
+pub fn registry_names(names_rs: &str) -> Vec<(String, u32)> {
+    let tokens = crate::lexer::lex(names_rs);
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != crate::lexer::TokenKind::Str {
+            continue;
+        }
+        let s = &t.text;
+        if s.contains('.')
+            && !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_')
+        {
+            out.push((s.clone(), t.line));
+        }
+    }
+    out.sort();
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+/// Markers delimiting the canonical metric-inventory table in DESIGN.md.
+pub const INVENTORY_BEGIN: &str = "<!-- xlint:metric-inventory:begin -->";
+/// Closing marker; see [`INVENTORY_BEGIN`].
+pub const INVENTORY_END: &str = "<!-- xlint:metric-inventory:end -->";
+
+/// Extract documented names from the DESIGN.md inventory block:
+/// backtick-quoted tokens, with `{a,b,c}` brace groups expanded
+/// (`fastpath.cache_{hits,misses}` → two names).
+pub fn documented_names(design_md: &str) -> Option<Vec<(String, u32)>> {
+    let mut out = Vec::new();
+    let mut inside = false;
+    let mut seen_begin = false;
+    for (i, line) in design_md.lines().enumerate() {
+        let ln = (i + 1) as u32;
+        if line.contains(INVENTORY_BEGIN) {
+            inside = true;
+            seen_begin = true;
+            continue;
+        }
+        if line.contains(INVENTORY_END) {
+            inside = false;
+            continue;
+        }
+        if !inside {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('`') else {
+                break;
+            };
+            let token = &tail[..close];
+            for name in expand_braces(token) {
+                if name.contains('.')
+                    && name.chars().all(|c| {
+                        c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'
+                    })
+                {
+                    out.push((name, ln));
+                }
+            }
+            rest = &tail[close + 1..];
+        }
+    }
+    if !seen_begin {
+        return None;
+    }
+    out.sort();
+    out.dedup_by(|a, b| a.0 == b.0);
+    Some(out)
+}
+
+/// Expand one level of `{a,b,c}` alternation in a name token.
+fn expand_braces(token: &str) -> Vec<String> {
+    let Some(open) = token.find('{') else {
+        return vec![token.to_string()];
+    };
+    let Some(close) = token[open..].find('}').map(|c| c + open) else {
+        return vec![token.to_string()];
+    };
+    let head = &token[..open];
+    let tail = &token[close + 1..];
+    token[open + 1..close]
+        .split(',')
+        .flat_map(|alt| expand_braces(&format!("{head}{}{tail}", alt.trim())))
+        .collect()
+}
+
+/// `metric-docs-sync`: the names registry and the DESIGN.md inventory
+/// must agree exactly.
+pub fn metric_docs_sync(
+    names_rs: Option<&(String, String)>, // (rel, text)
+    design_md: Option<&(String, String)>,
+    out: &mut Vec<Finding>,
+) {
+    let (Some((names_rel, names_text)), Some((design_rel, design_text))) = (names_rs, design_md)
+    else {
+        return; // nothing to check without both sides
+    };
+    let registry = registry_names(names_text);
+    let Some(documented) = documented_names(design_text) else {
+        out.push(Finding {
+            lint: "metric-docs-sync",
+            path: design_rel.clone(),
+            line: 1,
+            severity: Severity::Error,
+            message: format!(
+                "missing `{INVENTORY_BEGIN}` / `{INVENTORY_END}` markers around the metric \
+                 inventory table"
+            ),
+            text: String::new(),
+            chain: Vec::new(),
+        });
+        return;
+    };
+    for (name, line) in &registry {
+        if !documented.iter().any(|(d, _)| d == name) {
+            out.push(Finding {
+                lint: "metric-docs-sync",
+                path: names_rel.clone(),
+                line: *line,
+                severity: Severity::Error,
+                message: format!(
+                    "registered name `{name}` is missing from the DESIGN.md metric \
+                     inventory table"
+                ),
+                text: name.clone(),
+                chain: Vec::new(),
+            });
+        }
+    }
+    for (name, line) in &documented {
+        if !registry.iter().any(|(r, _)| r == name) {
+            out.push(Finding {
+                lint: "metric-docs-sync",
+                path: design_rel.clone(),
+                line: *line,
+                severity: Severity::Error,
+                message: format!("documented name `{name}` is not registered in `obs::names`"),
+                text: name.clone(),
+                chain: Vec::new(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nondet_sources_classify() {
+        let seg = |s: &str| s.split("::").map(str::to_string).collect::<Vec<_>>();
+        assert_eq!(nondet_source(&seg("Instant::now")), Some("wall-clock read"));
+        assert_eq!(
+            nondet_source(&seg("std::time::Instant::now")),
+            Some("wall-clock read")
+        );
+        assert_eq!(
+            nondet_source(&seg("std::env::var")),
+            Some("environment read")
+        );
+        assert_eq!(
+            nondet_source(&seg("std::thread::available_parallelism")),
+            Some("core-count read")
+        );
+        assert_eq!(
+            nondet_source(&seg("thread_rng")),
+            Some("environment-seeded RNG")
+        );
+        assert_eq!(nondet_source(&seg("Instant::elapsed")), None);
+        assert_eq!(nondet_source(&seg("solver::solve_with")), None);
+    }
+
+    #[test]
+    fn brace_expansion() {
+        assert_eq!(
+            expand_braces("fastpath.cache_{hits,misses,stale}"),
+            [
+                "fastpath.cache_hits",
+                "fastpath.cache_misses",
+                "fastpath.cache_stale"
+            ]
+        );
+        assert_eq!(expand_braces("sweep.items"), ["sweep.items"]);
+        assert_eq!(
+            expand_braces("degrade.{exact,grid_scan}_us"),
+            ["degrade.exact_us", "degrade.grid_scan_us"]
+        );
+    }
+
+    #[test]
+    fn docs_sync_catches_both_directions() {
+        let names = (
+            "crates/obs/src/names.rs".to_string(),
+            "pub const A: &str = \"a.one\";\npub const B: &str = \"b.two\";\n".to_string(),
+        );
+        let docs = (
+            "DESIGN.md".to_string(),
+            format!("{INVENTORY_BEGIN}\n| `a.one`, `c.three` |\n{INVENTORY_END}\n"),
+        );
+        let mut out = Vec::new();
+        metric_docs_sync(Some(&names), Some(&docs), &mut out);
+        let msgs: Vec<_> = out.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(out.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().any(|m| m.contains("`b.two`")));
+        assert!(msgs.iter().any(|m| m.contains("`c.three`")));
+    }
+
+    #[test]
+    fn docs_sync_clean_when_reconciled() {
+        let names = (
+            "crates/obs/src/names.rs".to_string(),
+            "pub const A: &str = \"a.one\"; pub const B: &str = \"b.two\";".to_string(),
+        );
+        let docs = (
+            "DESIGN.md".to_string(),
+            format!("{INVENTORY_BEGIN}\n| `a.one` | x |\n| `b.two` | y |\n{INVENTORY_END}\n"),
+        );
+        let mut out = Vec::new();
+        metric_docs_sync(Some(&names), Some(&docs), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

@@ -1,0 +1,469 @@
+//! Workspace symbol table and cross-crate call graph.
+//!
+//! Built from the per-file [`crate::parser::ParsedFile`] results:
+//! every non-test `fn` becomes a symbol; call sites are resolved
+//! through the file's `use` bindings (including `as` renames), `crate`
+//! / `self` prefixes and the `xmodel_<crate>` naming convention of the
+//! workspace. Method calls (`recv.m(…)`, receiver type unknown) are
+//! linked *conservatively by name* to every workspace method called
+//! `m`, except for names on a common-std denylist (`push`, `iter`, …)
+//! that would connect everything to everything.
+//!
+//! The graph is intentionally an over-approximation for reachability
+//! (extra edges can only add findings, which the allow-directive makes
+//! auditable) and an under-approximation at the denylist (a workspace
+//! method named `get` will not create edges) — both choices are pinned
+//! by tests.
+
+use std::collections::BTreeMap;
+
+use crate::parser::{CallSite, ParsedFile};
+
+/// Index of a symbol in [`CallGraph::symbols`].
+pub type SymbolId = usize;
+
+/// One function known to the workspace.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Owning crate directory name (`crates/<name>`), empty for files
+    /// outside `crates/`.
+    pub crate_name: String,
+    /// Module path (file location + inline `mod`s).
+    pub modules: Vec<String>,
+    /// `impl` type for methods.
+    pub self_ty: Option<String>,
+    /// Function name.
+    pub name: String,
+    /// File the symbol lives in (workspace-relative path).
+    pub path: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Index of the defining file in the input slice.
+    pub file: usize,
+    /// Index of the fn item within the file.
+    pub item: usize,
+    /// True when annotated `// xlint: determinism-root`.
+    pub is_root: bool,
+}
+
+impl Symbol {
+    /// Human-readable `crate::module::Type::name` display path.
+    pub fn display(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if !self.crate_name.is_empty() {
+            parts.push(&self.crate_name);
+        }
+        for m in &self.modules {
+            parts.push(m);
+        }
+        if let Some(ty) = &self.self_ty {
+            parts.push(ty);
+        }
+        parts.push(&self.name);
+        parts.join("::")
+    }
+}
+
+/// Method names too generic to resolve by name alone: linking them
+/// would glue std-container plumbing into every dataflow path.
+const COMMON_METHODS: [&str; 58] = [
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "from",
+    "into",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "contains",
+    "as_str",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "to_owned",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "drop",
+    "clear",
+    "extend",
+    "last",
+    "first",
+    "min",
+    "max",
+    "abs",
+    "floor",
+    "ceil",
+    "exp",
+    "ln",
+    "sqrt",
+    "powi",
+    "powf",
+    "then",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "ok",
+    "err",
+    "take",
+    "write",
+    "read",
+    "lock",
+    "flush",
+    "join",
+    "spawn",
+    "sort",
+    "finish",
+];
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// All non-test function symbols.
+    pub symbols: Vec<Symbol>,
+    /// Outgoing call edges per symbol (deduplicated, sorted).
+    pub edges: Vec<Vec<SymbolId>>,
+    by_name: BTreeMap<String, Vec<SymbolId>>,
+    crate_idents: BTreeMap<String, String>,
+}
+
+impl CallGraph {
+    /// Build the graph from parsed files. `files[i]` must correspond to
+    /// the same index used in the returned symbols' `file` field.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut g = CallGraph::default();
+        // Crate idents: `crates/core` is imported as `xmodel_core` (the
+        // workspace package-name convention) or occasionally by its bare
+        // directory name; register both spellings.
+        for f in files {
+            if let Some(c) = &f.crate_name {
+                g.crate_idents.insert(c.replace('-', "_"), c.clone());
+                g.crate_idents
+                    .insert(format!("xmodel_{}", c.replace('-', "_")), c.clone());
+            }
+        }
+        for (fi, f) in files.iter().enumerate() {
+            let crate_name = f.crate_name.clone().unwrap_or_default();
+            for (ii, item) in f.fns.iter().enumerate() {
+                if item.in_test {
+                    continue;
+                }
+                let mut modules = f.file_modules.clone();
+                modules.extend(item.modules.iter().cloned());
+                g.symbols.push(Symbol {
+                    crate_name: crate_name.clone(),
+                    modules,
+                    self_ty: item.self_ty.clone(),
+                    name: item.name.clone(),
+                    path: f.rel.clone(),
+                    line: item.line,
+                    file: fi,
+                    item: ii,
+                    is_root: item.is_root,
+                });
+            }
+        }
+        for (id, s) in g.symbols.iter().enumerate() {
+            g.by_name.entry(s.name.clone()).or_default().push(id);
+        }
+        // Resolve edges.
+        let mut edges: Vec<Vec<SymbolId>> = vec![Vec::new(); g.symbols.len()];
+        for (id, s) in g.symbols.iter().enumerate() {
+            let file = &files[s.file];
+            let item = &file.fns[s.item];
+            for call in &item.calls {
+                match call {
+                    CallSite::Path { segments, .. } | CallSite::Ref { segments, .. } => {
+                        edges[id].extend(g.resolve_path(file, s, segments));
+                    }
+                    CallSite::Method { name, .. } => {
+                        edges[id].extend(g.resolve_method(name));
+                    }
+                }
+            }
+            edges[id].sort_unstable();
+            edges[id].dedup();
+        }
+        g.edges = edges;
+        g
+    }
+
+    /// Resolve a method call by name across the workspace (see module
+    /// docs for the conservative-by-name rationale).
+    pub fn resolve_method(&self, name: &str) -> Vec<SymbolId> {
+        if COMMON_METHODS.contains(&name) {
+            return Vec::new();
+        }
+        self.by_name
+            .get(name)
+            .map(|ids| {
+                ids.iter()
+                    .copied()
+                    .filter(|&id| self.symbols[id].self_ty.is_some())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Resolve a (possibly qualified) path call from `from` in `file`.
+    pub fn resolve_path(
+        &self,
+        file: &ParsedFile,
+        from: &Symbol,
+        segments: &[String],
+    ) -> Vec<SymbolId> {
+        let Some(last) = segments.last() else {
+            return Vec::new();
+        };
+        if segments.len() == 1 {
+            // Bare call: prefer same file, then `use` bindings (which
+            // may bind a name with no same-spelling symbol, e.g.
+            // `use xmodel_alpha::helper as h;`), then same crate.
+            let candidates = self.by_name.get(last.as_str());
+            let same_file: Vec<SymbolId> = candidates
+                .into_iter()
+                .flatten()
+                .copied()
+                .filter(|&id| {
+                    self.symbols[id].path == from.path && self.symbols[id].self_ty.is_none()
+                })
+                .collect();
+            if !same_file.is_empty() {
+                return same_file;
+            }
+            if let Some(u) = file.uses.iter().find(|u| &u.name == last) {
+                return self.resolve_absolute(&u.path, from);
+            }
+            return candidates
+                .into_iter()
+                .flatten()
+                .copied()
+                .filter(|&id| {
+                    self.symbols[id].crate_name == from.crate_name
+                        && self.symbols[id].self_ty.is_none()
+                })
+                .collect();
+        }
+        if !self.by_name.contains_key(last.as_str()) {
+            return Vec::new();
+        }
+        // Expand the head segment through the file's `use` bindings.
+        let mut full: Vec<String> = Vec::new();
+        let head = segments.first().map(String::as_str).unwrap_or_default();
+        if let Some(u) = file.uses.iter().find(|u| u.name == head) {
+            full.extend(u.path.iter().cloned());
+            full.extend(segments[1..].iter().cloned());
+        } else {
+            full.extend(segments.iter().cloned());
+        }
+        self.resolve_absolute(&full, from)
+    }
+
+    /// Resolve an absolute-ish path (`xmodel_core::sweep::run`,
+    /// `crate::solver::solve_with`, `Type::method`, `self::helper`).
+    fn resolve_absolute(&self, segments: &[String], from: &Symbol) -> Vec<SymbolId> {
+        let Some(last) = segments.last() else {
+            return Vec::new();
+        };
+        let candidates = match self.by_name.get(last.as_str()) {
+            Some(c) => c,
+            None => return Vec::new(),
+        };
+        let head = segments.first().map(String::as_str).unwrap_or_default();
+        let (crate_filter, rest): (Option<&str>, &[String]) = if head == "crate" || head == "self" {
+            (Some(from.crate_name.as_str()), &segments[1..])
+        } else if head == "std" {
+            return Vec::new();
+        } else if let Some(c) = self.crate_idents.get(head) {
+            (Some(c.as_str()), &segments[1..])
+        } else {
+            (None, segments)
+        };
+        let qual: Option<&str> = if rest.len() >= 2 {
+            Some(rest[rest.len() - 2].as_str())
+        } else {
+            None
+        };
+        let matched: Vec<SymbolId> = candidates
+            .iter()
+            .copied()
+            .filter(|&id| {
+                let s = &self.symbols[id];
+                if let Some(cf) = crate_filter {
+                    if s.crate_name != cf {
+                        return false;
+                    }
+                }
+                match qual {
+                    // The penultimate segment must name either the
+                    // method's impl type or the enclosing module.
+                    Some(q) => {
+                        s.self_ty.as_deref() == Some(q)
+                            || s.modules.last().map(String::as_str) == Some(q)
+                            || self.crate_idents.contains_key(q)
+                                && s.self_ty.is_none()
+                                && s.modules.is_empty()
+                    }
+                    None => true,
+                }
+            })
+            .collect();
+        if matched.is_empty() && crate_filter.is_none() {
+            // `Type::assoc(…)` with the type in scope via `use`: fall
+            // back to matching the qual as an impl type anywhere.
+            if let Some(q) = qual {
+                return candidates
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.symbols[id].self_ty.as_deref() == Some(q))
+                    .collect();
+            }
+        }
+        matched
+    }
+
+    /// Breadth-first reachability from every annotated determinism
+    /// root. Returns, for each reachable symbol, the id of the symbol
+    /// it was first discovered from (roots map to themselves), so a
+    /// witness chain can be reconstructed with [`CallGraph::chain`].
+    pub fn reachable_from_roots(&self) -> BTreeMap<SymbolId, SymbolId> {
+        let mut pred: BTreeMap<SymbolId, SymbolId> = BTreeMap::new();
+        let mut queue: Vec<SymbolId> = Vec::new();
+        for (id, s) in self.symbols.iter().enumerate() {
+            if s.is_root {
+                pred.insert(id, id);
+                queue.push(id);
+            }
+        }
+        let mut qi = 0usize;
+        while qi < queue.len() {
+            let cur = queue[qi];
+            qi += 1;
+            for &next in &self.edges[cur] {
+                if let std::collections::btree_map::Entry::Vacant(e) = pred.entry(next) {
+                    e.insert(cur);
+                    queue.push(next);
+                }
+            }
+        }
+        pred
+    }
+
+    /// Reconstruct the root → … → `id` witness chain from a
+    /// predecessor map produced by [`CallGraph::reachable_from_roots`].
+    pub fn chain(&self, pred: &BTreeMap<SymbolId, SymbolId>, id: SymbolId) -> Vec<String> {
+        let mut chain = Vec::new();
+        let mut cur = id;
+        loop {
+            chain.push(self.symbols[cur].display());
+            let Some(&p) = pred.get(&cur) else {
+                break;
+            };
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn parsed(rel: &str, src: &str) -> ParsedFile {
+        let tokens = crate::lexer::lex(src);
+        let regions = crate::lints::cfg_test_regions(&tokens);
+        parse_file(rel, src, &regions)
+    }
+
+    #[test]
+    fn cross_crate_call_resolves_through_use_rename() {
+        let a = parsed(
+            "crates/alpha/src/lib.rs",
+            "pub fn helper() { deep(); }\nfn deep() {}\n",
+        );
+        let b = parsed(
+            "crates/beta/src/lib.rs",
+            "use xmodel_alpha::helper as h;\n// xlint: determinism-root\npub fn entry() { h(); }\n",
+        );
+        let g = CallGraph::build(&[a, b]);
+        let pred = g.reachable_from_roots();
+        let deep = g
+            .symbols
+            .iter()
+            .position(|s| s.name == "deep")
+            .expect("deep symbol");
+        assert!(pred.contains_key(&deep), "{pred:?} {:?}", g.edges);
+        let chain = g.chain(&pred, deep);
+        assert_eq!(chain, ["beta::entry", "alpha::helper", "alpha::deep"]);
+    }
+
+    #[test]
+    fn common_method_names_do_not_create_edges() {
+        let a = parsed(
+            "crates/alpha/src/lib.rs",
+            "impl W { pub fn push(&mut self) { std::process::exit(1); } }\n// xlint: determinism-root\npub fn entry(v: &mut Vec<u32>) { v.push(3); }\n",
+        );
+        let g = CallGraph::build(&[a]);
+        let pred = g.reachable_from_roots();
+        let push = g.symbols.iter().position(|s| s.name == "push").unwrap();
+        assert!(!pred.contains_key(&push));
+    }
+
+    #[test]
+    fn distinctive_method_names_link_conservatively() {
+        let a = parsed(
+            "crates/alpha/src/lib.rs",
+            "impl Table { pub fn tabulate(&self) {} }\n// xlint: determinism-root\npub fn entry(t: &Table) { t.tabulate(); }\n",
+        );
+        let g = CallGraph::build(&[a]);
+        let pred = g.reachable_from_roots();
+        let m = g.symbols.iter().position(|s| s.name == "tabulate").unwrap();
+        assert!(pred.contains_key(&m));
+    }
+
+    #[test]
+    fn crate_prefixed_paths_stay_in_crate() {
+        let a = parsed(
+            "crates/alpha/src/lib.rs",
+            "pub mod solver { pub fn solve_with() {} }\n",
+        );
+        let b = parsed(
+            "crates/alpha/src/run.rs",
+            "// xlint: determinism-root\npub fn go() { crate::solver::solve_with(); }\n",
+        );
+        let c = parsed(
+            "crates/gamma/src/lib.rs",
+            "pub mod solver { pub fn solve_with() {} }\n",
+        );
+        let g = CallGraph::build(&[a, b, c]);
+        let pred = g.reachable_from_roots();
+        let alpha = g
+            .symbols
+            .iter()
+            .position(|s| s.name == "solve_with" && s.crate_name == "alpha")
+            .unwrap();
+        let gamma = g
+            .symbols
+            .iter()
+            .position(|s| s.name == "solve_with" && s.crate_name == "gamma")
+            .unwrap();
+        assert!(pred.contains_key(&alpha));
+        assert!(!pred.contains_key(&gamma));
+    }
+}

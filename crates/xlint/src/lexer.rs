@@ -1,6 +1,9 @@
 //! A minimal Rust lexer: just enough token structure for the lint pass.
 //!
-//! Comments (line, doc, nested block) are discarded; string and char
+//! Comments (line, doc, nested block) are excluded from the token
+//! stream; line comments are additionally captured on the side (see
+//! [`lex_full`]) so `// xlint: …` control directives can be parsed
+//! without strings or code being able to fake them. String and char
 //! literals become single tokens carrying their unquoted content;
 //! identifiers, numbers and lifetimes are single tokens; every other
 //! byte is a one-character punctuation token. This is deliberately not a
@@ -49,6 +52,27 @@ impl Token {
     }
 }
 
+/// One `//` line comment, captured for directive parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text after the `//` (or `///`, `//!`) marker, trimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when source tokens precede the comment on the same line
+    /// (a trailing comment annotates its own line, not the next one).
+    pub trailing: bool,
+}
+
+/// Token stream plus the captured line comments.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
 fn is_ident_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_'
 }
@@ -63,8 +87,15 @@ fn is_ident_continue(b: u8) -> bool {
 /// bytes are skipped), so a syntactically broken file degrades to weaker
 /// linting rather than an error.
 pub fn lex(src: &str) -> Vec<Token> {
+    lex_full(src).tokens
+}
+
+/// [`lex`], additionally capturing `//` line comments so directive
+/// comments (`// xlint: allow(...)`) can be recognised.
+pub fn lex_full(src: &str) -> Lexed {
     let bytes = src.as_bytes();
-    let mut tokens = Vec::new();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
     let mut i = 0usize;
     let mut line: u32 = 1;
 
@@ -77,9 +108,18 @@ pub fn lex(src: &str) -> Vec<Token> {
             }
             b' ' | b'\t' | b'\r' => i += 1,
             b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
                 while i < bytes.len() && bytes[i] != b'\n' {
                     i += 1;
                 }
+                let text = src.get(start..i).unwrap_or_default();
+                let text = text.trim_start_matches('/').trim_start_matches('!').trim();
+                let trailing = tokens.last().map(|t| t.line == line).unwrap_or(false);
+                comments.push(Comment {
+                    text: text.to_string(),
+                    line,
+                    trailing,
+                });
             }
             b'/' if bytes.get(i + 1) == Some(&b'*') => {
                 // Nested block comment.
@@ -216,7 +256,7 @@ pub fn lex(src: &str) -> Vec<Token> {
             _ => i += 1, // non-ASCII outside strings/comments: skip
         }
     }
-    tokens
+    Lexed { tokens, comments }
 }
 
 fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
@@ -340,6 +380,27 @@ mod tests {
             2
         );
         assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_comments_are_captured_with_trailing_flag() {
+        let lexed = lex_full("let a = 1; // xlint: allow(x, y)\n// own line\n/// doc\nlet b;\n");
+        let texts: Vec<_> = lexed
+            .comments
+            .iter()
+            .map(|c| (c.text.as_str(), c.line, c.trailing))
+            .collect();
+        assert_eq!(
+            texts,
+            vec![
+                ("xlint: allow(x, y)", 1, true),
+                ("own line", 2, false),
+                ("doc", 3, false),
+            ]
+        );
+        // A string containing the marker is NOT a comment.
+        let lexed = lex_full("let s = \"// xlint: allow(a, b)\";");
+        assert!(lexed.comments.is_empty());
     }
 
     #[test]

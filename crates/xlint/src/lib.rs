@@ -1,7 +1,7 @@
 //! # xlint — workspace-local static analysis for the X-model repo
 //!
 //! A dependency-free lint pass that enforces repo invariants the stock
-//! toolchain cannot express:
+//! toolchain cannot express. Per-file token lints:
 //!
 //! * [`no-panic-in-lib`](lints) — library code must not contain panicking
 //!   constructs (`unwrap`, `expect`, `panic!`, integer-literal indexing);
@@ -13,36 +13,61 @@
 //!   types (`Threads`, `ReqPerCycle`, …), not bare `f64`, for dimensioned
 //!   parameters.
 //!
-//! Known findings live in a committed allowlist (`xlint.baseline`);
-//! anything not in the baseline fails the run, so violations are caught
-//! at introduction time. Run with `cargo run -p xlint` from the workspace
-//! root, or via `scripts/ci.sh`.
+//! Whole-workspace dataflow lints over the [`graph`] call graph (built by
+//! the [`parser`] item-level pass):
+//!
+//! * [`nondeterminism-in-result-path`](dataflow) — no wall-clock, RNG,
+//!   env, thread-identity or hash-iteration sources reachable from a
+//!   `// xlint: determinism-root` function;
+//! * [`lock-in-result-path`](dataflow) — no `Mutex`/`RwLock`
+//!   acquisition reachable from a determinism root;
+//! * [`metric-docs-sync`](dataflow) — `obs::names` and the DESIGN.md
+//!   metric inventory must agree exactly.
+//!
+//! Sanctioned sites are suppressed inline with
+//! `// xlint: allow(lint-id, reason)` (an empty reason is the
+//! `allow-missing-reason` finding); everything else not in the committed
+//! allowlist (`xlint.baseline`) fails the run, so violations are caught
+//! at introduction time. Run with `cargo run -p xlint` from the
+//! workspace root, or via `scripts/ci.sh`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod baseline;
+pub mod dataflow;
+pub mod graph;
 pub mod lexer;
 pub mod lints;
+pub mod parser;
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 pub use baseline::Baseline;
-pub use lints::{analyze_files, Finding, Severity, SourceFile};
+pub use lints::{analyze_files, analyze_files_full, Analysis, Finding, Severity, SourceFile};
 
-/// Schema tag for the JSON report format.
-pub const REPORT_SCHEMA: &str = "xmodel-xlint/1";
+/// Schema tag for the JSON report format (v2 adds `allowed`, `stale`
+/// and per-finding `chain` witness arrays).
+pub const REPORT_SCHEMA: &str = "xmodel-xlint/2";
 
 /// Directory names never descended into during the workspace walk.
-const SKIP_DIRS: [&str; 4] = ["target", ".git", ".claude", "node_modules"];
+/// `target/` and the vendored `compat/` stubs are skipped explicitly so
+/// self-check time does not grow with build artifacts or vendored code.
+const SKIP_DIRS: [&str; 5] = ["target", "compat", ".git", ".claude", "node_modules"];
 
-/// Collect every `.rs` file under `root`, returning workspace-relative
-/// paths with forward slashes, sorted for deterministic output.
+/// Collect every `.rs` file under `root` — plus `DESIGN.md` at the root
+/// when present (the `metric-docs-sync` lint reads it) — returning
+/// workspace-relative paths with forward slashes, sorted for
+/// deterministic output.
 pub fn workspace_files(root: &Path) -> io::Result<Vec<SourceFile>> {
     let mut paths: Vec<PathBuf> = Vec::new();
     collect_rs(root, &mut paths)?;
+    let design = root.join("DESIGN.md");
+    if design.is_file() {
+        paths.push(design);
+    }
     let mut files = Vec::with_capacity(paths.len());
     for path in paths {
         let text = fs::read_to_string(&path)?;
@@ -79,12 +104,13 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Walk the workspace at `root` and run every lint.
-pub fn analyze(root: &Path) -> io::Result<Vec<Finding>> {
-    Ok(analyze_files(&workspace_files(root)?))
+pub fn analyze(root: &Path) -> io::Result<Analysis> {
+    Ok(analyze_files_full(&workspace_files(root)?))
 }
 
-/// Render findings as a human-readable report, one line each.
-pub fn render_human(findings: &[&Finding], suppressed: usize) -> String {
+/// Render findings as a human-readable report: one line each, plus the
+/// witness chain (indented) for dataflow findings.
+pub fn render_human(findings: &[&Finding], suppressed: usize, allowed: usize) -> String {
     let mut out = String::new();
     for f in findings {
         out.push_str(&format!(
@@ -96,17 +122,26 @@ pub fn render_human(findings: &[&Finding], suppressed: usize) -> String {
             f.message,
             f.text
         ));
+        if !f.chain.is_empty() {
+            out.push_str(&format!("    via {}\n", f.chain.join(" → ")));
+        }
     }
     out.push_str(&format!(
-        "xlint: {} new finding(s), {} baselined\n",
+        "xlint: {} new finding(s), {} baselined, {} allowed inline\n",
         findings.len(),
-        suppressed
+        suppressed,
+        allowed
     ));
     out
 }
 
-/// Render findings as a JSON report (`xmodel-xlint/1`).
-pub fn render_json(findings: &[&Finding], suppressed: usize) -> String {
+/// Render findings as a JSON report (`xmodel-xlint/2`).
+pub fn render_json(
+    findings: &[&Finding],
+    suppressed: usize,
+    allowed: usize,
+    stale: &[String],
+) -> String {
     let mut out = String::new();
     out.push_str("{\"schema\":\"");
     out.push_str(REPORT_SCHEMA);
@@ -114,7 +149,18 @@ pub fn render_json(findings: &[&Finding], suppressed: usize) -> String {
     out.push_str(&findings.len().to_string());
     out.push_str(",\"baselined\":");
     out.push_str(&suppressed.to_string());
-    out.push_str(",\"findings\":[");
+    out.push_str(",\"allowed\":");
+    out.push_str(&allowed.to_string());
+    out.push_str(",\"stale\":");
+    out.push_str(&stale.len().to_string());
+    out.push_str(",\"stale_entries\":[");
+    for (i, key) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(&mut out, key);
+    }
+    out.push_str("],\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -131,7 +177,14 @@ pub fn render_json(findings: &[&Finding], suppressed: usize) -> String {
         json_string(&mut out, &f.message);
         out.push_str(",\"text\":");
         json_string(&mut out, &f.text);
-        out.push('}');
+        out.push_str(",\"chain\":[");
+        for (j, link) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json_string(&mut out, link);
+        }
+        out.push_str("]}");
     }
     out.push_str("]}\n");
     out
@@ -168,11 +221,61 @@ mod tests {
             severity: Severity::Error,
             message: "a \"quoted\" message".to_string(),
             text: "panic!(\"boom\");".to_string(),
+            chain: vec!["core::sweep::run".to_string(), "core::x::f".to_string()],
         };
-        let json = render_json(&[&f], 2);
-        assert!(json.contains("\"schema\":\"xmodel-xlint/1\""));
+        let json = render_json(&[&f], 2, 1, &["stale\tkey\there".to_string()]);
+        assert!(json.contains("\"schema\":\"xmodel-xlint/2\""));
         assert!(json.contains("\"new\":1"));
         assert!(json.contains("\"baselined\":2"));
+        assert!(json.contains("\"allowed\":1"));
+        assert!(json.contains("\"stale\":1"));
+        assert!(json.contains("stale\\tkey\\there"));
         assert!(json.contains("a \\\"quoted\\\" message"));
+        assert!(json.contains("\"chain\":[\"core::sweep::run\",\"core::x::f\"]"));
+    }
+
+    #[test]
+    fn human_report_prints_witness_chain() {
+        let f = Finding {
+            lint: "nondeterminism-in-result-path",
+            path: "crates/core/src/x.rs".to_string(),
+            line: 9,
+            severity: Severity::Error,
+            message: "wall-clock read".to_string(),
+            text: "Instant::now();".to_string(),
+            chain: vec!["core::sweep::run".to_string(), "core::x::f".to_string()],
+        };
+        let human = render_human(&[&f], 0, 0);
+        assert!(
+            human.contains("via core::sweep::run → core::x::f"),
+            "{human}"
+        );
+    }
+
+    #[test]
+    fn walk_skips_target_compat_and_hidden_dirs() {
+        let tmp = std::env::temp_dir().join(format!("xlint-walk-{}", std::process::id()));
+        let mk = |rel: &str, text: &str| {
+            let p = tmp.join(rel);
+            std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+            std::fs::write(p, text).unwrap();
+        };
+        mk("crates/a/src/lib.rs", "pub fn f() {}\n");
+        mk("crates/a/tests/t.rs", "fn t() {}\n");
+        mk("target/debug/build/gen.rs", "fn skipped() {}\n");
+        mk("compat/serde/src/lib.rs", "fn skipped() {}\n");
+        mk(".git/hooks/x.rs", "fn skipped() {}\n");
+        mk("DESIGN.md", "docs\n");
+        let walked: Vec<String> = workspace_files(&tmp)
+            .unwrap()
+            .into_iter()
+            .map(|f| f.rel)
+            .collect();
+        std::fs::remove_dir_all(&tmp).ok();
+        assert_eq!(
+            walked,
+            ["DESIGN.md", "crates/a/src/lib.rs", "crates/a/tests/t.rs"],
+            "walked set changed: {walked:?}"
+        );
     }
 }

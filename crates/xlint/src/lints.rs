@@ -1,4 +1,5 @@
-//! The four workspace lints, implemented as token-stream pattern matches.
+//! The workspace lints: token-stream pattern matches plus the
+//! call-graph dataflow passes from [`crate::dataflow`].
 //!
 //! | id | scope | catches |
 //! |---|---|---|
@@ -6,12 +7,24 @@
 //! | `span-name-registry` | all workspace crates | string literals passed to `span!` / metric helpers instead of `xmodel_obs::names` constants |
 //! | `schema-version-once` | all non-test sources | a `xmodel-<name>/<version>` schema literal defined more than once |
 //! | `quantity-api` | the Eq. (1)–(6) modules in `crates/core` | `pub fn` parameters named like model dimensions but typed bare `f64` |
+//! | `nondeterminism-in-result-path` | call graph from determinism roots | wall-clock, RNG, env, thread-id, hash-iteration sources (with witness chain) |
+//! | `lock-in-result-path` | call graph from determinism roots | `Mutex`/`RwLock` acquisitions (with witness chain) |
+//! | `metric-docs-sync` | `obs::names` + DESIGN.md | registry names and the doc inventory drifting apart |
+//! | `allow-missing-reason` | all directives | `// xlint: allow(..)` with an empty reason or unknown lint id |
 //!
 //! Test code is exempt everywhere: files under `tests/`, `benches/`,
 //! `examples/` or `fixtures/` directories, and `#[cfg(test)]` regions
 //! inside library files (found by brace matching on the token stream).
+//!
+//! Findings can be suppressed inline with
+//! `// xlint: allow(lint-id, reason)` on the offending line or the line
+//! above it; the suppression happens before the committed baseline is
+//! consulted, and an allow without a reason is itself a finding.
 
+use crate::dataflow;
+use crate::graph::CallGraph;
 use crate::lexer::{lex, Token, TokenKind};
+use crate::parser::{parse_file, Directive, ParsedFile};
 
 /// How serious a finding is. Both levels currently fail CI when new;
 /// the distinction is informational (warnings are candidates for
@@ -49,6 +62,9 @@ pub struct Finding {
     pub message: String,
     /// Trimmed text of the offending source line (baseline key).
     pub text: String,
+    /// Call-chain witness for dataflow findings
+    /// (`root → … → offending function`); empty for per-file lints.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -96,7 +112,7 @@ fn is_lib_code(rel: &str) -> bool {
 
 /// Line ranges covered by `#[cfg(test)]` items, found by scanning the
 /// token stream for the attribute and brace-matching the following item.
-fn cfg_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn cfg_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut regions = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -170,16 +186,55 @@ fn is_schema_literal(s: &str) -> bool {
         && version.chars().all(|c| c.is_ascii_digit())
 }
 
-/// Run every lint over the given files and return all findings, sorted by
-/// path, line, then lint id.
+/// Every lint id the allow directive may name.
+pub const LINT_IDS: [&str; 8] = [
+    "no-panic-in-lib",
+    "span-name-registry",
+    "schema-version-once",
+    "quantity-api",
+    "nondeterminism-in-result-path",
+    "lock-in-result-path",
+    "metric-docs-sync",
+    "allow-missing-reason",
+];
+
+/// The complete result of an analysis run: findings that survived
+/// inline `allow` suppression, plus the suppressed ones (for reporting).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Findings not suppressed by an inline allow directive, sorted by
+    /// path, line, then lint id.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an inline `// xlint: allow(..)`.
+    pub allowed: Vec<Finding>,
+}
+
+/// Run every lint over the given files and return the surviving
+/// findings (see [`analyze_files_full`] for the allow-suppressed set).
 pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
+    analyze_files_full(files).findings
+}
+
+/// Run every lint over the given files: the per-file token lints, the
+/// directive checks, and the whole-workspace dataflow lints.
+pub fn analyze_files_full(files: &[SourceFile]) -> Analysis {
     let mut findings = Vec::new();
     // (schema literal, path, line, trimmed text) across the whole workspace.
     let mut schema_sites: Vec<(String, String, u32, String)> = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
+    let mut names_rs: Option<(String, String)> = None;
+    let mut design_md: Option<(String, String)> = None;
 
     for file in files {
-        if is_exempt_path(&file.rel) {
+        if file.rel == "DESIGN.md" || file.rel.ends_with("/DESIGN.md") {
+            design_md = Some((file.rel.clone(), file.text.clone()));
             continue;
+        }
+        if !file.rel.ends_with(".rs") || is_exempt_path(&file.rel) {
+            continue;
+        }
+        if file.rel.ends_with("obs/src/names.rs") {
+            names_rs = Some((file.rel.clone(), file.text.clone()));
         }
         let tokens = lex(&file.text);
         let lines: Vec<&str> = file.text.lines().collect();
@@ -205,13 +260,85 @@ pub fn analyze_files(files: &[SourceFile]) -> Vec<Finding> {
                 ));
             }
         }
+
+        let pf = parse_file(&file.rel, &file.text, &test_regions);
+        allow_directive_lint(&pf, &lines, &mut findings);
+        parsed.push(pf);
     }
 
     schema_version_once(&schema_sites, &mut findings);
 
+    // Whole-workspace dataflow lints over the symbol graph.
+    let graph = CallGraph::build(&parsed);
+    let mut dataflow_findings = Vec::new();
+    dataflow::result_path_lints(&parsed, &graph, &mut dataflow_findings);
+    // Fill the offending source line (the baseline / suppression key).
+    for f in &mut dataflow_findings {
+        if let Some(file) = files.iter().find(|s| s.rel == f.path) {
+            let lines: Vec<&str> = file.text.lines().collect();
+            f.text = line_text(&lines, f.line);
+        }
+    }
+    findings.append(&mut dataflow_findings);
+    dataflow::metric_docs_sync(names_rs.as_ref(), design_md.as_ref(), &mut findings);
+
     findings
         .sort_by(|a, b| (a.path.as_str(), a.line, a.lint).cmp(&(b.path.as_str(), b.line, b.lint)));
-    findings
+    findings.dedup_by(|a, b| {
+        a.lint == b.lint && a.path == b.path && a.line == b.line && a.message == b.message
+    });
+
+    // Inline allow suppression, applied before the baseline.
+    let mut analysis = Analysis::default();
+    for f in findings {
+        let allowed = parsed.iter().filter(|p| p.rel == f.path).any(|p| {
+            p.directives.iter().any(|d| match &d.directive {
+                Directive::Allow { lint, reason } => {
+                    lint == f.lint && !reason.is_empty() && d.target_line == f.line
+                }
+                _ => false,
+            })
+        });
+        if allowed {
+            analysis.allowed.push(f);
+        } else {
+            analysis.findings.push(f);
+        }
+    }
+    analysis
+}
+
+/// `allow-missing-reason`: every allow directive needs a known lint id
+/// and a non-empty justification.
+fn allow_directive_lint(pf: &ParsedFile, lines: &[&str], out: &mut Vec<Finding>) {
+    for d in &pf.directives {
+        let Directive::Allow { lint, reason } = &d.directive else {
+            continue;
+        };
+        let message = if lint.is_empty() {
+            "unrecognized `// xlint:` directive; expected `allow(lint-id, reason)` or \
+             `determinism-root`"
+                .to_string()
+        } else if !LINT_IDS.contains(&lint.as_str()) {
+            format!("allow-directive names unknown lint `{lint}`")
+        } else if reason.is_empty() {
+            format!(
+                "allow-directive for `{lint}` has no reason; write \
+                 `// xlint: allow({lint}, why this site is sanctioned)`"
+            )
+        } else {
+            continue;
+        };
+        out.push(Finding {
+            lint: "allow-missing-reason",
+            path: pf.rel.clone(),
+            line: d.line,
+            severity: Severity::Error,
+            message,
+            text: line_text(lines, d.line),
+            chain: Vec::new(),
+        });
+    }
 }
 
 /// `no-panic-in-lib`: panicking constructs in non-test library code.
@@ -231,6 +358,7 @@ fn no_panic_in_lib(
             severity,
             message,
             text: line_text(lines, line),
+            chain: Vec::new(),
         });
     };
     for (i, t) in tokens.iter().enumerate() {
@@ -349,6 +477,7 @@ fn span_name_registry(
                     lit.text
                 ),
                 text: line_text(lines, lit.line),
+                chain: Vec::new(),
             });
         }
     }
@@ -375,6 +504,7 @@ fn schema_version_once(sites: &[(String, String, u32, String)], out: &mut Vec<Fi
                      exported SCHEMA constant instead"
                 ),
                 text: text.clone(),
+                chain: Vec::new(),
             });
         }
     }
@@ -459,6 +589,7 @@ fn quantity_api(
                         tok.text
                     ),
                     text: line_text(lines, tok.line),
+                    chain: Vec::new(),
                 });
             }
             p += 1;

@@ -7,10 +7,13 @@
 //!   --baseline PATH   baseline file (default: <root>/xlint.baseline)
 //!   --format FMT      `human` (default) or `json`
 //!   --write-baseline  rewrite the baseline from current findings, exit 0
+//!   --prune-baseline  drop stale baseline entries in place, exit 0
+//!   --deny-stale      treat stale baseline entries as a failure (exit 2)
 //! ```
 //!
-//! Exit codes: `0` clean (all findings baselined), `1` new findings,
-//! `2` usage or I/O error.
+//! Exit codes: `0` clean (all findings baselined or inline-allowed),
+//! `1` new findings, `2` usage/I/O error or stale baseline under
+//! `--deny-stale`.
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +27,8 @@ struct Options {
     baseline: Option<PathBuf>,
     format: Format,
     write_baseline: bool,
+    prune_baseline: bool,
+    deny_stale: bool,
 }
 
 #[derive(PartialEq)]
@@ -38,6 +43,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline: None,
         format: Format::Human,
         write_baseline: false,
+        prune_baseline: false,
+        deny_stale: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -56,9 +63,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 _ => return Err("--format must be `human` or `json`".to_string()),
             },
             "--write-baseline" => opts.write_baseline = true,
+            "--prune-baseline" => opts.prune_baseline = true,
+            "--deny-stale" => opts.deny_stale = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown option `{other}`")),
         }
+    }
+    if opts.write_baseline && opts.prune_baseline {
+        return Err("--write-baseline and --prune-baseline are mutually exclusive".to_string());
     }
     Ok(opts)
 }
@@ -80,8 +92,8 @@ fn find_root(start: &Path) -> Option<PathBuf> {
     }
 }
 
-const USAGE: &str =
-    "usage: xlint [--root PATH] [--baseline PATH] [--format human|json] [--write-baseline]";
+const USAGE: &str = "usage: xlint [--root PATH] [--baseline PATH] [--format human|json] \
+                     [--write-baseline | --prune-baseline] [--deny-stale]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -107,8 +119,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match analyze(&root) {
-        Ok(f) => f,
+    let analysis = match analyze(&root) {
+        Ok(a) => a,
         Err(err) => {
             eprintln!("xlint: failed to scan {}: {err}", root.display());
             return ExitCode::from(2);
@@ -118,14 +130,16 @@ fn main() -> ExitCode {
     let baseline_path = opts.baseline.unwrap_or_else(|| root.join("xlint.baseline"));
 
     if opts.write_baseline {
-        let contents = Baseline::render(&findings);
+        // Inline-allowed findings never enter the baseline: their
+        // suppression lives next to the code, with a reason.
+        let contents = Baseline::render(&analysis.findings);
         if let Err(err) = std::fs::write(&baseline_path, contents) {
             eprintln!("xlint: failed to write {}: {err}", baseline_path.display());
             return ExitCode::from(2);
         }
         eprintln!(
             "xlint: wrote {} entry(ies) to {}",
-            findings.len(),
+            analysis.findings.len(),
             baseline_path.display()
         );
         return ExitCode::SUCCESS;
@@ -140,12 +154,40 @@ fn main() -> ExitCode {
         }
     };
 
-    let (fresh, suppressed) = baseline.partition(&findings);
+    let (fresh, suppressed, stale) = baseline.partition_full(&analysis.findings);
+
+    if opts.prune_baseline {
+        let kept: Vec<_> = suppressed.iter().map(|f| (*f).clone()).collect();
+        let contents = Baseline::render(&kept);
+        if let Err(err) = std::fs::write(&baseline_path, contents) {
+            eprintln!("xlint: failed to write {}: {err}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "xlint: pruned {} stale entry(ies), kept {} in {}",
+            stale.len(),
+            kept.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let report = match opts.format {
-        Format::Human => render_human(&fresh, suppressed.len()),
-        Format::Json => render_json(&fresh, suppressed.len()),
+        Format::Human => render_human(&fresh, suppressed.len(), analysis.allowed.len()),
+        Format::Json => render_json(&fresh, suppressed.len(), analysis.allowed.len(), &stale),
     };
     print!("{report}");
+
+    if opts.deny_stale && !stale.is_empty() {
+        eprintln!(
+            "xlint: baseline has {} stale entry(ies); run `cargo run -p xlint -- --prune-baseline`:",
+            stale.len()
+        );
+        for key in &stale {
+            eprintln!("  {}", key.replace('\t', "  "));
+        }
+        return ExitCode::from(2);
+    }
 
     if fresh.is_empty() {
         ExitCode::SUCCESS

@@ -1,0 +1,737 @@
+//! Item-level parser: functions, `use` resolution and call sites.
+//!
+//! Sits on top of [`crate::lexer`] and extracts just enough structure
+//! for whole-workspace analysis: every `fn` item (with its enclosing
+//! `impl` type and module path), every `use` declaration (including
+//! `as` renames and `{…}` groups), and every call or qualified path
+//! reference inside each function body. [`crate::graph`] links the
+//! per-file results into a cross-crate call graph.
+//!
+//! Like the lexer, the parser is total: token sequences it does not
+//! understand are skipped, so a syntactically creative file degrades to
+//! weaker analysis rather than an error.
+
+use crate::lexer::{lex_full, Comment, Token, TokenKind};
+
+/// A control directive parsed from a `// xlint: …` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// `// xlint: allow(lint-id, reason)` — suppress findings of
+    /// `lint` on the directive's target line. An empty `reason` is
+    /// itself a finding (`allow-missing-reason`).
+    Allow {
+        /// Lint identifier being suppressed.
+        lint: String,
+        /// Justification (required; empty is a finding).
+        reason: String,
+    },
+    /// `// xlint: determinism-root` — the next `fn` item is a root of
+    /// the determinism dataflow lints: everything it transitively calls
+    /// must be free of nondeterminism and lock acquisition.
+    DeterminismRoot,
+}
+
+/// A directive plus where it applies.
+#[derive(Debug, Clone)]
+pub struct PlacedDirective {
+    /// The parsed directive.
+    pub directive: Directive,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Line the directive governs: its own line for trailing comments,
+    /// the next code line for own-line comments.
+    pub target_line: u32,
+}
+
+/// One `use` binding: local `name` resolves to `path` (absolute-ish
+/// segments as written, e.g. `["xmodel_core", "sweep", "run"]`).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// Local name introduced in this file.
+    pub name: String,
+    /// Path segments the name expands to.
+    pub path: Vec<String>,
+}
+
+/// A call or qualified-path reference inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallSite {
+    /// `foo(…)` or `a::b::foo(…)` — segments as written.
+    Path {
+        /// Path segments, last one is the callee name.
+        segments: Vec<String>,
+        /// 1-based line of the last segment.
+        line: u32,
+    },
+    /// `recv.method(…)` — receiver type unknown.
+    Method {
+        /// Method name.
+        name: String,
+        /// 1-based line of the method name.
+        line: u32,
+    },
+    /// A qualified path used as a value (`Instant::now` passed as a
+    /// closure), not directly called.
+    Ref {
+        /// Path segments.
+        segments: Vec<String>,
+        /// 1-based line of the last segment.
+        line: u32,
+    },
+}
+
+impl CallSite {
+    /// The source line of the site.
+    pub fn line(&self) -> u32 {
+        match self {
+            CallSite::Path { line, .. }
+            | CallSite::Method { line, .. }
+            | CallSite::Ref { line, .. } => *line,
+        }
+    }
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type, when the fn is a method (`Type::name`).
+    pub self_ty: Option<String>,
+    /// Module path within the file (`mod a { mod b { … } }` → `["a","b"]`).
+    pub modules: Vec<String>,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body.
+    pub end_line: u32,
+    /// True when the item sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// True when a `determinism-root` directive targets this fn.
+    pub is_root: bool,
+    /// Calls and path references in the body.
+    pub calls: Vec<CallSite>,
+    /// Lines where `HashMap`/`HashSet` identifiers appear in the body
+    /// (used by the hash-iteration heuristic).
+    pub hash_container_lines: Vec<u32>,
+}
+
+/// Parse result for one source file.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// `crates/<name>/…` → `<name>`.
+    pub crate_name: Option<String>,
+    /// Module path derived from the file location under `src/`
+    /// (`src/a/b.rs` → `["a","b"]`, `src/lib.rs` → `[]`).
+    pub file_modules: Vec<String>,
+    /// `use` bindings visible in this file.
+    pub uses: Vec<UseDecl>,
+    /// Function items.
+    pub fns: Vec<FnItem>,
+    /// All placed directives (allow + roots) in this file.
+    pub directives: Vec<PlacedDirective>,
+}
+
+/// Parse `xlint: …` directives out of captured comments; `tokens` are
+/// used to resolve each own-line comment to the next code line.
+pub fn parse_directives(comments: &[Comment], tokens: &[Token]) -> Vec<PlacedDirective> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.strip_prefix("xlint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let directive = if rest == "determinism-root" {
+            Directive::DeterminismRoot
+        } else if let Some(body) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            let (lint, reason) = match body.split_once(',') {
+                Some((l, r)) => (l.trim(), r.trim()),
+                None => (body.trim(), ""),
+            };
+            Directive::Allow {
+                lint: lint.to_string(),
+                reason: reason.to_string(),
+            }
+        } else {
+            // Unknown directive shapes are surfaced by the
+            // `allow-missing-reason` lint rather than ignored.
+            Directive::Allow {
+                lint: String::new(),
+                reason: rest.to_string(),
+            }
+        };
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            tokens
+                .iter()
+                .find(|t| t.line > c.line)
+                .map(|t| t.line)
+                .unwrap_or(c.line)
+        };
+        out.push(PlacedDirective {
+            directive,
+            line: c.line,
+            target_line,
+        });
+    }
+    out
+}
+
+/// `crates/<name>/src/...` → module path from the file location.
+fn file_module_path(rel: &str) -> (Option<String>, Vec<String>) {
+    let Some(rest) = rel.strip_prefix("crates/") else {
+        return (None, Vec::new());
+    };
+    let Some((krate, tail)) = rest.split_once('/') else {
+        return (None, Vec::new());
+    };
+    let Some(under_src) = tail.strip_prefix("src/") else {
+        return (Some(krate.to_string()), Vec::new());
+    };
+    let mut mods: Vec<String> = under_src
+        .trim_end_matches(".rs")
+        .split('/')
+        .map(str::to_string)
+        .collect();
+    match mods.last().map(String::as_str) {
+        Some("lib") | Some("main") if mods.len() == 1 => {
+            mods.pop();
+        }
+        Some("mod") => {
+            mods.pop();
+        }
+        _ => {}
+    }
+    if mods.first().map(String::as_str) == Some("bin") {
+        mods.clear();
+    }
+    (Some(krate.to_string()), mods)
+}
+
+/// Rust keywords that look like calls when followed by `(`.
+const NON_CALL_KEYWORDS: [&str; 14] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "as", "move", "ref",
+    "where", "else",
+];
+
+/// Parse one file into items. `test_regions` are the `#[cfg(test)]`
+/// line ranges computed by the caller (shared with the classic lints).
+pub fn parse_file(rel: &str, text: &str, test_regions: &[(u32, u32)]) -> ParsedFile {
+    let lexed = lex_full(text);
+    let tokens = &lexed.tokens;
+    let directives = parse_directives(&lexed.comments, tokens);
+    let (crate_name, file_modules) = file_module_path(rel);
+
+    let mut parsed = ParsedFile {
+        rel: rel.to_string(),
+        crate_name,
+        file_modules,
+        uses: Vec::new(),
+        fns: Vec::new(),
+        directives,
+    };
+
+    // Lines annotated as determinism roots (own-line or trailing).
+    let root_lines: Vec<u32> = parsed
+        .directives
+        .iter()
+        .filter(|d| d.directive == Directive::DeterminismRoot)
+        .map(|d| d.target_line)
+        .collect();
+
+    // Stack of (kind, name, depth-at-open). Kind: 'm' = mod, 'i' = impl.
+    let mut scope: Vec<(char, String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            while scope.last().map(|s| s.2 > depth).unwrap_or(false) {
+                scope.pop();
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "use" => {
+                let (decls, next) = parse_use(tokens, i + 1);
+                parsed.uses.extend(decls);
+                i = next;
+            }
+            "mod" => {
+                // `mod name {` opens an inline module; `mod name;` is a
+                // file reference handled by path mapping.
+                if let Some(name) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) {
+                    if tokens.get(i + 2).map(|n| n.is_punct('{')).unwrap_or(false) {
+                        scope.push(('m', name.text.clone(), depth + 1));
+                    }
+                }
+                i += 1;
+            }
+            "impl" => {
+                if let Some((ty, open)) = parse_impl_header(tokens, i) {
+                    scope.push(('i', ty, depth + 1));
+                    i = open;
+                } else {
+                    i += 1;
+                }
+            }
+            "fn" => {
+                if let Some((item, next)) = parse_fn(tokens, i, &scope, test_regions, &root_lines) {
+                    parsed.fns.push(item);
+                    i = next;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    parsed
+}
+
+/// Parse a `use …;` item starting after the `use` keyword. Returns the
+/// bindings plus the index just past the terminating `;`.
+fn parse_use(tokens: &[Token], mut i: usize) -> (Vec<UseDecl>, usize) {
+    // Collect the raw token texts up to `;`, then parse the tree
+    // textually — simpler than a token-tree walk and just as robust for
+    // the `a::b::{c, d as e}` shapes that occur in practice.
+    let mut text = String::new();
+    while let Some(t) = tokens.get(i) {
+        if t.is_punct(';') {
+            i += 1;
+            break;
+        }
+        match t.kind {
+            TokenKind::Ident | TokenKind::Num => {
+                text.push_str(&t.text);
+                text.push(' ');
+            }
+            TokenKind::Punct => text.push_str(&t.text),
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut decls = Vec::new();
+    expand_use_tree(&text, &[], &mut decls);
+    (decls, i)
+}
+
+/// Recursively expand a use-tree string (`a::b::{c, d as e}`).
+fn expand_use_tree(tree: &str, prefix: &[String], out: &mut Vec<UseDecl>) {
+    let tree = tree.trim();
+    if let Some(open) = tree.find('{') {
+        let head = &tree[..open];
+        let Some(body) = tree[open + 1..].strip_suffix('}').map(str::trim) else {
+            return;
+        };
+        let mut prefix = prefix.to_vec();
+        for seg in head.split("::").map(str::trim).filter(|s| !s.is_empty()) {
+            prefix.push(seg.to_string());
+        }
+        // Split the body on top-level commas.
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        for (idx, c) in body.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    expand_use_tree(&body[start..idx], &prefix, out);
+                    start = idx + 1;
+                }
+                _ => {}
+            }
+        }
+        expand_use_tree(&body[start..], &prefix, out);
+        return;
+    }
+    // Leaf: `a::b::c`, optionally `… as name`, or `…::*`.
+    let (path_text, rename) = match tree.split_once(" as ") {
+        Some((p, r)) => (p.trim(), Some(r.trim())),
+        None => (tree, None),
+    };
+    let mut path: Vec<String> = prefix.to_vec();
+    for seg in path_text
+        .split("::")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+    {
+        path.push(seg.to_string());
+    }
+    let Some(last) = path.last().cloned() else {
+        return;
+    };
+    if last == "*" {
+        return; // glob imports are not resolved
+    }
+    let name = rename.map(str::to_string).unwrap_or(last);
+    out.push(UseDecl { name, path });
+}
+
+/// Parse an `impl` header at `tokens[i]` (`impl`). Returns the
+/// self-type name and the index of the opening `{`.
+fn parse_impl_header(tokens: &[Token], i: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    let mut angle = 0usize;
+    let mut last_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    let mut saw_where = false;
+    while let Some(t) = tokens.get(j) {
+        if t.is_punct('{') && angle == 0 {
+            let ty = after_for.or(last_ident)?;
+            return Some((ty, j));
+        }
+        if t.is_punct(';') {
+            return None;
+        }
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle = angle.saturating_sub(1);
+        } else if angle == 0 && t.kind == TokenKind::Ident && !saw_where {
+            if t.text == "for" {
+                saw_for = true;
+            } else if t.text == "where" {
+                saw_where = true;
+            } else {
+                if saw_for && after_for.is_none() {
+                    after_for = Some(t.text.clone());
+                }
+                last_ident = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parse a `fn` item at `tokens[i]` (`fn`). Returns the item and the
+/// index just past the body's closing brace (or past the `;` for
+/// body-less trait declarations, in which case no item is returned).
+fn parse_fn(
+    tokens: &[Token],
+    i: usize,
+    scope: &[(char, String, usize)],
+    test_regions: &[(u32, u32)],
+    root_lines: &[u32],
+) -> Option<(FnItem, usize)> {
+    let name_tok = tokens.get(i + 1)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    // Find the body opening `{`, skipping the signature: parens and
+    // angle brackets nest; a `;` first means a trait method without a
+    // body (skip the item).
+    let mut j = i + 2;
+    let mut paren = 0usize;
+    loop {
+        let t = tokens.get(j)?;
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren = paren.saturating_sub(1);
+        } else if t.is_punct(';') && paren == 0 {
+            return None;
+        } else if t.is_punct('{') && paren == 0 {
+            break;
+        }
+        j += 1;
+    }
+    let body_open = j;
+    // Brace-match the body.
+    let mut depth = 0usize;
+    let mut end = body_open;
+    while let Some(t) = tokens.get(end) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        end += 1;
+    }
+    let body = tokens.get(body_open..=end.min(tokens.len().saturating_sub(1)))?;
+    let line = tokens[i].line;
+    let end_line = tokens.get(end).map(|t| t.line).unwrap_or(line);
+
+    // A determinism-root directive targets the first line of the item,
+    // which may be an attribute or doc line above the `fn` keyword —
+    // accept any target line between the directive and the fn name.
+    let is_root = root_lines
+        .iter()
+        .any(|&l| l >= line.saturating_sub(3) && l <= name_tok.line);
+
+    let (calls, mut hash_container_lines) = extract_calls(body);
+    // The signature also betrays hash containers (`m: &HashMap<..>`), so
+    // a root that only *receives* one still gets iteration checks.
+    for t in tokens.get(i..body_open).unwrap_or(&[]) {
+        if t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            hash_container_lines.push(t.line);
+        }
+    }
+    let self_ty = scope.iter().rev().find(|s| s.0 == 'i').map(|s| s.1.clone());
+    let modules = scope
+        .iter()
+        .filter(|s| s.0 == 'm')
+        .map(|s| s.1.clone())
+        .collect();
+    Some((
+        FnItem {
+            name: name_tok.text.clone(),
+            self_ty,
+            modules,
+            line,
+            end_line,
+            in_test: test_regions.iter().any(|&(a, b)| line >= a && line <= b),
+            is_root,
+            calls,
+            hash_container_lines,
+        },
+        end + 1,
+    ))
+}
+
+/// Extract call sites and qualified path references from a body slice.
+fn extract_calls(body: &[Token]) -> (Vec<CallSite>, Vec<u32>) {
+    let mut calls = Vec::new();
+    let mut hash_lines = Vec::new();
+    let mut i = 0usize;
+    while i < body.len() {
+        let t = &body[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        if t.text == "HashMap" || t.text == "HashSet" {
+            hash_lines.push(t.line);
+        }
+        // Method call: `.name(` — but `1.0.max(` style handled by lexer.
+        let prev_dot = i > 0 && body[i - 1].is_punct('.');
+        if prev_dot {
+            if body.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false) {
+                calls.push(CallSite::Method {
+                    name: t.text.clone(),
+                    line: t.line,
+                });
+            }
+            i += 1;
+            continue;
+        }
+        // Path chain: ident (:: ident)*.
+        let prev_colons = i >= 2 && body[i - 1].is_punct(':') && body[i - 2].is_punct(':');
+        if prev_colons {
+            i += 1; // interior of a chain already consumed below
+            continue;
+        }
+        let mut segments = vec![t.text.clone()];
+        let mut j = i;
+        while body.get(j + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+            && body.get(j + 2).map(|n| n.is_punct(':')).unwrap_or(false)
+            && body
+                .get(j + 3)
+                .map(|n| n.kind == TokenKind::Ident)
+                .unwrap_or(false)
+        {
+            segments.push(body[j + 3].text.clone());
+            j += 3;
+        }
+        let last_line = body[j].line;
+        let next = body.get(j + 1);
+        let is_macro = next.map(|n| n.is_punct('!')).unwrap_or(false);
+        let is_call = next.map(|n| n.is_punct('(')).unwrap_or(false);
+        if segments.len() == 1 {
+            let only = segments.first().map(String::as_str).unwrap_or_default();
+            if is_call && !is_macro && !NON_CALL_KEYWORDS.contains(&only) {
+                calls.push(CallSite::Path {
+                    segments,
+                    line: last_line,
+                });
+            }
+        } else if !is_macro {
+            if is_call {
+                calls.push(CallSite::Path {
+                    segments,
+                    line: last_line,
+                });
+            } else {
+                calls.push(CallSite::Ref {
+                    segments,
+                    line: last_line,
+                });
+            }
+        }
+        i = j + 1;
+    }
+    (calls, hash_lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(rel: &str, src: &str) -> ParsedFile {
+        let tokens = crate::lexer::lex(src);
+        let regions = crate::lints::cfg_test_regions(&tokens);
+        parse_file(rel, src, &regions)
+    }
+
+    #[test]
+    fn fn_items_with_impl_and_module_context() {
+        let src = "pub fn free() { helper(); }\n\
+                   impl Widget { fn method(&self) { self.other(); } }\n\
+                   mod inner { pub fn nested() {} }\n\
+                   impl Tr for Gadget { fn t(&self) {} }\n";
+        let p = parse("crates/demo/src/lib.rs", src);
+        let names: Vec<_> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.self_ty.as_deref(), f.modules.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("free", None, vec![]),
+                ("method", Some("Widget"), vec![]),
+                ("nested", None, vec!["inner".to_string()]),
+                ("t", Some("Gadget"), vec![]),
+            ]
+        );
+        assert_eq!(
+            p.fns[0].calls,
+            vec![CallSite::Path {
+                segments: vec!["helper".to_string()],
+                line: 1
+            }]
+        );
+        assert_eq!(
+            p.fns[1].calls,
+            vec![CallSite::Method {
+                name: "other".to_string(),
+                line: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn use_groups_and_renames_expand() {
+        let src = "use xmodel_core::sweep::{run, map as pmap};\nuse a::b::c;\nuse d::*;\n";
+        let p = parse("crates/demo/src/lib.rs", src);
+        let got: Vec<_> = p
+            .uses
+            .iter()
+            .map(|u| (u.name.as_str(), u.path.join("::")))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("run", "xmodel_core::sweep::run".to_string()),
+                ("pmap", "xmodel_core::sweep::map".to_string()),
+                ("c", "a::b::c".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn qualified_refs_and_calls_are_distinguished() {
+        let src = "fn f() { let t = flag.then(Instant::now); std::env::var(\"X\"); }\n";
+        let p = parse("crates/demo/src/lib.rs", src);
+        let calls = &p.fns[0].calls;
+        assert!(calls.contains(&CallSite::Ref {
+            segments: vec!["Instant".to_string(), "now".to_string()],
+            line: 1
+        }));
+        assert!(calls.contains(&CallSite::Path {
+            segments: vec!["std".to_string(), "env".to_string(), "var".to_string()],
+            line: 1
+        }));
+        assert!(calls.contains(&CallSite::Method {
+            name: "then".to_string(),
+            line: 1
+        }));
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let src = "fn f() { println!(\"x\"); vec![1]; xmodel_obs::span!(NAME); }\n";
+        let p = parse("crates/demo/src/lib.rs", src);
+        assert!(
+            p.fns[0]
+                .calls
+                .iter()
+                .all(|c| !matches!(c, CallSite::Path { segments, .. } if segments.last().map(String::as_str) == Some("println") || segments.last().map(String::as_str) == Some("span"))),
+            "{:?}",
+            p.fns[0].calls
+        );
+    }
+
+    #[test]
+    fn directives_resolve_target_lines() {
+        let src = "fn f() {\n    // xlint: allow(lock-in-result-path, ordered collection)\n    done.lock();\n    other(); // xlint: allow(no-panic-in-lib, trailing)\n}\n// xlint: determinism-root\nfn g() {}\n";
+        let p = parse("crates/demo/src/lib.rs", src);
+        let allows: Vec<_> = p
+            .directives
+            .iter()
+            .filter_map(|d| match &d.directive {
+                Directive::Allow { lint, .. } => Some((lint.as_str(), d.target_line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            allows,
+            vec![("lock-in-result-path", 3), ("no-panic-in-lib", 4)]
+        );
+        assert!(p.fns.iter().any(|f| f.name == "g" && f.is_root));
+        assert!(p.fns.iter().any(|f| f.name == "f" && !f.is_root));
+    }
+
+    #[test]
+    fn file_module_paths() {
+        assert_eq!(
+            file_module_path("crates/core/src/sweep.rs"),
+            (Some("core".to_string()), vec!["sweep".to_string()])
+        );
+        assert_eq!(
+            file_module_path("crates/core/src/lib.rs"),
+            (Some("core".to_string()), vec![])
+        );
+        assert_eq!(
+            file_module_path("crates/obs/src/a/mod.rs"),
+            (Some("obs".to_string()), vec!["a".to_string()])
+        );
+        assert_eq!(
+            file_module_path("crates/cli/src/bin/tool.rs"),
+            (Some("cli".to_string()), vec![])
+        );
+        assert_eq!(file_module_path("tests/x.rs"), (None, vec![]));
+    }
+
+    #[test]
+    fn hash_container_lines_are_collected() {
+        let src = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); for k in m.keys() {} }\n";
+        let p = parse("crates/demo/src/lib.rs", src);
+        assert!(!p.fns[0].hash_container_lines.is_empty());
+        assert!(p.fns[0].calls.contains(&CallSite::Method {
+            name: "keys".to_string(),
+            line: 1
+        }));
+    }
+}

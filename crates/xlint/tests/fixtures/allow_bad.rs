@@ -1,0 +1,12 @@
+//! Fixture for the `allow-missing-reason` lint: an allow with no
+//! reason, and an allow naming a lint that does not exist.
+
+pub fn reasonless() -> u64 {
+    // xlint: allow(no-panic-in-lib)
+    Some(1u64).unwrap()
+}
+
+pub fn unknown_lint() -> u64 {
+    // xlint: allow(made-up-lint, this lint id does not exist)
+    2
+}

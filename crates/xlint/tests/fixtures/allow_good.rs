@@ -1,0 +1,7 @@
+//! Fixture for a well-formed allow: lint id plus a non-empty reason
+//! suppresses the finding without touching the baseline.
+
+pub fn sanctioned() -> u64 {
+    // xlint: allow(no-panic-in-lib, fixture: value is a compile-time Some)
+    Some(1u64).unwrap()
+}

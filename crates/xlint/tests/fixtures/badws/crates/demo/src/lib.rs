@@ -1,0 +1,30 @@
+//! Deliberately nondeterministic fixture workspace for the dataflow
+//! lints: a wall-clock read two calls deep from the sweep root, and a
+//! Mutex acquisition in the result-assembly path. `scripts/ci.sh` and
+//! the integration tests assert both are caught with full witness
+//! chains.
+
+use std::sync::Mutex;
+
+// xlint: determinism-root
+pub fn sweep(items: &[u64]) -> Vec<u64> {
+    let out = Mutex::new(Vec::new());
+    for &it in items {
+        stamp(&out, it);
+    }
+    match out.into_inner() {
+        Ok(v) => v,
+        Err(_) => Vec::new(),
+    }
+}
+
+fn stamp(out: &Mutex<Vec<u64>>, it: u64) {
+    let jitter = clock();
+    if let Ok(mut v) = out.lock() {
+        v.push(it ^ jitter);
+    }
+}
+
+fn clock() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,10 @@
+//! Registry fixture for `metric-docs-sync`: `demo.cells` is registered
+//! here but missing from the fixture DESIGN.md inventory.
+
+/// Metric names.
+pub mod metric {
+    /// Counter documented in the fixture DESIGN.md.
+    pub const DEMO_RUNS: &str = "demo.runs";
+    /// Counter deliberately missing from the fixture DESIGN.md.
+    pub const DEMO_CELLS: &str = "demo.cells";
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: the same lock acquisition as `lock_pos.rs`,
+//! sanctioned with a reasoned inline allow.
+
+use std::sync::Mutex;
+
+// xlint: determinism-root
+pub fn collect(results: &Mutex<Vec<u64>>) -> usize {
+    // xlint: allow(lock-in-result-path, fixture: drop-box lock whose order cannot leak into the output)
+    match results.lock() {
+        Ok(v) => v.len(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,12 @@
+//! Positive fixture: a Mutex acquisition inside result assembly
+//! reachable from a determinism root must be flagged.
+
+use std::sync::Mutex;
+
+// xlint: determinism-root
+pub fn collect(results: &Mutex<Vec<u64>>) -> usize {
+    match results.lock() {
+        Ok(v) => v.len(),
+        Err(_) => 0,
+    }
+}

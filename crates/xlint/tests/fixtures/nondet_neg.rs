@@ -1,0 +1,18 @@
+//! Negative fixture: the same reachable wall-clock read as
+//! `nondet_pos.rs`, sanctioned with a reasoned inline allow.
+
+// xlint: determinism-root
+pub fn assemble() -> Vec<u64> {
+    helper()
+}
+
+fn helper() -> Vec<u64> {
+    deep()
+}
+
+fn deep() -> Vec<u64> {
+    // xlint: allow(nondeterminism-in-result-path, fixture: sanctioned timer that never reaches the output)
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+    vec![42]
+}

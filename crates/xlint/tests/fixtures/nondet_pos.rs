@@ -1,0 +1,16 @@
+//! Positive fixture: a wall-clock read two calls deep from a
+//! determinism root must be flagged with a full witness chain.
+
+// xlint: determinism-root
+pub fn assemble() -> Vec<u64> {
+    helper()
+}
+
+fn helper() -> Vec<u64> {
+    deep()
+}
+
+fn deep() -> Vec<u64> {
+    let t0 = std::time::Instant::now();
+    vec![t0.elapsed().as_nanos() as u64]
+}

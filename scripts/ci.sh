@@ -9,7 +9,32 @@ echo "=== cargo fmt --check ==="
 cargo fmt --check
 
 echo "=== xlint (workspace static analysis) ==="
-cargo run -q -p xlint -- --format json
+# --deny-stale: a baseline entry whose finding was fixed must be pruned
+# (scripts/xlint_baseline.sh), so the allowlist only ever shrinks by
+# review, never rots.
+xlint_out="$(cargo run -q -p xlint -- --format json --deny-stale)"
+echo "$xlint_out" | grep -q '"schema":"xmodel-xlint/2"' \
+  || { echo "xlint report is not xmodel-xlint/2: $xlint_out" >&2; exit 1; }
+
+echo "=== xlint dataflow smoke (fixture workspace must fail with witness chains) ==="
+# The deliberately broken fixture tree has a wall-clock read two calls
+# deep from its determinism root and a lock in result assembly; the v2
+# pass must flag both (exit 1) and carry non-empty call-chain witnesses.
+set +e
+badws_out="$(cargo run -q -p xlint -- \
+  --root crates/xlint/tests/fixtures/badws --baseline /dev/null --format json)"
+badws_status=$?
+set -e
+test "$badws_status" -eq 1 \
+  || { echo "xlint must exit 1 on the badws fixture (got $badws_status)" >&2; exit 1; }
+echo "$badws_out" | grep -q '"lint":"nondeterminism-in-result-path"' \
+  || { echo "badws: missing nondeterminism finding: $badws_out" >&2; exit 1; }
+echo "$badws_out" | grep -q '"lint":"lock-in-result-path"' \
+  || { echo "badws: missing lock finding: $badws_out" >&2; exit 1; }
+echo "$badws_out" | grep -q '"lint":"metric-docs-sync"' \
+  || { echo "badws: missing metric-docs-sync finding: $badws_out" >&2; exit 1; }
+echo "$badws_out" | grep -q '"chain":\["demo::sweep","demo::stamp","demo::clock"\]' \
+  || { echo "badws: witness chain missing or wrong: $badws_out" >&2; exit 1; }
 
 echo "=== cargo clippy (warnings are errors) ==="
 cargo clippy --workspace --all-targets -- -D warnings

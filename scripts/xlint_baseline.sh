@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Regenerate the committed xlint allowlist (xlint.baseline) from the
-# current findings, then verify a clean run against it.
+# current findings, then verify a clean, stale-free run against it.
 #
 # Use this after deliberately accepting a new finding (e.g. a documented
 # invariant `.expect`). Review the baseline diff in the PR — every added
 # line is a suppressed finding and needs a justification in review.
+# Prefer an inline `// xlint: allow(lint-id, reason)` next to the code
+# when the suppression has a *reason*: inline allows never enter the
+# baseline and carry their justification with them.
+#
+# To only drop entries whose code has been fixed (without re-accepting
+# anything new), use `cargo run -q -p xlint -- --prune-baseline`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo run -q -p xlint -- --write-baseline
-cargo run -q -p xlint
+cargo run -q -p xlint -- --deny-stale
 echo "xlint baseline regenerated and verified clean."
