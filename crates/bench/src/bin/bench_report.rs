@@ -30,7 +30,7 @@ use xmodel::workloads::TraceSpec;
 use xmodel_obs::json::{self as obs_json, JsonValue};
 
 /// Snapshot format version; bump on incompatible change.
-const SCHEMA: &str = "xmodel-bench/1";
+const SCHEMA: &str = xmodel_bench::BENCH_SCHEMA;
 
 /// Default relative regression threshold for compare mode.
 const DEFAULT_THRESHOLD: f64 = 0.25;

@@ -11,6 +11,12 @@
 
 pub mod json;
 
+/// Bench-snapshot format version, shared by `bench-report` (the
+/// measure/compare harness) and `serve-load` (the daemon load
+/// generator) so `scripts/bench_gate.sh` can gate either file; bump on
+/// incompatible change.
+pub const BENCH_SCHEMA: &str = "xmodel-bench/1";
+
 use std::fmt::Write as _;
 use std::path::PathBuf;
 

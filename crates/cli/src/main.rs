@@ -7,6 +7,7 @@
 //! xmodel workload <name> [opts]       analyze a suite workload on a GPU
 //! xmodel validate [--gpu <gpu>]       run the §V validation suite
 //! xmodel whatif [opts]                evaluate the §VI optimizations
+//! xmodel serve [opts]                 overload-safe solve/what-if daemon
 //! ```
 //!
 //! Every command accepts a global `--trace FILE` flag (or the
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
         "workload" => cmd_workload(rest),
         "validate" => cmd_validate(parse_flags(rest)),
         "whatif" => cmd_whatif(parse_flags(rest)),
+        "serve" => cmd_serve(parse_flags(rest)),
         "sim" => cmd_sim(parse_flags(rest)),
         "sweep" => cmd_sweep(parse_flags(rest)),
         "trace-report" => cmd_trace_report(rest),
@@ -252,6 +254,10 @@ fn usage() {
            workload NAME [--gpu GPU] [--l1 KIB] [--svg FILE]\n\
            validate [--gpu GPU]\n\
            whatif [--gpu GPU] [--workload NAME] [--l1 KIB]\n\
+           serve [--addr H:P] [--workers N] [--queue N] [--timeout MS]\n\
+                 [--drain-timeout MS] [--grid-watermark F] [--baseline-watermark F]\n\
+                 [--shards N] [--samples S] [--io-timeout MS]\n\
+                 (solve/sweep/whatif daemon; drain with POST /quitck)\n\
            sim --workload NAME [--gpu GPU] [--warps N] [--l1 KIB] [--ir]\n\
            sweep --n-max N (--gpu GPU [--dp] | --m M --r R --l L) --z Z [--e E]\n\
                  [--l1 KIB --alpha A --beta B] [--points P] [--samples S]\n\
@@ -270,7 +276,8 @@ fn usage() {
            --fault-spec SPEC     inject deterministic faults (chaos testing), e.g.\n\
                                  seed=7,spike=0.01x8,drop=0.001,dup=0.001,\n\
                                  throttle=1000:0.2:0.25,sink-tear=0.01,sink-error=0.01,\n\
-                                 solver=no-bracket|no-grid\n\
+                                 solver=no-bracket|no-grid,serve-slow-client=0.1,\n\
+                                 serve-torn-body=0.1,serve-stall=40\n\
          \n\
          environment:\n\
            XMODEL_TRACE          trace file, when --trace is absent\n\
@@ -1051,6 +1058,73 @@ fn cmd_whatif(flags: HashMap<String, String>) -> Result<(), CliError> {
             ),
             None => println!("  {name:<20} (no equilibrium)"),
         }
+    }
+    Ok(())
+}
+
+/// Parse an optional unsigned-integer flag.
+fn get_u64(flags: &HashMap<String, String>, key: &str) -> Result<Option<u64>, String> {
+    match flags.get(key) {
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|e| format!("--{key}: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// `xmodel serve`: boot the overload-safe daemon (`core::serve`) and
+/// block until it drains (`POST /quitck`). The listen address is
+/// printed to stdout (and flushed) before blocking so scripts can bind
+/// port 0 and scrape the resolved port. Worker stalls from the global
+/// fault spec (`serve-stall=MS`) are wired through for chaos testing.
+fn cmd_serve(flags: HashMap<String, String>) -> Result<(), CliError> {
+    use xmodel::core::serve::{ServeConfig, Server};
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| defaults.addr.clone()),
+        workers: get_u64(&flags, "workers")?.map_or(defaults.workers, |v| v.max(1) as usize),
+        queue_capacity: get_u64(&flags, "queue")?
+            .map_or(defaults.queue_capacity, |v| v.max(1) as usize),
+        default_deadline_ms: get_u64(&flags, "timeout")?
+            .map_or(defaults.default_deadline_ms, |v| v.max(1)),
+        drain_deadline_ms: get_u64(&flags, "drain-timeout")?
+            .map_or(defaults.drain_deadline_ms, |v| v.max(1)),
+        grid_watermark: get_f64(&flags, "grid-watermark")?.unwrap_or(defaults.grid_watermark),
+        baseline_watermark: get_f64(&flags, "baseline-watermark")?
+            .unwrap_or(defaults.baseline_watermark),
+        stall_ms: fault_spec().serve_stall_ms,
+        cache_shards: get_u64(&flags, "shards")?
+            .map_or(defaults.cache_shards, |v| v.max(1) as usize),
+        io_timeout_ms: get_u64(&flags, "io-timeout")?.map_or(defaults.io_timeout_ms, |v| v.max(1)),
+        samples: get_u64(&flags, "samples")?
+            .map_or(defaults.samples, |v| v.clamp(64, 65_536) as usize),
+    };
+    // The serve.* counters/gauges/histograms are silently dropped when
+    // no sink is installed; a daemon must always be scrapeable.
+    if !xmodel_obs::enabled() {
+        xmodel_obs::install(Box::new(xmodel_obs::NullSink));
+    }
+    let server = Server::start(cfg).map_err(|e| CliError::Model(format!("serve: {e}")))?;
+    println!("serve: listening on http://{}", server.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report = server.wait();
+    println!(
+        "serve: drained — served {} shed {} deadline-exceeded {} malformed {} forced-degrade {}",
+        report.served,
+        report.shed,
+        report.deadline_exceeded,
+        report.malformed,
+        report.forced_degrade
+    );
+    if !report.clean_drain {
+        return Err(CliError::Model(
+            "serve: drain deadline exceeded; in-flight work abandoned".to_string(),
+        ));
     }
     Ok(())
 }

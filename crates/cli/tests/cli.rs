@@ -597,3 +597,73 @@ fn sweep_output_is_byte_identical_with_tracing_enabled() {
     std::fs::remove_file(&t1).ok();
     std::fs::remove_file(&t4).ok();
 }
+
+#[test]
+fn serve_boots_answers_and_drains_clean() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_xmodel"))
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--queue",
+            "8",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn xmodel serve");
+    let mut lines = BufReader::new(child.stdout.take().expect("child stdout")).lines();
+    let banner = lines
+        .next()
+        .expect("listening banner")
+        .expect("read banner");
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .expect("address in banner")
+        .trim()
+        .to_string();
+
+    let request = |raw: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+            .expect("timeout");
+        stream.write_all(raw.as_bytes()).expect("write");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("read");
+        text
+    };
+    let post = |path: &str, body: &str| -> String {
+        request(&format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ))
+    };
+
+    // A good solve answers 200 with exact-rung provenance.
+    let solve = post(
+        "/solve",
+        "{\"gpu\":\"fermi\",\"z\":20,\"n\":48,\"l1_kib\":16}",
+    );
+    assert!(solve.starts_with("HTTP/1.1 200"), "{solve:?}");
+    assert!(solve.contains("\"degradation\":\"exact\""), "{solve:?}");
+
+    // Garbage is a typed 400, not a crash.
+    let bad = post("/solve", "{not json");
+    assert!(bad.starts_with("HTTP/1.1 400"), "{bad:?}");
+
+    // Health endpoints respond.
+    let health = request("GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health:?}");
+
+    // Drain via /quitck: the process must exit 0 on its own.
+    let drain = post("/quitck", "");
+    assert!(drain.starts_with("HTTP/1.1 200"), "{drain:?}");
+    let status = child.wait().expect("wait for drained server");
+    assert!(status.success(), "drained server must exit 0: {status:?}");
+}

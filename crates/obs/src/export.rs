@@ -13,10 +13,9 @@
 //! is configured nothing here runs and the instrumentation fast path is
 //! untouched.
 
+use crate::http::{self, HttpLimits, Response};
 use crate::metrics;
-use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::time::Duration;
 
 /// Handle to a running exporter. Dropping it does **not** stop the
 /// server — the thread is detached and serves until process exit, which
@@ -51,35 +50,26 @@ pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
     Ok(MetricsServer { addr: bound })
 }
 
-fn handle_connection(stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers until the blank line; we never need their contents.
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
+/// Prometheus exposition-format content type.
+const PROMETHEUS_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    // The bounded reader replaces the old unbounded `read_line` loop: a
+    // client streaming an endless header (or just stalling) now gets a
+    // typed error response within `HttpLimits::io_timeout` instead of
+    // pinning the exporter thread.
+    let limits = HttpLimits::default();
+    let response = match http::read_request(&mut stream, &limits) {
+        Ok(req) if req.path == "/metrics" || req.path == "/" => {
+            Response::ok(PROMETHEUS_TEXT, render_prometheus())
         }
-    }
-    let mut stream = reader.into_inner();
-    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = if path == "/metrics" || path == "/" {
-        ("200 OK", render_prometheus())
-    } else {
-        ("404 Not Found", "not found\n".to_string())
+        Ok(_) => Response::with_status(404, PROMETHEUS_TEXT, "not found\n".to_string()),
+        Err(e) => {
+            let (status, _) = e.status();
+            Response::with_status(status, PROMETHEUS_TEXT, format!("{e}\n"))
+        }
     };
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
-         Content-Length: {}\r\n\
-         Connection: close\r\n\r\n{body}",
-        body.len(),
-    )?;
-    stream.flush()
+    http::write_response(&mut stream, &response)
 }
 
 /// Replace every character Prometheus metric names reject with `_`

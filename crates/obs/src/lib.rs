@@ -60,6 +60,7 @@
 pub mod diff;
 pub mod event;
 pub mod export;
+pub mod http;
 pub mod json;
 pub mod manifest;
 pub mod metrics;

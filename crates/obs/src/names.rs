@@ -37,6 +37,9 @@ pub mod span {
     /// Aligning a simtrace against the analytic model's predictions
     /// (`xmodel residuals`).
     pub const RESIDUAL_COMPARE: &str = "residual.compare";
+    /// One admitted request handled by the `xmodel serve` daemon
+    /// (`core::serve`), parse through response write.
+    pub const SERVE_REQUEST: &str = "serve.request";
 }
 
 /// Counter / gauge names: `<subsystem>.<noun>`, dot-separated, lowercase.
@@ -138,6 +141,27 @@ pub mod metric {
     /// Gated observables whose relative residual exceeded the
     /// tolerance.
     pub const RESIDUAL_EXCEEDANCES: &str = "residual.exceedances";
+
+    // --- core::serve daemon (`xmodel serve`) ----------------------------
+
+    /// Requests admitted and answered by the serve worker pool
+    /// (any status, including typed errors).
+    pub const SERVE_REQUESTS: &str = "serve.requests";
+    /// Connections shed at admission (429 + `Retry-After`) because the
+    /// queue was at capacity or the server was draining (503).
+    pub const SERVE_SHED: &str = "serve.shed";
+    /// Current request-queue depth (gauge, sampled at admission).
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Requests whose deadline budget expired mid-solve (504).
+    pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.deadline_exceeded";
+    /// Connections rejected as malformed, oversized or timed out while
+    /// reading (400/408/413).
+    pub const SERVE_MALFORMED: &str = "serve.malformed";
+    /// Requests forced below the exact ladder rung by queue pressure.
+    pub const SERVE_FORCED_DEGRADE: &str = "serve.forced_degrade";
+    /// End-to-end latency of admitted requests in µs, accept to
+    /// response write (histogram).
+    pub const SERVE_LATENCY_US: &str = "serve.latency_us";
 }
 
 /// One-line help text for a registered metric name, used for the
@@ -181,6 +205,13 @@ pub fn metric_help(name: &str) -> Option<&'static str> {
         metric::SIM_MSHR_STALLS => "warp issue attempts rejected for MSHR exhaustion",
         metric::RESIDUAL_VARIABLES => "observables compared by a residual report",
         metric::RESIDUAL_EXCEEDANCES => "gated observables exceeding the residual tolerance",
+        metric::SERVE_REQUESTS => "requests admitted and answered by the serve worker pool",
+        metric::SERVE_SHED => "connections shed at admission (queue full or draining)",
+        metric::SERVE_QUEUE_DEPTH => "current serve request-queue depth",
+        metric::SERVE_DEADLINE_EXCEEDED => "requests whose deadline budget expired mid-solve",
+        metric::SERVE_MALFORMED => "connections rejected as malformed, oversized or timed out",
+        metric::SERVE_FORCED_DEGRADE => "requests forced below the exact rung by queue pressure",
+        metric::SERVE_LATENCY_US => "end-to-end latency of admitted requests in microseconds",
         _ => return None,
     })
 }
@@ -204,6 +235,7 @@ mod tests {
             super::span::PROFILE_CALIBRATE,
             super::span::SIM_CHIP,
             super::span::RESIDUAL_COMPARE,
+            super::span::SERVE_REQUEST,
             super::metric::SOLVER_SOLVES,
             super::metric::SOLVER_CURVE_EVALS,
             super::metric::SWEEP_ITEMS,
@@ -238,6 +270,13 @@ mod tests {
             super::metric::SIM_MSHR_STALLS,
             super::metric::RESIDUAL_VARIABLES,
             super::metric::RESIDUAL_EXCEEDANCES,
+            super::metric::SERVE_REQUESTS,
+            super::metric::SERVE_SHED,
+            super::metric::SERVE_QUEUE_DEPTH,
+            super::metric::SERVE_DEADLINE_EXCEEDED,
+            super::metric::SERVE_MALFORMED,
+            super::metric::SERVE_FORCED_DEGRADE,
+            super::metric::SERVE_LATENCY_US,
         ];
         for name in all {
             assert!(
@@ -254,13 +293,13 @@ mod tests {
 
         // Every metric constant (entries after the span block above) must
         // carry Prometheus HELP text; span names must not.
-        for name in &all[12..] {
+        for name in &all[13..] {
             assert!(
                 super::metric_help(name).is_some(),
                 "metric {name:?} missing metric_help entry"
             );
         }
-        for name in &all[..12] {
+        for name in &all[..13] {
             assert!(
                 super::metric_help(name).is_none(),
                 "span {name:?} unexpectedly has metric_help"

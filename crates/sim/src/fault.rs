@@ -36,6 +36,9 @@
 //! | `sink-error=P` | with probability `P`, fail an emitted JSONL line |
 //! | `solver=no-bracket` | force the solver off its exact rung (grid scan) |
 //! | `solver=no-grid` | force the solver to the baseline-estimate rung |
+//! | `serve-slow-client=P` | with probability `P`, a load-generator connection dribbles its request slowly |
+//! | `serve-torn-body=P` | with probability `P`, a load-generator connection tears its body mid-send |
+//! | `serve-stall=MS` | `xmodel serve` workers stall `MS` ms per request (queue-pressure injection) |
 
 use crate::error::SimError;
 use rand::rngs::SmallRng;
@@ -85,6 +88,15 @@ pub struct FaultSpec {
     pub sink_error_prob: f64,
     /// Solver-ladder forcing.
     pub solver: SolverFault,
+    /// Probability a generated client connection dribbles its request
+    /// byte-by-byte (`xmodel serve` slow-client chaos).
+    pub serve_slow_client_prob: f64,
+    /// Probability a generated client connection tears its request body
+    /// mid-send (declares more bytes than it writes).
+    pub serve_torn_body_prob: f64,
+    /// Per-request worker stall in milliseconds for `xmodel serve`
+    /// (0 disables); drives queue growth without needing real load.
+    pub serve_stall_ms: u64,
 }
 
 impl Default for FaultSpec {
@@ -101,6 +113,9 @@ impl Default for FaultSpec {
             sink_tear_prob: 0.0,
             sink_error_prob: 0.0,
             solver: SolverFault::None,
+            serve_slow_client_prob: 0.0,
+            serve_torn_body_prob: 0.0,
+            serve_stall_ms: 0,
         }
     }
 }
@@ -207,10 +222,23 @@ impl FaultSpec {
                         }
                     };
                 }
+                "serve-slow-client" => {
+                    spec.serve_slow_client_prob = parse_prob("serve-slow-client", value, token)?;
+                }
+                "serve-torn-body" => {
+                    spec.serve_torn_body_prob = parse_prob("serve-torn-body", value, token)?;
+                }
+                "serve-stall" => {
+                    spec.serve_stall_ms = value.parse().map_err(|_| SimError::BadFaultSpec {
+                        token: token.to_string(),
+                        expected: "serve-stall=<milliseconds>",
+                    })?;
+                }
                 _ => {
                     return Err(SimError::BadFaultSpec {
                         token: token.to_string(),
-                        expected: "one of seed/spike/drop/dup/throttle/sink-tear/sink-error/solver",
+                        expected: "one of seed/spike/drop/dup/throttle/sink-tear/sink-error/\
+                                   solver/serve-slow-client/serve-torn-body/serve-stall",
                     });
                 }
             }
@@ -230,6 +258,14 @@ impl FaultSpec {
     /// True if any obs-sink fault is enabled.
     pub fn perturbs_sink(&self) -> bool {
         self.sink_tear_prob > 0.0 || self.sink_error_prob > 0.0
+    }
+
+    /// True if any `xmodel serve` fault is enabled (client-side chaos
+    /// from the load generator or server-side worker stalls).
+    pub fn perturbs_serve(&self) -> bool {
+        self.serve_slow_client_prob > 0.0
+            || self.serve_torn_body_prob > 0.0
+            || self.serve_stall_ms > 0
     }
 }
 
@@ -262,6 +298,15 @@ impl fmt::Display for FaultSpec {
             SolverFault::None => {}
             SolverFault::NoBracket => write!(f, ",solver=no-bracket")?,
             SolverFault::NoGrid => write!(f, ",solver=no-grid")?,
+        }
+        if self.serve_slow_client_prob > 0.0 {
+            write!(f, ",serve-slow-client={}", self.serve_slow_client_prob)?;
+        }
+        if self.serve_torn_body_prob > 0.0 {
+            write!(f, ",serve-torn-body={}", self.serve_torn_body_prob)?;
+        }
+        if self.serve_stall_ms > 0 {
+            write!(f, ",serve-stall={}", self.serve_stall_ms)?;
         }
         Ok(())
     }
@@ -342,6 +387,19 @@ impl FaultInjector {
         }
     }
 
+    /// Should this generated serve connection dribble its request
+    /// slowly (slow-client chaos)?
+    pub fn serve_slow_client(&mut self) -> bool {
+        self.spec.serve_slow_client_prob > 0.0
+            && self.rng.random::<f64>() < self.spec.serve_slow_client_prob
+    }
+
+    /// Should this generated serve connection tear its body mid-send?
+    pub fn serve_torn_body(&mut self) -> bool {
+        self.spec.serve_torn_body_prob > 0.0
+            && self.rng.random::<f64>() < self.spec.serve_torn_body_prob
+    }
+
     /// Should this completion be delivered twice?
     pub fn duplicate_completion(&mut self) -> bool {
         if self.spec.dup_prob > 0.0 && self.rng.random::<f64>() < self.spec.dup_prob {
@@ -403,9 +461,36 @@ mod tests {
             "throttle=100:0.5:0",
             "solver=maybe",
             "frobnicate=1",
+            "serve-slow-client=1.5",
+            "serve-torn-body=-0.1",
+            "serve-stall=fast",
         ] {
             assert!(FaultSpec::parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn serve_family_round_trips_and_is_deterministic() {
+        let text = "seed=7,serve-slow-client=0.25,serve-torn-body=0.1,serve-stall=40";
+        let spec = FaultSpec::parse(text).unwrap();
+        assert_eq!(spec.serve_slow_client_prob, 0.25);
+        assert_eq!(spec.serve_torn_body_prob, 0.1);
+        assert_eq!(spec.serve_stall_ms, 40);
+        assert!(spec.perturbs_serve());
+        assert!(!spec.perturbs_memory() && !spec.perturbs_sink());
+        let again = FaultSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(again, spec);
+
+        let draw = |spec: &FaultSpec| {
+            let mut inj = FaultInjector::new(spec);
+            (0..200)
+                .map(|_| (inj.serve_slow_client(), inj.serve_torn_body()))
+                .collect::<Vec<_>>()
+        };
+        let a = draw(&spec);
+        assert_eq!(a, draw(&spec));
+        let slow = a.iter().filter(|(s, _)| *s).count();
+        assert!(slow > 20 && slow < 100, "slow-client draws: {slow}");
     }
 
     #[test]

@@ -36,7 +36,7 @@ const WATCHDOG_STRIDE: u64 = 512;
 /// submits to with its id encoded in the tag (completions are routed back
 /// by the chip driver).
 enum DramPort {
-    Own(Dram),
+    Own(Box<Dram>),
     Shared(Rc<RefCell<Dram>>, u64),
 }
 
@@ -161,7 +161,7 @@ impl Sm {
                     }),
                 )
             }),
-            dram: DramPort::Own(Dram::new(cfg.dram)),
+            dram: DramPort::Own(Box::new(Dram::new(cfg.dram))),
             hit_queue: BinaryHeap::new(),
             cycle: 0,
             rr: 0,

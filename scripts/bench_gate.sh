@@ -65,6 +65,17 @@ set +e
 status=$?
 set -e
 
+# Daemon load numbers ride along in serve-load snapshots; surface them
+# next to the verdict when present. The serve/request_p* bench entries
+# are what the threshold above actually gates — these lines are the
+# human-facing req/s + latency summary.
+for key in serve_rps serve_p50_us serve_p95_us serve_p99_us; do
+  val="$(sed -n "s/.*\"$key\":\([^,}]*\).*/\1/p" "$fresh" | head -n 1)"
+  if [ -n "$val" ]; then
+    echo "bench_gate: $key = $val"
+  fi
+done
+
 if [ "$status" -eq 1 ]; then
   attribute_regression
 fi

@@ -51,7 +51,7 @@ folded="$(mktemp -t xmodel-folded.XXXXXX.txt)"
 bench_ci="target/BENCH_ci.json"
 sweep1="$(mktemp -t xmodel-sweep1.XXXXXX.json)"
 sweepn="$(mktemp -t xmodel-sweepn.XXXXXX.json)"
-trap 'rm -f "$trace" "$folded" "$sweep1" "$sweepn" "${diff_base:-}" "${diff_new:-}" "${occ_svg:-}"' EXIT
+trap 'rm -f "$trace" "$folded" "$sweep1" "$sweepn" "${diff_base:-}" "${diff_new:-}" "${occ_svg:-}" "${serve_log:-}"' EXIT
 ./target/release/xmodel sim --workload gesummv --gpu fermi --l1 16 \
   --trace "$trace" > /dev/null
 grep -q '"kind":"sim.snapshot"' "$trace"
@@ -188,5 +188,47 @@ fi
 # from the machine that produced BENCH_seed.json, so regressions only
 # warn here — but schema errors (exit 2) still fail the build.
 BENCH_GATE_WARN_ONLY=1 scripts/bench_gate.sh BENCH_seed.json "$bench_ci"
+
+echo "=== serve smoke (overload-safe daemon) ==="
+serve_log="$(mktemp -t xmodel-serve.XXXXXX.log)"
+bench_serve="target/BENCH_serve_ci.json"
+# One deliberately stalled worker and a tiny queue so the burst below
+# provably exercises admission control (429 shedding), not just the
+# happy path.
+./target/release/xmodel serve --addr 127.0.0.1:0 --workers 1 --queue 2 \
+  --fault-spec 'serve-stall=20' > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  grep -q 'listening on' "$serve_log" && break
+  sleep 0.1
+done
+serve_addr="$(sed -n 's#.*http://##p' "$serve_log" | head -n 1)"
+test -n "$serve_addr" \
+  || { echo "serve did not report a listen address" >&2; cat "$serve_log" >&2; exit 1; }
+sl=./target/release/serve-load
+# Mixed good/malformed/deadline-doomed load with deterministic client
+# chaos (slow dribblers, torn bodies); quantiles land in a bench
+# snapshot so the regression gate can read them.
+"$sl" --addr "$serve_addr" --requests 120 --concurrency 8 --mix 4:1:1 \
+  --seed 7 --fault-spec 'seed=7,serve-slow-client=0.05,serve-torn-body=0.05' \
+  --label serve-ci --out "$bench_serve"
+grep -q '"serve_rps":' "$bench_serve"
+grep -q '"serve_p99_us":' "$bench_serve"
+# The daemon exports its admission counters on /metrics.
+serve_metrics="$("$sl" --addr "$serve_addr" --get /metrics)"
+echo "$serve_metrics" | grep -q 'xmodel_serve_requests' \
+  || { echo "serve /metrics missing xmodel_serve_requests" >&2; exit 1; }
+echo "$serve_metrics" | grep -q 'xmodel_serve_shed' \
+  || { echo "serve /metrics missing xmodel_serve_shed (burst did not shed?)" >&2; exit 1; }
+echo "$serve_metrics" | grep -q 'xmodel_serve_queue_depth' \
+  || { echo "serve /metrics missing xmodel_serve_queue_depth" >&2; exit 1; }
+# Graceful drain: POST /quitck, then the process must exit 0 by itself.
+"$sl" --addr "$serve_addr" --post /quitck | grep -q '"status":"draining"'
+wait "$serve_pid" \
+  || { echo "serve did not drain cleanly" >&2; cat "$serve_log" >&2; exit 1; }
+# The serve snapshot passes through the regression gate (self-compare:
+# exercises the schema + serve_* surfacing path, no hardware baseline).
+BENCH_GATE_NO_ATTRIBUTION=1 scripts/bench_gate.sh "$bench_serve" "$bench_serve"
+rm -f "$serve_log"
 
 echo "CI green."
