@@ -5,35 +5,52 @@
 //! the ~2048 dense-scan samples plus every bisection step, for every
 //! solve — yet `f(k)` depends only on `(R, L, S$, L$, α, β)`, never on
 //! `n` or `Z`, so one tabulation amortizes across an entire sweep. A
-//! [`CurveTable`] samples `f` once per curve and [`solve_fast`] answers
-//! each solve from the table:
+//! [`CurveTable`] samples `f` once per curve (through the lane-batched
+//! [`crate::batch`] kernels when built from a model) and [`solve_fast`]
+//! answers each solve from the table with a layered engine:
 //!
-//! * **coarse scan** — blocks of dense-scan steps are screened with
-//!   monotone-segment range bounds: a block whose bracketed
-//!   `f(k) − ĝ(n−k)` range excludes zero cannot contain a root and is
-//!   skipped wholesale;
-//! * **refine** — inside surviving blocks each dense sample uses the
-//!   interpolated `f̃(k)`; the exact curve is consulted only where
+//! * **USL screen** — tables whose sampled curve is monotone
+//!   non-decreasing carry a Gunther-style rational-function fit
+//!   (`x/f(x) ≈ σ + κ·x`); such curves cross the non-increasing demand
+//!   `ĝ(n−k)` at most once, so the engine binary-searches the single
+//!   sign transition and proves the flanks uniform instead of scanning;
+//! * **warm start** — inside a sweep, [`solve_fast_seeded`] predicts
+//!   each root's dense-grid cell from the previous cell's roots
+//!   ([`WarmSeed`]), verifies the predicted sign transitions and proves
+//!   the gaps between them uniform, falling back to the full scan the
+//!   moment the intersection classification changes;
+//! * **span descent** — the cold path recursively screens dense-sample
+//!   spans with O(1) min/max/margin range queries over a block-indexed
+//!   sparse table: a span whose bracketed `f(k) − ĝ(n−k)` range excludes
+//!   zero cannot contain a root and is skipped wholesale;
+//! * **refine** — surviving leaf spans evaluate eight dense samples per
+//!   loop body through the batched demand kernel; each sample uses the
+//!   interpolated `f̃(k)` and consults the exact curve only where
 //!   `|f̃(k) − ĝ(n−k)|` falls within the tabulated interpolation margin;
-//! * **bisection** brackets are polished with the *exact* curve between
-//!   the same dense-grid endpoints the reference would use, so confirmed
-//!   roots are bit-identical to [`solver::solve_with`]'s.
+//! * **screened bisection** — brackets are polished between the same
+//!   dense-grid endpoints the reference would use, with each midpoint's
+//!   *sign* decided from the table whenever the margin allows and from
+//!   the exact curve otherwise; since a sound margin can neither flip a
+//!   sign nor hide an exact zero, the midpoint sequence — and therefore
+//!   the root — is bit-identical to [`solver::solve_with`]'s.
 //!
-//! The screening is sound as long as the per-interval margins bound the
-//! true deviation `|f − f̃|` — guaranteed for curves whose features are
-//! resolvable at the table resolution (the Eq. (2)/(5) curves
-//! comfortably are; margins are probe-estimated with an 8× safety
-//! factor). Non-finite samples mark their intervals *unsound*: those are
-//! never skipped and always evaluated exactly, preserving the
-//! reference's NaN-hole behaviour.
+//! Every layer preserves one invariant: the sign class the engine
+//! assigns to a dense sample (or proves for a whole span) equals the
+//! class the reference computes exactly, so whatever mix of layers runs,
+//! the emitted brackets, bisections and intersection points are the ones
+//! the reference emits — pinned bitwise by the parity suites in
+//! `tests/fastpath.rs`. Non-finite samples mark their intervals
+//! *unsound* (infinite margin): those are never skipped and always
+//! evaluated exactly, preserving the reference's NaN-hole behaviour.
 //!
 //! [`SolveCache`] wraps a table with staleness tracking for use inside
 //! sweeps, and [`reference_stats`] wraps the exact solver with the same
 //! evaluation counters for head-to-head comparisons.
 
+use crate::batch::{DemandKernel, SupplyKernel, LANES};
 use crate::cache::CacheParams;
 use crate::model::XModel;
-use crate::solver::{self, Equilibria};
+use crate::solver::{self, Equilibria, Intersection};
 use crate::units::{ReqPerCycle, Threads};
 use std::cell::Cell;
 
@@ -45,8 +62,24 @@ pub const DEFAULT_RESOLUTION: usize = 4096;
 /// lerp deviation is within ~1.6× of the worse third-point probe.
 const MARGIN_SAFETY: f64 = 8.0;
 
-/// Dense-scan steps screened per coarse block.
-const COARSE_BLOCK: usize = 32;
+/// Table intervals per [`SpanIndex`] block.
+const INDEX_BLOCK: usize = 32;
+
+/// Dense-sample span width at which descent stops subdividing and
+/// refines sample-by-sample.
+const REFINE_LEAF: usize = 32;
+
+/// Span width at which uniformity proofs fall back to per-sample
+/// classification instead of subdividing further.
+const PROVE_LEAF: usize = 8;
+
+/// Maximum screening queries one warm-start or USL attempt may spend on
+/// uniformity proofs before giving up and falling back to the full scan.
+const PROVE_BUDGET: u32 = 256;
+
+/// How many dense cells a warm-started root prediction may be off by
+/// before the warm path gives up (expanding-ring search radius).
+const WARM_RADIUS: usize = 64;
 
 /// The parameters a [`CurveTable`] is keyed on: everything that shapes
 /// the supply curve `f(k)` — and nothing that does not (`n`, `Z`, `E`
@@ -83,12 +116,138 @@ pub struct Segment {
     pub end: usize,
     /// `true` when the samples are non-decreasing over the run.
     pub rising: bool,
-    /// Largest interpolation margin of any interval in the run.
-    max_margin: f64,
+}
+
+/// One [`SpanIndex`] summary: sample min/max and worst interval margin.
+#[derive(Debug, Clone, Copy)]
+struct SpanBlock {
+    min: f64,
+    max: f64,
+    margin: f64,
+}
+
+impl SpanBlock {
+    fn merge(a: Self, b: Self) -> Self {
+        Self {
+            min: a.min.min(b.min),
+            max: a.max.max(b.max),
+            margin: a.margin.max(b.margin),
+        }
+    }
+}
+
+/// O(1) range queries over the tabulated samples: a sparse table (doubling
+/// windows) over blocks of [`INDEX_BLOCK`] intervals, each summarizing the
+/// min/max sampled value and the worst interpolation margin. Non-finite
+/// samples are covered by their intervals' infinite margins: any block
+/// touching one reports an infinite margin, so queries over it are
+/// rejected as unsound rather than answered with `f64::min`-laundered
+/// NaN bounds.
+#[derive(Debug, Clone)]
+struct SpanIndex {
+    /// `levels[l][b]` summarizes blocks `b..b + 2^l`.
+    levels: Vec<Vec<SpanBlock>>,
+}
+
+impl SpanIndex {
+    fn build(values: &[f64], margins: &[f64]) -> Self {
+        let intervals = margins.len();
+        let blocks = intervals.div_ceil(INDEX_BLOCK);
+        let mut base = Vec::with_capacity(blocks);
+        for b in 0..blocks {
+            let i0 = b * INDEX_BLOCK;
+            let i1 = ((b + 1) * INDEX_BLOCK).min(intervals);
+            // Samples i0..=i1 (inclusive right edge: interval i ends at
+            // sample i+1), intervals i0..i1.
+            let mut blk = SpanBlock {
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                margin: 0.0,
+            };
+            for &v in &values[i0..=i1] {
+                blk.min = blk.min.min(v);
+                blk.max = blk.max.max(v);
+            }
+            for &m in &margins[i0..i1] {
+                blk.margin = blk.margin.max(m);
+            }
+            base.push(blk);
+        }
+        let mut levels = vec![base];
+        let mut width = 1usize;
+        while width * 2 <= blocks {
+            let next: Vec<SpanBlock> = match levels.last() {
+                Some(prev) => (0..=blocks - width * 2)
+                    .map(|b| SpanBlock::merge(prev[b], prev[b + width]))
+                    .collect(),
+                None => break,
+            };
+            levels.push(next);
+            width *= 2;
+        }
+        Self { levels }
+    }
+
+    /// Merged summary of blocks `ba..=bb`.
+    fn query(&self, ba: usize, bb: usize) -> SpanBlock {
+        let len = bb - ba + 1;
+        let l = (usize::BITS - 1 - len.leading_zeros()) as usize;
+        let lvl = &self.levels[l];
+        SpanBlock::merge(lvl[ba], lvl[bb + 1 - (1 << l)])
+    }
+}
+
+/// The monotone-supply screen metadata: a table whose sampled curve never
+/// decreases crosses any non-increasing demand curve `ĝ(n−k)` at most
+/// once, so the solve can binary-search the single transition instead of
+/// scanning. The sampled all-rising test is the authoritative gate; the
+/// Gunther-USL linearization `y(x) = x/f(x) ≈ σ + κ·x` corroborates it
+/// cheaply — its curvature `κ` is finite exactly when the three probe
+/// samples are finite and positive (a retrograde or degenerate curve
+/// breaks the fit), and is exposed for observability.
+#[derive(Debug, Clone, Copy)]
+struct UslInfo {
+    kappa: Option<f64>,
+    single_crossing: bool,
+}
+
+impl UslInfo {
+    fn compute(values: &[f64], step: f64, segments: &[Segment], unsound_total: u32) -> Self {
+        let none = Self {
+            kappa: None,
+            single_crossing: false,
+        };
+        let res = values.len() - 1;
+        let rising = !segments.is_empty() && segments.iter().all(|s| s.rising);
+        if !rising || unsound_total > 0 || res < 16 {
+            return none;
+        }
+        // Three-point fit of y = x/f(x) at quarter points; the second
+        // divided difference is the curvature coefficient κ.
+        let (i1, i2, i3) = (res / 4, res / 2, 3 * res / 4);
+        let (x1, x2, x3) = (step * i1 as f64, step * i2 as f64, step * i3 as f64);
+        let (v1, v2, v3) = (values[i1], values[i2], values[i3]);
+        if [v1, v2, v3].iter().any(|&vi| !vi.is_finite() || vi <= 0.0) {
+            return none;
+        }
+        let (y1, y2, y3) = (x1 / v1, x2 / v2, x3 / v3);
+        let d1 = (y2 - y1) / (x2 - x1);
+        let d2 = (y3 - y2) / (x3 - x2);
+        let c = (d2 - d1) / (x3 - x1);
+        if !c.is_finite() {
+            return none;
+        }
+        Self {
+            kappa: Some(c),
+            single_crossing: true,
+        }
+    }
 }
 
 /// Piecewise-linear tabulation of one supply curve over `[0, k_max]`,
-/// with monotone-segment metadata and sound interpolation-error margins.
+/// with monotone-segment metadata, sound interpolation-error margins, a
+/// block-indexed sparse table for O(1) span queries, and the USL
+/// single-crossing screen.
 #[derive(Debug, Clone)]
 pub struct CurveTable {
     /// `None` for tables built from raw closures via
@@ -99,10 +258,12 @@ pub struct CurveTable {
     /// `resolution + 1` exact samples `f(i·step)`.
     values: Vec<f64>,
     /// Per-interval interpolation margins (`+∞` on unsound intervals).
+    /// Unsound intervals need no separate index: any [`SpanIndex`] block
+    /// touching one reports an infinite margin.
     margins: Vec<f64>,
-    /// Prefix count of unsound intervals, for O(1) range queries.
-    unsound_prefix: Vec<u32>,
     segments: Vec<Segment>,
+    span_index: SpanIndex,
+    usl: UslInfo,
     build_evals: u64,
 }
 
@@ -118,8 +279,12 @@ impl CurveTable {
     /// screening margins to be sound; [`DEFAULT_RESOLUTION`] does so for
     /// the model's Eq. (2)/(5) curves over any practical domain.
     pub fn build_with(model: &XModel, k_max: f64, resolution: usize) -> Self {
-        let f = |k: f64| model.fk(k);
-        Self::from_curve(Some(CurveKey::of(model)), &f, k_max, resolution)
+        Self::from_kernel(
+            Some(CurveKey::of(model)),
+            &SupplyKernel::of(model),
+            k_max,
+            resolution,
+        )
     }
 
     /// Tabulate an arbitrary supply curve from a raw closure (used with
@@ -139,19 +304,82 @@ impl CurveTable {
         assert!(k_max.is_finite() && k_max > 0.0, "k_max must be positive");
         assert!(resolution >= 16, "need at least 16 table intervals");
         let step = k_max / resolution as f64;
-        let mut evals = 0u64;
-        let mut f = |k: f64| {
-            evals += 1;
-            curve(k)
-        };
-        let values: Vec<f64> = (0..=resolution).map(|i| f(step * i as f64)).collect();
-        let mut margins = Vec::with_capacity(resolution);
+        let values: Vec<f64> = (0..=resolution).map(|i| curve(step * i as f64)).collect();
+        // Two third-point probes per interval, in the same `[p1, p2]`
+        // interleaving (and the exact f64 expressions) as the batched
+        // builder below.
+        let mut probes = Vec::with_capacity(2 * resolution);
         for i in 0..resolution {
             let a = step * i as f64;
+            probes.push(curve(a + step / 3.0));
+            probes.push(curve(a + 2.0 * step / 3.0));
+        }
+        let evals = (3 * resolution + 1) as u64;
+        Self::finish_build(key, k_max, step, values, probes, evals, 0)
+    }
+
+    /// Batched tabulation through the lane-friendly [`SupplyKernel`]:
+    /// identical grid, probe points and margins as [`Self::from_curve`]
+    /// (the kernel is bit-identical to the model facade), but the
+    /// `3·resolution + 1` evaluations run eight per loop body.
+    fn from_kernel(
+        key: Option<CurveKey>,
+        kernel: &SupplyKernel,
+        k_max: f64,
+        resolution: usize,
+    ) -> Self {
+        assert!(k_max.is_finite() && k_max > 0.0, "k_max must be positive");
+        assert!(resolution >= 16, "need at least 16 table intervals");
+        let step = k_max / resolution as f64;
+        // `a + step / 3.0` and `a + 2.0 * step / 3.0` with the divisions
+        // hoisted: same f64 expressions, so same bits as the scalar path.
+        let third = step / 3.0;
+        let two_thirds = 2.0 * step / 3.0;
+        let mut ks: Vec<f64> = Vec::with_capacity(3 * resolution + 1);
+        ks.extend((0..=resolution).map(|i| step * i as f64));
+        for i in 0..resolution {
+            let a = step * i as f64;
+            ks.push(a + third);
+            ks.push(a + two_thirds);
+        }
+        let mut out = vec![0.0f64; ks.len()];
+        let mut batch_bodies = 0u64;
+        let mut i = 0usize;
+        while i + LANES <= ks.len() {
+            let mut lanes = [0.0f64; LANES];
+            lanes.copy_from_slice(&ks[i..i + LANES]);
+            let fs = kernel.eval8(&lanes);
+            out[i..i + LANES].copy_from_slice(&fs);
+            batch_bodies += 1;
+            i += LANES;
+        }
+        while i < ks.len() {
+            out[i] = kernel.eval(ks[i]);
+            i += 1;
+        }
+        let probes = out.split_off(resolution + 1);
+        let evals = ks.len() as u64;
+        Self::finish_build(key, k_max, step, out, probes, evals, batch_bodies)
+    }
+
+    /// Shared tail of both builders: margins from the probe points, then
+    /// the unsound prefix, segments, span index and USL screen.
+    fn finish_build(
+        key: Option<CurveKey>,
+        k_max: f64,
+        step: f64,
+        values: Vec<f64>,
+        probes: Vec<f64>,
+        build_evals: u64,
+        batch_bodies: u64,
+    ) -> Self {
+        let resolution = values.len() - 1;
+        let mut margins = Vec::with_capacity(resolution);
+        for i in 0..resolution {
             let va = values[i];
             let vb = values[i + 1];
-            let p1 = f(a + step / 3.0);
-            let p2 = f(a + 2.0 * step / 3.0);
+            let p1 = probes[2 * i];
+            let p2 = probes[2 * i + 1];
             let e1 = (p1 - (va + (vb - va) / 3.0)).abs();
             let e2 = (p2 - (va + (vb - va) * 2.0 / 3.0)).abs();
             let sound = va.is_finite() && vb.is_finite() && p1.is_finite() && p2.is_finite();
@@ -161,19 +389,16 @@ impl CurveTable {
                 f64::INFINITY
             });
         }
-        let mut unsound_prefix = Vec::with_capacity(resolution + 1);
-        let mut running = 0u32;
-        unsound_prefix.push(0);
-        for m in &margins {
-            running += u32::from(!m.is_finite());
-            unsound_prefix.push(running);
-        }
-        let segments = build_segments(&values, &margins);
+        let unsound_total = margins.iter().filter(|m| !m.is_finite()).count() as u32;
+        let segments = build_segments(&values);
+        let span_index = SpanIndex::build(&values, &margins);
+        let usl = UslInfo::compute(&values, step, &segments, unsound_total);
         if xmodel_obs::enabled() {
             use xmodel_obs::metrics::counter_add;
             use xmodel_obs::names::metric;
             counter_add(metric::FASTPATH_TABLE_BUILDS, 1);
-            counter_add(metric::FASTPATH_TABLE_EVALS, evals);
+            counter_add(metric::FASTPATH_TABLE_EVALS, build_evals);
+            counter_add(metric::FASTPATH_BATCH_EVALS, batch_bodies);
         }
         Self {
             key,
@@ -181,9 +406,10 @@ impl CurveTable {
             step,
             values,
             margins,
-            unsound_prefix,
             segments,
-            build_evals: evals,
+            span_index,
+            usl,
+            build_evals,
         }
     }
 
@@ -213,6 +439,22 @@ impl CurveTable {
         self.build_evals
     }
 
+    /// `true` when the sampled curve is monotone non-decreasing with no
+    /// unsound intervals, so `f` crosses any non-increasing `ĝ(n−k)` at
+    /// most once and [`solve_fast`] may take the USL-screened path.
+    pub fn usl_single_crossing(&self) -> bool {
+        self.usl.single_crossing
+    }
+
+    /// Curvature coefficient `κ` of the USL linearization
+    /// `x/f(x) ≈ σ + κ·x` fitted over the tabulated samples, when the
+    /// fit exists (finite, positive quarter-point samples). Near-zero on
+    /// linear-then-plateau rooflines; meaningless (and `None`) for
+    /// retrograde Eq. (5) curves.
+    pub fn usl_kappa(&self) -> Option<f64> {
+        self.usl.kappa
+    }
+
     /// Interpolated `f̃(k)` with the containing interval's margin
     /// (`+∞` on unsound intervals). `k` should lie within `[0, k_max]`.
     pub fn interp(&self, k: f64) -> (f64, f64) {
@@ -230,40 +472,26 @@ impl CurveTable {
     }
 
     /// Bounds `(lo, hi)` on the true curve over `[a, b]`, or `None` when
-    /// the span touches an unsound interval.
-    fn range(&self, a: f64, b: f64) -> Option<(f64, f64)> {
-        let ia = self.interval_of(a);
-        let ib = self.interval_of(b);
-        if self.unsound_prefix[ib + 1] > self.unsound_prefix[ia] {
+    /// the covering index blocks touch an unsound interval. The answer
+    /// may cover a superset of `[a, b]` (block granularity): wider
+    /// bounds are still sound.
+    fn span_bounds(&self, a: f64, b: f64) -> Option<(f64, f64)> {
+        let ba = self.interval_of(a) / INDEX_BLOCK;
+        let bb = self.interval_of(b) / INDEX_BLOCK;
+        let blk = self.span_index.query(ba, bb);
+        if !blk.margin.is_finite() {
             return None;
         }
-        let fa = self.lerp_in(ia, a);
-        let fb = self.lerp_in(ib, b);
-        let mut lo = fa.min(fb);
-        let mut hi = fa.max(fb);
-        let mut margin = 0.0f64;
-        for seg in &self.segments {
-            if seg.end <= ia || seg.start > ib {
-                continue;
-            }
-            margin = margin.max(seg.max_margin);
-            // Monotone within the run, so extremes can only sit at run
-            // boundaries; those strictly inside (a, b) are grid samples.
-            for idx in [seg.start, seg.end] {
-                if idx > ia && idx <= ib {
-                    let v = self.values[idx];
-                    lo = lo.min(v);
-                    hi = hi.max(v);
-                }
-            }
-        }
-        Some((lo - margin, hi + margin))
+        // Lerped values lie between their interval's endpoint samples,
+        // which the blocks cover, so sample min/max bound the whole
+        // piecewise-linear surrogate; the margin extends that to `f`.
+        Some((blk.min - blk.margin, blk.max + blk.margin))
     }
 }
 
 /// Split the sampled curve into maximal monotone runs. Flat pairs extend
 /// either direction; non-finite pairs form their own runs.
-fn build_segments(values: &[f64], margins: &[f64]) -> Vec<Segment> {
+fn build_segments(values: &[f64]) -> Vec<Segment> {
     #[derive(Clone, Copy, PartialEq)]
     enum Dir {
         Up,
@@ -271,7 +499,7 @@ fn build_segments(values: &[f64], margins: &[f64]) -> Vec<Segment> {
         Flat,
         Broken,
     }
-    let intervals = margins.len();
+    let intervals = values.len() - 1;
     let dirs: Vec<Dir> = (0..intervals)
         .map(|i| {
             let (a, b) = (values[i], values[i + 1]);
@@ -320,12 +548,10 @@ fn build_segments(values: &[f64], margins: &[f64]) -> Vec<Segment> {
             }
             end += 1;
         }
-        let max_margin = margins[start..end].iter().fold(0.0f64, |m, &x| m.max(x));
         out.push(Segment {
             start,
             end,
             rising: rising.unwrap_or(true),
-            max_margin,
         });
         start = end;
     }
@@ -342,14 +568,21 @@ pub struct SolveStats {
     pub g_evals: u64,
     /// Dense samples answered from the interpolated table.
     pub interp_evals: u64,
-    /// Coarse blocks skipped wholesale by range screening.
+    /// Dense-sample spans skipped wholesale by range screening.
     pub blocks_skipped: u64,
-    /// Coarse blocks that survived screening and were refined
+    /// Leaf spans that survived screening and were refined
     /// sample-by-sample.
     pub blocks_refined: u64,
-    /// Coarse blocks whose screening was disabled by an unsound
-    /// (non-finite-margin) table interval.
+    /// Span screens disabled by an unsound (non-finite-margin) table
+    /// interval.
     pub unsound_disables: u64,
+    /// Eight-lane demand-kernel loop bodies executed during refinement.
+    pub batch_evals: u64,
+    /// `true` when a [`WarmSeed`] prediction verified and the full scan
+    /// was skipped.
+    pub warm_hit: bool,
+    /// `true` when the USL single-crossing screen answered the solve.
+    pub usl_screened: bool,
 }
 
 impl SolveStats {
@@ -358,6 +591,657 @@ impl SolveStats {
     pub fn total(&self) -> u64 {
         self.f_evals + self.g_evals
     }
+}
+
+/// Root positions carried from one sweep cell to the next: the warm-start
+/// seed for [`solve_fast_seeded`]. Holds the previous solve's roots (up
+/// to four — one more than the Eq. (5) maximum of three) and, when
+/// available, the solve before that for linear extrapolation of each
+/// root's trajectory in `n`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WarmSeed {
+    n: f64,
+    len: u8,
+    roots: [f64; 4],
+    has_prev: bool,
+    prev_n: f64,
+    prev_len: u8,
+    prev_roots: [f64; 4],
+    usable: bool,
+}
+
+impl WarmSeed {
+    /// Fold a finished solve into the seed chain: `prev` is the seed that
+    /// produced (or preceded) `eq`, `None` at the start of a sweep.
+    pub fn advance(prev: Option<&WarmSeed>, eq: &Equilibria) -> WarmSeed {
+        let pts = eq.points();
+        let mut roots = [0.0f64; 4];
+        let len = pts.len().min(4);
+        for (slot, p) in roots.iter_mut().zip(pts) {
+            *slot = p.k;
+        }
+        let mut seed = WarmSeed {
+            n: eq.n(),
+            len: len as u8,
+            roots,
+            usable: pts.len() <= 4,
+            ..WarmSeed::default()
+        };
+        if let Some(p) = prev {
+            if p.usable {
+                seed.has_prev = true;
+                seed.prev_n = p.n;
+                seed.prev_len = p.len;
+                seed.prev_roots = p.roots;
+            }
+        }
+        seed
+    }
+
+    /// Number of roots the seed predicts.
+    pub fn root_count(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Predicted position of root `j` at the new thread count: linear
+    /// extrapolation along `n` when two matching-count solves are
+    /// available, the previous position otherwise.
+    fn predict(&self, j: usize, n_new: f64) -> f64 {
+        let r = self.roots[j];
+        let predicted = if self.has_prev && self.prev_len == self.len && self.n != self.prev_n {
+            let slope = (r - self.prev_roots[j]) / (self.n - self.prev_n);
+            r + slope * (n_new - self.n)
+        } else {
+            r
+        };
+        if predicted.is_finite() {
+            predicted.clamp(0.0, n_new)
+        } else {
+            r.clamp(0.0, n_new)
+        }
+    }
+}
+
+/// Sign classes mirroring the reference's comparisons: NaN sorts with
+/// the non-negative side there (`v < 0.0` is false), so it does here.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Class {
+    Neg,
+    Zero,
+    NonNeg,
+}
+
+fn classify(v: f64) -> Class {
+    if v == 0.0 {
+        Class::Zero
+    } else if v < 0.0 {
+        Class::Neg
+    } else {
+        Class::NonNeg
+    }
+}
+
+/// The two curves of one solve, abstracted so the engine monomorphizes
+/// over the flattened kernels (model solves) and dynamic closures
+/// (fault-injected / synthetic curves) alike.
+trait CurvePair {
+    fn f(&self, k: f64) -> f64;
+    fn g(&self, x: f64) -> f64;
+    /// Eight demand evaluations per call; lane `i` must equal
+    /// `self.g(xs[i])` bitwise.
+    fn g8(&self, xs: &[f64; LANES]) -> [f64; LANES] {
+        let mut out = [0.0; LANES];
+        for lane in 0..LANES {
+            out[lane] = self.g(xs[lane]);
+        }
+        out
+    }
+}
+
+struct KernelCurves {
+    supply: SupplyKernel,
+    demand: DemandKernel,
+}
+
+impl CurvePair for KernelCurves {
+    #[inline]
+    fn f(&self, k: f64) -> f64 {
+        self.supply.eval(k)
+    }
+    #[inline]
+    fn g(&self, x: f64) -> f64 {
+        self.demand.eval(x)
+    }
+    #[inline]
+    fn g8(&self, xs: &[f64; LANES]) -> [f64; LANES] {
+        self.demand.eval8(xs)
+    }
+}
+
+struct DynCurves<'a> {
+    f: &'a dyn Fn(f64) -> f64,
+    g: &'a dyn Fn(f64) -> f64,
+}
+
+impl CurvePair for DynCurves<'_> {
+    fn f(&self, k: f64) -> f64 {
+        (self.f)(k)
+    }
+    fn g(&self, x: f64) -> f64 {
+        (self.g)(x)
+    }
+}
+
+/// The layered solve engine over one `(curves, table, n)` instance.
+///
+/// Soundness invariant shared by every layer: the class assigned to a
+/// dense sample — via the interpolation-margin route, the exact route,
+/// or a whole-span screen — always equals `classify` of the exact
+/// residual at that sample, so the set of emitted brackets (and the
+/// bisection midpoint sequence inside each) is independent of which
+/// layer ran.
+struct Engine<'a, C: CurvePair> {
+    curves: &'a C,
+    table: &'a CurveTable,
+    n: f64,
+    z: f64,
+    step: f64,
+    samples: usize,
+    points: Vec<Intersection>,
+    prev_k: f64,
+    prev_class: Class,
+    class0: Class,
+    f_evals: Cell<u64>,
+    g_evals: Cell<u64>,
+    interp_evals: Cell<u64>,
+    unsound: Cell<u64>,
+    blocks_skipped: u64,
+    blocks_refined: u64,
+    batch_evals: u64,
+}
+
+impl<C: CurvePair> Engine<'_, C> {
+    fn f_exact(&self, k: f64) -> f64 {
+        self.f_evals.set(self.f_evals.get() + 1);
+        self.curves.f(k)
+    }
+
+    fn g_exact(&self, x: f64) -> f64 {
+        self.g_evals.set(self.g_evals.get() + 1);
+        self.curves.g(x)
+    }
+
+    /// Append the classified intersection at `k`, evaluating the exact
+    /// curves for the stability slopes like the reference does.
+    fn emit_point(&mut self, k: f64) {
+        let p = {
+            let fe = &self.f_evals;
+            let ge = &self.g_evals;
+            let curves = self.curves;
+            let f = |kk: f64| {
+                fe.set(fe.get() + 1);
+                curves.f(kk)
+            };
+            let g = |xx: f64| {
+                ge.set(ge.get() + 1);
+                curves.g(xx)
+            };
+            solver::make_point(&f, &g, self.n, self.z, k)
+        };
+        self.points.push(p);
+    }
+
+    /// Screened bisection over `[lo, hi]`: the reference's exact
+    /// midpoint sequence, with each midpoint's sign read from the table
+    /// when `|f̃ − ĝ|` clears the interval margin (then the true residual
+    /// has the same sign and cannot be zero, since sound margins are
+    /// strictly positive) and from the exact curve otherwise. Returns
+    /// the bit-identical root.
+    fn bisect(&self, mut lo: f64, mut hi: f64, lo_neg: bool) -> f64 {
+        for _ in 0..solver::BISECT_ITERS {
+            let mid = 0.5 * (lo + hi);
+            let gk = self.g_exact(self.n - mid);
+            let (ft, margin) = self.table.interp(mid);
+            let vt = ft - gk;
+            let neg = if vt.abs() > margin {
+                self.interp_evals.set(self.interp_evals.get() + 1);
+                vt < 0.0
+            } else {
+                let v = self.f_exact(mid) - gk;
+                if v == 0.0 {
+                    return mid;
+                }
+                v < 0.0
+            };
+            if neg == lo_neg {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Class of dense sample `i`, by interpolation when the margin
+    /// allows and exactly otherwise.
+    fn sample_class(&self, i: usize) -> Class {
+        let k = self.step * i as f64;
+        let gk = self.g_exact(self.n - k);
+        let (ft, margin) = self.table.interp(k);
+        let vt = ft - gk;
+        if vt.abs() > margin {
+            self.interp_evals.set(self.interp_evals.get() + 1);
+            classify(vt)
+        } else {
+            classify(self.f_exact(k) - gk)
+        }
+    }
+
+    /// Screen dense samples `i..=j`: `Some(class)` when the residual
+    /// range over `[step·(i−1), step·j]` strictly excludes zero (then
+    /// every sample in the span — and the left neighbour — has that
+    /// class and no root or exact zero can hide inside), `None` when
+    /// inconclusive.
+    fn screen_span(&self, i: usize, j: usize) -> Option<Class> {
+        let a = self.step * (i - 1) as f64;
+        let b = self.step * j as f64;
+        let Some((f_lo, f_hi)) = self.table.span_bounds(a, b) else {
+            self.unsound.set(self.unsound.get() + 1);
+            return None;
+        };
+        // ĝ(n−k) is non-increasing in k (g is non-decreasing in x), so
+        // its range over the span is bracketed by the endpoints.
+        let g_hi = self.g_exact(self.n - a);
+        let g_lo = self.g_exact(self.n - b);
+        if f_lo - g_hi > 0.0 {
+            Some(Class::NonNeg)
+        } else if f_hi - g_lo < 0.0 {
+            Some(Class::Neg)
+        } else {
+            None
+        }
+    }
+
+    /// Consume a screened-uniform span `i..=j`: only its left edge can
+    /// bracket, exactly as the reference would between dense samples
+    /// `i−1` and `i`.
+    fn skip_span(&mut self, i: usize, j: usize, class: Class) {
+        if self.prev_class != Class::Zero && self.prev_class != class {
+            let k_first = self.step * i as f64;
+            let root = self.bisect(self.prev_k, k_first, self.prev_class == Class::Neg);
+            xmodel_obs::event!(
+                "solver.bracket",
+                lo = self.prev_k,
+                hi = k_first,
+                root = root
+            );
+            self.emit_point(root);
+        }
+        self.blocks_skipped += 1;
+        self.prev_k = self.step * j as f64;
+        self.prev_class = class;
+    }
+
+    /// Classify one refined sample and run the reference's per-sample
+    /// bracket logic against the running `(prev_k, prev_class)` state.
+    fn refine_sample(&mut self, k: f64, gk: f64) {
+        let (ft, margin) = self.table.interp(k);
+        let vt = ft - gk;
+        let class = if vt.abs() > margin {
+            self.interp_evals.set(self.interp_evals.get() + 1);
+            classify(vt)
+        } else {
+            classify(self.f_exact(k) - gk)
+        };
+        match class {
+            Class::Zero => self.emit_point(k),
+            _ => {
+                if self.prev_class != Class::Zero && self.prev_class != class {
+                    let root = self.bisect(self.prev_k, k, self.prev_class == Class::Neg);
+                    xmodel_obs::event!("solver.bracket", lo = self.prev_k, hi = k, root = root);
+                    self.emit_point(root);
+                }
+            }
+        }
+        self.prev_k = k;
+        self.prev_class = class;
+    }
+
+    /// Refine dense samples `i..=j` one by one, with the demand curve
+    /// evaluated eight samples per loop body.
+    fn refine_span(&mut self, i: usize, j: usize) {
+        self.blocks_refined += 1;
+        let mut idx = i;
+        while idx + LANES <= j + 1 {
+            let mut ks = [0.0f64; LANES];
+            let mut xs = [0.0f64; LANES];
+            for lane in 0..LANES {
+                ks[lane] = self.step * (idx + lane) as f64;
+                xs[lane] = self.n - ks[lane];
+            }
+            let gs = self.curves.g8(&xs);
+            self.g_evals.set(self.g_evals.get() + LANES as u64);
+            self.batch_evals += 1;
+            for lane in 0..LANES {
+                self.refine_sample(ks[lane], gs[lane]);
+            }
+            idx += LANES;
+        }
+        while idx <= j {
+            let k = self.step * idx as f64;
+            let gk = self.g_exact(self.n - k);
+            self.refine_sample(k, gk);
+            idx += 1;
+        }
+    }
+
+    /// The cold path: recursive span descent over dense samples `i..=j`.
+    fn descend(&mut self, i: usize, j: usize) {
+        if let Some(class) = self.screen_span(i, j) {
+            self.skip_span(i, j, class);
+            return;
+        }
+        if j - i < REFINE_LEAF {
+            self.refine_span(i, j);
+            return;
+        }
+        let mid = i + (j - i) / 2;
+        self.descend(i, mid);
+        self.descend(mid + 1, j);
+    }
+
+    /// Prove every dense sample in `i..=j` has class `expected`, by
+    /// screening, subdivision, and per-sample classification at the
+    /// leaves. `false` means "could not prove cheaply", never "false".
+    fn prove_span(&self, i: usize, j: usize, expected: Class, budget: &mut u32) -> bool {
+        if i > j {
+            return true;
+        }
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        if let Some(c) = self.screen_span(i, j) {
+            return c == expected;
+        }
+        if j - i < PROVE_LEAF {
+            return (i..=j).all(|t| self.sample_class(t) == expected);
+        }
+        let mid = i + (j - i) / 2;
+        self.prove_span(i, mid, expected, budget) && self.prove_span(mid + 1, j, expected, budget)
+    }
+
+    /// Locate the sign transition nearest dense sample `t`: expanding
+    /// rings of doubling radius, then binary search down to the adjacent
+    /// pair `(p, p+1)` whose classes differ. `None` when no transition
+    /// lies within [`WARM_RADIUS`] cells or an exact zero turns up.
+    fn find_transition_near(&self, t: usize) -> Option<(usize, Class, Class)> {
+        let c_t = self.sample_class(t);
+        if c_t == Class::Zero {
+            return None;
+        }
+        let class_at = |u: usize| -> Class {
+            if u == 0 {
+                self.class0
+            } else {
+                self.sample_class(u)
+            }
+        };
+        let mut d = 1usize;
+        while d <= WARM_RADIUS {
+            let right = t + d;
+            if right <= self.samples {
+                let cu = class_at(right);
+                if cu == Class::Zero {
+                    return None;
+                }
+                if cu != c_t {
+                    return self.bisect_transition(t, c_t, right, cu);
+                }
+            }
+            if let Some(left) = t.checked_sub(d) {
+                let cu = class_at(left);
+                if cu == Class::Zero {
+                    return None;
+                }
+                if cu != c_t {
+                    return self.bisect_transition(left, cu, t, c_t);
+                }
+            }
+            d *= 2;
+        }
+        None
+    }
+
+    /// Binary-search `lo < hi` with differing known classes down to an
+    /// adjacent pair. Midpoint classes are Neg or NonNeg (two-valued),
+    /// so each probe extends one side; a Zero aborts.
+    fn bisect_transition(
+        &self,
+        mut lo: usize,
+        c_lo: Class,
+        mut hi: usize,
+        c_hi: Class,
+    ) -> Option<(usize, Class, Class)> {
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let cm = self.sample_class(mid);
+            if cm == Class::Zero {
+                return None;
+            }
+            if cm == c_lo {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some((lo, c_lo, c_hi))
+    }
+
+    /// The USL-screened solve: for a single-crossing table, binary-search
+    /// the lone transition (or prove there is none), prove the flanks
+    /// uniform, and emit the one bracket the reference would.
+    fn try_usl(&mut self) -> bool {
+        let class0 = self.class0;
+        if class0 == Class::Zero {
+            return false;
+        }
+        let c_end = self.sample_class(self.samples);
+        if c_end == Class::Zero {
+            return false;
+        }
+        let mut budget = PROVE_BUDGET;
+        if c_end == class0 {
+            if !self.prove_span(1, self.samples, class0, &mut budget) {
+                return false;
+            }
+            self.blocks_skipped += 1;
+            self.prev_k = self.step * self.samples as f64;
+            self.prev_class = c_end;
+            return true;
+        }
+        let Some((lo, c_lo, _)) = self.bisect_transition(0, class0, self.samples, c_end) else {
+            return false;
+        };
+        if !self.prove_span(1, lo, class0, &mut budget)
+            || !self.prove_span(lo + 1, self.samples, c_end, &mut budget)
+        {
+            return false;
+        }
+        let k_lo = self.step * lo as f64;
+        let k_hi = self.step * (lo + 1) as f64;
+        let root = self.bisect(k_lo, k_hi, c_lo == Class::Neg);
+        xmodel_obs::event!("solver.bracket", lo = k_lo, hi = k_hi, root = root);
+        self.emit_point(root);
+        self.prev_k = self.step * self.samples as f64;
+        self.prev_class = c_end;
+        true
+    }
+
+    /// The warm-started solve: predict each seeded root's dense cell,
+    /// locate the actual transitions nearby, verify the class chain and
+    /// prove the gaps uniform. Any mismatch — root count change, an
+    /// exact zero, a transition that moved too far — returns `false`
+    /// without emitting anything, and the caller falls back cold.
+    fn try_warm(&mut self, seed: &WarmSeed) -> bool {
+        if !seed.usable || self.class0 == Class::Zero {
+            return false;
+        }
+        let mut budget = PROVE_BUDGET;
+        if seed.len == 0 {
+            if !self.prove_span(1, self.samples, self.class0, &mut budget) {
+                return false;
+            }
+            self.blocks_skipped += 1;
+            self.prev_k = self.step * self.samples as f64;
+            return true;
+        }
+        let mut transitions: Vec<(usize, Class, Class)> = Vec::with_capacity(4);
+        for j in 0..seed.root_count() {
+            let predicted = seed.predict(j, self.n);
+            let t = ((predicted / self.step).ceil() as usize).clamp(1, self.samples);
+            let Some(tr) = self.find_transition_near(t) else {
+                return false;
+            };
+            transitions.push(tr);
+        }
+        transitions.sort_by_key(|t| t.0);
+        transitions.dedup_by_key(|t| t.0);
+        if transitions.len() != seed.root_count() {
+            return false;
+        }
+        // Verify the class chain and prove the gaps between consecutive
+        // transitions uniform; together with the transition pairs this
+        // pins the class of every dense sample.
+        let mut expected = self.class0;
+        let mut start = 1usize;
+        for &(p, c_left, c_right) in &transitions {
+            if c_left != expected || c_left == c_right {
+                return false;
+            }
+            if !self.prove_span(start, p, c_left, &mut budget) {
+                return false;
+            }
+            expected = c_right;
+            start = p + 1;
+        }
+        if !self.prove_span(start, self.samples, expected, &mut budget) {
+            return false;
+        }
+        for &(p, c_left, _) in &transitions {
+            let k_lo = self.step * p as f64;
+            let k_hi = self.step * (p + 1) as f64;
+            let root = self.bisect(k_lo, k_hi, c_left == Class::Neg);
+            xmodel_obs::event!("solver.bracket", lo = k_lo, hi = k_hi, root = root);
+            self.emit_point(root);
+        }
+        self.prev_k = self.step * self.samples as f64;
+        self.prev_class = expected;
+        true
+    }
+
+    /// Roll back a failed warm/USL attempt to the post-`v0` state.
+    fn reset(&mut self, mark: (usize, f64, Class)) {
+        self.points.truncate(mark.0);
+        self.prev_k = mark.1;
+        self.prev_class = mark.2;
+    }
+}
+
+/// The shared solve core behind every fast-path entry point.
+fn solve_core<C: CurvePair>(
+    curves: &C,
+    table: &CurveTable,
+    n: f64,
+    z: f64,
+    samples: usize,
+    seed: Option<&WarmSeed>,
+) -> (Equilibria, SolveStats) {
+    assert!(samples >= 2, "need at least two scan samples");
+    let _span = xmodel_obs::span!(xmodel_obs::names::span::SOLVER_SOLVE_FAST);
+    let mut stats = SolveStats::default();
+    if n <= 0.0 {
+        return (Equilibria::from_points(Vec::new(), n), stats);
+    }
+    assert!(
+        n <= table.k_max * (1.0 + 1e-9),
+        "CurveTable covers k <= {}, solve needs {}",
+        table.k_max,
+        n
+    );
+    let step = n / samples as f64;
+    let mut engine = Engine {
+        curves,
+        table,
+        n,
+        z,
+        step,
+        samples,
+        points: Vec::new(),
+        prev_k: 0.0,
+        prev_class: Class::NonNeg,
+        class0: Class::NonNeg,
+        f_evals: Cell::new(0),
+        g_evals: Cell::new(0),
+        interp_evals: Cell::new(0),
+        unsound: Cell::new(0),
+        blocks_skipped: 0,
+        blocks_refined: 0,
+        batch_evals: 0,
+    };
+    // Dense index 0 is always evaluated exactly, like the reference.
+    let v0 = engine.f_exact(0.0) - engine.g_exact(n - 0.0);
+    if v0 == 0.0 {
+        engine.emit_point(0.0);
+    }
+    engine.prev_class = classify(v0);
+    engine.class0 = engine.prev_class;
+    let mark = (engine.points.len(), engine.prev_k, engine.prev_class);
+
+    let mut done = false;
+    if let Some(s) = seed {
+        if engine.try_warm(s) {
+            done = true;
+            stats.warm_hit = true;
+        } else {
+            engine.reset(mark);
+        }
+    }
+    if !done && table.usl.single_crossing {
+        if engine.try_usl() {
+            done = true;
+            stats.usl_screened = true;
+        } else {
+            engine.reset(mark);
+        }
+    }
+    if !done {
+        engine.descend(1, samples);
+    }
+
+    stats.f_evals = engine.f_evals.get();
+    stats.g_evals = engine.g_evals.get();
+    stats.interp_evals = engine.interp_evals.get();
+    stats.unsound_disables = engine.unsound.get();
+    stats.blocks_skipped = engine.blocks_skipped;
+    stats.blocks_refined = engine.blocks_refined;
+    stats.batch_evals = engine.batch_evals;
+    let eq = solver::finish(engine.points, n, step);
+    if xmodel_obs::enabled() {
+        use xmodel_obs::metrics::counter_add;
+        use xmodel_obs::names::metric;
+        counter_add(metric::SOLVER_CURVE_EVALS, stats.total());
+        counter_add(metric::FASTPATH_BLOCKS_SCREENED, stats.blocks_skipped);
+        counter_add(metric::FASTPATH_BLOCKS_REFINED, stats.blocks_refined);
+        counter_add(metric::FASTPATH_INTERP_EVALS, stats.interp_evals);
+        counter_add(metric::FASTPATH_EXACT_EVALS, stats.f_evals);
+        counter_add(metric::FASTPATH_UNSOUND_DISABLES, stats.unsound_disables);
+        counter_add(metric::FASTPATH_BATCH_EVALS, stats.batch_evals);
+    }
+    (eq, stats)
 }
 
 /// Solve `model` against a prebuilt [`CurveTable`], returning the same
@@ -383,23 +1267,61 @@ pub fn solve_fast_stats(
         table.key == Some(CurveKey::of(model)),
         "CurveTable was built for a different supply curve"
     );
-    let f = |k: f64| model.fk(k);
-    let g_hat = |x: f64| model.g_hat(x);
-    solve_fast_curves(
-        &f,
-        &g_hat,
+    let curves = KernelCurves {
+        supply: SupplyKernel::of(model),
+        demand: DemandKernel::of(model),
+    };
+    solve_core(
+        &curves,
         table,
         model.workload.n,
         model.workload.z,
         samples,
+        None,
     )
+}
+
+/// Warm-started [`solve_fast`]: seed the engine with the previous sweep
+/// cell's roots and return the seed for the next cell. The result is
+/// bit-identical to the unseeded solve — a seed can only change *how*
+/// the answer is found, never the answer (pinned by the warm-sweep
+/// parity suite).
+///
+/// # Panics
+///
+/// As [`solve_fast`].
+// xlint: determinism-root
+pub fn solve_fast_seeded(
+    model: &XModel,
+    table: &CurveTable,
+    samples: usize,
+    seed: Option<&WarmSeed>,
+) -> (Equilibria, SolveStats, WarmSeed) {
+    assert!(
+        table.key == Some(CurveKey::of(model)),
+        "CurveTable was built for a different supply curve"
+    );
+    let curves = KernelCurves {
+        supply: SupplyKernel::of(model),
+        demand: DemandKernel::of(model),
+    };
+    let (eq, stats) = solve_core(
+        &curves,
+        table,
+        model.workload.n,
+        model.workload.z,
+        samples,
+        seed,
+    );
+    let next = WarmSeed::advance(seed, &eq);
+    (eq, stats, next)
 }
 
 /// [`solve_fast`] over raw curve closures paired with a
 /// [`CurveTable::tabulate`] table of the same `f` — the entry point for
 /// curves that exist outside an [`XModel`] (fault-injected or synthetic
 /// shapes). `g_hat` must be non-decreasing in `x` (every Eq. (1) demand
-/// curve is) for the coarse block screening to be sound.
+/// curve is) for the span screening to be sound.
 // xlint: determinism-root
 pub fn solve_fast_curves(
     curve_f: &dyn Fn(f64) -> f64,
@@ -409,152 +1331,32 @@ pub fn solve_fast_curves(
     z: f64,
     samples: usize,
 ) -> (Equilibria, SolveStats) {
-    assert!(samples >= 2, "need at least two scan samples");
-    let _span = xmodel_obs::span!(xmodel_obs::names::span::SOLVER_SOLVE_FAST);
-    let mut stats = SolveStats::default();
-    if n <= 0.0 {
-        return (Equilibria::from_points(Vec::new(), n), stats);
-    }
-    assert!(
-        n <= table.k_max * (1.0 + 1e-9),
-        "CurveTable covers k <= {}, solve needs {}",
-        table.k_max,
-        n
-    );
-
-    let f_evals = Cell::new(0u64);
-    let g_evals = Cell::new(0u64);
-    let f = |k: f64| {
-        f_evals.set(f_evals.get() + 1);
-        curve_f(k)
+    let curves = DynCurves {
+        f: curve_f,
+        g: curve_g_hat,
     };
-    let g_hat = |x: f64| {
-        g_evals.set(g_evals.get() + 1);
-        curve_g_hat(x)
+    solve_core(&curves, table, n, z, samples, None)
+}
+
+/// Warm-started [`solve_fast_curves`], returning the next cell's seed.
+/// Same bit-identity contract as [`solve_fast_seeded`].
+// xlint: determinism-root
+pub fn solve_fast_curves_seeded(
+    curve_f: &dyn Fn(f64) -> f64,
+    curve_g_hat: &dyn Fn(f64) -> f64,
+    table: &CurveTable,
+    n: f64,
+    z: f64,
+    samples: usize,
+    seed: Option<&WarmSeed>,
+) -> (Equilibria, SolveStats, WarmSeed) {
+    let curves = DynCurves {
+        f: curve_f,
+        g: curve_g_hat,
     };
-    let f_dyn: &dyn Fn(f64) -> f64 = &f;
-    let g_dyn: &dyn Fn(f64) -> f64 = &g_hat;
-    let big_f = |k: f64| f(k) - g_hat(n - k);
-    let big_f_dyn: &dyn Fn(f64) -> f64 = &big_f;
-
-    // Sign classes mirroring the reference's comparisons: NaN sorts with
-    // the non-negative side there (`v < 0.0` is false), so it does here.
-    #[derive(Clone, Copy, PartialEq)]
-    enum Class {
-        Neg,
-        Zero,
-        NonNeg,
-    }
-    let classify = |v: f64| {
-        if v == 0.0 {
-            Class::Zero
-        } else if v < 0.0 {
-            Class::Neg
-        } else {
-            Class::NonNeg
-        }
-    };
-
-    let step = n / samples as f64;
-    let mut points = Vec::new();
-    // Dense index 0 is always evaluated exactly, like the reference.
-    let v0 = big_f(0.0);
-    if v0 == 0.0 {
-        points.push(solver::make_point(f_dyn, g_dyn, n, z, 0.0));
-    }
-    let mut prev_k = 0.0f64;
-    let mut prev_class = classify(v0);
-
-    let mut i = 1usize;
-    while i <= samples {
-        // Coarse screening: can dense steps i..=j contain a sign change?
-        // The block's k-range starts at the previous dense sample.
-        let j = (i + COARSE_BLOCK - 1).min(samples);
-        let a = step * (i - 1) as f64;
-        let b = step * j as f64;
-        let range = table.range(a, b);
-        if range.is_none() {
-            stats.unsound_disables += 1;
-        }
-        let block_class = range.and_then(|(f_lo, f_hi)| {
-            // ĝ(n−k) is non-increasing in k (g is non-decreasing in x),
-            // so its range over the block is bracketed by the endpoints.
-            let g_hi = g_hat(n - a);
-            let g_lo = g_hat(n - b);
-            if f_lo - g_hi > 0.0 {
-                Some(Class::NonNeg)
-            } else if f_hi - g_lo < 0.0 {
-                Some(Class::Neg)
-            } else {
-                None
-            }
-        });
-        if let Some(class) = block_class {
-            // Every dense sample in the block lies strictly on one side
-            // of zero: no roots or exact zeros inside. Only the block's
-            // left edge can bracket, exactly as the reference would
-            // between dense samples i−1 and i.
-            if prev_class != Class::Zero && prev_class != class {
-                let k_first = step * i as f64;
-                let surrogate = if prev_class == Class::Neg { -1.0 } else { 1.0 };
-                let root = solver::bisect(big_f_dyn, prev_k, k_first, surrogate);
-                xmodel_obs::event!("solver.bracket", lo = prev_k, hi = k_first, root = root);
-                points.push(solver::make_point(f_dyn, g_dyn, n, z, root));
-            }
-            stats.blocks_skipped += 1;
-            prev_k = b;
-            prev_class = class;
-            i = j + 1;
-            continue;
-        }
-        // Refine: screen each dense sample in this block individually.
-        stats.blocks_refined += 1;
-        while i <= j {
-            let k = step * i as f64;
-            let gk = g_hat(n - k);
-            let (ft, margin) = table.interp(k);
-            let vt = ft - gk;
-            let class = if vt.abs() > margin {
-                // Interpolation error cannot flip this sign (nor hide an
-                // exact zero), so the class is decided without `f`.
-                stats.interp_evals += 1;
-                classify(vt)
-            } else {
-                // Within the margin (or an unsound interval): consult the
-                // exact curve, reusing the already-computed ĝ value.
-                classify(f(k) - gk)
-            };
-            match class {
-                Class::Zero => points.push(solver::make_point(f_dyn, g_dyn, n, z, k)),
-                _ => {
-                    if prev_class != Class::Zero && prev_class != class {
-                        let surrogate = if prev_class == Class::Neg { -1.0 } else { 1.0 };
-                        let root = solver::bisect(big_f_dyn, prev_k, k, surrogate);
-                        xmodel_obs::event!("solver.bracket", lo = prev_k, hi = k, root = root);
-                        points.push(solver::make_point(f_dyn, g_dyn, n, z, root));
-                    }
-                }
-            }
-            prev_k = k;
-            prev_class = class;
-            i += 1;
-        }
-    }
-
-    stats.f_evals = f_evals.get();
-    stats.g_evals = g_evals.get();
-    let eq = solver::finish(points, n, step);
-    if xmodel_obs::enabled() {
-        use xmodel_obs::metrics::counter_add;
-        use xmodel_obs::names::metric;
-        counter_add(metric::SOLVER_CURVE_EVALS, stats.total());
-        counter_add(metric::FASTPATH_BLOCKS_SCREENED, stats.blocks_skipped);
-        counter_add(metric::FASTPATH_BLOCKS_REFINED, stats.blocks_refined);
-        counter_add(metric::FASTPATH_INTERP_EVALS, stats.interp_evals);
-        counter_add(metric::FASTPATH_EXACT_EVALS, stats.f_evals);
-        counter_add(metric::FASTPATH_UNSOUND_DISABLES, stats.unsound_disables);
-    }
-    (eq, stats)
+    let (eq, stats) = solve_core(&curves, table, n, z, samples, seed);
+    let next = WarmSeed::advance(seed, &eq);
+    (eq, stats, next)
 }
 
 /// Run the exact reference [`XModel::solve_with`] while counting curve
@@ -725,6 +1527,22 @@ mod tests {
     }
 
     #[test]
+    fn kernel_and_scalar_builds_are_bitwise_identical() {
+        let m = cached_model();
+        let fast = CurveTable::build_with(&m, 64.0, 256);
+        let f = |k: f64| m.fk(k);
+        let scalar = CurveTable::from_curve(None, &f, 64.0, 256);
+        assert_eq!(fast.values.len(), scalar.values.len());
+        for i in 0..fast.values.len() {
+            assert_eq!(fast.values[i].to_bits(), scalar.values[i].to_bits());
+        }
+        for i in 0..fast.margins.len() {
+            assert_eq!(fast.margins[i].to_bits(), scalar.margins[i].to_bits());
+        }
+        assert_eq!(fast.build_evals(), scalar.build_evals());
+    }
+
+    #[test]
     fn interp_margin_bounds_true_error() {
         let m = cached_model();
         let t = CurveTable::build(&m, 64.0);
@@ -737,6 +1555,20 @@ mod tests {
                 "margin violated at k = {k}: |{v} - {}| > {margin}",
                 m.fk(k)
             );
+        }
+    }
+
+    #[test]
+    fn span_bounds_contain_true_curve() {
+        let m = cached_model();
+        let t = CurveTable::build(&m, 64.0);
+        for (a, b) in [(0.5, 3.0), (10.0, 11.0), (0.0, 64.0), (40.0, 63.5)] {
+            let (lo, hi) = t.span_bounds(a, b).expect("sound table");
+            for i in 0..=200 {
+                let k = a + (b - a) * i as f64 / 200.0;
+                let v = m.fk(k);
+                assert!(v >= lo && v <= hi, "f({k}) = {v} outside [{lo}, {hi}]");
+            }
         }
     }
 
@@ -757,6 +1589,17 @@ mod tests {
     }
 
     #[test]
+    fn usl_screen_gates_on_monotonicity() {
+        // The roofline is monotone: single-crossing, finite κ.
+        let t = CurveTable::build(&basic_model(), 64.0);
+        assert!(t.usl_single_crossing());
+        assert!(t.usl_kappa().is_some());
+        // The Eq. (5) peak/valley curve is retrograde: screen off.
+        let t = CurveTable::build(&cached_model(), 64.0);
+        assert!(!t.usl_single_crossing());
+    }
+
+    #[test]
     fn fast_matches_reference_bitwise_on_fixtures() {
         for m in [basic_model(), cached_model()] {
             let t = CurveTable::build(&m, 64.0);
@@ -764,6 +1607,15 @@ mod tests {
             let fast = solve_fast(&m, &t, solver::DEFAULT_SAMPLES);
             assert_eq!(exact, fast, "fast path must reproduce the reference");
         }
+    }
+
+    #[test]
+    fn usl_path_actually_engages_on_roofline() {
+        let m = basic_model();
+        let t = CurveTable::build(&m, 64.0);
+        let (eq, stats) = solve_fast_stats(&m, &t, solver::DEFAULT_SAMPLES);
+        assert!(stats.usl_screened, "monotone curve must take the USL path");
+        assert_eq!(eq, m.solve());
     }
 
     #[test]
@@ -779,6 +1631,63 @@ mod tests {
             reference.total()
         );
         assert!(fast.blocks_skipped > 0, "screening never engaged");
+    }
+
+    #[test]
+    fn seeded_solve_is_bit_identical_and_hits_warm() {
+        let m = cached_model();
+        let t = CurveTable::build(&m, 64.0);
+        let samples = solver::DEFAULT_SAMPLES;
+        // Simulate two adjacent sweep cells in n.
+        let mut m1 = m;
+        m1.workload.n = 40.0;
+        let mut m2 = m;
+        m2.workload.n = 40.5;
+        let (eq1, _, seed) = solve_fast_seeded(&m1, &t, samples, None);
+        assert_eq!(eq1, solve_fast(&m1, &t, samples));
+        let (eq2, stats, _) = solve_fast_seeded(&m2, &t, samples, Some(&seed));
+        assert!(stats.warm_hit, "adjacent cell must verify warm");
+        assert_eq!(eq2, solve_fast(&m2, &t, samples), "warm changed the answer");
+    }
+
+    #[test]
+    fn warm_seed_chain_survives_root_count_change() {
+        // Sweep a synthetic Fig. 9-B-ish landscape across the n range
+        // where the intersection count changes; every seeded solve must
+        // equal its cold counterpart bitwise.
+        let f = |k: f64| {
+            let k = k.max(0.0);
+            if k <= 8.0 {
+                0.3 * k / 8.0
+            } else if k <= 24.0 {
+                0.3 - 0.25 * (k - 8.0) / 16.0
+            } else if k <= 60.0 {
+                0.05 + 0.05 * (k - 24.0) / 36.0
+            } else {
+                0.1
+            }
+        };
+        let g = |x: f64| x.clamp(0.0, 10.0) / 50.0;
+        let table = CurveTable::tabulate(&f, 96.0, 4096);
+        let mut seed: Option<WarmSeed> = None;
+        let mut warm_hits = 0u32;
+        for i in 0..=60 {
+            let n = 34.0 + i as f64;
+            let (cold, _) = solve_fast_curves(&f, &g, &table, n, 50.0, 512);
+            let (warm, stats, next) =
+                solve_fast_curves_seeded(&f, &g, &table, n, 50.0, 512, seed.as_ref());
+            assert_eq!(
+                warm.points().len(),
+                cold.points().len(),
+                "root count diverged at n = {n}"
+            );
+            for (a, b) in warm.points().iter().zip(cold.points()) {
+                assert_eq!(a.k.to_bits(), b.k.to_bits(), "k diverged at n = {n}");
+            }
+            warm_hits += u32::from(stats.warm_hit);
+            seed = Some(next);
+        }
+        assert!(warm_hits > 30, "warm path mostly idle: {warm_hits} hits");
     }
 
     #[test]

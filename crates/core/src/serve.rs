@@ -206,11 +206,28 @@ impl Deadline {
     }
 }
 
-/// A [`SolveCache`] sharded by [`CurveKey`], so concurrent requests for
+/// Supply curves kept warm per shard: enough for a handful of machine
+/// configurations to alternate without thrashing, small enough that an
+/// adversarial key stream cannot pin unbounded tabulations in memory.
+const SHARD_LRU_CAPACITY: usize = 4;
+
+/// [`SolveCache`]s sharded by [`CurveKey`], so concurrent requests for
 /// the same supply curve reuse one tabulation while independent curves
 /// never contend on the same lock.
+///
+/// Each shard holds a small most-recently-used list of
+/// `(CurveKey, SolveCache)` entries ([`SHARD_LRU_CAPACITY`]), so traffic
+/// that alternates between a few machine configurations — the A/B
+/// capacity-planning pattern — no longer rebuilds the table on every
+/// curve switch, which the single-slot cache of the first serve cut did.
+/// The key is exact (`f64` bit patterns), so a cache entry can never be
+/// served for a different curve and results stay bit-identical to the
+/// dense reference solver.
 pub struct ShardedSolveCache {
-    shards: Vec<Mutex<SolveCache>>,
+    shards: Vec<Mutex<Vec<(CurveKey, SolveCache)>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl ShardedSolveCache {
@@ -218,7 +235,10 @@ impl ShardedSolveCache {
     pub fn new(shards: usize) -> Self {
         let shards = shards.max(1);
         Self {
-            shards: (0..shards).map(|_| Mutex::new(SolveCache::new())).collect(),
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_evictions: AtomicU64::new(0),
         }
     }
 
@@ -244,9 +264,11 @@ impl ShardedSolveCache {
         (h % self.shards.len().max(1) as u64) as usize
     }
 
-    /// Solve through the shard owning `model`'s supply curve. Staleness
-    /// (key change, domain growth) is handled by the underlying
-    /// [`SolveCache`]; the result is bit-identical to the dense
+    /// Solve through the shard owning `model`'s supply curve. The LRU
+    /// entry for the curve is moved to the front (created cold if
+    /// absent, evicting the least-recent entry past capacity); domain
+    /// growth within an entry is handled by the underlying
+    /// [`SolveCache`]. The result is bit-identical to the dense
     /// reference solver by the fastpath guarantee.
     pub fn solve_with(&self, model: &XModel, samples: usize) -> crate::solver::Equilibria {
         let key = CurveKey::of(model);
@@ -258,23 +280,75 @@ impl ShardedSolveCache {
             // modulo its length); solve uncached rather than panic.
             None => return model.solve_with(samples),
         };
-        shard.solve_with(model, samples)
+        match shard.iter().position(|(k, _)| *k == key) {
+            Some(pos) => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                xmodel_obs::metrics::counter_add(metric::SERVE_CACHE_HITS, 1);
+                // Move-to-front keeps the list in recency order so
+                // eviction below can simply pop the tail.
+                let entry = shard.remove(pos);
+                shard.insert(0, entry);
+            }
+            None => {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+                xmodel_obs::metrics::counter_add(metric::SERVE_CACHE_MISSES, 1);
+                shard.insert(0, (key, SolveCache::new()));
+                while shard.len() > SHARD_LRU_CAPACITY {
+                    shard.pop();
+                    self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                    xmodel_obs::metrics::counter_add(metric::SERVE_CACHE_EVICTIONS, 1);
+                }
+            }
+        }
+        match shard.first_mut() {
+            Some((_, cache)) => cache.solve_with(model, samples),
+            // Unreachable (an entry was just inserted or moved to the
+            // front); solve uncached rather than panic.
+            None => model.solve_with(samples),
+        }
     }
 
-    /// Total table (re)builds across shards.
+    /// Total table (re)builds across all resident cache entries.
     pub fn rebuilds(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).rebuilds())
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .map(|(_, cache)| cache.rebuilds())
+                    .collect::<Vec<_>>()
+            })
             .sum()
     }
 
-    /// Total cache hits across shards.
+    /// Total table reuses across all resident cache entries.
     pub fn hits(&self) -> u64 {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).hits())
+            .flat_map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .iter()
+                    .map(|(_, cache)| cache.hits())
+                    .collect::<Vec<_>>()
+            })
             .sum()
+    }
+
+    /// Solves answered by an entry already resident in its shard's LRU.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Solves that inserted a fresh LRU entry (cold fill).
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted because a shard exceeded [`SHARD_LRU_CAPACITY`].
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -1186,6 +1260,42 @@ mod tests {
         assert_eq!(eq.points().len(), again.points().len());
         assert!(cache.hits() >= 1);
         assert!(cache.rebuilds() >= 1);
+    }
+
+    #[test]
+    fn shard_lru_hits_misses_and_evicts() {
+        // One shard so every curve lands in the same LRU list.
+        let cache = ShardedSolveCache::new(1);
+        let model_for = |l: f64| {
+            XModel::new(
+                MachineParams::try_new(6.0, 0.107, l).expect("machine"),
+                WorkloadParams::try_new(20.0, 1.0, 48.0).expect("workload"),
+            )
+        };
+        // Fill past capacity: each distinct L is a distinct supply curve.
+        let curves: Vec<XModel> = (0..=SHARD_LRU_CAPACITY)
+            .map(|i| model_for(500.0 + 10.0 * i as f64))
+            .collect();
+        for model in &curves {
+            cache.solve_with(model, 512);
+        }
+        assert_eq!(cache.cache_misses(), SHARD_LRU_CAPACITY as u64 + 1);
+        assert_eq!(cache.cache_hits(), 0);
+        assert_eq!(cache.cache_evictions(), 1);
+
+        // The most recent curve is resident; re-solving is an LRU hit
+        // and bit-identical to the reference solver.
+        let last = curves.last().expect("non-empty");
+        let warm = cache.solve_with(last, 512);
+        assert_eq!(cache.cache_hits(), 1);
+        let reference = last.solve_with(512);
+        assert_eq!(warm.points().len(), reference.points().len());
+
+        // The oldest curve was the one evicted: solving it again is a
+        // miss (and evicts the now-oldest survivor).
+        cache.solve_with(&curves[0], 512);
+        assert_eq!(cache.cache_misses(), SHARD_LRU_CAPACITY as u64 + 2);
+        assert_eq!(cache.cache_evictions(), 2);
     }
 
     #[test]

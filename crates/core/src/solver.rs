@@ -33,6 +33,12 @@ pub struct Intersection {
 pub struct Equilibria {
     points: Vec<Intersection>,
     n: f64,
+    /// Root de-duplication tolerance applied by [`finish`], recorded so
+    /// fast-tier and exact-tier solves can prove they deduped under the
+    /// same rule (`DEDUP_STEP_FACTOR · step`). `0.0` for results that
+    /// never went through dedup (empty solves).
+    #[serde(default)]
+    dedup_tol: f64,
 }
 
 impl Equilibria {
@@ -44,6 +50,12 @@ impl Equilibria {
     /// Total threads this solve was performed for.
     pub fn n(&self) -> f64 {
         self.n
+    }
+
+    /// The dedup tolerance recorded at solve time: roots closer than this
+    /// in `k` were collapsed into one. `0.0` when no dedup pass ran.
+    pub fn dedup_tolerance(&self) -> f64 {
+        self.dedup_tol
     }
 
     /// The stable intersections only.
@@ -129,15 +141,28 @@ impl Equilibria {
     /// Crate-internal constructor used by the solver entry points
     /// ([`solve_with`] and [`crate::fastpath::solve_fast`]).
     pub(crate) fn from_points(points: Vec<Intersection>, n: f64) -> Self {
-        Self { points, n }
+        Self {
+            points,
+            n,
+            dedup_tol: 0.0,
+        }
     }
 }
 
 /// Default number of scan samples used by [`solve`].
 pub const DEFAULT_SAMPLES: usize = 2048;
 
-/// Bisection iterations per bracketed root.
-const BISECT_ITERS: usize = 80;
+/// Bisection iterations per bracketed root. Shared with the screened
+/// bisection in [`crate::fastpath`], which must run the exact same
+/// midpoint sequence to stay bit-identical.
+pub(crate) const BISECT_ITERS: usize = 80;
+
+/// Dedup radius in units of the dense-scan step: roots within
+/// `DEDUP_STEP_FACTOR · step` of each other collapse to one. Every solve
+/// tier (exact, fast, batch, warm) funnels through [`finish`], so this is
+/// the single place the tolerance is defined; the applied value is
+/// recorded in [`Equilibria::dedup_tolerance`].
+pub(crate) const DEDUP_STEP_FACTOR: f64 = 1.5;
 
 /// Find all intersections of `f(k)` with `ĝ(n−k)` for `k ∈ [0, n]`.
 ///
@@ -164,10 +189,7 @@ pub fn solve_with(
     let n = n.get();
     let z = z.get();
     if n <= 0.0 {
-        return Equilibria {
-            points: Vec::new(),
-            n,
-        };
+        return Equilibria::from_points(Vec::new(), n);
     }
     let step = n / samples as f64;
     let fr = |k: f64| f(Threads(k)).get();
@@ -246,10 +268,15 @@ pub(crate) fn finish(mut points: Vec<Intersection>, n: f64, step: f64) -> Equili
     // De-duplicate roots that collapsed to the same k, and collapse
     // zero-runs (a continuum of plateau-on-plateau contact, e.g. the exact
     // machine balance Z = M/R) to their first contact point.
+    let dedup_tol = DEDUP_STEP_FACTOR * step;
     points.sort_by(|a, b| a.k.total_cmp(&b.k));
-    points.dedup_by(|b, a| (b.k - a.k).abs() <= 1.5 * step);
+    points.dedup_by(|b, a| (b.k - a.k).abs() <= dedup_tol);
 
-    let eq = Equilibria { points, n };
+    let eq = Equilibria {
+        points,
+        n,
+        dedup_tol,
+    };
     xmodel_obs::metrics::counter_add(xmodel_obs::names::metric::SOLVER_SOLVES, 1);
     xmodel_obs::event!(
         "solver.result",

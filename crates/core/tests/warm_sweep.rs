@@ -1,0 +1,236 @@
+//! Warm-started sweep parity against the cold fast path.
+//!
+//! The warm-start contract is the same as the fast path's: a seed may
+//! only change *how much work* a solve does, never a single output bit.
+//! These tests pin that bit-identity along realistic sweep chains — the
+//! situation warm starts exist for — on every Table II preset, on
+//! property-sampled workloads, across root-count (classification)
+//! changes on the Fig. 9-B shape, and on fault-injected NaN-hole curves
+//! where seeds must not resurrect screening the table disabled. The
+//! `sweep::solve_warm` engine is additionally pinned byte-identical for
+//! any job count, since chunk boundaries decide where seeding restarts.
+
+use proptest::prelude::*;
+use xmodel_core::cache::CacheParams;
+use xmodel_core::fastpath::{self, CurveTable, WarmSeed};
+use xmodel_core::params::WorkloadParams;
+use xmodel_core::presets::{self, Precision};
+use xmodel_core::solver::Equilibria;
+use xmodel_core::{sweep, XModel};
+
+/// Bit-exact equality, NaN-tolerant: `Equilibria: PartialEq` would
+/// reject matching points whose throughputs are NaN (the NaN-hole
+/// fixtures), so compare every field's bit pattern instead.
+fn assert_bits_eq(a: &Equilibria, b: &Equilibria, tag: &str) {
+    assert_eq!(a.n().to_bits(), b.n().to_bits(), "{tag}: n diverged");
+    assert_eq!(
+        a.dedup_tolerance().to_bits(),
+        b.dedup_tolerance().to_bits(),
+        "{tag}: dedup tolerance diverged"
+    );
+    assert_eq!(
+        a.points().len(),
+        b.points().len(),
+        "{tag}: root count diverged"
+    );
+    for (pa, pb) in a.points().iter().zip(b.points()) {
+        assert_eq!(pa.k.to_bits(), pb.k.to_bits(), "{tag}: k diverged");
+        assert_eq!(pa.x.to_bits(), pb.x.to_bits(), "{tag}: x diverged");
+        assert_eq!(
+            pa.ms_throughput.to_bits(),
+            pb.ms_throughput.to_bits(),
+            "{tag}: ms throughput diverged"
+        );
+        assert_eq!(
+            pa.cs_throughput.to_bits(),
+            pb.cs_throughput.to_bits(),
+            "{tag}: cs throughput diverged"
+        );
+        assert_eq!(pa.stability, pb.stability, "{tag}: stability diverged");
+    }
+}
+
+/// Walk `n` over `n_values`, threading the warm seed from cell to cell,
+/// and compare every cell bitwise against the cold fast path. Returns
+/// how many cells the warm path actually answered.
+fn warm_chain(model: &XModel, table: &CurveTable, n_values: &[f64], samples: usize) -> u64 {
+    let mut seed: Option<WarmSeed> = None;
+    let mut warm_hits = 0;
+    for &n in n_values {
+        let cell = XModel {
+            workload: model.workload.with_n(n),
+            ..*model
+        };
+        let cold = fastpath::solve_fast(&cell, table, samples);
+        let (warm, stats, next) = fastpath::solve_fast_seeded(&cell, table, samples, seed.as_ref());
+        assert_bits_eq(&warm, &cold, &format!("n = {n}"));
+        warm_hits += u64::from(stats.warm_hit);
+        seed = Some(next);
+    }
+    warm_hits
+}
+
+#[test]
+fn warm_chains_match_cold_on_table2_presets() {
+    for spec in presets::table2() {
+        let mp = spec.machine_params(Precision::Single);
+        let wl = WorkloadParams::new(24.0, 1.2, 40.0);
+        let cache = CacheParams::try_new(spec.default_l1_bytes(), 30.0, 5.0, 2048.0).unwrap();
+        let models = [
+            (format!("{} plain", spec.name), XModel::new(mp, wl)),
+            (
+                format!("{} cached", spec.name),
+                XModel::with_cache(mp, wl, cache),
+            ),
+        ];
+        let n_values: Vec<f64> = (4..64).map(f64::from).collect();
+        for (tag, m) in models {
+            let table = CurveTable::build(&m, 64.0);
+            let hits = warm_chain(&m, &table, &n_values, 512);
+            assert!(
+                hits > n_values.len() as u64 / 2,
+                "{tag}: warm path mostly fell back cold ({hits}/{} hits)",
+                n_values.len()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Warm ≡ cold along sampled sweep chains: whatever the demand
+    /// curve does as `n` moves, a seed may never perturb a bit.
+    #[test]
+    fn warm_chain_parity_property(
+        spec_idx in 0usize..3,
+        e in 0.1f64..8.0,
+        z in 1.0f64..200.0,
+        n0 in 1.0f64..40.0,
+        dn in 0.25f64..4.0,
+    ) {
+        let specs = presets::table2();
+        let spec = specs.get(spec_idx).cloned().unwrap_or_else(
+            xmodel_core::presets::GpuSpec::fermi_gtx570,
+        );
+        let mp = spec.machine_params(Precision::Single);
+        let m = XModel::new(mp, WorkloadParams::new(n0, e, z));
+        let table = CurveTable::build_with(&m, 256.0, 1024);
+        let n_values: Vec<f64> = (0..16).map(|i| n0 + dn * i as f64).collect();
+        warm_chain(&m, &table, &n_values, 512);
+    }
+}
+
+/// The Fig. 9-B supply shape (peak/valley/plateau): sweeping `n` over
+/// it crosses root-count transitions (1 ↔ 3), the classification-change
+/// boundary where a stale seed is most dangerous.
+fn fig9b_f(k: f64) -> f64 {
+    let k = k.max(0.0);
+    if k <= 8.0 {
+        0.3 * k / 8.0
+    } else if k <= 24.0 {
+        0.3 - 0.25 * (k - 8.0) / 16.0
+    } else if k <= 60.0 {
+        0.05 + 0.05 * (k - 24.0) / 36.0
+    } else {
+        0.1
+    }
+}
+
+/// Matching demand `ĝ(x) = min(x, 10)/50`.
+fn fig9b_g(x: f64) -> f64 {
+    x.clamp(0.0, 10.0) / 50.0
+}
+
+#[test]
+fn classification_changes_stay_bit_identical_under_warm_seeds() {
+    let z = 50.0;
+    let table = CurveTable::tabulate(&fig9b_f, 96.0, 4096);
+    let mut seed: Option<WarmSeed> = None;
+    let mut counts = std::collections::BTreeSet::new();
+    for step in 0..120 {
+        let n = 14.0 + 0.5 * step as f64;
+        let cold = fastpath::solve_fast_curves(&fig9b_f, &fig9b_g, &table, n, z, 512);
+        let (warm, _, next) = fastpath::solve_fast_curves_seeded(
+            &fig9b_f,
+            &fig9b_g,
+            &table,
+            n,
+            z,
+            512,
+            seed.as_ref(),
+        );
+        assert_bits_eq(&warm, &cold.0, &format!("fig9b n = {n}"));
+        counts.insert(cold.0.points().len());
+        seed = Some(next);
+    }
+    // The sweep must actually cross a classification change, or this
+    // test pins nothing.
+    assert!(
+        counts.len() >= 2,
+        "sweep never changed root count: {counts:?}"
+    );
+}
+
+/// A supply curve with a fault-injected NaN hole over `k ∈ (10, 20)`.
+fn holed_f(k: f64) -> f64 {
+    let k = k.max(0.0);
+    if k > 10.0 && k < 20.0 {
+        f64::NAN
+    } else {
+        (k / 100.0).min(0.25)
+    }
+}
+
+/// Demand `ĝ(x) = min(x, 8)/40` for the NaN-hole fixture.
+fn holed_g(x: f64) -> f64 {
+    x.clamp(0.0, 8.0) / 40.0
+}
+
+#[test]
+fn nan_hole_warm_chain_keeps_parity() {
+    let z = 40.0;
+    let table = CurveTable::tabulate(&holed_f, 64.0, 1024);
+    assert!(table.interp(15.0).1.is_infinite(), "hole must be unsound");
+    let mut seed: Option<WarmSeed> = None;
+    for step in 0..40 {
+        let n = 24.0 + step as f64;
+        let cold = fastpath::solve_fast_curves(&holed_f, &holed_g, &table, n, z, 256);
+        let (warm, _, next) = fastpath::solve_fast_curves_seeded(
+            &holed_f,
+            &holed_g,
+            &table,
+            n,
+            z,
+            256,
+            seed.as_ref(),
+        );
+        assert_bits_eq(&warm, &cold.0, &format!("holed n = {n}"));
+        seed = Some(next);
+    }
+}
+
+#[test]
+fn solve_warm_engine_agrees_across_job_counts() {
+    let spec = presets::table2()
+        .first()
+        .cloned()
+        .unwrap_or_else(xmodel_core::presets::GpuSpec::fermi_gtx570);
+    let mp = spec.machine_params(Precision::Single);
+    let cache = CacheParams::try_new(spec.default_l1_bytes(), 30.0, 5.0, 2048.0).unwrap();
+    let models: Vec<XModel> = (4..100)
+        .map(|n| XModel::with_cache(mp, WorkloadParams::new(24.0, 1.2, f64::from(n)), cache))
+        .collect();
+    let table = CurveTable::build(&models[models.len() - 1], 128.0);
+    let (baseline, stats1) = sweep::solve_warm(1, &models, &table, 512);
+    assert_eq!(stats1.cells, models.len() as u64);
+    for (model, eq) in models.iter().zip(&baseline) {
+        assert_bits_eq(eq, &fastpath::solve_fast(model, &table, 512), "jobs = 1");
+    }
+    for jobs in [3, 7] {
+        let (warm, _) = sweep::solve_warm(jobs, &models, &table, 512);
+        for (a, b) in warm.iter().zip(&baseline) {
+            assert_bits_eq(a, b, &format!("jobs = {jobs}"));
+        }
+    }
+}

@@ -60,6 +60,19 @@ if [ ! -x "$bin" ]; then
   cargo build --release -p xmodel-bench --bin bench-report
 fi
 
+# The vectorized / warm-start benches must exist in any solver snapshot:
+# one produced by a stale bench-report binary would otherwise silently
+# drop them from the gate. Serve-load snapshots (serve_* benches only)
+# are exempt — they never carried solver entries.
+if grep -q '"solver/solve"' "$fresh"; then
+  for required in "solver/solve_batch" "solver/sweep_1k_warm"; do
+    if ! grep -q "\"$required\"" "$fresh"; then
+      echo "bench_gate: required bench $required missing from $fresh" >&2
+      exit 2
+    fi
+  done
+fi
+
 set +e
 "$bin" --compare "$baseline" "$fresh" --threshold "$threshold"
 status=$?

@@ -154,6 +154,16 @@ XMODEL_JOBS=3 $xm sweep --gpu fermi --z 16 --l1 16 --n-max 48 --points 128 \
   --out "$sweepn" > /dev/null
 cmp "$sweep1" "$sweepn" \
   || { echo "sweep output depends on XMODEL_JOBS" >&2; exit 1; }
+# Warm-started sweeps must be byte-identical to cold ones — the seed may
+# only change solve cost, never a bit of output — at any job count.
+$xm sweep --gpu fermi --z 16 --l1 16 --n-max 48 --points 128 --jobs 1 --warm \
+  --out "$sweepn" > /dev/null
+cmp "$sweep1" "$sweepn" \
+  || { echo "sweep --warm changed the output bytes (jobs 1)" >&2; exit 1; }
+$xm sweep --gpu fermi --z 16 --l1 16 --n-max 48 --points 128 --jobs 4 --warm \
+  --out "$sweepn" > /dev/null
+cmp "$sweep1" "$sweepn" \
+  || { echo "sweep --warm changed the output bytes (jobs 4)" >&2; exit 1; }
 # Jobs 1 -> N wall-clock scaling is hardware-dependent: a single-core
 # runner cannot demonstrate it, and shared CI boxes make it noisy, so
 # the probe is warn-only (EXPERIMENTS.md records the committed numbers).
